@@ -1,0 +1,49 @@
+//! End-to-end analysis time per application — the experiment behind the
+//! paper's "123 s total, 7.2 s average per application" claim (Table V):
+//! the shape to reproduce is analysis time roughly linear in LoC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wap_core::{ToolConfig, WapTool};
+use wap_corpus::generate_webapp;
+use wap_corpus::specs::vulnerable_webapps;
+
+fn bench_analysis(c: &mut Criterion) {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    // three applications of increasing size
+    for (idx, label) in [(1usize, "anywhere-board-games"), (7, "minutes"), (14, "sae")] {
+        let spec = &vulnerable_webapps()[idx];
+        let app = generate_webapp(spec, 0.05, 42);
+        let files: Vec<(String, String)> =
+            app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
+        group.throughput(Throughput::Elements(app.loc as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &files, |b, files| {
+            b.iter(|| tool.analyze_sources(files).findings.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_taint_only(c: &mut Criterion) {
+    use wap_catalog::Catalog;
+    use wap_taint::{analyze, AnalysisOptions, SourceFile};
+    let spec = &vulnerable_webapps()[14]; // SAE
+    let app = generate_webapp(spec, 0.05, 42);
+    let files: Vec<SourceFile> = app
+        .files
+        .iter()
+        .map(|f| SourceFile {
+            name: f.name.clone(),
+            program: wap_php::parse(&f.source).expect("parses"),
+        })
+        .collect();
+    let catalog = Catalog::wape_full();
+    let opts = AnalysisOptions::default();
+    c.bench_function("taint/sae", |b| {
+        b.iter(|| analyze(&catalog, &opts, &files).len())
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_taint_only);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Classifier training and prediction cost (the Table II machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wap_mining::classifiers::ClassifierKind;
+use wap_mining::metrics::cross_validate;
+use wap_mining::{Dataset, FalsePositivePredictor, PredictorGeneration};
+
+fn bench_training(c: &mut Criterion) {
+    let d = Dataset::wape(42);
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for kind in ClassifierKind::top3() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &d, |b, d| {
+            b.iter(|| {
+                let mut clf = kind.build(42);
+                clf.train(&d.x, &d.y);
+                clf.predict(&d.x[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_validation(c: &mut Criterion) {
+    let d = Dataset::wape(42);
+    let mut group = c.benchmark_group("cv10");
+    group.sample_size(10);
+    for kind in [ClassifierKind::Svm, ClassifierKind::RandomForest] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &d, |b, d| {
+            b.iter(|| cross_validate(kind, &d.x, &d.y, 10, 42).total())
+        });
+    }
+    group.finish();
+}
+
+fn bench_committee_prediction(c: &mut Criterion) {
+    let p = FalsePositivePredictor::train(PredictorGeneration::Wape, 42);
+    let d = Dataset::wape(43);
+    c.bench_function("predict/committee-256", |b| {
+        b.iter(|| {
+            d.x.iter()
+                .map(|x| {
+                    let fv = wap_mining::FeatureVector { features: x.clone(), present: vec![] };
+                    p.predict(&fv).is_false_positive as usize
+                })
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_training, bench_cross_validation, bench_committee_prediction);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Parsing throughput: the front-end cost that dominates WAP's per-file
+//! time (Table V's time column is roughly linear in LoC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wap_corpus::specs::vulnerable_webapps;
+use wap_corpus::generate_webapp;
+use wap_php::parse;
+
+fn bench_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for (name, scale) in [("small-app", 0.02), ("medium-app", 0.05)] {
+        let spec = &vulnerable_webapps()[2]; // Clip Bucket
+        let app = generate_webapp(spec, scale, 42);
+        let bytes: usize = app.files.iter().map(|f| f.source.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| {
+                let mut stmts = 0usize;
+                for f in &app.files {
+                    stmts += parse(&f.source).expect("corpus parses").stmts.len();
+                }
+                stmts
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Weapon generation and the cost of fixing a vulnerable file.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wap_catalog::{Catalog, WeaponConfig};
+use wap_core::{ToolConfig, WapTool, Weapon};
+use wap_fixer::Corrector;
+
+fn bench_weapon_generation(c: &mut Criterion) {
+    c.bench_function("weapon/generate+link", |b| {
+        b.iter(|| {
+            let mut catalog = Catalog::wape();
+            let mut corrector = Corrector::new();
+            for cfg in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+                let w = Weapon::generate(cfg).expect("valid");
+                w.link(&mut catalog, &mut corrector);
+            }
+            catalog.sinks().count()
+        })
+    });
+    c.bench_function("weapon/json-roundtrip", |b| {
+        let w = Weapon::generate(WeaponConfig::wpsqli()).expect("valid");
+        b.iter(|| Weapon::from_json(&w.to_json()).expect("round trips").flag())
+    });
+}
+
+fn bench_confirmation(c: &mut Criterion) {
+    use wap_catalog::Catalog;
+    use wap_taint::analyze_program;
+    let catalog = Catalog::wape();
+    let src = r#"<?php
+$id = $_GET['id'];
+$q = "SELECT * FROM users WHERE id = '" . $id . "'";
+mysql_query($q);
+"#;
+    let program = wap_php::parse(src).expect("parses");
+    let candidate = analyze_program(&catalog, &program).remove(0);
+    c.bench_function("confirm/sqli-exploit", |b| {
+        b.iter(|| wap_interp::confirm(&catalog, &[&program], &candidate).exploitable)
+    });
+}
+
+fn bench_fixing(c: &mut Criterion) {
+    let tool = WapTool::new(ToolConfig::wape());
+    let src = r#"<?php
+$a = $_GET['a'];
+$b = $_POST['b'];
+mysql_query("SELECT * FROM t WHERE a = '$a'");
+echo $b;
+system("run " . $_GET['cmd']);
+"#;
+    let files = vec![("f.php".to_string(), src.to_string())];
+    let report = tool.analyze_sources(&files);
+    c.bench_function("fix/three-findings", |b| {
+        b.iter(|| tool.fix_file("f.php", src, &report).applied.len())
+    });
+}
+
+criterion_group!(benches, bench_weapon_generation, bench_fixing, bench_confirmation);
+criterion_main!(benches);

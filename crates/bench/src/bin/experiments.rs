@@ -1,0 +1,95 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [table1|table2|table3|table4|table5|table6|table7|fig4|fig5|escape|ablations|all]
+//!             [--scale F] [--seed N]
+//! ```
+
+use wap_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = DEFAULT_SCALE;
+    let mut seed = DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            other if !other.starts_with('-') => which = other.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let need_web = matches!(which.as_str(), "table5" | "table6" | "fig5" | "all");
+    let need_plugins = matches!(which.as_str(), "table7" | "fig5" | "all");
+    let web = if need_web { run_webapps(scale, seed) } else { Vec::new() };
+    let plugins = if need_plugins { run_plugins(scale, seed) } else { Vec::new() };
+
+    let mut sections: Vec<String> = Vec::new();
+    let all = which == "all";
+    if all || which == "table1" {
+        sections.push(table1());
+    }
+    if all || which == "table2" {
+        sections.push(table2(seed));
+    }
+    if all || which == "table3" {
+        sections.push(table3(seed));
+    }
+    if all || which == "table4" {
+        sections.push(table4());
+    }
+    if all || which == "table5" {
+        sections.push(table5(&web, scale, seed));
+    }
+    if all || which == "table6" {
+        sections.push(table6(&web));
+    }
+    if all || which == "table7" {
+        sections.push(table7(&plugins));
+    }
+    if all || which == "fig4" {
+        sections.push(fig4());
+    }
+    if all || which == "fig5" {
+        sections.push(fig5(&web, &plugins));
+    }
+    if all || which == "escape" {
+        sections.push(escape_study(scale, seed));
+    }
+    if all || which == "second-order" {
+        sections.push(second_order_study());
+    }
+    if all || which == "confirm" {
+        sections.push(confirm_sweep(scale, seed));
+    }
+    if all || which == "ablations" {
+        sections.push(ablation_committee(seed));
+        sections.push(ablation_attributes(seed));
+        sections.push(ablation_interproc(scale, seed));
+        sections.push(ablation_dynamic_symptoms(scale, seed));
+    }
+    if sections.is_empty() {
+        usage(&format!("unknown experiment `{which}`"));
+    }
+    println!("{}", sections.join("\n\n================================================================\n\n"));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\n\nusage: experiments [table1..table7|fig4|fig5|escape|ablations|all] [--scale F] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,25 @@
+//! # wap-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V) from
+//! the synthetic corpus, and exposes the shared plumbing used by the
+//! Criterion benches and the `experiments` binary.
+//!
+//! | experiment | paper content |
+//! |------------|---------------|
+//! | `table1`   | attribute/symptom inventory |
+//! | `table2`   | classifier metrics (10-fold CV) |
+//! | `table3`   | confusion matrices of the top 3 |
+//! | `table4`   | sinks added per sub-module |
+//! | `table5`   | web application analysis summary |
+//! | `table6`   | per-class detection, WAP vs WAPe, FPP/FP |
+//! | `table7`   | WordPress plugin detection |
+//! | `fig4`     | plugin downloads / active installs histograms |
+//! | `fig5`     | vulnerabilities by class, web apps vs plugins |
+//! | `escape_study` | §V-A user-sanitizer (`escape`) experiment |
+//! | `ablations` | committee, attribute granularity, interprocedural, dynamic symptoms |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,486 @@
+//! The aggregate catalog a taint analysis run is configured with.
+
+use crate::class::{SubModule, VulnClass};
+use crate::spec::{EntryPoint, SanitizerSpec, SinkArgs, SinkKind, SinkSpec};
+use crate::weapon::{DynamicSymptom, WeaponConfig};
+use std::collections::BTreeSet;
+
+/// Everything the analyzer needs to know about vulnerability classes:
+/// enabled classes, entry points, sensitive sinks, sanitizers, and dynamic
+/// symptoms. This is the runtime form of the `ep`/`ss`/`san` files of
+/// Fig. 2, and the object weapons are linked into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    entry_points: Vec<EntryPoint>,
+    sinks: Vec<SinkSpec>,
+    sanitizers: Vec<SanitizerSpec>,
+    classes: BTreeSet<VulnClass>,
+    dynamic_symptoms: Vec<DynamicSymptom>,
+    weapons: Vec<WeaponConfig>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::wape()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog: default superglobal entry points, no classes.
+    pub fn empty() -> Self {
+        Catalog {
+            entry_points: EntryPoint::default_superglobals(),
+            sinks: Vec::new(),
+            sanitizers: Vec::new(),
+            classes: BTreeSet::new(),
+            dynamic_symptoms: Vec::new(),
+            weapons: Vec::new(),
+        }
+    }
+
+    /// The original WAP v2.1 configuration: the eight original classes.
+    pub fn wap_v21() -> Self {
+        let mut c = Catalog::empty();
+        c.install_original_classes();
+        c
+    }
+
+    /// The WAPe configuration: the eight original classes plus the four new
+    /// classes integrated in the sub-modules (Table IV: SF, CS, LDAPI,
+    /// XPathI). The weapon-based classes (NoSQLI, HI, EI, WPSQLI) are added
+    /// with [`Catalog::add_weapon`].
+    pub fn wape() -> Self {
+        let mut c = Catalog::wap_v21();
+        c.install_table_iv_extensions();
+        c
+    }
+
+    /// WAPe with the three paper weapons (`-nosqli`, `-hei`, `-wpsqli`)
+    /// already linked — the configuration used for the evaluation.
+    pub fn wape_full() -> Self {
+        let mut c = Catalog::wape();
+        c.add_weapon(WeaponConfig::nosqli());
+        c.add_weapon(WeaponConfig::hei());
+        c.add_weapon(WeaponConfig::wpsqli());
+        c
+    }
+
+    // ---- built-in data ----
+
+    fn install_original_classes(&mut self) {
+        use VulnClass::*;
+        for c in VulnClass::original() {
+            self.classes.insert(c);
+        }
+
+        // query injection sub-module: SQLI
+        for f in [
+            "mysql_query",
+            "mysql_unbuffered_query",
+            "mysql_db_query",
+            "mysqli_query",
+            "mysqli_real_query",
+            "mysqli_multi_query",
+            "pg_query",
+            "pg_send_query",
+            "sqlite_query",
+        ] {
+            self.sinks.push(SinkSpec::function(f, Sqli));
+        }
+        // OO database APIs: restrict to receiver names that are database
+        // handles — WAP does not understand arbitrary wrappers like $wpdb
+        // (that is exactly what the WordPress weapon adds)
+        for recv in ["db", "mysqli", "pdo", "conn", "dbh", "link", "database", "sql"] {
+            for m in ["query", "multi_query", "real_query", "exec"] {
+                self.sinks.push(SinkSpec::method(Some(recv), m, Sqli));
+            }
+        }
+        for s in [
+            "mysql_real_escape_string",
+            "mysql_escape_string",
+            "mysqli_real_escape_string",
+            "mysqli_escape_string",
+            "addslashes",
+            "pg_escape_string",
+            "sqlite_escape_string",
+        ] {
+            self.sanitizers.push(SanitizerSpec::builtin(s, &[Sqli]));
+        }
+
+        // client-side injection sub-module: XSS
+        self.sinks.push(SinkSpec {
+            kind: SinkKind::EchoLike,
+            class: XssReflected,
+            args: SinkArgs::All,
+        });
+        for f in ["printf", "vprintf", "print_r", "var_dump"] {
+            self.sinks.push(SinkSpec::function(f, XssReflected));
+        }
+        for f in ["fwrite", "fputs"] {
+            self.sinks.push(SinkSpec::function_at(f, XssStored, &[1]));
+        }
+        for s in ["htmlentities", "htmlspecialchars", "strip_tags", "urlencode", "rawurlencode"] {
+            self.sanitizers.push(
+                SanitizerSpec::builtin(s, &[XssReflected, XssStored, CommentSpam]),
+            );
+        }
+
+        // RCE & file injection sub-module
+        self.sinks.push(SinkSpec { kind: SinkKind::Include, class: Lfi, args: SinkArgs::All });
+        for f in ["fopen", "file", "opendir", "unlink", "copy", "rename", "rmdir", "mkdir"] {
+            self.sinks.push(SinkSpec::function_at(f, DirTraversal, &[0]));
+        }
+        for f in ["readfile", "show_source", "highlight_file", "php_strip_whitespace"] {
+            self.sinks.push(SinkSpec::function_at(f, Scd, &[0]));
+        }
+        for f in ["exec", "system", "shell_exec", "passthru", "popen", "proc_open", "pcntl_exec"]
+        {
+            self.sinks.push(SinkSpec::function_at(f, Osci, &[0]));
+        }
+        for f in ["eval", "assert", "create_function"] {
+            self.sinks.push(SinkSpec::function(f, Phpci));
+        }
+        self.sanitizers.push(SanitizerSpec::builtin(
+            "basename",
+            &[Rfi, Lfi, DirTraversal, Scd],
+        ));
+        for s in ["escapeshellarg", "escapeshellcmd"] {
+            self.sanitizers.push(SanitizerSpec::builtin(s, &[Osci]));
+        }
+    }
+
+    /// Table IV: sensitive sinks added to the sub-modules for SF, CS,
+    /// LDAPI, and XPathI. "No sanitization functions or entry points were
+    /// added to the san and ep files."
+    fn install_table_iv_extensions(&mut self) {
+        use VulnClass::*;
+        for c in [SessionFixation, CommentSpam, LdapI, XpathI] {
+            self.classes.insert(c);
+        }
+        // RCE & file injection: SF
+        for f in ["setcookie", "setrawcookie", "session_id"] {
+            self.sinks.push(SinkSpec::function(f, SessionFixation));
+        }
+        // client-side injection: CS
+        for f in ["file_put_contents", "file_get_contents"] {
+            self.sinks.push(SinkSpec::function_at(f, CommentSpam, &[0, 1]));
+        }
+        // query injection: LDAPI
+        for f in ["ldap_add", "ldap_delete", "ldap_list", "ldap_read", "ldap_search"] {
+            self.sinks.push(SinkSpec::function(f, LdapI));
+        }
+        self.sanitizers.push(SanitizerSpec::builtin("ldap_escape", &[LdapI]));
+        // query injection: XPathI
+        for f in ["xpath_eval", "xptr_eval", "xpath_eval_expression"] {
+            self.sinks.push(SinkSpec::function(f, XpathI));
+        }
+    }
+
+    // ---- mutation ----
+
+    /// Links a weapon into the catalog: enables its class(es), adds its
+    /// sinks, sanitizers, entry points, and dynamic symptoms.
+    pub fn add_weapon(&mut self, weapon: WeaponConfig) {
+        let default_class = weapon.class();
+        self.classes.insert(default_class.clone());
+        for ep in &weapon.entry_points {
+            if !self.entry_points.contains(ep) {
+                self.entry_points.push(ep.clone());
+            }
+        }
+        for sink in &weapon.sinks {
+            let class = sink
+                .class
+                .as_deref()
+                .map(WeaponConfig::resolve_class)
+                .unwrap_or_else(|| default_class.clone());
+            self.classes.insert(class.clone());
+            let kind = if sink.method {
+                SinkKind::Method { receiver_hint: sink.receiver.clone(), name: sink.name.clone() }
+            } else {
+                SinkKind::Function(sink.name.clone())
+            };
+            self.sinks.push(SinkSpec { kind, class, args: SinkArgs::All });
+        }
+        let weapon_classes: Vec<VulnClass> = weapon
+            .sinks
+            .iter()
+            .map(|s| {
+                s.class
+                    .as_deref()
+                    .map(WeaponConfig::resolve_class)
+                    .unwrap_or_else(|| default_class.clone())
+            })
+            .collect();
+        for s in weapon.sanitizers.iter().chain(&weapon.sanitizer_methods) {
+            self.sanitizers.push(SanitizerSpec::user(s, &weapon_classes));
+        }
+        self.dynamic_symptoms.extend(weapon.dynamic_symptoms.iter().cloned());
+        self.weapons.push(weapon);
+    }
+
+    /// Adds a user-defined sanitization function for specific classes — the
+    /// §V-A `escape` study: feeding a non-native sanitizer removes the
+    /// corresponding reports.
+    pub fn add_user_sanitizer(&mut self, name: &str, classes: &[VulnClass]) {
+        self.sanitizers.push(SanitizerSpec::user(name, classes));
+    }
+
+    /// Adds an extra entry point.
+    pub fn add_entry_point(&mut self, ep: EntryPoint) {
+        if !self.entry_points.contains(&ep) {
+            self.entry_points.push(ep);
+        }
+    }
+
+    /// Adds a sink.
+    pub fn add_sink(&mut self, sink: SinkSpec) {
+        self.classes.insert(sink.class.clone());
+        self.sinks.push(sink);
+    }
+
+    /// Restricts the catalog to the given classes (detection flags).
+    pub fn retain_classes(&mut self, keep: &[VulnClass]) {
+        self.classes.retain(|c| keep.contains(c));
+        self.sinks.retain(|s| keep.contains(&s.class));
+    }
+
+    // ---- queries ----
+
+    /// Enabled vulnerability classes.
+    pub fn classes(&self) -> impl Iterator<Item = &VulnClass> {
+        self.classes.iter()
+    }
+
+    /// Whether `class` detection is enabled.
+    pub fn has_class(&self, class: &VulnClass) -> bool {
+        self.classes.contains(class)
+    }
+
+    /// All sensitive sinks (enabled classes only).
+    pub fn sinks(&self) -> impl Iterator<Item = &SinkSpec> {
+        self.sinks.iter().filter(|s| self.classes.contains(&s.class))
+    }
+
+    /// All sanitizers.
+    pub fn sanitizers(&self) -> &[SanitizerSpec] {
+        &self.sanitizers
+    }
+
+    /// All entry points.
+    pub fn entry_points(&self) -> &[EntryPoint] {
+        &self.entry_points
+    }
+
+    /// Dynamic symptoms contributed by weapons.
+    pub fn dynamic_symptoms(&self) -> &[DynamicSymptom] {
+        &self.dynamic_symptoms
+    }
+
+    /// Linked weapons.
+    pub fn weapons(&self) -> &[WeaponConfig] {
+        &self.weapons
+    }
+
+    /// Whether a superglobal name (e.g. `_GET`) is an entry point.
+    pub fn is_entry_superglobal(&self, name: &str) -> bool {
+        self.entry_points
+            .iter()
+            .any(|ep| matches!(ep, EntryPoint::Superglobal(n) if n == name))
+    }
+
+    /// Whether calling `name` returns tainted data (weapon entry points).
+    pub fn is_entry_function(&self, name: &str) -> bool {
+        self.entry_points
+            .iter()
+            .any(|ep| matches!(ep, EntryPoint::FunctionReturn(n) if n.eq_ignore_ascii_case(name)))
+    }
+
+    /// Whether a bare variable is tainted from the start.
+    pub fn is_entry_variable(&self, name: &str) -> bool {
+        self.entry_points
+            .iter()
+            .any(|ep| matches!(ep, EntryPoint::Variable(n) if n == name))
+    }
+
+    /// The classes function/method `name` sanitizes (case-insensitive).
+    pub fn sanitized_classes(&self, name: &str) -> Vec<&VulnClass> {
+        self.sanitizers
+            .iter()
+            .filter(|s| s.name.eq_ignore_ascii_case(name))
+            .flat_map(|s| s.classes.iter())
+            .collect()
+    }
+
+    /// Whether `name` is a sanitizer for `class`.
+    pub fn is_sanitizer_for(&self, name: &str, class: &VulnClass) -> bool {
+        self.sanitizers
+            .iter()
+            .any(|s| s.name.eq_ignore_ascii_case(name) && s.sanitizes(class))
+    }
+
+    /// Whether `name` is a sanitizer for any class.
+    pub fn is_sanitizer(&self, name: &str) -> bool {
+        self.sanitizers.iter().any(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Table IV data: the sinks added to each sub-module for the new
+    /// classes, as `(sub-module, class, sink name)` rows.
+    pub fn table_iv_rows(&self) -> Vec<(SubModule, VulnClass, String)> {
+        let new: BTreeSet<VulnClass> =
+            [VulnClass::SessionFixation, VulnClass::CommentSpam, VulnClass::LdapI, VulnClass::XpathI]
+                .into_iter()
+                .collect();
+        self.sinks
+            .iter()
+            .filter(|s| new.contains(&s.class))
+            .filter_map(|s| match &s.kind {
+                SinkKind::Function(name) => {
+                    Some((s.class.submodule(), s.class.clone(), name.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wap_v21_detects_eight_classes() {
+        let c = Catalog::wap_v21();
+        let acronyms: BTreeSet<_> = c.classes().map(|c| c.acronym()).collect();
+        assert_eq!(acronyms.len(), 8);
+        assert!(c.has_class(&VulnClass::Sqli));
+        assert!(!c.has_class(&VulnClass::LdapI));
+        assert!(!c.has_class(&VulnClass::NoSqlI));
+    }
+
+    #[test]
+    fn wape_adds_table_iv_classes() {
+        let c = Catalog::wape();
+        for cls in [
+            VulnClass::SessionFixation,
+            VulnClass::CommentSpam,
+            VulnClass::LdapI,
+            VulnClass::XpathI,
+        ] {
+            assert!(c.has_class(&cls), "{cls} missing");
+        }
+        assert!(!c.has_class(&VulnClass::NoSqlI), "NoSQLI needs its weapon");
+    }
+
+    #[test]
+    fn wape_full_detects_fifteen_classes() {
+        let c = Catalog::wape_full();
+        // 8 original + 7 new → acronym count (XSS merged, WPSQLI extra)
+        let acronyms: BTreeSet<_> = c.classes().map(|c| c.acronym().to_string()).collect();
+        assert!(acronyms.contains("NOSQLI"));
+        assert!(acronyms.contains("HI"));
+        assert!(acronyms.contains("EI"));
+        assert!(acronyms.contains("WPSQLI"));
+        // 8 + 7 = 15 paper classes, +1 for the WordPress weapon's class
+        assert_eq!(acronyms.len(), 16);
+    }
+
+    #[test]
+    fn sqli_sinks_and_sanitizers() {
+        let c = Catalog::wape();
+        assert!(c
+            .sinks()
+            .any(|s| matches!(&s.kind, SinkKind::Function(f) if f == "mysql_query")));
+        assert!(c.is_sanitizer_for("mysql_real_escape_string", &VulnClass::Sqli));
+        assert!(c.is_sanitizer_for("MYSQL_REAL_ESCAPE_STRING", &VulnClass::Sqli));
+        assert!(!c.is_sanitizer_for("htmlentities", &VulnClass::Sqli));
+        assert!(c.is_sanitizer_for("htmlentities", &VulnClass::XssReflected));
+    }
+
+    #[test]
+    fn weapon_linking_enables_class_and_sinks() {
+        let mut c = Catalog::wape();
+        assert!(!c.has_class(&VulnClass::NoSqlI));
+        c.add_weapon(WeaponConfig::nosqli());
+        assert!(c.has_class(&VulnClass::NoSqlI));
+        assert!(c
+            .sinks()
+            .any(|s| matches!(&s.kind, SinkKind::Method { name, .. } if name == "findOne")));
+        assert!(c.is_sanitizer_for("mysql_real_escape_string", &VulnClass::NoSqlI));
+    }
+
+    #[test]
+    fn hei_weapon_maps_sinks_to_two_classes() {
+        let mut c = Catalog::wape();
+        c.add_weapon(WeaponConfig::hei());
+        let header = c
+            .sinks()
+            .find(|s| matches!(&s.kind, SinkKind::Function(f) if f == "header"))
+            .unwrap();
+        assert_eq!(header.class, VulnClass::HeaderI);
+        let mail = c
+            .sinks()
+            .find(|s| matches!(&s.kind, SinkKind::Function(f) if f == "mail"))
+            .unwrap();
+        assert_eq!(mail.class, VulnClass::EmailI);
+    }
+
+    #[test]
+    fn wpsqli_weapon_entry_points_and_symptoms() {
+        let mut c = Catalog::wape();
+        c.add_weapon(WeaponConfig::wpsqli());
+        assert!(c.is_entry_function("get_query_var"));
+        assert!(!c.dynamic_symptoms().is_empty());
+        assert!(c.is_sanitizer("esc_sql"));
+        assert!(c.is_sanitizer("prepare"));
+    }
+
+    #[test]
+    fn user_sanitizer_study() {
+        let mut c = Catalog::wape();
+        assert!(!c.is_sanitizer("escape"));
+        c.add_user_sanitizer("escape", &[VulnClass::Sqli, VulnClass::XssReflected]);
+        assert!(c.is_sanitizer_for("escape", &VulnClass::Sqli));
+    }
+
+    #[test]
+    fn retain_classes_filters_sinks() {
+        let mut c = Catalog::wape();
+        c.retain_classes(&[VulnClass::Sqli]);
+        assert!(c.sinks().all(|s| s.class == VulnClass::Sqli));
+        assert!(!c.has_class(&VulnClass::XssReflected));
+    }
+
+    #[test]
+    fn table_iv_rows_match_paper() {
+        let c = Catalog::wape();
+        let rows = c.table_iv_rows();
+        let sf: Vec<_> = rows
+            .iter()
+            .filter(|(_, cls, _)| *cls == VulnClass::SessionFixation)
+            .map(|(_, _, f)| f.as_str())
+            .collect();
+        assert_eq!(sf, vec!["setcookie", "setrawcookie", "session_id"]);
+        let ldap: Vec<_> = rows
+            .iter()
+            .filter(|(_, cls, _)| *cls == VulnClass::LdapI)
+            .map(|(_, _, f)| f.as_str())
+            .collect();
+        assert_eq!(
+            ldap,
+            vec!["ldap_add", "ldap_delete", "ldap_list", "ldap_read", "ldap_search"]
+        );
+    }
+
+    #[test]
+    fn entry_point_queries() {
+        let c = Catalog::wape();
+        assert!(c.is_entry_superglobal("_GET"));
+        assert!(c.is_entry_superglobal("_COOKIE"));
+        assert!(!c.is_entry_superglobal("GLOBALS"));
+        assert!(!c.is_entry_function("rand"));
+        let mut c = c;
+        c.add_entry_point(EntryPoint::Variable("user_input".into()));
+        assert!(c.is_entry_variable("user_input"));
+    }
+}

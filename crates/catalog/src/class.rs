@@ -1,0 +1,247 @@
+//! Vulnerability classes and analyzer sub-modules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vulnerability class handled by the tool.
+///
+/// The first eight are the classes of the original WAP v2.1; the next seven
+/// are the classes the paper adds (§IV-A); [`VulnClass::Custom`] covers
+/// classes introduced by user-defined weapons without recompiling — the
+/// paper's headline capability.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VulnClass {
+    /// SQL injection.
+    Sqli,
+    /// Reflected cross-site scripting.
+    XssReflected,
+    /// Stored cross-site scripting.
+    XssStored,
+    /// Remote file inclusion.
+    Rfi,
+    /// Local file inclusion.
+    Lfi,
+    /// Directory / path traversal.
+    DirTraversal,
+    /// OS command injection.
+    Osci,
+    /// Source code disclosure.
+    Scd,
+    /// PHP command injection (eval-like).
+    Phpci,
+    /// LDAP injection (new in WAPe).
+    LdapI,
+    /// XPath injection (new in WAPe).
+    XpathI,
+    /// NoSQL injection (new in WAPe; first static tool to detect it).
+    NoSqlI,
+    /// Comment spamming injection (new in WAPe).
+    CommentSpam,
+    /// Header injection / HTTP response splitting (new in WAPe).
+    HeaderI,
+    /// Email injection (new in WAPe).
+    EmailI,
+    /// Session fixation (new in WAPe).
+    SessionFixation,
+    /// A class introduced by a weapon at runtime.
+    Custom(String),
+}
+
+impl VulnClass {
+    /// The eight classes detected by the original WAP v2.1.
+    pub fn original() -> Vec<VulnClass> {
+        vec![
+            VulnClass::Sqli,
+            VulnClass::XssReflected,
+            VulnClass::XssStored,
+            VulnClass::Rfi,
+            VulnClass::Lfi,
+            VulnClass::DirTraversal,
+            VulnClass::Osci,
+            VulnClass::Scd,
+            VulnClass::Phpci,
+        ]
+    }
+
+    /// The seven classes added by the paper (§IV-A).
+    pub fn new_in_wape() -> Vec<VulnClass> {
+        vec![
+            VulnClass::LdapI,
+            VulnClass::XpathI,
+            VulnClass::NoSqlI,
+            VulnClass::CommentSpam,
+            VulnClass::HeaderI,
+            VulnClass::EmailI,
+            VulnClass::SessionFixation,
+        ]
+    }
+
+    /// Short uppercase acronym used in the paper's tables
+    /// (e.g. `SQLI`, `XSS`, `LDAPI`).
+    pub fn acronym(&self) -> &str {
+        match self {
+            VulnClass::Sqli => "SQLI",
+            VulnClass::XssReflected | VulnClass::XssStored => "XSS",
+            VulnClass::Rfi => "RFI",
+            VulnClass::Lfi => "LFI",
+            VulnClass::DirTraversal => "DT",
+            VulnClass::Osci => "OSCI",
+            VulnClass::Scd => "SCD",
+            VulnClass::Phpci => "PHPCI",
+            VulnClass::LdapI => "LDAPI",
+            VulnClass::XpathI => "XPATHI",
+            VulnClass::NoSqlI => "NOSQLI",
+            VulnClass::CommentSpam => "CS",
+            VulnClass::HeaderI => "HI",
+            VulnClass::EmailI => "EI",
+            VulnClass::SessionFixation => "SF",
+            VulnClass::Custom(name) => name,
+        }
+    }
+
+    /// The command-line style activation flag (`-sqli`, `-nosqli`, ...).
+    pub fn flag(&self) -> String {
+        format!("-{}", self.acronym().to_ascii_lowercase())
+    }
+
+    /// The analyzer sub-module this class belongs to (Fig. 2 / Table IV).
+    pub fn submodule(&self) -> SubModule {
+        match self {
+            VulnClass::Osci
+            | VulnClass::Phpci
+            | VulnClass::Rfi
+            | VulnClass::Lfi
+            | VulnClass::DirTraversal
+            | VulnClass::Scd
+            | VulnClass::SessionFixation => SubModule::RceFileInjection,
+            VulnClass::XssReflected | VulnClass::XssStored | VulnClass::CommentSpam => {
+                SubModule::ClientSideInjection
+            }
+            VulnClass::Sqli | VulnClass::LdapI | VulnClass::XpathI | VulnClass::NoSqlI => {
+                SubModule::QueryInjection
+            }
+            VulnClass::HeaderI | VulnClass::EmailI | VulnClass::Custom(_) => {
+                SubModule::NewVulnDetector
+            }
+        }
+    }
+
+    /// Whether this is an input validation class (everything except session
+    /// fixation, per §IV-A).
+    pub fn is_input_validation(&self) -> bool {
+        !matches!(self, VulnClass::SessionFixation)
+    }
+
+    /// Whether WAP v2.1 already detected this class.
+    pub fn in_original_wap(&self) -> bool {
+        Self::original().contains(self)
+    }
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.acronym())
+    }
+}
+
+/// The restructured code analyzer's sub-modules (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SubModule {
+    /// RCE & file injection: OSCI, PHPCI, RFI, LFI, DT, SCD (+ SF).
+    RceFileInjection,
+    /// Client-side injection: reflected and stored XSS (+ CS).
+    ClientSideInjection,
+    /// Query injection: SQLI (+ LDAPI, XPathI, NoSQLI).
+    QueryInjection,
+    /// The generic, user-configurable new-vulnerability detector.
+    NewVulnDetector,
+}
+
+impl SubModule {
+    /// All sub-modules, in Fig. 2 order.
+    pub fn all() -> [SubModule; 4] {
+        [
+            SubModule::RceFileInjection,
+            SubModule::ClientSideInjection,
+            SubModule::QueryInjection,
+            SubModule::NewVulnDetector,
+        ]
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubModule::RceFileInjection => "RCE & file injection",
+            SubModule::ClientSideInjection => "client-side injection",
+            SubModule::QueryInjection => "query injection",
+            SubModule::NewVulnDetector => "new vulnerability detector",
+        }
+    }
+}
+
+impl fmt::Display for SubModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_has_nine_variants_eight_classes() {
+        // XSS reflected/stored are one paper class; the enum splits them.
+        let orig = VulnClass::original();
+        assert_eq!(orig.len(), 9);
+        let acronyms: std::collections::BTreeSet<_> =
+            orig.iter().map(|c| c.acronym()).collect();
+        assert_eq!(acronyms.len(), 8);
+    }
+
+    #[test]
+    fn seven_new_classes() {
+        assert_eq!(VulnClass::new_in_wape().len(), 7);
+        for c in VulnClass::new_in_wape() {
+            assert!(!c.in_original_wap());
+        }
+    }
+
+    #[test]
+    fn flags_match_paper() {
+        assert_eq!(VulnClass::NoSqlI.flag(), "-nosqli");
+        assert_eq!(VulnClass::Sqli.flag(), "-sqli");
+        assert_eq!(VulnClass::Custom("WPSQLI".into()).flag(), "-wpsqli");
+    }
+
+    #[test]
+    fn submodule_assignment_matches_table_iv() {
+        assert_eq!(VulnClass::SessionFixation.submodule(), SubModule::RceFileInjection);
+        assert_eq!(VulnClass::CommentSpam.submodule(), SubModule::ClientSideInjection);
+        assert_eq!(VulnClass::LdapI.submodule(), SubModule::QueryInjection);
+        assert_eq!(VulnClass::XpathI.submodule(), SubModule::QueryInjection);
+        assert_eq!(VulnClass::NoSqlI.submodule(), SubModule::QueryInjection);
+        assert_eq!(VulnClass::HeaderI.submodule(), SubModule::NewVulnDetector);
+    }
+
+    #[test]
+    fn only_sf_is_not_input_validation() {
+        assert!(!VulnClass::SessionFixation.is_input_validation());
+        assert!(VulnClass::Sqli.is_input_validation());
+        assert!(VulnClass::CommentSpam.is_input_validation());
+    }
+
+    #[test]
+    fn display_uses_acronym() {
+        assert_eq!(VulnClass::HeaderI.to_string(), "HI");
+        assert_eq!(SubModule::QueryInjection.to_string(), "query injection");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = VulnClass::Custom("WPSQLI".into());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: VulnClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

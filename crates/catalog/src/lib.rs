@@ -1,0 +1,33 @@
+//! # wap-catalog — vulnerability class catalog for the WAPe reproduction
+//!
+//! The data model behind the paper's restructured, *configurable* code
+//! analyzer (Medeiros et al., DSN 2016, Fig. 2): vulnerability classes and
+//! their sub-modules, entry points (`ep`), sensitive sinks (`ss`),
+//! sanitization functions (`san`), and the **weapon** configuration format
+//! from which new detectors are generated without programming (§III-D).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wap_catalog::{Catalog, VulnClass, WeaponConfig};
+//!
+//! // WAP v2.1 knows 8 classes; WAPe adds SF, CS, LDAPI, XPathI...
+//! let mut catalog = Catalog::wape();
+//! assert!(!catalog.has_class(&VulnClass::NoSqlI));
+//!
+//! // ...and weapons add the rest at runtime, from pure data:
+//! catalog.add_weapon(WeaponConfig::nosqli());
+//! assert!(catalog.has_class(&VulnClass::NoSqlI));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod class;
+pub mod spec;
+pub mod weapon;
+
+pub use catalog::Catalog;
+pub use class::{SubModule, VulnClass};
+pub use spec::{EntryPoint, SanitizerSpec, SinkArgs, SinkKind, SinkSpec};
+pub use weapon::{DynamicSymptom, FixTemplateSpec, WeaponConfig, WeaponSink};

@@ -1,0 +1,192 @@
+//! Detector configuration data: entry points, sensitive sinks, and
+//! sanitization functions.
+//!
+//! These are the `ep` / `ss` / `san` files of the paper's restructured code
+//! analyzer (Fig. 2): plain data that configures a detector, so new classes
+//! can be added "without additional programming".
+
+use crate::class::VulnClass;
+use serde::{Deserialize, Serialize};
+
+/// How a sensitive sink is reached in source code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SinkKind {
+    /// A plain function call, e.g. `mysql_query(...)`.
+    Function(String),
+    /// A method call, e.g. `$wpdb->query(...)`. `receiver_hint` restricts
+    /// the match to receivers whose variable/property name matches
+    /// (case-insensitively), e.g. `Some("wpdb")`; `None` matches any
+    /// receiver.
+    Method {
+        /// Optional receiver variable name (without `$`).
+        receiver_hint: Option<String>,
+        /// Method name.
+        name: String,
+    },
+    /// Output constructs: `echo`, `print`, `<?= ... ?>`, `printf`.
+    EchoLike,
+    /// `include` / `require` statements and expressions.
+    Include,
+}
+
+/// Which arguments of a sink are dangerous when tainted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SinkArgs {
+    /// Any tainted argument triggers the sink.
+    #[default]
+    All,
+    /// Only the given zero-based argument positions are sensitive
+    /// (e.g. the query string of `mysql_query($q, $conn)` is position 0).
+    Positions(Vec<usize>),
+}
+
+impl SinkArgs {
+    /// Whether argument `index` is sensitive under this policy.
+    pub fn is_sensitive(&self, index: usize) -> bool {
+        match self {
+            SinkArgs::All => true,
+            SinkArgs::Positions(ps) => ps.contains(&index),
+        }
+    }
+}
+
+/// A sensitive sink: a code location where tainted data causes a
+/// vulnerability of a specific class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SinkSpec {
+    /// How the sink appears in code.
+    pub kind: SinkKind,
+    /// The class of vulnerability a tainted flow into this sink creates.
+    pub class: VulnClass,
+    /// Which arguments are sensitive.
+    pub args: SinkArgs,
+}
+
+impl SinkSpec {
+    /// A function sink sensitive in all arguments.
+    pub fn function(name: &str, class: VulnClass) -> Self {
+        SinkSpec { kind: SinkKind::Function(name.into()), class, args: SinkArgs::All }
+    }
+
+    /// A function sink sensitive only at the given positions.
+    pub fn function_at(name: &str, class: VulnClass, positions: &[usize]) -> Self {
+        SinkSpec {
+            kind: SinkKind::Function(name.into()),
+            class,
+            args: SinkArgs::Positions(positions.to_vec()),
+        }
+    }
+
+    /// A method sink (optionally bound to a receiver name).
+    pub fn method(receiver_hint: Option<&str>, name: &str, class: VulnClass) -> Self {
+        SinkSpec {
+            kind: SinkKind::Method {
+                receiver_hint: receiver_hint.map(str::to_string),
+                name: name.into(),
+            },
+            class,
+            args: SinkArgs::All,
+        }
+    }
+}
+
+/// A sanitization function: calling it on tainted data neutralizes the
+/// taint for the listed classes (and only those — `htmlentities` protects
+/// against XSS but not SQLI).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizerSpec {
+    /// Function name (case-insensitive match, as in PHP).
+    pub name: String,
+    /// Classes whose taint this function removes.
+    pub classes: Vec<VulnClass>,
+    /// Whether this is a user-defined function added via configuration
+    /// (the `escape` study of §V-A) rather than a PHP built-in.
+    pub user_defined: bool,
+}
+
+impl SanitizerSpec {
+    /// A built-in PHP sanitizer.
+    pub fn builtin(name: &str, classes: &[VulnClass]) -> Self {
+        SanitizerSpec { name: name.into(), classes: classes.to_vec(), user_defined: false }
+    }
+
+    /// A user-supplied sanitizer (external sanitization list, §V-A).
+    pub fn user(name: &str, classes: &[VulnClass]) -> Self {
+        SanitizerSpec { name: name.into(), classes: classes.to_vec(), user_defined: true }
+    }
+
+    /// Whether this sanitizer neutralizes `class`.
+    pub fn sanitizes(&self, class: &VulnClass) -> bool {
+        self.classes.contains(class)
+    }
+}
+
+/// An entry point: where untrusted data enters the program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryPoint {
+    /// A superglobal array, e.g. `$_GET` (name without `$`).
+    Superglobal(String),
+    /// A function whose return value is untrusted
+    /// (e.g. WordPress' `get_query_var`).
+    FunctionReturn(String),
+    /// A plain variable name treated as tainted from the start.
+    Variable(String),
+}
+
+impl EntryPoint {
+    /// The default superglobals every detector starts from.
+    pub fn default_superglobals() -> Vec<EntryPoint> {
+        ["_GET", "_POST", "_COOKIE", "_REQUEST", "_FILES", "_SERVER", "_ENV"]
+            .iter()
+            .map(|n| EntryPoint::Superglobal((*n).to_string()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_args_policies() {
+        assert!(SinkArgs::All.is_sensitive(7));
+        let p = SinkArgs::Positions(vec![0, 2]);
+        assert!(p.is_sensitive(0));
+        assert!(!p.is_sensitive(1));
+        assert!(p.is_sensitive(2));
+    }
+
+    #[test]
+    fn sanitizer_is_class_specific() {
+        let s = SanitizerSpec::builtin("htmlentities", &[VulnClass::XssReflected]);
+        assert!(s.sanitizes(&VulnClass::XssReflected));
+        assert!(!s.sanitizes(&VulnClass::Sqli));
+        assert!(!s.user_defined);
+        assert!(SanitizerSpec::user("escape", &[VulnClass::Sqli]).user_defined);
+    }
+
+    #[test]
+    fn default_superglobals_cover_the_classics() {
+        let eps = EntryPoint::default_superglobals();
+        assert!(eps.contains(&EntryPoint::Superglobal("_GET".into())));
+        assert!(eps.contains(&EntryPoint::Superglobal("_POST".into())));
+        assert!(eps.contains(&EntryPoint::Superglobal("_COOKIE".into())));
+        assert_eq!(eps.len(), 7);
+    }
+
+    #[test]
+    fn sink_constructors() {
+        let s = SinkSpec::function_at("mysql_query", VulnClass::Sqli, &[0]);
+        assert!(s.args.is_sensitive(0));
+        assert!(!s.args.is_sensitive(1));
+        let m = SinkSpec::method(Some("wpdb"), "query", VulnClass::Custom("WPSQLI".into()));
+        assert!(matches!(m.kind, SinkKind::Method { ref receiver_hint, .. } if receiver_hint.as_deref() == Some("wpdb")));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SinkSpec::method(None, "find", VulnClass::NoSqlI);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str(&json).unwrap());
+    }
+}

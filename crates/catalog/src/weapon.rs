@@ -1,0 +1,299 @@
+//! Weapon configuration: the user-supplied data from which a new detector,
+//! fix, and symptom map are generated (§III-D).
+//!
+//! A weapon is *pure data* (serializable to JSON): sensitive sinks,
+//! sanitization functions, optional extra entry points, a fix template, and
+//! optional dynamic symptoms. The weapon generator in `wap-core` turns this
+//! into a live detector without recompiling anything — the paper's
+//! "no additional programming" claim.
+
+use crate::class::VulnClass;
+use crate::spec::EntryPoint;
+use serde::{Deserialize, Serialize};
+
+/// A sink entry inside a weapon configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeaponSink {
+    /// Function name, or method name when `method` is true.
+    pub name: String,
+    /// Whether the sink is a method call (`$obj->name(...)`).
+    #[serde(default)]
+    pub method: bool,
+    /// Optional receiver variable restriction for method sinks
+    /// (e.g. `wpdb` to match only `$wpdb->...`).
+    #[serde(default)]
+    pub receiver: Option<String>,
+    /// Optional per-sink class acronym; defaults to the weapon's class.
+    /// Lets one weapon cover two related classes (the HI & EI weapon).
+    #[serde(default)]
+    pub class: Option<String>,
+}
+
+impl WeaponSink {
+    /// A plain function sink using the weapon's class.
+    pub fn function(name: &str) -> Self {
+        WeaponSink { name: name.into(), method: false, receiver: None, class: None }
+    }
+
+    /// A function sink assigned to a specific class acronym.
+    pub fn function_as(name: &str, class: &str) -> Self {
+        WeaponSink { name: name.into(), method: false, receiver: None, class: Some(class.into()) }
+    }
+
+    /// A method sink, optionally restricted to a receiver variable.
+    pub fn method(name: &str, receiver: Option<&str>) -> Self {
+        WeaponSink {
+            name: name.into(),
+            method: true,
+            receiver: receiver.map(str::to_string),
+            class: None,
+        }
+    }
+}
+
+/// The three fix templates of §III-C.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "template", rename_all = "snake_case")]
+pub enum FixTemplateSpec {
+    /// *PHP sanitization function*: wrap tainted sink inputs in the given
+    /// PHP sanitizer (e.g. `mysql_real_escape_string` for the NoSQLI
+    /// weapon's `san_nosqli`).
+    PhpSanitization {
+        /// The sanitizing function to apply at the sink.
+        sanitizer: String,
+    },
+    /// *User sanitization*: replace each malicious character with the
+    /// neutralizer (e.g. `\r`/`\n` → space for the HI & EI weapon's
+    /// `san_hei`).
+    UserSanitization {
+        /// Characters/sequences that enable the attack.
+        malicious: Vec<String>,
+        /// Replacement character.
+        neutralizer: String,
+    },
+    /// *User validation*: check for malicious characters and emit a message
+    /// on match (the LDAPI / XPathI fixes).
+    UserValidation {
+        /// Characters/sequences that enable the attack.
+        malicious: Vec<String>,
+    },
+}
+
+/// A dynamic symptom: a user function mapped onto an equivalent static
+/// symptom so the false-positive predictor can account for it (§III-B.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicSymptom {
+    /// The user function name (e.g. `val_int`).
+    pub function: String,
+    /// The static symptom it behaves like (e.g. `is_int`).
+    pub equivalent: String,
+    /// Symptom category: `validation`, `string_manipulation`, or
+    /// `sql_query_manipulation`.
+    pub category: String,
+}
+
+impl DynamicSymptom {
+    /// Creates a dynamic symptom mapping.
+    pub fn new(function: &str, equivalent: &str, category: &str) -> Self {
+        DynamicSymptom {
+            function: function.into(),
+            equivalent: equivalent.into(),
+            category: category.into(),
+        }
+    }
+}
+
+/// A full weapon configuration (§III-D): everything the weapon generator
+/// needs to produce a detector + fix + symptoms and link them into the tool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeaponConfig {
+    /// Weapon name; the activation flag is `-<name>` (e.g. `-nosqli`).
+    pub name: String,
+    /// Acronym of the (possibly new) vulnerability class, e.g. `NOSQLI`.
+    pub class_name: String,
+    /// Extra entry points beyond the default superglobals.
+    #[serde(default)]
+    pub entry_points: Vec<EntryPoint>,
+    /// Sensitive sinks.
+    pub sinks: Vec<WeaponSink>,
+    /// Sanitization function names that neutralize this class.
+    #[serde(default)]
+    pub sanitizers: Vec<String>,
+    /// Sanitizer *method* names (e.g. `$wpdb->prepare`).
+    #[serde(default)]
+    pub sanitizer_methods: Vec<String>,
+    /// Fix template configuration.
+    pub fix: FixTemplateSpec,
+    /// Dynamic symptoms contributed by this weapon.
+    #[serde(default)]
+    pub dynamic_symptoms: Vec<DynamicSymptom>,
+}
+
+impl WeaponConfig {
+    /// Resolves an acronym to a built-in class if one matches, else Custom.
+    pub fn resolve_class(acronym: &str) -> VulnClass {
+        let up = acronym.to_ascii_uppercase();
+        for c in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+            if c.acronym() == up {
+                return c;
+            }
+        }
+        VulnClass::Custom(up)
+    }
+
+    /// The class this weapon's unlabelled sinks map to.
+    pub fn class(&self) -> VulnClass {
+        Self::resolve_class(&self.class_name)
+    }
+
+    /// The activation flag (`-nosqli`, `-hei`, `-wpsqli`).
+    pub fn flag(&self) -> String {
+        format!("-{}", self.name)
+    }
+
+    /// The NoSQL injection weapon of §IV-C.1: MongoDB collection methods as
+    /// sinks, `mysql_real_escape_string` as sanitizer, PHP-sanitization fix
+    /// template (producing the `san_nosqli` fix).
+    pub fn nosqli() -> Self {
+        WeaponConfig {
+            name: "nosqli".into(),
+            class_name: "NOSQLI".into(),
+            entry_points: Vec::new(),
+            sinks: ["find", "findOne", "findAndModify", "insert", "remove", "save", "execute"]
+                .iter()
+                .map(|m| WeaponSink::method(m, None))
+                .collect(),
+            sanitizers: vec!["mysql_real_escape_string".into()],
+            sanitizer_methods: Vec::new(),
+            fix: FixTemplateSpec::PhpSanitization {
+                sanitizer: "mysql_real_escape_string".into(),
+            },
+            dynamic_symptoms: Vec::new(),
+        }
+    }
+
+    /// The HI & EI weapon of §IV-C.2: `header` and `mail` sinks, no
+    /// sanitizers, user-sanitization fix replacing `\r`/`\n` (clear or
+    /// percent-encoded) with a space (the `san_hei` fix).
+    pub fn hei() -> Self {
+        WeaponConfig {
+            name: "hei".into(),
+            class_name: "HI".into(),
+            entry_points: Vec::new(),
+            sinks: vec![
+                WeaponSink::function_as("header", "HI"),
+                WeaponSink::function_as("mail", "EI"),
+            ],
+            sanitizers: Vec::new(),
+            sanitizer_methods: Vec::new(),
+            fix: FixTemplateSpec::UserSanitization {
+                malicious: vec!["\r".into(), "\n".into(), "%0a".into(), "%0d".into()],
+                neutralizer: " ".into(),
+            },
+            dynamic_symptoms: Vec::new(),
+        }
+    }
+
+    /// The SQLI-for-WordPress weapon of §IV-C.3: `$wpdb` sinks and
+    /// sanitizers, PHP-sanitization fix (`san_wpsqli`), and dynamic
+    /// symptoms for the WordPress validation helpers.
+    pub fn wpsqli() -> Self {
+        WeaponConfig {
+            name: "wpsqli".into(),
+            class_name: "WPSQLI".into(),
+            entry_points: vec![EntryPoint::FunctionReturn("get_query_var".into())],
+            sinks: ["query", "get_results", "get_row", "get_col", "get_var", "prepare_query"]
+                .iter()
+                .map(|m| WeaponSink::method(m, Some("wpdb")))
+                .collect(),
+            sanitizers: vec!["esc_sql".into(), "like_escape".into()],
+            sanitizer_methods: vec!["prepare".into(), "escape".into()],
+            fix: FixTemplateSpec::PhpSanitization { sanitizer: "esc_sql".into() },
+            dynamic_symptoms: vec![
+                DynamicSymptom::new("absint", "intval", "validation"),
+                DynamicSymptom::new("sanitize_text_field", "str_replace", "string_manipulation"),
+                DynamicSymptom::new("sanitize_key", "preg_replace", "string_manipulation"),
+                DynamicSymptom::new("esc_attr", "str_replace", "string_manipulation"),
+                DynamicSymptom::new("wp_verify_nonce", "preg_match", "validation"),
+                DynamicSymptom::new("is_email", "preg_match", "validation"),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nosqli_matches_paper_config() {
+        let w = WeaponConfig::nosqli();
+        assert_eq!(w.flag(), "-nosqli");
+        assert_eq!(w.class(), VulnClass::NoSqlI);
+        assert_eq!(w.sinks.len(), 7);
+        assert!(w.sinks.iter().all(|s| s.method));
+        assert_eq!(w.sanitizers, vec!["mysql_real_escape_string".to_string()]);
+        assert!(matches!(w.fix, FixTemplateSpec::PhpSanitization { .. }));
+    }
+
+    #[test]
+    fn hei_covers_two_classes() {
+        let w = WeaponConfig::hei();
+        assert_eq!(w.flag(), "-hei");
+        let classes: Vec<_> = w.sinks.iter().map(|s| s.class.clone().unwrap()).collect();
+        assert_eq!(classes, vec!["HI".to_string(), "EI".to_string()]);
+        assert!(w.sanitizers.is_empty());
+        let FixTemplateSpec::UserSanitization { malicious, neutralizer } = &w.fix else {
+            panic!("wrong template")
+        };
+        assert!(malicious.contains(&"\n".to_string()));
+        assert!(malicious.contains(&"%0d".to_string()));
+        assert_eq!(neutralizer, " ");
+    }
+
+    #[test]
+    fn wpsqli_uses_wpdb_and_dynamic_symptoms() {
+        let w = WeaponConfig::wpsqli();
+        assert_eq!(w.class(), VulnClass::Custom("WPSQLI".into()));
+        assert!(w.sinks.iter().all(|s| s.receiver.as_deref() == Some("wpdb")));
+        assert!(!w.dynamic_symptoms.is_empty());
+        assert!(w.sanitizer_methods.contains(&"prepare".to_string()));
+    }
+
+    #[test]
+    fn resolve_class_prefers_builtins() {
+        assert_eq!(WeaponConfig::resolve_class("sqli"), VulnClass::Sqli);
+        assert_eq!(WeaponConfig::resolve_class("HI"), VulnClass::HeaderI);
+        assert_eq!(WeaponConfig::resolve_class("EI"), VulnClass::EmailI);
+        assert_eq!(
+            WeaponConfig::resolve_class("WPSQLI"),
+            VulnClass::Custom("WPSQLI".into())
+        );
+    }
+
+    #[test]
+    fn weapon_config_json_round_trip() {
+        for w in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+            let json = serde_json::to_string_pretty(&w).unwrap();
+            let back: WeaponConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(w, back);
+        }
+    }
+
+    #[test]
+    fn weapon_config_from_handwritten_json() {
+        // a user writing a weapon by hand, as the paper's frontend would
+        let json = r#"{
+            "name": "xmli",
+            "class_name": "XMLI",
+            "sinks": [{"name": "simplexml_load_string"}],
+            "sanitizers": ["htmlspecialchars"],
+            "fix": {"template": "user_validation", "malicious": ["<", ">"]}
+        }"#;
+        let w: WeaponConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(w.class(), VulnClass::Custom("XMLI".into()));
+        assert_eq!(w.sinks[0].name, "simplexml_load_string");
+        assert!(!w.sinks[0].method);
+        assert!(w.dynamic_symptoms.is_empty());
+    }
+}

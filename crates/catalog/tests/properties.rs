@@ -1,0 +1,116 @@
+//! Property-based tests for the catalog and weapon configuration model.
+
+use proptest::prelude::*;
+use wap_catalog::{Catalog, EntryPoint, FixTemplateSpec, VulnClass, WeaponConfig, WeaponSink};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+fn sink_strategy() -> impl Strategy<Value = WeaponSink> {
+    (ident(), any::<bool>(), prop::option::of(ident())).prop_map(|(name, method, receiver)| {
+        WeaponSink {
+            name,
+            method,
+            receiver: if method { receiver } else { None },
+            class: None,
+        }
+    })
+}
+
+fn fix_strategy() -> impl Strategy<Value = FixTemplateSpec> {
+    prop_oneof![
+        ident().prop_map(|sanitizer| FixTemplateSpec::PhpSanitization { sanitizer }),
+        (prop::collection::vec("[!-~]{1,3}", 1..4), " |_")
+            .prop_map(|(malicious, neutralizer)| FixTemplateSpec::UserSanitization {
+                malicious,
+                neutralizer: neutralizer.to_string(),
+            }),
+        prop::collection::vec("[!-~]{1,3}", 1..4)
+            .prop_map(|malicious| FixTemplateSpec::UserValidation { malicious }),
+    ]
+}
+
+fn weapon_strategy() -> impl Strategy<Value = WeaponConfig> {
+    (
+        ident(),
+        "[A-Z]{2,8}",
+        prop::collection::vec(sink_strategy(), 1..5),
+        prop::collection::vec(ident(), 0..3),
+        fix_strategy(),
+    )
+        .prop_map(|(name, class_name, sinks, sanitizers, fix)| WeaponConfig {
+            name,
+            class_name,
+            entry_points: vec![],
+            sinks,
+            sanitizers,
+            sanitizer_methods: vec![],
+            fix,
+            dynamic_symptoms: vec![],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated weapon config survives a JSON round trip.
+    #[test]
+    fn weapon_json_round_trip(w in weapon_strategy()) {
+        let json = serde_json::to_string(&w).expect("serializes");
+        let back: WeaponConfig = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(w, back);
+    }
+
+    /// Linking a weapon enables its class and adds at least one sink;
+    /// its sanitizers become known.
+    #[test]
+    fn weapon_linking_enables_class(w in weapon_strategy()) {
+        let mut c = Catalog::wape();
+        let before = c.sinks().count();
+        c.add_weapon(w.clone());
+        prop_assert!(c.has_class(&w.class()));
+        prop_assert!(c.sinks().count() >= before + 1);
+        for s in &w.sanitizers {
+            prop_assert!(c.is_sanitizer(s));
+        }
+    }
+
+    /// retain_classes never leaves sinks of disabled classes behind.
+    #[test]
+    fn retain_is_consistent(keep_sqli in any::<bool>(), keep_xss in any::<bool>()) {
+        let mut keep = Vec::new();
+        if keep_sqli { keep.push(VulnClass::Sqli); }
+        if keep_xss { keep.push(VulnClass::XssReflected); }
+        let mut c = Catalog::wape_full();
+        c.retain_classes(&keep);
+        for s in c.sinks() {
+            prop_assert!(keep.contains(&s.class));
+        }
+    }
+
+    /// Entry point queries match what was added.
+    #[test]
+    fn entry_points_round_trip(names in prop::collection::vec(ident(), 1..5)) {
+        let mut c = Catalog::empty();
+        for n in &names {
+            c.add_entry_point(EntryPoint::FunctionReturn(n.clone()));
+        }
+        for n in &names {
+            prop_assert!(c.is_entry_function(n));
+            prop_assert!(!c.is_entry_variable(n));
+        }
+        prop_assert!(!c.is_entry_function("definitely_not_added_fn"));
+    }
+
+    /// resolve_class is total and stable: resolving twice gives the same
+    /// class, and resolving an acronym is idempotent.
+    #[test]
+    fn resolve_class_total(acr in "[A-Za-z]{1,10}") {
+        let a = WeaponConfig::resolve_class(&acr);
+        let b = WeaponConfig::resolve_class(&acr);
+        prop_assert_eq!(a.clone(), b);
+        let re = WeaponConfig::resolve_class(a.acronym());
+        prop_assert_eq!(re.acronym(), a.acronym());
+    }
+}

@@ -1,0 +1,23 @@
+//! The `wap` command-line tool: analyze PHP applications for 15 classes of
+//! input-validation vulnerabilities, predict false positives, and
+//! optionally correct the source.
+
+fn main() {
+    let opts = match wap_core::cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", wap_core::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match wap_core::cli::run(&opts) {
+        Ok((code, output)) => {
+            print!("{output}");
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

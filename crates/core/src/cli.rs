@@ -1,0 +1,520 @@
+//! Command-line front end logic (argument parsing, directory walking,
+//! report formatting) — kept in the library so it is testable; the `wap`
+//! binary is a thin wrapper.
+
+use crate::pipeline::{AppReport, ToolConfig, WapTool};
+use crate::weapon::Weapon;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use wap_catalog::VulnClass;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Paths (files or directories) to analyze.
+    pub paths: Vec<PathBuf>,
+    /// Class flags like `-sqli`, `-nosqli`, `-wpsqli`; empty = all classes.
+    pub class_flags: Vec<String>,
+    /// Run the original WAP v2.1 configuration.
+    pub v21: bool,
+    /// Apply fixes and write `<file>.fixed.php` next to each input.
+    pub fix: bool,
+    /// Print unified diffs of the fixes instead of writing files.
+    pub diff: bool,
+    /// Dynamically confirm each finding with an attack payload.
+    pub confirm: bool,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+    /// Extra weapon configuration files to load.
+    pub weapon_files: Vec<PathBuf>,
+    /// User sanitizers to register, as `name:CLASS1,CLASS2`.
+    pub user_sanitizers: Vec<(String, Vec<String>)>,
+    /// Show help.
+    pub help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            paths: Vec::new(),
+            class_flags: Vec::new(),
+            v21: false,
+            fix: false,
+            diff: false,
+            confirm: false,
+            json: false,
+            weapon_files: Vec::new(),
+            user_sanitizers: Vec::new(),
+            help: false,
+        }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+wap — detect and correct vulnerabilities in PHP web applications
+
+USAGE:
+    wap [FLAGS] <PATH>...
+
+FLAGS:
+    -sqli -xss -rfi -lfi -dt -osci -scd -phpci     restrict to original classes
+    -ldapi -xpathi -sf -cs                         restrict to new classes
+    -nosqli -hei -wpsqli                           weapon classes
+    --v21                 run the original WAP v2.1 configuration
+    --fix                 write corrected sources to <file>.fixed.php
+    --diff                print unified diffs of the fixes (no files written)
+    --confirm             dynamically confirm findings with attack payloads
+    --json                machine-readable output
+    --weapon <file.json>  link an additional weapon configuration
+    --sanitizer name:CLASS[,CLASS]   register a user sanitization function
+    --help                show this message
+";
+
+/// Parses command-line arguments (no external crates; the tool only needs
+/// flags and paths).
+///
+/// # Errors
+///
+/// Returns a message for unknown flags or malformed values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => opts.help = true,
+            "--v21" => opts.v21 = true,
+            "--fix" => opts.fix = true,
+            "--diff" => opts.diff = true,
+            "--confirm" => opts.confirm = true,
+            "--json" => opts.json = true,
+            "--weapon" => {
+                let f = it.next().ok_or("--weapon needs a file path")?;
+                opts.weapon_files.push(PathBuf::from(f));
+            }
+            "--sanitizer" => {
+                let v = it.next().ok_or("--sanitizer needs name:CLASSES")?;
+                let (name, classes) =
+                    v.split_once(':').ok_or("--sanitizer format is name:CLASS[,CLASS]")?;
+                if name.is_empty() {
+                    return Err("--sanitizer name is empty".to_string());
+                }
+                opts.user_sanitizers.push((
+                    name.to_string(),
+                    classes.split(',').map(str::to_string).collect(),
+                ));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                opts.class_flags.push(flag.to_string());
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.help && opts.paths.is_empty() {
+        return Err("no input paths given (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Recursively collects `.php` files under the given paths, sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn collect_php_files(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for p in paths {
+        collect_into(p, &mut out)?;
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            collect_into(&entry?.path(), out)?;
+        }
+    } else if path.extension().map(|e| e == "php").unwrap_or(false) {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+/// Builds the tool from options (loading weapons, registering sanitizers,
+/// filtering classes).
+///
+/// # Errors
+///
+/// Returns errors from weapon files that fail to load or validate.
+pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + Sync>> {
+    let config = if opts.v21 { ToolConfig::wap_v21() } else { ToolConfig::wape_full() };
+    let mut tool = WapTool::new(config);
+    for wf in &opts.weapon_files {
+        let json = std::fs::read_to_string(wf)?;
+        tool.add_weapon(Weapon::from_json(&json)?);
+    }
+    for (name, classes) in &opts.user_sanitizers {
+        let resolved: Vec<VulnClass> =
+            classes.iter().map(|c| wap_catalog::WeaponConfig::resolve_class(c)).collect();
+        tool.catalog_mut().add_user_sanitizer(name, &resolved);
+    }
+    if !opts.class_flags.is_empty() {
+        let keep: Vec<VulnClass> = tool
+            .catalog()
+            .classes()
+            .filter(|c| opts.class_flags.contains(&c.flag()))
+            .cloned()
+            .collect();
+        tool.catalog_mut().retain_classes(&keep);
+    }
+    Ok(tool)
+}
+
+/// Formats a report as human-readable text.
+pub fn render_text(report: &AppReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let file = f.candidate.file.as_deref().unwrap_or("<input>");
+        if f.is_real() {
+            let _ = writeln!(
+                out,
+                "{file}:{}: {} via {} (source: {})",
+                f.candidate.line,
+                f.candidate.class,
+                f.candidate.sink,
+                f.candidate.sources.join(", "),
+            );
+            for step in &f.candidate.path {
+                let _ = writeln!(out, "    {} (line {})", step.what, step.line);
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "{file}:{}: {} candidate predicted FALSE POSITIVE ({})",
+                f.candidate.line,
+                f.candidate.class,
+                f.prediction.justification.join(", "),
+            );
+        }
+    }
+    for (file, err) in &report.parse_errors {
+        let _ = writeln!(out, "{file}: parse error: {err}");
+    }
+    let _ = writeln!(
+        out,
+        "\n{} files, {} LoC, {} real vulnerabilities, {} predicted false positives ({} ms)",
+        report.files_analyzed,
+        report.loc,
+        report.real_vulnerabilities().count(),
+        report.predicted_false_positives().count(),
+        report.duration.as_millis()
+    );
+    out
+}
+
+/// Formats a report as JSON.
+pub fn render_json(report: &AppReport) -> String {
+    #[derive(serde::Serialize)]
+    struct JsonFinding<'a> {
+        file: Option<&'a str>,
+        line: u32,
+        class: &'a str,
+        sink: &'a str,
+        sources: &'a [String],
+        real: bool,
+        justification: Vec<&'a str>,
+    }
+    #[derive(serde::Serialize)]
+    struct JsonReport<'a> {
+        files_analyzed: usize,
+        loc: usize,
+        real_vulnerabilities: usize,
+        predicted_false_positives: usize,
+        findings: Vec<JsonFinding<'a>>,
+        parse_errors: Vec<(String, String)>,
+    }
+    let findings: Vec<JsonFinding> = report
+        .findings
+        .iter()
+        .map(|f| JsonFinding {
+            file: f.candidate.file.as_deref(),
+            line: f.candidate.line,
+            class: f.candidate.class.acronym(),
+            sink: &f.candidate.sink,
+            sources: &f.candidate.sources,
+            real: f.is_real(),
+            justification: f.prediction.justification.clone(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&JsonReport {
+        files_analyzed: report.files_analyzed,
+        loc: report.loc,
+        real_vulnerabilities: report.real_vulnerabilities().count(),
+        predicted_false_positives: report.predicted_false_positives().count(),
+        findings,
+        parse_errors: report
+            .parse_errors
+            .iter()
+            .map(|(f, e)| (f.clone(), e.to_string()))
+            .collect(),
+    })
+    .expect("report serializes")
+}
+
+/// Runs the tool over the given options; returns `(exit code, output)`.
+/// Exit code 0 = clean, 1 = vulnerabilities found, 2 = usage error.
+///
+/// # Errors
+///
+/// Returns I/O and weapon-loading errors.
+pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sync>> {
+    if opts.help {
+        return Ok((0, USAGE.to_string()));
+    }
+    let files = collect_php_files(&opts.paths)?;
+    if files.is_empty() {
+        return Ok((0, "no .php files found\n".to_string()));
+    }
+    let mut sources = Vec::new();
+    for f in &files {
+        sources.push((f.display().to_string(), std::fs::read_to_string(f)?));
+    }
+    let tool = build_tool(opts)?;
+    let report = tool.analyze_sources(&sources);
+
+    let mut output =
+        if opts.json { render_json(&report) } else { render_text(&report) };
+
+    if opts.confirm {
+        let programs: Vec<(String, wap_php::Program)> = sources
+            .iter()
+            .filter_map(|(n, s)| crate::pipeline_parse(s).ok().map(|p| (n.clone(), p)))
+            .collect();
+        let _ = writeln!(output, "\n== dynamic confirmation ==");
+        for f in &report.findings {
+            let Some(file) = f.candidate.file.as_deref() else { continue };
+            let Some((_, program)) = programs.iter().find(|(n, _)| n == file) else {
+                continue;
+            };
+            let conf = wap_interp::confirm(tool.catalog(), &[program], &f.candidate);
+            let _ = writeln!(
+                output,
+                "{}:{} {} — {} ({})",
+                file,
+                f.candidate.line,
+                f.candidate.class,
+                if conf.exploitable { "CONFIRMED EXPLOITABLE" } else { "not exploitable" },
+                conf.detail
+            );
+        }
+    }
+
+    if opts.fix || opts.diff {
+        for (name, src) in &sources {
+            let result = tool.fix_file(name, src, &report);
+            if result.applied.is_empty() {
+                continue;
+            }
+            if opts.diff {
+                let _ = writeln!(output, "--- {name}
++++ {name} (fixed)");
+                output.push_str(&wap_fixer::unified_diff(src, &result.fixed_source, 2));
+            }
+            if opts.fix {
+                let out_path = format!("{name}.fixed.php");
+                std::fs::write(&out_path, &result.fixed_source)?;
+                let _ = writeln!(
+                    output,
+                    "wrote {out_path} ({} fixes)",
+                    result.applied.len()
+                );
+            }
+        }
+    }
+
+    let code = if report.real_vulnerabilities().count() > 0 { 1 } else { 0 };
+    Ok((code, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic_args() {
+        let o = parse_args(args(&["-sqli", "-nosqli", "--fix", "app/"])).unwrap();
+        assert_eq!(o.class_flags, vec!["-sqli", "-nosqli"]);
+        assert!(o.fix);
+        assert_eq!(o.paths, vec![PathBuf::from("app/")]);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_long_flag() {
+        assert!(parse_args(args(&["--frobnicate", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_requires_paths() {
+        assert!(parse_args(args(&["-sqli"])).is_err());
+        assert!(parse_args(args(&["--help"])).unwrap().help);
+    }
+
+    #[test]
+    fn parse_sanitizer_spec() {
+        let o = parse_args(args(&["--sanitizer", "escape:SQLI,XSS", "f.php"])).unwrap();
+        assert_eq!(
+            o.user_sanitizers,
+            vec![("escape".to_string(), vec!["SQLI".to_string(), "XSS".to_string()])]
+        );
+        assert!(parse_args(args(&["--sanitizer", "noclasses", "f.php"])).is_err());
+    }
+
+    #[test]
+    fn class_flag_filter_restricts_tool() {
+        let opts = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            class_flags: vec!["-sqli".to_string()],
+            ..Default::default()
+        };
+        let tool = build_tool(&opts).unwrap();
+        let report = tool.analyze_sources(&[(
+            "t.php".to_string(),
+            "<?php echo $_GET['a']; mysql_query('Q' . $_GET['b']);".to_string(),
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].candidate.class, VulnClass::Sqli);
+    }
+
+    #[test]
+    fn run_on_temp_dir_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("inc")).unwrap();
+        std::fs::write(
+            dir.join("index.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("inc/safe.php"), "<?php echo htmlentities($_GET['m']);\n")
+            .unwrap();
+        std::fs::write(dir.join("notes.txt"), "not php").unwrap();
+
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            fix: true,
+            ..Default::default()
+        };
+        let (code, output) = run(&opts).unwrap();
+        assert_eq!(code, 1, "vulnerabilities found");
+        assert!(output.contains("SQLI"), "{output}");
+        assert!(output.contains("1 real vulnerabilities"));
+        let fixed = std::fs::read_to_string(
+            dir.join("index.php").with_extension("php.fixed.php"),
+        )
+        .or_else(|_| {
+            std::fs::read_to_string(format!("{}.fixed.php", dir.join("index.php").display()))
+        })
+        .expect("fixed file written");
+        assert!(fixed.contains("mysql_real_escape_string("));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_json_output() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("x.php"), "<?php echo $_GET['v'];\n").unwrap();
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            json: true,
+            ..Default::default()
+        };
+        let (code, output) = run(&opts).unwrap();
+        assert_eq!(code, 1);
+        let v: serde_json::Value = serde_json::from_str(&output).expect("valid json");
+        assert_eq!(v["real_vulnerabilities"], 1);
+        assert_eq!(v["findings"][0]["class"], "XSS");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_clean_dir_exits_zero() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-clean-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.php"), "<?php echo 'hello';\n").unwrap();
+        let opts = CliOptions { paths: vec![dir.clone()], ..Default::default() };
+        let (code, _) = run(&opts).unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_mentions_the_paper_flags() {
+        for flag in ["-nosqli", "-hei", "-wpsqli", "--v21", "--fix"] {
+            assert!(USAGE.contains(flag), "usage missing {flag}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod diff_cli_tests {
+    use super::*;
+
+    #[test]
+    fn diff_flag_prints_hunks() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\nmysql_query(\"Q\" . $_GET['a']);\n",
+        )
+        .unwrap();
+        let opts = CliOptions { paths: vec![dir.clone()], diff: true, ..Default::default() };
+        let (code, output) = run(&opts).unwrap();
+        assert_eq!(code, 1);
+        assert!(output.contains("@@"), "{output}");
+        assert!(
+            output.contains("+mysql_query(\"Q\" . mysql_real_escape_string($_GET['a']));"),
+            "{output}"
+        );
+        // --diff alone writes no files
+        assert!(!dir.join("v.php.fixed.php").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod confirm_cli_tests {
+    use super::*;
+
+    #[test]
+    fn confirm_flag_labels_findings() {
+        let dir =
+            std::env::temp_dir().join(format!("wap-cli-confirm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE c = '$id'\");\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("g.php"),
+            "<?php\n$n = $_GET['n'];\nif (!preg_match('/^[0-9]+$/', $n)) { exit; }\nif (isset($_GET['n'])) { mysql_query(\"SELECT 1 WHERE x = '$n'\"); }\n",
+        )
+        .unwrap();
+        let opts = CliOptions { paths: vec![dir.clone()], confirm: true, ..Default::default() };
+        let (_, output) = run(&opts).unwrap();
+        assert!(output.contains("CONFIRMED EXPLOITABLE"), "{output}");
+        assert!(output.contains("not exploitable"), "{output}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

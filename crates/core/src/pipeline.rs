@@ -1,0 +1,446 @@
+//! The WAPe pipeline: detect candidates → predict false positives →
+//! correct real vulnerabilities (Fig. 1).
+
+use crate::weapon::Weapon;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use wap_catalog::{Catalog, WeaponConfig};
+use wap_fixer::{Corrector, FixResult};
+use wap_mining::{
+    collect, DynamicSymptomMap, FalsePositivePredictor, FeatureVector, Prediction,
+    PredictorGeneration,
+};
+use wap_php::{parse, ParseError, Program};
+use wap_taint::{analyze, AnalysisOptions, Candidate, SourceFile};
+
+/// Which tool generation to run — the paper compares both.
+pub use wap_mining::PredictorGeneration as Generation;
+
+/// Configuration for a [`WapTool`] instance.
+#[derive(Debug, Clone)]
+pub struct ToolConfig {
+    /// WAP v2.1 (8 classes, 16 attributes) or WAPe (15 classes, 61).
+    pub generation: PredictorGeneration,
+    /// Weapons to link (ignored by the v2.1 generation, which predates
+    /// them).
+    pub weapons: Vec<WeaponConfig>,
+    /// Taint analysis options.
+    pub analysis: AnalysisOptions,
+    /// Training/shuffling seed (deterministic runs).
+    pub seed: u64,
+}
+
+impl ToolConfig {
+    /// The original tool: 8 classes, original attribute scheme.
+    pub fn wap_v21() -> Self {
+        ToolConfig {
+            generation: PredictorGeneration::WapV21,
+            weapons: Vec::new(),
+            analysis: AnalysisOptions::default(),
+            seed: 42,
+        }
+    }
+
+    /// The new tool with the Table IV sub-module extensions but no
+    /// weapons.
+    pub fn wape() -> Self {
+        ToolConfig {
+            generation: PredictorGeneration::Wape,
+            weapons: Vec::new(),
+            analysis: AnalysisOptions::default(),
+            seed: 42,
+        }
+    }
+
+    /// WAPe with the paper's three weapons linked (`-nosqli`, `-hei`,
+    /// `-wpsqli`).
+    pub fn wape_full() -> Self {
+        ToolConfig {
+            generation: PredictorGeneration::Wape,
+            weapons: vec![WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()],
+            analysis: AnalysisOptions::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// One analyzed finding: the taint candidate plus the predictor's verdict
+/// and the symptoms that justified it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The candidate vulnerability from the taint analyzer.
+    pub candidate: Candidate,
+    /// The committee's verdict.
+    pub prediction: Prediction,
+    /// The collected attribute vector.
+    pub symptoms: FeatureVector,
+}
+
+impl Finding {
+    /// Whether the tool reports this as a real vulnerability.
+    pub fn is_real(&self) -> bool {
+        !self.prediction.is_false_positive
+    }
+}
+
+/// Result of analyzing one application.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// All findings (real + predicted FPs), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Files successfully analyzed.
+    pub files_analyzed: usize,
+    /// Total lines of code analyzed.
+    pub loc: usize,
+    /// Files that failed to parse, with their errors.
+    pub parse_errors: Vec<(String, ParseError)>,
+    /// Wall-clock analysis time.
+    pub duration: Duration,
+}
+
+impl AppReport {
+    /// Findings classified as real vulnerabilities.
+    pub fn real_vulnerabilities(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_real())
+    }
+
+    /// Findings predicted to be false positives.
+    pub fn predicted_false_positives(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.is_real())
+    }
+
+    /// Count of real vulnerabilities per class acronym, sorted.
+    pub fn real_by_class(&self) -> Vec<(String, usize)> {
+        let mut map: HashMap<String, usize> = HashMap::new();
+        for f in self.real_vulnerabilities() {
+            *map.entry(f.candidate.class.acronym().to_string()).or_default() += 1;
+        }
+        let mut v: Vec<(String, usize)> = map.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Distinct files containing real vulnerabilities.
+    pub fn vulnerable_files(&self) -> usize {
+        let mut fs: Vec<&str> = self
+            .real_vulnerabilities()
+            .filter_map(|f| f.candidate.file.as_deref())
+            .collect();
+        fs.sort();
+        fs.dedup();
+        fs.len()
+    }
+}
+
+/// The assembled tool: catalog + trained predictor + corrector.
+///
+/// # Examples
+///
+/// ```
+/// use wap_core::{WapTool, ToolConfig};
+///
+/// let tool = WapTool::new(ToolConfig::wape_full());
+/// let report = tool.analyze_sources(&[(
+///     "index.php".to_string(),
+///     "<?php mysql_query(\"SELECT * FROM t WHERE id = $_GET[id]\");".to_string(),
+/// )]);
+/// assert_eq!(report.findings.len(), 1);
+/// assert!(report.findings[0].is_real());
+/// ```
+pub struct WapTool {
+    catalog: Catalog,
+    predictor: FalsePositivePredictor,
+    corrector: Corrector,
+    dynamic_symptoms: DynamicSymptomMap,
+    config: ToolConfig,
+}
+
+impl std::fmt::Debug for WapTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WapTool")
+            .field("generation", &self.config.generation)
+            .field("weapons", &self.config.weapons.len())
+            .finish()
+    }
+}
+
+impl WapTool {
+    /// Builds (and trains) a tool from a configuration.
+    pub fn new(config: ToolConfig) -> Self {
+        let mut catalog = match config.generation {
+            PredictorGeneration::WapV21 => Catalog::wap_v21(),
+            PredictorGeneration::Wape => Catalog::wape(),
+        };
+        let mut corrector = Corrector::new();
+        if config.generation == PredictorGeneration::Wape {
+            for w in &config.weapons {
+                let weapon = Weapon::generate(w.clone()).expect("built-in weapons are valid");
+                weapon.link(&mut catalog, &mut corrector);
+            }
+        }
+        let predictor = FalsePositivePredictor::train(config.generation, config.seed);
+        let dynamic_symptoms = DynamicSymptomMap::from_catalog(&catalog);
+        WapTool { catalog, predictor, corrector, dynamic_symptoms, config }
+    }
+
+    /// The active catalog (sinks, sanitizers, entry points).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access — the §V-A study: feeding user sanitization
+    /// functions (e.g. vfront's `escape`) to the tool.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The tool's corrector.
+    pub fn corrector(&self) -> &Corrector {
+        &self.corrector
+    }
+
+    /// Links one more weapon at runtime.
+    pub fn add_weapon(&mut self, weapon: Weapon) {
+        weapon.link(&mut self.catalog, &mut self.corrector);
+        self.dynamic_symptoms = DynamicSymptomMap::from_catalog(&self.catalog);
+        self.config.weapons.push(weapon.into_config());
+    }
+
+    /// Analyzes an application given as `(file name, source)` pairs:
+    /// parses, runs taint analysis across all files, collects symptoms,
+    /// and classifies every candidate.
+    pub fn analyze_sources(&self, sources: &[(String, String)]) -> AppReport {
+        let start = Instant::now();
+        let mut parsed: Vec<SourceFile> = Vec::new();
+        let mut parse_errors = Vec::new();
+        let mut loc = 0usize;
+        let programs: Vec<(String, Result<Program, ParseError>)> = if sources.len() >= 8 {
+            // parse files in parallel; analysis itself is cross-file
+            let n_threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8);
+            let chunks: Vec<&[(String, String)]> =
+                sources.chunks(sources.len().div_ceil(n_threads)).collect();
+            let mut results: Vec<Vec<(String, Result<Program, ParseError>)>> =
+                Vec::with_capacity(chunks.len());
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|(name, src)| (name.clone(), parse(src)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("parser thread panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            results.into_iter().flatten().collect()
+        } else {
+            sources.iter().map(|(name, src)| (name.clone(), parse(src))).collect()
+        };
+        for ((name, result), (_, src)) in programs.into_iter().zip(sources) {
+            loc += src.lines().count();
+            match result {
+                Ok(program) => parsed.push(SourceFile { name, program }),
+                Err(e) => parse_errors.push((name, e)),
+            }
+        }
+
+        let candidates = analyze(&self.catalog, &self.config.analysis, &parsed);
+        let by_name: HashMap<&str, &Program> =
+            parsed.iter().map(|f| (f.name.as_str(), &f.program)).collect();
+
+        let findings = candidates
+            .into_iter()
+            .map(|candidate| {
+                let program = candidate
+                    .file
+                    .as_deref()
+                    .and_then(|f| by_name.get(f))
+                    .copied();
+                let symptoms = match program {
+                    Some(p) => collect(p, &candidate, &self.dynamic_symptoms),
+                    None => FeatureVector {
+                        features: vec![0.0; wap_mining::attributes::wape_feature_count()],
+                        present: Vec::new(),
+                    },
+                };
+                let prediction = self.predictor.predict(&symptoms);
+                Finding { candidate, prediction, symptoms }
+            })
+            .collect();
+
+        AppReport {
+            findings,
+            files_analyzed: parsed.len(),
+            loc,
+            parse_errors,
+            duration: start.elapsed(),
+        }
+    }
+
+    /// Corrects one file: applies fixes for every *real* finding located
+    /// in `file_name`.
+    pub fn fix_file(&self, file_name: &str, source: &str, report: &AppReport) -> FixResult {
+        let vulns: Vec<Candidate> = report
+            .real_vulnerabilities()
+            .filter(|f| f.candidate.file.as_deref() == Some(file_name))
+            .map(|f| f.candidate.clone())
+            .collect();
+        self.corrector.fix_source(source, &vulns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wap_catalog::VulnClass;
+
+    fn src(name: &str, body: &str) -> (String, String) {
+        (name.to_string(), format!("<?php\n{body}"))
+    }
+
+    #[test]
+    fn wape_detects_and_classifies() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let report = tool.analyze_sources(&[src(
+            "a.php",
+            r#"
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = $id");
+"#,
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].is_real());
+        assert_eq!(report.files_analyzed, 1);
+        assert!(report.loc > 0);
+    }
+
+    #[test]
+    fn guarded_flow_predicted_false_positive() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let report = tool.analyze_sources(&[src(
+            "b.php",
+            r#"
+$id = $_GET['id'];
+if (!is_numeric($id) || !isset($_GET['id'])) { exit('no'); }
+mysql_query("SELECT name FROM users WHERE id = $id");
+"#,
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        let f = &report.findings[0];
+        assert!(
+            !f.is_real(),
+            "guarded flow should be predicted FP; votes={} symptoms={:?}",
+            f.prediction.votes,
+            f.symptoms.present
+        );
+        assert!(f.prediction.justification.contains(&"is_numeric"));
+    }
+
+    #[test]
+    fn wap_v21_misses_new_classes() {
+        let v21 = WapTool::new(ToolConfig::wap_v21());
+        let wape = WapTool::new(ToolConfig::wape());
+        let files = [src("c.php", "ldap_search($c, $b, '(uid=' . $_GET['u'] . ')');\n")];
+        assert_eq!(v21.analyze_sources(&files).findings.len(), 0);
+        assert_eq!(wape.analyze_sources(&files).findings.len(), 1);
+    }
+
+    #[test]
+    fn weapons_only_load_on_wape() {
+        let full = WapTool::new(ToolConfig::wape_full());
+        let files = [src("d.php", "header('Location: ' . $_GET['to']);\n")];
+        assert_eq!(full.analyze_sources(&files).findings.len(), 1);
+        let mut v21cfg = ToolConfig::wap_v21();
+        v21cfg.weapons = vec![WeaponConfig::hei()];
+        let v21 = WapTool::new(v21cfg);
+        assert_eq!(v21.analyze_sources(&files).findings.len(), 0);
+    }
+
+    #[test]
+    fn analyze_and_fix_round_trip() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let file = src(
+            "e.php",
+            r#"
+$q = $_POST['q'];
+mysql_query("SELECT * FROM t WHERE c = '$q'");
+"#,
+        );
+        let report = tool.analyze_sources(std::slice::from_ref(&file));
+        assert_eq!(report.real_vulnerabilities().count(), 1);
+        let fixed = tool.fix_file("e.php", &file.1, &report);
+        assert_eq!(fixed.applied.len(), 1);
+        assert!(fixed.fixed_source.contains("mysql_real_escape_string("));
+        // fixed file re-analyzes clean (fix sanitizer is already known)
+        let report2 =
+            tool.analyze_sources(&[("e.php".to_string(), fixed.fixed_source.clone())]);
+        assert_eq!(report2.findings.len(), 0, "{:?}", report2.findings);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let report = tool.analyze_sources(&[
+            ("bad.php".to_string(), "<?php $x = ;".to_string()),
+            src("ok.php", "echo $_GET['m'];\n"),
+        ]);
+        assert_eq!(report.parse_errors.len(), 1);
+        assert_eq!(report.parse_errors[0].0, "bad.php");
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let report = tool.analyze_sources(&[src(
+            "f.php",
+            r#"
+echo $_GET['a'];
+$b = $_GET['b'];
+if (!is_numeric($b) || !isset($_GET['b'])) { exit; }
+mysql_query("SELECT x FROM t WHERE i = $b");
+"#,
+        )]);
+        assert_eq!(report.findings.len(), 2);
+        let real = report.real_by_class();
+        assert!(real.iter().any(|(c, n)| c == "XSS" && *n == 1));
+        assert_eq!(report.vulnerable_files(), 1);
+        assert_eq!(report.predicted_false_positives().count(), 1);
+    }
+
+    #[test]
+    fn parallel_parsing_matches_serial() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let many: Vec<(String, String)> = (0..24)
+            .map(|i| src(&format!("m{i}.php"), &format!("echo $_GET['k{i}'];\n")))
+            .collect();
+        let report = tool.analyze_sources(&many);
+        assert_eq!(report.findings.len(), 24);
+        assert_eq!(report.files_analyzed, 24);
+    }
+
+    #[test]
+    fn user_sanitizer_study_on_tool() {
+        let mut tool = WapTool::new(ToolConfig::wape());
+        let files = [src(
+            "vfront.php",
+            r#"
+function escape($v) { return str_replace("'", "''", $v); }
+$n = escape($_GET['n']);
+mysql_query("SELECT * FROM t WHERE n = '$n'");
+"#,
+        )];
+        assert_eq!(tool.analyze_sources(&files).findings.len(), 1);
+        tool.catalog_mut().add_user_sanitizer("escape", &[VulnClass::Sqli]);
+        assert_eq!(tool.analyze_sources(&files).findings.len(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Aggregated reporting: per-class tallies and plain-text tables.
+
+use crate::pipeline::AppReport;
+use std::collections::BTreeMap;
+
+/// Tallies `(class acronym → count)` of real vulnerabilities across many
+/// application reports (the data behind Fig. 5).
+pub fn real_by_class(reports: &[(String, AppReport)]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for (_, r) in reports {
+        for f in r.real_vulnerabilities() {
+            *out.entry(f.candidate.class.acronym().to_string()).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Total predicted false positives across reports (the `FPP` column).
+pub fn total_predicted_fps(reports: &[(String, AppReport)]) -> usize {
+    reports.iter().map(|(_, r)| r.predicted_false_positives().count()).sum()
+}
+
+/// Total real vulnerabilities across reports.
+pub fn total_real(reports: &[(String, AppReport)]) -> usize {
+    reports.iter().map(|(_, r)| r.real_vulnerabilities().count()).sum()
+}
+
+/// A minimal plain-text table renderer for the experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // left-align first column, right-align the rest
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", c, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a text bar chart (used for Figs. 4 and 5).
+pub fn bar_chart(title: &str, series: &[(String, Vec<(String, usize)>)]) -> String {
+    let mut out = format!("{title}\n");
+    let max = series
+        .iter()
+        .flat_map(|(_, bars)| bars.iter().map(|(_, v)| *v))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let label_w = series
+        .iter()
+        .flat_map(|(_, bars)| bars.iter().map(|(l, _)| l.len()))
+        .max()
+        .unwrap_or(8);
+    for (name, bars) in series {
+        out.push_str(&format!("  [{name}]\n"));
+        for (label, value) in bars {
+            let width = (value * 48).div_ceil(max);
+            out.push_str(&format!(
+                "  {label:<label_w$} {:>5} |{}\n",
+                value,
+                "#".repeat(width)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "count"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // right-aligned numeric column
+        assert!(lines[2].ends_with("1"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let s = bar_chart(
+            "Fig test",
+            &[(
+                "series".into(),
+                vec![("a".into(), 10), ("b".into(), 5), ("c".into(), 0)],
+            )],
+        );
+        assert!(s.contains("Fig test"));
+        let a_bar = s.lines().find(|l| l.trim_start().starts_with('a')).unwrap();
+        let b_bar = s.lines().find(|l| l.trim_start().starts_with('b')).unwrap();
+        assert!(a_bar.matches('#').count() > b_bar.matches('#').count());
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let s = bar_chart("empty", &[]);
+        assert!(s.contains("empty"));
+    }
+}
+
+#[cfg(test)]
+mod aggregation_tests {
+    use super::*;
+    use crate::pipeline::{ToolConfig, WapTool};
+
+    fn reports() -> Vec<(String, AppReport)> {
+        let tool = WapTool::new(ToolConfig::wape_full());
+        let apps = [
+            ("app1", "<?php mysql_query('Q' . $_GET['a']); echo $_GET['b'];"),
+            ("app2", "<?php echo $_POST['c']; ldap_search($c, $d, '(' . $_GET['e'] . ')');"),
+            (
+                "app3",
+                "<?php\n$x = $_GET['x'];\nif (!is_numeric($x) || !isset($_GET['x'])) { exit; }\nmysql_query(\"SELECT 1 WHERE a = $x\");",
+            ),
+        ];
+        apps.iter()
+            .map(|(name, src)| {
+                let files = vec![(format!("{name}.php"), src.to_string())];
+                (name.to_string(), tool.analyze_sources(&files))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn real_by_class_aggregates_across_apps() {
+        let rs = reports();
+        let by_class = real_by_class(&rs);
+        assert_eq!(by_class.get("SQLI"), Some(&1));
+        assert_eq!(by_class.get("XSS"), Some(&2));
+        assert_eq!(by_class.get("LDAPI"), Some(&1));
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let rs = reports();
+        let real = total_real(&rs);
+        let fps = total_predicted_fps(&rs);
+        let all: usize = rs.iter().map(|(_, r)| r.findings.len()).sum();
+        assert_eq!(real + fps, all);
+        assert_eq!(fps, 1, "app3's guarded flow is the predicted FP");
+    }
+}

@@ -1,0 +1,296 @@
+//! The weapon generator (§III-D).
+//!
+//! A weapon is generated from pure configuration data — no programming:
+//! the generator validates the [`WeaponConfig`], instantiates the fix from
+//! its template, and produces a [`Weapon`] that can be *linked* into a
+//! tool (catalog sinks/sanitizers/entry points + corrector fix + dynamic
+//! symptoms). Configurations round-trip through JSON, standing in for the
+//! paper's external `ep`/`ss`/`san` files and generated jar packages.
+
+use std::error::Error;
+use std::fmt;
+use wap_catalog::{Catalog, FixTemplateSpec, VulnClass, WeaponConfig};
+use wap_fixer::Corrector;
+use wap_mining::attributes::symptom_index;
+
+/// Validation failure when generating a weapon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeaponError {
+    message: String,
+}
+
+impl WeaponError {
+    fn new(message: impl Into<String>) -> Self {
+        WeaponError { message: message.into() }
+    }
+}
+
+impl fmt::Display for WeaponError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid weapon configuration: {}", self.message)
+    }
+}
+
+impl Error for WeaponError {}
+
+/// A generated weapon: validated configuration plus its instantiated fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weapon {
+    config: WeaponConfig,
+    fix_name: String,
+}
+
+impl Weapon {
+    /// Generates a weapon from configuration, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeaponError`] when the configuration is unusable: no
+    /// name, no sinks, an empty fix template, or dynamic symptoms whose
+    /// static equivalent does not exist.
+    pub fn generate(config: WeaponConfig) -> Result<Weapon, WeaponError> {
+        if config.name.trim().is_empty() {
+            return Err(WeaponError::new("weapon name is empty"));
+        }
+        if !config
+            .name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return Err(WeaponError::new(
+                "weapon name must be lowercase alphanumeric (it becomes the activation flag)",
+            ));
+        }
+        if config.class_name.trim().is_empty() {
+            return Err(WeaponError::new("class name is empty"));
+        }
+        if config.sinks.is_empty() {
+            return Err(WeaponError::new("a weapon needs at least one sensitive sink"));
+        }
+        for s in &config.sinks {
+            if s.name.trim().is_empty() {
+                return Err(WeaponError::new("sink with empty name"));
+            }
+        }
+        match &config.fix {
+            FixTemplateSpec::PhpSanitization { sanitizer } => {
+                if sanitizer.trim().is_empty() {
+                    return Err(WeaponError::new("php_sanitization fix needs a sanitizer"));
+                }
+            }
+            FixTemplateSpec::UserSanitization { malicious, neutralizer } => {
+                if malicious.is_empty() {
+                    return Err(WeaponError::new(
+                        "user_sanitization fix needs malicious characters",
+                    ));
+                }
+                if neutralizer.is_empty() {
+                    return Err(WeaponError::new("user_sanitization fix needs a neutralizer"));
+                }
+            }
+            FixTemplateSpec::UserValidation { malicious } => {
+                if malicious.is_empty() {
+                    return Err(WeaponError::new(
+                        "user_validation fix needs malicious characters",
+                    ));
+                }
+            }
+        }
+        for ds in &config.dynamic_symptoms {
+            let known = ds.equivalent == "white_list"
+                || ds.equivalent == "black_list"
+                || symptom_index(&ds.equivalent).is_some();
+            if !known {
+                return Err(WeaponError::new(format!(
+                    "dynamic symptom `{}` maps to unknown static symptom `{}`",
+                    ds.function, ds.equivalent
+                )));
+            }
+        }
+        let fix_name = format!("san_{}", config.name);
+        Ok(Weapon { config, fix_name })
+    }
+
+    /// Loads a weapon from its JSON configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed JSON or invalid configuration.
+    pub fn from_json(json: &str) -> Result<Weapon, Box<dyn Error + Send + Sync>> {
+        let config: WeaponConfig = serde_json::from_str(json)?;
+        Ok(Weapon::generate(config)?)
+    }
+
+    /// Serializes the weapon's configuration to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.config).expect("weapon config serializes")
+    }
+
+    /// The activation flag, e.g. `-nosqli`.
+    pub fn flag(&self) -> String {
+        self.config.flag()
+    }
+
+    /// The weapon's vulnerability class.
+    pub fn class(&self) -> VulnClass {
+        self.config.class()
+    }
+
+    /// The generated fix's name (`san_<weapon>`).
+    pub fn fix_name(&self) -> &str {
+        &self.fix_name
+    }
+
+    /// Links the weapon into a catalog and corrector — the final step of
+    /// the generator ("put together the three parts, linking them to
+    /// WAP").
+    pub fn link(&self, catalog: &mut Catalog, corrector: &mut Corrector) {
+        catalog.add_weapon(self.config.clone());
+        // register the fix for every class the weapon's sinks map to
+        let mut classes: Vec<VulnClass> = self
+            .config
+            .sinks
+            .iter()
+            .map(|s| {
+                s.class
+                    .as_deref()
+                    .map(WeaponConfig::resolve_class)
+                    .unwrap_or_else(|| self.config.class())
+            })
+            .collect();
+        classes.sort();
+        classes.dedup();
+        for class in classes {
+            corrector.register(class, &self.fix_name, self.config.fix.clone());
+        }
+    }
+
+    /// Consumes the weapon, returning its configuration.
+    pub fn into_config(self) -> WeaponConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wap_catalog::{DynamicSymptom, WeaponSink};
+
+    #[test]
+    fn builtin_weapons_validate() {
+        for cfg in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+            let w = Weapon::generate(cfg).expect("builtin weapon valid");
+            assert!(w.flag().starts_with('-'));
+            assert!(w.fix_name().starts_with("san_"));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_sinks() {
+        let mut cfg = WeaponConfig::nosqli();
+        cfg.sinks.clear();
+        let err = Weapon::generate(cfg).unwrap_err();
+        assert!(err.to_string().contains("sensitive sink"));
+    }
+
+    #[test]
+    fn rejects_bad_name() {
+        let mut cfg = WeaponConfig::nosqli();
+        cfg.name = "No SQL!".into();
+        assert!(Weapon::generate(cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_dynamic_symptom() {
+        let mut cfg = WeaponConfig::nosqli();
+        cfg.dynamic_symptoms.push(DynamicSymptom::new("val_x", "not_a_symptom", "validation"));
+        let err = Weapon::generate(cfg).unwrap_err();
+        assert!(err.to_string().contains("not_a_symptom"));
+    }
+
+    #[test]
+    fn accepts_list_pseudo_symptoms() {
+        let mut cfg = WeaponConfig::nosqli();
+        cfg.dynamic_symptoms.push(DynamicSymptom::new("allowed", "white_list", "validation"));
+        assert!(Weapon::generate(cfg).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_fix_template() {
+        let mut cfg = WeaponConfig::hei();
+        cfg.fix = FixTemplateSpec::UserSanitization {
+            malicious: Vec::new(),
+            neutralizer: " ".into(),
+        };
+        assert!(Weapon::generate(cfg).is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = Weapon::generate(WeaponConfig::wpsqli()).unwrap();
+        let json = w.to_json();
+        let back = Weapon::from_json(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Weapon::from_json("{not json").is_err());
+        assert!(Weapon::from_json(r#"{"name":"x","class_name":"X","sinks":[],"fix":{"template":"user_validation","malicious":["'"]}}"#).is_err());
+    }
+
+    #[test]
+    fn linking_installs_sinks_and_fix() {
+        let w = Weapon::generate(WeaponConfig::hei()).unwrap();
+        let mut catalog = Catalog::wape();
+        let mut corrector = Corrector::new();
+        w.link(&mut catalog, &mut corrector);
+        assert!(catalog.has_class(&VulnClass::HeaderI));
+        assert!(catalog.has_class(&VulnClass::EmailI));
+        assert_eq!(corrector.fix_for(&VulnClass::HeaderI).name, "san_hei");
+        assert_eq!(corrector.fix_for(&VulnClass::EmailI).name, "san_hei");
+    }
+
+    #[test]
+    fn hand_written_weapon_end_to_end() {
+        // a user defines a brand-new class in JSON, no programming
+        let json = r#"{
+            "name": "xxe",
+            "class_name": "XXE",
+            "sinks": [
+                {"name": "simplexml_load_string"},
+                {"name": "loadXML", "method": true}
+            ],
+            "sanitizers": ["libxml_disable_entity_loader"],
+            "fix": {"template": "user_validation", "malicious": ["<!ENTITY", "SYSTEM"]},
+            "dynamic_symptoms": [
+                {"function": "check_xml", "equivalent": "preg_match", "category": "validation"}
+            ]
+        }"#;
+        let w = Weapon::from_json(json).unwrap();
+        assert_eq!(w.class(), VulnClass::Custom("XXE".into()));
+        let mut catalog = Catalog::wape();
+        let mut corrector = Corrector::new();
+        w.link(&mut catalog, &mut corrector);
+        // the new detector finds flows into the configured sink
+        let program = wap_php::parse(
+            "<?php simplexml_load_string($_POST['xml']);",
+        )
+        .unwrap();
+        let found = wap_taint::analyze_program(&catalog, &program);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].class, VulnClass::Custom("XXE".into()));
+        // and its generated fix applies
+        let fix = corrector.fix_for(&VulnClass::Custom("XXE".into()));
+        assert_eq!(fix.name, "san_xxe");
+    }
+
+    #[test]
+    fn weapon_sink_builder_forms() {
+        let f = WeaponSink::function("f");
+        assert!(!f.method);
+        let m = WeaponSink::method("m", Some("obj"));
+        assert!(m.method);
+        assert_eq!(m.receiver.as_deref(), Some("obj"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Application and plugin generation: turns [`specs`](crate::specs) into
+//! actual PHP source trees with recorded ground truth.
+
+use crate::phpgen::{
+    escape_helper, false_positive, filler, fp_escape, real_vuln, safe_flow, safe_wp_flow,
+    wp_false_positive, FpKind,
+};
+use crate::specs::{AppSpec, ClassCounts, PluginSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wap_catalog::VulnClass;
+
+/// What a seeded flow is, for ground-truth accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A real vulnerability of the class.
+    Real(VulnClass),
+    /// FP guarded by original symptoms (both generations predict it).
+    FpBoth,
+    /// FP guarded by WAPe-only symptoms.
+    FpWapeOnly,
+    /// FP guarded by non-symptom functions (neither predicts it).
+    FpHard,
+    /// FP guarded by the vfront `escape` user sanitizer.
+    FpEscape,
+}
+
+/// One seeded flow and where it was placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededFlow {
+    /// The kind of flow.
+    pub kind: FlowKind,
+    /// The file it lives in.
+    pub file: String,
+}
+
+/// One generated PHP file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedFile {
+    /// File name within the application (e.g. `inc/page03.php`).
+    pub name: String,
+    /// Full source text.
+    pub source: String,
+}
+
+/// A generated application (web app package or WordPress plugin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedApp {
+    /// Application name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Generated files.
+    pub files: Vec<GeneratedFile>,
+    /// Ground truth of all seeded flows.
+    pub seeded: Vec<SeededFlow>,
+    /// Total lines of code.
+    pub loc: usize,
+}
+
+impl GeneratedApp {
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Writes the application's files under `dir` (creating directories
+    /// as needed) and returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut out = Vec::new();
+        for f in &self.files {
+            let path = dir.join(&f.name);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, &f.source)?;
+            out.push(path);
+        }
+        Ok(out)
+    }
+
+    /// Files containing at least one seeded flow.
+    pub fn vulnerable_file_count(&self) -> usize {
+        let mut fs: Vec<&str> = self
+            .seeded
+            .iter()
+            .filter(|s| matches!(s.kind, FlowKind::Real(_)))
+            .map(|s| s.file.as_str())
+            .collect();
+        fs.sort();
+        fs.dedup();
+        fs.len()
+    }
+
+    /// Seeded real vulnerabilities per class acronym.
+    pub fn real_by_class(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for s in &self.seeded {
+            if let FlowKind::Real(c) = &s.kind {
+                let key = c.acronym().to_string();
+                match counts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((key, 1)),
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Deterministic generation budget derived from a spec and a scale factor.
+fn scaled(n: usize, scale: f64, min: usize) -> usize {
+    ((n as f64 * scale).round() as usize).max(min)
+}
+
+/// Generates one web application package from its Table V/VI spec.
+///
+/// `scale` shrinks the file/LoC budget for fast tests (1.0 = paper size);
+/// seeded vulnerabilities are never scaled away.
+pub fn generate_webapp(spec: &AppSpec, scale: f64, seed: u64) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_files = scaled(spec.files, scale, 1);
+    let target_loc = scaled(spec.loc, scale, 40);
+
+    // Build the flow work list
+    let mut flows: Vec<FlowKind> = Vec::new();
+    for (class, count) in spec.real.per_class() {
+        for _ in 0..count {
+            flows.push(FlowKind::Real(class.clone()));
+        }
+    }
+    for _ in 0..spec.fp_both {
+        flows.push(FlowKind::FpBoth);
+    }
+    for _ in 0..spec.fp_wape_only {
+        flows.push(FlowKind::FpWapeOnly);
+    }
+    for _ in 0..(spec.fp_hard - spec.fp_escape) {
+        flows.push(FlowKind::FpHard);
+    }
+    for _ in 0..spec.fp_escape {
+        flows.push(FlowKind::FpEscape);
+    }
+
+    build_app(
+        spec.name,
+        spec.version,
+        n_files,
+        target_loc,
+        spec.vuln_files.min(n_files).max(1),
+        flows,
+        false,
+        &mut rng,
+    )
+}
+
+/// Generates one clean web application package.
+pub fn generate_clean_webapp(
+    name: &str,
+    files: usize,
+    loc: usize,
+    scale: f64,
+    seed: u64,
+) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    build_app(
+        name,
+        "1.0",
+        scaled(files, scale, 1),
+        scaled(loc, scale, 40),
+        1,
+        Vec::new(),
+        false,
+        &mut rng,
+    )
+}
+
+/// Generates one WordPress plugin from its Table VII spec. SQLI flows use
+/// `$wpdb` sinks (invisible without the `-wpsqli` weapon); FPP flows are
+/// guarded with WordPress dynamic-symptom helpers.
+pub fn generate_plugin(spec: &PluginSpec, scale: f64, seed: u64) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flows: Vec<FlowKind> = Vec::new();
+    let wp_real = ClassCounts { sqli: 0, ..spec.real };
+    for _ in 0..spec.real.sqli {
+        flows.push(FlowKind::Real(VulnClass::Custom("WPSQLI".into())));
+    }
+    for (class, count) in wp_real.per_class() {
+        for _ in 0..count {
+            flows.push(FlowKind::Real(class.clone()));
+        }
+    }
+    for _ in 0..spec.fpp {
+        flows.push(FlowKind::FpBoth); // guarded by dynamic symptoms
+    }
+    for _ in 0..spec.fp {
+        flows.push(FlowKind::FpHard);
+    }
+    let n_files = scaled(8 + (spec.total() / 4), scale.max(0.5), 2);
+    let loc = scaled(900 + spec.total() * 60, scale.max(0.5), 120);
+    build_app(spec.name, spec.version, n_files, loc, n_files.min(4).max(1), flows, true, &mut rng)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_app(
+    name: &str,
+    version: &str,
+    n_files: usize,
+    target_loc: usize,
+    vuln_files: usize,
+    flows: Vec<FlowKind>,
+    wordpress: bool,
+    rng: &mut StdRng,
+) -> GeneratedApp {
+    let per_file_loc = (target_loc / n_files.max(1)).max(12);
+    let mut files = Vec::new();
+    let mut seeded = Vec::new();
+    let mut loc = 0usize;
+    let mut ident = 0usize;
+
+    // distribute flows over the first `vuln_files` files, round-robin
+    let mut flow_buckets: Vec<Vec<FlowKind>> = vec![Vec::new(); n_files];
+    for (i, f) in flows.into_iter().enumerate() {
+        flow_buckets[i % vuln_files.max(1)].push(f);
+    }
+    let needs_escape_helper =
+        flow_buckets.iter().flatten().any(|f| matches!(f, FlowKind::FpEscape));
+
+    for fi in 0..n_files {
+        let fname = if fi == 0 {
+            "index.php".to_string()
+        } else if wordpress {
+            format!("includes/part{fi:03}.php")
+        } else {
+            format!("inc/page{fi:03}.php")
+        };
+        let mut body = String::new();
+        body.push_str(&format!(
+            "<?php\n/**\n * {name} {version} — {fname}\n * generated corpus file\n */\n"
+        ));
+        if fi == 0 && needs_escape_helper {
+            body.push_str(escape_helper());
+        }
+        if fi == 0 && wordpress {
+            body.push_str("global $wpdb;\n");
+        }
+        // seeded flows for this file
+        for flow in &flow_buckets[fi] {
+            ident += 1;
+            let snippet = match flow {
+                FlowKind::Real(class) => real_vuln(class, ident, rng),
+                FlowKind::FpBoth => {
+                    if wordpress {
+                        wp_false_positive(ident, rng)
+                    } else {
+                        let class = fp_sink_class(ident);
+                        false_positive(&class, FpKind::OriginalSymptoms, ident, rng)
+                    }
+                }
+                FlowKind::FpWapeOnly => {
+                    let class = fp_sink_class(ident);
+                    false_positive(&class, FpKind::NewSymptomsOnly, ident, rng)
+                }
+                FlowKind::FpHard => {
+                    let class = fp_sink_class(ident);
+                    false_positive(&class, FpKind::NonSymptoms, ident, rng)
+                }
+                FlowKind::FpEscape => fp_escape(&VulnClass::Sqli, ident),
+            };
+            body.push_str(&snippet);
+            seeded.push(SeededFlow { kind: flow.clone(), file: fname.clone() });
+        }
+        // a couple of safe flows for realism (true negatives)
+        if fi % 3 == 0 {
+            ident += 1;
+            body.push_str(&if wordpress {
+                safe_wp_flow(ident, rng)
+            } else {
+                safe_flow(ident, rng)
+            });
+        }
+        // filler up to the per-file LoC budget
+        let mut guard = 0;
+        while body.lines().count() < per_file_loc && guard < 100_000 {
+            ident += 1;
+            guard += 1;
+            body.push_str(&filler(ident, rng.gen_range(0..9)));
+        }
+        body.push_str("?>\n");
+        loc += body.lines().count();
+        files.push(GeneratedFile { name: fname, source: body });
+    }
+
+    GeneratedApp {
+        name: name.to_string(),
+        version: version.to_string(),
+        files,
+        seeded,
+        loc,
+    }
+}
+
+/// FP flows alternate between SQLI and XSS sinks deterministically.
+fn fp_sink_class(ident: usize) -> VulnClass {
+    if ident % 2 == 0 {
+        VulnClass::Sqli
+    } else {
+        VulnClass::XssReflected
+    }
+}
+
+/// Generates all 54 web application packages.
+pub fn generate_webapps(scale: f64, seed: u64) -> Vec<GeneratedApp> {
+    let mut out = Vec::new();
+    for (i, spec) in crate::specs::vulnerable_webapps().iter().enumerate() {
+        out.push(generate_webapp(spec, scale, seed.wrapping_add(i as u64)));
+    }
+    for (i, (name, files, loc)) in crate::specs::clean_webapps().iter().enumerate() {
+        out.push(generate_clean_webapp(
+            name,
+            *files,
+            *loc,
+            scale,
+            seed.wrapping_add(1000 + i as u64),
+        ));
+    }
+    out
+}
+
+/// Generates all 115 WordPress plugins (with their Fig. 4 metadata kept in
+/// the spec list, aligned by index).
+pub fn generate_plugins(scale: f64, seed: u64) -> Vec<(PluginSpec, GeneratedApp)> {
+    let mut out = Vec::new();
+    for (i, spec) in crate::specs::vulnerable_plugins().into_iter().enumerate() {
+        let app = generate_plugin(&spec, scale, seed.wrapping_add(i as u64));
+        out.push((spec, app));
+    }
+    for (i, spec) in crate::specs::clean_plugins().into_iter().enumerate() {
+        let app = generate_plugin(&spec, scale, seed.wrapping_add(5000 + i as u64));
+        out.push((spec, app));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{vulnerable_plugins, vulnerable_webapps};
+    use wap_catalog::Catalog;
+    use wap_php::parse;
+    use wap_taint::{analyze, AnalysisOptions, SourceFile};
+
+    fn analyze_app(app: &GeneratedApp, catalog: &Catalog) -> Vec<wap_taint::Candidate> {
+        let files: Vec<SourceFile> = app
+            .files
+            .iter()
+            .map(|f| SourceFile {
+                name: f.name.clone(),
+                program: parse(&f.source)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, f.name)),
+            })
+            .collect();
+        analyze(catalog, &AnalysisOptions::default(), &files)
+    }
+
+    #[test]
+    fn every_generated_file_parses() {
+        for app in generate_webapps(0.02, 42) {
+            for f in &app.files {
+                parse(&f.source)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}\n{}", app.name, f.name, f.source));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_counts_match_ground_truth() {
+        // the full configuration: HI/EI flows need the -hei weapon
+        let catalog = Catalog::wape_full();
+        for spec in vulnerable_webapps() {
+            let app = generate_webapp(&spec, 0.02, 7);
+            let found = analyze_app(&app, &catalog);
+            assert_eq!(
+                found.len(),
+                spec.total_candidates(),
+                "{}: expected {} candidates, taint found {}",
+                spec.name,
+                spec.total_candidates(),
+                found.len()
+            );
+        }
+    }
+
+    #[test]
+    fn per_class_detection_matches_table_vi() {
+        let catalog = Catalog::wape();
+        let mut sqli = 0;
+        let mut xss = 0;
+        let mut hi = 0;
+        for spec in vulnerable_webapps() {
+            let app = generate_webapp(&spec, 0.02, 7);
+            let found = analyze_app(&app, &catalog);
+            // count only real flows: FPs also land in SQLI/XSS buckets, so
+            // subtract the seeded FP sink classes
+            let fp_sqli = found
+                .iter()
+                .filter(|c| c.class == VulnClass::Sqli)
+                .count()
+                .saturating_sub(spec.real.sqli);
+            sqli += found.iter().filter(|c| c.class == VulnClass::Sqli).count() - fp_sqli;
+            xss += spec.real.xss.min(
+                found.iter().filter(|c| c.class == VulnClass::XssReflected).count(),
+            );
+            hi += found.iter().filter(|c| c.class == VulnClass::HeaderI).count();
+        }
+        assert_eq!(sqli, 72);
+        assert_eq!(xss, 255);
+        // HI requires the -hei weapon, so plain WAPe finds none
+        assert_eq!(hi, 0);
+        let mut armed = Catalog::wape();
+        armed.add_weapon(wap_catalog::WeaponConfig::hei());
+        let total_hi: usize = vulnerable_webapps()
+            .iter()
+            .map(|spec| {
+                let app = generate_webapp(spec, 0.02, 7);
+                analyze_app(&app, &armed)
+                    .iter()
+                    .filter(|c| c.class == VulnClass::HeaderI)
+                    .count()
+            })
+            .sum();
+        assert_eq!(total_hi, 19, "Table VI HI column needs the weapon");
+    }
+
+    #[test]
+    fn plugin_sqli_requires_wpsqli_weapon() {
+        let spec = vulnerable_plugins()
+            .into_iter()
+            .find(|p| p.name.contains("Simple support"))
+            .unwrap();
+        let app = generate_plugin(&spec, 1.0, 3);
+        let plain = analyze_app(&app, &Catalog::wape());
+        assert_eq!(
+            plain.iter().filter(|c| c.class.acronym() == "WPSQLI").count(),
+            0,
+            "no $wpdb knowledge without the weapon"
+        );
+        let mut armed = Catalog::wape();
+        armed.add_weapon(wap_catalog::WeaponConfig::wpsqli());
+        let found = analyze_app(&app, &armed);
+        assert_eq!(
+            found.iter().filter(|c| c.class.acronym() == "WPSQLI").count(),
+            18,
+            "Table VII: 18 SQLI in simple-support-ticket-system"
+        );
+    }
+
+    #[test]
+    fn vulnerable_file_counts_are_positive() {
+        for spec in vulnerable_webapps().iter().take(4) {
+            let app = generate_webapp(spec, 0.05, 1);
+            assert!(app.vulnerable_file_count() >= 1);
+            assert!(app.loc > 0);
+            assert_eq!(
+                app.seeded.iter().filter(|s| matches!(s.kind, FlowKind::Real(_))).count(),
+                spec.real.total()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &vulnerable_webapps()[0];
+        let a = generate_webapp(spec, 0.05, 9);
+        let b = generate_webapp(spec, 0.05, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_controls_size_not_vulns() {
+        let spec = &vulnerable_webapps()[2]; // Clip Bucket: 597 files
+        let small = generate_webapp(spec, 0.02, 9);
+        let big = generate_webapp(spec, 0.1, 9);
+        assert!(big.file_count() > small.file_count());
+        assert!(big.loc > small.loc);
+        assert_eq!(small.seeded.len(), big.seeded.len());
+    }
+
+    #[test]
+    fn clean_apps_are_silent() {
+        let catalog = Catalog::wape_full();
+        let app = generate_clean_webapp("CleanApp", 10, 800, 1.0, 11);
+        let found = analyze_app(&app, &catalog);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn escape_study_app_has_six_escape_flows() {
+        let spec = vulnerable_webapps().into_iter().find(|a| a.name == "vfront").unwrap();
+        let app = generate_webapp(&spec, 0.02, 13);
+        let n = app
+            .seeded
+            .iter()
+            .filter(|s| s.kind == FlowKind::FpEscape)
+            .count();
+        assert_eq!(n, 6);
+        // index.php carries the helper
+        assert!(app.files[0].source.contains("function escape"));
+    }
+}

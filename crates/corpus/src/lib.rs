@@ -1,0 +1,35 @@
+//! # wap-corpus — synthetic evaluation corpus
+//!
+//! The paper evaluates WAPe on 54 real web application packages and 115
+//! WordPress plugins (2 million LoC) that we cannot redistribute. This
+//! crate substitutes a **deterministic generator**: every application of
+//! Tables V–VII is reproduced as a PHP source tree with the same name,
+//! file/LoC budget (scalable), and — crucially — the same seeded
+//! vulnerability counts per class and the same false-positive structure
+//! (guarded by original symptoms / by WAPe-only symptoms / by non-symptom
+//! functions such as vfront's `escape`). Ground truth is recorded at
+//! generation time, so the experiment harness can score detection and
+//! prediction exactly the way the paper does.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wap_corpus::{generate_webapp, specs};
+//!
+//! let spec = &specs::vulnerable_webapps()[0]; // Admin Control Panel Lite 2
+//! let app = generate_webapp(spec, 0.05, 42);  // 5% of the paper's size
+//! assert_eq!(app.name, "Admin Control Panel Lite 2");
+//! assert!(app.files.iter().all(|f| f.source.starts_with("<?php")));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod phpgen;
+pub mod specs;
+
+pub use generate::{
+    generate_clean_webapp, generate_plugin, generate_plugins, generate_webapp,
+    generate_webapps, FlowKind, GeneratedApp, GeneratedFile, SeededFlow,
+};
+pub use specs::{AppSpec, ClassCounts, PluginSpec};

@@ -1,0 +1,397 @@
+//! PHP snippet generators: the building blocks of the synthetic corpus.
+//!
+//! Each generator emits a self-contained PHP fragment seeding exactly one
+//! data flow of a known kind: a real vulnerability of a given class, a
+//! false positive of one of three flavours (guarded by original symptoms,
+//! guarded by WAPe-only symptoms, guarded by non-symptom functions), or a
+//! properly sanitized (safe) flow. Shapes vary (direct interpolation,
+//! concatenation chains, flows through helper functions, loops) so the
+//! corpus exercises the same analyzer paths real applications do.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use wap_catalog::VulnClass;
+
+/// The flavour of false positive a snippet seeds (matching the FPP/FP
+/// accounting of Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpKind {
+    /// Guarded by symptoms the ORIGINAL WAP already knew (Table I left
+    /// columns) — both tools predict it correctly (`FPP` in both).
+    OriginalSymptoms,
+    /// Guarded only by symptoms NEW in WAPe — WAPe predicts it, WAP v2.1
+    /// reports it as a vulnerability (the +42 of §V-A).
+    NewSymptomsOnly,
+    /// Guarded by functions that are not symptoms at all (`sizeof`, `md5`,
+    /// the vfront `escape` function) — neither tool predicts it (the 18
+    /// residual FPs of §V-A).
+    NonSymptoms,
+}
+
+/// Emits one *real vulnerability* flow of `class`. `ident` makes variable
+/// and key names unique within a file; `variant` (from the RNG) picks the
+/// code shape.
+pub fn real_vuln(class: &VulnClass, ident: usize, rng: &mut StdRng) -> String {
+    let k = format!("p{ident}");
+    let v = format!("v{ident}");
+    match class {
+        VulnClass::Sqli => match rng.gen_range(0..4) {
+            0 => format!(
+                "${v} = $_GET['{k}'];\nmysql_query(\"SELECT * FROM users WHERE id = ${v}\");\n"
+            ),
+            1 => format!(
+                "${v} = $_POST['{k}'];\n$q{ident} = \"SELECT name, email FROM members WHERE login = '\" . ${v} . \"'\";\nmysql_query($q{ident});\n"
+            ),
+            2 => format!(
+                "$q{ident} = \"SELECT COUNT(*) FROM logs \";\n$q{ident} .= \"WHERE ip = '$_SERVER[REMOTE_ADDR]' AND tag = '$_GET[{k}]'\";\nmysqli_query($conn, $q{ident});\n"
+            ),
+            _ => format!(
+                "function find_{v}($db, $x) {{\n    return mysql_query(\"SELECT * FROM items WHERE ref = '$x'\", $db);\n}}\nfind_{v}($conn, $_REQUEST['{k}']);\n"
+            ),
+        },
+        VulnClass::XssReflected => match rng.gen_range(0..4) {
+            0 => format!("echo \"<p>Hello \" . $_GET['{k}'] . \"</p>\";\n"),
+            1 => format!("${v} = $_POST['{k}'];\nprint \"<div>${v}</div>\";\n"),
+            2 => format!("${v} = $_COOKIE['{k}'];\necho \"<span class='u'>${v}</span>\";\n"),
+            _ => format!("printf(\"<td>%s</td>\", $_GET['{k}']);\n"),
+        },
+        VulnClass::XssStored => format!(
+            "$fh{ident} = fopen('comments.dat', 'a');\nfwrite($fh{ident}, $_POST['{k}']);\n"
+        ),
+        VulnClass::Rfi => format!("include $_GET['{k}'];\n"),
+        VulnClass::Lfi => format!("include 'modules/' . $_GET['{k}'] . '.php';\n"),
+        VulnClass::DirTraversal => match rng.gen_range(0..2) {
+            0 => format!("${v} = fopen($_GET['{k}'], 'r');\n"),
+            _ => format!("unlink('uploads/' . $_POST['{k}']);\n"),
+        },
+        VulnClass::Scd => format!("readfile($_GET['{k}']);\n"),
+        VulnClass::Osci => match rng.gen_range(0..2) {
+            0 => format!("system(\"convert \" . $_GET['{k}'] . \" out.png\");\n"),
+            _ => format!("${v} = shell_exec(\"ping -c 1 \" . $_POST['{k}']);\n"),
+        },
+        VulnClass::Phpci => format!("eval('$r{ident} = ' . $_GET['{k}'] . ';');\n"),
+        VulnClass::LdapI => format!(
+            "${v} = $_GET['{k}'];\nldap_search($ldap, $base_dn, \"(uid=${v})\");\n"
+        ),
+        VulnClass::XpathI => format!(
+            "xpath_eval($xctx, \"//user[name='\" . $_POST['{k}'] . \"']\");\n"
+        ),
+        VulnClass::NoSqlI => format!(
+            "${v} = $_GET['{k}'];\n$collection->find(array('name' => ${v}));\n"
+        ),
+        VulnClass::CommentSpam => format!(
+            "file_put_contents('comments.html', $_POST['{k}'], FILE_APPEND);\n"
+        ),
+        VulnClass::HeaderI => format!("header(\"Location: \" . $_GET['{k}']);\n"),
+        VulnClass::EmailI => format!(
+            "mail($_POST['{k}'], 'Welcome', 'Thanks for registering');\n"
+        ),
+        VulnClass::SessionFixation => match rng.gen_range(0..2) {
+            0 => format!("session_id($_GET['{k}']);\nsession_start();\n"),
+            _ => format!("setcookie('PHPSESSID', $_REQUEST['{k}']);\n"),
+        },
+        VulnClass::Custom(name) if name == "WPSQLI" => match rng.gen_range(0..3) {
+            0 => format!(
+                "${v} = $_POST['{k}'];\n$wpdb->query(\"UPDATE {{$wpdb->prefix}}opts SET v = '${v}' WHERE k = 'x'\");\n"
+            ),
+            1 => format!(
+                "${v} = $_GET['{k}'];\n$rows{ident} = $wpdb->get_results(\"SELECT * FROM {{$wpdb->prefix}}posts WHERE title = '${v}'\");\n"
+            ),
+            _ => format!(
+                "${v} = get_query_var('{k}');\n$wpdb->get_var(\"SELECT COUNT(*) FROM {{$wpdb->prefix}}meta WHERE mk = '${v}'\");\n"
+            ),
+        },
+        VulnClass::Custom(_) => format!("custom_sink($_GET['{k}']);\n"),
+    }
+}
+
+/// Emits one *false positive* flow: a candidate the taint analyzer flags
+/// but which is in fact guarded. `class` decides the sink (must be a class
+/// both guard styles can reach; SQLI and XSS are the realistic ones).
+pub fn false_positive(
+    class: &VulnClass,
+    kind: FpKind,
+    ident: usize,
+    rng: &mut StdRng,
+) -> String {
+    let k = format!("f{ident}");
+    let v = format!("g{ident}");
+    let sink = sink_line(class, &v, ident);
+    match kind {
+        FpKind::OriginalSymptoms => match rng.gen_range(0..3) {
+            0 => format!(
+                "${v} = $_GET['{k}'];\nif (!is_numeric(${v})) {{ exit('bad input'); }}\nif (isset($_GET['{k}'])) {{\n    {sink}}}\n"
+            ),
+            1 => format!(
+                "${v} = trim($_POST['{k}']);\nif (!preg_match('/^[a-z0-9_]+$/', ${v})) {{ exit; }}\n{sink}"
+            ),
+            2 => format!(
+                "${v} = $_GET['{k}'];\nif (!ctype_digit(${v}) || !isset($_GET['{k}'])) {{ exit; }}\n${v} = substr(${v}, 0, 8);\n{sink}"
+            ),
+            _ => unreachable!(),
+        },
+        FpKind::NewSymptomsOnly => match rng.gen_range(0..3) {
+            0 => format!(
+                "${v} = $_GET['{k}'];\nif (empty(${v}) || is_null(${v})) {{ exit; }}\nif (!is_scalar(${v})) {{ exit; }}\n{sink}"
+            ),
+            1 => format!(
+                "${v} = rtrim($_POST['{k}']);\nif (!preg_match_all('/^[0-9]+$/', ${v}, $m{ident})) {{ exit; }}\n{sink}"
+            ),
+            2 => format!(
+                "${v} = $_GET['{k}'];\nif (empty(${v})) {{ exit; }}\n${v} = str_pad(ereg_replace('[^a-z]', '', ${v}), 4, '0');\n{sink}"
+            ),
+            _ => unreachable!(),
+        },
+        FpKind::NonSymptoms => {
+            let _ = rng;
+            format!(
+                "${v} = $_GET['{k}'];\nif (sizeof($allowed) > 0 && md5(${v}) == $expected{ident}) {{\n    {sink}}}\n"
+            )
+        }
+    }
+}
+
+/// A false positive guarded by the vfront-style `escape` user sanitizer
+/// (the §V-A study). Requires [`escape_helper`] in the same application.
+pub fn fp_escape(class: &VulnClass, ident: usize) -> String {
+    let k = format!("f{ident}");
+    let v = format!("g{ident}");
+    let sink = sink_line(class, &v, ident);
+    format!("${v} = escape($_POST['{k}']);\n{sink}")
+}
+
+/// The `escape` helper of the §V-A vfront study: a real sanitizer the tool
+/// does not know about until the user registers it.
+pub fn escape_helper() -> &'static str {
+    "function escape($value) {\n    return str_replace(array(\"'\", '\"', '\\\\'), array(\"''\", '', ''), $value);\n}\n"
+}
+
+fn sink_line(class: &VulnClass, v: &str, ident: usize) -> String {
+    match class {
+        VulnClass::Sqli => {
+            format!("mysql_query(\"SELECT * FROM records WHERE rid = '${v}'\");\n")
+        }
+        VulnClass::XssReflected => format!("echo \"<li>${v}</li>\";\n"),
+        VulnClass::Custom(name) if name == "WPSQLI" => format!(
+            "$wpdb->query(\"SELECT * FROM {{$wpdb->prefix}}t{ident} WHERE c = '${v}'\");\n"
+        ),
+        other => {
+            let _ = other;
+            format!("mysql_query(\"DELETE FROM cache WHERE ck = '${v}'\");\n")
+        }
+    }
+}
+
+/// Emits a *safe* flow: sanitized before the sink, so the analyzer must
+/// stay silent. These are the corpus's true negatives.
+pub fn safe_flow(ident: usize, rng: &mut StdRng) -> String {
+    let k = format!("s{ident}");
+    let v = format!("w{ident}");
+    match rng.gen_range(0..5) {
+        0 => format!(
+            "${v} = mysql_real_escape_string($_GET['{k}']);\nmysql_query(\"SELECT * FROM t WHERE c = '${v}'\");\n"
+        ),
+        1 => format!("echo htmlspecialchars($_POST['{k}']);\n"),
+        2 => format!("${v} = (int)$_GET['{k}'];\nmysql_query(\"SELECT * FROM t WHERE n = ${v}\");\n"),
+        3 => format!("include 'pages/' . basename($_GET['{k}']) . '.php';\n"),
+        _ => format!("system('ls ' . escapeshellarg($_POST['{k}']));\n"),
+    }
+}
+
+/// WordPress-flavoured safe flow (uses `$wpdb->prepare` / `esc_sql`).
+pub fn safe_wp_flow(ident: usize, rng: &mut StdRng) -> String {
+    let k = format!("s{ident}");
+    let v = format!("w{ident}");
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "${v} = $wpdb->prepare(\"SELECT * FROM {{$wpdb->prefix}}x WHERE i = %d\", $_GET['{k}']);\n$wpdb->query(${v});\n"
+        ),
+        1 => format!(
+            "${v} = esc_sql($_POST['{k}']);\n$wpdb->get_row(\"SELECT * FROM {{$wpdb->prefix}}y WHERE c = '${v}'\");\n"
+        ),
+        _ => format!("echo htmlspecialchars($_GET['{k}']);\n"),
+    }
+}
+
+/// A WordPress false positive guarded by dynamic symptoms (`absint`,
+/// `sanitize_text_field`) — WAPe with the wpsqli weapon predicts these.
+pub fn wp_false_positive(ident: usize, rng: &mut StdRng) -> String {
+    let k = format!("f{ident}");
+    let v = format!("g{ident}");
+    match rng.gen_range(0..2) {
+        0 => format!(
+            "${v} = $_GET['{k}'];\nif (absint(${v}) == 0) {{ exit; }}\nif (isset($_GET['{k}'])) {{\n    $wpdb->query(\"SELECT * FROM {{$wpdb->prefix}}a WHERE n = ${v}\");\n}}\n"
+        ),
+        _ => format!(
+            "${v} = sanitize_text_field($_POST['{k}']);\nif (empty(${v})) {{ exit; }}\n$wpdb->get_col(\"SELECT cid FROM {{$wpdb->prefix}}b WHERE t = '${v}'\");\n"
+        ),
+    }
+}
+
+/// Benign filler: realistic application code with no entry-point flows.
+/// `n` selects among several shapes; keeps LoC counts realistic.
+pub fn filler(ident: usize, n: usize) -> String {
+    match n % 9 {
+        6 => format!(
+            "$title{ident} = 'Dashboard';\n$show{ident} = true;\n?>\n<div class=\"panel\">\n  <?php if ($show{ident}): ?>\n    <h2><?= $title{ident} ?></h2>\n  <?php else: ?>\n    <h2>Hidden</h2>\n  <?php endif; ?>\n</div>\n<?php\n"
+        ),
+        7 => format!(
+            "$rows{ident} = array('alpha', 'beta', 'gamma');\n?>\n<ul>\n<?php foreach ($rows{ident} as $r{ident}): ?>\n  <li><?= $r{ident} ?></li>\n<?php endforeach; ?>\n</ul>\n<?php\n"
+        ),
+        8 => format!(
+            "class View{ident} {{\n    private $vars = array();\n    public function assign($k, $v) {{\n        $this->vars[$k] = $v;\n    }}\n    public function render($tpl) {{\n        return str_replace('%body%', $tpl, '<main>%body%</main>');\n    }}\n}}\n"
+        ),
+        0 => format!(
+            "function render_menu_{ident}($items) {{\n    $out = '<ul>';\n    foreach ($items as $item) {{\n        $out .= '<li>' . $item . '</li>';\n    }}\n    return $out . '</ul>';\n}}\n"
+        ),
+        1 => format!(
+            "class Model{ident} {{\n    private $attrs = array();\n    public function get($key) {{\n        return isset($this->attrs[$key]) ? $this->attrs[$key] : null;\n    }}\n    public function set($key, $value) {{\n        $this->attrs[$key] = $value;\n        return $this;\n    }}\n}}\n"
+        ),
+        2 => format!(
+            "$config{ident} = array(\n    'cache_ttl' => 3600,\n    'page_size' => 25,\n    'theme' => 'default',\n    'locale' => 'en_US',\n);\n"
+        ),
+        3 => format!(
+            "function format_date_{ident}($ts) {{\n    if (!is_numeric($ts)) {{\n        return '-';\n    }}\n    return date('Y-m-d H:i', (int)$ts);\n}}\n"
+        ),
+        4 => format!(
+            "function paginate_{ident}($total, $per_page) {{\n    $pages = (int)ceil($total / $per_page);\n    $links = array();\n    for ($i = 1; $i <= $pages; $i++) {{\n        $links[] = '?page=' . $i;\n    }}\n    return $links;\n}}\n"
+        ),
+        _ => format!(
+            "function log_event_{ident}($level, $message) {{\n    static $levels = array('debug', 'info', 'warn', 'error');\n    if (!in_array($level, $levels)) {{\n        $level = 'info';\n    }}\n    error_log('[' . $level . '] ' . $message);\n}}\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wap_catalog::Catalog;
+    use wap_php::parse;
+    use wap_taint::analyze_program;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn wrap(body: &str) -> String {
+        format!("<?php\n{body}")
+    }
+
+    #[test]
+    fn all_real_vuln_snippets_parse_and_trigger() {
+        let mut catalog = Catalog::wape_full();
+        catalog.add_weapon(wap_catalog::WeaponConfig::nosqli());
+        let mut r = rng();
+        let classes: Vec<VulnClass> = VulnClass::original()
+            .into_iter()
+            .chain(VulnClass::new_in_wape())
+            .chain([VulnClass::Custom("WPSQLI".into())])
+            .collect();
+        for class in classes {
+            for i in 0..6 {
+                let src = wrap(&real_vuln(&class, i, &mut r));
+                let program =
+                    parse(&src).unwrap_or_else(|e| panic!("{class} snippet: {e}\n{src}"));
+                let found = analyze_program(&catalog, &program);
+                assert!(
+                    found.iter().any(|c| c.class.acronym() == class.acronym()
+                        || (matches!(class, VulnClass::Lfi | VulnClass::Rfi)
+                            && matches!(c.class, VulnClass::Lfi | VulnClass::Rfi))),
+                    "{class} variant {i} not detected:\n{src}\nfound: {found:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_snippets_are_flagged_by_taint() {
+        let catalog = Catalog::wape();
+        let mut r = rng();
+        for kind in [FpKind::OriginalSymptoms, FpKind::NewSymptomsOnly, FpKind::NonSymptoms] {
+            for class in [VulnClass::Sqli, VulnClass::XssReflected] {
+                for i in 0..6 {
+                    let body = false_positive(&class, kind, i, &mut r);
+                    let src = wrap(&body);
+                    let program =
+                        parse(&src).unwrap_or_else(|e| panic!("{kind:?}: {e}\n{src}"));
+                    let found = analyze_program(&catalog, &program);
+                    assert!(
+                        !found.is_empty(),
+                        "{kind:?}/{class} must still be a candidate:\n{src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn safe_snippets_are_silent() {
+        let catalog = Catalog::wape();
+        let mut r = rng();
+        for i in 0..20 {
+            let src = wrap(&safe_flow(i, &mut r));
+            let program = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            let found = analyze_program(&catalog, &program);
+            assert!(found.is_empty(), "safe flow reported:\n{src}\n{found:?}");
+        }
+    }
+
+    #[test]
+    fn safe_wp_snippets_are_silent_even_with_weapon() {
+        let mut catalog = Catalog::wape();
+        catalog.add_weapon(wap_catalog::WeaponConfig::wpsqli());
+        let mut r = rng();
+        for i in 0..12 {
+            let src = wrap(&safe_wp_flow(i, &mut r));
+            let program = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            let found = analyze_program(&catalog, &program);
+            assert!(found.is_empty(), "safe WP flow reported:\n{src}\n{found:?}");
+        }
+    }
+
+    #[test]
+    fn wp_false_positives_need_the_weapon() {
+        let mut r = rng();
+        let plain = Catalog::wape();
+        let mut armed = Catalog::wape();
+        armed.add_weapon(wap_catalog::WeaponConfig::wpsqli());
+        for i in 0..6 {
+            let src = wrap(&wp_false_positive(i, &mut r));
+            let program = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert!(analyze_program(&plain, &program).is_empty());
+            assert!(!analyze_program(&armed, &program).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn filler_parses_and_is_silent() {
+        let catalog = Catalog::wape_full();
+        let mut src = String::from("<?php\n");
+        for i in 0..18 {
+            src.push_str(&filler(i, i));
+        }
+        let program = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert!(analyze_program(&catalog, &program).is_empty());
+    }
+
+    #[test]
+    fn escape_helper_parses() {
+        assert!(parse(&wrap(escape_helper())).is_ok());
+    }
+
+    #[test]
+    fn escape_guarded_fp_flagged_until_registered() {
+        let src = wrap(&format!(
+            "{}{}",
+            escape_helper(),
+            fp_escape(&VulnClass::Sqli, 0)
+        ));
+        let program = parse(&src).unwrap();
+        let plain = Catalog::wape();
+        assert_eq!(analyze_program(&plain, &program).len(), 1, "{src}");
+        let mut informed = Catalog::wape();
+        informed.add_user_sanitizer("escape", &[VulnClass::Sqli]);
+        assert!(analyze_program(&informed, &program).is_empty());
+    }
+}

@@ -1,0 +1,637 @@
+//! The evaluation corpus specifications, transcribed from the paper.
+//!
+//! Tables V and VI define the 17 vulnerable web application packages (plus
+//! 37 clean ones, for 54 total / 8,374 files / 2,065,914 LoC); Table VII
+//! and Fig. 4 define the 115 WordPress plugins (23 vulnerable). Cells the
+//! PDF renders ambiguously were reconstructed to satisfy every row and
+//! column total the text states (413 web-app vulnerabilities, 169 plugin
+//! vulnerabilities, 55 plugin SQLI, FPP/FP totals 62/60 for WAP and 104/18
+//! for WAPe, 26 new-class zero-days + 1 SF, 16 known plugin CVEs).
+
+use wap_catalog::VulnClass;
+
+/// Per-class seeded vulnerability counts for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// SQL injection.
+    pub sqli: usize,
+    /// Cross-site scripting (reflected; the corpus seeds reflected XSS).
+    pub xss: usize,
+    /// File-inclusion classes (DT & RFI, LFI — the tables' `Files*`).
+    pub files: usize,
+    /// Source code disclosure.
+    pub scd: usize,
+    /// LDAP injection.
+    pub ldapi: usize,
+    /// Session fixation.
+    pub sf: usize,
+    /// Header injection.
+    pub hi: usize,
+    /// Comment spamming.
+    pub cs: usize,
+}
+
+impl ClassCounts {
+    /// Total seeded vulnerabilities.
+    pub fn total(&self) -> usize {
+        self.sqli + self.xss + self.files + self.scd + self.ldapi + self.sf + self.hi + self.cs
+    }
+
+    /// Expands into `(class, count)` pairs. `files` is split between LFI
+    /// and RFI/DT deterministically (LFI gets the larger half).
+    pub fn per_class(&self) -> Vec<(VulnClass, usize)> {
+        let mut out = Vec::new();
+        let mut push = |c: VulnClass, n: usize| {
+            if n > 0 {
+                out.push((c, n));
+            }
+        };
+        push(VulnClass::Sqli, self.sqli);
+        push(VulnClass::XssReflected, self.xss);
+        let lfi = self.files.div_ceil(2);
+        let rfi = (self.files - lfi).div_ceil(2);
+        let dt = self.files - lfi - rfi;
+        push(VulnClass::Lfi, lfi);
+        push(VulnClass::Rfi, rfi);
+        push(VulnClass::DirTraversal, dt);
+        push(VulnClass::Scd, self.scd);
+        push(VulnClass::LdapI, self.ldapi);
+        push(VulnClass::SessionFixation, self.sf);
+        push(VulnClass::HeaderI, self.hi);
+        push(VulnClass::CommentSpam, self.cs);
+        out
+    }
+}
+
+/// Specification of one web application package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Application name (as in Table V).
+    pub name: &'static str,
+    /// Version string.
+    pub version: &'static str,
+    /// Number of PHP files the paper analyzed.
+    pub files: usize,
+    /// Lines of code the paper analyzed.
+    pub loc: usize,
+    /// The paper's reported analysis time in seconds (Table V).
+    pub paper_time_s: u32,
+    /// The paper's "vulnerable files" count (Table V).
+    pub vuln_files: usize,
+    /// Seeded real vulnerabilities per class (Table VI).
+    pub real: ClassCounts,
+    /// Candidates predicted as FP by BOTH generations (`FPP` of WAP).
+    pub fp_both: usize,
+    /// Candidates only WAPe predicts (guarded by new symptoms):
+    /// `FPP(WAPe) − FPP(WAP)`.
+    pub fp_wape_only: usize,
+    /// Candidates neither generation predicts (non-symptom guards):
+    /// `FP(WAPe)`.
+    pub fp_hard: usize,
+    /// How many of the hard FPs use the vfront-style `escape` sanitizer
+    /// (the §V-A user-sanitizer study).
+    pub fp_escape: usize,
+}
+
+impl AppSpec {
+    /// `FPP` column for WAPe: all predicted FPs.
+    pub fn fpp_wape(&self) -> usize {
+        self.fp_both + self.fp_wape_only
+    }
+
+    /// `FP` column for WAP v2.1 (not predicted): the new-symptom FPs plus
+    /// the hard FPs.
+    pub fn fp_wap(&self) -> usize {
+        self.fp_wape_only + self.fp_hard
+    }
+
+    /// Total candidates the taint analyzer should flag in this app.
+    pub fn total_candidates(&self) -> usize {
+        self.real.total() + self.fp_both + self.fp_wape_only + self.fp_hard
+    }
+}
+
+macro_rules! cc {
+    ($sqli:expr, $xss:expr, $files:expr, $scd:expr, $ldapi:expr, $sf:expr, $hi:expr, $cs:expr) => {
+        ClassCounts {
+            sqli: $sqli,
+            xss: $xss,
+            files: $files,
+            scd: $scd,
+            ldapi: $ldapi,
+            sf: $sf,
+            hi: $hi,
+            cs: $cs,
+        }
+    };
+}
+
+/// The 17 vulnerable web application packages of Tables V/VI.
+pub fn vulnerable_webapps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "Admin Control Panel Lite 2",
+            version: "0.10.2",
+            files: 14,
+            loc: 1984,
+            paper_time_s: 1,
+            vuln_files: 9,
+            real: cc!(9, 72, 0, 0, 0, 0, 0, 0),
+            fp_both: 8,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Anywhere Board Games",
+            version: "0.150215",
+            files: 3,
+            loc: 501,
+            paper_time_s: 1,
+            vuln_files: 1,
+            real: cc!(0, 1, 1, 0, 0, 0, 1, 0),
+            fp_both: 0,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Clip Bucket",
+            version: "2.7.0.4",
+            files: 597,
+            loc: 148_129,
+            paper_time_s: 11,
+            vuln_files: 16,
+            real: cc!(0, 10, 11, 1, 0, 0, 0, 0),
+            fp_both: 2,
+            fp_wape_only: 4,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Clip Bucket",
+            version: "2.8",
+            files: 606,
+            loc: 149_830,
+            paper_time_s: 12,
+            vuln_files: 18,
+            real: cc!(4, 10, 11, 1, 0, 0, 0, 0),
+            fp_both: 2,
+            fp_wape_only: 4,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Community Mobile Channels",
+            version: "0.2.0",
+            files: 372,
+            loc: 119_890,
+            paper_time_s: 8,
+            vuln_files: 116,
+            real: cc!(14, 27, 3, 0, 0, 0, 3, 0),
+            fp_both: 0,
+            fp_wape_only: 4,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "divine",
+            version: "0.1.3a",
+            files: 5,
+            loc: 706,
+            paper_time_s: 1,
+            vuln_files: 2,
+            real: cc!(4, 2, 3, 0, 0, 0, 0, 0),
+            fp_both: 0,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Ldap address book",
+            version: "0.22",
+            files: 18,
+            loc: 4615,
+            paper_time_s: 2,
+            vuln_files: 4,
+            real: cc!(0, 0, 0, 0, 1, 0, 0, 0),
+            fp_both: 0,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Minutes",
+            version: "0.42",
+            files: 19,
+            loc: 2670,
+            paper_time_s: 1,
+            vuln_files: 2,
+            real: cc!(0, 9, 0, 0, 0, 0, 1, 0),
+            fp_both: 0,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Mle Moodle",
+            version: "0.8.8.5",
+            files: 235,
+            loc: 59_723,
+            paper_time_s: 18,
+            vuln_files: 4,
+            real: cc!(0, 6, 1, 0, 0, 0, 0, 0),
+            fp_both: 2,
+            fp_wape_only: 0,
+            fp_hard: 1,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Php Open Chat",
+            version: "3.0.2",
+            files: 249,
+            loc: 83_899,
+            paper_time_s: 7,
+            vuln_files: 9,
+            real: cc!(0, 10, 0, 0, 0, 0, 0, 1),
+            fp_both: 0,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Pivotx",
+            version: "2.3.10",
+            files: 254,
+            loc: 108_893,
+            paper_time_s: 6,
+            vuln_files: 1,
+            real: cc!(0, 1, 0, 0, 0, 0, 0, 0),
+            fp_both: 9,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Play sms",
+            version: "1.3.1",
+            files: 1420,
+            loc: 248_875,
+            paper_time_s: 19,
+            vuln_files: 7,
+            real: cc!(0, 6, 0, 0, 0, 0, 0, 0),
+            fp_both: 2,
+            fp_wape_only: 0,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "RCR AEsir",
+            version: "0.11a",
+            files: 8,
+            loc: 396,
+            paper_time_s: 1,
+            vuln_files: 6,
+            real: cc!(9, 3, 0, 0, 0, 0, 1, 0),
+            fp_both: 0,
+            fp_wape_only: 1,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "refbase",
+            version: "0.9.6",
+            files: 171,
+            loc: 109_600,
+            paper_time_s: 10,
+            vuln_files: 18,
+            real: cc!(0, 46, 0, 0, 0, 0, 2, 0),
+            fp_both: 7,
+            fp_wape_only: 4,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "SAE",
+            version: "1.1",
+            files: 150,
+            loc: 47_207,
+            paper_time_s: 7,
+            vuln_files: 39,
+            real: cc!(11, 25, 10, 0, 1, 1, 0, 0),
+            fp_both: 3,
+            fp_wape_only: 9,
+            fp_hard: 11,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "Tomahawk Mail",
+            version: "2.0",
+            files: 155,
+            loc: 16_742,
+            paper_time_s: 3,
+            vuln_files: 3,
+            real: cc!(0, 2, 0, 0, 0, 0, 1, 0),
+            fp_both: 1,
+            fp_wape_only: 2,
+            fp_hard: 0,
+            fp_escape: 0,
+        },
+        AppSpec {
+            name: "vfront",
+            version: "0.99.3",
+            files: 438,
+            loc: 93_042,
+            paper_time_s: 15,
+            vuln_files: 25,
+            real: cc!(21, 25, 15, 2, 0, 0, 10, 4),
+            fp_both: 26,
+            fp_wape_only: 14,
+            fp_hard: 6,
+            fp_escape: 6,
+        },
+    ]
+}
+
+/// The 37 clean packages completing the 54 of §V-A. Synthetic names; file
+/// and LoC budgets sum with the vulnerable apps to the paper's totals
+/// (8,374 files / 2,065,914 LoC).
+pub fn clean_webapps() -> Vec<(&'static str, usize, usize)> {
+    // 37 apps, 3,660 files, 869,212 LoC in total
+    let names: [&str; 37] = [
+        "AddressBook Pro", "Agenda Plus", "Artifact Tracker", "Blog Engine X",
+        "BookShelf", "Bug Herd", "CalendarWorks", "CartLight", "ChatRelay",
+        "ClassRoster", "CloudNotes", "CmsLite", "ContactHub", "DataGridder",
+        "DocuShare", "EventMaster", "FaqBuilder", "FileVault", "ForumOne",
+        "GalleryPrime", "GuestBookPlus", "HelpDeskGo", "InvoiceFlow",
+        "JobBoard", "KnowledgeBase", "LinkDirectory", "MailingListPro",
+        "NewsPortal", "PollMaster", "ProjectTrack", "QuizEngine",
+        "RecipeBox", "ShopWindow", "SurveyKing", "TaskQueue", "TimeSheets",
+        "WikiCore",
+    ];
+    let mut out = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        // deterministic pseudo-variety: 98..=100 files, ~23.5k LoC each
+        let files = 98 + (i % 3);
+        let loc = 23_000 + (i * 137) % 1000;
+        out.push((*name, files, loc));
+    }
+    out
+}
+
+/// Specification of one WordPress plugin (Table VII + Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginSpec {
+    /// Plugin name.
+    pub name: &'static str,
+    /// Version.
+    pub version: &'static str,
+    /// Seeded real vulnerabilities (`sqli` uses `$wpdb` sinks and needs the
+    /// `-wpsqli` weapon).
+    pub real: ClassCounts,
+    /// FPs predicted by WAPe (guarded via WordPress dynamic symptoms).
+    pub fpp: usize,
+    /// FPs not predicted (non-symptom guards).
+    pub fp: usize,
+    /// Whether the plugin has CVE-registered (known) vulnerabilities.
+    pub known_cves: usize,
+    /// Download count (Fig. 4a).
+    pub downloads: u64,
+    /// Active installs (Fig. 4b).
+    pub active_installs: u64,
+}
+
+impl PluginSpec {
+    /// Total seeded real vulnerabilities.
+    pub fn total(&self) -> usize {
+        self.real.total()
+    }
+}
+
+/// The 23 vulnerable plugins of Table VII.
+pub fn vulnerable_plugins() -> Vec<PluginSpec> {
+    let p = |name: &'static str,
+             version: &'static str,
+             real: ClassCounts,
+             fpp: usize,
+             fp: usize,
+             known: usize,
+             downloads: u64,
+             installs: u64| PluginSpec {
+        name,
+        version,
+        real,
+        fpp,
+        fp,
+        known_cves: known,
+        downloads,
+        active_installs: installs,
+    };
+    vec![
+        p("Appointment Booking Calendar", "1.1.7", cc!(1, 3, 0, 0, 0, 0, 0, 0), 1, 0, 4, 64_000, 3_200),
+        p("Auth0", "1.3.6", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 12_000, 900),
+        p("Authorizer", "2.3.6", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 8_400, 700),
+        p("BuddyPress", "2.4.0", cc!(0, 0, 0, 0, 0, 0, 0, 0), 0, 1, 0, 2_900_000, 200_000),
+        p("Contact form generator", "2.0.1", cc!(0, 11, 0, 0, 0, 0, 0, 0), 0, 0, 0, 41_000, 2_500),
+        p("CP Appointment Calendar", "1.1.7", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 0, 29_000, 1_400),
+        p("Easy2map", "1.2.9", cc!(1, 0, 2, 0, 0, 0, 0, 0), 0, 0, 3, 22_000, 1_100),
+        p("Ecwid Shopping Cart", "3.4.6", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 710_000, 40_000),
+        p("Gantry Framework", "4.1.6", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 180_000, 9_000),
+        p("Google Maps Travel Route", "1.3.1", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 4_300, 350),
+        p("Lightbox Plus Colorbox", "2.7.2", cc!(0, 8, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_100_000, 210_000),
+        p("Payment form for Paypal pro", "1.0.1", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 2, 17_000, 820),
+        p("Recipes writer", "1.0.4", cc!(0, 4, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_900, 140),
+        p("ResAds", "1.0.1", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 2, 1_500, 90),
+        p("Simple support ticket system", "1.2", cc!(18, 0, 0, 0, 0, 0, 0, 0), 0, 0, 5, 3_800, 240),
+        p("The CartPress eCommerce Shopping Cart", "1.4.7", cc!(8, 17, 0, 0, 0, 0, 0, 0), 0, 0, 0, 96_000, 4_800),
+        p("WebKite", "2.0.1", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_200, 70),
+        p("WP EasyCart - eCommerce Shopping Cart", "3.2.3", cc!(13, 6, 29, 5, 0, 0, 2, 5), 0, 0, 0, 240_000, 11_000),
+        p("WP Marketplace", "2.4.1", cc!(9, 0, 0, 0, 0, 0, 0, 0), 1, 0, 0, 52_000, 2_600),
+        p("WP Shop", "3.5.3", cc!(5, 0, 0, 0, 0, 0, 0, 0), 1, 0, 0, 34_000, 2_200),
+        p("WP ToolBar Removal Node", "1839", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_100, 60),
+        p("WP ultimate recipe", "2.5", cc!(0, 0, 0, 0, 0, 0, 0, 0), 0, 1, 0, 560_000, 30_000),
+        p("WP Web Scraper", "3.5", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 11_200, 2_100),
+    ]
+}
+
+/// The Fig. 4a download-range buckets (upper-exclusive except the last).
+pub const DOWNLOAD_BUCKETS: [(&str, u64, u64); 7] = [
+    ("< 2000", 0, 2_000),
+    ("2K - 5K", 2_000, 5_000),
+    ("5K - 10K", 5_000, 10_000),
+    ("10K - 50K", 10_000, 50_000),
+    ("50K - 100K", 50_000, 100_000),
+    ("100K - 500K", 100_000, 500_000),
+    ("> 500K", 500_000, u64::MAX),
+];
+
+/// The Fig. 4b active-install buckets.
+pub const INSTALL_BUCKETS: [(&str, u64, u64); 7] = [
+    ("< 100", 0, 100),
+    ("100 - 500", 100, 500),
+    ("500 - 1K", 500, 1_000),
+    ("1K - 2K", 1_000, 2_000),
+    ("2K - 5K", 2_000, 5_000),
+    ("5K - 10K", 5_000, 10_000),
+    ("> 10K", 10_000, u64::MAX),
+];
+
+/// Names for the 92 clean plugins completing the 115, with deterministic
+/// popularity metadata spread over the Fig. 4 buckets.
+pub fn clean_plugins() -> Vec<PluginSpec> {
+    const TAGS: [&str; 8] =
+        ["arts", "food", "health", "shopping", "travel", "auth", "seo", "social"];
+    let mut out = Vec::new();
+    for i in 0..92usize {
+        let tag = TAGS[i % TAGS.len()];
+        // spread downloads across buckets deterministically
+        let downloads: u64 = match i % 7 {
+            0 => 900 + (i as u64 * 13) % 1_000,
+            1 => 2_400 + (i as u64 * 31) % 2_000,
+            2 => 6_100 + (i as u64 * 57) % 3_000,
+            3 => 14_000 + (i as u64 * 811) % 30_000,
+            4 => 62_000 + (i as u64 * 391) % 30_000,
+            5 => 150_000 + (i as u64 * 3_913) % 300_000,
+            _ => 600_000 + (i as u64 * 9_131) % 2_000_000,
+        };
+        let active_installs = (downloads / 19).max(10);
+        out.push(PluginSpec {
+            name: Box::leak(format!("{tag}-plugin-{i:02}").into_boxed_str()),
+            version: "1.0.0",
+            real: ClassCounts::default(),
+            fpp: 0,
+            fp: 0,
+            known_cves: 0,
+            downloads,
+            active_installs,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webapp_totals_match_table_vi() {
+        let apps = vulnerable_webapps();
+        assert_eq!(apps.len(), 17);
+        let sum = |f: &dyn Fn(&AppSpec) -> usize| apps.iter().map(f).sum::<usize>();
+        assert_eq!(sum(&|a| a.real.sqli), 72, "SQLI column");
+        assert_eq!(sum(&|a| a.real.xss), 255, "XSS column");
+        assert_eq!(sum(&|a| a.real.files), 55, "Files column");
+        assert_eq!(sum(&|a| a.real.scd), 4, "SCD column");
+        assert_eq!(sum(&|a| a.real.ldapi), 2, "LDAPI column");
+        assert_eq!(sum(&|a| a.real.sf), 1, "SF column");
+        assert_eq!(sum(&|a| a.real.hi), 19, "HI column");
+        assert_eq!(sum(&|a| a.real.cs), 5, "CS column");
+        assert_eq!(sum(&|a| a.real.total()), 413, "total vulnerabilities");
+        // false positive accounting
+        assert_eq!(sum(&|a| a.fp_both), 62, "WAP FPP total");
+        assert_eq!(sum(&|a| a.fpp_wape()), 104, "WAPe FPP total");
+        assert_eq!(sum(&|a| a.fp_wap()), 60, "WAP FP total");
+        assert_eq!(sum(&|a| a.fp_hard), 18, "WAPe FP total");
+        // the 42 new predictions
+        assert_eq!(sum(&|a| a.fp_wape_only), 42);
+    }
+
+    #[test]
+    fn webapp_sizes_match_table_v() {
+        let apps = vulnerable_webapps();
+        assert_eq!(apps.iter().map(|a| a.files).sum::<usize>(), 4714);
+        assert_eq!(apps.iter().map(|a| a.loc).sum::<usize>(), 1_196_702);
+        assert_eq!(apps.iter().map(|a| a.paper_time_s).sum::<u32>(), 123);
+        assert_eq!(apps.iter().map(|a| a.vuln_files).sum::<usize>(), 280);
+    }
+
+    #[test]
+    fn fifty_four_packages_two_million_loc() {
+        let vuln = vulnerable_webapps();
+        let clean = clean_webapps();
+        assert_eq!(vuln.len() + clean.len(), 54);
+        let files: usize = vuln.iter().map(|a| a.files).sum::<usize>()
+            + clean.iter().map(|(_, f, _)| f).sum::<usize>();
+        let loc: usize = vuln.iter().map(|a| a.loc).sum::<usize>()
+            + clean.iter().map(|(_, _, l)| l).sum::<usize>();
+        // the paper: 8,374 files and 2,065,914 LoC
+        assert!((8_300..=8_450).contains(&files), "files = {files}");
+        assert!((2_000_000..=2_130_000).contains(&loc), "loc = {loc}");
+    }
+
+    #[test]
+    fn vfront_carries_the_escape_study() {
+        let apps = vulnerable_webapps();
+        let vfront = apps.iter().find(|a| a.name == "vfront").unwrap();
+        assert_eq!(vfront.fp_escape, 6, "§V-A: six escape-guarded cases");
+        assert_eq!(vfront.real.total(), 77);
+        assert_eq!(vfront.fpp_wape(), 40);
+    }
+
+    #[test]
+    fn plugin_totals_match_table_vii() {
+        let ps = vulnerable_plugins();
+        assert_eq!(ps.len(), 23);
+        let sum = |f: &dyn Fn(&PluginSpec) -> usize| ps.iter().map(f).sum::<usize>();
+        assert_eq!(sum(&|p| p.real.sqli), 55, "SQLI via wpsqli weapon");
+        assert_eq!(sum(&|p| p.real.xss), 71, "XSS column");
+        assert_eq!(sum(&|p| p.real.files), 31, "Files column");
+        assert_eq!(sum(&|p| p.real.scd), 5, "SCD column");
+        assert_eq!(sum(&|p| p.real.cs), 5, "CS column");
+        assert_eq!(sum(&|p| p.real.hi), 2, "HI column");
+        assert_eq!(sum(&|p| p.total()), 169, "total plugin vulnerabilities");
+        assert_eq!(sum(&|p| p.fpp), 3, "FPP column");
+        assert_eq!(sum(&|p| p.fp), 2, "FP column");
+        // 16 known (CVE) + 153 zero-days = 169
+        assert_eq!(sum(&|p| p.known_cves), 16);
+    }
+
+    #[test]
+    fn one_hundred_fifteen_plugins() {
+        assert_eq!(vulnerable_plugins().len() + clean_plugins().len(), 115);
+    }
+
+    #[test]
+    fn sixteen_vulnerable_plugins_above_10k_downloads() {
+        let n = vulnerable_plugins().iter().filter(|p| p.downloads > 10_000).count();
+        assert_eq!(n, 16, "§V-B: 16 of the 23 have more than 10K downloads");
+    }
+
+    #[test]
+    fn twelve_vulnerable_plugins_on_2000_sites() {
+        let n = vulnerable_plugins()
+            .iter()
+            .filter(|p| p.active_installs > 2_000)
+            .count();
+        assert_eq!(n, 12, "§V-B: 12 plugins are used in more than 2000 web sites");
+    }
+
+    #[test]
+    fn lightbox_is_the_most_installed() {
+        let ps = vulnerable_plugins();
+        let lightbox = ps.iter().find(|p| p.name.contains("Lightbox")).unwrap();
+        assert!(lightbox.active_installs > 200_000);
+        assert!(ps.iter().all(|p| p.active_installs <= lightbox.active_installs));
+    }
+
+    #[test]
+    fn class_counts_split_files_consistently() {
+        let c = cc!(0, 0, 11, 0, 0, 0, 0, 0);
+        let per = c.per_class();
+        let total: usize = per.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 11);
+        assert!(per.iter().any(|(cl, _)| *cl == VulnClass::Lfi));
+        assert!(per.iter().any(|(cl, _)| *cl == VulnClass::Rfi));
+    }
+
+    #[test]
+    fn bucket_definitions_cover_everything() {
+        for v in [0u64, 1_999, 2_000, 9_999, 499_999, 10_000_000] {
+            let hits = DOWNLOAD_BUCKETS
+                .iter()
+                .filter(|(_, lo, hi)| v >= *lo && v < *hi)
+                .count();
+            assert_eq!(hits, 1, "value {v} must land in exactly one bucket");
+        }
+    }
+}

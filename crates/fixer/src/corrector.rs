@@ -1,0 +1,346 @@
+//! The code corrector: splices fixes into source files.
+//!
+//! Given a file's text and the real vulnerabilities confirmed by the
+//! predictor, the corrector wraps the flow's *fix site* with the class's
+//! fix — the tainted sink argument (the original WAP inserted fixes at the
+//! sink line), or, when the analyzer located it, the tighter site where
+//! the taint entered (a lone concatenation operand or the right-hand side
+//! of the tainting assignment). Helper functions the fixes need are
+//! inserted once, right after the first `<?php` tag. Fixed files always re-parse, and
+//! re-analysis with the fix functions registered as sanitizers reports no
+//! remaining findings for the fixed flows.
+
+use crate::templates::{builtin_fix, Fix};
+use std::collections::HashMap;
+use wap_catalog::{FixTemplateSpec, VulnClass};
+use wap_taint::Candidate;
+
+/// One applied correction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFix {
+    /// Vulnerability class corrected.
+    pub class: VulnClass,
+    /// Line of the sink where the fix was inserted.
+    pub line: u32,
+    /// Fix function name.
+    pub fix_name: String,
+    /// The sink that was protected.
+    pub sink: String,
+}
+
+/// Result of correcting one source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixResult {
+    /// The corrected source text.
+    pub fixed_source: String,
+    /// Corrections applied, in source order.
+    pub applied: Vec<AppliedFix>,
+    /// `(function name, classes)` pairs the analyzer should treat as
+    /// sanitizers when re-checking the fixed file.
+    pub sanitizers: Vec<(String, Vec<VulnClass>)>,
+}
+
+/// The code corrector. Holds the fix template for every class; weapons may
+/// override or extend the assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Corrector {
+    overrides: HashMap<VulnClass, Fix>,
+}
+
+impl Corrector {
+    /// A corrector with the built-in fix templates (WAPe defaults).
+    pub fn new() -> Self {
+        Corrector { overrides: HashMap::new() }
+    }
+
+    /// Registers a weapon-provided fix for a class (the *fix creation*
+    /// sub-module of §III-C).
+    pub fn register(&mut self, class: VulnClass, name: &str, template: FixTemplateSpec) {
+        self.overrides.insert(class, Fix::new(name, template));
+    }
+
+    /// The fix used for `class`.
+    pub fn fix_for(&self, class: &VulnClass) -> Fix {
+        self.overrides.get(class).cloned().unwrap_or_else(|| builtin_fix(class))
+    }
+
+    /// Applies fixes for `vulns` (candidates confirmed real) to `source`.
+    ///
+    /// Candidates whose `fix_site` does not lie within `source` (or that
+    /// duplicate an already-fixed site) are skipped.
+    pub fn fix_source(&self, source: &str, vulns: &[Candidate]) -> FixResult {
+        // deduplicate by fix site; right-to-left so spans stay valid
+        let mut sites: Vec<&Candidate> = Vec::new();
+        for c in vulns {
+            if (c.fix_site.end() as usize) <= source.len()
+                && c.fix_site.len() > 0
+                && !sites.iter().any(|s| s.fix_site == c.fix_site && s.class == c.class)
+            {
+                sites.push(c);
+            }
+        }
+        sites.sort_by_key(|c| std::cmp::Reverse(c.fix_site.start()));
+
+        let mut text = source.to_string();
+        let mut applied = Vec::new();
+        let mut helpers: HashMap<String, String> = HashMap::new();
+        let mut sanitizers: HashMap<String, Vec<VulnClass>> = HashMap::new();
+
+        for c in &sites {
+            let fix = self.fix_for(&c.class);
+            let start = c.fix_site.start() as usize;
+            let end = c.fix_site.end() as usize;
+            let inner = &source[start..end];
+            let wrapped = fix.wrap(inner);
+            text.replace_range(start..end, &wrapped);
+            if let Some(h) = fix.helper_source() {
+                helpers.insert(fix.name.clone(), h);
+            }
+            sanitizers
+                .entry(fix.sanitizer_name())
+                .or_default()
+                .push(c.class.clone());
+            applied.push(AppliedFix {
+                class: c.class.clone(),
+                line: c.line,
+                fix_name: fix.name.clone(),
+                sink: c.sink.clone(),
+            });
+        }
+        applied.reverse(); // back to source order
+
+        // insert helper functions right after the first <?php tag
+        if !helpers.is_empty() {
+            let mut block = String::new();
+            let mut names: Vec<&String> = helpers.keys().collect();
+            names.sort();
+            for n in names {
+                block.push_str(&helpers[n]);
+            }
+            text = insert_after_open_tag(&text, &block);
+        }
+
+        let mut sanitizers: Vec<(String, Vec<VulnClass>)> = sanitizers
+            .into_iter()
+            .map(|(n, mut cs)| {
+                cs.sort();
+                cs.dedup();
+                (n, cs)
+            })
+            .collect();
+        sanitizers.sort();
+
+        FixResult { fixed_source: text, applied, sanitizers }
+    }
+}
+
+/// Inserts `block` after the first `<?php` tag (or prepends a new PHP
+/// region when the file starts with HTML).
+fn insert_after_open_tag(source: &str, block: &str) -> String {
+    if let Some(pos) = source.find("<?php") {
+        let insert_at = pos + "<?php".len();
+        // keep the newline after the tag tidy
+        format!(
+            "{}\n{}{}",
+            &source[..insert_at],
+            block,
+            source[insert_at..].trim_start_matches(' ')
+        )
+    } else {
+        format!("<?php\n{block}?>{source}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wap_catalog::Catalog;
+    use wap_php::parse;
+    use wap_taint::analyze_program;
+
+    /// Detect → fix → re-parse → re-analyze (with the fix registered as a
+    /// sanitizer) → no findings for the class.
+    fn fix_and_verify(src: &str, catalog: &Catalog) -> FixResult {
+        let program = parse(src).expect("parse input");
+        let found = analyze_program(catalog, &program);
+        assert!(!found.is_empty(), "expected findings in:\n{src}");
+        let corrector = Corrector::new();
+        let result = corrector.fix_source(src, &found);
+        // the fixed file must still be valid PHP
+        let fixed = parse(&result.fixed_source).unwrap_or_else(|e| {
+            panic!("fixed source does not parse: {e}\n{}", result.fixed_source)
+        });
+        // with the fix functions registered as sanitizers, re-analysis of
+        // the fixed flows is silent
+        let mut cat2 = catalog.clone();
+        for (name, classes) in &result.sanitizers {
+            cat2.add_user_sanitizer(name, classes);
+        }
+        let still = wap_taint::analyze_program(&cat2, &fixed);
+        assert!(
+            still.is_empty(),
+            "fix did not remove findings:\n{}\n{still:?}",
+            result.fixed_source
+        );
+        result
+    }
+
+    #[test]
+    fn fixes_sqli_with_php_sanitizer() {
+        let r = fix_and_verify(
+            r#"<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = $id");
+"#,
+            &Catalog::wape(),
+        );
+        assert_eq!(r.applied.len(), 1);
+        assert_eq!(r.applied[0].fix_name, "san_sqli");
+        assert!(r.fixed_source.contains("mysql_real_escape_string("));
+    }
+
+    #[test]
+    fn fixes_xss_echo() {
+        let r = fix_and_verify(r#"<?php echo "Hi " . $_GET['name'];"#, &Catalog::wape());
+        assert!(r.fixed_source.contains("htmlentities("));
+    }
+
+    #[test]
+    fn fixes_ldapi_with_validation_helper() {
+        let r = fix_and_verify(
+            r#"<?php
+$u = $_POST['user'];
+ldap_search($conn, $base, "(uid=$u)");
+"#,
+            &Catalog::wape(),
+        );
+        assert_eq!(r.applied[0].fix_name, "san_ldapi");
+        assert!(r.fixed_source.contains("function san_ldapi"));
+        // the helper is inserted once, right after <?php
+        assert_eq!(r.fixed_source.matches("function san_ldapi").count(), 1);
+        let tag = r.fixed_source.find("<?php").unwrap();
+        let helper = r.fixed_source.find("function san_ldapi").unwrap();
+        let sink = r.fixed_source.find("ldap_search").unwrap();
+        assert!(tag < helper && helper < sink);
+    }
+
+    #[test]
+    fn fixes_hei_weapon_finding() {
+        let mut cat = Catalog::wape();
+        cat.add_weapon(wap_catalog::WeaponConfig::hei());
+        let r = fix_and_verify(
+            r#"<?php
+header("Location: " . $_GET['to']);
+"#,
+            &cat,
+        );
+        assert_eq!(r.applied[0].fix_name, "san_hei");
+        assert!(r.fixed_source.contains("san_hei("));
+        assert!(r.fixed_source.contains("function san_hei"));
+    }
+
+    #[test]
+    fn fixes_multiple_findings_in_one_file() {
+        let r = fix_and_verify(
+            r#"<?php
+$a = $_GET['a'];
+$b = $_POST['b'];
+mysql_query("SELECT * FROM t WHERE a = '$a'");
+echo $b;
+system("run " . $_GET['cmd']);
+"#,
+            &Catalog::wape(),
+        );
+        assert_eq!(r.applied.len(), 3);
+        // every sink got its fix (applied order follows fix sites, which
+        // may precede the sink: taint is sanitized where it enters)
+        let mut lines: Vec<u32> = r.applied.iter().map(|a| a.line).collect();
+        lines.sort();
+        assert_eq!(lines, vec![4, 5, 6]);
+        // the echo fix lands at the assignment that tainted $b
+        assert!(
+            r.fixed_source.contains("$b = htmlentities($_POST['b']);"),
+            "{}",
+            r.fixed_source
+        );
+    }
+
+    #[test]
+    fn fix_inside_user_function() {
+        let r = fix_and_verify(
+            r#"<?php
+function lookup($db, $name) {
+    return mysql_query("SELECT * FROM u WHERE n = '$name'", $db);
+}
+lookup($c, $_GET['n']);
+"#,
+            &Catalog::wape(),
+        );
+        // the fix lands on the sink argument inside the function
+        assert!(r
+            .fixed_source
+            .contains(r#"mysql_real_escape_string("SELECT * FROM u WHERE n = '$name'")"#));
+    }
+
+    #[test]
+    fn weapon_override_changes_fix() {
+        let mut c = Corrector::new();
+        c.register(
+            VulnClass::Sqli,
+            "san_custom",
+            FixTemplateSpec::UserSanitization {
+                malicious: vec!["'".into()],
+                neutralizer: "\\'".into(),
+            },
+        );
+        let fix = c.fix_for(&VulnClass::Sqli);
+        assert_eq!(fix.name, "san_custom");
+        assert_eq!(c.fix_for(&VulnClass::Osci).name, "san_osci");
+    }
+
+    #[test]
+    fn out_of_bounds_sites_are_skipped() {
+        let src = "<?php $x = 1;";
+        let program = parse(src).unwrap();
+        let mut found = analyze_program(
+            &Catalog::wape(),
+            &parse("<?php echo $_GET['a'];").unwrap(),
+        );
+        // candidate from a different (longer) file: still within bounds of
+        // THAT file but we hand it the wrong source text on purpose with a
+        // huge span
+        if let Some(c) = found.first_mut() {
+            c.fix_site = wap_php::Span::new(1000, 2000, 1);
+        }
+        let r = Corrector::new().fix_source(src, &found);
+        assert!(r.applied.is_empty());
+        assert_eq!(r.fixed_source, src);
+        let _ = program;
+    }
+
+    #[test]
+    fn duplicate_sites_fixed_once() {
+        let src = r#"<?php
+$a = $_GET['a'];
+mysql_query("Q $a");
+"#;
+        let program = parse(src).unwrap();
+        let found = analyze_program(&Catalog::wape(), &program);
+        let mut doubled = found.clone();
+        doubled.extend(found.clone());
+        let r = Corrector::new().fix_source(src, &doubled);
+        assert_eq!(r.applied.len(), 1);
+        assert_eq!(r.fixed_source.matches("mysql_real_escape_string").count(), 1);
+    }
+
+    #[test]
+    fn html_leading_file_gets_php_region() {
+        let src = "<h1>Form</h1><?php include 'x/' . $_GET['p']; ?>";
+        let program = parse(src).unwrap();
+        let found = analyze_program(&Catalog::wape(), &program);
+        assert!(!found.is_empty());
+        let r = Corrector::new().fix_source(src, &found);
+        assert!(parse(&r.fixed_source).is_ok(), "{}", r.fixed_source);
+        assert!(r.fixed_source.contains("san_read("));
+    }
+}

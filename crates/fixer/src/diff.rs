@@ -1,0 +1,150 @@
+//! Minimal unified-diff rendering for corrected files, so reports can show
+//! exactly what the corrector changed.
+
+/// Renders a unified diff between `before` and `after` with `context`
+/// lines of context. Line-based, LCS backed; adequate for fix-sized edits.
+pub fn unified_diff(before: &str, after: &str, context: usize) -> String {
+    let a: Vec<&str> = before.lines().collect();
+    let b: Vec<&str> = after.lines().collect();
+    let ops = diff_ops(&a, &b);
+
+    // group ops into hunks with context
+    let mut out = String::new();
+    let mut i = 0usize;
+    let total = ops.len();
+    while i < total {
+        if ops[i].0 == 0 {
+            i += 1;
+            continue;
+        }
+        // found a change; expand to a hunk
+        let hunk_start = i.saturating_sub(context);
+        let mut j = i;
+        let mut quiet = 0usize;
+        while j < total && quiet <= context * 2 {
+            if ops[j].0 == 0 {
+                quiet += 1;
+            } else {
+                quiet = 0;
+            }
+            j += 1;
+        }
+        let hunk_end = j.min(total);
+        // compute line numbers at hunk start
+        let mut a_line = 1usize;
+        let mut b_line = 1usize;
+        for op in &ops[..hunk_start] {
+            match op.0 {
+                0 => {
+                    a_line += 1;
+                    b_line += 1;
+                }
+                1 => a_line += 1,
+                _ => b_line += 1,
+            }
+        }
+        let a_count = ops[hunk_start..hunk_end].iter().filter(|o| o.0 != 2).count();
+        let b_count = ops[hunk_start..hunk_end].iter().filter(|o| o.0 != 1).count();
+        out.push_str(&format!("@@ -{a_line},{a_count} +{b_line},{b_count} @@\n"));
+        for (kind, text) in &ops[hunk_start..hunk_end] {
+            out.push(match kind {
+                0 => ' ',
+                1 => '-',
+                _ => '+',
+            });
+            out.push_str(text);
+            out.push('\n');
+        }
+        i = hunk_end;
+    }
+    out
+}
+
+/// Produces `(kind, line)` ops: 0 = keep, 1 = delete (from a), 2 = add
+/// (from b), via LCS dynamic programming.
+fn diff_ops<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<(u8, &'a str)> {
+    let n = a.len();
+    let m = b.len();
+    // LCS table (n+1) x (m+1); fine for file-sized inputs
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((0, a[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push((1, a[i]));
+            i += 1;
+        } else {
+            out.push((2, b[j]));
+            j += 1;
+        }
+    }
+    while i < n {
+        out.push((1, a[i]));
+        i += 1;
+    }
+    while j < m {
+        out.push((2, b[j]));
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_files_no_hunks() {
+        assert_eq!(unified_diff("a\nb\nc\n", "a\nb\nc\n", 3), "");
+    }
+
+    #[test]
+    fn single_line_change() {
+        let d = unified_diff("a\nb\nc\n", "a\nX\nc\n", 1);
+        assert!(d.contains("-b"));
+        assert!(d.contains("+X"));
+        assert!(d.contains("@@ -1,3 +1,3 @@"));
+    }
+
+    #[test]
+    fn insertion_only() {
+        let d = unified_diff("a\nc\n", "a\nb\nc\n", 0);
+        assert!(d.contains("+b"));
+        assert!(!d.lines().any(|l| l.starts_with('-')), "{d}");
+    }
+
+    #[test]
+    fn fix_shaped_diff() {
+        let before = "<?php\n$id = $_GET['id'];\nmysql_query(\"Q $id\");\n";
+        let after =
+            "<?php\n$id = $_GET['id'];\nmysql_query(mysql_real_escape_string(\"Q $id\"));\n";
+        let d = unified_diff(before, after, 1);
+        assert!(d.contains("-mysql_query(\"Q $id\");"));
+        assert!(d.contains("+mysql_query(mysql_real_escape_string(\"Q $id\"));"));
+    }
+
+    #[test]
+    fn distant_changes_make_separate_hunks() {
+        let before: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let mut after_lines: Vec<String> = (0..40).map(|i| format!("line{i}")).collect();
+        after_lines[2] = "changed-top".into();
+        after_lines[37] = "changed-bottom".into();
+        let after = after_lines.join("\n") + "\n";
+        let d = unified_diff(&before, &after, 2);
+        assert_eq!(d.matches("@@").count() / 2 * 2, d.matches("@@").count());
+        assert!(d.matches("@@ -").count() >= 2, "{d}");
+    }
+}

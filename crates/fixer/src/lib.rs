@@ -1,0 +1,34 @@
+//! # wap-fixer — the code corrector
+//!
+//! Implements WAP's third module (Medeiros et al., DSN 2016, Fig. 1):
+//! once the predictor confirms a candidate as a real vulnerability, the
+//! corrector inserts a **fix** at the line of the sensitive sink. Fixes
+//! are generated from the three templates of §III-C — *PHP sanitization
+//! function*, *user sanitization*, and *user validation* — and weapons can
+//! register their own generated fixes (`san_nosqli`, `san_hei`,
+//! `san_wpsqli`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wap_fixer::Corrector;
+//! use wap_catalog::Catalog;
+//! use wap_php::parse;
+//! use wap_taint::analyze_program;
+//!
+//! let src = "<?php mysql_query(\"SELECT * FROM t WHERE id = $_GET[id]\");";
+//! let found = analyze_program(&Catalog::wape(), &parse(src)?);
+//! let result = Corrector::new().fix_source(src, &found);
+//! assert!(result.fixed_source.contains("mysql_real_escape_string("));
+//! # Ok::<(), wap_php::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corrector;
+pub mod diff;
+pub mod templates;
+
+pub use corrector::{AppliedFix, Corrector, FixResult};
+pub use diff::unified_diff;
+pub use templates::{builtin_fix, Fix};

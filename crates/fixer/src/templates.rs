@@ -1,0 +1,279 @@
+//! Fix templates (§III-C) and the built-in fix assignments per class.
+//!
+//! Three templates exist: *PHP sanitization function* (wrap the tainted
+//! input in a known sanitizer), *user sanitization* (replace malicious
+//! characters with a neutralizer), and *user validation* (check for
+//! malicious characters and issue a message). Fixes are inserted at the
+//! line of the sensitive sink, as in the original WAP.
+
+use wap_catalog::{FixTemplateSpec, VulnClass};
+
+/// A concrete fix: a name (`san_sqli`, `san_hei`, ...), the template it
+/// instantiates, and optionally the helper function source it requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Fix function name inserted at the sink.
+    pub name: String,
+    /// The template this fix instantiates.
+    pub template: FixTemplateSpec,
+}
+
+impl Fix {
+    /// Creates a fix from a template.
+    pub fn new(name: impl Into<String>, template: FixTemplateSpec) -> Self {
+        Fix { name: name.into(), template }
+    }
+
+    /// The PHP expression that wraps `inner` with this fix.
+    pub fn wrap(&self, inner: &str) -> String {
+        match &self.template {
+            FixTemplateSpec::PhpSanitization { sanitizer } => format!("{sanitizer}({inner})"),
+            FixTemplateSpec::UserSanitization { .. } | FixTemplateSpec::UserValidation { .. } => {
+                format!("{}({inner})", self.name)
+            }
+        }
+    }
+
+    /// The helper function definition this fix needs inserted once per
+    /// file, if any (PHP-sanitization fixes reuse a built-in function).
+    pub fn helper_source(&self) -> Option<String> {
+        match &self.template {
+            FixTemplateSpec::PhpSanitization { .. } => None,
+            FixTemplateSpec::UserSanitization { malicious, neutralizer } => {
+                let searches = malicious
+                    .iter()
+                    .map(|m| php_str(m))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Some(format!(
+                    "function {name}($v) {{\n    return str_replace(array({searches}), {neut}, $v);\n}}\n",
+                    name = self.name,
+                    neut = php_str(neutralizer),
+                ))
+            }
+            FixTemplateSpec::UserValidation { malicious } => {
+                let searches = malicious
+                    .iter()
+                    .map(|m| php_str(m))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Some(format!(
+                    concat!(
+                        "function {name}($v) {{\n",
+                        "    foreach (array({searches}) as $c) {{\n",
+                        "        if (strpos($v, $c) !== false) {{\n",
+                        "            echo 'WAP: malicious input blocked';\n",
+                        "            return '';\n",
+                        "        }}\n",
+                        "    }}\n",
+                        "    return $v;\n",
+                        "}}\n"
+                    ),
+                    name = self.name,
+                    searches = searches,
+                ))
+            }
+        }
+    }
+
+    /// The sanitizer name the analyzer should recognize after this fix is
+    /// applied (so fixed code stops being reported).
+    pub fn sanitizer_name(&self) -> String {
+        match &self.template {
+            FixTemplateSpec::PhpSanitization { sanitizer } => sanitizer.clone(),
+            _ => self.name.clone(),
+        }
+    }
+}
+
+/// Escapes a string into a single-quoted PHP literal.
+fn php_str(s: &str) -> String {
+    let mut out = String::from("'");
+    for ch in s.chars() {
+        match ch {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => {
+                // keep control characters readable via double-quoted form
+                return format!("\"{}\"", s.replace('\\', "\\\\").replace('\r', "\\r").replace('\n', "\\n").replace('"', "\\\""));
+            }
+            '\r' => {
+                return format!("\"{}\"", s.replace('\\', "\\\\").replace('\r', "\\r").replace('\n', "\\n").replace('"', "\\\""));
+            }
+            other => out.push(other),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+/// The built-in fix for a vulnerability class (the original WAP's `san_*`
+/// fixes plus the ones §IV assigns to the new classes).
+pub fn builtin_fix(class: &VulnClass) -> Fix {
+    match class {
+        VulnClass::Sqli => Fix::new(
+            "san_sqli",
+            FixTemplateSpec::PhpSanitization { sanitizer: "mysql_real_escape_string".into() },
+        ),
+        VulnClass::XssReflected => Fix::new(
+            "san_out",
+            FixTemplateSpec::PhpSanitization { sanitizer: "htmlentities".into() },
+        ),
+        VulnClass::XssStored => Fix::new(
+            "san_wdata",
+            FixTemplateSpec::PhpSanitization { sanitizer: "htmlentities".into() },
+        ),
+        // CS reuses the write/read fixes, extended to check hyperlinks
+        VulnClass::CommentSpam => Fix::new(
+            "san_write",
+            FixTemplateSpec::UserValidation {
+                malicious: vec![
+                    "http://".into(),
+                    "https://".into(),
+                    "<a ".into(),
+                    "[url".into(),
+                    "<script".into(),
+                ],
+            },
+        ),
+        VulnClass::Rfi | VulnClass::Lfi | VulnClass::DirTraversal | VulnClass::Scd => Fix::new(
+            "san_read",
+            FixTemplateSpec::UserValidation {
+                malicious: vec!["../".into(), "..\\".into(), "://".into(), "\0".into()],
+            },
+        ),
+        VulnClass::Osci => Fix::new(
+            "san_osci",
+            FixTemplateSpec::PhpSanitization { sanitizer: "escapeshellarg".into() },
+        ),
+        VulnClass::Phpci => Fix::new(
+            "san_eval",
+            FixTemplateSpec::UserValidation {
+                malicious: vec![";".into(), "`".into(), "system".into(), "exec".into()],
+            },
+        ),
+        // §IV-B: LDAPI and XPathI use the user validation template
+        VulnClass::LdapI => Fix::new(
+            "san_ldapi",
+            FixTemplateSpec::UserValidation {
+                malicious: vec![
+                    "*".into(),
+                    "(".into(),
+                    ")".into(),
+                    "\\".into(),
+                    "|".into(),
+                    "&".into(),
+                ],
+            },
+        ),
+        VulnClass::XpathI => Fix::new(
+            "san_xpathi",
+            FixTemplateSpec::UserValidation {
+                malicious: vec!["'".into(), "\"".into(), "[".into(), "]".into(), "=".into()],
+            },
+        ),
+        // §IV-B: a fix created from scratch for SF — reject user-supplied
+        // session tokens
+        VulnClass::SessionFixation => Fix::new(
+            "san_sf",
+            FixTemplateSpec::UserValidation {
+                malicious: vec!["PHPSESSID".into(), "=".into(), ";".into()],
+            },
+        ),
+        // §IV-C weapons' fixes
+        VulnClass::NoSqlI => Fix::new(
+            "san_nosqli",
+            FixTemplateSpec::PhpSanitization { sanitizer: "mysql_real_escape_string".into() },
+        ),
+        VulnClass::HeaderI | VulnClass::EmailI => Fix::new(
+            "san_hei",
+            FixTemplateSpec::UserSanitization {
+                malicious: vec!["\r".into(), "\n".into(), "%0a".into(), "%0d".into()],
+                neutralizer: " ".into(),
+            },
+        ),
+        VulnClass::Custom(name) if name == "WPSQLI" => Fix::new(
+            "san_wpsqli",
+            FixTemplateSpec::PhpSanitization { sanitizer: "esc_sql".into() },
+        ),
+        VulnClass::Custom(name) => Fix::new(
+            format!("san_{}", name.to_ascii_lowercase()),
+            FixTemplateSpec::UserValidation {
+                malicious: vec!["'".into(), "\"".into(), ";".into()],
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn php_sanitization_wraps_directly() {
+        let f = builtin_fix(&VulnClass::Sqli);
+        assert_eq!(f.wrap("$id"), "mysql_real_escape_string($id)");
+        assert!(f.helper_source().is_none());
+        assert_eq!(f.sanitizer_name(), "mysql_real_escape_string");
+    }
+
+    #[test]
+    fn user_sanitization_generates_helper() {
+        let f = builtin_fix(&VulnClass::HeaderI);
+        assert_eq!(f.name, "san_hei");
+        assert_eq!(f.wrap("$to"), "san_hei($to)");
+        let helper = f.helper_source().unwrap();
+        assert!(helper.contains("function san_hei"));
+        assert!(helper.contains("str_replace"));
+        assert!(helper.contains("\\r") && helper.contains("\\n"));
+        assert!(helper.contains("'%0a'"));
+        assert_eq!(f.sanitizer_name(), "san_hei");
+    }
+
+    #[test]
+    fn user_validation_generates_checker() {
+        let f = builtin_fix(&VulnClass::LdapI);
+        let helper = f.helper_source().unwrap();
+        assert!(helper.contains("function san_ldapi"));
+        assert!(helper.contains("strpos"));
+        assert!(helper.contains("malicious input blocked"));
+    }
+
+    #[test]
+    fn helpers_are_valid_php() {
+        for class in [
+            VulnClass::LdapI,
+            VulnClass::XpathI,
+            VulnClass::HeaderI,
+            VulnClass::CommentSpam,
+            VulnClass::SessionFixation,
+            VulnClass::Rfi,
+            VulnClass::Phpci,
+            VulnClass::Custom("XMLI".into()),
+        ] {
+            let f = builtin_fix(&class);
+            if let Some(h) = f.helper_source() {
+                let src = format!("<?php\n{h}");
+                wap_php::parse(&src)
+                    .unwrap_or_else(|e| panic!("helper for {class} does not parse: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_has_a_fix() {
+        for c in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+            let f = builtin_fix(&c);
+            assert!(!f.name.is_empty());
+            assert!(f.wrap("$x").contains("$x"));
+        }
+    }
+
+    #[test]
+    fn php_str_escaping() {
+        assert_eq!(php_str("abc"), "'abc'");
+        assert_eq!(php_str("it's"), "'it\\'s'");
+        assert_eq!(php_str("\r"), "\"\\r\"");
+        assert_eq!(php_str("\n"), "\"\\n\"");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the code corrector.
+
+use proptest::prelude::*;
+use wap_catalog::Catalog;
+use wap_fixer::{unified_diff, Corrector};
+use wap_php::parse;
+use wap_taint::analyze_program;
+
+/// Generates a vulnerable file with `n` flows of mixed classes.
+fn build_vulnerable(n: usize, variant: usize) -> String {
+    let mut src = String::from("<?php\n");
+    for i in 0..n {
+        match (i + variant) % 5 {
+            0 => src.push_str(&format!(
+                "$a{i} = $_GET['k{i}'];\nmysql_query(\"SELECT * FROM t WHERE c = '$a{i}'\");\n"
+            )),
+            1 => src.push_str(&format!("echo 'v: ' . $_POST['k{i}'];\n")),
+            2 => src.push_str(&format!("system('run ' . $_GET['k{i}']);\n")),
+            3 => src.push_str(&format!("include 'mods/' . $_GET['k{i}'] . '.php';\n")),
+            _ => src.push_str(&format!(
+                "ldap_search($c{i}, $b{i}, '(u=' . $_REQUEST['k{i}'] . ')');\n"
+            )),
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any mix of flows: the fixed source re-parses, every finding got
+    /// a fix, and re-analysis (with fix sanitizers registered) is silent.
+    #[test]
+    fn fixes_always_verify(n in 1usize..7, variant in 0usize..5) {
+        let src = build_vulnerable(n, variant);
+        let program = parse(&src).expect("generated source parses");
+        let catalog = Catalog::wape();
+        let found = analyze_program(&catalog, &program);
+        prop_assert_eq!(found.len(), n, "seeded {} flows in:\n{}", n, src);
+
+        let result = Corrector::new().fix_source(&src, &found);
+        prop_assert_eq!(result.applied.len(), n);
+
+        let fixed = parse(&result.fixed_source)
+            .map_err(|e| TestCaseError::fail(format!("fixed source invalid: {e}\n{}", result.fixed_source)))?;
+        let mut informed = catalog.clone();
+        for (name, classes) in &result.sanitizers {
+            informed.add_user_sanitizer(name, classes);
+        }
+        let still = analyze_program(&informed, &fixed);
+        prop_assert!(still.is_empty(), "fix left findings:\n{}\n{:?}", result.fixed_source, still);
+    }
+
+    /// Fixing is idempotent: fixing an already-fixed file changes nothing.
+    #[test]
+    fn fixing_is_idempotent(n in 1usize..5, variant in 0usize..5) {
+        let src = build_vulnerable(n, variant);
+        let program = parse(&src).expect("parses");
+        let catalog = Catalog::wape();
+        let found = analyze_program(&catalog, &program);
+        let once = Corrector::new().fix_source(&src, &found);
+        let mut informed = catalog.clone();
+        for (name, classes) in &once.sanitizers {
+            informed.add_user_sanitizer(name, classes);
+        }
+        let refound = analyze_program(&informed, &parse(&once.fixed_source).expect("parses"));
+        let twice = Corrector::new().fix_source(&once.fixed_source, &refound);
+        prop_assert!(twice.applied.is_empty());
+        prop_assert_eq!(&twice.fixed_source, &once.fixed_source);
+    }
+
+    /// The unified diff of a fix is consistent: every removed line exists
+    /// in the input, every added line in the output.
+    #[test]
+    fn diff_lines_are_consistent(n in 1usize..5, variant in 0usize..5) {
+        let src = build_vulnerable(n, variant);
+        let program = parse(&src).expect("parses");
+        let found = analyze_program(&Catalog::wape(), &program);
+        let result = Corrector::new().fix_source(&src, &found);
+        let d = unified_diff(&src, &result.fixed_source, 2);
+        for line in d.lines() {
+            if line.starts_with("@@") {
+                continue;
+            }
+            if let Some(removed) = line.strip_prefix('-') {
+                prop_assert!(src.lines().any(|l| l == removed), "bogus removal: {line}");
+            } else if let Some(added) = line.strip_prefix('+') {
+                prop_assert!(
+                    result.fixed_source.lines().any(|l| l == added),
+                    "bogus addition: {line}"
+                );
+            }
+        }
+    }
+}

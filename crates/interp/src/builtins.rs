@@ -1,0 +1,592 @@
+//! PHP built-in functions with concrete semantics.
+//!
+//! Sanitizers are implemented faithfully (they are the point of the
+//! confirmation harness); validation and string functions cover what the
+//! corpus and the generated fixes use. `preg_match`/`ereg_replace` support
+//! the character-class subset real guards use, and *reject* unknown
+//! patterns — conservative for confirmation (a guard the interpreter
+//! cannot model behaves as if it blocked the input).
+
+use crate::interp::mysql_escape;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Dispatches a builtin. Returns `None` when the function is unknown
+/// (the interpreter then tries user functions).
+pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
+    let s0 = || argv.first().map(Value::to_php_string).unwrap_or_default();
+    let s1 = || argv.get(1).map(Value::to_php_string).unwrap_or_default();
+    let s2 = || argv.get(2).map(Value::to_php_string).unwrap_or_default();
+    let i = |n: usize| argv.get(n).map(Value::to_php_int).unwrap_or(0);
+
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        // ---- sanitizers (real semantics) ----
+        "mysql_real_escape_string"
+        | "mysql_escape_string"
+        | "mysqli_real_escape_string"
+        | "mysqli_escape_string"
+        | "pg_escape_string"
+        | "sqlite_escape_string"
+        | "esc_sql" => Value::Str(mysql_escape(&s0())),
+        "addslashes" => Value::Str(
+            s0().chars()
+                .flat_map(|c| match c {
+                    '\'' | '"' | '\\' | '\0' => vec!['\\', c],
+                    other => vec![other],
+                })
+                .collect::<String>(),
+        ),
+        "stripslashes" => {
+            let src = s0();
+            let mut out = String::new();
+            let mut chars = src.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    if let Some(n) = chars.next() {
+                        out.push(n);
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Value::Str(out)
+        }
+        "htmlentities" | "htmlspecialchars" | "esc_attr" | "esc_html" => Value::Str(
+            s0().chars()
+                .map(|c| match c {
+                    '&' => "&amp;".to_string(),
+                    '<' => "&lt;".to_string(),
+                    '>' => "&gt;".to_string(),
+                    '"' => "&quot;".to_string(),
+                    '\'' => "&#039;".to_string(),
+                    other => other.to_string(),
+                })
+                .collect::<String>(),
+        ),
+        "html_entity_decode" | "htmlspecialchars_decode" => Value::Str(
+            s0().replace("&amp;", "&")
+                .replace("&lt;", "<")
+                .replace("&gt;", ">")
+                .replace("&quot;", "\"")
+                .replace("&#039;", "'"),
+        ),
+        "strip_tags" | "sanitize_text_field" => {
+            let src = s0();
+            let mut out = String::new();
+            let mut in_tag = false;
+            for c in src.chars() {
+                match c {
+                    '<' => in_tag = true,
+                    '>' => in_tag = false,
+                    other if !in_tag => out.push(other),
+                    _ => {}
+                }
+            }
+            Value::Str(out.trim().to_string())
+        }
+        "urlencode" | "rawurlencode" => Value::Str(
+            s0().bytes()
+                .map(|b| {
+                    if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.') {
+                        (b as char).to_string()
+                    } else {
+                        format!("%{b:02X}")
+                    }
+                })
+                .collect::<String>(),
+        ),
+        "urldecode" | "rawurldecode" => {
+            let src = s0();
+            let bytes = src.as_bytes();
+            let mut out = String::new();
+            let mut k = 0;
+            while k < bytes.len() {
+                if bytes[k] == b'%' && k + 2 < bytes.len() {
+                    if let Ok(v) =
+                        u8::from_str_radix(&src[k + 1..k + 3], 16)
+                    {
+                        out.push(v as char);
+                        k += 3;
+                        continue;
+                    }
+                }
+                if bytes[k] == b'+' {
+                    out.push(' ');
+                } else {
+                    out.push(bytes[k] as char);
+                }
+                k += 1;
+            }
+            Value::Str(out)
+        }
+        "escapeshellarg" => {
+            Value::Str(format!("'{}'", s0().replace('\'', "'\\''")))
+        }
+        "escapeshellcmd" => Value::Str(
+            s0().chars()
+                .flat_map(|c| {
+                    if "#&;`|*?~<>^()[]{}$\\\u{0a}\u{ff}\"'".contains(c) {
+                        vec!['\\', c]
+                    } else {
+                        vec![c]
+                    }
+                })
+                .collect::<String>(),
+        ),
+        "basename" => {
+            let p = s0();
+            let base = p.rsplit(['/', '\\']).next().unwrap_or("").to_string();
+            Value::Str(base)
+        }
+        "ldap_escape" => Value::Str(
+            s0().chars()
+                .flat_map(|c| match c {
+                    '*' | '(' | ')' | '\\' | '\0' => {
+                        format!("\\{:02x}", c as u32).chars().collect::<Vec<_>>()
+                    }
+                    other => vec![other],
+                })
+                .collect::<String>(),
+        ),
+
+        // ---- string functions ----
+        "trim" => Value::Str(s0().trim().to_string()),
+        "rtrim" | "chop" => Value::Str(s0().trim_end().to_string()),
+        "ltrim" => Value::Str(s0().trim_start().to_string()),
+        "strtolower" => Value::Str(s0().to_lowercase()),
+        "strtoupper" => Value::Str(s0().to_uppercase()),
+        "strlen" => Value::Int(s0().len() as i64),
+        "strrev" => Value::Str(s0().chars().rev().collect()),
+        "str_repeat" => Value::Str(s0().repeat(i(1).max(0) as usize)),
+        "substr" => {
+            let src = s0();
+            let chars: Vec<char> = src.chars().collect();
+            let len = chars.len() as i64;
+            let mut start = i(1);
+            if start < 0 {
+                start = (len + start).max(0);
+            }
+            let start = start.min(len) as usize;
+            let take = if argv.len() > 2 {
+                let l = i(2);
+                if l < 0 {
+                    ((len - start as i64) + l).max(0) as usize
+                } else {
+                    l as usize
+                }
+            } else {
+                chars.len() - start
+            };
+            Value::Str(chars[start..(start + take).min(chars.len())].iter().collect())
+        }
+        "strpos" | "stripos" => {
+            let hay = if lower == "stripos" { s0().to_lowercase() } else { s0() };
+            let needle = if lower == "stripos" { s1().to_lowercase() } else { s1() };
+            match hay.find(&needle) {
+                Some(p) => Value::Int(p as i64),
+                None => Value::Bool(false),
+            }
+        }
+        "str_replace" | "str_ireplace" => {
+            let subject = s2();
+            let out = match (argv.first(), argv.get(1)) {
+                (Some(Value::Array(search)), Some(replace)) => {
+                    let mut s = subject;
+                    let rep: Vec<String> = match replace {
+                        Value::Array(r) => r.values().map(Value::to_php_string).collect(),
+                        single => vec![single.to_php_string()],
+                    };
+                    for (k, pat) in search.values().enumerate() {
+                        let r = rep.get(k).or(rep.first()).cloned().unwrap_or_default();
+                        let r = if rep.len() == 1 { rep[0].clone() } else { r };
+                        s = s.replace(&pat.to_php_string(), &r);
+                    }
+                    s
+                }
+                _ => subject.replace(&s0(), &s1()),
+            };
+            Value::Str(out)
+        }
+        "substr_replace" => {
+            let src = s0();
+            let rep = s1();
+            let start = (i(2).max(0) as usize).min(src.len());
+            Value::Str(format!("{}{}", &src[..start], rep))
+        }
+        "str_pad" => {
+            let src = s0();
+            let target = i(1).max(0) as usize;
+            let pad = if argv.len() > 2 { s2() } else { " ".to_string() };
+            let mut out = src;
+            while out.len() < target && !pad.is_empty() {
+                out.push_str(&pad);
+            }
+            out.truncate(out.len().max(target).min(out.len()));
+            Value::Str(out)
+        }
+        "explode" => {
+            let sep = s0();
+            let src = s1();
+            let mut map = BTreeMap::new();
+            if sep.is_empty() {
+                return Some(Value::Bool(false));
+            }
+            for (k, part) in src.split(&sep).enumerate() {
+                map.insert(k.to_string(), Value::Str(part.to_string()));
+            }
+            Value::Array(map)
+        }
+        "implode" | "join" => {
+            // implode(glue, array) or implode(array)
+            let (glue, arr) = match (argv.first(), argv.get(1)) {
+                (Some(Value::Array(a)), None) => (String::new(), a.clone()),
+                (Some(g), Some(Value::Array(a))) => (g.to_php_string(), a.clone()),
+                (Some(Value::Array(a)), Some(g)) => (g.to_php_string(), a.clone()),
+                _ => (String::new(), BTreeMap::new()),
+            };
+            Value::Str(
+                arr.values().map(Value::to_php_string).collect::<Vec<_>>().join(&glue),
+            )
+        }
+        "sprintf" => {
+            let fmt = s0();
+            let mut out = String::new();
+            let mut ai = 1usize;
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '%' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('s') => {
+                        out.push_str(
+                            &argv.get(ai).map(Value::to_php_string).unwrap_or_default(),
+                        );
+                        ai += 1;
+                    }
+                    Some('d') => {
+                        out.push_str(
+                            &argv.get(ai).map(Value::to_php_int).unwrap_or(0).to_string(),
+                        );
+                        ai += 1;
+                    }
+                    Some('%') => out.push('%'),
+                    Some(o) => {
+                        out.push('%');
+                        out.push(o);
+                    }
+                    None => out.push('%'),
+                }
+            }
+            Value::Str(out)
+        }
+        "number_format" => Value::Str(i(0).to_string()),
+        "nl2br" => Value::Str(s0().replace('\n', "<br />\n")),
+
+        // ---- regex subset ----
+        "preg_match" | "preg_match_all" => {
+            Value::Int(i64::from(charclass_match(&s0(), &s1())))
+        }
+        "ereg" | "eregi" => Value::Int(i64::from(charclass_match(&s0(), &s1()))),
+        "ereg_replace" | "eregi_replace" | "preg_replace" => {
+            Value::Str(charclass_replace(&s0(), &s1(), &s2()))
+        }
+        "preg_quote" => Value::Str(
+            s0().chars()
+                .flat_map(|c| {
+                    if ".\\+*?[^]$(){}=!<>|:-#/".contains(c) {
+                        vec!['\\', c]
+                    } else {
+                        vec![c]
+                    }
+                })
+                .collect::<String>(),
+        ),
+        "preg_split" | "str_split" | "split" | "spliti" => {
+            let mut map = BTreeMap::new();
+            map.insert("0".to_string(), Value::Str(s1()));
+            Value::Array(map)
+        }
+
+        // ---- validation / type ----
+        "is_numeric" => {
+            let s = s0();
+            let t = s.trim();
+            Value::Bool(!t.is_empty() && t.parse::<f64>().is_ok())
+        }
+        "is_int" | "is_integer" | "is_long" => {
+            Value::Bool(matches!(argv.first(), Some(Value::Int(_))))
+        }
+        "is_float" | "is_double" | "is_real" => {
+            Value::Bool(matches!(argv.first(), Some(Value::Float(_))))
+        }
+        "is_string" => Value::Bool(matches!(argv.first(), Some(Value::Str(_)))),
+        "is_bool" => Value::Bool(matches!(argv.first(), Some(Value::Bool(_)))),
+        "is_array" => Value::Bool(matches!(argv.first(), Some(Value::Array(_)))),
+        "is_null" => Value::Bool(matches!(argv.first(), Some(Value::Null) | None)),
+        "is_scalar" => Value::Bool(matches!(
+            argv.first(),
+            Some(Value::Int(_) | Value::Float(_) | Value::Str(_) | Value::Bool(_))
+        )),
+        "ctype_digit" => {
+            let s = s0();
+            Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))
+        }
+        "ctype_alpha" => {
+            let s = s0();
+            Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_alphabetic()))
+        }
+        "ctype_alnum" => {
+            let s = s0();
+            Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric()))
+        }
+        "intval" => Value::Int(argv.first().map(Value::to_php_int).unwrap_or(0)),
+        "floatval" | "doubleval" => {
+            Value::Float(argv.first().map(Value::to_php_int).unwrap_or(0) as f64)
+        }
+        "boolval" => Value::Bool(argv.first().map(Value::truthy).unwrap_or(false)),
+        "absint" => Value::Int(argv.first().map(Value::to_php_int).unwrap_or(0).abs()),
+        "abs" => Value::Int(i(0).abs()),
+        "count" | "sizeof" => match argv.first() {
+            Some(Value::Array(a)) => Value::Int(a.len() as i64),
+            Some(Value::Null) | None => Value::Int(0),
+            _ => Value::Int(1),
+        },
+        "in_array" => {
+            let needle = argv.first().cloned().unwrap_or(Value::Null);
+            match argv.get(1) {
+                Some(Value::Array(a)) => {
+                    Value::Bool(a.values().any(|v| v.loose_eq(&needle)))
+                }
+                _ => Value::Bool(false),
+            }
+        }
+        "array_key_exists" => {
+            let key = s0();
+            match argv.get(1) {
+                Some(Value::Array(a)) => Value::Bool(a.contains_key(&key)),
+                _ => Value::Bool(false),
+            }
+        }
+        "array_keys" => match argv.first() {
+            Some(Value::Array(a)) => Value::Array(
+                a.keys()
+                    .enumerate()
+                    .map(|(k, v)| (k.to_string(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+            _ => Value::Array(BTreeMap::new()),
+        },
+        "array_values" => match argv.first() {
+            Some(Value::Array(a)) => Value::Array(
+                a.values()
+                    .enumerate()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+            _ => Value::Array(BTreeMap::new()),
+        },
+
+        // ---- hashing / misc (payload-destroying) ----
+        "md5" | "sha1" | "crc32" | "hash" => {
+            // a deterministic stand-in hash: payload cannot survive
+            let src = if lower == "hash" { s1() } else { s0() };
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in src.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Value::Str(format!("{h:016x}"))
+        }
+        "uniqid" => Value::Str("wapuniq0000".to_string()),
+        "time" | "mktime" | "strtotime" => Value::Int(1_456_000_000),
+        "date" => Value::Str("2016-06-28".to_string()),
+        "rand" | "mt_rand" | "random_int" => Value::Int(4),
+        "error_log" | "trigger_error" | "user_error" | "error_reporting" => Value::Bool(true),
+        "define" | "defined" | "function_exists" | "class_exists" => Value::Bool(true),
+        "file_exists" | "is_dir" | "is_file" | "headers_sent" => Value::Bool(false),
+        "session_start" | "ob_start" => Value::Bool(true),
+        "mysql_connect" | "mysqli_connect" | "mysql_select_db" | "pg_connect"
+        | "ldap_connect" | "fopen" | "opendir" => Value::Int(1),
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row"
+        | "mysql_fetch_object" | "mysqli_fetch_assoc" | "mysqli_fetch_array"
+        | "mysqli_fetch_row" | "pg_fetch_assoc" | "pg_fetch_row" => Value::Bool(false),
+        "mysql_num_rows" | "mysqli_num_rows" | "mysql_affected_rows" => Value::Int(0),
+        "get_query_var" => Value::Str(String::new()),
+        "extract" => Value::Int(0),
+        "filter_var" => argv.first().cloned().unwrap_or(Value::Null),
+        "wp_verify_nonce" | "is_email" => Value::Bool(true),
+        "like_escape" => Value::Str(mysql_escape(&s0())),
+
+        _ => return None,
+    })
+}
+
+/// Matches the character-class-anchored regex subset used by real guards:
+/// `/^[a-z0-9_]+$/`. Unknown patterns conservatively fail (return false),
+/// so unmodelled guards behave as if they rejected the input.
+pub fn charclass_match(pattern: &str, subject: &str) -> bool {
+    match parse_anchored_class(pattern) {
+        Some((class, negated)) => {
+            !subject.is_empty()
+                && subject.chars().all(|c| class_contains(&class, c) != negated)
+        }
+        None => false,
+    }
+}
+
+/// `ereg_replace('[^a-z]', '', $v)`-style replacement on the same subset;
+/// unknown patterns leave the subject unchanged.
+pub fn charclass_replace(pattern: &str, replacement: &str, subject: &str) -> String {
+    let inner = pattern
+        .trim_start_matches('/')
+        .trim_end_matches('/')
+        .to_string();
+    match parse_class(&inner) {
+        Some((class, negated)) => subject
+            .chars()
+            .map(|c| {
+                if class_contains(&class, c) != negated {
+                    replacement.to_string()
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect(),
+        None => subject.to_string(),
+    }
+}
+
+/// Parses `/^[...]+$/` (delimiters and anchors optional) into the class.
+fn parse_anchored_class(pattern: &str) -> Option<(Vec<(char, char)>, bool)> {
+    let p = pattern.trim_matches('/');
+    let p = p.strip_prefix('^').unwrap_or(p);
+    let p = p.strip_suffix('$').unwrap_or(p);
+    let p = p.strip_suffix('+').or_else(|| p.strip_suffix('*')).unwrap_or(p);
+    parse_class(p)
+}
+
+/// Parses `[a-z0-9_]` / `[^...]` into ranges + negation flag.
+fn parse_class(p: &str) -> Option<(Vec<(char, char)>, bool)> {
+    let inner = p.strip_prefix('[')?.strip_suffix(']')?;
+    let (inner, negated) = match inner.strip_prefix('^') {
+        Some(rest) => (rest, true),
+        None => (inner, false),
+    };
+    let chars: Vec<char> = inner.chars().collect();
+    let mut ranges = Vec::new();
+    let mut k = 0;
+    while k < chars.len() {
+        if k + 2 < chars.len() && chars[k + 1] == '-' {
+            ranges.push((chars[k], chars[k + 2]));
+            k += 3;
+        } else {
+            ranges.push((chars[k], chars[k]));
+            k += 1;
+        }
+    }
+    Some((ranges, negated))
+}
+
+fn class_contains(class: &[(char, char)], c: char) -> bool {
+    class.iter().any(|(lo, hi)| c >= *lo && c <= *hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+
+    #[test]
+    fn mysql_escape_neutralizes_quotes() {
+        let v = call("mysql_real_escape_string", &[s("' OR '1'='1")]).unwrap();
+        assert_eq!(v.to_php_string(), "\\' OR \\'1\\'=\\'1");
+    }
+
+    #[test]
+    fn htmlentities_neutralizes_script() {
+        let v = call("htmlentities", &[s("<script>alert(1)</script>")]).unwrap();
+        assert_eq!(
+            v.to_php_string(),
+            "&lt;script&gt;alert(1)&lt;/script&gt;"
+        );
+    }
+
+    #[test]
+    fn escapeshellarg_wraps_and_escapes() {
+        let v = call("escapeshellarg", &[s("x'; rm -rf /")]).unwrap();
+        assert_eq!(v.to_php_string(), "'x'\\''; rm -rf /'");
+    }
+
+    #[test]
+    fn basename_strips_traversal() {
+        let v = call("basename", &[s("../../etc/passwd")]).unwrap();
+        assert_eq!(v.to_php_string(), "passwd");
+    }
+
+    #[test]
+    fn str_replace_with_arrays() {
+        let mut search = BTreeMap::new();
+        search.insert("0".to_string(), s("\r"));
+        search.insert("1".to_string(), s("\n"));
+        let v = call(
+            "str_replace",
+            &[Value::Array(search), s(" "), s("a\r\nb")],
+        )
+        .unwrap();
+        assert_eq!(v.to_php_string(), "a  b");
+    }
+
+    #[test]
+    fn charclass_regex_subset() {
+        assert!(charclass_match("/^[a-z0-9_]+$/", "user_42"));
+        assert!(!charclass_match("/^[a-z0-9_]+$/", "x' OR 1=1"));
+        assert!(!charclass_match("/^[a-z]+$/", ""));
+        // unknown patterns conservatively reject
+        assert!(!charclass_match("/(a|b)+c?/", "abc"));
+        assert_eq!(charclass_replace("[^a-z]", "", "a1b2!c"), "abc");
+        assert_eq!(charclass_replace("(weird)", "", "keep"), "keep");
+    }
+
+    #[test]
+    fn validation_builtins() {
+        assert!(call("is_numeric", &[s("12.5")]).unwrap().truthy());
+        assert!(!call("is_numeric", &[s("12x")]).unwrap().truthy());
+        assert!(call("ctype_digit", &[s("0042")]).unwrap().truthy());
+        assert!(!call("ctype_digit", &[s("")]).unwrap().truthy());
+        assert_eq!(call("intval", &[s("7 OR 1")]).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn md5_destroys_payload() {
+        let v = call("md5", &[s("<script>")]).unwrap().to_php_string();
+        assert!(!v.contains('<'));
+        assert_eq!(v.len(), 16);
+        // deterministic
+        assert_eq!(call("md5", &[s("<script>")]).unwrap().to_php_string(), v);
+    }
+
+    #[test]
+    fn sprintf_subset() {
+        let v = call("sprintf", &[s("SELECT %s FROM t WHERE n = %d"), s("a"), Value::Int(5)])
+            .unwrap();
+        assert_eq!(v.to_php_string(), "SELECT a FROM t WHERE n = 5");
+    }
+
+    #[test]
+    fn explode_implode_round_trip() {
+        let arr = call("explode", &[s(","), s("a,b,c")]).unwrap();
+        let back = call("implode", &[s(","), arr]).unwrap();
+        assert_eq!(back.to_php_string(), "a,b,c");
+    }
+
+    #[test]
+    fn unknown_function_returns_none() {
+        assert!(call("totally_made_up_fn", &[]).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! Exploit confirmation: craft a class-specific attack payload, execute
+//! the program against it, and decide from the concrete sink arguments
+//! whether the attack survived.
+
+use crate::interp::{execute, Request, SinkEvent};
+use wap_catalog::{Catalog, VulnClass};
+use wap_php::Program;
+use wap_taint::Candidate;
+
+/// Unique marker embedded in every payload.
+pub const MARKER: &str = "WAPPWN";
+
+/// The verdict for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Confirmation {
+    /// Whether the payload reached the sink un-neutralized.
+    pub exploitable: bool,
+    /// The payload used.
+    pub payload: String,
+    /// The matching sink invocation, if the sink was reached at all.
+    pub sink_event: Option<SinkEvent>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The attack payload used for a class.
+pub fn payload_for(class: &VulnClass) -> String {
+    match class {
+        VulnClass::Sqli | VulnClass::NoSqlI | VulnClass::XpathI => {
+            format!("' OR '{MARKER}'='{MARKER}")
+        }
+        VulnClass::Custom(n) if n == "WPSQLI" => format!("' OR '{MARKER}'='{MARKER}"),
+        VulnClass::XssReflected | VulnClass::XssStored => {
+            format!("<script>{MARKER}()</script>")
+        }
+        VulnClass::Osci | VulnClass::Phpci => format!(";{MARKER};"),
+        VulnClass::Rfi | VulnClass::Lfi | VulnClass::DirTraversal | VulnClass::Scd => {
+            format!("../../etc/{MARKER}")
+        }
+        VulnClass::HeaderI | VulnClass::EmailI => format!("x\r\nX-{MARKER}: 1"),
+        VulnClass::LdapI => format!("*)(uid={MARKER}"),
+        VulnClass::SessionFixation => format!("PHPSESSID={MARKER};"),
+        VulnClass::CommentSpam => format!("<a href=\"http://{MARKER}.example\">spam</a>"),
+        VulnClass::Custom(_) => format!("'{MARKER}'"),
+    }
+}
+
+/// Whether a sink argument shows the payload *un-neutralized* for `class`.
+pub fn payload_survives(class: &VulnClass, arg: &str) -> bool {
+    match class {
+        VulnClass::Sqli | VulnClass::NoSqlI | VulnClass::XpathI => {
+            arg.contains(&format!("' OR '{MARKER}"))
+        }
+        VulnClass::Custom(n) if n == "WPSQLI" => arg.contains(&format!("' OR '{MARKER}")),
+        VulnClass::XssReflected | VulnClass::XssStored => {
+            arg.contains(&format!("<script>{MARKER}"))
+        }
+        VulnClass::Osci | VulnClass::Phpci => shell_metachar_live(arg),
+        VulnClass::Rfi | VulnClass::Lfi | VulnClass::DirTraversal | VulnClass::Scd => {
+            arg.contains("../") && arg.contains(MARKER)
+        }
+        VulnClass::HeaderI | VulnClass::EmailI => {
+            (arg.contains('\r') || arg.contains('\n')) && arg.contains(MARKER)
+        }
+        VulnClass::LdapI => arg.contains("*)("),
+        VulnClass::SessionFixation => arg.contains(MARKER),
+        VulnClass::CommentSpam => arg.contains("http://") && arg.contains(MARKER),
+        VulnClass::Custom(_) => arg.contains(MARKER),
+    }
+}
+
+/// Scans a shell command string: the `;MARKER` separator is live only
+/// when it sits outside single quotes and is not backslash-escaped —
+/// exactly the conditions `escapeshellarg`/`escapeshellcmd` remove.
+fn shell_metachar_live(arg: &str) -> bool {
+    let needle = format!(";{MARKER}");
+    let bytes = arg.as_bytes();
+    let mut in_quote = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !in_quote => {
+                i += 2;
+                continue;
+            }
+            b'\'' => in_quote = !in_quote,
+            b';' if !in_quote && arg[i..].starts_with(&needle) => return true,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Builds the mock request injecting `payload` at every entry point the
+/// candidate's sources name. Returns `None` when no source is injectable
+/// (e.g. weapon entry-point functions).
+fn request_for(candidate: &Candidate, payload: &str) -> Option<Request> {
+    let mut req = Request::new();
+    let mut any = false;
+    for src in &candidate.sources {
+        // sources look like `$_GET['id']`, `$_POST` or `get_query_var()`
+        if let Some(rest) = src.strip_prefix("$_") {
+            let (global, key) = match rest.split_once("['") {
+                Some((g, k)) => (format!("_{g}"), k.trim_end_matches("']").to_string()),
+                None => (format!("_{rest}"), "0".to_string()),
+            };
+            req.set(&global, &key, payload);
+            any = true;
+        }
+    }
+    any.then_some(req)
+}
+
+/// Runs the confirmation for one candidate against the application's
+/// parsed files.
+pub fn confirm(catalog: &Catalog, files: &[&Program], candidate: &Candidate) -> Confirmation {
+    let payload = payload_for(&candidate.class);
+    let Some(request) = request_for(candidate, &payload) else {
+        return Confirmation {
+            exploitable: false,
+            payload,
+            sink_event: None,
+            detail: "no injectable entry point in the mock request".to_string(),
+        };
+    };
+    let outcome = execute(catalog, &request, files);
+    // match sink events by name (the exact line may shift after fixing)
+    let name_needle = candidate
+        .sink
+        .trim_start_matches('$')
+        .split("->")
+        .last()
+        .unwrap_or(&candidate.sink)
+        .to_string();
+    let mut best: Option<SinkEvent> = None;
+    for ev in outcome.sinks.iter() {
+        if !ev.sink.contains(&name_needle) {
+            continue;
+        }
+        let survives = ev.args.iter().any(|a| payload_survives(&candidate.class, a));
+        if survives {
+            return Confirmation {
+                exploitable: true,
+                payload,
+                sink_event: Some(ev.clone()),
+                detail: format!(
+                    "payload reached {} at line {} un-neutralized",
+                    ev.sink, ev.line
+                ),
+            };
+        }
+        if ev.args.iter().any(|a| a.contains(MARKER)) && best.is_none() {
+            best = Some(ev.clone());
+        }
+    }
+    let detail = match &best {
+        Some(ev) => format!(
+            "payload reached {} at line {} but was neutralized",
+            ev.sink, ev.line
+        ),
+        None => "payload never reached the sink (guard blocked it)".to_string(),
+    };
+    Confirmation { exploitable: false, payload, sink_event: best, detail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wap_php::parse;
+    use wap_taint::analyze_program;
+
+    fn first_candidate(catalog: &Catalog, src: &str) -> (Program, Candidate) {
+        let program = parse(src).expect("parse");
+        let found = analyze_program(catalog, &program);
+        assert!(!found.is_empty(), "no candidate in:\n{src}");
+        let c = found[0].clone();
+        (program, c)
+    }
+
+    #[test]
+    fn confirms_raw_sqli() {
+        let catalog = Catalog::wape();
+        let (p, c) = first_candidate(
+            &catalog,
+            r#"<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = '$id'");"#,
+        );
+        let conf = confirm(&catalog, &[&p], &c);
+        assert!(conf.exploitable, "{conf:?}");
+        assert!(conf.sink_event.unwrap().args[0].contains("' OR 'WAPPWN"));
+    }
+
+    #[test]
+    fn sanitized_sqli_is_not_exploitable() {
+        // taint is silent here, so build the candidate from the raw
+        // version and confirm against the sanitized one
+        let catalog = Catalog::wape();
+        let (_, c) = first_candidate(
+            &catalog,
+            r#"<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = '$id'");"#,
+        );
+        let fixed = parse(
+            r#"<?php
+$id = mysql_real_escape_string($_GET['id']);
+mysql_query("SELECT * FROM users WHERE id = '$id'");"#,
+        )
+        .unwrap();
+        let conf = confirm(&catalog, &[&fixed], &c);
+        assert!(!conf.exploitable, "{conf:?}");
+        assert!(conf.detail.contains("neutralized"), "{conf:?}");
+    }
+
+    #[test]
+    fn guarded_fp_is_not_exploitable() {
+        // the false-positive shape: preg_match guard rejects the payload
+        let catalog = Catalog::wape();
+        let (p, c) = first_candidate(
+            &catalog,
+            r#"<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit('bad'); }
+mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
+        );
+        let conf = confirm(&catalog, &[&p], &c);
+        assert!(!conf.exploitable, "{conf:?}");
+        assert!(conf.detail.contains("guard blocked"), "{conf:?}");
+    }
+
+    #[test]
+    fn confirms_xss_and_neutralization() {
+        let catalog = Catalog::wape();
+        let (p, c) =
+            first_candidate(&catalog, r#"<?php echo "Hello " . $_GET['name'];"#);
+        assert!(confirm(&catalog, &[&p], &c).exploitable);
+
+        let fixed =
+            parse(r#"<?php echo "Hello " . htmlentities($_GET['name']);"#).unwrap();
+        let conf = confirm(&catalog, &[&fixed], &c);
+        assert!(!conf.exploitable, "{conf:?}");
+    }
+
+    #[test]
+    fn confirms_osci_with_escapeshellarg_defeat() {
+        let catalog = Catalog::wape();
+        let (p, c) =
+            first_candidate(&catalog, r#"<?php system("ping " . $_GET['host']);"#);
+        assert!(confirm(&catalog, &[&p], &c).exploitable);
+
+        let fixed =
+            parse(r#"<?php system("ping " . escapeshellarg($_GET['host']));"#).unwrap();
+        assert!(!confirm(&catalog, &[&fixed], &c).exploitable);
+    }
+
+    #[test]
+    fn confirms_lfi_and_basename_defeat() {
+        let catalog = Catalog::wape();
+        let (p, c) = first_candidate(
+            &catalog,
+            r#"<?php include 'pages/' . $_GET['page'] . '.php';"#,
+        );
+        assert!(confirm(&catalog, &[&p], &c).exploitable);
+
+        let fixed = parse(
+            r#"<?php include 'pages/' . basename($_GET['page']) . '.php';"#,
+        )
+        .unwrap();
+        assert!(!confirm(&catalog, &[&fixed], &c).exploitable);
+    }
+
+    #[test]
+    fn confirms_header_injection_with_weapon() {
+        let mut catalog = Catalog::wape();
+        catalog.add_weapon(wap_catalog::WeaponConfig::hei());
+        let (p, c) = first_candidate(
+            &catalog,
+            r#"<?php header("Location: " . $_GET['to']);"#,
+        );
+        assert!(confirm(&catalog, &[&p], &c).exploitable);
+    }
+
+    #[test]
+    fn weapon_entry_points_are_reported_uninjectable() {
+        let mut catalog = Catalog::wape();
+        catalog.add_weapon(wap_catalog::WeaponConfig::wpsqli());
+        let (p, c) = first_candidate(
+            &catalog,
+            r#"<?php
+$v = get_query_var('p');
+$wpdb->query("SELECT * FROM t WHERE c = '$v'");"#,
+        );
+        let conf = confirm(&catalog, &[&p], &c);
+        assert!(!conf.exploitable);
+        assert!(conf.detail.contains("no injectable entry point"));
+    }
+
+    #[test]
+    fn payload_survival_rules() {
+        assert!(payload_survives(&VulnClass::Sqli, "x = '' OR 'WAPPWN'='WAPPWN'"));
+        assert!(!payload_survives(&VulnClass::Sqli, "x = '\\' OR \\'WAPPWN\\''"));
+        assert!(payload_survives(&VulnClass::Osci, "ping ;WAPPWN;"));
+        assert!(!payload_survives(&VulnClass::Osci, "ping ';WAPPWN;'"));
+        assert!(payload_survives(&VulnClass::Lfi, "pages/../../etc/WAPPWN.php"));
+        assert!(!payload_survives(&VulnClass::Lfi, "pages/WAPPWN.php"));
+        assert!(payload_survives(&VulnClass::HeaderI, "x\r\nX-WAPPWN: 1"));
+        assert!(!payload_survives(&VulnClass::HeaderI, "x  X-WAPPWN: 1"));
+    }
+}

@@ -1,0 +1,180 @@
+//! PHP runtime values for the mini-interpreter.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A PHP value. Arrays are ordered maps keyed by strings (integer keys are
+/// stringified, as PHP effectively does for our purposes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// Integers.
+    Int(i64),
+    /// Floats.
+    Float(f64),
+    /// Strings — the type that matters for injection analysis.
+    Str(String),
+    /// Arrays (ordered string-keyed maps).
+    Array(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// PHP-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty() && s != "0",
+            Value::Array(a) => !a.is_empty(),
+        }
+    }
+
+    /// PHP string conversion (the semantics string interpolation uses).
+    pub fn to_php_string(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(true) => "1".to_string(),
+            Value::Bool(false) => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Array(_) => "Array".to_string(),
+        }
+    }
+
+    /// PHP numeric conversion (leading-digits parse, like `(int)`).
+    pub fn to_php_int(&self) -> i64 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(b) => i64::from(*b),
+            Value::Int(i) => *i,
+            Value::Float(f) => *f as i64,
+            Value::Str(s) => {
+                let t = s.trim_start();
+                let mut end = 0;
+                let bytes = t.as_bytes();
+                if !bytes.is_empty() && (bytes[0] == b'-' || bytes[0] == b'+') {
+                    end = 1;
+                }
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                t[..end].parse().unwrap_or(0)
+            }
+            Value::Array(a) => i64::from(!a.is_empty()),
+        }
+    }
+
+    /// Loose equality (`==`), enough for guard conditions.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), b) => *a == b.truthy(),
+            (a, Bool(b)) => a.truthy() == *b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => *a as f64 == *b,
+            (Str(a), Str(b)) => a == b,
+            (Int(a), Str(_)) => *a == other.to_php_int(),
+            (Str(_), Int(b)) => self.to_php_int() == *b,
+            (Null, x) | (x, Null) => !x.truthy(),
+            _ => false,
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (a, b) => {
+                std::mem::discriminant(a) == std::mem::discriminant(b) && a.loose_eq(b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_php_string())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_php() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Str("".into()).truthy());
+        assert!(!Value::Str("0".into()).truthy());
+        assert!(Value::Str("00".into()).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Array(BTreeMap::new()).truthy());
+    }
+
+    #[test]
+    fn string_conversion() {
+        assert_eq!(Value::Null.to_php_string(), "");
+        assert_eq!(Value::Bool(true).to_php_string(), "1");
+        assert_eq!(Value::Bool(false).to_php_string(), "");
+        assert_eq!(Value::Int(42).to_php_string(), "42");
+        assert_eq!(Value::Float(3.0).to_php_string(), "3");
+        assert_eq!(Value::Float(3.5).to_php_string(), "3.5");
+    }
+
+    #[test]
+    fn int_conversion_parses_leading_digits() {
+        assert_eq!(Value::Str("12abc".into()).to_php_int(), 12);
+        assert_eq!(Value::Str("abc".into()).to_php_int(), 0);
+        assert_eq!(Value::Str("-7x".into()).to_php_int(), -7);
+        assert_eq!(Value::Str("  9".into()).to_php_int(), 9);
+    }
+
+    #[test]
+    fn loose_vs_strict_equality() {
+        let s1 = Value::Str("1".into());
+        let i1 = Value::Int(1);
+        assert!(s1.loose_eq(&i1));
+        assert!(!s1.strict_eq(&i1));
+        assert!(Value::Null.loose_eq(&Value::Str("".into())));
+        assert!(!Value::Null.strict_eq(&Value::Str("".into())));
+    }
+}

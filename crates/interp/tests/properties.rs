@@ -1,0 +1,85 @@
+//! Property-based tests for the interpreter and confirmation harness.
+
+use proptest::prelude::*;
+use wap_catalog::{Catalog, VulnClass};
+use wap_interp::{confirm, execute, payload_for, Request};
+use wap_php::parse;
+use wap_taint::analyze_program;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter never panics and always terminates within budget,
+    /// whatever (parseable) source and request it gets.
+    #[test]
+    fn interpreter_is_total(body in "[ -~]{0,160}", key in "[a-z]{1,6}", val in "[ -~]{0,24}") {
+        let src = format!("<?php {body}");
+        if let Ok(program) = parse(&src) {
+            let request = Request::new().get(&key, &val);
+            let outcome = execute(&Catalog::wape(), &request, &[&program]);
+            prop_assert!(outcome.steps < 200_000);
+        }
+    }
+
+    /// Infinite loops are cut by the step budget.
+    #[test]
+    fn loops_always_terminate(n in 1u64..4) {
+        let src = format!("<?php while ({n}) {{ $x = $x + 1; }}");
+        let program = parse(&src).expect("parses");
+        let outcome = execute(&Catalog::wape(), &Request::new(), &[&program]);
+        prop_assert!(outcome.steps >= 100_000, "budget should have been hit");
+    }
+
+    /// Sanitizer round trip: for any input, the mysql-escaped string never
+    /// contains a bare quote (every ' is preceded by a backslash).
+    #[test]
+    fn mysql_escape_kills_bare_quotes(input in "[ -~]{0,60}") {
+        let src = "<?php $x = mysql_real_escape_string($_GET['v']); mysql_query(\"q = '$x'\");";
+        let program = parse(src).expect("parses");
+        let request = Request::new().get("v", &input);
+        let outcome = execute(&Catalog::wape(), &request, &[&program]);
+        let arg = &outcome.sinks[0].args[0];
+        // strip the two literal quotes of the template, then scan
+        let inner = &arg[5..arg.len().saturating_sub(1)];
+        let bytes = inner.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            prop_assert!(bytes[i] != b'\'', "bare quote survived in {arg}");
+            i += 1;
+        }
+    }
+
+    /// Confirmation is consistent with execution: a direct unguarded flow
+    /// is always exploitable; adding the class sanitizer always defeats it.
+    #[test]
+    fn confirm_agrees_with_sanitization(key in "[a-z]{1,6}") {
+        let catalog = Catalog::wape();
+        let raw = format!(
+            "<?php\n$v = $_GET['{key}'];\nmysql_query(\"SELECT * FROM t WHERE c = '$v'\");\n"
+        );
+        let program = parse(&raw).expect("parses");
+        let found = analyze_program(&catalog, &program);
+        prop_assert_eq!(found.len(), 1);
+        let conf = confirm(&catalog, &[&program], &found[0]);
+        prop_assert!(conf.exploitable);
+
+        let safe = format!(
+            "<?php\n$v = mysql_real_escape_string($_GET['{key}']);\nmysql_query(\"SELECT * FROM t WHERE c = '$v'\");\n"
+        );
+        let safe_program = parse(&safe).expect("parses");
+        let conf = confirm(&catalog, &[&safe_program], &found[0]);
+        prop_assert!(!conf.exploitable, "{:?}", conf);
+    }
+}
+
+#[test]
+fn every_class_has_a_payload_with_marker() {
+    for class in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+        let p = payload_for(&class);
+        assert!(p.contains("WAPPWN"), "{class}: payload {p} lacks the marker");
+    }
+}

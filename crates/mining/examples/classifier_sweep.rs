@@ -1,0 +1,23 @@
+//! Re-evaluation of machine learning classifiers (§III-B.1): 10-fold
+//! cross-validation of every classifier family on the 256-instance data
+//! set, printing the Table II metrics.
+
+use wap_mining::{cross_validate, ClassifierKind, Dataset, Metrics};
+
+fn main() {
+    let d = Dataset::wape(42);
+    println!("{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}", "classifier", "acc", "tpp", "pfp", "prfp", "inform");
+    for k in ClassifierKind::all() {
+        let cm = cross_validate(k, &d.x, &d.y, 10, 42);
+        let m = Metrics::from_confusion(&cm);
+        println!(
+            "{:<22} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+            k.name(),
+            m.acc,
+            m.tpp,
+            m.pfp,
+            m.prfp,
+            m.inform
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The attribute/symptom taxonomy of Table I.
+//!
+//! The original WAP used **15 attributes + class** representing **24
+//! symptoms**; the new version promotes *every* symptom to its own
+//! attribute and adds new ones, giving **60 feature attributes + class =
+//! 61** (§III-B.1). Symptoms are PHP functions (or code features like the
+//! concatenation operator) that manipulate entry points or variables, in
+//! three categories: validation, string manipulation, and SQL query
+//! manipulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Symptom category (Table I's three sections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Input validation features (type checks, pattern control, ...).
+    Validation,
+    /// String manipulation features (substring, concatenation, replace, ...).
+    StringManipulation,
+    /// SQL query manipulation features (complex query, FROM clause, ...).
+    SqlManipulation,
+}
+
+impl Category {
+    /// Parses the category names used in weapon configuration files.
+    pub fn parse(s: &str) -> Option<Category> {
+        match s.to_ascii_lowercase().as_str() {
+            "validation" => Some(Category::Validation),
+            "string_manipulation" | "string manipulation" => Some(Category::StringManipulation),
+            "sql_query_manipulation" | "sql manipulation" | "sql query manipulation" => {
+                Some(Category::SqlManipulation)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Validation => "validation",
+            Category::StringManipulation => "string manipulation",
+            Category::SqlManipulation => "SQL query manipulation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The attribute *groups* of the original WAP (left column of Table I).
+/// In the original tool each group was one boolean attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Group {
+    /// Type checking (`is_int`, `ctype_digit`, ...).
+    TypeChecking,
+    /// Entry point is set (`isset`, `is_null`, `empty`).
+    EntryPointIsSet,
+    /// Pattern control (`preg_match`, `strcmp`, ...).
+    PatternControl,
+    /// User functions containing white lists.
+    WhiteList,
+    /// User functions containing black lists.
+    BlackList,
+    /// Error reporting / exit.
+    ErrorAndExit,
+    /// Extract substring (`substr`, `explode`, ...).
+    ExtractSubstring,
+    /// String concatenation (the `.` operator, `implode`, `join`).
+    StringConcatenation,
+    /// Add char (`addchar`, `str_pad`).
+    AddChar,
+    /// Replace string (`str_replace`, `preg_replace`, ...).
+    ReplaceString,
+    /// Remove whitespace (`trim`, `rtrim`, `ltrim`).
+    RemoveWhitespace,
+    /// Complex SQL query (joins, unions, subqueries).
+    ComplexQuery,
+    /// Numeric entry point position in the query.
+    NumericEntryPoint,
+    /// Query contains a FROM clause.
+    FromClause,
+    /// Aggregate function in the query (AVG/COUNT/SUM/MAX/MIN).
+    AggregateFunction,
+}
+
+impl Group {
+    /// All 15 original attribute groups in Table I order.
+    pub fn all() -> [Group; 15] {
+        [
+            Group::TypeChecking,
+            Group::EntryPointIsSet,
+            Group::PatternControl,
+            Group::WhiteList,
+            Group::BlackList,
+            Group::ErrorAndExit,
+            Group::ExtractSubstring,
+            Group::StringConcatenation,
+            Group::AddChar,
+            Group::ReplaceString,
+            Group::RemoveWhitespace,
+            Group::ComplexQuery,
+            Group::NumericEntryPoint,
+            Group::FromClause,
+            Group::AggregateFunction,
+        ]
+    }
+
+    /// Table I category of this group.
+    pub fn category(&self) -> Category {
+        match self {
+            Group::TypeChecking
+            | Group::EntryPointIsSet
+            | Group::PatternControl
+            | Group::WhiteList
+            | Group::BlackList
+            | Group::ErrorAndExit => Category::Validation,
+            Group::ExtractSubstring
+            | Group::StringConcatenation
+            | Group::AddChar
+            | Group::ReplaceString
+            | Group::RemoveWhitespace => Category::StringManipulation,
+            Group::ComplexQuery
+            | Group::NumericEntryPoint
+            | Group::FromClause
+            | Group::AggregateFunction => Category::SqlManipulation,
+        }
+    }
+
+    /// Display name as in Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Group::TypeChecking => "Type checking",
+            Group::EntryPointIsSet => "Entry point is set",
+            Group::PatternControl => "Pattern control",
+            Group::WhiteList => "White list",
+            Group::BlackList => "Black list",
+            Group::ErrorAndExit => "Error and exit",
+            Group::ExtractSubstring => "Extract substring",
+            Group::StringConcatenation => "String concatenation",
+            Group::AddChar => "Add char",
+            Group::ReplaceString => "Replace string",
+            Group::RemoveWhitespace => "Remove whitespaces",
+            Group::ComplexQuery => "Complex query",
+            Group::NumericEntryPoint => "Numeric entry point",
+            Group::FromClause => "FROM clause",
+            Group::AggregateFunction => "Aggregated function",
+        }
+    }
+}
+
+/// One symptom: a code feature whose presence is a predictor attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symptom {
+    /// Symptom name — a PHP function name, or a synthetic name for code
+    /// features (`concat_op`, `complex_query`, ...).
+    pub name: &'static str,
+    /// The original-WAP attribute group this symptom belongs to.
+    pub group: Group,
+    /// Whether the symptom is new in WAPe (right column of Table I).
+    pub new_in_wape: bool,
+}
+
+/// The full symptom inventory of Table I: 24 original + 36 new = 60.
+/// Order is stable — it defines the feature vector layout.
+pub fn symptoms() -> &'static [Symptom] {
+    use Group::*;
+    const S: &[Symptom] = &[
+        // ---- validation: type checking ----
+        Symptom { name: "is_string", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "is_int", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "is_float", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "is_numeric", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "ctype_digit", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "ctype_alpha", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "ctype_alnum", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "intval", group: TypeChecking, new_in_wape: false },
+        Symptom { name: "is_double", group: TypeChecking, new_in_wape: true },
+        Symptom { name: "is_integer", group: TypeChecking, new_in_wape: true },
+        Symptom { name: "is_long", group: TypeChecking, new_in_wape: true },
+        Symptom { name: "is_real", group: TypeChecking, new_in_wape: true },
+        Symptom { name: "is_scalar", group: TypeChecking, new_in_wape: true },
+        // ---- validation: entry point is set ----
+        Symptom { name: "isset", group: EntryPointIsSet, new_in_wape: false },
+        Symptom { name: "is_null", group: EntryPointIsSet, new_in_wape: true },
+        Symptom { name: "empty", group: EntryPointIsSet, new_in_wape: true },
+        // ---- validation: pattern control ----
+        Symptom { name: "preg_match", group: PatternControl, new_in_wape: false },
+        Symptom { name: "ereg", group: PatternControl, new_in_wape: false },
+        Symptom { name: "eregi", group: PatternControl, new_in_wape: false },
+        Symptom { name: "strnatcmp", group: PatternControl, new_in_wape: false },
+        Symptom { name: "strcmp", group: PatternControl, new_in_wape: false },
+        Symptom { name: "strncmp", group: PatternControl, new_in_wape: false },
+        Symptom { name: "strncasecmp", group: PatternControl, new_in_wape: false },
+        Symptom { name: "strcasecmp", group: PatternControl, new_in_wape: false },
+        Symptom { name: "preg_match_all", group: PatternControl, new_in_wape: true },
+        // ---- validation: white/black lists (user functions) ----
+        Symptom { name: "white_list", group: WhiteList, new_in_wape: false },
+        Symptom { name: "black_list", group: BlackList, new_in_wape: false },
+        // ---- validation: error and exit ----
+        Symptom { name: "error", group: ErrorAndExit, new_in_wape: true },
+        Symptom { name: "exit", group: ErrorAndExit, new_in_wape: true },
+        // ---- string manipulation: extract substring ----
+        Symptom { name: "substr", group: ExtractSubstring, new_in_wape: false },
+        Symptom { name: "preg_split", group: ExtractSubstring, new_in_wape: true },
+        Symptom { name: "str_split", group: ExtractSubstring, new_in_wape: true },
+        Symptom { name: "explode", group: ExtractSubstring, new_in_wape: true },
+        Symptom { name: "split", group: ExtractSubstring, new_in_wape: true },
+        Symptom { name: "spliti", group: ExtractSubstring, new_in_wape: true },
+        // ---- string manipulation: concatenation ----
+        Symptom { name: "concat_op", group: StringConcatenation, new_in_wape: false },
+        Symptom { name: "implode", group: StringConcatenation, new_in_wape: true },
+        Symptom { name: "join", group: StringConcatenation, new_in_wape: true },
+        // ---- string manipulation: add char ----
+        Symptom { name: "addchar", group: AddChar, new_in_wape: false },
+        Symptom { name: "str_pad", group: AddChar, new_in_wape: true },
+        // ---- string manipulation: replace ----
+        Symptom { name: "str_replace", group: ReplaceString, new_in_wape: false },
+        Symptom { name: "preg_replace", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "substr_replace", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "preg_filter", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "ereg_replace", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "eregi_replace", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "str_ireplace", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "str_shuffle", group: ReplaceString, new_in_wape: true },
+        Symptom { name: "chunk_split", group: ReplaceString, new_in_wape: true },
+        // ---- string manipulation: remove whitespace ----
+        Symptom { name: "trim", group: RemoveWhitespace, new_in_wape: false },
+        Symptom { name: "rtrim", group: RemoveWhitespace, new_in_wape: true },
+        Symptom { name: "ltrim", group: RemoveWhitespace, new_in_wape: true },
+        // ---- SQL query manipulation (computed features) ----
+        Symptom { name: "complex_query", group: ComplexQuery, new_in_wape: true },
+        Symptom { name: "numeric_entry_point", group: NumericEntryPoint, new_in_wape: true },
+        Symptom { name: "from_clause", group: FromClause, new_in_wape: true },
+        Symptom { name: "agg_avg", group: AggregateFunction, new_in_wape: true },
+        Symptom { name: "agg_count", group: AggregateFunction, new_in_wape: true },
+        Symptom { name: "agg_sum", group: AggregateFunction, new_in_wape: true },
+        Symptom { name: "agg_max", group: AggregateFunction, new_in_wape: true },
+        Symptom { name: "agg_min", group: AggregateFunction, new_in_wape: true },
+    ];
+    S
+}
+
+/// Number of feature attributes in the WAPe scheme (one per symptom).
+/// With the class attribute this gives the paper's 61.
+pub fn wape_feature_count() -> usize {
+    symptoms().len()
+}
+
+/// Number of feature attributes in the original scheme (one per group).
+/// With the class attribute this gives the paper's 16.
+pub fn original_feature_count() -> usize {
+    Group::all().len()
+}
+
+/// Index of a symptom by name (the feature vector position).
+pub fn symptom_index(name: &str) -> Option<usize> {
+    symptoms().iter().position(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// Projects a 60-feature WAPe vector down to the original 15-attribute
+/// scheme: an original attribute is 1 if any of its group's *original*
+/// symptoms is 1.
+pub fn project_to_original(features: &[f64]) -> Vec<f64> {
+    let groups = Group::all();
+    let mut out = vec![0.0; groups.len()];
+    for (i, s) in symptoms().iter().enumerate() {
+        if s.new_in_wape {
+            continue; // the original tool did not see these symptoms
+        }
+        if features.get(i).copied().unwrap_or(0.0) > 0.5 {
+            let gi = groups.iter().position(|g| *g == s.group).expect("group exists");
+            out[gi] = 1.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        // 60 symptom attributes + class = 61 (§III-B.1)
+        assert_eq!(wape_feature_count(), 60);
+        // 15 attributes + class = 16
+        assert_eq!(original_feature_count(), 15);
+        // 24 original symptoms
+        let original = symptoms().iter().filter(|s| !s.new_in_wape).count();
+        assert_eq!(original, 24);
+        // 36 new symptoms
+        assert_eq!(symptoms().len() - original, 36);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = symptoms().iter().map(|s| s.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), symptoms().len());
+    }
+
+    #[test]
+    fn symptom_index_lookup() {
+        assert_eq!(symptom_index("is_string"), Some(0));
+        assert!(symptom_index("PREG_MATCH").is_some());
+        assert!(symptom_index("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_group_has_a_symptom() {
+        for g in Group::all() {
+            assert!(
+                symptoms().iter().any(|s| s.group == g),
+                "group {g:?} has no symptoms"
+            );
+        }
+    }
+
+    #[test]
+    fn categories_partition_groups() {
+        let v = Group::all().iter().filter(|g| g.category() == Category::Validation).count();
+        let s = Group::all()
+            .iter()
+            .filter(|g| g.category() == Category::StringManipulation)
+            .count();
+        let q = Group::all().iter().filter(|g| g.category() == Category::SqlManipulation).count();
+        assert_eq!((v, s, q), (6, 5, 4));
+    }
+
+    #[test]
+    fn projection_collapses_group_members() {
+        let mut features = vec![0.0; wape_feature_count()];
+        features[symptom_index("is_int").unwrap()] = 1.0;
+        features[symptom_index("is_numeric").unwrap()] = 1.0;
+        let orig = project_to_original(&features);
+        assert_eq!(orig.len(), 15);
+        assert_eq!(orig.iter().sum::<f64>(), 1.0, "both map to TypeChecking");
+    }
+
+    #[test]
+    fn projection_ignores_new_symptoms() {
+        let mut features = vec![0.0; wape_feature_count()];
+        features[symptom_index("is_scalar").unwrap()] = 1.0; // new in WAPe
+        features[symptom_index("rtrim").unwrap()] = 1.0; // new in WAPe
+        let orig = project_to_original(&features);
+        assert_eq!(orig.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn category_parse() {
+        assert_eq!(Category::parse("validation"), Some(Category::Validation));
+        assert_eq!(
+            Category::parse("string_manipulation"),
+            Some(Category::StringManipulation)
+        );
+        assert_eq!(Category::parse("bogus"), None);
+    }
+}

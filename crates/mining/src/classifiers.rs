@@ -1,0 +1,756 @@
+//! Machine-learning classifiers, implemented from scratch (the paper used
+//! WEKA; this is our substitute substrate).
+//!
+//! The positive class ("Yes") is **false positive**, matching the paper's
+//! confusion-matrix convention (Table III): the predictor's job is to
+//! recognize candidates that are *not* real vulnerabilities.
+//!
+//! Implemented: Logistic Regression, linear SVM (Pegasos), CART decision
+//! tree, Random Tree, Random Forest, Bernoulli Naive Bayes, and k-NN —
+//! enough to re-run the paper's "re-evaluation of machine learning
+//! classifiers" and select a top 3.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A trainable binary classifier over fixed-length feature vectors.
+pub trait Classifier: Send {
+    /// Short display name (as in Table II headers).
+    fn name(&self) -> &'static str;
+    /// Fits the model. `y[i] == true` means instance `i` is a false
+    /// positive (the "Yes" class).
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]);
+    /// Predicts whether an instance is a false positive.
+    fn predict(&self, x: &[f64]) -> bool;
+}
+
+/// The classifier families available for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// Support Vector Machine (linear, Pegasos-trained).
+    Svm,
+    /// Logistic Regression (gradient descent, L2).
+    LogisticRegression,
+    /// Random Forest (bagged random trees, majority vote).
+    RandomForest,
+    /// A single tree split on random feature subsets (original WAP's
+    /// third classifier).
+    RandomTree,
+    /// Plain CART decision tree.
+    DecisionTree,
+    /// Bernoulli Naive Bayes.
+    NaiveBayes,
+    /// k-nearest-neighbours (k = 3, Hamming distance).
+    Knn,
+    /// OneR rule induction (single best attribute; the paper's "induction
+    /// rules" baseline).
+    OneR,
+}
+
+impl ClassifierKind {
+    /// All kinds, in the order they are reported by the evaluation sweep.
+    pub fn all() -> [ClassifierKind; 8] {
+        [
+            ClassifierKind::Svm,
+            ClassifierKind::LogisticRegression,
+            ClassifierKind::RandomForest,
+            ClassifierKind::RandomTree,
+            ClassifierKind::DecisionTree,
+            ClassifierKind::NaiveBayes,
+            ClassifierKind::Knn,
+            ClassifierKind::OneR,
+        ]
+    }
+
+    /// The paper's top 3 for the new data set (Table II).
+    pub fn top3() -> [ClassifierKind; 3] {
+        [ClassifierKind::Svm, ClassifierKind::LogisticRegression, ClassifierKind::RandomForest]
+    }
+
+    /// Builds an untrained classifier with a deterministic seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::Svm => Box::new(LinearSvm::new(seed)),
+            ClassifierKind::LogisticRegression => Box::new(LogisticRegression::new()),
+            ClassifierKind::RandomForest => Box::new(RandomForest::new(seed)),
+            ClassifierKind::RandomTree => Box::new(RandomTree::new(seed)),
+            ClassifierKind::DecisionTree => Box::new(DecisionTree::new()),
+            ClassifierKind::NaiveBayes => Box::new(NaiveBayes::new()),
+            ClassifierKind::Knn => Box::new(Knn::new(3)),
+            ClassifierKind::OneR => Box::new(OneR::new()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierKind::Svm => "SVM",
+            ClassifierKind::LogisticRegression => "Logistic Regression",
+            ClassifierKind::RandomForest => "Random Forest",
+            ClassifierKind::RandomTree => "Random Tree",
+            ClassifierKind::DecisionTree => "Decision Tree",
+            ClassifierKind::NaiveBayes => "Naive Bayes",
+            ClassifierKind::Knn => "K-NN",
+            ClassifierKind::OneR => "OneR",
+        }
+    }
+}
+
+// ---- logistic regression ----
+
+/// Logistic regression trained with full-batch gradient descent + L2.
+pub struct LogisticRegression {
+    w: Vec<f64>,
+    b: f64,
+    epochs: usize,
+    lr: f64,
+    l2: f64,
+}
+
+impl LogisticRegression {
+    /// New untrained model with default hyperparameters.
+    pub fn new() -> Self {
+        LogisticRegression { w: Vec::new(), b: 0.0, epochs: 400, lr: 0.5, l2: 1e-3 }
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "Logistic Regression"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let d = x.first().map(Vec::len).unwrap_or(0);
+        let n = x.len().max(1) as f64;
+        self.w = vec![0.0; d];
+        self.b = 0.0;
+        for _ in 0..self.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (xi, yi) in x.iter().zip(y) {
+                let z = self.b + xi.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>();
+                let err = sigmoid(z) - if *yi { 1.0 } else { 0.0 };
+                for (g, v) in gw.iter_mut().zip(xi) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (w, g) in self.w.iter_mut().zip(&gw) {
+                *w -= self.lr * (g / n + self.l2 * *w);
+            }
+            self.b -= self.lr * gb / n;
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        let z = self.b + x.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>();
+        sigmoid(z) >= 0.5
+    }
+}
+
+// ---- linear SVM (Pegasos) ----
+
+/// Linear SVM trained with the Pegasos stochastic sub-gradient method.
+pub struct LinearSvm {
+    w: Vec<f64>,
+    b: f64,
+    lambda: f64,
+    epochs: usize,
+    seed: u64,
+}
+
+impl LinearSvm {
+    /// New untrained model; `seed` controls the sampling order.
+    pub fn new(seed: u64) -> Self {
+        LinearSvm { w: Vec::new(), b: 0.0, lambda: 1e-3, epochs: 80, seed }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let d = x.first().map(Vec::len).unwrap_or(0);
+        self.w = vec![0.0; d];
+        self.b = 0.0;
+        if x.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut t = 1.0f64;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let eta = 1.0 / (self.lambda * t);
+                let yi = if y[i] { 1.0 } else { -1.0 };
+                let margin = yi
+                    * (self.b
+                        + x[i].iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>());
+                for w in self.w.iter_mut() {
+                    *w *= 1.0 - eta * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (w, v) in self.w.iter_mut().zip(&x[i]) {
+                        *w += eta * yi * v;
+                    }
+                    self.b += eta * yi;
+                }
+                t += 1.0;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.b + x.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>() >= 0.0
+    }
+}
+
+// ---- decision trees ----
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(bool),
+    Split { feature: usize, left: Box<Node>, right: Box<Node> },
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+/// Builds a CART tree on binary features. `feature_pool` restricts the
+/// candidate features per node (random trees); `None` considers all.
+fn build_tree(
+    x: &[Vec<f64>],
+    y: &[bool],
+    idx: &[usize],
+    depth: usize,
+    max_depth: usize,
+    mut rng: Option<&mut StdRng>,
+    subset: usize,
+) -> Node {
+    let pos = idx.iter().filter(|&&i| y[i]).count();
+    if pos == 0 {
+        return Node::Leaf(false);
+    }
+    if pos == idx.len() {
+        return Node::Leaf(true);
+    }
+    let majority = pos * 2 >= idx.len();
+    if depth >= max_depth || idx.len() < 2 {
+        return Node::Leaf(majority);
+    }
+    let d = x[0].len();
+    let candidates: Vec<usize> = match rng.as_deref_mut() {
+        Some(rng) => {
+            let mut fs: Vec<usize> = (0..d).collect();
+            fs.shuffle(rng);
+            fs.truncate(subset.max(1));
+            fs
+        }
+        None => (0..d).collect(),
+    };
+    let total = idx.len() as f64;
+    let base = gini(pos as f64, total);
+    let mut best: Option<(usize, f64)> = None;
+    for f in candidates {
+        let (mut lp, mut lt, mut rp, mut rt) = (0.0, 0.0, 0.0, 0.0);
+        for &i in idx {
+            if x[i][f] > 0.5 {
+                rt += 1.0;
+                if y[i] {
+                    rp += 1.0;
+                }
+            } else {
+                lt += 1.0;
+                if y[i] {
+                    lp += 1.0;
+                }
+            }
+        }
+        if lt == 0.0 || rt == 0.0 {
+            continue;
+        }
+        let g = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
+        let gain = base - g;
+        if gain > 1e-12 && best.map(|(_, bg)| gain > bg).unwrap_or(true) {
+            best = Some((f, gain));
+        }
+    }
+    let Some((f, _)) = best else { return Node::Leaf(majority) };
+    let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] <= 0.5).collect();
+    let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] > 0.5).collect();
+    // NOTE: rng cannot be reborrowed twice mutably through Option; split
+    // deterministically by deriving child RNGs when present.
+    match rng {
+        Some(rng) => {
+            let mut left_rng = StdRng::seed_from_u64(rng.gen::<u64>());
+            let mut right_rng = StdRng::seed_from_u64(rng.gen::<u64>());
+            Node::Split {
+                feature: f,
+                left: Box::new(build_tree(
+                    x,
+                    y,
+                    &left_idx,
+                    depth + 1,
+                    max_depth,
+                    Some(&mut left_rng),
+                    subset,
+                )),
+                right: Box::new(build_tree(
+                    x,
+                    y,
+                    &right_idx,
+                    depth + 1,
+                    max_depth,
+                    Some(&mut right_rng),
+                    subset,
+                )),
+            }
+        }
+        None => Node::Split {
+            feature: f,
+            left: Box::new(build_tree(x, y, &left_idx, depth + 1, max_depth, None, subset)),
+            right: Box::new(build_tree(x, y, &right_idx, depth + 1, max_depth, None, subset)),
+        },
+    }
+}
+
+fn tree_predict(node: &Node, x: &[f64]) -> bool {
+    match node {
+        Node::Leaf(v) => *v,
+        Node::Split { feature, left, right } => {
+            if x.get(*feature).copied().unwrap_or(0.0) > 0.5 {
+                tree_predict(right, x)
+            } else {
+                tree_predict(left, x)
+            }
+        }
+    }
+}
+
+/// Plain CART decision tree (gini, depth-limited).
+pub struct DecisionTree {
+    root: Option<Node>,
+    max_depth: usize,
+}
+
+impl DecisionTree {
+    /// New untrained tree.
+    pub fn new() -> Self {
+        DecisionTree { root: None, max_depth: 16 }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(build_tree(x, y, &idx, 0, self.max_depth, None, usize::MAX));
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.root.as_ref().map(|r| tree_predict(r, x)).unwrap_or(false)
+    }
+}
+
+/// A single tree choosing among a random feature subset at each node
+/// (WEKA's RandomTree, used by the original WAP).
+pub struct RandomTree {
+    root: Option<Node>,
+    max_depth: usize,
+    seed: u64,
+}
+
+impl RandomTree {
+    /// New untrained random tree.
+    pub fn new(seed: u64) -> Self {
+        RandomTree { root: None, max_depth: 16, seed }
+    }
+}
+
+impl Classifier for RandomTree {
+    fn name(&self) -> &'static str {
+        "Random Tree"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let d = x.first().map(Vec::len).unwrap_or(1);
+        let subset = (d as f64).sqrt().ceil() as usize + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.root =
+            Some(build_tree(x, y, &idx, 0, self.max_depth, Some(&mut rng), subset));
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.root.as_ref().map(|r| tree_predict(r, x)).unwrap_or(false)
+    }
+}
+
+/// Random Forest: bootstrap-bagged random trees with majority voting.
+pub struct RandomForest {
+    trees: Vec<Node>,
+    n_trees: usize,
+    max_depth: usize,
+    seed: u64,
+}
+
+impl RandomForest {
+    /// New untrained forest.
+    pub fn new(seed: u64) -> Self {
+        RandomForest { trees: Vec::new(), n_trees: 60, max_depth: 12, seed }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "Random Forest"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let d = x[0].len();
+        let subset = (d as f64).sqrt().ceil() as usize + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.n_trees {
+            let idx: Vec<usize> =
+                (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            let mut tree_rng = StdRng::seed_from_u64(rng.gen::<u64>());
+            self.trees.push(build_tree(
+                x,
+                y,
+                &idx,
+                0,
+                self.max_depth,
+                Some(&mut tree_rng),
+                subset,
+            ));
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        if self.trees.is_empty() {
+            return false;
+        }
+        let votes = self.trees.iter().filter(|t| tree_predict(t, x)).count();
+        votes * 2 > self.trees.len()
+    }
+}
+
+// ---- naive bayes ----
+
+/// Bernoulli Naive Bayes with Laplace smoothing.
+pub struct NaiveBayes {
+    log_prior: [f64; 2],
+    log_like: Vec<[[f64; 2]; 2]>, // [feature][class][value]
+}
+
+impl NaiveBayes {
+    /// New untrained model.
+    pub fn new() -> Self {
+        NaiveBayes { log_prior: [0.0; 2], log_like: Vec::new() }
+    }
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let d = x.first().map(Vec::len).unwrap_or(0);
+        let n = x.len() as f64;
+        let pos = y.iter().filter(|v| **v).count() as f64;
+        self.log_prior = [((n - pos + 1.0) / (n + 2.0)).ln(), ((pos + 1.0) / (n + 2.0)).ln()];
+        self.log_like = vec![[[0.0; 2]; 2]; d];
+        for f in 0..d {
+            let mut counts = [[1.0f64; 2]; 2]; // laplace
+            for (xi, yi) in x.iter().zip(y) {
+                let c = usize::from(*yi);
+                let v = usize::from(xi[f] > 0.5);
+                counts[c][v] += 1.0;
+            }
+            for c in 0..2 {
+                let total = counts[c][0] + counts[c][1];
+                self.log_like[f][c] = [(counts[c][0] / total).ln(), (counts[c][1] / total).ln()];
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut score = [self.log_prior[0], self.log_prior[1]];
+        for (f, ll) in self.log_like.iter().enumerate() {
+            let v = usize::from(x.get(f).copied().unwrap_or(0.0) > 0.5);
+            score[0] += ll[0][v];
+            score[1] += ll[1][v];
+        }
+        score[1] >= score[0]
+    }
+}
+
+// ---- k-NN ----
+
+/// k-nearest-neighbours with Hamming distance on binary features.
+pub struct Knn {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<bool>,
+}
+
+impl Knn {
+    /// New k-NN model.
+    pub fn new(k: usize) -> Self {
+        Knn { k: k.max(1), x: Vec::new(), y: Vec::new() }
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "K-NN"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        if self.x.is_empty() {
+            return false;
+        }
+        let mut dist: Vec<(usize, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| {
+                let d = xi
+                    .iter()
+                    .zip(x)
+                    .filter(|(a, b)| (**a > 0.5) != (**b > 0.5))
+                    .count();
+                (d, i)
+            })
+            .collect();
+        dist.sort();
+        let k = self.k.min(dist.len());
+        let votes = dist[..k].iter().filter(|(_, i)| self.y[*i]).count();
+        votes * 2 > k
+    }
+}
+
+// ---- OneR ----
+
+/// OneR: pick the single attribute whose one-level rule has the lowest
+/// training error. A classic induction-rule baseline (Holte 1993).
+pub struct OneR {
+    feature: usize,
+    when_set: bool,
+    when_unset: bool,
+}
+
+impl OneR {
+    /// New untrained rule.
+    pub fn new() -> Self {
+        OneR { feature: 0, when_set: false, when_unset: false }
+    }
+}
+
+impl Default for OneR {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for OneR {
+    fn name(&self) -> &'static str {
+        "OneR"
+    }
+
+    fn train(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let d = x.first().map(Vec::len).unwrap_or(0);
+        let majority = y.iter().filter(|v| **v).count() * 2 >= y.len().max(1);
+        self.feature = 0;
+        self.when_set = majority;
+        self.when_unset = majority;
+        let mut best_err = usize::MAX;
+        for f in 0..d {
+            // majority label on each side of the split
+            let mut set_pos = 0usize;
+            let mut set_tot = 0usize;
+            let mut unset_pos = 0usize;
+            let mut unset_tot = 0usize;
+            for (xi, yi) in x.iter().zip(y) {
+                if xi[f] > 0.5 {
+                    set_tot += 1;
+                    set_pos += usize::from(*yi);
+                } else {
+                    unset_tot += 1;
+                    unset_pos += usize::from(*yi);
+                }
+            }
+            let when_set = set_pos * 2 >= set_tot.max(1);
+            let when_unset = unset_pos * 2 >= unset_tot.max(1);
+            let err = (if when_set { set_tot - set_pos } else { set_pos })
+                + (if when_unset { unset_tot - unset_pos } else { unset_pos });
+            if err < best_err {
+                best_err = err;
+                self.feature = f;
+                self.when_set = when_set;
+                self.when_unset = when_unset;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        if x.get(self.feature).copied().unwrap_or(0.0) > 0.5 {
+            self.when_set
+        } else {
+            self.when_unset
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy set: feature 0 decides the class.
+    fn toy() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let fp = i % 2 == 0;
+            let noise = if i % 7 == 0 { 1.0 } else { 0.0 };
+            x.push(vec![if fp { 1.0 } else { 0.0 }, noise, 0.0]);
+            y.push(fp);
+        }
+        (x, y)
+    }
+
+    fn check_learns(kind: ClassifierKind) {
+        let (x, y) = toy();
+        let mut c = kind.build(42);
+        c.train(&x, &y);
+        let mut correct = 0;
+        for (xi, yi) in x.iter().zip(&y) {
+            if c.predict(xi) == *yi {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / x.len() as f64 >= 0.95,
+            "{} got {}/{}",
+            c.name(),
+            correct,
+            x.len()
+        );
+    }
+
+    #[test]
+    fn all_classifiers_learn_separable_data() {
+        for kind in ClassifierKind::all() {
+            check_learns(kind);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let (x, y) = toy();
+        for kind in ClassifierKind::all() {
+            let mut a = kind.build(7);
+            let mut b = kind.build(7);
+            a.train(&x, &y);
+            b.train(&x, &y);
+            for xi in &x {
+                assert_eq!(a.predict(xi), b.predict(xi), "{} not deterministic", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_empty_training_set() {
+        for kind in ClassifierKind::all() {
+            let mut c = kind.build(1);
+            c.train(&[], &[]);
+            // must not panic
+            let _ = c.predict(&[0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn handles_single_class_data() {
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let y = vec![true, true, true];
+        for kind in ClassifierKind::all() {
+            let mut c = kind.build(1);
+            c.train(&x, &y);
+            assert!(c.predict(&[1.0, 0.0]), "{} should predict the only class", c.name());
+        }
+    }
+
+    #[test]
+    fn forest_beats_noise_on_xor() {
+        // XOR is not linearly separable: trees get it, linear models don't
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push((a ^ b) == 1);
+                }
+            }
+        }
+        let mut forest = RandomForest::new(3);
+        forest.train(&x, &y);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, yi)| forest.predict(xi) == **yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.95, "forest only reached {acc}");
+    }
+
+    #[test]
+    fn top3_matches_paper() {
+        let names: Vec<_> = ClassifierKind::top3().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["SVM", "Logistic Regression", "Random Forest"]);
+    }
+}

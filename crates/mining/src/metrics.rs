@@ -1,0 +1,236 @@
+//! Evaluation metrics and cross-validation (Tables II and III).
+//!
+//! The positive ("Yes") class is *false positive*; `fp` in the confusion
+//! matrix therefore means "a real vulnerability classified as a false
+//! positive" — in vulnerability-detection terms, a missed vulnerability
+//! (the paper makes this point under Table III).
+
+use crate::classifiers::ClassifierKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A 2×2 confusion matrix using the paper's notation (Table III, last two
+/// columns): rows are predictions, columns are observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted Yes (FP), observed Yes.
+    pub tp: usize,
+    /// Predicted Yes (FP), observed No — a missed real vulnerability.
+    pub fp: usize,
+    /// Predicted No, observed Yes.
+    pub fn_: usize,
+    /// Predicted No, observed No.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Records one prediction.
+    pub fn record(&mut self, predicted: bool, observed: bool) {
+        match (predicted, observed) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Merges another matrix into this one (fold accumulation).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+/// The nine metrics of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// `tpp = recall = tp / (tp + fn)` — rate of FPs predicted correctly.
+    pub tpp: f64,
+    /// `pfp = fallout = fp / (tn + fp)` — vulnerabilities wrongly
+    /// classified as FPs (goal 2: keep this low).
+    pub pfp: f64,
+    /// `prfp = tp / (tp + fp)` — precision on the FP class.
+    pub prfp: f64,
+    /// `pd = specificity = tn / (tn + fp)`.
+    pub pd: f64,
+    /// `ppd = inverse precision = tn / (tn + fn)`.
+    pub ppd: f64,
+    /// `accuracy = (tp + tn) / N`.
+    pub acc: f64,
+    /// `precision = (prfp + ppd) / 2`.
+    pub pr: f64,
+    /// `informedness = tpp + pd − 1 = tpp − pfp` (new in this paper).
+    pub inform: f64,
+    /// `jaccard = tp / (tp + fn + fp)` (new in this paper).
+    pub jacc: f64,
+}
+
+impl Metrics {
+    /// Computes all metrics from a confusion matrix.
+    pub fn from_confusion(m: &ConfusionMatrix) -> Metrics {
+        let (tp, fp, fn_, tn) =
+            (m.tp as f64, m.fp as f64, m.fn_ as f64, m.tn as f64);
+        let div = |a: f64, b: f64| if b == 0.0 { 0.0 } else { a / b };
+        let tpp = div(tp, tp + fn_);
+        let pfp = div(fp, tn + fp);
+        let prfp = div(tp, tp + fp);
+        let pd = div(tn, tn + fp);
+        let ppd = div(tn, tn + fn_);
+        let acc = div(tp + tn, tp + tn + fp + fn_);
+        Metrics {
+            tpp,
+            pfp,
+            prfp,
+            pd,
+            ppd,
+            acc,
+            pr: (prfp + ppd) / 2.0,
+            inform: tpp + pd - 1.0,
+            jacc: div(tp, tp + fn_ + fp),
+        }
+    }
+}
+
+/// Stratified k-fold cross-validation of one classifier kind.
+///
+/// Returns the accumulated confusion matrix over all folds, which is how
+/// WEKA reports CV results (and how Table III is built).
+pub fn cross_validate(
+    kind: ClassifierKind,
+    x: &[Vec<f64>],
+    y: &[bool],
+    folds: usize,
+    seed: u64,
+) -> ConfusionMatrix {
+    assert!(folds >= 2, "cross-validation needs at least 2 folds");
+    assert_eq!(x.len(), y.len(), "features and labels must align");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // stratify: shuffle positives and negatives separately, then deal them
+    // round-robin into folds
+    let mut pos: Vec<usize> = (0..y.len()).filter(|&i| y[i]).collect();
+    let mut neg: Vec<usize> = (0..y.len()).filter(|&i| !y[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut fold_of = vec![0usize; y.len()];
+    for (j, &i) in pos.iter().chain(neg.iter()).enumerate() {
+        fold_of[i] = j % folds;
+    }
+
+    let mut cm = ConfusionMatrix::default();
+    for fold in 0..folds {
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_idx = Vec::new();
+        for i in 0..x.len() {
+            if fold_of[i] == fold {
+                test_idx.push(i);
+            } else {
+                train_x.push(x[i].clone());
+                train_y.push(y[i]);
+            }
+        }
+        let mut clf = kind.build(seed.wrapping_add(fold as u64));
+        clf.train(&train_x, &train_y);
+        for i in test_idx {
+            cm.record(clf.predict(&x[i]), y[i]);
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_svm() -> ConfusionMatrix {
+        // Table III, SVM column: predicted-yes row (121, 6),
+        // predicted-no row (7, 122)
+        ConfusionMatrix { tp: 121, fp: 6, fn_: 7, tn: 122 }
+    }
+
+    #[test]
+    fn metrics_match_paper_svm_column() {
+        let m = Metrics::from_confusion(&paper_svm());
+        // Table II, SVM column
+        assert!((m.tpp - 0.945).abs() < 0.001, "tpp = {}", m.tpp);
+        assert!((m.pfp - 0.047).abs() < 0.001, "pfp = {}", m.pfp);
+        assert!((m.prfp - 0.953).abs() < 0.001, "prfp = {}", m.prfp);
+        assert!((m.pd - 0.953).abs() < 0.001, "pd = {}", m.pd);
+        assert!((m.ppd - 0.946).abs() < 0.001, "ppd = {}", m.ppd);
+        assert!((m.acc - 0.949).abs() < 0.001, "acc = {}", m.acc);
+        assert!((m.pr - 0.949).abs() < 0.001, "pr = {}", m.pr);
+        assert!((m.jacc - 0.903).abs() < 0.001, "jacc = {}", m.jacc);
+    }
+
+    #[test]
+    fn metrics_match_paper_rf_column() {
+        // Table III, Random Forest column: (116, 3) / (12, 125)
+        let m = Metrics::from_confusion(&ConfusionMatrix { tp: 116, fp: 3, fn_: 12, tn: 125 });
+        assert!((m.tpp - 0.906).abs() < 0.001);
+        assert!((m.pfp - 0.023).abs() < 0.001);
+        assert!((m.prfp - 0.975).abs() < 0.001);
+        assert!((m.pd - 0.977).abs() < 0.001);
+        assert!((m.acc - 0.941).abs() < 0.001);
+    }
+
+    #[test]
+    fn informedness_identity() {
+        let m = Metrics::from_confusion(&paper_svm());
+        assert!((m.inform - (m.tpp - m.pfp)).abs() < 1e-12);
+        assert!((m.inform - (m.tpp + m.pd - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut cm = ConfusionMatrix::default();
+        cm.record(true, true);
+        cm.record(true, false);
+        cm.record(false, true);
+        cm.record(false, false);
+        assert_eq!(cm.total(), 4);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_metrics_not_nan() {
+        let m = Metrics::from_confusion(&ConfusionMatrix::default());
+        for v in [m.tpp, m.pfp, m.prfp, m.pd, m.ppd, m.acc, m.pr, m.jacc] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_validation_covers_every_instance_once() {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let y: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let cm = cross_validate(ClassifierKind::DecisionTree, &x, &y, 10, 1);
+        assert_eq!(cm.total(), 50);
+    }
+
+    #[test]
+    fn cross_validation_is_deterministic() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 2) as f64]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let a = cross_validate(ClassifierKind::Svm, &x, &y, 5, 99);
+        let b = cross_validate(ClassifierKind::Svm, &x, &y, 5, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        a.merge(&ConfusionMatrix { tp: 10, fp: 20, fn_: 30, tn: 40 });
+        assert_eq!(a, ConfusionMatrix { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+}

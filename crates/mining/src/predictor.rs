@@ -1,0 +1,204 @@
+//! The false positive predictor: a committee of the top-3 classifiers.
+//!
+//! WAP "uses a combination of 3 classifiers to make the prediction" (§II).
+//! The new top 3 selected in §III-B.1 is SVM, Logistic Regression, and
+//! Random Forest (replacing the original Random Tree). A candidate is
+//! predicted to be a false positive when a majority of the committee says
+//! so; predicted false positives are *justified* by the symptoms found.
+
+use crate::classifiers::{Classifier, ClassifierKind};
+use crate::dataset::Dataset;
+use crate::symptoms::FeatureVector;
+
+/// Which predictor generation to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorGeneration {
+    /// Original WAP v2.1: (SVM, Logistic Regression, Random Tree) trained
+    /// on the 76-instance / 16-attribute data set.
+    WapV21,
+    /// WAPe: (SVM, Logistic Regression, Random Forest) trained on the
+    /// 256-instance / 61-attribute data set.
+    Wape,
+}
+
+/// Verdict for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// True when the committee classifies the candidate as a false
+    /// positive.
+    pub is_false_positive: bool,
+    /// Committee votes for "false positive", out of 3.
+    pub votes: usize,
+    /// Symptoms that justify the decision (present in the candidate).
+    pub justification: Vec<&'static str>,
+}
+
+/// The trained committee.
+pub struct FalsePositivePredictor {
+    members: Vec<Box<dyn Classifier>>,
+    generation: PredictorGeneration,
+}
+
+impl std::fmt::Debug for FalsePositivePredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FalsePositivePredictor")
+            .field("generation", &self.generation)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl FalsePositivePredictor {
+    /// Trains the committee for a generation with the matching data set.
+    pub fn train(generation: PredictorGeneration, seed: u64) -> Self {
+        let (kinds, dataset): (Vec<ClassifierKind>, Dataset) = match generation {
+            PredictorGeneration::WapV21 => (
+                vec![
+                    ClassifierKind::Svm,
+                    ClassifierKind::LogisticRegression,
+                    ClassifierKind::RandomTree,
+                ],
+                Dataset::original(seed),
+            ),
+            PredictorGeneration::Wape => (
+                ClassifierKind::top3().to_vec(),
+                Dataset::wape(seed),
+            ),
+        };
+        let mut members = Vec::new();
+        for (i, k) in kinds.into_iter().enumerate() {
+            let mut c = k.build(seed.wrapping_add(i as u64));
+            c.train(&dataset.x, &dataset.y);
+            members.push(c);
+        }
+        FalsePositivePredictor { members, generation }
+    }
+
+    /// Trains the committee on a caller-provided data set (used by the
+    /// ablation experiments).
+    pub fn train_on(kinds: &[ClassifierKind], dataset: &Dataset, seed: u64) -> Self {
+        let mut members = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let mut c = k.build(seed.wrapping_add(i as u64));
+            c.train(&dataset.x, &dataset.y);
+            members.push(c);
+        }
+        FalsePositivePredictor { members, generation: PredictorGeneration::Wape }
+    }
+
+    /// Which generation this predictor implements.
+    pub fn generation(&self) -> PredictorGeneration {
+        self.generation
+    }
+
+    /// Classifies one collected feature vector.
+    ///
+    /// For the WAP v2.1 generation the 60-feature vector is projected to
+    /// the original 15 attributes first.
+    pub fn predict(&self, fv: &FeatureVector) -> Prediction {
+        let features: Vec<f64> = match self.generation {
+            PredictorGeneration::WapV21 => {
+                crate::attributes::project_to_original(&fv.features)
+            }
+            PredictorGeneration::Wape => fv.features.clone(),
+        };
+        let votes = self.members.iter().filter(|m| m.predict(&features)).count();
+        let is_fp = votes * 2 > self.members.len();
+        Prediction {
+            is_false_positive: is_fp,
+            votes,
+            justification: if is_fp { fv.present.clone() } else { Vec::new() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{symptom_index, wape_feature_count};
+
+    fn fv_with(names: &[&str]) -> FeatureVector {
+        let mut features = vec![0.0; wape_feature_count()];
+        let mut present = Vec::new();
+        for n in names {
+            let i = symptom_index(n).expect("symptom exists");
+            features[i] = 1.0;
+            present.push(crate::attributes::symptoms()[i].name);
+        }
+        FeatureVector { features, present }
+    }
+
+    #[test]
+    fn heavily_guarded_candidate_is_a_false_positive() {
+        let p = FalsePositivePredictor::train(PredictorGeneration::Wape, 42);
+        let fv = fv_with(&[
+            "isset",
+            "is_numeric",
+            "intval",
+            "preg_match",
+            "exit",
+            "concat_op",
+            "from_clause",
+            "numeric_entry_point",
+        ]);
+        let out = p.predict(&fv);
+        assert!(out.is_false_positive, "votes = {}", out.votes);
+        assert!(out.justification.contains(&"is_numeric"));
+    }
+
+    #[test]
+    fn raw_flow_is_a_real_vulnerability() {
+        let p = FalsePositivePredictor::train(PredictorGeneration::Wape, 42);
+        let fv = fv_with(&["concat_op", "from_clause"]);
+        let out = p.predict(&fv);
+        assert!(!out.is_false_positive, "votes = {}", out.votes);
+        assert!(out.justification.is_empty());
+    }
+
+    #[test]
+    fn wap_v21_generation_projects_features() {
+        let p = FalsePositivePredictor::train(PredictorGeneration::WapV21, 42);
+        assert_eq!(p.generation(), PredictorGeneration::WapV21);
+        // projection invariance: NEW symptoms are invisible to v2.1, so
+        // two vectors differing only in new symptoms predict identically
+        let bare = fv_with(&["concat_op", "from_clause"]);
+        let with_new = fv_with(&[
+            "concat_op",
+            "from_clause",
+            "is_scalar",
+            "empty",
+            "is_null",
+            "rtrim",
+            "preg_match_all",
+        ]);
+        let a = p.predict(&bare);
+        let b = p.predict(&with_new);
+        assert_eq!(
+            a.is_false_positive, b.is_false_positive,
+            "v2.1 must be blind to new symptoms"
+        );
+        assert_eq!(a.votes, b.votes);
+        // the WAPe generation distinguishes them: the guarded vector must
+        // earn at least as many FP votes as the bare one
+        let pe = FalsePositivePredictor::train(PredictorGeneration::Wape, 42);
+        let a = pe.predict(&bare);
+        let b = pe.predict(&with_new);
+        assert!(b.votes >= a.votes, "WAPe sees new symptoms: {} vs {}", b.votes, a.votes);
+        assert!(b.is_false_positive, "heavily guarded flow is an FP for WAPe");
+    }
+
+    #[test]
+    fn votes_bounded_by_committee_size() {
+        let p = FalsePositivePredictor::train(PredictorGeneration::Wape, 1);
+        let out = p.predict(&fv_with(&["isset"]));
+        assert!(out.votes <= 3);
+    }
+
+    #[test]
+    fn train_on_custom_committee() {
+        let d = Dataset::wape(9);
+        let p = FalsePositivePredictor::train_on(&[ClassifierKind::NaiveBayes], &d, 9);
+        let out = p.predict(&fv_with(&["isset", "is_numeric", "preg_match", "exit"]));
+        assert!(out.votes <= 1);
+    }
+}

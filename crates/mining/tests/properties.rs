@@ -1,0 +1,93 @@
+//! Property-based tests for the data-mining layer.
+
+use proptest::prelude::*;
+use wap_mining::attributes::{project_to_original, symptom_index, wape_feature_count};
+use wap_mining::classifiers::ClassifierKind;
+use wap_mining::metrics::{cross_validate, ConfusionMatrix, Metrics};
+use wap_mining::Dataset;
+
+fn vector_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop::bool::ANY.prop_map(|b| if b { 1.0 } else { 0.0 }), 60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All metric values are finite and inside [−1, 1] for rates and
+    /// [0, 1] for probabilities, for any confusion matrix.
+    #[test]
+    fn metrics_are_bounded(tp in 0usize..500, fp in 0usize..500, fn_ in 0usize..500, tn in 0usize..500) {
+        let m = Metrics::from_confusion(&ConfusionMatrix { tp, fp, fn_, tn });
+        for v in [m.tpp, m.pfp, m.prfp, m.pd, m.ppd, m.acc, m.pr, m.jacc] {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        prop_assert!((-1.0..=1.0).contains(&m.inform));
+        // the paper's identity: inform = tpp + pd − 1 = tpp − pfp
+        prop_assert!((m.inform - (m.tpp + m.pd - 1.0)).abs() < 1e-9);
+        if tn + fp > 0 {
+            prop_assert!((m.inform - (m.tpp - m.pfp)).abs() < 1e-9);
+        }
+    }
+
+    /// Projection to the original scheme is monotone: turning features ON
+    /// never turns original attributes OFF.
+    #[test]
+    fn projection_is_monotone(base in vector_strategy(), extra in 0usize..60) {
+        let mut more = base.clone();
+        more[extra] = 1.0;
+        let pa = project_to_original(&base);
+        let pb = project_to_original(&more);
+        for (a, b) in pa.iter().zip(&pb) {
+            prop_assert!(b >= a, "projection lost an attribute");
+        }
+    }
+
+    /// Projection output is always 15-dim binary.
+    #[test]
+    fn projection_shape(v in vector_strategy()) {
+        let p = project_to_original(&v);
+        prop_assert_eq!(p.len(), 15);
+        prop_assert!(p.iter().all(|x| *x == 0.0 || *x == 1.0));
+    }
+
+    /// Every classifier is deterministic given a seed and never panics on
+    /// arbitrary binary vectors after training on a real dataset.
+    #[test]
+    fn classifiers_total_on_arbitrary_inputs(v in vector_strategy(), kind_idx in 0usize..8) {
+        let kind = ClassifierKind::all()[kind_idx];
+        let d = Dataset::wape(7);
+        let mut c = kind.build(7);
+        c.train(&d.x, &d.y);
+        let a = c.predict(&v);
+        let b = c.predict(&v);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cross-validation confusion counts always sum to the dataset size.
+    #[test]
+    fn cv_covers_dataset(folds in 2usize..8, seed in 0u64..50) {
+        let d = Dataset::original(seed);
+        let cm = cross_validate(ClassifierKind::OneR, &d.x, &d.y, folds, seed);
+        prop_assert_eq!(cm.total(), d.len());
+    }
+
+    /// Dataset generation is stable in shape for any seed.
+    #[test]
+    fn dataset_shape_for_any_seed(seed in 0u64..200) {
+        let d = Dataset::wape(seed);
+        prop_assert_eq!(d.len(), 256);
+        prop_assert_eq!(d.positives(), 128);
+        prop_assert!(d.x.iter().all(|v| v.len() == wape_feature_count()));
+        let o = Dataset::original(seed);
+        prop_assert_eq!(o.len(), 76);
+        prop_assert_eq!(o.positives(), 32);
+    }
+}
+
+#[test]
+fn symptom_indices_are_dense_and_stable() {
+    for (i, s) in wap_mining::symptoms().iter().enumerate() {
+        assert_eq!(symptom_index(s.name), Some(i));
+    }
+}

@@ -1,0 +1,62 @@
+//! Lexing and parsing error types.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while lexing or parsing PHP source.
+///
+/// The parser is designed to accept the realistic subset of PHP used by the
+/// corpus and the paper's examples; constructs outside that subset produce a
+/// `ParseError` rather than a silent mis-parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error with a human-readable message anchored at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// The error message (lowercase, no trailing punctuation).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for parse results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new("unexpected token", Span::new(10, 11, 3));
+        assert_eq!(e.to_string(), "unexpected token at line 3");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(ParseError::new("x", Span::synthetic()));
+        assert!(e.to_string().contains('x'));
+    }
+}

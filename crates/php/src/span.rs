@@ -1,0 +1,155 @@
+//! Byte-offset source spans with line tracking.
+//!
+//! Every token, statement, and expression produced by this crate carries a
+//! [`Span`] locating it in the original source text. Spans are the contract
+//! between the analyzer (which reports findings) and the code corrector
+//! (which splices fixes back into the source), so they must always reference
+//! valid byte offsets of the file they came from.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, plus the
+/// 1-based line number where the range starts.
+///
+/// # Examples
+///
+/// ```
+/// use wap_php::Span;
+/// let a = Span::new(0, 5, 1);
+/// let b = Span::new(10, 12, 2);
+/// let merged = a.merge(b);
+/// assert_eq!(merged.start(), 0);
+/// assert_eq!(merged.end(), 12);
+/// assert_eq!(merged.line(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    start: u32,
+    end: u32,
+    line: u32,
+}
+
+impl Span {
+    /// Creates a new span. `start`/`end` are byte offsets; `line` is the
+    /// 1-based line of `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if `end < start`.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        debug_assert!(end >= start, "span end before start: {start}..{end}");
+        Span { start, end, line }
+    }
+
+    /// A zero-length span at offset 0, line 1. Used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span { start: 0, end: 0, line: 1 }
+    }
+
+    /// Byte offset of the first byte covered by the span.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Byte offset one past the last byte covered by the span.
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// 1-based line number of the span start.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`; the line is taken
+    /// from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, start) = if self.start <= other.start {
+            (self.line, self.start)
+        } else {
+            (other.line, other.start)
+        };
+        Span { start, end: self.end.max(other.end), line }
+    }
+
+    /// The source text covered by this span.
+    ///
+    /// Returns an empty string if the span is out of bounds for `src` (a
+    /// synthesized node being sliced against the wrong file).
+    pub fn slice<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}@L{}", self.start, self.end, self.line)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_on_bounds() {
+        let a = Span::new(3, 9, 1);
+        let b = Span::new(12, 20, 4);
+        let m1 = a.merge(b);
+        let m2 = b.merge(a);
+        assert_eq!(m1.start(), 3);
+        assert_eq!(m1.end(), 20);
+        assert_eq!(m2.start(), 3);
+        assert_eq!(m2.end(), 20);
+        assert_eq!(m1.line(), 1);
+        assert_eq!(m2.line(), 1);
+    }
+
+    #[test]
+    fn merge_nested() {
+        let outer = Span::new(0, 50, 1);
+        let inner = Span::new(10, 20, 2);
+        assert_eq!(outer.merge(inner), outer);
+    }
+
+    #[test]
+    fn slice_in_bounds() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1);
+        assert_eq!(s.slice(src), "world");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        let s = Span::new(100, 200, 1);
+        assert_eq!(s.slice("short"), "");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Span::new(5, 5, 1).is_empty());
+        assert_eq!(Span::new(5, 9, 1).len(), 4);
+        assert!(Span::synthetic().is_empty());
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(0, 1, 42).to_string(), "line 42");
+    }
+}

@@ -1,0 +1,416 @@
+//! Token model produced by the [`lexer`](crate::lexer).
+
+use crate::span::Span;
+use std::fmt;
+
+/// One fragment of a double-quoted or heredoc string after interpolation
+/// scanning.
+///
+/// PHP interpolates `$var`, `$var[index]`, `$var->prop` and the brace forms
+/// `{$expr}` inside double-quoted strings; the lexer decomposes them so the
+/// taint analyzer can track flows through string construction — the dominant
+/// way SQL queries are built in real applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    /// Literal text.
+    Lit(String),
+    /// `$name` — a simple variable interpolation.
+    Var(String),
+    /// `$name[index]` or `{$name['index']}` — an array element.
+    Index(String, IndexKey),
+    /// `$name->prop` or `{$name->prop}` — a property fetch.
+    Prop(String, String),
+}
+
+/// The index used in an interpolated array fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexKey {
+    /// String key, e.g. `$_GET[id]` / `{$_GET['id']}`.
+    Str(String),
+    /// Integer key, e.g. `$row[0]`.
+    Int(i64),
+    /// Variable key, e.g. `$row[$i]`.
+    Var(String),
+}
+
+/// Kind of a lexical token.
+///
+/// Keywords are case-insensitive in PHP; the lexer folds them during
+/// identifier scanning. Identifiers keep their original spelling.
+/// Keyword and operator variants carry no payload and are named after
+/// their source spelling (see [`TokenKind::describe`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // ---- literals & names ----
+    /// `$name` (the `$` is stripped).
+    Variable(String),
+    /// Bare identifier: function/class/constant name.
+    Ident(String),
+    /// Integer literal (decimal, hex `0x`, octal `0`).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string (escapes `\\` and `\'` already resolved).
+    SingleStr(String),
+    /// Double-quoted or heredoc string, decomposed into parts.
+    TemplateStr(Vec<StrPart>),
+    /// Backtick shell-execution string, decomposed into parts.
+    ShellStr(Vec<StrPart>),
+    /// Raw HTML outside `<?php ... ?>` regions.
+    InlineHtml(String),
+
+    // ---- keywords ----
+    If,
+    Else,
+    Elseif,
+    While,
+    Do,
+    For,
+    Foreach,
+    As,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Function,
+    Echo,
+    Print,
+    Global,
+    Static,
+    Include,
+    IncludeOnce,
+    Require,
+    RequireOnce,
+    New,
+    Class,
+    Interface,
+    Extends,
+    Implements,
+    Public,
+    Private,
+    Protected,
+    VarKw,
+    Const,
+    Isset,
+    Unset,
+    Empty,
+    ListKw,
+    ArrayKw,
+    Exit,
+    Try,
+    Catch,
+    Finally,
+    Throw,
+    Use,
+    Namespace,
+    InstanceOf,
+    Clone,
+    True,
+    False,
+    Null,
+    AndKw,
+    OrKw,
+    XorKw,
+
+    // ---- operators & punctuation ----
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Dot,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    DotAssign,
+    PercentAssign,
+    CoalesceAssign,
+    Eq,
+    NotEq,
+    Identical,
+    NotIdentical,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Spaceship,
+    AndAnd,
+    OrOr,
+    Bang,
+    Inc,
+    Dec,
+    Arrow,
+    DoubleArrow,
+    DoubleColon,
+    Question,
+    Colon,
+    Coalesce,
+    Comma,
+    Semi,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    At,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Backslash,
+    Ellipsis,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Variable(n) => format!("variable ${n}"),
+            TokenKind::Ident(n) => format!("identifier `{n}`"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::SingleStr(_) | TokenKind::TemplateStr(_) => "string".to_string(),
+            TokenKind::ShellStr(_) => "shell-exec string".to_string(),
+            TokenKind::InlineHtml(_) => "inline html".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// Canonical source spelling for fixed tokens (keywords, operators).
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Elseif => "elseif",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::For => "for",
+            TokenKind::Foreach => "foreach",
+            TokenKind::As => "as",
+            TokenKind::Switch => "switch",
+            TokenKind::Case => "case",
+            TokenKind::Default => "default",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::Return => "return",
+            TokenKind::Function => "function",
+            TokenKind::Echo => "echo",
+            TokenKind::Print => "print",
+            TokenKind::Global => "global",
+            TokenKind::Static => "static",
+            TokenKind::Include => "include",
+            TokenKind::IncludeOnce => "include_once",
+            TokenKind::Require => "require",
+            TokenKind::RequireOnce => "require_once",
+            TokenKind::New => "new",
+            TokenKind::Class => "class",
+            TokenKind::Interface => "interface",
+            TokenKind::Extends => "extends",
+            TokenKind::Implements => "implements",
+            TokenKind::Public => "public",
+            TokenKind::Private => "private",
+            TokenKind::Protected => "protected",
+            TokenKind::VarKw => "var",
+            TokenKind::Const => "const",
+            TokenKind::Isset => "isset",
+            TokenKind::Unset => "unset",
+            TokenKind::Empty => "empty",
+            TokenKind::ListKw => "list",
+            TokenKind::ArrayKw => "array",
+            TokenKind::Exit => "exit",
+            TokenKind::Try => "try",
+            TokenKind::Catch => "catch",
+            TokenKind::Finally => "finally",
+            TokenKind::Throw => "throw",
+            TokenKind::Use => "use",
+            TokenKind::Namespace => "namespace",
+            TokenKind::InstanceOf => "instanceof",
+            TokenKind::Clone => "clone",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Null => "null",
+            TokenKind::AndKw => "and",
+            TokenKind::OrKw => "or",
+            TokenKind::XorKw => "xor",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Dot => ".",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::DotAssign => ".=",
+            TokenKind::PercentAssign => "%=",
+            TokenKind::CoalesceAssign => "??=",
+            TokenKind::Eq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Identical => "===",
+            TokenKind::NotIdentical => "!==",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Spaceship => "<=>",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Inc => "++",
+            TokenKind::Dec => "--",
+            TokenKind::Arrow => "->",
+            TokenKind::DoubleArrow => "=>",
+            TokenKind::DoubleColon => "::",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::Coalesce => "??",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::At => "@",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Backslash => "\\",
+            TokenKind::Ellipsis => "...",
+            _ => "?",
+        }
+    }
+
+    /// Looks up the keyword token for an identifier, case-insensitively.
+    /// Returns `None` for non-keywords.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        let lower = ident.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "elseif" => TokenKind::Elseif,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "for" => TokenKind::For,
+            "foreach" => TokenKind::Foreach,
+            "as" => TokenKind::As,
+            "switch" => TokenKind::Switch,
+            "case" => TokenKind::Case,
+            "default" => TokenKind::Default,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "return" => TokenKind::Return,
+            "function" => TokenKind::Function,
+            "echo" => TokenKind::Echo,
+            "print" => TokenKind::Print,
+            "global" => TokenKind::Global,
+            "static" => TokenKind::Static,
+            "include" => TokenKind::Include,
+            "include_once" => TokenKind::IncludeOnce,
+            "require" => TokenKind::Require,
+            "require_once" => TokenKind::RequireOnce,
+            "new" => TokenKind::New,
+            "class" => TokenKind::Class,
+            "interface" => TokenKind::Interface,
+            "extends" => TokenKind::Extends,
+            "implements" => TokenKind::Implements,
+            "public" => TokenKind::Public,
+            "private" => TokenKind::Private,
+            "protected" => TokenKind::Protected,
+            "var" => TokenKind::VarKw,
+            "const" => TokenKind::Const,
+            "isset" => TokenKind::Isset,
+            "unset" => TokenKind::Unset,
+            "empty" => TokenKind::Empty,
+            "list" => TokenKind::ListKw,
+            "array" => TokenKind::ArrayKw,
+            "exit" | "die" => TokenKind::Exit,
+            "try" => TokenKind::Try,
+            "catch" => TokenKind::Catch,
+            "finally" => TokenKind::Finally,
+            "throw" => TokenKind::Throw,
+            "use" => TokenKind::Use,
+            "namespace" => TokenKind::Namespace,
+            "instanceof" => TokenKind::InstanceOf,
+            "clone" => TokenKind::Clone,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            "and" => TokenKind::AndKw,
+            "or" => TokenKind::OrKw,
+            "xor" => TokenKind::XorKw,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus its [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_case_insensitive() {
+        assert_eq!(TokenKind::keyword("IF"), Some(TokenKind::If));
+        assert_eq!(TokenKind::keyword("Function"), Some(TokenKind::Function));
+        assert_eq!(TokenKind::keyword("die"), Some(TokenKind::Exit));
+        assert_eq!(TokenKind::keyword("exit"), Some(TokenKind::Exit));
+        assert_eq!(TokenKind::keyword("mysql_query"), None);
+    }
+
+    #[test]
+    fn describe_variable() {
+        assert_eq!(TokenKind::Variable("x".into()).describe(), "variable $x");
+    }
+
+    #[test]
+    fn describe_operator() {
+        assert_eq!(TokenKind::DoubleArrow.describe(), "`=>`");
+        assert_eq!(TokenKind::Coalesce.describe(), "`??`");
+    }
+
+    #[test]
+    fn token_display_uses_describe() {
+        let t = Token::new(TokenKind::Semi, Span::synthetic());
+        assert_eq!(t.to_string(), "`;`");
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests for the PHP front end.
+
+use proptest::prelude::*;
+use wap_php::ast::*;
+use wap_php::lexer::tokenize;
+use wap_php::token::TokenKind;
+use wap_php::{parse, print_program, Span};
+
+// ---- lexer robustness ----
+
+proptest! {
+    /// The lexer must never panic, whatever bytes it is fed; it either
+    /// tokenizes or reports a ParseError.
+    #[test]
+    fn lexer_never_panics(src in ".*") {
+        let _ = tokenize(&src);
+    }
+
+    /// Same, for input that is guaranteed to enter PHP mode.
+    #[test]
+    fn lexer_never_panics_in_php_mode(body in "[ -~\\n]{0,200}") {
+        let src = format!("<?php {body}");
+        let _ = tokenize(&src);
+    }
+
+    /// Token spans are ordered, in-bounds, and slice back to valid text.
+    #[test]
+    fn token_spans_are_ordered_and_in_bounds(body in "[a-zA-Z0-9_$ ;=()'\\.\\n]{0,120}") {
+        let src = format!("<?php {body}");
+        if let Ok(tokens) = tokenize(&src) {
+            let mut prev_start = 0u32;
+            for t in &tokens {
+                prop_assert!(t.span.start() <= t.span.end());
+                prop_assert!((t.span.end() as usize) <= src.len());
+                prop_assert!(t.span.start() >= prev_start,
+                    "spans went backwards: {:?}", t);
+                prev_start = t.span.start();
+                if !matches!(t.kind, TokenKind::Eof) {
+                    // slicing must not panic and must be in-bounds text
+                    let _ = t.span.slice(&src);
+                }
+            }
+            prop_assert!(matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)));
+        }
+    }
+
+    /// The parser must never panic either.
+    #[test]
+    fn parser_never_panics(body in "[ -~\\n]{0,200}") {
+        let src = format!("<?php {body}");
+        let _ = parse(&src);
+    }
+}
+
+// ---- printer round-trip on generated ASTs ----
+
+fn lit_strategy() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        // i64::MIN cannot be re-lexed as a literal (PHP overflows to float)
+        any::<i64>().prop_map(|v| Lit::Int(v.max(i64::MIN + 1))),
+        "[a-zA-Z0-9 _'\\\\-]{0,12}".prop_map(Lit::Str),
+        any::<bool>().prop_map(Lit::Bool),
+        Just(Lit::Null),
+    ]
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,8}"
+        .prop_filter("keywords are not identifiers", |s| TokenKind::keyword(s).is_none())
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let sp = Span::synthetic;
+    let leaf = prop_oneof![
+        ident_strategy().prop_map(move |n| Expr::new(ExprKind::Var(n), sp())),
+        lit_strategy().prop_map(move |l| Expr::new(ExprKind::Lit(l), sp())),
+        ident_strategy().prop_map(move |n| Expr::new(ExprKind::Name(n), sp())),
+    ];
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        prop_oneof![
+            // binary op
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Concat),
+                    Just(BinOp::Add),
+                    Just(BinOp::Eq),
+                    Just(BinOp::And),
+                    Just(BinOp::Coalesce)
+                ]
+            )
+                .prop_map(move |(l, r, op)| Expr::new(
+                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    sp()
+                )),
+            // call
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                move |(name, args)| Expr::new(
+                    ExprKind::Call {
+                        callee: Box::new(Expr::new(ExprKind::Name(name), sp())),
+                        args
+                    },
+                    sp()
+                )
+            ),
+            // array dim with string key
+            (ident_strategy(), "[a-z]{1,6}").prop_map(move |(base, key)| Expr::new(
+                ExprKind::ArrayDim {
+                    base: Box::new(Expr::new(ExprKind::Var(base), sp())),
+                    index: Some(Box::new(Expr::new(
+                        ExprKind::Lit(Lit::Str(key)),
+                        sp()
+                    ))),
+                },
+                sp()
+            )),
+            // assignment to a variable
+            (ident_strategy(), inner.clone()).prop_map(move |(v, value)| Expr::new(
+                ExprKind::Assign {
+                    target: Box::new(Expr::new(ExprKind::Var(v), sp())),
+                    op: AssignOp::Assign,
+                    value: Box::new(value),
+                    by_ref: false,
+                },
+                sp()
+            )),
+            // unary not
+            inner.clone().prop_map(move |e| Expr::new(
+                ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) },
+                sp()
+            )),
+            // ternary
+            (inner.clone(), inner.clone(), inner).prop_map(move |(c, t, o)| Expr::new(
+                ExprKind::Ternary {
+                    cond: Box::new(c),
+                    then: Some(Box::new(t)),
+                    otherwise: Box::new(o),
+                },
+                sp()
+            )),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let sp = Span::synthetic;
+    let leaf = prop_oneof![
+        expr_strategy().prop_map(move |e| Stmt::new(StmtKind::Expr(e), sp())),
+        prop::collection::vec(expr_strategy(), 1..3)
+            .prop_map(move |es| Stmt::new(StmtKind::Echo(es), sp())),
+        expr_strategy().prop_map(move |e| Stmt::new(StmtKind::Return(Some(e)), sp())),
+    ];
+    leaf.prop_recursive(2, 12, 3, move |inner| {
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                move |(cond, body)| Stmt::new(
+                    StmtKind::If {
+                        cond,
+                        then_branch: body,
+                        elseifs: vec![],
+                        else_branch: None
+                    },
+                    sp()
+                )
+            ),
+            (expr_strategy(), prop::collection::vec(inner, 0..3)).prop_map(
+                move |(cond, body)| Stmt::new(StmtKind::While { cond, body }, sp())
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint for generated programs.
+    #[test]
+    fn printer_roundtrip_fixpoint(stmts in prop::collection::vec(stmt_strategy(), 0..6)) {
+        let program = Program { stmts };
+        let printed = print_program(&program);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("printed source failed to parse: {e}\n{printed}")))?;
+        let printed2 = print_program(&reparsed);
+        prop_assert_eq!(&printed, &printed2, "printer is not a fixpoint");
+    }
+
+    /// Parsing printed output preserves the statement count (no statements
+    /// are silently merged or dropped).
+    #[test]
+    fn printer_preserves_statement_count(stmts in prop::collection::vec(stmt_strategy(), 0..6)) {
+        let n = stmts.len();
+        let program = Program { stmts };
+        let printed = print_program(&program);
+        let reparsed = parse(&printed).expect("printed source parses");
+        prop_assert_eq!(reparsed.stmts.len(), n);
+    }
+}
+
+// ---- robustness under mutation ----
+
+// Mutating real corpus-shaped source must never panic the front end:
+// every byte-level corruption either parses or reports a ParseError.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parser_survives_mutations(
+        seed_stmt in 0usize..6,
+        mutation_pos in 0usize..400,
+        mutation_byte in 0u8..255,
+        delete in proptest::bool::ANY,
+    ) {
+        let base = match seed_stmt {
+            0 => "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+            1 => "<?php\nif (isset($_GET['p'])) { include 'pages/' . $_GET['p'] . '.php'; }\n",
+            2 => "<?php\nclass C { public function m($x) { return htmlentities($x); } }\n",
+            3 => "<?php\nforeach ($_POST as $k => $v) { echo \"<li>$k: $v</li>\"; }\n",
+            4 => "<?php $q = <<<SQL\nSELECT a FROM b WHERE c = '$d'\nSQL;\nmysql_query($q);\n",
+            _ => "<h1>x</h1><?php echo $_GET['m']; ?><p><?= $x ?></p>",
+        };
+        let mut bytes = base.as_bytes().to_vec();
+        let pos = mutation_pos % bytes.len();
+        if delete {
+            bytes.remove(pos);
+        } else {
+            bytes[pos] = mutation_byte;
+        }
+        if let Ok(src) = String::from_utf8(bytes) {
+            // must not panic — Ok or Err are both fine
+            let _ = parse(&src);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Candidate vulnerabilities: the taint analyzer's output.
+
+use crate::state::TaintStep;
+use wap_catalog::VulnClass;
+use wap_php::Span;
+
+/// A candidate vulnerability: a data flow from an entry point to a
+/// sensitive sink that no recognized sanitizer interrupted.
+///
+/// Candidates are *candidates* — the false positive predictor decides
+/// whether each one is a real vulnerability (§II). Everything the predictor
+/// and the code corrector need is carried here: the sink location for fix
+/// insertion, the flow path for symptom collection, and the literal query
+/// fragments for the SQL-manipulation attributes of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The vulnerability class.
+    pub class: VulnClass,
+    /// Name of the sink (`mysql_query`, `echo`, `include`, `header`, ...).
+    pub sink: String,
+    /// Source span of the sink call/statement.
+    pub sink_span: Span,
+    /// 1-based line of the sink.
+    pub line: u32,
+    /// Entry points feeding the flow, e.g. `$_GET['id']`.
+    pub sources: Vec<String>,
+    /// The data-flow path from entry point to sink.
+    pub path: Vec<TaintStep>,
+    /// Variables that carried the tainted data (symptom collection keys).
+    pub carriers: Vec<String>,
+    /// Zero-based index of the tainted sink argument, when the sink is a
+    /// call (`None` for `echo`/`include` constructs).
+    pub tainted_arg: Option<usize>,
+    /// Span of the expression the code corrector should wrap with a fix:
+    /// the tainted argument, the echoed expression, or the include path.
+    pub fix_site: Span,
+    /// Literal string fragments appearing in the sink argument (used to
+    /// derive the SQL query manipulation attributes).
+    pub literal_fragments: Vec<String>,
+    /// File the candidate was found in (set by the pipeline).
+    pub file: Option<String>,
+}
+
+impl Candidate {
+    /// A compact one-line description, e.g.
+    /// `SQLI at line 12: $_GET['id'] -> mysql_query()`.
+    pub fn headline(&self) -> String {
+        let src = self.sources.first().map(String::as_str).unwrap_or("?");
+        format!("{} at line {}: {} -> {}()", self.class, self.line, src, self.sink)
+    }
+
+    /// The joined literal fragments (an approximation of the query text for
+    /// query-injection candidates).
+    pub fn literal_text(&self) -> String {
+        self.literal_fragments.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_format() {
+        let c = Candidate {
+            class: VulnClass::Sqli,
+            sink: "mysql_query".into(),
+            sink_span: Span::new(0, 1, 12),
+            line: 12,
+            sources: vec!["$_GET['id']".into()],
+            path: vec![],
+            carriers: vec![],
+            tainted_arg: Some(0),
+            fix_site: Span::new(0, 1, 12),
+            literal_fragments: vec!["SELECT * FROM users WHERE id = ".into()],
+            file: None,
+        };
+        assert_eq!(c.headline(), "SQLI at line 12: $_GET['id'] -> mysql_query()");
+        assert!(c.literal_text().contains("SELECT"));
+    }
+
+    #[test]
+    fn headline_without_source() {
+        let c = Candidate {
+            class: VulnClass::HeaderI,
+            sink: "header".into(),
+            sink_span: Span::synthetic(),
+            line: 1,
+            sources: vec![],
+            path: vec![],
+            carriers: vec![],
+            tainted_arg: None,
+            fix_site: Span::synthetic(),
+            literal_fragments: vec![],
+            file: None,
+        };
+        assert!(c.headline().contains('?'));
+    }
+}

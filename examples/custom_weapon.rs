@@ -1,0 +1,73 @@
+//! Create a brand-new weapon from JSON — no programming (§III-D).
+//!
+//! The weapon below teaches the tool a new vulnerability class (XML
+//! external entity injection) purely from configuration: sinks,
+//! sanitizers, a fix template, and a dynamic symptom.
+//!
+//! ```sh
+//! cargo run --example custom_weapon
+//! ```
+
+use wap::{ToolConfig, WapTool, Weapon};
+
+const WEAPON_JSON: &str = r#"{
+    "name": "xxe",
+    "class_name": "XXE",
+    "sinks": [
+        {"name": "simplexml_load_string"},
+        {"name": "xml_parse"},
+        {"name": "loadXML", "method": true}
+    ],
+    "sanitizers": ["xml_escape"],
+    "fix": {"template": "user_validation", "malicious": ["<!ENTITY", "SYSTEM", "<!DOCTYPE"]},
+    "dynamic_symptoms": [
+        {"function": "validate_xml_input", "equivalent": "preg_match", "category": "validation"}
+    ]
+}"#;
+
+const APP: &str = r#"<?php
+// vulnerable: attacker-controlled XML reaches the parser
+$doc = simplexml_load_string($_POST['payload']);
+
+// guarded: the user's validator runs first (a dynamic symptom)
+$xml = $_POST['report'];
+if (!validate_xml_input($xml)) { exit('rejected'); }
+$dom->loadXML($xml);
+"#;
+
+fn main() {
+    let weapon = Weapon::generate(serde_json_parse()).expect("weapon config is valid");
+    println!("generated weapon, activation flag: {}", weapon.flag());
+
+    let mut tool = WapTool::new(ToolConfig::wape());
+    let files = vec![("import.php".to_string(), APP.to_string())];
+    println!(
+        "before linking: {} findings",
+        tool.analyze_sources(&files).findings.len()
+    );
+
+    tool.add_weapon(weapon);
+    let report = tool.analyze_sources(&files);
+    println!("after linking:  {} findings", report.findings.len());
+    for f in &report.findings {
+        println!(
+            "  line {:>2}  {:<4} {:<24} {}",
+            f.candidate.line,
+            f.candidate.class.to_string(),
+            f.candidate.sink,
+            if f.is_real() { "REAL" } else { "predicted FP" }
+        );
+    }
+
+    // the weapon also generated a fix (san_xxe) for the corrector
+    let fixed = tool.fix_file(
+        "import.php",
+        APP,
+        &tool.analyze_sources(&files),
+    );
+    println!("\nfixes applied: {:?}", fixed.applied.iter().map(|a| &a.fix_name).collect::<Vec<_>>());
+}
+
+fn serde_json_parse() -> wap::WeaponConfig {
+    serde_json::from_str(WEAPON_JSON).expect("JSON weapon parses")
+}

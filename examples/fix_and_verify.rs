@@ -1,0 +1,47 @@
+//! Detect → correct → re-analyze: show that inserted fixes remove the
+//! findings for every vulnerability class the tool handles.
+//!
+//! ```sh
+//! cargo run --example fix_and_verify
+//! ```
+
+use wap::{ToolConfig, WapTool};
+
+const CASES: &[(&str, &str)] = &[
+    ("sqli.php", "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n"),
+    ("xss.php", "<?php\necho 'Hello ' . $_GET['name'];\n"),
+    ("osci.php", "<?php\nsystem('ping ' . $_POST['host']);\n"),
+    ("lfi.php", "<?php\ninclude 'pages/' . $_GET['page'] . '.php';\n"),
+    ("ldapi.php", "<?php\nldap_search($c, $dn, '(uid=' . $_GET['u'] . ')');\n"),
+    ("hi.php", "<?php\nheader('Location: ' . $_GET['to']);\n"),
+];
+
+fn main() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    for (name, src) in CASES {
+        let files = vec![(name.to_string(), src.to_string())];
+        let before = tool.analyze_sources(&files);
+        let fixed = tool.fix_file(name, src, &before);
+
+        // re-analysis with the fix functions registered as sanitizers
+        let mut verifier = WapTool::new(ToolConfig::wape_full());
+        for (fix_name, classes) in &fixed.sanitizers {
+            verifier.catalog_mut().add_user_sanitizer(fix_name, classes);
+        }
+        let after = verifier.analyze_sources(&[(name.to_string(), fixed.fixed_source.clone())]);
+
+        println!(
+            "{name:<12} findings: {} -> {} after fix  ({})",
+            before.findings.len(),
+            after.findings.len(),
+            fixed
+                .applied
+                .iter()
+                .map(|a| a.fix_name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(after.findings.is_empty(), "fix failed for {name}");
+    }
+    println!("\nall fixes verified by re-analysis");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: detect, explain, and correct a SQL injection.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wap::{ToolConfig, WapTool};
+
+fn main() {
+    let source = r#"<?php
+// a typical vulnerable login handler
+$user = $_POST['user'];
+$q = "SELECT * FROM users WHERE login = '" . $user . "'";
+$res = mysql_query($q);
+if (!$res) {
+    exit('query failed');
+}
+echo "Welcome back, " . $_POST['user'];
+"#;
+
+    // WAPe with the paper's three weapons linked (-nosqli, -hei, -wpsqli)
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let files = vec![("login.php".to_string(), source.to_string())];
+    let report = tool.analyze_sources(&files);
+
+    println!("== findings ==");
+    for f in &report.findings {
+        println!(
+            "  {:<40} {}",
+            f.candidate.headline(),
+            if f.is_real() { "REAL VULNERABILITY" } else { "predicted false positive" }
+        );
+        for step in &f.candidate.path {
+            println!("      {} (line {})", step.what, step.line);
+        }
+        if !f.prediction.justification.is_empty() {
+            println!("      justified by symptoms: {:?}", f.prediction.justification);
+        }
+    }
+
+    println!("\n== corrected source ==");
+    let fixed = tool.fix_file("login.php", source, &report);
+    for a in &fixed.applied {
+        println!("  applied {} for {} at line {}", a.fix_name, a.class, a.line);
+    }
+    println!("\n{}", fixed.fixed_source);
+}

@@ -1,0 +1,44 @@
+//! Second-order (stored XSS) analysis — an extension beyond the paper's
+//! headline tables: tainted data INSERTed into the database comes back
+//! through `mysql_fetch_*` and reaches an echo.
+//!
+//! ```sh
+//! cargo run --example stored_xss
+//! ```
+
+use wap::{AnalysisOptions, ToolConfig, WapTool};
+
+const GUESTBOOK: &str = r#"<?php
+// write path: unsanitized comment stored in the database
+$comment = $_POST['comment'];
+mysql_query("INSERT INTO comments (body) VALUES ('$comment')");
+
+// read path: everything in the table is echoed back to every visitor
+$res = mysql_query("SELECT body FROM comments ORDER BY id DESC LIMIT 20");
+while ($row = mysql_fetch_assoc($res)) {
+    echo "<p class='comment'>" . $row['body'] . "</p>";
+}
+"#;
+
+fn main() {
+    let files = vec![("guestbook.php".to_string(), GUESTBOOK.to_string())];
+
+    let first_order = WapTool::new(ToolConfig::wape_full());
+    let r1 = first_order.analyze_sources(&files);
+    println!("first-order analysis: {} finding(s)", r1.findings.len());
+    for f in &r1.findings {
+        println!("  line {:>2}  {}", f.candidate.line, f.candidate.headline());
+    }
+
+    let mut cfg = ToolConfig::wape_full();
+    cfg.analysis = AnalysisOptions { second_order: true, ..AnalysisOptions::default() };
+    let second_order = WapTool::new(cfg);
+    let r2 = second_order.analyze_sources(&files);
+    println!("\nsecond-order analysis: {} finding(s)", r2.findings.len());
+    for f in &r2.findings {
+        println!("  line {:>2}  {}", f.candidate.line, f.candidate.headline());
+        for step in &f.candidate.path {
+            println!("      {}", step.what);
+        }
+    }
+}

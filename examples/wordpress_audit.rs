@@ -1,0 +1,64 @@
+//! Audit a WordPress plugin with the `-wpsqli` weapon (§IV-C.3).
+//!
+//! Without the weapon, WAP knows nothing about `$wpdb`; with it, the
+//! same tool finds the injections and understands the WordPress
+//! validation helpers (`absint`, `sanitize_text_field`) as dynamic
+//! symptoms.
+//!
+//! ```sh
+//! cargo run --example wordpress_audit
+//! ```
+
+use wap::{ToolConfig, WapTool};
+
+const PLUGIN: &str = r#"<?php
+/*
+ * Plugin Name: Demo Tickets
+ */
+global $wpdb;
+
+// vulnerable: raw POST data into $wpdb->query
+$title = $_POST['ticket_title'];
+$wpdb->query("INSERT INTO {$wpdb->prefix}tickets (title) VALUES ('$title')");
+
+// guarded with absint: flagged by taint analysis, but the predictor
+// recognizes the dynamic symptom and calls it a false positive
+$page = $_GET['page_num'];
+if (absint($page) == 0) { exit; }
+if (isset($_GET['page_num'])) {
+    $wpdb->get_results("SELECT * FROM {$wpdb->prefix}tickets LIMIT $page");
+}
+
+// safe: prepared statement
+$sql = $wpdb->prepare("SELECT * FROM {$wpdb->prefix}tickets WHERE id = %d", $_GET['id']);
+$wpdb->query($sql);
+"#;
+
+fn main() {
+    let files = vec![("demo-tickets.php".to_string(), PLUGIN.to_string())];
+
+    // plain WAPe: $wpdb is just an unknown object
+    let plain = WapTool::new(ToolConfig::wape());
+    println!(
+        "without -wpsqli: {} findings (the tool cannot see $wpdb sinks)",
+        plain.analyze_sources(&files).findings.len()
+    );
+
+    // armed with the WordPress weapon
+    let armed = WapTool::new(ToolConfig::wape_full());
+    let report = armed.analyze_sources(&files);
+    println!("with -wpsqli:    {} findings", report.findings.len());
+    for f in &report.findings {
+        println!(
+            "  line {:>3}  {:<12} sink {:<22} -> {}",
+            f.candidate.line,
+            f.candidate.class.to_string(),
+            f.candidate.sink,
+            if f.is_real() {
+                "REAL VULNERABILITY".to_string()
+            } else {
+                format!("false positive ({:?})", f.prediction.justification)
+            }
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Drive the CLI front end over a corpus application written to disk —
+//! the complete user workflow: generate → write → `wap --fix` → verify.
+
+use wap::core::cli::{self, CliOptions};
+use wap::corpus::specs::vulnerable_webapps;
+use wap::corpus::generate_webapp;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wap-corpus-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cli_analyzes_a_written_corpus_app() {
+    let spec = vulnerable_webapps()
+        .into_iter()
+        .find(|a| a.name == "RCR AEsir")
+        .unwrap();
+    let app = generate_webapp(&spec, 0.5, 77);
+    let dir = temp_dir("analyze");
+    app.write_to(&dir).unwrap();
+
+    let opts = CliOptions { paths: vec![dir.clone()], json: true, ..Default::default() };
+    let (code, output) = cli::run(&opts).unwrap();
+    assert_eq!(code, 1, "vulnerable app must exit 1");
+    let v: serde_json::Value = serde_json::from_str(&output).unwrap();
+    // RCR AEsir: 13 real (9 SQLI + 3 XSS + 1 HI) + 1 predicted FP
+    assert_eq!(v["real_vulnerabilities"], 13, "{output}");
+    assert_eq!(v["predicted_false_positives"], 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_fix_loop_reaches_clean() {
+    let spec = vulnerable_webapps()
+        .into_iter()
+        .find(|a| a.name == "divine")
+        .unwrap();
+    let app = generate_webapp(&spec, 1.0, 78);
+    let dir = temp_dir("fixloop");
+    app.write_to(&dir).unwrap();
+
+    // 1. fix everything
+    let opts =
+        CliOptions { paths: vec![dir.clone()], fix: true, ..Default::default() };
+    let (code, output) = cli::run(&opts).unwrap();
+    assert_eq!(code, 1);
+    assert!(output.contains("fixes)"), "{output}");
+
+    // 2. replace originals with the fixed versions
+    for f in &app.files {
+        let fixed = dir.join(format!("{}.fixed.php", f.name));
+        if fixed.exists() {
+            std::fs::rename(&fixed, dir.join(&f.name)).unwrap();
+        }
+    }
+
+    // 3. re-analysis with the fix sanitizers registered is clean
+    let opts = CliOptions {
+        paths: vec![dir.clone()],
+        user_sanitizers: vec![
+            ("san_read".into(), vec!["RFI".into(), "LFI".into(), "DT".into(), "SCD".into()]),
+            ("san_ldapi".into(), vec!["LDAPI".into()]),
+        ],
+        ..Default::default()
+    };
+    let (code, output) = cli::run(&opts).unwrap();
+    assert_eq!(code, 0, "fixed app should be clean:\n{output}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_class_flag_on_corpus() {
+    let spec = vulnerable_webapps()
+        .into_iter()
+        .find(|a| a.name == "Admin Control Panel Lite 2")
+        .unwrap();
+    let app = generate_webapp(&spec, 1.0, 79);
+    let dir = temp_dir("flags");
+    app.write_to(&dir).unwrap();
+
+    let opts = CliOptions {
+        paths: vec![dir.clone()],
+        class_flags: vec!["-sqli".to_string()],
+        json: true,
+        ..Default::default()
+    };
+    let (_, output) = cli::run(&opts).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&output).unwrap();
+    let findings = v["findings"].as_array().unwrap();
+    assert!(findings.iter().all(|f| f["class"] == "SQLI"), "{output}");
+    // ACP Lite 2 has 9 SQLI; FP flows with SQLI sinks also appear
+    assert!(v["real_vulnerabilities"].as_u64().unwrap() >= 9);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,121 @@
+//! The full loop the paper performed manually: detect → **confirm the
+//! exploit dynamically** → fix → re-confirm neutralized — for every
+//! vulnerability class.
+
+use wap::{parse, ToolConfig, WapTool};
+use wap_interp::confirm;
+
+/// (class label, vulnerable source) — one per confirmable class.
+const CASES: &[(&str, &str)] = &[
+    ("SQLI", "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM users WHERE id = '$id'\");\n"),
+    ("XSS", "<?php\necho 'Hello ' . $_GET['name'];\n"),
+    ("OSCI", "<?php\nsystem('ping ' . $_GET['host']);\n"),
+    ("LFI", "<?php\ninclude 'pages/' . $_GET['page'] . '.php';\n"),
+    ("LDAPI", "<?php\n$u = $_POST['u'];\nldap_search($conn, $dn, \"(uid=$u)\");\n"),
+    ("HI", "<?php\nheader('Location: ' . $_GET['to']);\n"),
+    ("SF", "<?php\nsession_id($_GET['sid']);\n"),
+    ("CS", "<?php\nfile_put_contents('c.html', $_POST['body']);\n"),
+    ("NOSQLI", "<?php\n$col->find(array('name' => $_GET['name']));\n"),
+];
+
+#[test]
+fn detect_confirm_fix_reconfirm_for_every_class() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    for (label, src) in CASES {
+        // 1. detect
+        let files = vec![("t.php".to_string(), src.to_string())];
+        let report = tool.analyze_sources(&files);
+        assert!(!report.findings.is_empty(), "{label}: nothing detected");
+        let candidate = &report.findings[0].candidate;
+
+        // 2. confirm the exploit dynamically
+        let program = parse(src).unwrap();
+        let before = confirm(tool.catalog(), &[&program], candidate);
+        assert!(
+            before.exploitable,
+            "{label}: payload should reach the sink: {before:?}"
+        );
+
+        // 3. fix
+        let fixed = tool.fix_file("t.php", src, &report);
+        assert!(!fixed.applied.is_empty(), "{label}: no fix applied");
+        let fixed_program = parse(&fixed.fixed_source)
+            .unwrap_or_else(|e| panic!("{label}: fixed source invalid: {e}"));
+
+        // 4. re-confirm: the very same attack is now neutralized
+        let after = confirm(tool.catalog(), &[&fixed_program], candidate);
+        assert!(
+            !after.exploitable,
+            "{label}: fix did not neutralize the payload:\n{}\n{after:?}",
+            fixed.fixed_source
+        );
+    }
+}
+
+#[test]
+fn predicted_false_positives_are_dynamically_unexploitable() {
+    // the predictor's FP verdicts agree with dynamic confirmation
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let guarded = r#"<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit('bad'); }
+if (isset($_GET['id'])) {
+    mysql_query("SELECT name FROM users WHERE id = '$id'");
+}
+"#;
+    let files = vec![("g.php".to_string(), guarded.to_string())];
+    let report = tool.analyze_sources(&files);
+    assert_eq!(report.findings.len(), 1);
+    let finding = &report.findings[0];
+    assert!(!finding.is_real(), "predictor calls it FP");
+    let program = parse(guarded).unwrap();
+    let conf = confirm(tool.catalog(), &[&program], &finding.candidate);
+    assert!(!conf.exploitable, "dynamic confirmation agrees: {conf:?}");
+}
+
+#[test]
+fn unpredicted_fp_is_also_unexploitable_but_reported() {
+    // the 18 residual FPs of §V-A: reported as real, dynamically safe
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let src = r#"<?php
+function escape($v) { return str_replace(array("'", '"'), array("''", ''), $v); }
+$n = escape($_POST['n']);
+mysql_query("SELECT * FROM t WHERE n = '$n'");
+"#;
+    let files = vec![("vfront.php".to_string(), src.to_string())];
+    let report = tool.analyze_sources(&files);
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].is_real(), "escape() is unknown: reported real");
+    let program = parse(src).unwrap();
+    let conf = confirm(tool.catalog(), &[&program], &report.findings[0].candidate);
+    assert!(
+        !conf.exploitable,
+        "the user sanitizer actually works — this is the FP the predictor missed: {conf:?}"
+    );
+}
+
+#[test]
+fn wordpress_weapon_findings_confirm() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let src = r#"<?php
+global $wpdb;
+$title = $_POST['title'];
+$wpdb->query("SELECT * FROM wp_posts WHERE post_title = '$title'");
+"#;
+    let files = vec![("plugin.php".to_string(), src.to_string())];
+    let report = tool.analyze_sources(&files);
+    assert_eq!(report.findings.len(), 1);
+    let program = parse(src).unwrap();
+    let conf = confirm(tool.catalog(), &[&program], &report.findings[0].candidate);
+    assert!(conf.exploitable, "{conf:?}");
+    // prepared statement defeats it
+    let safe = parse(
+        r#"<?php
+$sql = $wpdb->prepare("SELECT * FROM wp_posts WHERE post_title = %s", $_POST['title']);
+$wpdb->query($sql);
+"#,
+    )
+    .unwrap();
+    let conf = confirm(tool.catalog(), &[&safe], &report.findings[0].candidate);
+    assert!(!conf.exploitable, "{conf:?}");
+}

@@ -1,0 +1,112 @@
+//! Ground-truth recall on the synthetic corpus: the pipeline must find
+//! every seeded flow and stay silent on clean code, at corpus scale.
+
+use wap::corpus::specs::{vulnerable_plugins, vulnerable_webapps};
+use wap::corpus::{generate_clean_webapp, generate_plugin, generate_webapp, FlowKind};
+use wap::{ToolConfig, WapTool};
+
+const SCALE: f64 = 0.02;
+
+fn sources(app: &wap::corpus::GeneratedApp) -> Vec<(String, String)> {
+    app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect()
+}
+
+#[test]
+fn taint_analyzer_flags_every_seeded_flow() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    for (i, spec) in vulnerable_webapps().iter().enumerate() {
+        let app = generate_webapp(spec, SCALE, 100 + i as u64);
+        let report = tool.analyze_sources(&sources(&app));
+        assert_eq!(
+            report.findings.len(),
+            app.seeded.len(),
+            "{}: seeded {} flows, tool flagged {}",
+            spec.name,
+            app.seeded.len(),
+            report.findings.len()
+        );
+    }
+}
+
+#[test]
+fn predictor_matches_ground_truth_labels_closely() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (i, spec) in vulnerable_webapps().iter().enumerate() {
+        let app = generate_webapp(spec, SCALE, 200 + i as u64);
+        let report = tool.analyze_sources(&sources(&app));
+        // ground truth: how many seeded flows are FPs the tool should
+        // predict (FpBoth + FpWapeOnly)
+        let should_be_fp = app
+            .seeded
+            .iter()
+            .filter(|s| matches!(s.kind, FlowKind::FpBoth | FlowKind::FpWapeOnly))
+            .count();
+        let predicted_fp = report.predicted_false_positives().count();
+        agree += should_be_fp.min(predicted_fp);
+        total += should_be_fp;
+    }
+    assert!(total > 0);
+    let recall = agree as f64 / total as f64;
+    assert!(
+        recall > 0.9,
+        "FP prediction recall too low: {agree}/{total} = {recall:.2}"
+    );
+}
+
+#[test]
+fn clean_apps_produce_zero_findings() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    for i in 0..5 {
+        let app = generate_clean_webapp(&format!("Clean{i}"), 20, 1500, 1.0, 300 + i);
+        let report = tool.analyze_sources(&sources(&app));
+        assert!(
+            report.findings.is_empty(),
+            "clean app {i} produced findings: {:?}",
+            report.findings.iter().map(|f| f.candidate.headline()).collect::<Vec<_>>()
+        );
+        assert!(report.parse_errors.is_empty());
+    }
+}
+
+#[test]
+fn plugin_corpus_matches_table_vii_spec() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    for (i, spec) in vulnerable_plugins().iter().enumerate().take(8) {
+        let app = generate_plugin(spec, 1.0, 400 + i as u64);
+        let report = tool.analyze_sources(&sources(&app));
+        let expected = spec.total() + spec.fpp + spec.fp;
+        assert_eq!(
+            report.findings.len(),
+            expected,
+            "{}: expected {} candidates, got {}",
+            spec.name,
+            expected,
+            report.findings.len()
+        );
+    }
+}
+
+#[test]
+fn full_corpus_totals_reproduce_the_paper() {
+    let tool = WapTool::new(ToolConfig::wape_full());
+    let mut real = 0usize;
+    let mut fpp = 0usize;
+    for (i, spec) in vulnerable_webapps().iter().enumerate() {
+        let app = generate_webapp(spec, SCALE, 500 + i as u64);
+        let report = tool.analyze_sources(&sources(&app));
+        real += report.real_vulnerabilities().count();
+        fpp += report.predicted_false_positives().count();
+    }
+    // paper: 413 real + 18 unpredicted FPs are reported as real; 104 FPP
+    assert_eq!(real + fpp, 413 + 104 + 18, "total candidates");
+    assert!(
+        (fpp as i64 - 104).abs() <= 8,
+        "WAPe FPP should be close to the paper's 104, got {fpp}"
+    );
+    assert!(
+        (real as i64 - 431).abs() <= 8,
+        "WAPe-reported real should be close to 431 (413 + 18 FP), got {real}"
+    );
+}
