@@ -1,33 +1,60 @@
 //! End-to-end analysis time per application — the experiment behind the
 //! paper's "123 s total, 7.2 s average per application" claim (Table V):
-//! the shape to reproduce is analysis time roughly linear in LoC.
+//! the shape to reproduce is analysis time roughly linear in LoC, and the
+//! work-stealing runtime's speedup over the serial walk.
+//!
+//! Throughput is reported in `Elements` = lines of code, so Criterion
+//! prints LoC/s directly and the serial-vs-parallel comparison reads as
+//! a bandwidth number.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wap_core::{ToolConfig, WapTool};
+use wap_core::{Runtime, ToolConfig, WapTool};
 use wap_corpus::generate_webapp;
 use wap_corpus::specs::vulnerable_webapps;
 
+/// The job counts every group sweeps: the serial baseline and one worker
+/// per available core.
+fn job_counts() -> Vec<usize> {
+    let all = Runtime::new(None).jobs();
+    if all > 1 {
+        vec![1, all]
+    } else {
+        vec![1]
+    }
+}
+
 fn bench_analysis(c: &mut Criterion) {
-    let tool = WapTool::new(ToolConfig::wape_full());
     let mut group = c.benchmark_group("analyze");
     group.sample_size(10);
     // three applications of increasing size
-    for (idx, label) in [(1usize, "anywhere-board-games"), (7, "minutes"), (14, "sae")] {
+    for (idx, label) in [
+        (1usize, "anywhere-board-games"),
+        (7, "minutes"),
+        (14, "sae"),
+    ] {
         let spec = &vulnerable_webapps()[idx];
         let app = generate_webapp(spec, 0.05, 42);
-        let files: Vec<(String, String)> =
-            app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
+        let files: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
         group.throughput(Throughput::Elements(app.loc as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(label), &files, |b, files| {
-            b.iter(|| tool.analyze_sources(files).findings.len())
-        });
+        for jobs in job_counts() {
+            let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("jobs={jobs}")),
+                &files,
+                |b, files| b.iter(|| tool.analyze_sources(files).findings.len()),
+            );
+        }
     }
     group.finish();
 }
 
 fn bench_taint_only(c: &mut Criterion) {
     use wap_catalog::Catalog;
-    use wap_taint::{analyze, AnalysisOptions, SourceFile};
+    use wap_taint::{analyze_with, AnalysisOptions, SourceFile};
     let spec = &vulnerable_webapps()[14]; // SAE
     let app = generate_webapp(spec, 0.05, 42);
     let files: Vec<SourceFile> = app
@@ -40,10 +67,66 @@ fn bench_taint_only(c: &mut Criterion) {
         .collect();
     let catalog = Catalog::wape_full();
     let opts = AnalysisOptions::default();
-    c.bench_function("taint/sae", |b| {
-        b.iter(|| analyze(&catalog, &opts, &files).len())
-    });
+    let mut group = c.benchmark_group("taint");
+    group.throughput(Throughput::Elements(app.loc as u64));
+    for jobs in job_counts() {
+        let runtime = Runtime::new(Some(jobs));
+        group.bench_with_input(
+            BenchmarkId::new("sae", format!("jobs={jobs}")),
+            &files,
+            |b, files| b.iter(|| analyze_with(&catalog, &opts, files, &runtime).len()),
+        );
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_taint_only);
+/// Serial vs parallel over the whole 17-app corpus — the headline speedup
+/// number quoted in EXPERIMENTS.md next to the paper's 123 s total.
+fn bench_corpus_sweep(c: &mut Criterion) {
+    let apps: Vec<Vec<(String, String)>> = vulnerable_webapps()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let app = generate_webapp(spec, 0.02, 42u64.wrapping_add(i as u64));
+            app.files
+                .iter()
+                .map(|f| (f.name.clone(), f.source.clone()))
+                .collect()
+        })
+        .collect();
+    let total_loc: usize = apps
+        .iter()
+        .flat_map(|fs| fs.iter().map(|(_, s)| s.lines().count()))
+        .sum();
+    let mut group = c.benchmark_group("corpus-sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_loc as u64));
+    for jobs in job_counts() {
+        // in-app analysis stays serial; the corpus level fans out
+        let tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+        let runtime = Runtime::new(Some(jobs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs={jobs}")),
+            &apps,
+            |b, apps| {
+                b.iter(|| {
+                    runtime
+                        .map(apps.clone(), |_, files| {
+                            tool.analyze_sources(&files).findings.len()
+                        })
+                        .iter()
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analysis,
+    bench_taint_only,
+    bench_corpus_sweep
+);
 criterion_main!(benches);

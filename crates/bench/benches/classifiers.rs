@@ -40,7 +40,10 @@ fn bench_committee_prediction(c: &mut Criterion) {
         b.iter(|| {
             d.x.iter()
                 .map(|x| {
-                    let fv = wap_mining::FeatureVector { features: x.clone(), present: vec![] };
+                    let fv = wap_mining::FeatureVector {
+                        features: x.clone(),
+                        present: vec![],
+                    };
                     p.predict(&fv).is_false_positive as usize
                 })
                 .sum::<usize>()
@@ -48,5 +51,10 @@ fn bench_committee_prediction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_training, bench_cross_validation, bench_committee_prediction);
+criterion_group!(
+    benches,
+    bench_training,
+    bench_cross_validation,
+    bench_committee_prediction
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! time (Table V's time column is roughly linear in LoC).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wap_corpus::specs::vulnerable_webapps;
 use wap_corpus::generate_webapp;
+use wap_corpus::specs::vulnerable_webapps;
 use wap_php::parse;
 
 fn bench_parsing(c: &mut Criterion) {

@@ -10,7 +10,11 @@ fn bench_weapon_generation(c: &mut Criterion) {
         b.iter(|| {
             let mut catalog = Catalog::wape();
             let mut corrector = Corrector::new();
-            for cfg in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+            for cfg in [
+                WeaponConfig::nosqli(),
+                WeaponConfig::hei(),
+                WeaponConfig::wpsqli(),
+            ] {
                 let w = Weapon::generate(cfg).expect("valid");
                 w.link(&mut catalog, &mut corrector);
             }
@@ -55,5 +59,10 @@ system("run " . $_GET['cmd']);
     });
 }
 
-criterion_group!(benches, bench_weapon_generation, bench_fixing, bench_confirmation);
+criterion_group!(
+    benches,
+    bench_weapon_generation,
+    bench_fixing,
+    bench_confirmation
+);
 criterion_main!(benches);

@@ -34,8 +34,16 @@ fn main() {
 
     let need_web = matches!(which.as_str(), "table5" | "table6" | "fig5" | "all");
     let need_plugins = matches!(which.as_str(), "table7" | "fig5" | "all");
-    let web = if need_web { run_webapps(scale, seed) } else { Vec::new() };
-    let plugins = if need_plugins { run_plugins(scale, seed) } else { Vec::new() };
+    let web = if need_web {
+        run_webapps(scale, seed)
+    } else {
+        Vec::new()
+    };
+    let plugins = if need_plugins {
+        run_plugins(scale, seed)
+    } else {
+        Vec::new()
+    };
 
     let mut sections: Vec<String> = Vec::new();
     let all = which == "all";
@@ -84,7 +92,10 @@ fn main() {
     if sections.is_empty() {
         usage(&format!("unknown experiment `{which}`"));
     }
-    println!("{}", sections.join("\n\n================================================================\n\n"));
+    println!(
+        "{}",
+        sections.join("\n\n================================================================\n\n")
+    );
 }
 
 fn usage(msg: &str) -> ! {

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 use wap_catalog::{Catalog, SubModule, VulnClass};
-use wap_core::{bar_chart, TextTable, ToolConfig, WapTool};
+use wap_core::{bar_chart, Runtime, TextTable, ToolConfig, WapTool};
 use wap_corpus::specs::{
     clean_plugins, clean_webapps, vulnerable_plugins, vulnerable_webapps, AppSpec, PluginSpec,
     DOWNLOAD_BUCKETS, INSTALL_BUCKETS,
@@ -27,10 +27,14 @@ pub const DEFAULT_SEED: u64 = 42;
 
 /// Table I: the attribute/symptom inventory.
 pub fn table1() -> String {
-    let mut out = String::from(
-        "TABLE I — Attributes and symptoms (original WAP vs new version)\n\n",
-    );
-    let mut t = TextTable::new(&["attribute group", "category", "original symptoms", "new symptoms"]);
+    let mut out =
+        String::from("TABLE I — Attributes and symptoms (original WAP vs new version)\n\n");
+    let mut t = TextTable::new(&[
+        "attribute group",
+        "category",
+        "original symptoms",
+        "new symptoms",
+    ]);
     for group in wap_mining::Group::all() {
         let orig: Vec<&str> = wap_mining::symptoms()
             .iter()
@@ -50,7 +54,10 @@ pub fn table1() -> String {
         ]);
     }
     out.push_str(&t.render());
-    let orig_n = wap_mining::symptoms().iter().filter(|s| !s.new_in_wape).count();
+    let orig_n = wap_mining::symptoms()
+        .iter()
+        .filter(|s| !s.new_in_wape)
+        .count();
     let new_n = wap_mining::symptoms().len() - orig_n;
     out.push_str(&format!(
         "\noriginal: {} attributes + class = 16, representing {} symptoms\n\
@@ -83,7 +90,16 @@ pub fn table2(seed: u64) -> String {
         d.names.len()
     );
     let mut t = TextTable::new(&[
-        "classifier", "tpp", "pfp", "prfp", "pd", "ppd", "acc", "pr", "inform", "jacc",
+        "classifier",
+        "tpp",
+        "pfp",
+        "prfp",
+        "pd",
+        "ppd",
+        "acc",
+        "pr",
+        "inform",
+        "jacc",
     ]);
     for kind in ClassifierKind::all() {
         let cm = cross_validate(kind, &d.x, &d.y, 10, seed);
@@ -105,7 +121,12 @@ pub fn table2(seed: u64) -> String {
     out.push_str(&t.render());
     out.push_str("\npaper (top 3): ");
     for (name, acc, tpp, pfp) in PAPER_TABLE2 {
-        out.push_str(&format!("{name}: acc {:.1}% tpp {:.1}% pfp {:.1}%;  ", acc * 100.0, tpp * 100.0, pfp * 100.0));
+        out.push_str(&format!(
+            "{name}: acc {:.1}% tpp {:.1}% pfp {:.1}%;  ",
+            acc * 100.0,
+            tpp * 100.0,
+            pfp * 100.0
+        ));
     }
     out.push('\n');
     out
@@ -116,9 +137,33 @@ pub fn table3(seed: u64) -> String {
     let d = Dataset::wape(seed);
     let mut out = String::from("TABLE III — confusion matrices of the top 3 classifiers\n\n");
     let paper: [(&str, ConfusionMatrix); 3] = [
-        ("SVM", ConfusionMatrix { tp: 121, fp: 6, fn_: 7, tn: 122 }),
-        ("Logistic Regression", ConfusionMatrix { tp: 119, fp: 6, fn_: 9, tn: 122 }),
-        ("Random Forest", ConfusionMatrix { tp: 116, fp: 3, fn_: 12, tn: 125 }),
+        (
+            "SVM",
+            ConfusionMatrix {
+                tp: 121,
+                fp: 6,
+                fn_: 7,
+                tn: 122,
+            },
+        ),
+        (
+            "Logistic Regression",
+            ConfusionMatrix {
+                tp: 119,
+                fp: 6,
+                fn_: 9,
+                tn: 122,
+            },
+        ),
+        (
+            "Random Forest",
+            ConfusionMatrix {
+                tp: 116,
+                fp: 3,
+                fn_: 12,
+                tn: 125,
+            },
+        ),
     ];
     for (kind, (pname, pcm)) in ClassifierKind::top3().into_iter().zip(paper) {
         let cm = cross_validate(kind, &d.x, &d.y, 10, seed);
@@ -178,43 +223,51 @@ pub struct WebAppRun {
 }
 
 /// Runs both tool generations over the 17 vulnerable web applications.
+///
+/// The corpus fans out one app per task on the shared runtime (`WAP_JOBS`
+/// honored); each in-app analysis stays single-threaded so the corpus
+/// level is the only source of concurrency. The join preserves spec
+/// order, so the tables aggregate deterministically.
 pub fn run_webapps(scale: f64, seed: u64) -> Vec<WebAppRun> {
-    let wape = WapTool::new(ToolConfig::wape_full());
-    let v21 = WapTool::new(ToolConfig::wap_v21());
-    vulnerable_webapps()
-        .into_iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let app = generate_webapp(&spec, scale, seed.wrapping_add(i as u64));
-            let files: Vec<(String, String)> = app
-                .files
-                .iter()
-                .map(|f| (f.name.clone(), f.source.clone()))
-                .collect();
-            let wape_report = wape.analyze_sources(&files);
-            let wap21_report = v21.analyze_sources(&files);
-            WebAppRun { spec, app, wape: wape_report, wap21: wap21_report }
-        })
-        .collect()
+    let wape = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let v21 = WapTool::new(ToolConfig::wap_v21().with_jobs(1));
+    Runtime::from_config(None).map(vulnerable_webapps(), |i, spec| {
+        let app = generate_webapp(&spec, scale, seed.wrapping_add(i as u64));
+        let files: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
+        let wape_report = wape.analyze_sources(&files);
+        let wap21_report = v21.analyze_sources(&files);
+        WebAppRun {
+            spec,
+            app,
+            wape: wape_report,
+            wap21: wap21_report,
+        }
+    })
 }
 
 /// Table V: summary of the WAPe analysis of the vulnerable packages, plus
 /// the clean packages' aggregate line.
 pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
-    let mut out = format!(
-        "TABLE V — WAPe analysis of real web applications (corpus scale {scale})\n\n"
-    );
+    let mut out =
+        format!("TABLE V — WAPe analysis of real web applications (corpus scale {scale})\n\n");
     let mut t = TextTable::new(&[
         "web application",
         "version",
         "files",
         "LoC",
         "time (ms)",
+        "parse/taint/predict (ms)",
         "vuln files",
         "vulns found",
         "paper vulns",
     ]);
+    let ms = |ns: u64| ns / 1_000_000;
     let mut tot = (0usize, 0usize, Duration::ZERO, 0usize, 0usize, 0usize);
+    let mut phase_tot = (0u64, 0u64, 0u64);
     for r in runs {
         let reported_real = r.wape.real_vulnerabilities().count();
         t.row(&[
@@ -223,6 +276,12 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
             r.app.file_count().to_string(),
             r.app.loc.to_string(),
             r.wape.duration.as_millis().to_string(),
+            format!(
+                "{}/{}/{}",
+                ms(r.wape.parse_ns),
+                ms(r.wape.taint_ns),
+                ms(r.wape.predict_ns)
+            ),
             r.wape.vulnerable_files().to_string(),
             reported_real.to_string(),
             r.spec.real.total().to_string(),
@@ -233,6 +292,9 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
         tot.3 += r.wape.vulnerable_files();
         tot.4 += reported_real;
         tot.5 += r.spec.real.total();
+        phase_tot.0 += r.wape.parse_ns;
+        phase_tot.1 += r.wape.taint_ns;
+        phase_tot.2 += r.wape.predict_ns;
     }
     t.row(&[
         "Total".into(),
@@ -240,25 +302,37 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
         tot.0.to_string(),
         tot.1.to_string(),
         tot.2.as_millis().to_string(),
+        format!(
+            "{}/{}/{}",
+            ms(phase_tot.0),
+            ms(phase_tot.1),
+            ms(phase_tot.2)
+        ),
         tot.3.to_string(),
         tot.4.to_string(),
         tot.5.to_string(),
     ]);
     out.push_str(&t.render());
 
-    // clean packages: the remaining 37 of the 54
-    let wape = WapTool::new(ToolConfig::wape_full());
+    // clean packages: the remaining 37 of the 54, one app per runtime task
+    let wape = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let clean_runs = Runtime::from_config(None).map(clean_webapps(), |i, (name, files, loc)| {
+        let app = generate_clean_webapp(name, files, loc, scale, seed.wrapping_add(900 + i as u64));
+        let sources: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
+        let report = wape.analyze_sources(&sources);
+        (app.file_count(), app.loc, report.findings.len())
+    });
     let mut clean_files = 0usize;
     let mut clean_loc = 0usize;
     let mut clean_findings = 0usize;
-    for (i, (name, files, loc)) in clean_webapps().iter().enumerate() {
-        let app = generate_clean_webapp(name, *files, *loc, scale, seed.wrapping_add(900 + i as u64));
-        let sources: Vec<(String, String)> =
-            app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
-        let report = wape.analyze_sources(&sources);
-        clean_files += app.file_count();
-        clean_loc += app.loc;
-        clean_findings += report.findings.len();
+    for (files, loc, findings) in clean_runs {
+        clean_files += files;
+        clean_loc += loc;
+        clean_findings += findings;
     }
     out.push_str(&format!(
         "\nclean packages: 37 apps, {clean_files} files, {clean_loc} LoC, {clean_findings} findings (expected 0)\n\
@@ -269,7 +343,10 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
 
 /// Classifies reported-real findings of a run into per-class confirmed
 /// counts and the unconfirmed remainder (the `FP` column).
-fn confirmed_by_class(run: &WebAppRun, report: &wap_core::AppReport) -> (BTreeMap<String, usize>, usize) {
+fn confirmed_by_class(
+    run: &WebAppRun,
+    report: &wap_core::AppReport,
+) -> (BTreeMap<String, usize>, usize) {
     let mut confirmed = BTreeMap::new();
     let mut unconfirmed = 0usize;
     // ground truth per class (Files classes merged like the paper)
@@ -304,9 +381,8 @@ fn table_class(c: &VulnClass) -> String {
 /// Table VI: vulnerabilities found and false positives predicted by both
 /// versions of the tool.
 pub fn table6(runs: &[WebAppRun]) -> String {
-    let mut out = String::from(
-        "TABLE VI — vulnerabilities and false positives, WAP v2.1 vs WAPe\n\n",
-    );
+    let mut out =
+        String::from("TABLE VI — vulnerabilities and false positives, WAP v2.1 vs WAPe\n\n");
     let classes = ["SQLI", "XSS", "Files", "SCD", "LDAPI", "SF", "HI", "CS"];
     let mut header: Vec<&str> = vec!["web application"];
     header.extend(classes);
@@ -365,19 +441,21 @@ pub struct PluginRun {
 }
 
 /// Runs WAPe (with `-wpsqli` and `-hei`) over the 23 vulnerable plugins.
+///
+/// Like [`run_webapps`], one plugin per runtime task with single-threaded
+/// in-app analysis and an order-preserving join.
 pub fn run_plugins(scale: f64, seed: u64) -> Vec<PluginRun> {
-    let tool = WapTool::new(ToolConfig::wape_full());
-    vulnerable_plugins()
-        .into_iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let app = generate_plugin(&spec, scale.max(0.5), seed.wrapping_add(i as u64));
-            let files: Vec<(String, String)> =
-                app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
-            let report = tool.analyze_sources(&files);
-            PluginRun { spec, app, report }
-        })
-        .collect()
+    let tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    Runtime::from_config(None).map(vulnerable_plugins(), |i, spec| {
+        let app = generate_plugin(&spec, scale.max(0.5), seed.wrapping_add(i as u64));
+        let files: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
+        let report = tool.analyze_sources(&files);
+        PluginRun { spec, app, report }
+    })
 }
 
 /// Table VII: vulnerabilities found in WordPress plugins.
@@ -449,31 +527,47 @@ pub fn fig4() -> String {
     let clean = clean_plugins();
     let all: Vec<&PluginSpec> = vulnerable.iter().chain(clean.iter()).collect();
 
-    let count = |specs: &[&PluginSpec], buckets: &[(&str, u64, u64)], field: fn(&PluginSpec) -> u64| {
-        buckets
-            .iter()
-            .map(|(label, lo, hi)| {
-                let n = specs.iter().filter(|p| field(p) >= *lo && field(p) < *hi).count();
-                (label.to_string(), n)
-            })
-            .collect::<Vec<_>>()
-    };
+    let count =
+        |specs: &[&PluginSpec], buckets: &[(&str, u64, u64)], field: fn(&PluginSpec) -> u64| {
+            buckets
+                .iter()
+                .map(|(label, lo, hi)| {
+                    let n = specs
+                        .iter()
+                        .filter(|p| field(p) >= *lo && field(p) < *hi)
+                        .count();
+                    (label.to_string(), n)
+                })
+                .collect::<Vec<_>>()
+        };
     let vuln_refs: Vec<&PluginSpec> = vulnerable.iter().collect();
 
     let mut out = String::new();
     out.push_str(&bar_chart(
         "FIG 4(a) — plugin downloads (analyzed vs vulnerable)",
         &[
-            ("analyzed (115)".into(), count(&all, &DOWNLOAD_BUCKETS, |p| p.downloads)),
-            ("vulnerable (23)".into(), count(&vuln_refs, &DOWNLOAD_BUCKETS, |p| p.downloads)),
+            (
+                "analyzed (115)".into(),
+                count(&all, &DOWNLOAD_BUCKETS, |p| p.downloads),
+            ),
+            (
+                "vulnerable (23)".into(),
+                count(&vuln_refs, &DOWNLOAD_BUCKETS, |p| p.downloads),
+            ),
         ],
     ));
     out.push('\n');
     out.push_str(&bar_chart(
         "FIG 4(b) — active installs (analyzed vs vulnerable)",
         &[
-            ("analyzed (115)".into(), count(&all, &INSTALL_BUCKETS, |p| p.active_installs)),
-            ("vulnerable (23)".into(), count(&vuln_refs, &INSTALL_BUCKETS, |p| p.active_installs)),
+            (
+                "analyzed (115)".into(),
+                count(&all, &INSTALL_BUCKETS, |p| p.active_installs),
+            ),
+            (
+                "vulnerable (23)".into(),
+                count(&vuln_refs, &INSTALL_BUCKETS, |p| p.active_installs),
+            ),
         ],
     ));
     out
@@ -529,7 +623,10 @@ pub fn fig5(web: &[WebAppRun], plugins: &[PluginRun]) -> String {
     });
     let mut out = bar_chart(
         "FIG 5 — vulnerabilities by class (web apps vs plugins)",
-        &[("web apps".into(), web_counts), ("plugins".into(), plugin_counts)],
+        &[
+            ("web apps".into(), web_counts),
+            ("plugins".into(), plugin_counts),
+        ],
     );
     out.push_str(
         "\npaper: web apps SQLI 72, XSS 255, Files 55, SCD 4, LDAPI 2, SF 1, HI 19, CS 5;\n\
@@ -548,8 +645,11 @@ pub fn escape_study(scale: f64, seed: u64) -> String {
         .find(|a| a.name == "vfront")
         .expect("vfront spec exists");
     let app = generate_webapp(&spec, scale, seed.wrapping_add(16));
-    let files: Vec<(String, String)> =
-        app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
+    let files: Vec<(String, String)> = app
+        .files
+        .iter()
+        .map(|f| (f.name.clone(), f.source.clone()))
+        .collect();
 
     let tool = WapTool::new(ToolConfig::wape_full());
     let before = tool.analyze_sources(&files);
@@ -594,14 +694,21 @@ pub fn ablation_committee(seed: u64) -> String {
                 ty.push(d.y[i]);
             }
         }
-        let train_set = Dataset { x: tx, y: ty, names: d.names.clone() };
+        let train_set = Dataset {
+            x: tx,
+            y: ty,
+            names: d.names.clone(),
+        };
         let committee = FalsePositivePredictor::train_on(
             &ClassifierKind::top3(),
             &train_set,
             seed.wrapping_add(fold as u64),
         );
         for i in test {
-            let fv = wap_mining::FeatureVector { features: d.x[i].clone(), present: vec![] };
+            let fv = wap_mining::FeatureVector {
+                features: d.x[i].clone(),
+                present: vec![],
+            };
             cm.record(committee.predict(&fv).is_false_positive, d.y[i]);
         }
     }
@@ -646,14 +753,20 @@ pub fn ablation_interproc(scale: f64, seed: u64) -> String {
     let specs = vulnerable_webapps();
     let on = WapTool::new(ToolConfig::wape_full());
     let mut off_cfg = ToolConfig::wape_full();
-    off_cfg.analysis = AnalysisOptions { interprocedural: false, ..AnalysisOptions::default() };
+    off_cfg.analysis = AnalysisOptions {
+        interprocedural: false,
+        ..AnalysisOptions::default()
+    };
     let off = WapTool::new(off_cfg);
     let mut found_on = 0usize;
     let mut found_off = 0usize;
     for (i, spec) in specs.iter().enumerate().take(6) {
         let app = generate_webapp(spec, scale, seed.wrapping_add(i as u64));
-        let files: Vec<(String, String)> =
-            app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
+        let files: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
         found_on += on.analyze_sources(&files).findings.len();
         found_off += off.analyze_sources(&files).findings.len();
     }
@@ -677,16 +790,26 @@ pub fn ablation_dynamic_symptoms(scale: f64, seed: u64) -> String {
     let mut cfg = ToolConfig::wape();
     let mut wpsqli = wap_catalog::WeaponConfig::wpsqli();
     wpsqli.dynamic_symptoms.clear();
-    cfg.weapons = vec![wap_catalog::WeaponConfig::nosqli(), wap_catalog::WeaponConfig::hei(), wpsqli];
+    cfg.weapons = vec![
+        wap_catalog::WeaponConfig::nosqli(),
+        wap_catalog::WeaponConfig::hei(),
+        wpsqli,
+    ];
     let stripped = WapTool::new(cfg);
     let fpp_without: usize = vulnerable_plugins()
         .into_iter()
         .enumerate()
         .map(|(i, spec)| {
             let app = generate_plugin(&spec, scale.max(0.5), seed.wrapping_add(i as u64));
-            let files: Vec<(String, String)> =
-                app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
-            stripped.analyze_sources(&files).predicted_false_positives().count()
+            let files: Vec<(String, String)> = app
+                .files
+                .iter()
+                .map(|f| (f.name.clone(), f.source.clone()))
+                .collect();
+            stripped
+                .analyze_sources(&files)
+                .predicted_false_positives()
+                .count()
         })
         .sum();
     format!(
@@ -750,18 +873,28 @@ pub fn confirm_sweep(scale: f64, seed: u64) -> String {
     let mut uninjectable = 0usize;
     for (i, spec) in vulnerable_webapps().iter().enumerate() {
         let app = generate_webapp(spec, scale, seed.wrapping_add(i as u64));
-        let files: Vec<(String, String)> =
-            app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect();
+        let files: Vec<(String, String)> = app
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect();
         let report = tool.analyze_sources(&files);
         let programs: Vec<(String, wap_php::Program)> = app
             .files
             .iter()
-            .map(|f| (f.name.clone(), wap_php::parse(&f.source).expect("corpus parses")))
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    wap_php::parse(&f.source).expect("corpus parses"),
+                )
+            })
             .collect();
         for finding in &report.findings {
             // confirm against the file the finding lives in (self-contained
             // corpus flows), so sink-name collisions across files are moot
-            let Some(file) = finding.candidate.file.as_deref() else { continue };
+            let Some(file) = finding.candidate.file.as_deref() else {
+                continue;
+            };
             let Some((_, program)) = programs.iter().find(|(n, _)| n == file) else {
                 continue;
             };
@@ -825,7 +958,12 @@ mod tests {
     #[test]
     fn table4_contains_paper_sinks() {
         let t = table4();
-        for sink in ["setcookie", "ldap_search", "xpath_eval", "file_put_contents"] {
+        for sink in [
+            "setcookie",
+            "ldap_search",
+            "xpath_eval",
+            "file_put_contents",
+        ] {
             assert!(t.contains(sink), "missing {sink}:\n{t}");
         }
     }
@@ -853,8 +991,11 @@ mod tests {
     fn plugin_table_hits_paper_totals() {
         let runs = run_plugins(SCALE, DEFAULT_SEED);
         let t7 = table7(&runs);
-        let total_line =
-            t7.lines().find(|l| l.starts_with("Total")).expect("total row").to_string();
+        let total_line = t7
+            .lines()
+            .find(|l| l.starts_with("Total"))
+            .expect("total row")
+            .to_string();
         assert!(total_line.contains("169"), "plugin total:\n{t7}");
         assert!(total_line.contains("55"), "SQLI via weapon:\n{t7}");
     }

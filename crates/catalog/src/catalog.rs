@@ -90,7 +90,9 @@ impl Catalog {
         // OO database APIs: restrict to receiver names that are database
         // handles — WAP does not understand arbitrary wrappers like $wpdb
         // (that is exactly what the WordPress weapon adds)
-        for recv in ["db", "mysqli", "pdo", "conn", "dbh", "link", "database", "sql"] {
+        for recv in [
+            "db", "mysqli", "pdo", "conn", "dbh", "link", "database", "sql",
+        ] {
             for m in ["query", "multi_query", "real_query", "exec"] {
                 self.sinks.push(SinkSpec::method(Some(recv), m, Sqli));
             }
@@ -119,22 +121,48 @@ impl Catalog {
         for f in ["fwrite", "fputs"] {
             self.sinks.push(SinkSpec::function_at(f, XssStored, &[1]));
         }
-        for s in ["htmlentities", "htmlspecialchars", "strip_tags", "urlencode", "rawurlencode"] {
-            self.sanitizers.push(
-                SanitizerSpec::builtin(s, &[XssReflected, XssStored, CommentSpam]),
-            );
+        for s in [
+            "htmlentities",
+            "htmlspecialchars",
+            "strip_tags",
+            "urlencode",
+            "rawurlencode",
+        ] {
+            self.sanitizers.push(SanitizerSpec::builtin(
+                s,
+                &[XssReflected, XssStored, CommentSpam],
+            ));
         }
 
         // RCE & file injection sub-module
-        self.sinks.push(SinkSpec { kind: SinkKind::Include, class: Lfi, args: SinkArgs::All });
-        for f in ["fopen", "file", "opendir", "unlink", "copy", "rename", "rmdir", "mkdir"] {
-            self.sinks.push(SinkSpec::function_at(f, DirTraversal, &[0]));
+        self.sinks.push(SinkSpec {
+            kind: SinkKind::Include,
+            class: Lfi,
+            args: SinkArgs::All,
+        });
+        for f in [
+            "fopen", "file", "opendir", "unlink", "copy", "rename", "rmdir", "mkdir",
+        ] {
+            self.sinks
+                .push(SinkSpec::function_at(f, DirTraversal, &[0]));
         }
-        for f in ["readfile", "show_source", "highlight_file", "php_strip_whitespace"] {
+        for f in [
+            "readfile",
+            "show_source",
+            "highlight_file",
+            "php_strip_whitespace",
+        ] {
             self.sinks.push(SinkSpec::function_at(f, Scd, &[0]));
         }
-        for f in ["exec", "system", "shell_exec", "passthru", "popen", "proc_open", "pcntl_exec"]
-        {
+        for f in [
+            "exec",
+            "system",
+            "shell_exec",
+            "passthru",
+            "popen",
+            "proc_open",
+            "pcntl_exec",
+        ] {
             self.sinks.push(SinkSpec::function_at(f, Osci, &[0]));
         }
         for f in ["eval", "assert", "create_function"] {
@@ -163,13 +191,21 @@ impl Catalog {
         }
         // client-side injection: CS
         for f in ["file_put_contents", "file_get_contents"] {
-            self.sinks.push(SinkSpec::function_at(f, CommentSpam, &[0, 1]));
+            self.sinks
+                .push(SinkSpec::function_at(f, CommentSpam, &[0, 1]));
         }
         // query injection: LDAPI
-        for f in ["ldap_add", "ldap_delete", "ldap_list", "ldap_read", "ldap_search"] {
+        for f in [
+            "ldap_add",
+            "ldap_delete",
+            "ldap_list",
+            "ldap_read",
+            "ldap_search",
+        ] {
             self.sinks.push(SinkSpec::function(f, LdapI));
         }
-        self.sanitizers.push(SanitizerSpec::builtin("ldap_escape", &[LdapI]));
+        self.sanitizers
+            .push(SanitizerSpec::builtin("ldap_escape", &[LdapI]));
         // query injection: XPathI
         for f in ["xpath_eval", "xptr_eval", "xpath_eval_expression"] {
             self.sinks.push(SinkSpec::function(f, XpathI));
@@ -196,11 +232,18 @@ impl Catalog {
                 .unwrap_or_else(|| default_class.clone());
             self.classes.insert(class.clone());
             let kind = if sink.method {
-                SinkKind::Method { receiver_hint: sink.receiver.clone(), name: sink.name.clone() }
+                SinkKind::Method {
+                    receiver_hint: sink.receiver.clone(),
+                    name: sink.name.clone(),
+                }
             } else {
                 SinkKind::Function(sink.name.clone())
             };
-            self.sinks.push(SinkSpec { kind, class, args: SinkArgs::All });
+            self.sinks.push(SinkSpec {
+                kind,
+                class,
+                args: SinkArgs::All,
+            });
         }
         let weapon_classes: Vec<VulnClass> = weapon
             .sinks
@@ -213,9 +256,11 @@ impl Catalog {
             })
             .collect();
         for s in weapon.sanitizers.iter().chain(&weapon.sanitizer_methods) {
-            self.sanitizers.push(SanitizerSpec::user(s, &weapon_classes));
+            self.sanitizers
+                .push(SanitizerSpec::user(s, &weapon_classes));
         }
-        self.dynamic_symptoms.extend(weapon.dynamic_symptoms.iter().cloned());
+        self.dynamic_symptoms
+            .extend(weapon.dynamic_symptoms.iter().cloned());
         self.weapons.push(weapon);
     }
 
@@ -259,7 +304,9 @@ impl Catalog {
 
     /// All sensitive sinks (enabled classes only).
     pub fn sinks(&self) -> impl Iterator<Item = &SinkSpec> {
-        self.sinks.iter().filter(|s| self.classes.contains(&s.class))
+        self.sinks
+            .iter()
+            .filter(|s| self.classes.contains(&s.class))
     }
 
     /// All sanitizers.
@@ -321,16 +368,22 @@ impl Catalog {
 
     /// Whether `name` is a sanitizer for any class.
     pub fn is_sanitizer(&self, name: &str) -> bool {
-        self.sanitizers.iter().any(|s| s.name.eq_ignore_ascii_case(name))
+        self.sanitizers
+            .iter()
+            .any(|s| s.name.eq_ignore_ascii_case(name))
     }
 
     /// Table IV data: the sinks added to each sub-module for the new
     /// classes, as `(sub-module, class, sink name)` rows.
     pub fn table_iv_rows(&self) -> Vec<(SubModule, VulnClass, String)> {
-        let new: BTreeSet<VulnClass> =
-            [VulnClass::SessionFixation, VulnClass::CommentSpam, VulnClass::LdapI, VulnClass::XpathI]
-                .into_iter()
-                .collect();
+        let new: BTreeSet<VulnClass> = [
+            VulnClass::SessionFixation,
+            VulnClass::CommentSpam,
+            VulnClass::LdapI,
+            VulnClass::XpathI,
+        ]
+        .into_iter()
+        .collect();
         self.sinks
             .iter()
             .filter(|s| new.contains(&s.class))
@@ -468,7 +521,13 @@ mod tests {
             .collect();
         assert_eq!(
             ldap,
-            vec!["ldap_add", "ldap_delete", "ldap_list", "ldap_read", "ldap_search"]
+            vec![
+                "ldap_add",
+                "ldap_delete",
+                "ldap_list",
+                "ldap_read",
+                "ldap_search"
+            ]
         );
     }
 

@@ -194,8 +194,7 @@ mod tests {
         // XSS reflected/stored are one paper class; the enum splits them.
         let orig = VulnClass::original();
         assert_eq!(orig.len(), 9);
-        let acronyms: std::collections::BTreeSet<_> =
-            orig.iter().map(|c| c.acronym()).collect();
+        let acronyms: std::collections::BTreeSet<_> = orig.iter().map(|c| c.acronym()).collect();
         assert_eq!(acronyms.len(), 8);
     }
 
@@ -216,8 +215,14 @@ mod tests {
 
     #[test]
     fn submodule_assignment_matches_table_iv() {
-        assert_eq!(VulnClass::SessionFixation.submodule(), SubModule::RceFileInjection);
-        assert_eq!(VulnClass::CommentSpam.submodule(), SubModule::ClientSideInjection);
+        assert_eq!(
+            VulnClass::SessionFixation.submodule(),
+            SubModule::RceFileInjection
+        );
+        assert_eq!(
+            VulnClass::CommentSpam.submodule(),
+            SubModule::ClientSideInjection
+        );
         assert_eq!(VulnClass::LdapI.submodule(), SubModule::QueryInjection);
         assert_eq!(VulnClass::XpathI.submodule(), SubModule::QueryInjection);
         assert_eq!(VulnClass::NoSqlI.submodule(), SubModule::QueryInjection);

@@ -65,7 +65,11 @@ pub struct SinkSpec {
 impl SinkSpec {
     /// A function sink sensitive in all arguments.
     pub fn function(name: &str, class: VulnClass) -> Self {
-        SinkSpec { kind: SinkKind::Function(name.into()), class, args: SinkArgs::All }
+        SinkSpec {
+            kind: SinkKind::Function(name.into()),
+            class,
+            args: SinkArgs::All,
+        }
     }
 
     /// A function sink sensitive only at the given positions.
@@ -107,12 +111,20 @@ pub struct SanitizerSpec {
 impl SanitizerSpec {
     /// A built-in PHP sanitizer.
     pub fn builtin(name: &str, classes: &[VulnClass]) -> Self {
-        SanitizerSpec { name: name.into(), classes: classes.to_vec(), user_defined: false }
+        SanitizerSpec {
+            name: name.into(),
+            classes: classes.to_vec(),
+            user_defined: false,
+        }
     }
 
     /// A user-supplied sanitizer (external sanitization list, §V-A).
     pub fn user(name: &str, classes: &[VulnClass]) -> Self {
-        SanitizerSpec { name: name.into(), classes: classes.to_vec(), user_defined: true }
+        SanitizerSpec {
+            name: name.into(),
+            classes: classes.to_vec(),
+            user_defined: true,
+        }
     }
 
     /// Whether this sanitizer neutralizes `class`.
@@ -136,10 +148,12 @@ pub enum EntryPoint {
 impl EntryPoint {
     /// The default superglobals every detector starts from.
     pub fn default_superglobals() -> Vec<EntryPoint> {
-        ["_GET", "_POST", "_COOKIE", "_REQUEST", "_FILES", "_SERVER", "_ENV"]
-            .iter()
-            .map(|n| EntryPoint::Superglobal((*n).to_string()))
-            .collect()
+        [
+            "_GET", "_POST", "_COOKIE", "_REQUEST", "_FILES", "_SERVER", "_ENV",
+        ]
+        .iter()
+        .map(|n| EntryPoint::Superglobal((*n).to_string()))
+        .collect()
     }
 }
 
@@ -180,7 +194,9 @@ mod tests {
         assert!(s.args.is_sensitive(0));
         assert!(!s.args.is_sensitive(1));
         let m = SinkSpec::method(Some("wpdb"), "query", VulnClass::Custom("WPSQLI".into()));
-        assert!(matches!(m.kind, SinkKind::Method { ref receiver_hint, .. } if receiver_hint.as_deref() == Some("wpdb")));
+        assert!(
+            matches!(m.kind, SinkKind::Method { ref receiver_hint, .. } if receiver_hint.as_deref() == Some("wpdb"))
+        );
     }
 
     #[test]

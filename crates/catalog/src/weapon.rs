@@ -32,12 +32,22 @@ pub struct WeaponSink {
 impl WeaponSink {
     /// A plain function sink using the weapon's class.
     pub fn function(name: &str) -> Self {
-        WeaponSink { name: name.into(), method: false, receiver: None, class: None }
+        WeaponSink {
+            name: name.into(),
+            method: false,
+            receiver: None,
+            class: None,
+        }
     }
 
     /// A function sink assigned to a specific class acronym.
     pub fn function_as(name: &str, class: &str) -> Self {
-        WeaponSink { name: name.into(), method: false, receiver: None, class: Some(class.into()) }
+        WeaponSink {
+            name: name.into(),
+            method: false,
+            receiver: None,
+            class: Some(class.into()),
+        }
     }
 
     /// A method sink, optionally restricted to a receiver variable.
@@ -133,7 +143,10 @@ impl WeaponConfig {
     /// Resolves an acronym to a built-in class if one matches, else Custom.
     pub fn resolve_class(acronym: &str) -> VulnClass {
         let up = acronym.to_ascii_uppercase();
-        for c in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+        for c in VulnClass::original()
+            .into_iter()
+            .chain(VulnClass::new_in_wape())
+        {
             if c.acronym() == up {
                 return c;
             }
@@ -159,10 +172,18 @@ impl WeaponConfig {
             name: "nosqli".into(),
             class_name: "NOSQLI".into(),
             entry_points: Vec::new(),
-            sinks: ["find", "findOne", "findAndModify", "insert", "remove", "save", "execute"]
-                .iter()
-                .map(|m| WeaponSink::method(m, None))
-                .collect(),
+            sinks: [
+                "find",
+                "findOne",
+                "findAndModify",
+                "insert",
+                "remove",
+                "save",
+                "execute",
+            ]
+            .iter()
+            .map(|m| WeaponSink::method(m, None))
+            .collect(),
             sanitizers: vec!["mysql_real_escape_string".into()],
             sanitizer_methods: Vec::new(),
             fix: FixTemplateSpec::PhpSanitization {
@@ -202,13 +223,22 @@ impl WeaponConfig {
             name: "wpsqli".into(),
             class_name: "WPSQLI".into(),
             entry_points: vec![EntryPoint::FunctionReturn("get_query_var".into())],
-            sinks: ["query", "get_results", "get_row", "get_col", "get_var", "prepare_query"]
-                .iter()
-                .map(|m| WeaponSink::method(m, Some("wpdb")))
-                .collect(),
+            sinks: [
+                "query",
+                "get_results",
+                "get_row",
+                "get_col",
+                "get_var",
+                "prepare_query",
+            ]
+            .iter()
+            .map(|m| WeaponSink::method(m, Some("wpdb")))
+            .collect(),
             sanitizers: vec!["esc_sql".into(), "like_escape".into()],
             sanitizer_methods: vec!["prepare".into(), "escape".into()],
-            fix: FixTemplateSpec::PhpSanitization { sanitizer: "esc_sql".into() },
+            fix: FixTemplateSpec::PhpSanitization {
+                sanitizer: "esc_sql".into(),
+            },
             dynamic_symptoms: vec![
                 DynamicSymptom::new("absint", "intval", "validation"),
                 DynamicSymptom::new("sanitize_text_field", "str_replace", "string_manipulation"),
@@ -243,7 +273,11 @@ mod tests {
         let classes: Vec<_> = w.sinks.iter().map(|s| s.class.clone().unwrap()).collect();
         assert_eq!(classes, vec!["HI".to_string(), "EI".to_string()]);
         assert!(w.sanitizers.is_empty());
-        let FixTemplateSpec::UserSanitization { malicious, neutralizer } = &w.fix else {
+        let FixTemplateSpec::UserSanitization {
+            malicious,
+            neutralizer,
+        } = &w.fix
+        else {
             panic!("wrong template")
         };
         assert!(malicious.contains(&"\n".to_string()));
@@ -255,7 +289,10 @@ mod tests {
     fn wpsqli_uses_wpdb_and_dynamic_symptoms() {
         let w = WeaponConfig::wpsqli();
         assert_eq!(w.class(), VulnClass::Custom("WPSQLI".into()));
-        assert!(w.sinks.iter().all(|s| s.receiver.as_deref() == Some("wpdb")));
+        assert!(w
+            .sinks
+            .iter()
+            .all(|s| s.receiver.as_deref() == Some("wpdb")));
         assert!(!w.dynamic_symptoms.is_empty());
         assert!(w.sanitizer_methods.contains(&"prepare".to_string()));
     }
@@ -273,7 +310,11 @@ mod tests {
 
     #[test]
     fn weapon_config_json_round_trip() {
-        for w in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+        for w in [
+            WeaponConfig::nosqli(),
+            WeaponConfig::hei(),
+            WeaponConfig::wpsqli(),
+        ] {
             let json = serde_json::to_string_pretty(&w).unwrap();
             let back: WeaponConfig = serde_json::from_str(&json).unwrap();
             assert_eq!(w, back);

@@ -21,11 +21,12 @@ fn sink_strategy() -> impl Strategy<Value = WeaponSink> {
 fn fix_strategy() -> impl Strategy<Value = FixTemplateSpec> {
     prop_oneof![
         ident().prop_map(|sanitizer| FixTemplateSpec::PhpSanitization { sanitizer }),
-        (prop::collection::vec("[!-~]{1,3}", 1..4), " |_")
-            .prop_map(|(malicious, neutralizer)| FixTemplateSpec::UserSanitization {
+        (prop::collection::vec("[!-~]{1,3}", 1..4), " |_").prop_map(|(malicious, neutralizer)| {
+            FixTemplateSpec::UserSanitization {
                 malicious,
                 neutralizer: neutralizer.to_string(),
-            }),
+            }
+        }),
         prop::collection::vec("[!-~]{1,3}", 1..4)
             .prop_map(|malicious| FixTemplateSpec::UserValidation { malicious }),
     ]

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use wap_catalog::VulnClass;
 
 /// Parsed command-line options.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CliOptions {
     /// Paths (files or directories) to analyze.
     pub paths: Vec<PathBuf>,
@@ -30,25 +30,12 @@ pub struct CliOptions {
     pub weapon_files: Vec<PathBuf>,
     /// User sanitizers to register, as `name:CLASS1,CLASS2`.
     pub user_sanitizers: Vec<(String, Vec<String>)>,
+    /// Worker threads for the analysis runtime (`--jobs`); `None` falls
+    /// back to the `WAP_JOBS` environment variable, then to the number of
+    /// available cores.
+    pub jobs: Option<usize>,
     /// Show help.
     pub help: bool,
-}
-
-impl Default for CliOptions {
-    fn default() -> Self {
-        CliOptions {
-            paths: Vec::new(),
-            class_flags: Vec::new(),
-            v21: false,
-            fix: false,
-            diff: false,
-            confirm: false,
-            json: false,
-            weapon_files: Vec::new(),
-            user_sanitizers: Vec::new(),
-            help: false,
-        }
-    }
 }
 
 /// The help text.
@@ -69,7 +56,10 @@ FLAGS:
     --json                machine-readable output
     --weapon <file.json>  link an additional weapon configuration
     --sanitizer name:CLASS[,CLASS]   register a user sanitization function
+    --jobs <N>            worker threads (default: WAP_JOBS env, then all cores)
     --help                show this message
+
+Findings are identical for every --jobs value; only wall-clock time changes.
 ";
 
 /// Parses command-line arguments (no external crates; the tool only needs
@@ -93,10 +83,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 let f = it.next().ok_or("--weapon needs a file path")?;
                 opts.weapon_files.push(PathBuf::from(f));
             }
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(n);
+            }
             "--sanitizer" => {
                 let v = it.next().ok_or("--sanitizer needs name:CLASSES")?;
-                let (name, classes) =
-                    v.split_once(':').ok_or("--sanitizer format is name:CLASS[,CLASS]")?;
+                let (name, classes) = v
+                    .split_once(':')
+                    .ok_or("--sanitizer format is name:CLASS[,CLASS]")?;
                 if name.is_empty() {
                     return Err("--sanitizer name is empty".to_string());
                 }
@@ -153,15 +154,22 @@ fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 ///
 /// Returns errors from weapon files that fail to load or validate.
 pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + Sync>> {
-    let config = if opts.v21 { ToolConfig::wap_v21() } else { ToolConfig::wape_full() };
+    let mut config = if opts.v21 {
+        ToolConfig::wap_v21()
+    } else {
+        ToolConfig::wape_full()
+    };
+    config.jobs = opts.jobs.or_else(wap_runtime::jobs_from_env);
     let mut tool = WapTool::new(config);
     for wf in &opts.weapon_files {
         let json = std::fs::read_to_string(wf)?;
         tool.add_weapon(Weapon::from_json(&json)?);
     }
     for (name, classes) in &opts.user_sanitizers {
-        let resolved: Vec<VulnClass> =
-            classes.iter().map(|c| wap_catalog::WeaponConfig::resolve_class(c)).collect();
+        let resolved: Vec<VulnClass> = classes
+            .iter()
+            .map(|c| wap_catalog::WeaponConfig::resolve_class(c))
+            .collect();
         tool.catalog_mut().add_user_sanitizer(name, &resolved);
     }
     if !opts.class_flags.is_empty() {
@@ -208,9 +216,10 @@ pub fn render_text(report: &AppReport) -> String {
     }
     let _ = writeln!(
         out,
-        "\n{} files, {} LoC, {} real vulnerabilities, {} predicted false positives ({} ms)",
+        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives ({} ms)",
         report.files_analyzed,
         report.loc,
+        report.parse_errors.len(),
         report.real_vulnerabilities().count(),
         report.predicted_false_positives().count(),
         report.duration.as_millis()
@@ -288,8 +297,11 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
     let tool = build_tool(opts)?;
     let report = tool.analyze_sources(&sources);
 
-    let mut output =
-        if opts.json { render_json(&report) } else { render_text(&report) };
+    let mut output = if opts.json {
+        render_json(&report)
+    } else {
+        render_text(&report)
+    };
 
     if opts.confirm {
         let programs: Vec<(String, wap_php::Program)> = sources
@@ -298,7 +310,9 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
             .collect();
         let _ = writeln!(output, "\n== dynamic confirmation ==");
         for f in &report.findings {
-            let Some(file) = f.candidate.file.as_deref() else { continue };
+            let Some(file) = f.candidate.file.as_deref() else {
+                continue;
+            };
             let Some((_, program)) = programs.iter().find(|(n, _)| n == file) else {
                 continue;
             };
@@ -309,7 +323,11 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
                 file,
                 f.candidate.line,
                 f.candidate.class,
-                if conf.exploitable { "CONFIRMED EXPLOITABLE" } else { "not exploitable" },
+                if conf.exploitable {
+                    "CONFIRMED EXPLOITABLE"
+                } else {
+                    "not exploitable"
+                },
                 conf.detail
             );
         }
@@ -322,23 +340,26 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
                 continue;
             }
             if opts.diff {
-                let _ = writeln!(output, "--- {name}
-+++ {name} (fixed)");
+                let _ = writeln!(
+                    output,
+                    "--- {name}
++++ {name} (fixed)"
+                );
                 output.push_str(&wap_fixer::unified_diff(src, &result.fixed_source, 2));
             }
             if opts.fix {
                 let out_path = format!("{name}.fixed.php");
                 std::fs::write(&out_path, &result.fixed_source)?;
-                let _ = writeln!(
-                    output,
-                    "wrote {out_path} ({} fixes)",
-                    result.applied.len()
-                );
+                let _ = writeln!(output, "wrote {out_path} ({} fixes)", result.applied.len());
             }
         }
     }
 
-    let code = if report.real_vulnerabilities().count() > 0 { 1 } else { 0 };
+    let code = if report.real_vulnerabilities().count() > 0 {
+        1
+    } else {
+        0
+    };
     Ok((code, output))
 }
 
@@ -370,11 +391,52 @@ mod tests {
     }
 
     #[test]
+    fn parse_jobs_flag() {
+        let o = parse_args(args(&["--jobs", "4", "f.php"])).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        let o = parse_args(args(&["-j", "2", "f.php"])).unwrap();
+        assert_eq!(o.jobs, Some(2));
+        assert!(parse_args(args(&["--jobs", "0", "f.php"])).is_err());
+        assert!(parse_args(args(&["--jobs", "many", "f.php"])).is_err());
+        assert!(parse_args(args(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_reaches_tool_config() {
+        let opts = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            jobs: Some(3),
+            ..Default::default()
+        };
+        let tool = build_tool(&opts).unwrap();
+        assert_eq!(tool.config().jobs, Some(3));
+        assert_eq!(tool.runtime().jobs(), 3);
+    }
+
+    #[test]
+    fn summary_line_reports_parse_errors() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-perr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.php"), "<?php echo 'fine';\n").unwrap();
+        std::fs::write(dir.join("broken.php"), "<?php $x = ;\n").unwrap();
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            ..Default::default()
+        };
+        let (_, output) = run(&opts).unwrap();
+        assert!(output.contains("1 parse errors"), "{output}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn parse_sanitizer_spec() {
         let o = parse_args(args(&["--sanitizer", "escape:SQLI,XSS", "f.php"])).unwrap();
         assert_eq!(
             o.user_sanitizers,
-            vec![("escape".to_string(), vec!["SQLI".to_string(), "XSS".to_string()])]
+            vec![(
+                "escape".to_string(),
+                vec!["SQLI".to_string(), "XSS".to_string()]
+            )]
         );
         assert!(parse_args(args(&["--sanitizer", "noclasses", "f.php"])).is_err());
     }
@@ -404,8 +466,11 @@ mod tests {
             "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
         )
         .unwrap();
-        std::fs::write(dir.join("inc/safe.php"), "<?php echo htmlentities($_GET['m']);\n")
-            .unwrap();
+        std::fs::write(
+            dir.join("inc/safe.php"),
+            "<?php echo htmlentities($_GET['m']);\n",
+        )
+        .unwrap();
         std::fs::write(dir.join("notes.txt"), "not php").unwrap();
 
         let opts = CliOptions {
@@ -417,13 +482,11 @@ mod tests {
         assert_eq!(code, 1, "vulnerabilities found");
         assert!(output.contains("SQLI"), "{output}");
         assert!(output.contains("1 real vulnerabilities"));
-        let fixed = std::fs::read_to_string(
-            dir.join("index.php").with_extension("php.fixed.php"),
-        )
-        .or_else(|_| {
-            std::fs::read_to_string(format!("{}.fixed.php", dir.join("index.php").display()))
-        })
-        .expect("fixed file written");
+        let fixed = std::fs::read_to_string(dir.join("index.php").with_extension("php.fixed.php"))
+            .or_else(|_| {
+                std::fs::read_to_string(format!("{}.fixed.php", dir.join("index.php").display()))
+            })
+            .expect("fixed file written");
         assert!(fixed.contains("mysql_real_escape_string("));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -451,7 +514,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("wap-cli-clean-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("ok.php"), "<?php echo 'hello';\n").unwrap();
-        let opts = CliOptions { paths: vec![dir.clone()], ..Default::default() };
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            ..Default::default()
+        };
         let (code, _) = run(&opts).unwrap();
         assert_eq!(code, 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -478,7 +544,11 @@ mod diff_cli_tests {
             "<?php\nmysql_query(\"Q\" . $_GET['a']);\n",
         )
         .unwrap();
-        let opts = CliOptions { paths: vec![dir.clone()], diff: true, ..Default::default() };
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            diff: true,
+            ..Default::default()
+        };
         let (code, output) = run(&opts).unwrap();
         assert_eq!(code, 1);
         assert!(output.contains("@@"), "{output}");
@@ -498,8 +568,7 @@ mod confirm_cli_tests {
 
     #[test]
     fn confirm_flag_labels_findings() {
-        let dir =
-            std::env::temp_dir().join(format!("wap-cli-confirm-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("wap-cli-confirm-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
             dir.join("v.php"),
@@ -511,7 +580,11 @@ mod confirm_cli_tests {
             "<?php\n$n = $_GET['n'];\nif (!preg_match('/^[0-9]+$/', $n)) { exit; }\nif (isset($_GET['n'])) { mysql_query(\"SELECT 1 WHERE x = '$n'\"); }\n",
         )
         .unwrap();
-        let opts = CliOptions { paths: vec![dir.clone()], confirm: true, ..Default::default() };
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            confirm: true,
+            ..Default::default()
+        };
         let (_, output) = run(&opts).unwrap();
         assert!(output.contains("CONFIRMED EXPLOITABLE"), "{output}");
         assert!(output.contains("not exploitable"), "{output}");

@@ -35,7 +35,11 @@ pub mod pipeline;
 pub mod report;
 pub mod weapon;
 
+/// The shared work-stealing analysis runtime every parallel phase runs on.
+pub use wap_runtime as runtime;
+
 pub use pipeline::{AppReport, Finding, Generation, ToolConfig, WapTool};
+pub use wap_runtime::Runtime;
 
 /// Parses PHP source (re-exported convenience used by the CLI).
 pub fn pipeline_parse(src: &str) -> Result<wap_php::Program, wap_php::ParseError> {

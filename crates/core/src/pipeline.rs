@@ -11,7 +11,8 @@ use wap_mining::{
     PredictorGeneration,
 };
 use wap_php::{parse, ParseError, Program};
-use wap_taint::{analyze, AnalysisOptions, Candidate, SourceFile};
+use wap_runtime::Runtime;
+use wap_taint::{analyze_with, AnalysisOptions, Candidate, SourceFile};
 
 /// Which tool generation to run — the paper compares both.
 pub use wap_mining::PredictorGeneration as Generation;
@@ -28,6 +29,10 @@ pub struct ToolConfig {
     pub analysis: AnalysisOptions,
     /// Training/shuffling seed (deterministic runs).
     pub seed: u64,
+    /// Worker threads for every parallel phase (parse, taint, prediction).
+    /// `None` uses [`std::thread::available_parallelism`]; output is
+    /// bit-identical for any value.
+    pub jobs: Option<usize>,
 }
 
 impl ToolConfig {
@@ -38,6 +43,7 @@ impl ToolConfig {
             weapons: Vec::new(),
             analysis: AnalysisOptions::default(),
             seed: 42,
+            jobs: None,
         }
     }
 
@@ -49,6 +55,7 @@ impl ToolConfig {
             weapons: Vec::new(),
             analysis: AnalysisOptions::default(),
             seed: 42,
+            jobs: None,
         }
     }
 
@@ -57,10 +64,22 @@ impl ToolConfig {
     pub fn wape_full() -> Self {
         ToolConfig {
             generation: PredictorGeneration::Wape,
-            weapons: vec![WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()],
+            weapons: vec![
+                WeaponConfig::nosqli(),
+                WeaponConfig::hei(),
+                WeaponConfig::wpsqli(),
+            ],
             analysis: AnalysisOptions::default(),
             seed: 42,
+            jobs: None,
         }
+    }
+
+    /// This configuration with an explicit worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
     }
 }
 
@@ -96,6 +115,12 @@ pub struct AppReport {
     pub parse_errors: Vec<(String, ParseError)>,
     /// Wall-clock analysis time.
     pub duration: Duration,
+    /// Nanoseconds spent parsing.
+    pub parse_ns: u64,
+    /// Nanoseconds spent in taint analysis.
+    pub taint_ns: u64,
+    /// Nanoseconds spent collecting symptoms and voting.
+    pub predict_ns: u64,
 }
 
 impl AppReport {
@@ -113,7 +138,8 @@ impl AppReport {
     pub fn real_by_class(&self) -> Vec<(String, usize)> {
         let mut map: HashMap<String, usize> = HashMap::new();
         for f in self.real_vulnerabilities() {
-            *map.entry(f.candidate.class.acronym().to_string()).or_default() += 1;
+            *map.entry(f.candidate.class.acronym().to_string())
+                .or_default() += 1;
         }
         let mut v: Vec<(String, usize)> = map.into_iter().collect();
         v.sort();
@@ -180,7 +206,13 @@ impl WapTool {
         }
         let predictor = FalsePositivePredictor::train(config.generation, config.seed);
         let dynamic_symptoms = DynamicSymptomMap::from_catalog(&catalog);
-        WapTool { catalog, predictor, corrector, dynamic_symptoms, config }
+        WapTool {
+            catalog,
+            predictor,
+            corrector,
+            dynamic_symptoms,
+            config,
+        }
     }
 
     /// The active catalog (sinks, sanitizers, entry points).
@@ -206,76 +238,81 @@ impl WapTool {
         self.config.weapons.push(weapon.into_config());
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ToolConfig {
+        &self.config
+    }
+
+    /// The analysis runtime this tool fans work out on.
+    pub fn runtime(&self) -> Runtime {
+        Runtime::new(self.config.jobs)
+    }
+
     /// Analyzes an application given as `(file name, source)` pairs:
     /// parses, runs taint analysis across all files, collects symptoms,
     /// and classifies every candidate.
+    ///
+    /// Every phase fans out over [`WapTool::runtime`]; findings come back
+    /// sorted by (file, line, class) regardless of the worker count.
     pub fn analyze_sources(&self, sources: &[(String, String)]) -> AppReport {
         let start = Instant::now();
+        let runtime = self.runtime();
+
+        // parse files in parallel; analysis itself is cross-file
+        let programs: Vec<Result<Program, ParseError>> =
+            runtime.run(sources.len(), |i| parse(&sources[i].1));
+        let parse_ns = elapsed_ns(start);
+
         let mut parsed: Vec<SourceFile> = Vec::new();
         let mut parse_errors = Vec::new();
         let mut loc = 0usize;
-        let programs: Vec<(String, Result<Program, ParseError>)> = if sources.len() >= 8 {
-            // parse files in parallel; analysis itself is cross-file
-            let n_threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8);
-            let chunks: Vec<&[(String, String)]> =
-                sources.chunks(sources.len().div_ceil(n_threads)).collect();
-            let mut results: Vec<Vec<(String, Result<Program, ParseError>)>> =
-                Vec::with_capacity(chunks.len());
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        s.spawn(move |_| {
-                            chunk
-                                .iter()
-                                .map(|(name, src)| (name.clone(), parse(src)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("parser thread panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            results.into_iter().flatten().collect()
-        } else {
-            sources.iter().map(|(name, src)| (name.clone(), parse(src))).collect()
-        };
-        for ((name, result), (_, src)) in programs.into_iter().zip(sources) {
-            loc += src.lines().count();
+        for (result, (name, src)) in programs.into_iter().zip(sources) {
             match result {
-                Ok(program) => parsed.push(SourceFile { name, program }),
-                Err(e) => parse_errors.push((name, e)),
+                Ok(program) => {
+                    // only successfully parsed files count as analyzed LoC
+                    loc += src.lines().count();
+                    parsed.push(SourceFile {
+                        name: name.clone(),
+                        program,
+                    });
+                }
+                Err(e) => parse_errors.push((name.clone(), e)),
             }
         }
 
-        let candidates = analyze(&self.catalog, &self.config.analysis, &parsed);
-        let by_name: HashMap<&str, &Program> =
-            parsed.iter().map(|f| (f.name.as_str(), &f.program)).collect();
+        let taint_start = Instant::now();
+        let candidates = analyze_with(&self.catalog, &self.config.analysis, &parsed, &runtime);
+        let taint_ns = elapsed_ns(taint_start);
 
-        let findings = candidates
-            .into_iter()
-            .map(|candidate| {
-                let program = candidate
-                    .file
-                    .as_deref()
-                    .and_then(|f| by_name.get(f))
-                    .copied();
-                let symptoms = match program {
-                    Some(p) => collect(p, &candidate, &self.dynamic_symptoms),
-                    None => FeatureVector {
-                        features: vec![0.0; wap_mining::attributes::wape_feature_count()],
-                        present: Vec::new(),
-                    },
-                };
-                let prediction = self.predictor.predict(&symptoms);
-                Finding { candidate, prediction, symptoms }
-            })
+        let by_name: HashMap<&str, &Program> = parsed
+            .iter()
+            .map(|f| (f.name.as_str(), &f.program))
             .collect();
+
+        // symptom collection + committee voting, one task per candidate;
+        // the join keeps the analyzer's (file, line, class) order
+        let predict_start = Instant::now();
+        let findings = runtime.map(candidates, |_, candidate| {
+            let program = candidate
+                .file
+                .as_deref()
+                .and_then(|f| by_name.get(f))
+                .copied();
+            let symptoms = match program {
+                Some(p) => collect(p, &candidate, &self.dynamic_symptoms),
+                None => FeatureVector {
+                    features: vec![0.0; wap_mining::attributes::wape_feature_count()],
+                    present: Vec::new(),
+                },
+            };
+            let prediction = self.predictor.predict(&symptoms);
+            Finding {
+                candidate,
+                prediction,
+                symptoms,
+            }
+        });
+        let predict_ns = elapsed_ns(predict_start);
 
         AppReport {
             findings,
@@ -283,6 +320,9 @@ impl WapTool {
             loc,
             parse_errors,
             duration: start.elapsed(),
+            parse_ns,
+            taint_ns,
+            predict_ns,
         }
     }
 
@@ -296,6 +336,10 @@ impl WapTool {
             .collect();
         self.corrector.fix_source(source, &vulns)
     }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -349,7 +393,10 @@ mysql_query("SELECT name FROM users WHERE id = $id");
     fn wap_v21_misses_new_classes() {
         let v21 = WapTool::new(ToolConfig::wap_v21());
         let wape = WapTool::new(ToolConfig::wape());
-        let files = [src("c.php", "ldap_search($c, $b, '(uid=' . $_GET['u'] . ')');\n")];
+        let files = [src(
+            "c.php",
+            "ldap_search($c, $b, '(uid=' . $_GET['u'] . ')');\n",
+        )];
         assert_eq!(v21.analyze_sources(&files).findings.len(), 0);
         assert_eq!(wape.analyze_sources(&files).findings.len(), 1);
     }
@@ -381,8 +428,7 @@ mysql_query("SELECT * FROM t WHERE c = '$q'");
         assert_eq!(fixed.applied.len(), 1);
         assert!(fixed.fixed_source.contains("mysql_real_escape_string("));
         // fixed file re-analyzes clean (fix sanitizer is already known)
-        let report2 =
-            tool.analyze_sources(&[("e.php".to_string(), fixed.fixed_source.clone())]);
+        let report2 = tool.analyze_sources(&[("e.php".to_string(), fixed.fixed_source.clone())]);
         assert_eq!(report2.findings.len(), 0, "{:?}", report2.findings);
     }
 
@@ -396,6 +442,36 @@ mysql_query("SELECT * FROM t WHERE c = '$q'");
         assert_eq!(report.parse_errors.len(), 1);
         assert_eq!(report.parse_errors[0].0, "bad.php");
         assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn loc_counts_parsed_files_only() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let good = src("ok.php", "echo $_GET['m'];\n");
+        let baseline = tool.analyze_sources(std::slice::from_ref(&good)).loc;
+        let report = tool.analyze_sources(&[
+            (
+                "bad.php".to_string(),
+                "<?php $x = ;\n// long\n// broken\n// file\n".into(),
+            ),
+            good,
+        ]);
+        assert_eq!(
+            report.loc, baseline,
+            "unparsed files must not count as analyzed LoC"
+        );
+        assert_eq!(report.files_analyzed, 1);
+    }
+
+    #[test]
+    fn phase_timings_are_recorded() {
+        let tool = WapTool::new(ToolConfig::wape());
+        let report =
+            tool.analyze_sources(&[src("t.php", "$a = $_GET['a'];\nmysql_query(\"Q $a\");\n")]);
+        assert!(report.parse_ns > 0);
+        assert!(report.taint_ns > 0);
+        assert!(report.predict_ns > 0);
+        assert!(report.duration.as_nanos() >= u128::from(report.parse_ns));
     }
 
     #[test]
@@ -428,6 +504,44 @@ mysql_query("SELECT x FROM t WHERE i = $b");
         assert_eq!(report.files_analyzed, 24);
     }
 
+    /// Findings must be identical — order included — for any job count.
+    #[test]
+    fn job_count_never_changes_findings() {
+        let files: Vec<(String, String)> = (0..16)
+            .map(|i| {
+                src(
+                    &format!("j{i}.php"),
+                    &format!(
+                        "$v{i} = $_GET['p{i}'];\nmysql_query(\"SELECT x FROM t{i} WHERE a = $v{i}\");\necho $v{i};\n"
+                    ),
+                )
+            })
+            .collect();
+        let fingerprint = |jobs: usize| {
+            let tool = WapTool::new(ToolConfig::wape().with_jobs(jobs));
+            let report = tool.analyze_sources(&files);
+            report
+                .findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}:{}:{}:{}:{}",
+                        f.candidate.file.as_deref().unwrap_or(""),
+                        f.candidate.line,
+                        f.candidate.class,
+                        f.prediction.is_false_positive,
+                        f.prediction.votes,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = fingerprint(1);
+        assert_eq!(serial.len(), 32);
+        for jobs in [2, 8] {
+            assert_eq!(fingerprint(jobs), serial, "jobs={jobs} diverged");
+        }
+    }
+
     #[test]
     fn user_sanitizer_study_on_tool() {
         let mut tool = WapTool::new(ToolConfig::wape());
@@ -440,7 +554,8 @@ mysql_query("SELECT * FROM t WHERE n = '$n'");
 "#,
         )];
         assert_eq!(tool.analyze_sources(&files).findings.len(), 1);
-        tool.catalog_mut().add_user_sanitizer("escape", &[VulnClass::Sqli]);
+        tool.catalog_mut()
+            .add_user_sanitizer("escape", &[VulnClass::Sqli]);
         assert_eq!(tool.analyze_sources(&files).findings.len(), 0);
     }
 }

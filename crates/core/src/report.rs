@@ -9,7 +9,8 @@ pub fn real_by_class(reports: &[(String, AppReport)]) -> BTreeMap<String, usize>
     let mut out = BTreeMap::new();
     for (_, r) in reports {
         for f in r.real_vulnerabilities() {
-            *out.entry(f.candidate.class.acronym().to_string()).or_insert(0) += 1;
+            *out.entry(f.candidate.class.acronym().to_string())
+                .or_insert(0) += 1;
         }
     }
     out
@@ -17,12 +18,18 @@ pub fn real_by_class(reports: &[(String, AppReport)]) -> BTreeMap<String, usize>
 
 /// Total predicted false positives across reports (the `FPP` column).
 pub fn total_predicted_fps(reports: &[(String, AppReport)]) -> usize {
-    reports.iter().map(|(_, r)| r.predicted_false_positives().count()).sum()
+    reports
+        .iter()
+        .map(|(_, r)| r.predicted_false_positives().count())
+        .sum()
 }
 
 /// Total real vulnerabilities across reports.
 pub fn total_real(reports: &[(String, AppReport)]) -> usize {
-    reports.iter().map(|(_, r)| r.real_vulnerabilities().count()).sum()
+    reports
+        .iter()
+        .map(|(_, r)| r.real_vulnerabilities().count())
+        .sum()
 }
 
 /// A minimal plain-text table renderer for the experiment binaries.
@@ -35,7 +42,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header length).

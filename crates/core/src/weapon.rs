@@ -21,7 +21,9 @@ pub struct WeaponError {
 
 impl WeaponError {
     fn new(message: impl Into<String>) -> Self {
-        WeaponError { message: message.into() }
+        WeaponError {
+            message: message.into(),
+        }
     }
 }
 
@@ -65,7 +67,9 @@ impl Weapon {
             return Err(WeaponError::new("class name is empty"));
         }
         if config.sinks.is_empty() {
-            return Err(WeaponError::new("a weapon needs at least one sensitive sink"));
+            return Err(WeaponError::new(
+                "a weapon needs at least one sensitive sink",
+            ));
         }
         for s in &config.sinks {
             if s.name.trim().is_empty() {
@@ -78,14 +82,19 @@ impl Weapon {
                     return Err(WeaponError::new("php_sanitization fix needs a sanitizer"));
                 }
             }
-            FixTemplateSpec::UserSanitization { malicious, neutralizer } => {
+            FixTemplateSpec::UserSanitization {
+                malicious,
+                neutralizer,
+            } => {
                 if malicious.is_empty() {
                     return Err(WeaponError::new(
                         "user_sanitization fix needs malicious characters",
                     ));
                 }
                 if neutralizer.is_empty() {
-                    return Err(WeaponError::new("user_sanitization fix needs a neutralizer"));
+                    return Err(WeaponError::new(
+                        "user_sanitization fix needs a neutralizer",
+                    ));
                 }
             }
             FixTemplateSpec::UserValidation { malicious } => {
@@ -178,7 +187,11 @@ mod tests {
 
     #[test]
     fn builtin_weapons_validate() {
-        for cfg in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+        for cfg in [
+            WeaponConfig::nosqli(),
+            WeaponConfig::hei(),
+            WeaponConfig::wpsqli(),
+        ] {
             let w = Weapon::generate(cfg).expect("builtin weapon valid");
             assert!(w.flag().starts_with('-'));
             assert!(w.fix_name().starts_with("san_"));
@@ -203,7 +216,8 @@ mod tests {
     #[test]
     fn rejects_unknown_dynamic_symptom() {
         let mut cfg = WeaponConfig::nosqli();
-        cfg.dynamic_symptoms.push(DynamicSymptom::new("val_x", "not_a_symptom", "validation"));
+        cfg.dynamic_symptoms
+            .push(DynamicSymptom::new("val_x", "not_a_symptom", "validation"));
         let err = Weapon::generate(cfg).unwrap_err();
         assert!(err.to_string().contains("not_a_symptom"));
     }
@@ -211,7 +225,8 @@ mod tests {
     #[test]
     fn accepts_list_pseudo_symptoms() {
         let mut cfg = WeaponConfig::nosqli();
-        cfg.dynamic_symptoms.push(DynamicSymptom::new("allowed", "white_list", "validation"));
+        cfg.dynamic_symptoms
+            .push(DynamicSymptom::new("allowed", "white_list", "validation"));
         assert!(Weapon::generate(cfg).is_ok());
     }
 
@@ -273,10 +288,7 @@ mod tests {
         let mut corrector = Corrector::new();
         w.link(&mut catalog, &mut corrector);
         // the new detector finds flows into the configured sink
-        let program = wap_php::parse(
-            "<?php simplexml_load_string($_POST['xml']);",
-        )
-        .unwrap();
+        let program = wap_php::parse("<?php simplexml_load_string($_POST['xml']);").unwrap();
         let found = wap_taint::analyze_program(&catalog, &program);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].class, VulnClass::Custom("XXE".into()));

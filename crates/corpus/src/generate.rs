@@ -185,7 +185,10 @@ pub fn generate_clean_webapp(
 pub fn generate_plugin(spec: &PluginSpec, scale: f64, seed: u64) -> GeneratedApp {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut flows: Vec<FlowKind> = Vec::new();
-    let wp_real = ClassCounts { sqli: 0, ..spec.real };
+    let wp_real = ClassCounts {
+        sqli: 0,
+        ..spec.real
+    };
     for _ in 0..spec.real.sqli {
         flows.push(FlowKind::Real(VulnClass::Custom("WPSQLI".into())));
     }
@@ -202,7 +205,16 @@ pub fn generate_plugin(spec: &PluginSpec, scale: f64, seed: u64) -> GeneratedApp
     }
     let n_files = scaled(8 + (spec.total() / 4), scale.max(0.5), 2);
     let loc = scaled(900 + spec.total() * 60, scale.max(0.5), 120);
-    build_app(spec.name, spec.version, n_files, loc, n_files.min(4).max(1), flows, true, &mut rng)
+    build_app(
+        spec.name,
+        spec.version,
+        n_files,
+        loc,
+        n_files.clamp(1, 4),
+        flows,
+        true,
+        &mut rng,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -227,10 +239,12 @@ fn build_app(
     for (i, f) in flows.into_iter().enumerate() {
         flow_buckets[i % vuln_files.max(1)].push(f);
     }
-    let needs_escape_helper =
-        flow_buckets.iter().flatten().any(|f| matches!(f, FlowKind::FpEscape));
+    let needs_escape_helper = flow_buckets
+        .iter()
+        .flatten()
+        .any(|f| matches!(f, FlowKind::FpEscape));
 
-    for fi in 0..n_files {
+    for (fi, bucket) in flow_buckets.iter().enumerate() {
         let fname = if fi == 0 {
             "index.php".to_string()
         } else if wordpress {
@@ -249,7 +263,7 @@ fn build_app(
             body.push_str("global $wpdb;\n");
         }
         // seeded flows for this file
-        for flow in &flow_buckets[fi] {
+        for flow in bucket {
             ident += 1;
             let snippet = match flow {
                 FlowKind::Real(class) => real_vuln(class, ident, rng),
@@ -272,7 +286,10 @@ fn build_app(
                 FlowKind::FpEscape => fp_escape(&VulnClass::Sqli, ident),
             };
             body.push_str(&snippet);
-            seeded.push(SeededFlow { kind: flow.clone(), file: fname.clone() });
+            seeded.push(SeededFlow {
+                kind: flow.clone(),
+                file: fname.clone(),
+            });
         }
         // a couple of safe flows for realism (true negatives)
         if fi % 3 == 0 {
@@ -292,7 +309,10 @@ fn build_app(
         }
         body.push_str("?>\n");
         loc += body.lines().count();
-        files.push(GeneratedFile { name: fname, source: body });
+        files.push(GeneratedFile {
+            name: fname,
+            source: body,
+        });
     }
 
     GeneratedApp {
@@ -306,7 +326,7 @@ fn build_app(
 
 /// FP flows alternate between SQLI and XSS sinks deterministically.
 fn fp_sink_class(ident: usize) -> VulnClass {
-    if ident % 2 == 0 {
+    if ident.is_multiple_of(2) {
         VulnClass::Sqli
     } else {
         VulnClass::XssReflected
@@ -413,9 +433,15 @@ mod tests {
                 .saturating_sub(spec.real.sqli);
             sqli += found.iter().filter(|c| c.class == VulnClass::Sqli).count() - fp_sqli;
             xss += spec.real.xss.min(
-                found.iter().filter(|c| c.class == VulnClass::XssReflected).count(),
+                found
+                    .iter()
+                    .filter(|c| c.class == VulnClass::XssReflected)
+                    .count(),
             );
-            hi += found.iter().filter(|c| c.class == VulnClass::HeaderI).count();
+            hi += found
+                .iter()
+                .filter(|c| c.class == VulnClass::HeaderI)
+                .count();
         }
         assert_eq!(sqli, 72);
         assert_eq!(xss, 255);
@@ -445,7 +471,10 @@ mod tests {
         let app = generate_plugin(&spec, 1.0, 3);
         let plain = analyze_app(&app, &Catalog::wape());
         assert_eq!(
-            plain.iter().filter(|c| c.class.acronym() == "WPSQLI").count(),
+            plain
+                .iter()
+                .filter(|c| c.class.acronym() == "WPSQLI")
+                .count(),
             0,
             "no $wpdb knowledge without the weapon"
         );
@@ -453,7 +482,10 @@ mod tests {
         armed.add_weapon(wap_catalog::WeaponConfig::wpsqli());
         let found = analyze_app(&app, &armed);
         assert_eq!(
-            found.iter().filter(|c| c.class.acronym() == "WPSQLI").count(),
+            found
+                .iter()
+                .filter(|c| c.class.acronym() == "WPSQLI")
+                .count(),
             18,
             "Table VII: 18 SQLI in simple-support-ticket-system"
         );
@@ -466,7 +498,10 @@ mod tests {
             assert!(app.vulnerable_file_count() >= 1);
             assert!(app.loc > 0);
             assert_eq!(
-                app.seeded.iter().filter(|s| matches!(s.kind, FlowKind::Real(_))).count(),
+                app.seeded
+                    .iter()
+                    .filter(|s| matches!(s.kind, FlowKind::Real(_)))
+                    .count(),
                 spec.real.total()
             );
         }
@@ -500,7 +535,10 @@ mod tests {
 
     #[test]
     fn escape_study_app_has_six_escape_flows() {
-        let spec = vulnerable_webapps().into_iter().find(|a| a.name == "vfront").unwrap();
+        let spec = vulnerable_webapps()
+            .into_iter()
+            .find(|a| a.name == "vfront")
+            .unwrap();
         let app = generate_webapp(&spec, 0.02, 13);
         let n = app
             .seeded

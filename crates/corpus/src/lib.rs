@@ -29,7 +29,7 @@ pub mod phpgen;
 pub mod specs;
 
 pub use generate::{
-    generate_clean_webapp, generate_plugin, generate_plugins, generate_webapp,
-    generate_webapps, FlowKind, GeneratedApp, GeneratedFile, SeededFlow,
+    generate_clean_webapp, generate_plugin, generate_plugins, generate_webapp, generate_webapps,
+    FlowKind, GeneratedApp, GeneratedFile, SeededFlow,
 };
 pub use specs::{AppSpec, ClassCounts, PluginSpec};

@@ -108,12 +108,7 @@ pub fn real_vuln(class: &VulnClass, ident: usize, rng: &mut StdRng) -> String {
 /// Emits one *false positive* flow: a candidate the taint analyzer flags
 /// but which is in fact guarded. `class` decides the sink (must be a class
 /// both guard styles can reach; SQLI and XSS are the realistic ones).
-pub fn false_positive(
-    class: &VulnClass,
-    kind: FpKind,
-    ident: usize,
-    rng: &mut StdRng,
-) -> String {
+pub fn false_positive(class: &VulnClass, kind: FpKind, ident: usize, rng: &mut StdRng) -> String {
     let k = format!("f{ident}");
     let v = format!("g{ident}");
     let sink = sink_line(class, &v, ident);
@@ -172,9 +167,9 @@ fn sink_line(class: &VulnClass, v: &str, ident: usize) -> String {
             format!("mysql_query(\"SELECT * FROM records WHERE rid = '${v}'\");\n")
         }
         VulnClass::XssReflected => format!("echo \"<li>${v}</li>\";\n"),
-        VulnClass::Custom(name) if name == "WPSQLI" => format!(
-            "$wpdb->query(\"SELECT * FROM {{$wpdb->prefix}}t{ident} WHERE c = '${v}'\");\n"
-        ),
+        VulnClass::Custom(name) if name == "WPSQLI" => {
+            format!("$wpdb->query(\"SELECT * FROM {{$wpdb->prefix}}t{ident} WHERE c = '${v}'\");\n")
+        }
         other => {
             let _ = other;
             format!("mysql_query(\"DELETE FROM cache WHERE ck = '${v}'\");\n")
@@ -291,8 +286,7 @@ mod tests {
         for class in classes {
             for i in 0..6 {
                 let src = wrap(&real_vuln(&class, i, &mut r));
-                let program =
-                    parse(&src).unwrap_or_else(|e| panic!("{class} snippet: {e}\n{src}"));
+                let program = parse(&src).unwrap_or_else(|e| panic!("{class} snippet: {e}\n{src}"));
                 let found = analyze_program(&catalog, &program);
                 assert!(
                     found.iter().any(|c| c.class.acronym() == class.acronym()
@@ -308,13 +302,16 @@ mod tests {
     fn false_positive_snippets_are_flagged_by_taint() {
         let catalog = Catalog::wape();
         let mut r = rng();
-        for kind in [FpKind::OriginalSymptoms, FpKind::NewSymptomsOnly, FpKind::NonSymptoms] {
+        for kind in [
+            FpKind::OriginalSymptoms,
+            FpKind::NewSymptomsOnly,
+            FpKind::NonSymptoms,
+        ] {
             for class in [VulnClass::Sqli, VulnClass::XssReflected] {
                 for i in 0..6 {
                     let body = false_positive(&class, kind, i, &mut r);
                     let src = wrap(&body);
-                    let program =
-                        parse(&src).unwrap_or_else(|e| panic!("{kind:?}: {e}\n{src}"));
+                    let program = parse(&src).unwrap_or_else(|e| panic!("{kind:?}: {e}\n{src}"));
                     let found = analyze_program(&catalog, &program);
                     assert!(
                         !found.is_empty(),

@@ -359,14 +359,42 @@ pub fn vulnerable_webapps() -> Vec<AppSpec> {
 pub fn clean_webapps() -> Vec<(&'static str, usize, usize)> {
     // 37 apps, 3,660 files, 869,212 LoC in total
     let names: [&str; 37] = [
-        "AddressBook Pro", "Agenda Plus", "Artifact Tracker", "Blog Engine X",
-        "BookShelf", "Bug Herd", "CalendarWorks", "CartLight", "ChatRelay",
-        "ClassRoster", "CloudNotes", "CmsLite", "ContactHub", "DataGridder",
-        "DocuShare", "EventMaster", "FaqBuilder", "FileVault", "ForumOne",
-        "GalleryPrime", "GuestBookPlus", "HelpDeskGo", "InvoiceFlow",
-        "JobBoard", "KnowledgeBase", "LinkDirectory", "MailingListPro",
-        "NewsPortal", "PollMaster", "ProjectTrack", "QuizEngine",
-        "RecipeBox", "ShopWindow", "SurveyKing", "TaskQueue", "TimeSheets",
+        "AddressBook Pro",
+        "Agenda Plus",
+        "Artifact Tracker",
+        "Blog Engine X",
+        "BookShelf",
+        "Bug Herd",
+        "CalendarWorks",
+        "CartLight",
+        "ChatRelay",
+        "ClassRoster",
+        "CloudNotes",
+        "CmsLite",
+        "ContactHub",
+        "DataGridder",
+        "DocuShare",
+        "EventMaster",
+        "FaqBuilder",
+        "FileVault",
+        "ForumOne",
+        "GalleryPrime",
+        "GuestBookPlus",
+        "HelpDeskGo",
+        "InvoiceFlow",
+        "JobBoard",
+        "KnowledgeBase",
+        "LinkDirectory",
+        "MailingListPro",
+        "NewsPortal",
+        "PollMaster",
+        "ProjectTrack",
+        "QuizEngine",
+        "RecipeBox",
+        "ShopWindow",
+        "SurveyKing",
+        "TaskQueue",
+        "TimeSheets",
         "WikiCore",
     ];
     let mut out = Vec::new();
@@ -428,29 +456,236 @@ pub fn vulnerable_plugins() -> Vec<PluginSpec> {
         active_installs: installs,
     };
     vec![
-        p("Appointment Booking Calendar", "1.1.7", cc!(1, 3, 0, 0, 0, 0, 0, 0), 1, 0, 4, 64_000, 3_200),
-        p("Auth0", "1.3.6", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 12_000, 900),
-        p("Authorizer", "2.3.6", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 8_400, 700),
-        p("BuddyPress", "2.4.0", cc!(0, 0, 0, 0, 0, 0, 0, 0), 0, 1, 0, 2_900_000, 200_000),
-        p("Contact form generator", "2.0.1", cc!(0, 11, 0, 0, 0, 0, 0, 0), 0, 0, 0, 41_000, 2_500),
-        p("CP Appointment Calendar", "1.1.7", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 0, 29_000, 1_400),
-        p("Easy2map", "1.2.9", cc!(1, 0, 2, 0, 0, 0, 0, 0), 0, 0, 3, 22_000, 1_100),
-        p("Ecwid Shopping Cart", "3.4.6", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 710_000, 40_000),
-        p("Gantry Framework", "4.1.6", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 180_000, 9_000),
-        p("Google Maps Travel Route", "1.3.1", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 4_300, 350),
-        p("Lightbox Plus Colorbox", "2.7.2", cc!(0, 8, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_100_000, 210_000),
-        p("Payment form for Paypal pro", "1.0.1", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 2, 17_000, 820),
-        p("Recipes writer", "1.0.4", cc!(0, 4, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_900, 140),
-        p("ResAds", "1.0.1", cc!(0, 2, 0, 0, 0, 0, 0, 0), 0, 0, 2, 1_500, 90),
-        p("Simple support ticket system", "1.2", cc!(18, 0, 0, 0, 0, 0, 0, 0), 0, 0, 5, 3_800, 240),
-        p("The CartPress eCommerce Shopping Cart", "1.4.7", cc!(8, 17, 0, 0, 0, 0, 0, 0), 0, 0, 0, 96_000, 4_800),
-        p("WebKite", "2.0.1", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_200, 70),
-        p("WP EasyCart - eCommerce Shopping Cart", "3.2.3", cc!(13, 6, 29, 5, 0, 0, 2, 5), 0, 0, 0, 240_000, 11_000),
-        p("WP Marketplace", "2.4.1", cc!(9, 0, 0, 0, 0, 0, 0, 0), 1, 0, 0, 52_000, 2_600),
-        p("WP Shop", "3.5.3", cc!(5, 0, 0, 0, 0, 0, 0, 0), 1, 0, 0, 34_000, 2_200),
-        p("WP ToolBar Removal Node", "1839", cc!(0, 1, 0, 0, 0, 0, 0, 0), 0, 0, 0, 1_100, 60),
-        p("WP ultimate recipe", "2.5", cc!(0, 0, 0, 0, 0, 0, 0, 0), 0, 1, 0, 560_000, 30_000),
-        p("WP Web Scraper", "3.5", cc!(0, 3, 0, 0, 0, 0, 0, 0), 0, 0, 0, 11_200, 2_100),
+        p(
+            "Appointment Booking Calendar",
+            "1.1.7",
+            cc!(1, 3, 0, 0, 0, 0, 0, 0),
+            1,
+            0,
+            4,
+            64_000,
+            3_200,
+        ),
+        p(
+            "Auth0",
+            "1.3.6",
+            cc!(0, 1, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            12_000,
+            900,
+        ),
+        p(
+            "Authorizer",
+            "2.3.6",
+            cc!(0, 3, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            8_400,
+            700,
+        ),
+        p(
+            "BuddyPress",
+            "2.4.0",
+            cc!(0, 0, 0, 0, 0, 0, 0, 0),
+            0,
+            1,
+            0,
+            2_900_000,
+            200_000,
+        ),
+        p(
+            "Contact form generator",
+            "2.0.1",
+            cc!(0, 11, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            41_000,
+            2_500,
+        ),
+        p(
+            "CP Appointment Calendar",
+            "1.1.7",
+            cc!(0, 2, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            29_000,
+            1_400,
+        ),
+        p(
+            "Easy2map",
+            "1.2.9",
+            cc!(1, 0, 2, 0, 0, 0, 0, 0),
+            0,
+            0,
+            3,
+            22_000,
+            1_100,
+        ),
+        p(
+            "Ecwid Shopping Cart",
+            "3.4.6",
+            cc!(0, 1, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            710_000,
+            40_000,
+        ),
+        p(
+            "Gantry Framework",
+            "4.1.6",
+            cc!(0, 3, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            180_000,
+            9_000,
+        ),
+        p(
+            "Google Maps Travel Route",
+            "1.3.1",
+            cc!(0, 3, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            4_300,
+            350,
+        ),
+        p(
+            "Lightbox Plus Colorbox",
+            "2.7.2",
+            cc!(0, 8, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            1_100_000,
+            210_000,
+        ),
+        p(
+            "Payment form for Paypal pro",
+            "1.0.1",
+            cc!(0, 2, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            2,
+            17_000,
+            820,
+        ),
+        p(
+            "Recipes writer",
+            "1.0.4",
+            cc!(0, 4, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            1_900,
+            140,
+        ),
+        p(
+            "ResAds",
+            "1.0.1",
+            cc!(0, 2, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            2,
+            1_500,
+            90,
+        ),
+        p(
+            "Simple support ticket system",
+            "1.2",
+            cc!(18, 0, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            5,
+            3_800,
+            240,
+        ),
+        p(
+            "The CartPress eCommerce Shopping Cart",
+            "1.4.7",
+            cc!(8, 17, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            96_000,
+            4_800,
+        ),
+        p(
+            "WebKite",
+            "2.0.1",
+            cc!(0, 1, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            1_200,
+            70,
+        ),
+        p(
+            "WP EasyCart - eCommerce Shopping Cart",
+            "3.2.3",
+            cc!(13, 6, 29, 5, 0, 0, 2, 5),
+            0,
+            0,
+            0,
+            240_000,
+            11_000,
+        ),
+        p(
+            "WP Marketplace",
+            "2.4.1",
+            cc!(9, 0, 0, 0, 0, 0, 0, 0),
+            1,
+            0,
+            0,
+            52_000,
+            2_600,
+        ),
+        p(
+            "WP Shop",
+            "3.5.3",
+            cc!(5, 0, 0, 0, 0, 0, 0, 0),
+            1,
+            0,
+            0,
+            34_000,
+            2_200,
+        ),
+        p(
+            "WP ToolBar Removal Node",
+            "1839",
+            cc!(0, 1, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            1_100,
+            60,
+        ),
+        p(
+            "WP ultimate recipe",
+            "2.5",
+            cc!(0, 0, 0, 0, 0, 0, 0, 0),
+            0,
+            1,
+            0,
+            560_000,
+            30_000,
+        ),
+        p(
+            "WP Web Scraper",
+            "3.5",
+            cc!(0, 3, 0, 0, 0, 0, 0, 0),
+            0,
+            0,
+            0,
+            11_200,
+            2_100,
+        ),
     ]
 }
 
@@ -479,8 +714,9 @@ pub const INSTALL_BUCKETS: [(&str, u64, u64); 7] = [
 /// Names for the 92 clean plugins completing the 115, with deterministic
 /// popularity metadata spread over the Fig. 4 buckets.
 pub fn clean_plugins() -> Vec<PluginSpec> {
-    const TAGS: [&str; 8] =
-        ["arts", "food", "health", "shopping", "travel", "auth", "seo", "social"];
+    const TAGS: [&str; 8] = [
+        "arts", "food", "health", "shopping", "travel", "auth", "seo", "social",
+    ];
     let mut out = Vec::new();
     for i in 0..92usize {
         let tag = TAGS[i % TAGS.len()];
@@ -593,7 +829,10 @@ mod tests {
 
     #[test]
     fn sixteen_vulnerable_plugins_above_10k_downloads() {
-        let n = vulnerable_plugins().iter().filter(|p| p.downloads > 10_000).count();
+        let n = vulnerable_plugins()
+            .iter()
+            .filter(|p| p.downloads > 10_000)
+            .count();
         assert_eq!(n, 16, "§V-B: 16 of the 23 have more than 10K downloads");
     }
 
@@ -603,7 +842,10 @@ mod tests {
             .iter()
             .filter(|p| p.active_installs > 2_000)
             .count();
-        assert_eq!(n, 12, "§V-B: 12 plugins are used in more than 2000 web sites");
+        assert_eq!(
+            n, 12,
+            "§V-B: 12 plugins are used in more than 2000 web sites"
+        );
     }
 
     #[test]
@@ -611,7 +853,9 @@ mod tests {
         let ps = vulnerable_plugins();
         let lightbox = ps.iter().find(|p| p.name.contains("Lightbox")).unwrap();
         assert!(lightbox.active_installs > 200_000);
-        assert!(ps.iter().all(|p| p.active_installs <= lightbox.active_installs));
+        assert!(ps
+            .iter()
+            .all(|p| p.active_installs <= lightbox.active_installs));
     }
 
     #[test]

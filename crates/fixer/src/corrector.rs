@@ -50,7 +50,9 @@ pub struct Corrector {
 impl Corrector {
     /// A corrector with the built-in fix templates (WAPe defaults).
     pub fn new() -> Self {
-        Corrector { overrides: HashMap::new() }
+        Corrector {
+            overrides: HashMap::new(),
+        }
     }
 
     /// Registers a weapon-provided fix for a class (the *fix creation*
@@ -61,7 +63,10 @@ impl Corrector {
 
     /// The fix used for `class`.
     pub fn fix_for(&self, class: &VulnClass) -> Fix {
-        self.overrides.get(class).cloned().unwrap_or_else(|| builtin_fix(class))
+        self.overrides
+            .get(class)
+            .cloned()
+            .unwrap_or_else(|| builtin_fix(class))
     }
 
     /// Applies fixes for `vulns` (candidates confirmed real) to `source`.
@@ -73,8 +78,10 @@ impl Corrector {
         let mut sites: Vec<&Candidate> = Vec::new();
         for c in vulns {
             if (c.fix_site.end() as usize) <= source.len()
-                && c.fix_site.len() > 0
-                && !sites.iter().any(|s| s.fix_site == c.fix_site && s.class == c.class)
+                && !c.fix_site.is_empty()
+                && !sites
+                    .iter()
+                    .any(|s| s.fix_site == c.fix_site && s.class == c.class)
             {
                 sites.push(c);
             }
@@ -130,7 +137,11 @@ impl Corrector {
             .collect();
         sanitizers.sort();
 
-        FixResult { fixed_source: text, applied, sanitizers }
+        FixResult {
+            fixed_source: text,
+            applied,
+            sanitizers,
+        }
     }
 }
 
@@ -302,10 +313,8 @@ lookup($c, $_GET['n']);
     fn out_of_bounds_sites_are_skipped() {
         let src = "<?php $x = 1;";
         let program = parse(src).unwrap();
-        let mut found = analyze_program(
-            &Catalog::wape(),
-            &parse("<?php echo $_GET['a'];").unwrap(),
-        );
+        let mut found =
+            analyze_program(&Catalog::wape(), &parse("<?php echo $_GET['a'];").unwrap());
         // candidate from a different (longer) file: still within bounds of
         // THAT file but we hand it the wrong source text on purpose with a
         // huge span
@@ -330,7 +339,10 @@ mysql_query("Q $a");
         doubled.extend(found.clone());
         let r = Corrector::new().fix_source(src, &doubled);
         assert_eq!(r.applied.len(), 1);
-        assert_eq!(r.fixed_source.matches("mysql_real_escape_string").count(), 1);
+        assert_eq!(
+            r.fixed_source.matches("mysql_real_escape_string").count(),
+            1
+        );
     }
 
     #[test]

@@ -43,8 +43,14 @@ pub fn unified_diff(before: &str, after: &str, context: usize) -> String {
                 _ => b_line += 1,
             }
         }
-        let a_count = ops[hunk_start..hunk_end].iter().filter(|o| o.0 != 2).count();
-        let b_count = ops[hunk_start..hunk_end].iter().filter(|o| o.0 != 1).count();
+        let a_count = ops[hunk_start..hunk_end]
+            .iter()
+            .filter(|o| o.0 != 2)
+            .count();
+        let b_count = ops[hunk_start..hunk_end]
+            .iter()
+            .filter(|o| o.0 != 1)
+            .count();
         out.push_str(&format!("@@ -{a_line},{a_count} +{b_line},{b_count} @@\n"));
         for (kind, text) in &ops[hunk_start..hunk_end] {
             out.push(match kind {

@@ -21,7 +21,10 @@ pub struct Fix {
 impl Fix {
     /// Creates a fix from a template.
     pub fn new(name: impl Into<String>, template: FixTemplateSpec) -> Self {
-        Fix { name: name.into(), template }
+        Fix {
+            name: name.into(),
+            template,
+        }
     }
 
     /// The PHP expression that wraps `inner` with this fix.
@@ -39,7 +42,10 @@ impl Fix {
     pub fn helper_source(&self) -> Option<String> {
         match &self.template {
             FixTemplateSpec::PhpSanitization { .. } => None,
-            FixTemplateSpec::UserSanitization { malicious, neutralizer } => {
+            FixTemplateSpec::UserSanitization {
+                malicious,
+                neutralizer,
+            } => {
                 let searches = malicious
                     .iter()
                     .map(|m| php_str(m))
@@ -95,10 +101,22 @@ fn php_str(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\n' => {
                 // keep control characters readable via double-quoted form
-                return format!("\"{}\"", s.replace('\\', "\\\\").replace('\r', "\\r").replace('\n', "\\n").replace('"', "\\\""));
+                return format!(
+                    "\"{}\"",
+                    s.replace('\\', "\\\\")
+                        .replace('\r', "\\r")
+                        .replace('\n', "\\n")
+                        .replace('"', "\\\"")
+                );
             }
             '\r' => {
-                return format!("\"{}\"", s.replace('\\', "\\\\").replace('\r', "\\r").replace('\n', "\\n").replace('"', "\\\""));
+                return format!(
+                    "\"{}\"",
+                    s.replace('\\', "\\\\")
+                        .replace('\r', "\\r")
+                        .replace('\n', "\\n")
+                        .replace('"', "\\\"")
+                );
             }
             other => out.push(other),
         }
@@ -113,15 +131,21 @@ pub fn builtin_fix(class: &VulnClass) -> Fix {
     match class {
         VulnClass::Sqli => Fix::new(
             "san_sqli",
-            FixTemplateSpec::PhpSanitization { sanitizer: "mysql_real_escape_string".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "mysql_real_escape_string".into(),
+            },
         ),
         VulnClass::XssReflected => Fix::new(
             "san_out",
-            FixTemplateSpec::PhpSanitization { sanitizer: "htmlentities".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "htmlentities".into(),
+            },
         ),
         VulnClass::XssStored => Fix::new(
             "san_wdata",
-            FixTemplateSpec::PhpSanitization { sanitizer: "htmlentities".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "htmlentities".into(),
+            },
         ),
         // CS reuses the write/read fixes, extended to check hyperlinks
         VulnClass::CommentSpam => Fix::new(
@@ -144,7 +168,9 @@ pub fn builtin_fix(class: &VulnClass) -> Fix {
         ),
         VulnClass::Osci => Fix::new(
             "san_osci",
-            FixTemplateSpec::PhpSanitization { sanitizer: "escapeshellarg".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "escapeshellarg".into(),
+            },
         ),
         VulnClass::Phpci => Fix::new(
             "san_eval",
@@ -183,7 +209,9 @@ pub fn builtin_fix(class: &VulnClass) -> Fix {
         // §IV-C weapons' fixes
         VulnClass::NoSqlI => Fix::new(
             "san_nosqli",
-            FixTemplateSpec::PhpSanitization { sanitizer: "mysql_real_escape_string".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "mysql_real_escape_string".into(),
+            },
         ),
         VulnClass::HeaderI | VulnClass::EmailI => Fix::new(
             "san_hei",
@@ -194,7 +222,9 @@ pub fn builtin_fix(class: &VulnClass) -> Fix {
         ),
         VulnClass::Custom(name) if name == "WPSQLI" => Fix::new(
             "san_wpsqli",
-            FixTemplateSpec::PhpSanitization { sanitizer: "esc_sql".into() },
+            FixTemplateSpec::PhpSanitization {
+                sanitizer: "esc_sql".into(),
+            },
         ),
         VulnClass::Custom(name) => Fix::new(
             format!("san_{}", name.to_ascii_lowercase()),
@@ -262,7 +292,10 @@ mod tests {
 
     #[test]
     fn every_class_has_a_fix() {
-        for c in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+        for c in VulnClass::original()
+            .into_iter()
+            .chain(VulnClass::new_in_wape())
+        {
             let f = builtin_fix(&c);
             assert!(!f.name.is_empty());
             assert!(f.wrap("$x").contains("$x"));

@@ -103,9 +103,7 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
             let mut k = 0;
             while k < bytes.len() {
                 if bytes[k] == b'%' && k + 2 < bytes.len() {
-                    if let Ok(v) =
-                        u8::from_str_radix(&src[k + 1..k + 3], 16)
-                    {
+                    if let Ok(v) = u8::from_str_radix(&src[k + 1..k + 3], 16) {
                         out.push(v as char);
                         k += 3;
                         continue;
@@ -120,9 +118,7 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
             }
             Value::Str(out)
         }
-        "escapeshellarg" => {
-            Value::Str(format!("'{}'", s0().replace('\'', "'\\''")))
-        }
+        "escapeshellarg" => Value::Str(format!("'{}'", s0().replace('\'', "'\\''"))),
         "escapeshellcmd" => Value::Str(
             s0().chars()
                 .flat_map(|c| {
@@ -178,11 +174,23 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
             } else {
                 chars.len() - start
             };
-            Value::Str(chars[start..(start + take).min(chars.len())].iter().collect())
+            Value::Str(
+                chars[start..(start + take).min(chars.len())]
+                    .iter()
+                    .collect(),
+            )
         }
         "strpos" | "stripos" => {
-            let hay = if lower == "stripos" { s0().to_lowercase() } else { s0() };
-            let needle = if lower == "stripos" { s1().to_lowercase() } else { s1() };
+            let hay = if lower == "stripos" {
+                s0().to_lowercase()
+            } else {
+                s0()
+            };
+            let needle = if lower == "stripos" {
+                s1().to_lowercase()
+            } else {
+                s1()
+            };
             match hay.find(&needle) {
                 Some(p) => Value::Int(p as i64),
                 None => Value::Bool(false),
@@ -217,7 +225,11 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
         "str_pad" => {
             let src = s0();
             let target = i(1).max(0) as usize;
-            let pad = if argv.len() > 2 { s2() } else { " ".to_string() };
+            let pad = if argv.len() > 2 {
+                s2()
+            } else {
+                " ".to_string()
+            };
             let mut out = src;
             while out.len() < target && !pad.is_empty() {
                 out.push_str(&pad);
@@ -246,7 +258,10 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
                 _ => (String::new(), BTreeMap::new()),
             };
             Value::Str(
-                arr.values().map(Value::to_php_string).collect::<Vec<_>>().join(&glue),
+                arr.values()
+                    .map(Value::to_php_string)
+                    .collect::<Vec<_>>()
+                    .join(&glue),
             )
         }
         "sprintf" => {
@@ -261,15 +276,11 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
                 }
                 match chars.next() {
                     Some('s') => {
-                        out.push_str(
-                            &argv.get(ai).map(Value::to_php_string).unwrap_or_default(),
-                        );
+                        out.push_str(&argv.get(ai).map(Value::to_php_string).unwrap_or_default());
                         ai += 1;
                     }
                     Some('d') => {
-                        out.push_str(
-                            &argv.get(ai).map(Value::to_php_int).unwrap_or(0).to_string(),
-                        );
+                        out.push_str(&argv.get(ai).map(Value::to_php_int).unwrap_or(0).to_string());
                         ai += 1;
                     }
                     Some('%') => out.push('%'),
@@ -286,9 +297,7 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
         "nl2br" => Value::Str(s0().replace('\n', "<br />\n")),
 
         // ---- regex subset ----
-        "preg_match" | "preg_match_all" => {
-            Value::Int(i64::from(charclass_match(&s0(), &s1())))
-        }
+        "preg_match" | "preg_match_all" => Value::Int(i64::from(charclass_match(&s0(), &s1()))),
         "ereg" | "eregi" => Value::Int(i64::from(charclass_match(&s0(), &s1()))),
         "ereg_replace" | "eregi_replace" | "preg_replace" => {
             Value::Str(charclass_replace(&s0(), &s1(), &s2()))
@@ -357,9 +366,7 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
         "in_array" => {
             let needle = argv.first().cloned().unwrap_or(Value::Null);
             match argv.get(1) {
-                Some(Value::Array(a)) => {
-                    Value::Bool(a.values().any(|v| v.loose_eq(&needle)))
-                }
+                Some(Value::Array(a)) => Value::Bool(a.values().any(|v| v.loose_eq(&needle))),
                 _ => Value::Bool(false),
             }
         }
@@ -408,11 +415,11 @@ pub(crate) fn call(name: &str, argv: &[Value]) -> Option<Value> {
         "define" | "defined" | "function_exists" | "class_exists" => Value::Bool(true),
         "file_exists" | "is_dir" | "is_file" | "headers_sent" => Value::Bool(false),
         "session_start" | "ob_start" => Value::Bool(true),
-        "mysql_connect" | "mysqli_connect" | "mysql_select_db" | "pg_connect"
-        | "ldap_connect" | "fopen" | "opendir" => Value::Int(1),
-        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row"
-        | "mysql_fetch_object" | "mysqli_fetch_assoc" | "mysqli_fetch_array"
-        | "mysqli_fetch_row" | "pg_fetch_assoc" | "pg_fetch_row" => Value::Bool(false),
+        "mysql_connect" | "mysqli_connect" | "mysql_select_db" | "pg_connect" | "ldap_connect"
+        | "fopen" | "opendir" => Value::Int(1),
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row" | "mysql_fetch_object"
+        | "mysqli_fetch_assoc" | "mysqli_fetch_array" | "mysqli_fetch_row" | "pg_fetch_assoc"
+        | "pg_fetch_row" => Value::Bool(false),
         "mysql_num_rows" | "mysqli_num_rows" | "mysql_affected_rows" => Value::Int(0),
         "get_query_var" => Value::Str(String::new()),
         "extract" => Value::Int(0),
@@ -431,7 +438,9 @@ pub fn charclass_match(pattern: &str, subject: &str) -> bool {
     match parse_anchored_class(pattern) {
         Some((class, negated)) => {
             !subject.is_empty()
-                && subject.chars().all(|c| class_contains(&class, c) != negated)
+                && subject
+                    .chars()
+                    .all(|c| class_contains(&class, c) != negated)
         }
         None => false,
     }
@@ -464,7 +473,10 @@ fn parse_anchored_class(pattern: &str) -> Option<(Vec<(char, char)>, bool)> {
     let p = pattern.trim_matches('/');
     let p = p.strip_prefix('^').unwrap_or(p);
     let p = p.strip_suffix('$').unwrap_or(p);
-    let p = p.strip_suffix('+').or_else(|| p.strip_suffix('*')).unwrap_or(p);
+    let p = p
+        .strip_suffix('+')
+        .or_else(|| p.strip_suffix('*'))
+        .unwrap_or(p);
     parse_class(p)
 }
 
@@ -511,10 +523,7 @@ mod tests {
     #[test]
     fn htmlentities_neutralizes_script() {
         let v = call("htmlentities", &[s("<script>alert(1)</script>")]).unwrap();
-        assert_eq!(
-            v.to_php_string(),
-            "&lt;script&gt;alert(1)&lt;/script&gt;"
-        );
+        assert_eq!(v.to_php_string(), "&lt;script&gt;alert(1)&lt;/script&gt;");
     }
 
     #[test]
@@ -534,11 +543,7 @@ mod tests {
         let mut search = BTreeMap::new();
         search.insert("0".to_string(), s("\r"));
         search.insert("1".to_string(), s("\n"));
-        let v = call(
-            "str_replace",
-            &[Value::Array(search), s(" "), s("a\r\nb")],
-        )
-        .unwrap();
+        let v = call("str_replace", &[Value::Array(search), s(" "), s("a\r\nb")]).unwrap();
         assert_eq!(v.to_php_string(), "a  b");
     }
 
@@ -573,8 +578,11 @@ mod tests {
 
     #[test]
     fn sprintf_subset() {
-        let v = call("sprintf", &[s("SELECT %s FROM t WHERE n = %d"), s("a"), Value::Int(5)])
-            .unwrap();
+        let v = call(
+            "sprintf",
+            &[s("SELECT %s FROM t WHERE n = %d"), s("a"), Value::Int(5)],
+        )
+        .unwrap();
         assert_eq!(v.to_php_string(), "SELECT a FROM t WHERE n = 5");
     }
 

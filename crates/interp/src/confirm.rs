@@ -138,7 +138,10 @@ pub fn confirm(catalog: &Catalog, files: &[&Program], candidate: &Candidate) -> 
         if !ev.sink.contains(&name_needle) {
             continue;
         }
-        let survives = ev.args.iter().any(|a| payload_survives(&candidate.class, a));
+        let survives = ev
+            .args
+            .iter()
+            .any(|a| payload_survives(&candidate.class, a));
         if survives {
             return Confirmation {
                 exploitable: true,
@@ -161,7 +164,12 @@ pub fn confirm(catalog: &Catalog, files: &[&Program], candidate: &Candidate) -> 
         ),
         None => "payload never reached the sink (guard blocked it)".to_string(),
     };
-    Confirmation { exploitable: false, payload, sink_event: best, detail }
+    Confirmation {
+        exploitable: false,
+        payload,
+        sink_event: best,
+        detail,
+    }
 }
 
 #[cfg(test)]
@@ -233,12 +241,10 @@ mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
     #[test]
     fn confirms_xss_and_neutralization() {
         let catalog = Catalog::wape();
-        let (p, c) =
-            first_candidate(&catalog, r#"<?php echo "Hello " . $_GET['name'];"#);
+        let (p, c) = first_candidate(&catalog, r#"<?php echo "Hello " . $_GET['name'];"#);
         assert!(confirm(&catalog, &[&p], &c).exploitable);
 
-        let fixed =
-            parse(r#"<?php echo "Hello " . htmlentities($_GET['name']);"#).unwrap();
+        let fixed = parse(r#"<?php echo "Hello " . htmlentities($_GET['name']);"#).unwrap();
         let conf = confirm(&catalog, &[&fixed], &c);
         assert!(!conf.exploitable, "{conf:?}");
     }
@@ -246,12 +252,10 @@ mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
     #[test]
     fn confirms_osci_with_escapeshellarg_defeat() {
         let catalog = Catalog::wape();
-        let (p, c) =
-            first_candidate(&catalog, r#"<?php system("ping " . $_GET['host']);"#);
+        let (p, c) = first_candidate(&catalog, r#"<?php system("ping " . $_GET['host']);"#);
         assert!(confirm(&catalog, &[&p], &c).exploitable);
 
-        let fixed =
-            parse(r#"<?php system("ping " . escapeshellarg($_GET['host']));"#).unwrap();
+        let fixed = parse(r#"<?php system("ping " . escapeshellarg($_GET['host']));"#).unwrap();
         assert!(!confirm(&catalog, &[&fixed], &c).exploitable);
     }
 
@@ -264,10 +268,7 @@ mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
         );
         assert!(confirm(&catalog, &[&p], &c).exploitable);
 
-        let fixed = parse(
-            r#"<?php include 'pages/' . basename($_GET['page']) . '.php';"#,
-        )
-        .unwrap();
+        let fixed = parse(r#"<?php include 'pages/' . basename($_GET['page']) . '.php';"#).unwrap();
         assert!(!confirm(&catalog, &[&fixed], &c).exploitable);
     }
 
@@ -275,10 +276,7 @@ mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
     fn confirms_header_injection_with_weapon() {
         let mut catalog = Catalog::wape();
         catalog.add_weapon(wap_catalog::WeaponConfig::hei());
-        let (p, c) = first_candidate(
-            &catalog,
-            r#"<?php header("Location: " . $_GET['to']);"#,
-        );
+        let (p, c) = first_candidate(&catalog, r#"<?php header("Location: " . $_GET['to']);"#);
         assert!(confirm(&catalog, &[&p], &c).exploitable);
     }
 
@@ -299,11 +297,20 @@ $wpdb->query("SELECT * FROM t WHERE c = '$v'");"#,
 
     #[test]
     fn payload_survival_rules() {
-        assert!(payload_survives(&VulnClass::Sqli, "x = '' OR 'WAPPWN'='WAPPWN'"));
-        assert!(!payload_survives(&VulnClass::Sqli, "x = '\\' OR \\'WAPPWN\\''"));
+        assert!(payload_survives(
+            &VulnClass::Sqli,
+            "x = '' OR 'WAPPWN'='WAPPWN'"
+        ));
+        assert!(!payload_survives(
+            &VulnClass::Sqli,
+            "x = '\\' OR \\'WAPPWN\\''"
+        ));
         assert!(payload_survives(&VulnClass::Osci, "ping ;WAPPWN;"));
         assert!(!payload_survives(&VulnClass::Osci, "ping ';WAPPWN;'"));
-        assert!(payload_survives(&VulnClass::Lfi, "pages/../../etc/WAPPWN.php"));
+        assert!(payload_survives(
+            &VulnClass::Lfi,
+            "pages/../../etc/WAPPWN.php"
+        ));
         assert!(!payload_survives(&VulnClass::Lfi, "pages/WAPPWN.php"));
         assert!(payload_survives(&VulnClass::HeaderI, "x\r\nX-WAPPWN: 1"));
         assert!(!payload_survives(&VulnClass::HeaderI, "x  X-WAPPWN: 1"));

@@ -181,14 +181,23 @@ impl Interp<'_> {
                     self.output.push_str(&v);
                     args.push(v);
                 }
-                self.sinks.push(SinkEvent { sink: "echo".into(), line: stmt.span.line(), args });
+                self.sinks.push(SinkEvent {
+                    sink: "echo".into(),
+                    line: stmt.span.line(),
+                    args,
+                });
                 Flow::Normal
             }
             StmtKind::InlineHtml(h) => {
                 self.output.push_str(h);
                 Flow::Normal
             }
-            StmtKind::If { cond, then_branch, elseifs, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                elseifs,
+                else_branch,
+            } => {
                 if self.eval(env, cond).truthy() {
                     return self.exec_block(env, then_branch);
                 }
@@ -233,7 +242,12 @@ impl Interp<'_> {
                     return Flow::Normal;
                 }
             },
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 for e in init {
                     self.eval(env, e);
                 }
@@ -261,7 +275,13 @@ impl Interp<'_> {
                 }
                 Flow::Normal
             }
-            StmtKind::Foreach { array, key, value, body, .. } => {
+            StmtKind::Foreach {
+                array,
+                key,
+                value,
+                body,
+                ..
+            } => {
                 let arr = self.eval(env, array);
                 if let Value::Array(map) = arr {
                     for (k, v) in map {
@@ -347,7 +367,11 @@ impl Interp<'_> {
                 Flow::Normal
             }
             StmtKind::Block(b) => self.exec_block(env, b),
-            StmtKind::Try { body, catches: _, finally } => {
+            StmtKind::Try {
+                body,
+                catches: _,
+                finally,
+            } => {
                 let f = self.exec_block(env, body);
                 if let Some(fin) = finally {
                     self.exec_block(env, fin);
@@ -424,17 +448,20 @@ impl Interp<'_> {
             }
             ExprKind::Prop { base, name } => {
                 if let Some(root) = base.root_var() {
-                    env.get(&format!("{root}->{name}")).cloned().unwrap_or_else(|| {
-                        // $wpdb->prefix and friends get stable placeholders
-                        Value::Str(format!("{{{name}}}"))
-                    })
+                    env.get(&format!("{root}->{name}"))
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            // $wpdb->prefix and friends get stable placeholders
+                            Value::Str(format!("{{{name}}}"))
+                        })
                 } else {
                     Value::Null
                 }
             }
-            ExprKind::StaticProp { class, name } => {
-                env.get(&format!("{class}::${name}")).cloned().unwrap_or(Value::Null)
-            }
+            ExprKind::StaticProp { class, name } => env
+                .get(&format!("{class}::${name}"))
+                .cloned()
+                .unwrap_or(Value::Null),
             ExprKind::ClassConst { name, .. } => Value::Str(name.clone()),
             ExprKind::Call { callee, args } => {
                 let name = match &callee.kind {
@@ -447,7 +474,11 @@ impl Interp<'_> {
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(env, a)).collect();
                 self.call_function(env, &name, argv, expr.span.line())
             }
-            ExprKind::MethodCall { target, method, args } => {
+            ExprKind::MethodCall {
+                target,
+                method,
+                args,
+            } => {
                 let recv = target.root_var().map(str::to_string);
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(env, a)).collect();
                 self.call_method(env, recv.as_deref(), method, argv, expr.span.line())
@@ -462,7 +493,9 @@ impl Interp<'_> {
                 }
                 Value::Array(BTreeMap::new())
             }
-            ExprKind::Assign { target, op, value, .. } => {
+            ExprKind::Assign {
+                target, op, value, ..
+            } => {
                 let v = self.eval(env, value);
                 let new = match op {
                     AssignOp::Assign => v,
@@ -470,15 +503,15 @@ impl Interp<'_> {
                         let old = self.read(env, target);
                         Value::Str(format!("{}{}", old.to_php_string(), v.to_php_string()))
                     }
-                    AssignOp::Add => Value::Int(
-                        self.read(env, target).to_php_int() + v.to_php_int(),
-                    ),
-                    AssignOp::Sub => Value::Int(
-                        self.read(env, target).to_php_int() - v.to_php_int(),
-                    ),
-                    AssignOp::Mul => Value::Int(
-                        self.read(env, target).to_php_int() * v.to_php_int(),
-                    ),
+                    AssignOp::Add => {
+                        Value::Int(self.read(env, target).to_php_int() + v.to_php_int())
+                    }
+                    AssignOp::Sub => {
+                        Value::Int(self.read(env, target).to_php_int() - v.to_php_int())
+                    }
+                    AssignOp::Mul => {
+                        Value::Int(self.read(env, target).to_php_int() * v.to_php_int())
+                    }
                     AssignOp::Div => {
                         let d = v.to_php_int();
                         Value::Int(if d == 0 {
@@ -523,7 +556,11 @@ impl Interp<'_> {
                 self.assign(env, target, Value::Int(new));
                 Value::Int(if *pre { new } else { old })
             }
-            ExprKind::Ternary { cond, then, otherwise } => {
+            ExprKind::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = self.eval(env, cond);
                 if c.truthy() {
                     match then {
@@ -668,9 +705,7 @@ impl Interp<'_> {
                     BinOp::Gt => Value::Bool(l.to_php_int() > r.to_php_int()),
                     BinOp::Le => Value::Bool(l.to_php_int() <= r.to_php_int()),
                     BinOp::Ge => Value::Bool(l.to_php_int() >= r.to_php_int()),
-                    BinOp::Spaceship => {
-                        Value::Int((l.to_php_int() - r.to_php_int()).signum())
-                    }
+                    BinOp::Spaceship => Value::Int((l.to_php_int() - r.to_php_int()).signum()),
                     BinOp::Xor => Value::Bool(l.truthy() ^ r.truthy()),
                     BinOp::BitAnd => Value::Int(l.to_php_int() & r.to_php_int()),
                     BinOp::BitOr => Value::Int(l.to_php_int() | r.to_php_int()),
@@ -713,9 +748,9 @@ impl Interp<'_> {
                             len.to_string()
                         }
                     };
-                    let entry = env.entry(root.to_string()).or_insert_with(|| {
-                        Value::Array(BTreeMap::new())
-                    });
+                    let entry = env
+                        .entry(root.to_string())
+                        .or_insert_with(|| Value::Array(BTreeMap::new()));
                     if let Value::Array(map) = entry {
                         map.insert(key, value);
                     } else {
@@ -737,8 +772,7 @@ impl Interp<'_> {
                 if let Value::Array(map) = value {
                     for (i, item) in items.iter().enumerate() {
                         if let Some(t) = item {
-                            let v =
-                                map.get(&i.to_string()).cloned().unwrap_or(Value::Null);
+                            let v = map.get(&i.to_string()).cloned().unwrap_or(Value::Null);
                             self.assign(env, t, v);
                         }
                     }
@@ -755,10 +789,19 @@ impl Interp<'_> {
         )
     }
 
-    fn log_if_sink(&mut self, name: &str, receiver: Option<&str>, argv: &[Value], line: u32) -> bool {
+    fn log_if_sink(
+        &mut self,
+        name: &str,
+        receiver: Option<&str>,
+        argv: &[Value],
+        line: u32,
+    ) -> bool {
         let is_sink = self.catalog.sinks().any(|s| match &s.kind {
             SinkKind::Function(f) => receiver.is_none() && f.eq_ignore_ascii_case(name),
-            SinkKind::Method { receiver_hint, name: m } => {
+            SinkKind::Method {
+                receiver_hint,
+                name: m,
+            } => {
                 receiver.is_some()
                     && m.eq_ignore_ascii_case(name)
                     && match (receiver_hint, receiver) {
@@ -861,8 +904,10 @@ impl Interp<'_> {
 fn render_deep(v: &Value) -> String {
     match v {
         Value::Array(map) => {
-            let inner: Vec<String> =
-                map.iter().map(|(k, v)| format!("{k}: {}", render_deep(v))).collect();
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", render_deep(v)))
+                .collect();
             format!("{{{}}}", inner.join(", "))
         }
         other => other.to_php_string(),
@@ -898,7 +943,13 @@ pub fn php_prepare(fmt: &str, args: &[Value]) -> String {
         }
         match chars.next() {
             Some('d') => {
-                out.push_str(&args.get(ai).map(|v| v.to_php_int()).unwrap_or(0).to_string());
+                out.push_str(
+                    &args
+                        .get(ai)
+                        .map(|v| v.to_php_int())
+                        .unwrap_or(0)
+                        .to_string(),
+                );
                 ai += 1;
             }
             Some('s') => {

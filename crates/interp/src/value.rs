@@ -98,9 +98,7 @@ impl Value {
     pub fn strict_eq(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Array(a), Value::Array(b)) => a == b,
-            (a, b) => {
-                std::mem::discriminant(a) == std::mem::discriminant(b) && a.loose_eq(b)
-            }
+            (a, b) => std::mem::discriminant(a) == std::mem::discriminant(b) && a.loose_eq(b),
         }
     }
 }

@@ -78,8 +78,14 @@ proptest! {
 
 #[test]
 fn every_class_has_a_payload_with_marker() {
-    for class in VulnClass::original().into_iter().chain(VulnClass::new_in_wape()) {
+    for class in VulnClass::original()
+        .into_iter()
+        .chain(VulnClass::new_in_wape())
+    {
         let p = payload_for(&class);
-        assert!(p.contains("WAPPWN"), "{class}: payload {p} lacks the marker");
+        assert!(
+            p.contains("WAPPWN"),
+            "{class}: payload {p} lacks the marker"
+        );
     }
 }

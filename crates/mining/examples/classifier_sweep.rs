@@ -6,7 +6,10 @@ use wap_mining::{cross_validate, ClassifierKind, Dataset, Metrics};
 
 fn main() {
     let d = Dataset::wape(42);
-    println!("{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}", "classifier", "acc", "tpp", "pfp", "prfp", "inform");
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "classifier", "acc", "tpp", "pfp", "prfp", "inform"
+    );
     for k in ClassifierKind::all() {
         let cm = cross_validate(k, &d.x, &d.y, 10, 42);
         let m = Metrics::from_confusion(&cm);

@@ -19,7 +19,10 @@ pub struct ArffError {
 
 impl ArffError {
     fn new(message: impl Into<String>, line: usize) -> Self {
-        ArffError { message: message.into(), line }
+        ArffError {
+            message: message.into(),
+            line,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ pub fn to_arff(dataset: &Dataset, relation: &str) -> String {
 }
 
 fn quote_if_needed(s: &str) -> String {
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') && !s.is_empty() {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && !s.is_empty()
+    {
         s.to_string()
     } else {
         format!("'{}'", s.replace('\'', "\\'"))
@@ -109,10 +115,7 @@ pub fn from_arff(text: &str) -> Result<Dataset, ArffError> {
                     class_values = Some((values[0].clone(), values[1].clone()));
                 } else {
                     if class_values.is_some() {
-                        return Err(ArffError::new(
-                            "class attribute must be declared last",
-                            n,
-                        ));
+                        return Err(ArffError::new("class attribute must be declared last", n));
                     }
                     names.push(name);
                 }
@@ -140,9 +143,7 @@ pub fn from_arff(text: &str) -> Result<Dataset, ArffError> {
             match *c {
                 "0" => row.push(0.0),
                 "1" => row.push(1.0),
-                other => {
-                    return Err(ArffError::new(format!("non-binary value `{other}`"), n))
-                }
+                other => return Err(ArffError::new(format!("non-binary value `{other}`"), n)),
             }
         }
         let (pos, neg) = class_values.as_ref().expect("checked at @data");
@@ -190,9 +191,18 @@ mod tests {
     fn export_shape() {
         let d = Dataset::wape(1);
         let arff = to_arff(&d, "r");
-        assert_eq!(arff.matches("@ATTRIBUTE").count(), 61, "60 features + class");
+        assert_eq!(
+            arff.matches("@ATTRIBUTE").count(),
+            61,
+            "60 features + class"
+        );
         assert!(arff.contains("@ATTRIBUTE class {FP,RV}"));
-        assert_eq!(arff.lines().filter(|l| l.ends_with(",FP") || l.ends_with(",RV")).count(), 256);
+        assert_eq!(
+            arff.lines()
+                .filter(|l| l.ends_with(",FP") || l.ends_with(",RV"))
+                .count(),
+            256
+        );
     }
 
     #[test]
@@ -220,15 +230,23 @@ mod tests {
         let missing_data = "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n";
         assert!(from_arff(missing_data).is_err());
 
-        let bad_arity = "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n@DATA\n1,0,FP\n";
+        let bad_arity =
+            "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n@DATA\n1,0,FP\n";
         let err = from_arff(bad_arity).unwrap_err();
         assert!(err.to_string().contains("expected 2 values"));
 
         let bad_value = "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n@DATA\n7,FP\n";
-        assert!(from_arff(bad_value).unwrap_err().to_string().contains("non-binary"));
+        assert!(from_arff(bad_value)
+            .unwrap_err()
+            .to_string()
+            .contains("non-binary"));
 
-        let bad_label = "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n@DATA\n1,MAYBE\n";
-        assert!(from_arff(bad_label).unwrap_err().to_string().contains("unknown class"));
+        let bad_label =
+            "@RELATION x\n@ATTRIBUTE a {0,1}\n@ATTRIBUTE class {FP,RV}\n@DATA\n1,MAYBE\n";
+        assert!(from_arff(bad_label)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown class"));
     }
 
     #[test]
@@ -245,7 +263,10 @@ mod tests {
         features[crate::attributes::symptom_index("is_numeric").unwrap()] = 1.0;
         features[crate::attributes::symptom_index("exit").unwrap()] = 1.0;
         features[crate::attributes::symptom_index("preg_match").unwrap()] = 1.0;
-        let fv = crate::symptoms::FeatureVector { features, present: vec![] };
+        let fv = crate::symptoms::FeatureVector {
+            features,
+            present: vec![],
+        };
         assert!(p.predict(&fv).is_false_positive);
     }
 }

@@ -166,76 +166,316 @@ pub fn symptoms() -> &'static [Symptom] {
     use Group::*;
     const S: &[Symptom] = &[
         // ---- validation: type checking ----
-        Symptom { name: "is_string", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "is_int", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "is_float", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "is_numeric", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "ctype_digit", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "ctype_alpha", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "ctype_alnum", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "intval", group: TypeChecking, new_in_wape: false },
-        Symptom { name: "is_double", group: TypeChecking, new_in_wape: true },
-        Symptom { name: "is_integer", group: TypeChecking, new_in_wape: true },
-        Symptom { name: "is_long", group: TypeChecking, new_in_wape: true },
-        Symptom { name: "is_real", group: TypeChecking, new_in_wape: true },
-        Symptom { name: "is_scalar", group: TypeChecking, new_in_wape: true },
+        Symptom {
+            name: "is_string",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "is_int",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "is_float",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "is_numeric",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "ctype_digit",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "ctype_alpha",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "ctype_alnum",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "intval",
+            group: TypeChecking,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "is_double",
+            group: TypeChecking,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "is_integer",
+            group: TypeChecking,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "is_long",
+            group: TypeChecking,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "is_real",
+            group: TypeChecking,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "is_scalar",
+            group: TypeChecking,
+            new_in_wape: true,
+        },
         // ---- validation: entry point is set ----
-        Symptom { name: "isset", group: EntryPointIsSet, new_in_wape: false },
-        Symptom { name: "is_null", group: EntryPointIsSet, new_in_wape: true },
-        Symptom { name: "empty", group: EntryPointIsSet, new_in_wape: true },
+        Symptom {
+            name: "isset",
+            group: EntryPointIsSet,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "is_null",
+            group: EntryPointIsSet,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "empty",
+            group: EntryPointIsSet,
+            new_in_wape: true,
+        },
         // ---- validation: pattern control ----
-        Symptom { name: "preg_match", group: PatternControl, new_in_wape: false },
-        Symptom { name: "ereg", group: PatternControl, new_in_wape: false },
-        Symptom { name: "eregi", group: PatternControl, new_in_wape: false },
-        Symptom { name: "strnatcmp", group: PatternControl, new_in_wape: false },
-        Symptom { name: "strcmp", group: PatternControl, new_in_wape: false },
-        Symptom { name: "strncmp", group: PatternControl, new_in_wape: false },
-        Symptom { name: "strncasecmp", group: PatternControl, new_in_wape: false },
-        Symptom { name: "strcasecmp", group: PatternControl, new_in_wape: false },
-        Symptom { name: "preg_match_all", group: PatternControl, new_in_wape: true },
+        Symptom {
+            name: "preg_match",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "ereg",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "eregi",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "strnatcmp",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "strcmp",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "strncmp",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "strncasecmp",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "strcasecmp",
+            group: PatternControl,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "preg_match_all",
+            group: PatternControl,
+            new_in_wape: true,
+        },
         // ---- validation: white/black lists (user functions) ----
-        Symptom { name: "white_list", group: WhiteList, new_in_wape: false },
-        Symptom { name: "black_list", group: BlackList, new_in_wape: false },
+        Symptom {
+            name: "white_list",
+            group: WhiteList,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "black_list",
+            group: BlackList,
+            new_in_wape: false,
+        },
         // ---- validation: error and exit ----
-        Symptom { name: "error", group: ErrorAndExit, new_in_wape: true },
-        Symptom { name: "exit", group: ErrorAndExit, new_in_wape: true },
+        Symptom {
+            name: "error",
+            group: ErrorAndExit,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "exit",
+            group: ErrorAndExit,
+            new_in_wape: true,
+        },
         // ---- string manipulation: extract substring ----
-        Symptom { name: "substr", group: ExtractSubstring, new_in_wape: false },
-        Symptom { name: "preg_split", group: ExtractSubstring, new_in_wape: true },
-        Symptom { name: "str_split", group: ExtractSubstring, new_in_wape: true },
-        Symptom { name: "explode", group: ExtractSubstring, new_in_wape: true },
-        Symptom { name: "split", group: ExtractSubstring, new_in_wape: true },
-        Symptom { name: "spliti", group: ExtractSubstring, new_in_wape: true },
+        Symptom {
+            name: "substr",
+            group: ExtractSubstring,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "preg_split",
+            group: ExtractSubstring,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "str_split",
+            group: ExtractSubstring,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "explode",
+            group: ExtractSubstring,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "split",
+            group: ExtractSubstring,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "spliti",
+            group: ExtractSubstring,
+            new_in_wape: true,
+        },
         // ---- string manipulation: concatenation ----
-        Symptom { name: "concat_op", group: StringConcatenation, new_in_wape: false },
-        Symptom { name: "implode", group: StringConcatenation, new_in_wape: true },
-        Symptom { name: "join", group: StringConcatenation, new_in_wape: true },
+        Symptom {
+            name: "concat_op",
+            group: StringConcatenation,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "implode",
+            group: StringConcatenation,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "join",
+            group: StringConcatenation,
+            new_in_wape: true,
+        },
         // ---- string manipulation: add char ----
-        Symptom { name: "addchar", group: AddChar, new_in_wape: false },
-        Symptom { name: "str_pad", group: AddChar, new_in_wape: true },
+        Symptom {
+            name: "addchar",
+            group: AddChar,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "str_pad",
+            group: AddChar,
+            new_in_wape: true,
+        },
         // ---- string manipulation: replace ----
-        Symptom { name: "str_replace", group: ReplaceString, new_in_wape: false },
-        Symptom { name: "preg_replace", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "substr_replace", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "preg_filter", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "ereg_replace", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "eregi_replace", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "str_ireplace", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "str_shuffle", group: ReplaceString, new_in_wape: true },
-        Symptom { name: "chunk_split", group: ReplaceString, new_in_wape: true },
+        Symptom {
+            name: "str_replace",
+            group: ReplaceString,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "preg_replace",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "substr_replace",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "preg_filter",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "ereg_replace",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "eregi_replace",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "str_ireplace",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "str_shuffle",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "chunk_split",
+            group: ReplaceString,
+            new_in_wape: true,
+        },
         // ---- string manipulation: remove whitespace ----
-        Symptom { name: "trim", group: RemoveWhitespace, new_in_wape: false },
-        Symptom { name: "rtrim", group: RemoveWhitespace, new_in_wape: true },
-        Symptom { name: "ltrim", group: RemoveWhitespace, new_in_wape: true },
+        Symptom {
+            name: "trim",
+            group: RemoveWhitespace,
+            new_in_wape: false,
+        },
+        Symptom {
+            name: "rtrim",
+            group: RemoveWhitespace,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "ltrim",
+            group: RemoveWhitespace,
+            new_in_wape: true,
+        },
         // ---- SQL query manipulation (computed features) ----
-        Symptom { name: "complex_query", group: ComplexQuery, new_in_wape: true },
-        Symptom { name: "numeric_entry_point", group: NumericEntryPoint, new_in_wape: true },
-        Symptom { name: "from_clause", group: FromClause, new_in_wape: true },
-        Symptom { name: "agg_avg", group: AggregateFunction, new_in_wape: true },
-        Symptom { name: "agg_count", group: AggregateFunction, new_in_wape: true },
-        Symptom { name: "agg_sum", group: AggregateFunction, new_in_wape: true },
-        Symptom { name: "agg_max", group: AggregateFunction, new_in_wape: true },
-        Symptom { name: "agg_min", group: AggregateFunction, new_in_wape: true },
+        Symptom {
+            name: "complex_query",
+            group: ComplexQuery,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "numeric_entry_point",
+            group: NumericEntryPoint,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "from_clause",
+            group: FromClause,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "agg_avg",
+            group: AggregateFunction,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "agg_count",
+            group: AggregateFunction,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "agg_sum",
+            group: AggregateFunction,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "agg_max",
+            group: AggregateFunction,
+            new_in_wape: true,
+        },
+        Symptom {
+            name: "agg_min",
+            group: AggregateFunction,
+            new_in_wape: true,
+        },
     ];
     S
 }
@@ -254,7 +494,9 @@ pub fn original_feature_count() -> usize {
 
 /// Index of a symptom by name (the feature vector position).
 pub fn symptom_index(name: &str) -> Option<usize> {
-    symptoms().iter().position(|s| s.name.eq_ignore_ascii_case(name))
+    symptoms()
+        .iter()
+        .position(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 /// Projects a 60-feature WAPe vector down to the original 15-attribute
@@ -268,7 +510,10 @@ pub fn project_to_original(features: &[f64]) -> Vec<f64> {
             continue; // the original tool did not see these symptoms
         }
         if features.get(i).copied().unwrap_or(0.0) > 0.5 {
-            let gi = groups.iter().position(|g| *g == s.group).expect("group exists");
+            let gi = groups
+                .iter()
+                .position(|g| *g == s.group)
+                .expect("group exists");
             out[gi] = 1.0;
         }
     }
@@ -319,12 +564,18 @@ mod tests {
 
     #[test]
     fn categories_partition_groups() {
-        let v = Group::all().iter().filter(|g| g.category() == Category::Validation).count();
+        let v = Group::all()
+            .iter()
+            .filter(|g| g.category() == Category::Validation)
+            .count();
         let s = Group::all()
             .iter()
             .filter(|g| g.category() == Category::StringManipulation)
             .count();
-        let q = Group::all().iter().filter(|g| g.category() == Category::SqlManipulation).count();
+        let q = Group::all()
+            .iter()
+            .filter(|g| g.category() == Category::SqlManipulation)
+            .count();
         assert_eq!((v, s, q), (6, 5, 4));
     }
 

@@ -15,7 +15,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// A trainable binary classifier over fixed-length feature vectors.
-pub trait Classifier: Send {
+///
+/// `Send + Sync` so a trained committee can be shared by reference across
+/// the analysis runtime's workers (prediction is `&self` and pure).
+pub trait Classifier: Send + Sync {
     /// Short display name (as in Table II headers).
     fn name(&self) -> &'static str;
     /// Fits the model. `y[i] == true` means instance `i` is a false
@@ -65,7 +68,11 @@ impl ClassifierKind {
 
     /// The paper's top 3 for the new data set (Table II).
     pub fn top3() -> [ClassifierKind; 3] {
-        [ClassifierKind::Svm, ClassifierKind::LogisticRegression, ClassifierKind::RandomForest]
+        [
+            ClassifierKind::Svm,
+            ClassifierKind::LogisticRegression,
+            ClassifierKind::RandomForest,
+        ]
     }
 
     /// Builds an untrained classifier with a deterministic seed.
@@ -111,7 +118,13 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// New untrained model with default hyperparameters.
     pub fn new() -> Self {
-        LogisticRegression { w: Vec::new(), b: 0.0, epochs: 400, lr: 0.5, l2: 1e-3 }
+        LogisticRegression {
+            w: Vec::new(),
+            b: 0.0,
+            epochs: 400,
+            lr: 0.5,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -173,7 +186,13 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// New untrained model; `seed` controls the sampling order.
     pub fn new(seed: u64) -> Self {
-        LinearSvm { w: Vec::new(), b: 0.0, lambda: 1e-3, epochs: 80, seed }
+        LinearSvm {
+            w: Vec::new(),
+            b: 0.0,
+            lambda: 1e-3,
+            epochs: 80,
+            seed,
+        }
     }
 }
 
@@ -197,9 +216,8 @@ impl Classifier for LinearSvm {
             for &i in &order {
                 let eta = 1.0 / (self.lambda * t);
                 let yi = if y[i] { 1.0 } else { -1.0 };
-                let margin = yi
-                    * (self.b
-                        + x[i].iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>());
+                let margin =
+                    yi * (self.b + x[i].iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>());
                 for w in self.w.iter_mut() {
                     *w *= 1.0 - eta * self.lambda;
                 }
@@ -224,7 +242,11 @@ impl Classifier for LinearSvm {
 #[derive(Debug, Clone)]
 enum Node {
     Leaf(bool),
-    Split { feature: usize, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 fn gini(pos: f64, total: f64) -> f64 {
@@ -294,7 +316,9 @@ fn build_tree(
             best = Some((f, gain));
         }
     }
-    let Some((f, _)) = best else { return Node::Leaf(majority) };
+    let Some((f, _)) = best else {
+        return Node::Leaf(majority);
+    };
     let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] <= 0.5).collect();
     let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] > 0.5).collect();
     // NOTE: rng cannot be reborrowed twice mutably through Option; split
@@ -327,8 +351,24 @@ fn build_tree(
         }
         None => Node::Split {
             feature: f,
-            left: Box::new(build_tree(x, y, &left_idx, depth + 1, max_depth, None, subset)),
-            right: Box::new(build_tree(x, y, &right_idx, depth + 1, max_depth, None, subset)),
+            left: Box::new(build_tree(
+                x,
+                y,
+                &left_idx,
+                depth + 1,
+                max_depth,
+                None,
+                subset,
+            )),
+            right: Box::new(build_tree(
+                x,
+                y,
+                &right_idx,
+                depth + 1,
+                max_depth,
+                None,
+                subset,
+            )),
         },
     }
 }
@@ -336,7 +376,11 @@ fn build_tree(
 fn tree_predict(node: &Node, x: &[f64]) -> bool {
     match node {
         Node::Leaf(v) => *v,
-        Node::Split { feature, left, right } => {
+        Node::Split {
+            feature,
+            left,
+            right,
+        } => {
             if x.get(*feature).copied().unwrap_or(0.0) > 0.5 {
                 tree_predict(right, x)
             } else {
@@ -355,7 +399,10 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// New untrained tree.
     pub fn new() -> Self {
-        DecisionTree { root: None, max_depth: 16 }
+        DecisionTree {
+            root: None,
+            max_depth: 16,
+        }
     }
 }
 
@@ -376,7 +423,10 @@ impl Classifier for DecisionTree {
     }
 
     fn predict(&self, x: &[f64]) -> bool {
-        self.root.as_ref().map(|r| tree_predict(r, x)).unwrap_or(false)
+        self.root
+            .as_ref()
+            .map(|r| tree_predict(r, x))
+            .unwrap_or(false)
     }
 }
 
@@ -391,7 +441,11 @@ pub struct RandomTree {
 impl RandomTree {
     /// New untrained random tree.
     pub fn new(seed: u64) -> Self {
-        RandomTree { root: None, max_depth: 16, seed }
+        RandomTree {
+            root: None,
+            max_depth: 16,
+            seed,
+        }
     }
 }
 
@@ -405,12 +459,22 @@ impl Classifier for RandomTree {
         let d = x.first().map(Vec::len).unwrap_or(1);
         let subset = (d as f64).sqrt().ceil() as usize + 1;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.root =
-            Some(build_tree(x, y, &idx, 0, self.max_depth, Some(&mut rng), subset));
+        self.root = Some(build_tree(
+            x,
+            y,
+            &idx,
+            0,
+            self.max_depth,
+            Some(&mut rng),
+            subset,
+        ));
     }
 
     fn predict(&self, x: &[f64]) -> bool {
-        self.root.as_ref().map(|r| tree_predict(r, x)).unwrap_or(false)
+        self.root
+            .as_ref()
+            .map(|r| tree_predict(r, x))
+            .unwrap_or(false)
     }
 }
 
@@ -425,7 +489,12 @@ pub struct RandomForest {
 impl RandomForest {
     /// New untrained forest.
     pub fn new(seed: u64) -> Self {
-        RandomForest { trees: Vec::new(), n_trees: 60, max_depth: 12, seed }
+        RandomForest {
+            trees: Vec::new(),
+            n_trees: 60,
+            max_depth: 12,
+            seed,
+        }
     }
 }
 
@@ -443,8 +512,7 @@ impl Classifier for RandomForest {
         let subset = (d as f64).sqrt().ceil() as usize + 1;
         let mut rng = StdRng::seed_from_u64(self.seed);
         for _ in 0..self.n_trees {
-            let idx: Vec<usize> =
-                (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
             let mut tree_rng = StdRng::seed_from_u64(rng.gen::<u64>());
             self.trees.push(build_tree(
                 x,
@@ -478,7 +546,10 @@ pub struct NaiveBayes {
 impl NaiveBayes {
     /// New untrained model.
     pub fn new() -> Self {
-        NaiveBayes { log_prior: [0.0; 2], log_like: Vec::new() }
+        NaiveBayes {
+            log_prior: [0.0; 2],
+            log_like: Vec::new(),
+        }
     }
 }
 
@@ -497,7 +568,10 @@ impl Classifier for NaiveBayes {
         let d = x.first().map(Vec::len).unwrap_or(0);
         let n = x.len() as f64;
         let pos = y.iter().filter(|v| **v).count() as f64;
-        self.log_prior = [((n - pos + 1.0) / (n + 2.0)).ln(), ((pos + 1.0) / (n + 2.0)).ln()];
+        self.log_prior = [
+            ((n - pos + 1.0) / (n + 2.0)).ln(),
+            ((pos + 1.0) / (n + 2.0)).ln(),
+        ];
         self.log_like = vec![[[0.0; 2]; 2]; d];
         for f in 0..d {
             let mut counts = [[1.0f64; 2]; 2]; // laplace
@@ -506,9 +580,9 @@ impl Classifier for NaiveBayes {
                 let v = usize::from(xi[f] > 0.5);
                 counts[c][v] += 1.0;
             }
-            for c in 0..2 {
-                let total = counts[c][0] + counts[c][1];
-                self.log_like[f][c] = [(counts[c][0] / total).ln(), (counts[c][1] / total).ln()];
+            for (c, cnt) in counts.iter().enumerate() {
+                let total = cnt[0] + cnt[1];
+                self.log_like[f][c] = [(cnt[0] / total).ln(), (cnt[1] / total).ln()];
             }
         }
     }
@@ -536,7 +610,11 @@ pub struct Knn {
 impl Knn {
     /// New k-NN model.
     pub fn new(k: usize) -> Self {
-        Knn { k: k.max(1), x: Vec::new(), y: Vec::new() }
+        Knn {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 }
 
@@ -587,7 +665,11 @@ pub struct OneR {
 impl OneR {
     /// New untrained rule.
     pub fn new() -> Self {
-        OneR { feature: 0, when_set: false, when_unset: false }
+        OneR {
+            feature: 0,
+            when_set: false,
+            when_unset: false,
+        }
     }
 }
 
@@ -627,7 +709,11 @@ impl Classifier for OneR {
             let when_set = set_pos * 2 >= set_tot.max(1);
             let when_unset = unset_pos * 2 >= unset_tot.max(1);
             let err = (if when_set { set_tot - set_pos } else { set_pos })
-                + (if when_unset { unset_tot - unset_pos } else { unset_pos });
+                + (if when_unset {
+                    unset_tot - unset_pos
+                } else {
+                    unset_pos
+                });
             if err < best_err {
                 best_err = err;
                 self.feature = f;
@@ -698,7 +784,12 @@ mod tests {
             a.train(&x, &y);
             b.train(&x, &y);
             for xi in &x {
-                assert_eq!(a.predict(xi), b.predict(xi), "{} not deterministic", a.name());
+                assert_eq!(
+                    a.predict(xi),
+                    b.predict(xi),
+                    "{} not deterministic",
+                    a.name()
+                );
             }
         }
     }
@@ -720,7 +811,11 @@ mod tests {
         for kind in ClassifierKind::all() {
             let mut c = kind.build(1);
             c.train(&x, &y);
-            assert!(c.predict(&[1.0, 0.0]), "{} should predict the only class", c.name());
+            assert!(
+                c.predict(&[1.0, 0.0]),
+                "{} should predict the only class",
+                c.name()
+            );
         }
     }
 

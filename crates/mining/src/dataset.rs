@@ -50,7 +50,14 @@ impl Dataset {
     pub fn wape(seed: u64) -> Dataset {
         let mut gen = InstanceGen::new(seed);
         let (x, y) = gen.balanced(128, 128, false, false);
-        Dataset { x, y, names: crate::attributes::symptoms().iter().map(|s| s.name.to_string()).collect() }
+        Dataset {
+            x,
+            y,
+            names: crate::attributes::symptoms()
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect(),
+        }
     }
 
     /// The original WAP data set: 76 instances × 15 attributes
@@ -87,7 +94,9 @@ struct InstanceGen {
 
 impl InstanceGen {
     fn new(seed: u64) -> Self {
-        InstanceGen { rng: StdRng::seed_from_u64(seed) }
+        InstanceGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates `n_fp` false positives and `n_rv` real vulnerabilities,
@@ -163,8 +172,8 @@ impl InstanceGen {
             match self.rng.gen_range(0..6) {
                 0 => {
                     // numeric type checking: always at least one check
-                    let anchor = ["is_numeric", "is_int", "ctype_digit", "intval"]
-                        [self.rng.gen_range(0..4)];
+                    let anchor =
+                        ["is_numeric", "is_int", "ctype_digit", "intval"][self.rng.gen_range(0..4)];
                     self.set(&mut v, anchor, 1.0);
                     for (name, p) in [
                         ("is_numeric", 0.5),
@@ -330,11 +339,10 @@ mod tests {
     #[test]
     fn no_duplicate_vectors() {
         let d = Dataset::wape(42);
-        let mut keys: Vec<Vec<u8>> = d
-            .x
-            .iter()
-            .map(|v| v.iter().map(|f| u8::from(*f > 0.5)).collect())
-            .collect();
+        let mut keys: Vec<Vec<u8>> =
+            d.x.iter()
+                .map(|v| v.iter().map(|f| u8::from(*f > 0.5)).collect())
+                .collect();
         let n = keys.len();
         keys.sort();
         keys.dedup();
@@ -359,19 +367,16 @@ mod tests {
         let validation_idx: Vec<usize> = crate::attributes::symptoms()
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                s.group.category() == crate::attributes::Category::Validation
-            })
+            .filter(|(_, s)| s.group.category() == crate::attributes::Category::Validation)
             .map(|(i, _)| i)
             .collect();
         let avg = |label: bool| {
-            let rows: Vec<&Vec<f64>> = d
-                .x
-                .iter()
-                .zip(&d.y)
-                .filter(|(_, y)| **y == label)
-                .map(|(x, _)| x)
-                .collect();
+            let rows: Vec<&Vec<f64>> =
+                d.x.iter()
+                    .zip(&d.y)
+                    .filter(|(_, y)| **y == label)
+                    .map(|(x, _)| x)
+                    .collect();
             rows.iter()
                 .map(|r| validation_idx.iter().map(|&i| r[i]).sum::<f64>())
                 .sum::<f64>()

@@ -76,8 +76,7 @@ pub struct Metrics {
 impl Metrics {
     /// Computes all metrics from a confusion matrix.
     pub fn from_confusion(m: &ConfusionMatrix) -> Metrics {
-        let (tp, fp, fn_, tn) =
-            (m.tp as f64, m.fp as f64, m.fn_ as f64, m.tn as f64);
+        let (tp, fp, fn_, tn) = (m.tp as f64, m.fp as f64, m.fn_ as f64, m.tn as f64);
         let div = |a: f64, b: f64| if b == 0.0 { 0.0 } else { a / b };
         let tpp = div(tp, tp + fn_);
         let pfp = div(fp, tn + fp);
@@ -154,7 +153,12 @@ mod tests {
     fn paper_svm() -> ConfusionMatrix {
         // Table III, SVM column: predicted-yes row (121, 6),
         // predicted-no row (7, 122)
-        ConfusionMatrix { tp: 121, fp: 6, fn_: 7, tn: 122 }
+        ConfusionMatrix {
+            tp: 121,
+            fp: 6,
+            fn_: 7,
+            tn: 122,
+        }
     }
 
     #[test]
@@ -174,7 +178,12 @@ mod tests {
     #[test]
     fn metrics_match_paper_rf_column() {
         // Table III, Random Forest column: (116, 3) / (12, 125)
-        let m = Metrics::from_confusion(&ConfusionMatrix { tp: 116, fp: 3, fn_: 12, tn: 125 });
+        let m = Metrics::from_confusion(&ConfusionMatrix {
+            tp: 116,
+            fp: 3,
+            fn_: 12,
+            tn: 125,
+        });
         assert!((m.tpp - 0.906).abs() < 0.001);
         assert!((m.pfp - 0.023).abs() < 0.001);
         assert!((m.prfp - 0.975).abs() < 0.001);
@@ -229,8 +238,26 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ConfusionMatrix { tp: 1, fp: 2, fn_: 3, tn: 4 };
-        a.merge(&ConfusionMatrix { tp: 10, fp: 20, fn_: 30, tn: 40 });
-        assert_eq!(a, ConfusionMatrix { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        a.merge(&ConfusionMatrix {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        });
+        assert_eq!(
+            a,
+            ConfusionMatrix {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
     }
 }

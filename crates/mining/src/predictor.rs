@@ -60,10 +60,7 @@ impl FalsePositivePredictor {
                 ],
                 Dataset::original(seed),
             ),
-            PredictorGeneration::Wape => (
-                ClassifierKind::top3().to_vec(),
-                Dataset::wape(seed),
-            ),
+            PredictorGeneration::Wape => (ClassifierKind::top3().to_vec(), Dataset::wape(seed)),
         };
         let mut members = Vec::new();
         for (i, k) in kinds.into_iter().enumerate() {
@@ -71,7 +68,10 @@ impl FalsePositivePredictor {
             c.train(&dataset.x, &dataset.y);
             members.push(c);
         }
-        FalsePositivePredictor { members, generation }
+        FalsePositivePredictor {
+            members,
+            generation,
+        }
     }
 
     /// Trains the committee on a caller-provided data set (used by the
@@ -83,7 +83,10 @@ impl FalsePositivePredictor {
             c.train(&dataset.x, &dataset.y);
             members.push(c);
         }
-        FalsePositivePredictor { members, generation: PredictorGeneration::Wape }
+        FalsePositivePredictor {
+            members,
+            generation: PredictorGeneration::Wape,
+        }
     }
 
     /// Which generation this predictor implements.
@@ -97,9 +100,7 @@ impl FalsePositivePredictor {
     /// the original 15 attributes first.
     pub fn predict(&self, fv: &FeatureVector) -> Prediction {
         let features: Vec<f64> = match self.generation {
-            PredictorGeneration::WapV21 => {
-                crate::attributes::project_to_original(&fv.features)
-            }
+            PredictorGeneration::WapV21 => crate::attributes::project_to_original(&fv.features),
             PredictorGeneration::Wape => fv.features.clone(),
         };
         let votes = self.members.iter().filter(|m| m.predict(&features)).count();
@@ -107,7 +108,11 @@ impl FalsePositivePredictor {
         Prediction {
             is_false_positive: is_fp,
             votes,
-            justification: if is_fp { fv.present.clone() } else { Vec::new() },
+            justification: if is_fp {
+                fv.present.clone()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -183,8 +188,16 @@ mod tests {
         let pe = FalsePositivePredictor::train(PredictorGeneration::Wape, 42);
         let a = pe.predict(&bare);
         let b = pe.predict(&with_new);
-        assert!(b.votes >= a.votes, "WAPe sees new symptoms: {} vs {}", b.votes, a.votes);
-        assert!(b.is_false_positive, "heavily guarded flow is an FP for WAPe");
+        assert!(
+            b.votes >= a.votes,
+            "WAPe sees new symptoms: {} vs {}",
+            b.votes,
+            a.votes
+        );
+        assert!(
+            b.is_false_positive,
+            "heavily guarded flow is an FP for WAPe"
+        );
     }
 
     #[test]

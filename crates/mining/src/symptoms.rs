@@ -30,7 +30,8 @@ impl DynamicSymptomMap {
     /// Use the pseudo-symptoms `white_list` / `black_list` for list-based
     /// user validators.
     pub fn insert(&mut self, function: &str, equivalent: &str) {
-        self.map.insert(function.to_ascii_lowercase(), equivalent.to_string());
+        self.map
+            .insert(function.to_ascii_lowercase(), equivalent.to_string());
     }
 
     /// Builds the map from catalog dynamic symptoms.
@@ -43,7 +44,9 @@ impl DynamicSymptomMap {
     }
 
     fn resolve(&self, function: &str) -> Option<&str> {
-        self.map.get(&function.to_ascii_lowercase()).map(String::as_str)
+        self.map
+            .get(&function.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Number of registered dynamic symptoms.
@@ -101,9 +104,11 @@ pub fn collect(
     let mut hits = c.hits;
 
     // concatenation / interpolation along the flow path
-    if candidate.path.iter().any(|s| {
-        s.what.contains("concat") || s.what.contains("interpolation")
-    }) {
+    if candidate
+        .path
+        .iter()
+        .any(|s| s.what.contains("concat") || s.what.contains("interpolation"))
+    {
         hits.insert("concat_op");
     }
 
@@ -132,14 +137,10 @@ pub fn collect(
     }
     // numeric entry point: the fragment before the payload ends in `=`
     // without an opening quote, e.g. `... WHERE id = ` + $input
-    if candidate
-        .literal_fragments
-        .iter()
-        .any(|f| {
-            let t = f.trim_end();
-            t.ends_with('=') && !t.ends_with("'=") && !f.trim_end_matches(' ').ends_with('\'')
-        })
-    {
+    if candidate.literal_fragments.iter().any(|f| {
+        let t = f.trim_end();
+        t.ends_with('=') && !t.ends_with("'=") && !f.trim_end_matches(' ').ends_with('\'')
+    }) {
         hits.insert("numeric_entry_point");
     }
 
@@ -159,8 +160,8 @@ struct Collector<'a> {
     entries: &'a BTreeSet<String>,
     dynamic: &'a DynamicSymptomMap,
     hits: BTreeSet<&'static str>,
-    /// > 0 while walking statements guarded by a condition that references
-    /// the flow — exit/error only count inside such guards.
+    /// Nonzero while walking statements guarded by a condition that
+    /// references the flow — exit/error only count inside such guards.
     guard_depth: usize,
 }
 
@@ -170,11 +171,11 @@ impl Collector<'_> {
         let mut stack = vec![e];
         while let Some(e) = stack.pop() {
             match &e.kind {
-                ExprKind::Var(n) => {
-                    if self.relevant.contains(n) || self.entries.contains(&format!("${n}")) {
-                        found = true;
-                        break;
-                    }
+                ExprKind::Var(n)
+                    if self.relevant.contains(n) || self.entries.contains(&format!("${n}")) =>
+                {
+                    found = true;
+                    break;
                 }
                 ExprKind::ArrayDim { base, index } => {
                     // exact entry-point element, e.g. $_GET['id']
@@ -206,7 +207,11 @@ impl Collector<'_> {
                     stack.push(target);
                     stack.extend(args.iter());
                 }
-                ExprKind::Ternary { cond, then, otherwise } => {
+                ExprKind::Ternary {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
                     stack.push(cond);
                     if let Some(t) = then {
                         stack.push(t);
@@ -268,34 +273,32 @@ impl Visitor for Collector<'_> {
             ExprKind::MethodCall { method, args, .. } => {
                 self.record_call(method, args);
             }
-            ExprKind::Isset(args) => {
-                if args.iter().any(|a| self.expr_is_relevant(a)) {
-                    self.hits.insert("isset");
-                }
+            ExprKind::Isset(args) if args.iter().any(|a| self.expr_is_relevant(a)) => {
+                self.hits.insert("isset");
             }
-            ExprKind::Empty(inner) => {
-                if self.expr_is_relevant(inner) {
-                    self.hits.insert("empty");
-                }
+            ExprKind::Empty(inner) if self.expr_is_relevant(inner) => {
+                self.hits.insert("empty");
             }
-            ExprKind::Exit(_) => {
-                if self.guard_depth > 0 {
-                    self.hits.insert("exit");
-                }
+            ExprKind::Exit(_) if self.guard_depth > 0 => {
+                self.hits.insert("exit");
             }
-            ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
-                // `relevant_check($x) || exit` style guards
-                if self.expr_is_relevant(lhs) || self.expr_is_relevant(rhs) {
-                    self.guard_depth += 1;
-                    walk_expr(self, e);
-                    self.guard_depth -= 1;
-                    return;
-                }
+            // `relevant_check($x) || exit` style guards
+            ExprKind::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } if self.expr_is_relevant(lhs) || self.expr_is_relevant(rhs) => {
+                self.guard_depth += 1;
+                walk_expr(self, e);
+                self.guard_depth -= 1;
+                return;
             }
-            ExprKind::Binary { op: BinOp::Concat, lhs, rhs } => {
-                if self.expr_is_relevant(lhs) || self.expr_is_relevant(rhs) {
-                    self.hits.insert("concat_op");
-                }
+            ExprKind::Binary {
+                op: BinOp::Concat,
+                lhs,
+                rhs,
+            } if self.expr_is_relevant(lhs) || self.expr_is_relevant(rhs) => {
+                self.hits.insert("concat_op");
             }
             _ => {}
         }
@@ -374,7 +377,10 @@ mod tests {
         assert!(fv.has("from_clause"));
         assert!(fv.has("complex_query"));
         assert!(fv.has("agg_count"));
-        assert!(fv.has("numeric_entry_point"), "id = <payload> is numeric position");
+        assert!(
+            fv.has("numeric_entry_point"),
+            "id = <payload> is numeric position"
+        );
     }
 
     #[test]

@@ -178,7 +178,12 @@ impl StmtKind {
     /// All directly nested statement blocks, used by generic walkers.
     pub fn child_blocks(&self) -> Vec<&[Stmt]> {
         match self {
-            StmtKind::If { then_branch, elseifs, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                elseifs,
+                else_branch,
+                ..
+            } => {
                 let mut v: Vec<&[Stmt]> = vec![then_branch];
                 for (_, b) in elseifs {
                     v.push(b);
@@ -194,7 +199,11 @@ impl StmtKind {
             | StmtKind::Foreach { body, .. } => vec![body],
             StmtKind::Switch { cases, .. } => cases.iter().map(|c| c.body.as_slice()).collect(),
             StmtKind::Block(b) => vec![b],
-            StmtKind::Try { body, catches, finally } => {
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
                 let mut v: Vec<&[Stmt]> = vec![body];
                 for c in catches {
                     v.push(&c.body);
@@ -812,7 +821,10 @@ mod tests {
         let e = Expr::new(
             ExprKind::ArrayDim {
                 base: Box::new(Expr::new(
-                    ExprKind::Prop { base: Box::new(var("a")), name: "b".into() },
+                    ExprKind::Prop {
+                        base: Box::new(var("a")),
+                        name: "b".into(),
+                    },
                     Span::synthetic(),
                 )),
                 index: None,

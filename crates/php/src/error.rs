@@ -18,7 +18,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a parse error with a human-readable message anchored at `span`.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError { message: message.into(), span }
+        ParseError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The error message (lowercase, no trailing punctuation).
@@ -55,8 +58,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn Error + Send + Sync> =
-            Box::new(ParseError::new("x", Span::synthetic()));
+        let e: Box<dyn Error + Send + Sync> = Box::new(ParseError::new("x", Span::synthetic()));
         assert!(e.to_string().contains('x'));
     }
 }

@@ -41,13 +41,20 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> ParseResult<Vec<Token>> {
         self.lex_html()?;
         let end = self.src.len() as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::new(end, end, self.line)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::new(end, end, self.line)));
         Ok(self.tokens)
     }
 
@@ -91,7 +98,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
-        self.tokens.push(Token::new(kind, Span::new(start as u32, self.pos as u32, line)));
+        self.tokens.push(Token::new(
+            kind,
+            Span::new(start as u32, self.pos as u32, line),
+        ));
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -307,7 +317,9 @@ impl<'s> Lexer<'s> {
         }
         let text = &self.src[start..self.pos];
         if is_float {
-            text.parse::<f64>().map(TokenKind::Float).map_err(|_| self.err("invalid float literal"))
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.err("invalid float literal"))
         } else {
             // overflowing integers degrade to float, like PHP
             match text.parse::<i64>() {
@@ -368,11 +380,13 @@ impl<'s> Lexer<'s> {
 
     fn scan_double_quoted(&mut self) -> ParseResult<Vec<StrPart>> {
         self.bump(); // opening "
-        self.scan_interpolated(|lx| lx.peek() == Some(b'"'), "unterminated double-quoted string")
-            .map(|parts| {
-                self.bump(); // closing "
-                parts
-            })
+        self.scan_interpolated(
+            |lx| lx.peek() == Some(b'"'),
+            "unterminated double-quoted string",
+        )
+        .inspect(|_| {
+            self.bump(); // closing "
+        })
     }
 
     /// Scans interpolated string content until `is_end` returns true.
@@ -476,7 +490,9 @@ impl<'s> Lexer<'s> {
                         self.bump();
                     }
                     IndexKey::Int(
-                        self.src[s..self.pos].parse().map_err(|_| self.err("bad index"))?,
+                        self.src[s..self.pos]
+                            .parse()
+                            .map_err(|_| self.err("bad index"))?,
                     )
                 }
                 Some(b'\'') => {
@@ -527,7 +543,9 @@ impl<'s> Lexer<'s> {
                         self.bump();
                     }
                     IndexKey::Int(
-                        self.src[s..self.pos].parse().map_err(|_| self.err("bad index"))?,
+                        self.src[s..self.pos]
+                            .parse()
+                            .map_err(|_| self.err("bad index"))?,
                     )
                 }
                 _ => IndexKey::Str(self.scan_ident_text()),
@@ -583,11 +601,10 @@ impl<'s> Lexer<'s> {
             }
             if bytes[p..].starts_with(label.as_bytes()) {
                 let after = p + label.len();
-                let term_ok = match bytes.get(after) {
-                    None => true,
-                    Some(b';' | b'\n' | b'\r' | b',' | b')') => true,
-                    _ => false,
-                };
+                let term_ok = matches!(
+                    bytes.get(after),
+                    None | Some(b';' | b'\n' | b'\r' | b',' | b')')
+                );
                 if term_ok {
                     body_end = Some((search, p + label.len()));
                     break;
@@ -599,8 +616,7 @@ impl<'s> Lexer<'s> {
             }
             search += 1;
         }
-        let (body_end, label_end) =
-            body_end.ok_or_else(|| self.err("unterminated heredoc"))?;
+        let (body_end, label_end) = body_end.ok_or_else(|| self.err("unterminated heredoc"))?;
         let body = &self.src[body_start..body_end];
         // drop the trailing newline that belongs to the terminator line
         let body = body.strip_suffix('\n').unwrap_or(body);
@@ -609,8 +625,7 @@ impl<'s> Lexer<'s> {
             vec![StrPart::Lit(body.to_string())]
         } else {
             let mut sub = Lexer::new(body);
-            let parts = sub.scan_interpolated(|lx| lx.pos >= lx.bytes.len(), "unterminated heredoc")?;
-            parts
+            sub.scan_interpolated(|lx| lx.pos >= lx.bytes.len(), "unterminated heredoc")?
         };
         // advance the real cursor past the body and the terminator label
         while self.pos < label_end {
@@ -753,7 +768,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        tokenize(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -776,7 +795,9 @@ mod tests {
         let ks = kinds("<html><?php echo 1; ?></html>");
         assert!(matches!(ks[0], TokenKind::InlineHtml(ref h) if h == "<html>"));
         assert!(matches!(ks.last(), Some(TokenKind::Eof)));
-        assert!(ks.iter().any(|k| matches!(k, TokenKind::InlineHtml(h) if h == "</html>")));
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::InlineHtml(h) if h == "</html>")));
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Parser {
     }
 
     fn unexpected(&self, what: &str) -> ParseError {
-        ParseError::new(format!("{what}, found {}", self.peek().describe()), self.span())
+        ParseError::new(
+            format!("{what}, found {}", self.peek().describe()),
+            self.span(),
+        )
     }
 
     fn ident(&mut self) -> ParseResult<String> {
@@ -312,8 +315,10 @@ impl Parser {
             TokenKind::Namespace => {
                 // accept and ignore namespace declarations
                 self.bump();
-                while !matches!(self.peek(), TokenKind::Semi | TokenKind::LBrace | TokenKind::Eof)
-                {
+                while !matches!(
+                    self.peek(),
+                    TokenKind::Semi | TokenKind::LBrace | TokenKind::Eof
+                ) {
                     self.bump();
                 }
                 if matches!(self.peek(), TokenKind::Semi) {
@@ -378,15 +383,11 @@ impl Parser {
             let mut body = Vec::new();
             loop {
                 match self.peek() {
-                    TokenKind::Ident(n)
-                        if alt_ends.iter().any(|e| n.eq_ignore_ascii_case(e)) =>
-                    {
+                    TokenKind::Ident(n) if alt_ends.iter().any(|e| n.eq_ignore_ascii_case(e)) => {
                         let end = n.to_ascii_lowercase();
                         return Ok((body, AltEnd::Keyword(end)));
                     }
-                    TokenKind::Else | TokenKind::Elseif
-                        if alt_ends.contains(&"endif") =>
-                    {
+                    TokenKind::Else | TokenKind::Elseif if alt_ends.contains(&"endif") => {
                         return Ok((body, AltEnd::ElseArm));
                     }
                     TokenKind::Eof => {
@@ -409,33 +410,31 @@ impl Parser {
         let mut elseifs = Vec::new();
         let mut else_branch = None;
         match alt {
-            AltEnd::None => {
-                loop {
-                    if self.eat(&TokenKind::Elseif) {
-                        self.expect(&TokenKind::LParen)?;
-                        let c = self.parse_expr()?;
-                        self.expect(&TokenKind::RParen)?;
-                        let (b, _) = self.parse_body(&[])?;
-                        elseifs.push((c, b));
-                    } else if matches!(self.peek(), TokenKind::Else)
-                        && matches!(self.peek_at(1), TokenKind::If)
-                    {
-                        self.bump();
-                        self.bump();
-                        self.expect(&TokenKind::LParen)?;
-                        let c = self.parse_expr()?;
-                        self.expect(&TokenKind::RParen)?;
-                        let (b, _) = self.parse_body(&[])?;
-                        elseifs.push((c, b));
-                    } else if self.eat(&TokenKind::Else) {
-                        let (b, _) = self.parse_body(&[])?;
-                        else_branch = Some(b);
-                        break;
-                    } else {
-                        break;
-                    }
+            AltEnd::None => loop {
+                if self.eat(&TokenKind::Elseif) {
+                    self.expect(&TokenKind::LParen)?;
+                    let c = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let (b, _) = self.parse_body(&[])?;
+                    elseifs.push((c, b));
+                } else if matches!(self.peek(), TokenKind::Else)
+                    && matches!(self.peek_at(1), TokenKind::If)
+                {
+                    self.bump();
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let c = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let (b, _) = self.parse_body(&[])?;
+                    elseifs.push((c, b));
+                } else if self.eat(&TokenKind::Else) {
+                    let (b, _) = self.parse_body(&[])?;
+                    else_branch = Some(b);
+                    break;
+                } else {
+                    break;
                 }
-            }
+            },
             AltEnd::Keyword(_) => {
                 // `endif` already peeked in parse_body; consume it
                 self.bump();
@@ -480,7 +479,15 @@ impl Parser {
             }
         }
         let span = start.merge(self.prev_span());
-        Ok(Stmt::new(StmtKind::If { cond, then_branch, elseifs, else_branch }, span))
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch,
+                elseifs,
+                else_branch,
+            },
+            span,
+        ))
     }
 
     fn parse_while(&mut self) -> ParseResult<Stmt> {
@@ -494,7 +501,10 @@ impl Parser {
             self.bump();
             self.end_stmt()?;
         }
-        Ok(Stmt::new(StmtKind::While { cond, body }, start.merge(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::While { cond, body },
+            start.merge(self.prev_span()),
+        ))
     }
 
     fn parse_do_while(&mut self) -> ParseResult<Stmt> {
@@ -506,7 +516,10 @@ impl Parser {
         let cond = self.parse_expr()?;
         self.expect(&TokenKind::RParen)?;
         self.end_stmt()?;
-        Ok(Stmt::new(StmtKind::DoWhile { body, cond }, start.merge(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::DoWhile { body, cond },
+            start.merge(self.prev_span()),
+        ))
     }
 
     fn parse_for(&mut self) -> ParseResult<Stmt> {
@@ -548,7 +561,15 @@ impl Parser {
             self.bump();
             self.end_stmt()?;
         }
-        Ok(Stmt::new(StmtKind::For { init, cond, step, body }, start.merge(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            start.merge(self.prev_span()),
+        ))
     }
 
     fn parse_foreach(&mut self) -> ParseResult<Stmt> {
@@ -573,7 +594,13 @@ impl Parser {
             self.end_stmt()?;
         }
         Ok(Stmt::new(
-            StmtKind::Foreach { array, key, by_ref, value, body },
+            StmtKind::Foreach {
+                array,
+                key,
+                by_ref,
+                value,
+                body,
+            },
             start.merge(self.prev_span()),
         ))
     }
@@ -612,7 +639,11 @@ impl Parser {
                         self.expect(&TokenKind::Semi)?;
                     }
                     let body = self.parse_case_body(alt)?;
-                    cases.push(SwitchCase { test: None, body, span: cspan.merge(self.prev_span()) });
+                    cases.push(SwitchCase {
+                        test: None,
+                        body,
+                        span: cspan.merge(self.prev_span()),
+                    });
                 }
                 TokenKind::RBrace if !alt => {
                     self.bump();
@@ -626,7 +657,10 @@ impl Parser {
                 _ => return Err(self.unexpected("expected case, default, or end of switch")),
             }
         }
-        Ok(Stmt::new(StmtKind::Switch { subject, cases }, start.merge(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::Switch { subject, cases },
+            start.merge(self.prev_span()),
+        ))
     }
 
     fn parse_case_body(&mut self, alt: bool) -> ParseResult<Vec<Stmt>> {
@@ -665,7 +699,11 @@ impl Parser {
             self.expect(&TokenKind::LBrace)?;
             let cbody = self.parse_stmts_until(&TokenKind::RBrace)?;
             self.expect(&TokenKind::RBrace)?;
-            catches.push(CatchClause { types, var, body: cbody });
+            catches.push(CatchClause {
+                types,
+                var,
+                body: cbody,
+            });
         }
         let finally = if self.eat(&TokenKind::Finally) {
             self.expect(&TokenKind::LBrace)?;
@@ -675,7 +713,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::new(StmtKind::Try { body, catches, finally }, start.merge(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            },
+            start.merge(self.prev_span()),
+        ))
     }
 
     /// Class names may be `\Foo\Bar`; we keep the last segment.
@@ -702,7 +747,13 @@ impl Parser {
         self.expect(&TokenKind::LBrace)?;
         let body = self.parse_stmts_until(&TokenKind::RBrace)?;
         self.expect(&TokenKind::RBrace)?;
-        Ok(Function { name, params, body, by_ref, span: start.merge(self.prev_span()) })
+        Ok(Function {
+            name,
+            params,
+            body,
+            by_ref,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     fn parse_params(&mut self) -> ParseResult<Vec<Param>> {
@@ -714,8 +765,10 @@ impl Parser {
                 if self.eat(&TokenKind::Question) {
                     // nullable hint
                     ty = Some(format!("?{}", self.parse_class_name()?));
-                } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::ArrayKw | TokenKind::Backslash)
-                {
+                } else if matches!(
+                    self.peek(),
+                    TokenKind::Ident(_) | TokenKind::ArrayKw | TokenKind::Backslash
+                ) {
                     ty = Some(match self.peek().clone() {
                         TokenKind::ArrayKw => {
                             self.bump();
@@ -735,7 +788,13 @@ impl Parser {
                 } else {
                     None
                 };
-                params.push(Param { name, by_ref, variadic, default, ty });
+                params.push(Param {
+                    name,
+                    by_ref,
+                    variadic,
+                    default,
+                    ty,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -772,7 +831,13 @@ impl Parser {
             members.push(self.parse_class_member()?);
         }
         self.expect(&TokenKind::RBrace)?;
-        Ok(Class { name, parent, interfaces, members, span: start.merge(self.prev_span()) })
+        Ok(Class {
+            name,
+            parent,
+            interfaces,
+            members,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     fn parse_class_member(&mut self) -> ParseResult<ClassMember> {
@@ -806,7 +871,11 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Function => {
                 let func = self.parse_function()?;
-                Ok(ClassMember::Method { func, visibility, is_static })
+                Ok(ClassMember::Method {
+                    func,
+                    visibility,
+                    is_static,
+                })
             }
             TokenKind::Const => {
                 self.bump();
@@ -824,7 +893,12 @@ impl Parser {
                     None
                 };
                 self.end_stmt()?;
-                Ok(ClassMember::Property { name, default, visibility, is_static })
+                Ok(ClassMember::Property {
+                    name,
+                    default,
+                    visibility,
+                    is_static,
+                })
             }
             _ => Err(self.unexpected("expected class member")),
         }
@@ -842,7 +916,11 @@ impl Parser {
             let rhs = self.parse_keyword_xor()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -855,7 +933,11 @@ impl Parser {
             let rhs = self.parse_keyword_and()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Xor,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -868,7 +950,11 @@ impl Parser {
             let rhs = self.parse_assignment()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -894,7 +980,12 @@ impl Parser {
         let value = self.parse_assignment()?; // right-associative
         let span = lhs.span.merge(value.span);
         Ok(Expr::new(
-            ExprKind::Assign { target: Box::new(lhs), op, value: Box::new(value), by_ref },
+            ExprKind::Assign {
+                target: Box::new(lhs),
+                op,
+                value: Box::new(value),
+                by_ref,
+            },
             span,
         ))
     }
@@ -936,7 +1027,11 @@ impl Parser {
             let rhs = self.parse_coalesce()?; // right-associative
             let span = lhs.span.merge(rhs.span);
             return Ok(Expr::new(
-                ExprKind::Binary { op: BinOp::Coalesce, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Coalesce,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             ));
         }
@@ -956,7 +1051,11 @@ impl Parser {
                     let rhs = next(self)?;
                     let span = lhs.span.merge(rhs.span);
                     lhs = Expr::new(
-                        ExprKind::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                        ExprKind::Binary {
+                            op: *op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
                         span,
                     );
                     continue 'outer;
@@ -1045,7 +1144,13 @@ impl Parser {
         if self.eat(&TokenKind::InstanceOf) {
             let class = self.parse_class_name()?;
             let span = lhs.span.merge(self.prev_span());
-            return Ok(Expr::new(ExprKind::InstanceOf { expr: Box::new(lhs), class }, span));
+            return Ok(Expr::new(
+                ExprKind::InstanceOf {
+                    expr: Box::new(lhs),
+                    class,
+                },
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -1057,7 +1162,13 @@ impl Parser {
                 self.bump();
                 let e = self.parse_unary()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::Minus => {
                 self.bump();
@@ -1072,20 +1183,38 @@ impl Parser {
                     ExprKind::Lit(Lit::Float(v)) => {
                         Ok(Expr::new(ExprKind::Lit(Lit::Float(-v)), span))
                     }
-                    _ => Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, span)),
+                    _ => Ok(Expr::new(
+                        ExprKind::Unary {
+                            op: UnOp::Neg,
+                            expr: Box::new(e),
+                        },
+                        span,
+                    )),
                 }
             }
             TokenKind::Plus => {
                 self.bump();
                 let e = self.parse_unary()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnOp::Pos, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Pos,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::Tilde => {
                 self.bump();
                 let e = self.parse_unary()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnOp::BitNot, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::BitNot,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::At => {
                 self.bump();
@@ -1098,7 +1227,14 @@ impl Parser {
                 self.bump();
                 let e = self.parse_unary()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::IncDec { pre: true, inc, target: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::IncDec {
+                        pre: true,
+                        inc,
+                        target: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::LParen if self.cast_type().is_some() => {
                 let ty = self.cast_type().expect("checked");
@@ -1107,7 +1243,13 @@ impl Parser {
                 self.bump(); // )
                 let e = self.parse_unary()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::New => {
                 self.bump();
@@ -1151,7 +1293,13 @@ impl Parser {
                 };
                 let path = self.parse_expr()?;
                 let span = start.merge(path.span);
-                Ok(Expr::new(ExprKind::IncludeExpr { kind, path: Box::new(path) }, span))
+                Ok(Expr::new(
+                    ExprKind::IncludeExpr {
+                        kind,
+                        path: Box::new(path),
+                    },
+                    span,
+                ))
             }
             _ => self.parse_postfix_primary(),
         }
@@ -1199,7 +1347,13 @@ impl Parser {
                     };
                     self.expect(&TokenKind::RBracket)?;
                     let span = e.span.merge(self.prev_span());
-                    e = Expr::new(ExprKind::ArrayDim { base: Box::new(e), index }, span);
+                    e = Expr::new(
+                        ExprKind::ArrayDim {
+                            base: Box::new(e),
+                            index,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::Arrow => {
                     self.bump();
@@ -1215,12 +1369,22 @@ impl Parser {
                         let args = self.parse_args()?;
                         let span = e.span.merge(self.prev_span());
                         e = Expr::new(
-                            ExprKind::MethodCall { target: Box::new(e), method: name, args },
+                            ExprKind::MethodCall {
+                                target: Box::new(e),
+                                method: name,
+                                args,
+                            },
                             span,
                         );
                     } else {
                         let span = e.span.merge(self.prev_span());
-                        e = Expr::new(ExprKind::Prop { base: Box::new(e), name }, span);
+                        e = Expr::new(
+                            ExprKind::Prop {
+                                base: Box::new(e),
+                                name,
+                            },
+                            span,
+                        );
                     }
                 }
                 TokenKind::DoubleColon => {
@@ -1242,7 +1406,11 @@ impl Parser {
                                 let args = self.parse_args()?;
                                 let span = e.span.merge(self.prev_span());
                                 e = Expr::new(
-                                    ExprKind::StaticCall { class, method: name, args },
+                                    ExprKind::StaticCall {
+                                        class,
+                                        method: name,
+                                        args,
+                                    },
                                     span,
                                 );
                             } else {
@@ -1265,7 +1433,13 @@ impl Parser {
                         | ExprKind::Closure { .. } => {
                             let args = self.parse_args()?;
                             let span = e.span.merge(self.prev_span());
-                            e = Expr::new(ExprKind::Call { callee: Box::new(e), args }, span);
+                            e = Expr::new(
+                                ExprKind::Call {
+                                    callee: Box::new(e),
+                                    args,
+                                },
+                                span,
+                            );
                         }
                         _ => return Ok(e),
                     }
@@ -1284,7 +1458,14 @@ impl Parser {
                     let inc = matches!(self.peek(), TokenKind::Inc);
                     self.bump();
                     let span = e.span.merge(self.prev_span());
-                    e = Expr::new(ExprKind::IncDec { pre: false, inc, target: Box::new(e) }, span);
+                    e = Expr::new(
+                        ExprKind::IncDec {
+                            pre: false,
+                            inc,
+                            target: Box::new(e),
+                        },
+                        span,
+                    );
                 }
                 _ => return Ok(e),
             }
@@ -1490,9 +1671,17 @@ impl Parser {
             if self.eat(&TokenKind::DoubleArrow) {
                 let vref = self.eat(&TokenKind::Amp);
                 let value = self.parse_expr()?;
-                items.push(ArrayItem { key: Some(first), value, by_ref: vref });
+                items.push(ArrayItem {
+                    key: Some(first),
+                    value,
+                    by_ref: vref,
+                });
             } else {
-                items.push(ArrayItem { key: None, value: first, by_ref });
+                items.push(ArrayItem {
+                    key: None,
+                    value: first,
+                    by_ref,
+                });
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -1539,7 +1728,10 @@ fn template_to_expr(parts: Vec<StrPart>, span: Span) -> ExprKind {
                 )
             }
             StrPart::Prop(n, p) => Expr::new(
-                ExprKind::Prop { base: Box::new(Expr::new(ExprKind::Var(n), span)), name: p },
+                ExprKind::Prop {
+                    base: Box::new(Expr::new(ExprKind::Var(n), span)),
+                    name: p,
+                },
                 span,
             ),
         })
@@ -1569,7 +1761,12 @@ mod tests {
     fn parse_assignment_from_superglobal() {
         let e = first_expr("<?php $id = $_GET['id'];");
         match e.kind {
-            ExprKind::Assign { target, value, op, by_ref } => {
+            ExprKind::Assign {
+                target,
+                value,
+                op,
+                by_ref,
+            } => {
                 assert_eq!(op, AssignOp::Assign);
                 assert!(!by_ref);
                 assert_eq!(target.as_var_name(), Some("id"));
@@ -1602,16 +1799,33 @@ mod tests {
     fn parse_concat_precedence() {
         // "a" . $b . "c" groups left
         let e = first_expr(r#"<?php $q = 'a' . $b . 'c';"#);
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        let ExprKind::Binary { op, lhs, .. } = value.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        let ExprKind::Binary { op, lhs, .. } = value.kind else {
+            panic!()
+        };
         assert_eq!(op, BinOp::Concat);
-        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Concat, .. }));
+        assert!(matches!(
+            lhs.kind,
+            ExprKind::Binary {
+                op: BinOp::Concat,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parse_if_elseif_else() {
         let p = parse_ok("<?php if ($a) { f(); } elseif ($b) g(); else { h(); }");
-        let StmtKind::If { elseifs, else_branch, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If {
+            elseifs,
+            else_branch,
+            ..
+        } = &p.stmts[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(elseifs.len(), 1);
         assert!(else_branch.is_some());
     }
@@ -1619,7 +1833,14 @@ mod tests {
     #[test]
     fn parse_else_if_two_words() {
         let p = parse_ok("<?php if ($a) f(); else if ($b) g();");
-        let StmtKind::If { elseifs, else_branch, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If {
+            elseifs,
+            else_branch,
+            ..
+        } = &p.stmts[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(elseifs.len(), 1);
         assert!(else_branch.is_none());
     }
@@ -1638,7 +1859,9 @@ mod tests {
     #[test]
     fn parse_alternative_if_else() {
         let p = parse_ok("<?php if ($a): f(); else: g(); endif;");
-        let StmtKind::If { else_branch, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If { else_branch, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(else_branch.as_ref().unwrap().len(), 1);
     }
 
@@ -1657,10 +1880,10 @@ mod tests {
 
     #[test]
     fn parse_switch() {
-        let p = parse_ok(
-            "<?php switch ($a) { case 1: f(); break; case 'x': default: g(); }",
-        );
-        let StmtKind::Switch { cases, .. } = &p.stmts[0].kind else { panic!() };
+        let p = parse_ok("<?php switch ($a) { case 1: f(); break; case 'x': default: g(); }");
+        let StmtKind::Switch { cases, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(cases.len(), 3);
         assert!(cases[2].test.is_none());
         assert!(cases[1].body.is_empty()); // fallthrough
@@ -1671,7 +1894,9 @@ mod tests {
         let p = parse_ok(
             "<?php function sanitize($input, $mode = 'html', &$out = null) { return $input; }",
         );
-        let StmtKind::Function(f) = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Function(f) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(f.name, "sanitize");
         assert_eq!(f.params.len(), 3);
         assert!(f.params[2].by_ref);
@@ -1681,7 +1906,9 @@ mod tests {
     #[test]
     fn parse_typed_and_variadic_params() {
         let p = parse_ok("<?php function f(array $a, ?MyClass $b, ...$rest) {}");
-        let StmtKind::Function(f) = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Function(f) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(f.params[0].ty.as_deref(), Some("array"));
         assert_eq!(f.params[1].ty.as_deref(), Some("?MyClass"));
         assert!(f.params[2].variadic);
@@ -1698,7 +1925,9 @@ mod tests {
                 static function make() { return new Repo(); }
             }",
         );
-        let StmtKind::Class(c) = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Class(c) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(c.name, "Repo");
         assert_eq!(c.parent.as_deref(), Some("Base"));
         assert_eq!(c.interfaces, vec!["A".to_string(), "B".to_string()]);
@@ -1725,39 +1954,75 @@ mod tests {
     #[test]
     fn parse_new_with_and_without_args() {
         let e = first_expr("<?php $m = new MongoClient('localhost');");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::New { ref class, .. } if class == "MongoClient"));
         let e = first_expr("<?php $x = new Foo;");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::New { ref args, .. } if args.is_empty()));
     }
 
     #[test]
     fn parse_ternaries() {
         let e = first_expr("<?php $x = isset($_GET['p']) ? $_GET['p'] : 1;");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        assert!(matches!(value.kind, ExprKind::Ternary { then: Some(_), .. }));
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        assert!(matches!(
+            value.kind,
+            ExprKind::Ternary { then: Some(_), .. }
+        ));
         let e = first_expr("<?php $x = $a ?: 'd';");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::Ternary { then: None, .. }));
     }
 
     #[test]
     fn parse_coalesce_right_assoc() {
         let e = first_expr("<?php $x = $a ?? $b ?? 'd';");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        let ExprKind::Binary { op: BinOp::Coalesce, rhs, .. } = value.kind else { panic!() };
-        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Coalesce, .. }));
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Coalesce,
+            rhs,
+            ..
+        } = value.kind
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary {
+                op: BinOp::Coalesce,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parse_casts() {
         let e = first_expr("<?php $id = (int)$_GET['id'];");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        assert!(matches!(value.kind, ExprKind::Cast { ty: CastType::Int, .. }));
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        assert!(matches!(
+            value.kind,
+            ExprKind::Cast {
+                ty: CastType::Int,
+                ..
+            }
+        ));
         // a parenthesized expression is not a cast
         let e = first_expr("<?php $x = ($y);");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::Var(_)));
     }
 
@@ -1771,8 +2036,12 @@ mod tests {
     #[test]
     fn parse_arrays_and_lists() {
         let e = first_expr("<?php $a = array('k' => 1, 2, &$v);");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        let ExprKind::Array(items) = value.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        let ExprKind::Array(items) = value.kind else {
+            panic!()
+        };
         assert_eq!(items.len(), 3);
         assert!(items[0].key.is_some());
         assert!(items[2].by_ref);
@@ -1783,8 +2052,12 @@ mod tests {
     #[test]
     fn parse_closure_with_use() {
         let e = first_expr("<?php $f = function ($x) use (&$acc, $db) { return $db->q($x); };");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
-        let ExprKind::Closure { uses, params, .. } = value.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
+        let ExprKind::Closure { uses, params, .. } = value.kind else {
+            panic!()
+        };
         assert_eq!(params.len(), 1);
         assert_eq!(uses.len(), 2);
         assert!(uses[0].1);
@@ -1793,8 +2066,16 @@ mod tests {
     #[test]
     fn parse_include_forms() {
         let p = parse_ok("<?php include 'header.php'; require_once($_GET['page']);");
-        assert!(matches!(p.stmts[0].kind, StmtKind::Include { kind: IncludeKind::Include, .. }));
-        let StmtKind::Include { kind, path } = &p.stmts[1].kind else { panic!() };
+        assert!(matches!(
+            p.stmts[0].kind,
+            StmtKind::Include {
+                kind: IncludeKind::Include,
+                ..
+            }
+        ));
+        let StmtKind::Include { kind, path } = &p.stmts[1].kind else {
+            panic!()
+        };
         assert_eq!(*kind, IncludeKind::RequireOnce);
         // require_once(expr) parses the parenthesized expression as path
         assert!(path.root_var().is_some() || matches!(path.kind, ExprKind::ArrayDim { .. }));
@@ -1803,7 +2084,9 @@ mod tests {
     #[test]
     fn parse_global_and_static_vars() {
         let p = parse_ok("<?php function f() { global $db, $cfg; static $n = 0; }");
-        let StmtKind::Function(f) = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Function(f) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(&f.body[0].kind, StmtKind::Global(g) if g.len() == 2));
         assert!(matches!(&f.body[1].kind, StmtKind::StaticVars(v) if v.len() == 1));
     }
@@ -1813,7 +2096,12 @@ mod tests {
         let p = parse_ok(
             "<?php try { risky(); } catch (PDOException | RuntimeException $e) { log($e); } finally { cleanup(); }",
         );
-        let StmtKind::Try { catches, finally, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Try {
+            catches, finally, ..
+        } = &p.stmts[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(catches[0].types.len(), 2);
         assert!(finally.is_some());
     }
@@ -1847,10 +2135,7 @@ mod tests {
     #[test]
     fn parse_namespace_and_use_ignored() {
         let p = parse_ok("<?php namespace App\\Models; use PDO; use Foo\\Bar as Baz; $x = 1;");
-        assert!(p
-            .stmts
-            .iter()
-            .any(|s| matches!(s.kind, StmtKind::Expr(_))));
+        assert!(p.stmts.iter().any(|s| matches!(s.kind, StmtKind::Expr(_))));
     }
 
     #[test]
@@ -1875,10 +2160,14 @@ mod tests {
     #[test]
     fn parse_static_prop_and_class_const() {
         let e = first_expr("<?php $x = Config::$instance;");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::StaticProp { .. }));
         let e = first_expr("<?php $x = Repo::LIMIT;");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::ClassConst { .. }));
     }
 
@@ -1891,15 +2180,21 @@ mod tests {
     #[test]
     fn parse_instanceof() {
         let e = first_expr("<?php $ok = $e instanceof PDOException;");
-        let ExprKind::Assign { value, .. } = e.kind else { panic!() };
+        let ExprKind::Assign { value, .. } = e.kind else {
+            panic!()
+        };
         assert!(matches!(value.kind, ExprKind::InstanceOf { .. }));
     }
 
     #[test]
     fn parse_nested_function_calls() {
         let p = parse_ok("<?php echo htmlentities(trim($_POST['c']));");
-        let StmtKind::Echo(items) = &p.stmts[0].kind else { panic!() };
-        let ExprKind::Call { args, .. } = &items[0].kind else { panic!() };
+        let StmtKind::Echo(items) = &p.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { args, .. } = &items[0].kind else {
+            panic!()
+        };
         assert!(matches!(args[0].kind, ExprKind::Call { .. }));
     }
 
@@ -1938,16 +2233,26 @@ mod shell_exec_tests {
     #[test]
     fn parse_backtick_shell_exec() {
         let p = parse(r#"<?php $out = `ls -la $dir`;"#).unwrap();
-        let StmtKind::Expr(e) = &p.stmts[0].kind else { panic!() };
-        let ExprKind::Assign { value, .. } = &e.kind else { panic!() };
-        let ExprKind::ShellExec(parts) = &value.kind else { panic!("{value:?}") };
-        assert!(parts.iter().any(|p| matches!(p.kind, ExprKind::Var(ref n) if n == "dir")));
+        let StmtKind::Expr(e) = &p.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { value, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::ShellExec(parts) = &value.kind else {
+            panic!("{value:?}")
+        };
+        assert!(parts
+            .iter()
+            .any(|p| matches!(p.kind, ExprKind::Var(ref n) if n == "dir")));
     }
 
     #[test]
     fn parse_literal_backtick() {
         let p = parse(r#"<?php `whoami`;"#).unwrap();
-        let StmtKind::Expr(e) = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Expr(e) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::ShellExec(_)));
     }
 

@@ -58,7 +58,11 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0, in_php: true }
+        Printer {
+            out: String::new(),
+            indent: 0,
+            in_php: true,
+        }
     }
 
     fn pad(&mut self) {
@@ -116,7 +120,12 @@ impl Printer {
                 }
                 self.out.push_str(";\n");
             }
-            StmtKind::If { cond, then_branch, elseifs, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                elseifs,
+                else_branch,
+            } => {
                 self.pad();
                 self.out.push_str("if (");
                 self.expr(cond);
@@ -156,7 +165,12 @@ impl Printer {
                 self.expr(cond);
                 self.out.push_str(");\n");
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.pad();
                 self.out.push_str("for (");
                 self.expr_list(init);
@@ -168,7 +182,13 @@ impl Printer {
                 self.block(body);
                 self.line("}");
             }
-            StmtKind::Foreach { array, key, by_ref, value, body } => {
+            StmtKind::Foreach {
+                array,
+                key,
+                by_ref,
+                value,
+                body,
+            } => {
                 self.pad();
                 self.out.push_str("foreach (");
                 self.expr(array);
@@ -262,7 +282,11 @@ impl Printer {
                 self.block(b);
                 self.line("}");
             }
-            StmtKind::Try { body, catches, finally } => {
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
                 self.line("try {");
                 self.block(body);
                 self.pad();
@@ -360,7 +384,12 @@ impl Printer {
         self.indent += 1;
         for m in &c.members {
             match m {
-                ClassMember::Property { name, default, visibility, is_static } => {
+                ClassMember::Property {
+                    name,
+                    default,
+                    visibility,
+                    is_static,
+                } => {
                     self.pad();
                     self.out.push_str(visibility_kw(*visibility));
                     if *is_static {
@@ -379,7 +408,11 @@ impl Printer {
                     self.expr(value);
                     self.out.push_str(";\n");
                 }
-                ClassMember::Method { func, visibility, is_static } => {
+                ClassMember::Method {
+                    func,
+                    visibility,
+                    is_static,
+                } => {
                     let mods = if *is_static {
                         format!("{} static", visibility_kw(*visibility))
                     } else {
@@ -427,7 +460,10 @@ impl Printer {
                 self.interp(parts);
                 let body = std::mem::replace(&mut self.out, save);
                 // interp() wraps in double quotes; strip them for backticks
-                let inner = body.strip_prefix('"').and_then(|b| b.strip_suffix('"')).unwrap_or(&body);
+                let inner = body
+                    .strip_prefix('"')
+                    .and_then(|b| b.strip_suffix('"'))
+                    .unwrap_or(&body);
                 self.out.push_str(inner);
                 self.out.push('`');
             }
@@ -455,13 +491,21 @@ impl Printer {
                 self.expr_list(args);
                 self.out.push(')');
             }
-            ExprKind::MethodCall { target, method, args } => {
+            ExprKind::MethodCall {
+                target,
+                method,
+                args,
+            } => {
                 self.expr_paren(target);
                 let _ = write!(self.out, "->{method}(");
                 self.expr_list(args);
                 self.out.push(')');
             }
-            ExprKind::StaticCall { class, method, args } => {
+            ExprKind::StaticCall {
+                class,
+                method,
+                args,
+            } => {
                 let _ = write!(self.out, "{class}::{method}(");
                 self.expr_list(args);
                 self.out.push(')');
@@ -471,7 +515,12 @@ impl Printer {
                 self.expr_list(args);
                 self.out.push(')');
             }
-            ExprKind::Assign { target, op, value, by_ref } => {
+            ExprKind::Assign {
+                target,
+                op,
+                value,
+                by_ref,
+            } => {
                 self.expr_paren(target);
                 let _ = write!(self.out, " {}", op.symbol());
                 if *by_ref {
@@ -499,7 +548,11 @@ impl Printer {
                     self.out.push_str(sym);
                 }
             }
-            ExprKind::Ternary { cond, then, otherwise } => {
+            ExprKind::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
                 self.expr_paren(cond);
                 match then {
                     Some(t) => {
@@ -733,8 +786,8 @@ mod tests {
     fn round_trip(src: &str) {
         let p1 = parse(src).unwrap_or_else(|e| panic!("initial parse: {e}"));
         let printed = print_program(&p1);
-        let p2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
         let printed2 = print_program(&p2);
         assert_eq!(printed, printed2, "printer not a fixpoint for:\n{src}");
     }
@@ -789,7 +842,9 @@ mod tests {
     #[test]
     fn print_expr_standalone() {
         let p = parse("<?php f($x, 1);").unwrap();
-        let crate::ast::StmtKind::Expr(e) = &p.stmts[0].kind else { panic!() };
+        let crate::ast::StmtKind::Expr(e) = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(print_expr(e), "f($x, 1)");
     }
 }

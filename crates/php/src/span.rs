@@ -43,7 +43,11 @@ impl Span {
 
     /// A zero-length span at offset 0, line 1. Used for synthesized nodes.
     pub fn synthetic() -> Self {
-        Span { start: 0, end: 0, line: 1 }
+        Span {
+            start: 0,
+            end: 0,
+            line: 1,
+        }
     }
 
     /// Byte offset of the first byte covered by the span.
@@ -79,7 +83,11 @@ impl Span {
         } else {
             (other.line, other.start)
         };
-        Span { start, end: self.end.max(other.end), line }
+        Span {
+            start,
+            end: self.end.max(other.end),
+            line,
+        }
     }
 
     /// The source text covered by this span.
@@ -87,7 +95,8 @@ impl Span {
     /// Returns an empty string if the span is out of bounds for `src` (a
     /// synthesized node being sliced against the wrong file).
     pub fn slice<'s>(&self, src: &'s str) -> &'s str {
-        src.get(self.start as usize..self.end as usize).unwrap_or("")
+        src.get(self.start as usize..self.end as usize)
+            .unwrap_or("")
     }
 }
 

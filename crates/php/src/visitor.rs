@@ -81,7 +81,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
         | StmtKind::Continue(_)
         | StmtKind::Global(_)
         | StmtKind::Nop => {}
-        StmtKind::If { cond, then_branch, elseifs, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            elseifs,
+            else_branch,
+        } => {
             v.visit_expr(cond);
             for st in then_branch {
                 v.visit_stmt(st);
@@ -110,7 +115,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
             }
             v.visit_expr(cond);
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             for e in init.iter().chain(cond).chain(step) {
                 v.visit_expr(e);
             }
@@ -118,7 +128,13 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
                 v.visit_stmt(st);
             }
         }
-        StmtKind::Foreach { array, key, value, body, .. } => {
+        StmtKind::Foreach {
+            array,
+            key,
+            value,
+            body,
+            ..
+        } => {
             v.visit_expr(array);
             if let Some(k) = key {
                 v.visit_expr(k);
@@ -159,7 +175,11 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
                 v.visit_stmt(st);
             }
         }
-        StmtKind::Try { body, catches, finally } => {
+        StmtKind::Try {
+            body,
+            catches,
+            finally,
+        } => {
             for st in body {
                 v.visit_stmt(st);
             }
@@ -229,7 +249,11 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
         | ExprKind::Clone(expr)
         | ExprKind::Empty(expr) => v.visit_expr(expr),
         ExprKind::IncDec { target, .. } => v.visit_expr(target),
-        ExprKind::Ternary { cond, then, otherwise } => {
+        ExprKind::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
             v.visit_expr(cond);
             if let Some(t) = then {
                 v.visit_expr(t);
@@ -290,7 +314,9 @@ pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, f: &Function) {
 pub fn walk_class<V: Visitor + ?Sized>(v: &mut V, c: &Class) {
     for m in &c.members {
         match m {
-            ClassMember::Property { default: Some(d), .. } => v.visit_expr(d),
+            ClassMember::Property {
+                default: Some(d), ..
+            } => v.visit_expr(d),
             ClassMember::Property { .. } => {}
             ClassMember::Const { value, .. } => v.visit_expr(value),
             ClassMember::Method { func, .. } => v.visit_function(func),
@@ -335,7 +361,11 @@ mod tests {
             ",
         )
         .unwrap();
-        let mut c = Counter { vars: 0, calls: 0, stmts: 0 };
+        let mut c = Counter {
+            vars: 0,
+            calls: 0,
+            stmts: 0,
+        };
         c.visit_program(&p);
         assert_eq!(c.calls, 4);
         assert!(c.vars >= 6);
@@ -345,7 +375,11 @@ mod tests {
     #[test]
     fn visitor_sees_interp_parts() {
         let p = parse(r#"<?php $q = "SELECT $a FROM $b";"#).unwrap();
-        let mut c = Counter { vars: 0, calls: 0, stmts: 0 };
+        let mut c = Counter {
+            vars: 0,
+            calls: 0,
+            stmts: 0,
+        };
         c.visit_program(&p);
         // $q target + $a + $b
         assert_eq!(c.vars, 3);
@@ -360,7 +394,11 @@ mod tests {
             ",
         )
         .unwrap();
-        let mut c = Counter { vars: 0, calls: 0, stmts: 0 };
+        let mut c = Counter {
+            vars: 0,
+            calls: 0,
+            stmts: 0,
+        };
         c.visit_program(&p);
         assert_eq!(c.calls, 5);
     }

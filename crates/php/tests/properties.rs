@@ -65,8 +65,9 @@ fn lit_strategy() -> impl Strategy<Value = Lit> {
 }
 
 fn ident_strategy() -> impl Strategy<Value = String> {
-    "[a-z_][a-z0-9_]{0,8}"
-        .prop_filter("keywords are not identifiers", |s| TokenKind::keyword(s).is_none())
+    "[a-z_][a-z0-9_]{0,8}".prop_filter("keywords are not identifiers", |s| {
+        TokenKind::keyword(s).is_none()
+    })
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
@@ -91,7 +92,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 ]
             )
                 .prop_map(move |(l, r, op)| Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r)
+                    },
                     sp()
                 )),
             // call
@@ -108,10 +113,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (ident_strategy(), "[a-z]{1,6}").prop_map(move |(base, key)| Expr::new(
                 ExprKind::ArrayDim {
                     base: Box::new(Expr::new(ExprKind::Var(base), sp())),
-                    index: Some(Box::new(Expr::new(
-                        ExprKind::Lit(Lit::Str(key)),
-                        sp()
-                    ))),
+                    index: Some(Box::new(Expr::new(ExprKind::Lit(Lit::Str(key)), sp()))),
                 },
                 sp()
             )),
@@ -127,7 +129,10 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             )),
             // unary not
             inner.clone().prop_map(move |e| Expr::new(
-                ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) },
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e)
+                },
                 sp()
             )),
             // ternary
@@ -164,9 +169,8 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
                     sp()
                 )
             ),
-            (expr_strategy(), prop::collection::vec(inner, 0..3)).prop_map(
-                move |(cond, body)| Stmt::new(StmtKind::While { cond, body }, sp())
-            ),
+            (expr_strategy(), prop::collection::vec(inner, 0..3))
+                .prop_map(move |(cond, body)| Stmt::new(StmtKind::While { cond, body }, sp())),
         ]
     })
 }

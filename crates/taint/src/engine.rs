@@ -14,9 +14,11 @@
 use crate::finding::Candidate;
 use crate::state::{TaintState, TaintStep};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use wap_catalog::{Catalog, SinkArgs, SinkKind, VulnClass};
 use wap_php::ast::*;
 use wap_php::Span;
+use wap_runtime::Runtime;
 
 /// Tuning knobs for an analysis run.
 #[derive(Debug, Clone)]
@@ -37,7 +39,11 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        AnalysisOptions { interprocedural: true, loop_passes: 2, second_order: false }
+        AnalysisOptions {
+            interprocedural: true,
+            loop_passes: 2,
+            second_order: false,
+        }
     }
 }
 
@@ -77,22 +83,147 @@ pub fn analyze(
     options: &AnalysisOptions,
     files: &[SourceFile],
 ) -> Vec<Candidate> {
-    let mut engine = Engine::new(catalog, options, files);
-    engine.run();
-    if options.second_order && engine.tainted_store_seen {
+    analyze_with(catalog, options, files, &Runtime::serial())
+}
+
+/// [`analyze`] with an explicit [`Runtime`]: files are analyzed as
+/// independent tasks fanned out over the runtime's workers.
+///
+/// The analysis runs in two parallel phases per pass. **Phase A** builds a
+/// per-function summary for every user function (each file summarizes the
+/// functions it canonically declares); the summaries are then merged into
+/// one read-only map. **Phase B** executes every file's top-level flow
+/// against the merged map. Because each file is a self-contained task and
+/// the joins are index-ordered, the output is bit-identical for any job
+/// count — `Runtime::serial()` runs the exact same decomposition inline.
+pub fn analyze_with(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[SourceFile],
+    runtime: &Runtime,
+) -> Vec<Candidate> {
+    let (mut candidates, store_seen) = run_pass(catalog, options, files, runtime, false);
+    if options.second_order && store_seen {
         // second-order pass: stored data coming back from the database is
-        // attacker-controlled; duplicates are removed in finish()
-        engine.fetch_is_tainted = true;
-        engine.summaries.clear();
-        engine.run();
+        // attacker-controlled; duplicates are removed by the final dedup
+        let (more, _) = run_pass(catalog, options, files, runtime, true);
+        candidates.extend(more);
     }
-    engine.finish()
+    dedup_and_sort(candidates)
+}
+
+/// Everything a phase-A task hands back: the summaries this file
+/// canonically owns, the candidates found inside function bodies, and the
+/// literal-tracking state the same file's phase-B task resumes from.
+struct PhaseA {
+    summaries: HashMap<String, FnSummary>,
+    candidates: Vec<Candidate>,
+    state: CarriedState,
+    store_seen: bool,
+}
+
+fn run_pass(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[SourceFile],
+    runtime: &Runtime,
+    fetch_is_tainted: bool,
+) -> (Vec<Candidate>, bool) {
+    // Phase A: summarize every user function, one task per file.
+    let phase_a: Vec<PhaseA> = runtime.run(files.len(), |i| {
+        let mut engine = Engine::for_file(
+            catalog,
+            options,
+            files,
+            i,
+            None,
+            fetch_is_tainted,
+            CarriedState::default(),
+        );
+        engine.summarize_own();
+        engine.into_phase_a()
+    });
+
+    // Barrier: merge the per-file summaries. Canonical ownership makes the
+    // key sets disjoint, so the merge is order-independent.
+    let mut merged: HashMap<String, FnSummary> = HashMap::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut store_seen = false;
+    let mut states: Vec<CarriedState> = Vec::with_capacity(files.len());
+    for pa in phase_a {
+        merged.extend(pa.summaries);
+        candidates.extend(pa.candidates);
+        store_seen |= pa.store_seen;
+        states.push(pa.state);
+    }
+    let merged = Arc::new(merged);
+
+    // Phase B: top-level flow of every file against the merged summaries.
+    let results = runtime.map(states, |i, state| {
+        let mut engine = Engine::for_file(
+            catalog,
+            options,
+            files,
+            i,
+            Some(Arc::clone(&merged)),
+            fetch_is_tainted,
+            state,
+        );
+        engine.run_toplevel();
+        (
+            std::mem::take(&mut engine.candidates),
+            engine.tainted_store_seen,
+        )
+    });
+    for (found, seen) in results {
+        candidates.extend(found);
+        store_seen |= seen;
+    }
+    (candidates, store_seen)
+}
+
+/// Final join: deduplicate (loop re-execution, joined branches, and the
+/// second-order pass can repeat a finding at the same sink), then sort by
+/// a total key so the output order never depends on task scheduling.
+fn dedup_and_sort(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    let mut seen = HashSet::new();
+    candidates.retain(|c| {
+        let key = (
+            c.class.clone(),
+            c.sink_span,
+            c.sink.clone(),
+            c.sources.clone(),
+            c.file.clone(),
+        );
+        seen.insert(key)
+    });
+    candidates.sort_by(|a, b| {
+        (
+            a.file.as_deref(),
+            a.line,
+            a.sink_span.start(),
+            &a.class,
+            &a.sink,
+            &a.sources,
+        )
+            .cmp(&(
+                b.file.as_deref(),
+                b.line,
+                b.sink_span.start(),
+                &b.class,
+                &b.sink,
+                &b.sources,
+            ))
+    });
+    candidates
 }
 
 /// Convenience wrapper for a single anonymous program.
 pub fn analyze_program(catalog: &Catalog, program: &Program) -> Vec<Candidate> {
-    let files =
-        vec![SourceFile { name: "<input>".into(), program: program.clone() }];
+    let files = vec![SourceFile {
+        name: "<input>".into(),
+        program: program.clone(),
+    }];
     analyze(catalog, &AnalysisOptions::default(), &files)
 }
 
@@ -128,12 +259,27 @@ struct FnSummary {
 
 type Env = BTreeMap<String, TaintState>;
 
+/// Literal-tracking state threaded from a file's phase-A task into its
+/// phase-B task, so within-file behavior matches a straight serial walk.
+#[derive(Debug, Default)]
+struct CarriedState {
+    var_literals: HashMap<String, Vec<String>>,
+    var_fix_site: HashMap<String, Span>,
+}
+
 struct Engine<'a> {
     catalog: &'a Catalog,
     options: &'a AnalysisOptions,
     files: &'a [SourceFile],
-    functions: HashMap<String, Vec<&'a Function>>,
+    /// The file this task analyzes.
+    file_idx: usize,
+    /// Canonical declaration of every user function: the first declaration
+    /// in file order, with its defining file's index.
+    functions: HashMap<String, (usize, &'a Function)>,
     summaries: HashMap<String, FnSummary>,
+    /// Merged summaries from phase A (read-only, shared across phase-B
+    /// tasks). `None` during phase A, where summaries are computed locally.
+    shared: Option<Arc<HashMap<String, FnSummary>>>,
     in_progress: HashSet<String>,
     candidates: Vec<Candidate>,
     current_file: String,
@@ -154,34 +300,69 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(catalog: &'a Catalog, options: &'a AnalysisOptions, files: &'a [SourceFile]) -> Self {
-        let mut functions: HashMap<String, Vec<&'a Function>> = HashMap::new();
-        for f in files {
+    #[allow(clippy::too_many_arguments)]
+    fn for_file(
+        catalog: &'a Catalog,
+        options: &'a AnalysisOptions,
+        files: &'a [SourceFile],
+        file_idx: usize,
+        shared: Option<Arc<HashMap<String, FnSummary>>>,
+        fetch_is_tainted: bool,
+        state: CarriedState,
+    ) -> Self {
+        let mut functions: HashMap<String, (usize, &'a Function)> = HashMap::new();
+        for (i, f) in files.iter().enumerate() {
             for func in f.program.functions() {
-                functions.entry(func.name.to_ascii_lowercase()).or_default().push(func);
+                functions
+                    .entry(func.name.to_ascii_lowercase())
+                    .or_insert((i, func));
             }
         }
         Engine {
             catalog,
             options,
             files,
+            file_idx,
             functions,
             summaries: HashMap::new(),
+            shared,
             in_progress: HashSet::new(),
             candidates: Vec::new(),
-            current_file: String::new(),
+            current_file: files[file_idx].name.clone(),
             ret_stack: Vec::new(),
-            var_literals: HashMap::new(),
-            var_fix_site: HashMap::new(),
+            var_literals: state.var_literals,
+            var_fix_site: state.var_fix_site,
             tainted_store_seen: false,
-            fetch_is_tainted: false,
+            fetch_is_tainted,
+        }
+    }
+
+    /// Tears a phase-A engine down into what the pass aggregator needs,
+    /// keeping only the summaries this file canonically declares (lazily
+    /// computed foreign summaries are recomputed identically — and kept —
+    /// by their defining file's task).
+    fn into_phase_a(mut self) -> PhaseA {
+        let functions = &self.functions;
+        let file_idx = self.file_idx;
+        self.summaries
+            .retain(|name, _| functions.get(name).is_some_and(|&(fi, _)| fi == file_idx));
+        PhaseA {
+            summaries: self.summaries,
+            candidates: self.candidates,
+            state: CarriedState {
+                var_literals: self.var_literals,
+                var_fix_site: self.var_fix_site,
+            },
+            store_seen: self.tainted_store_seen,
         }
     }
 
     /// Records the literal fragments visible in an assignment, so that
     /// queries built across several statements keep their text.
     fn track_var_literals(&mut self, target: &Expr, value: &Expr, append: bool) {
-        let Some(root) = target.root_var() else { return };
+        let Some(root) = target.root_var() else {
+            return;
+        };
         let mut fragments = collect_literals(value);
         // pull in fragments of variables referenced by the value
         let mut referenced = Vec::new();
@@ -229,48 +410,37 @@ impl<'a> Engine<'a> {
         out
     }
 
-    fn run(&mut self) {
-        // summarize every user function first; this also reports flows that
-        // start at entry points *inside* function bodies. Summarizing while
-        // the file is current keeps candidate file attribution right.
-        for f in self.files {
-            self.current_file = f.name.clone();
-            let mut decls: Vec<(String, &'a Function)> = f
-                .program
-                .functions()
-                .into_iter()
-                .map(|func| (func.name.to_ascii_lowercase(), func))
-                .collect();
-            decls.sort_by(|a, b| a.0.cmp(&b.0));
-            for (name, func) in decls {
+    /// Phase A: summarize every user function this file canonically
+    /// declares, in name order. This also reports flows that start at entry
+    /// points *inside* function bodies, attributed to the declaring file.
+    fn summarize_own(&mut self) {
+        let f = &self.files[self.file_idx];
+        let mut decls: Vec<(String, &'a Function)> = f
+            .program
+            .functions()
+            .into_iter()
+            .map(|func| (func.name.to_ascii_lowercase(), func))
+            .collect();
+        decls.sort_by(|a, b| a.0.cmp(&b.0));
+        let file_idx = self.file_idx;
+        for (name, func) in decls {
+            // skip shadowed re-declarations: only the canonical declaration
+            // (first in file order) defines the summary
+            if self
+                .functions
+                .get(&name)
+                .is_some_and(|&(fi, _)| fi == file_idx)
+            {
                 self.summary_for_decl(&name, func);
             }
-            // then the top-level flow of the file
-            let mut env = Env::new();
-            let stmts = &f.program.stmts;
-            self.exec_block(&mut env, stmts);
         }
     }
 
-    fn finish(mut self) -> Vec<Candidate> {
-        // deduplicate: loop re-execution and joined branches can repeat a
-        // finding at the same sink
-        let mut seen = HashSet::new();
-        self.candidates.retain(|c| {
-            let key = (
-                c.class.clone(),
-                c.sink_span,
-                c.sink.clone(),
-                c.sources.clone(),
-                c.file.clone(),
-            );
-            seen.insert(key)
-        });
-        self.candidates.sort_by(|a, b| {
-            (a.file.as_deref(), a.line, a.sink_span.start())
-                .cmp(&(b.file.as_deref(), b.line, b.sink_span.start()))
-        });
-        self.candidates
+    /// Phase B: the top-level flow of this file.
+    fn run_toplevel(&mut self) {
+        let mut env = Env::new();
+        let stmts = &self.files[self.file_idx].program.stmts;
+        self.exec_block(&mut env, stmts);
     }
 
     // ---- summaries ----
@@ -280,17 +450,21 @@ impl<'a> Engine<'a> {
     }
 
     fn summary_for_decl(&mut self, name: &str, func: &'a Function) {
-        if self.summaries.contains_key(name) || self.in_progress.contains(name) {
+        if self.summaries.contains_key(name)
+            || self.in_progress.contains(name)
+            || self.shared.as_ref().is_some_and(|s| s.contains_key(name))
+        {
             return;
         }
         self.in_progress.insert(name.to_string());
+        // candidates recorded from here on belong to this function's body
+        let checkpoint = self.candidates.len();
 
         let mut env = Env::new();
         for (i, p) in func.params.iter().enumerate() {
             env.insert(
                 p.name.clone(),
-                TaintState::source(Self::param_marker(name, i), func.span)
-                    .with_carrier(&p.name),
+                TaintState::source(Self::param_marker(name, i), func.span).with_carrier(&p.name),
             );
         }
         self.ret_stack.push(TaintState::Clean);
@@ -305,8 +479,10 @@ impl<'a> Engine<'a> {
             for s in &info.sources {
                 if let Some(idx) = parse_param_marker(s, name) {
                     if idx < ret_from_params.len() {
-                        ret_from_params[idx] =
-                            ParamFlow { flows: true, sanitized: info.sanitized.clone() };
+                        ret_from_params[idx] = ParamFlow {
+                            flows: true,
+                            sanitized: info.sanitized.clone(),
+                        };
                     }
                 } else {
                     direct_sources.insert(s.clone());
@@ -320,10 +496,15 @@ impl<'a> Engine<'a> {
         }
 
         // candidates recorded during summarization that reference param
-        // markers are internal flows, not real findings: split them out
+        // markers are internal flows, not real findings: split them out.
+        // Real-source flows inside a *foreign* function's body are dropped
+        // here — the declaring file's task finds and keeps the same flows.
+        let owns = self
+            .functions
+            .get(name)
+            .is_none_or(|&(fi, _)| fi == self.file_idx);
         let mut param_sinks = Vec::new();
-        let mut kept = Vec::new();
-        for c in self.candidates.drain(..) {
+        for c in self.candidates.split_off(checkpoint) {
             let param_srcs: Vec<usize> = c
                 .sources
                 .iter()
@@ -335,10 +516,10 @@ impl<'a> Engine<'a> {
                 .filter(|s| !s.starts_with("@param:"))
                 .cloned()
                 .collect();
-            if !real_srcs.is_empty() {
+            if !real_srcs.is_empty() && owns {
                 let mut c2 = c.clone();
                 c2.sources = real_srcs;
-                kept.push(c2);
+                self.candidates.push(c2);
             }
             for p in param_srcs {
                 param_sinks.push(ParamSink {
@@ -354,11 +535,16 @@ impl<'a> Engine<'a> {
                 });
             }
         }
-        self.candidates = kept;
 
         self.in_progress.remove(name);
-        self.summaries
-            .insert(name.to_string(), FnSummary { ret_from_params, ret_direct, param_sinks });
+        self.summaries.insert(
+            name.to_string(),
+            FnSummary {
+                ret_from_params,
+                ret_direct,
+                param_sinks,
+            },
+        );
     }
 
     fn summary(&mut self, name: &str) -> FnSummary {
@@ -366,11 +552,13 @@ impl<'a> Engine<'a> {
         if let Some(s) = self.summaries.get(&lname) {
             return s.clone();
         }
+        if let Some(s) = self.shared.as_ref().and_then(|s| s.get(&lname)) {
+            return s.clone();
+        }
         if self.in_progress.contains(&lname) {
             return FnSummary::default(); // recursion cut-off
         }
-        if let Some(fns) = self.functions.get(&lname) {
-            let func = fns[0];
+        if let Some(&(_, func)) = self.functions.get(&lname) {
             self.summary_for_decl(&lname.clone(), func);
             return self.summaries.get(&lname).cloned().unwrap_or_default();
         }
@@ -397,7 +585,12 @@ impl<'a> Engine<'a> {
                 }
             }
             StmtKind::InlineHtml(_) | StmtKind::Nop => {}
-            StmtKind::If { cond, then_branch, elseifs, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                elseifs,
+                else_branch,
+            } => {
                 self.eval(env, cond);
                 let mut branches: Vec<Env> = Vec::new();
                 let mut b1 = env.clone();
@@ -435,7 +628,12 @@ impl<'a> Engine<'a> {
                     self.eval(env, cond);
                 }
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 for e in init {
                     self.eval(env, e);
                 }
@@ -451,7 +649,13 @@ impl<'a> Engine<'a> {
                     *env = join_envs(vec![env.clone(), b]);
                 }
             }
-            StmtKind::Foreach { array, key, by_ref: _, value, body } => {
+            StmtKind::Foreach {
+                array,
+                key,
+                by_ref: _,
+                value,
+                body,
+            } => {
                 let arr = self.eval(env, array);
                 let elem = arr.with_step("foreach element", stmt.span);
                 if let Some(k) = key {
@@ -516,7 +720,11 @@ impl<'a> Engine<'a> {
                 }
             }
             StmtKind::Block(b) => self.exec_block(env, b),
-            StmtKind::Try { body, catches, finally } => {
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
                 self.exec_block(env, body);
                 let mut branches = vec![env.clone()];
                 for c in catches {
@@ -540,9 +748,7 @@ impl<'a> Engine<'a> {
     fn eval(&mut self, env: &mut Env, expr: &'a Expr) -> TaintState {
         match &expr.kind {
             ExprKind::Var(n) => {
-                if self.catalog.is_entry_superglobal(n) {
-                    TaintState::source(format!("${n}"), expr.span)
-                } else if self.catalog.is_entry_variable(n) {
+                if self.catalog.is_entry_superglobal(n) || self.catalog.is_entry_variable(n) {
                     TaintState::source(format!("${n}"), expr.span)
                 } else if let Some(t) = env.get(n) {
                     t.clone()
@@ -553,9 +759,7 @@ impl<'a> Engine<'a> {
                     TaintState::Clean
                 }
             }
-            ExprKind::Lit(_) | ExprKind::Name(_) | ExprKind::ClassConst { .. } => {
-                TaintState::Clean
-            }
+            ExprKind::Lit(_) | ExprKind::Name(_) | ExprKind::ClassConst { .. } => TaintState::Clean,
             ExprKind::Interp(parts) => {
                 let mut t = TaintState::Clean;
                 let mut literals = Vec::new();
@@ -605,12 +809,17 @@ impl<'a> Engine<'a> {
                 .cloned()
                 .unwrap_or(TaintState::Clean),
             ExprKind::Call { callee, args } => self.eval_call(env, callee, args, expr.span),
-            ExprKind::MethodCall { target, method, args } => {
-                self.eval_method_call(env, target, method, args, expr.span)
-            }
-            ExprKind::StaticCall { class, method, args } => {
-                let arg_taints: Vec<TaintState> =
-                    args.iter().map(|a| self.eval(env, a)).collect();
+            ExprKind::MethodCall {
+                target,
+                method,
+                args,
+            } => self.eval_method_call(env, target, method, args, expr.span),
+            ExprKind::StaticCall {
+                class,
+                method,
+                args,
+            } => {
+                let arg_taints: Vec<TaintState> = args.iter().map(|a| self.eval(env, a)).collect();
                 let full = format!("{class}::{method}");
                 self.apply_function_semantics(&full, method, args, &arg_taints, expr.span, env)
             }
@@ -621,15 +830,15 @@ impl<'a> Engine<'a> {
                 }
                 t.with_step("constructor argument", expr.span)
             }
-            ExprKind::Assign { target, op, value, .. } => {
+            ExprKind::Assign {
+                target, op, value, ..
+            } => {
                 let vt = self.eval(env, value);
                 self.track_var_literals(target, value, *op == AssignOp::Concat);
                 // remember where a fix could sanitize this variable's taint
                 if let Some(root) = target.root_var() {
                     let site = vt.info().and_then(|info| {
-                        single_tainted_leaf(value, info).or_else(|| {
-                            wrappable_value_span(value)
-                        })
+                        single_tainted_leaf(value, info).or_else(|| wrappable_value_span(value))
                     });
                     match site {
                         Some(s) if *op == AssignOp::Assign => {
@@ -644,10 +853,9 @@ impl<'a> Engine<'a> {
                     AssignOp::Assign => vt,
                     AssignOp::Concat => {
                         let old = self.read_lvalue(env, target);
-                        let joined = old.join(&vt).with_step(
-                            format!("concat into {}", lvalue_name(target)),
-                            expr.span,
-                        );
+                        let joined = old
+                            .join(&vt)
+                            .with_step(format!("concat into {}", lvalue_name(target)), expr.span);
                         merge_literals(joined, &old, &vt)
                     }
                     AssignOp::Coalesce => {
@@ -665,8 +873,7 @@ impl<'a> Engine<'a> {
                 let rt = self.eval(env, rhs);
                 match op {
                     BinOp::Concat => {
-                        let joined =
-                            lt.join(&rt).with_step("string concatenation", expr.span);
+                        let joined = lt.join(&rt).with_step("string concatenation", expr.span);
                         let joined = merge_literals(joined, &lt, &rt);
                         let joined = absorb_literal(joined, lhs);
                         absorb_literal(joined, rhs)
@@ -685,7 +892,11 @@ impl<'a> Engine<'a> {
                 self.read_lvalue(env, target);
                 TaintState::Clean
             }
-            ExprKind::Ternary { cond, then, otherwise } => {
+            ExprKind::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let ct = self.eval(env, cond);
                 let tt = match then {
                     Some(t) => self.eval(env, t),
@@ -795,7 +1006,9 @@ impl<'a> Engine<'a> {
             ExprKind::ArrayDim { base, .. } => self.read_lvalue(env, base),
             ExprKind::Prop { base, name } => {
                 if let Some(root) = base.root_var() {
-                    env.get(&format!("{root}->{name}")).cloned().unwrap_or(TaintState::Clean)
+                    env.get(&format!("{root}->{name}"))
+                        .cloned()
+                        .unwrap_or(TaintState::Clean)
                 } else {
                     TaintState::Clean
                 }
@@ -918,7 +1131,9 @@ impl<'a> Engine<'a> {
 
         // 4. user-defined function?
         if self.options.interprocedural
-            && self.functions.contains_key(&lookup_name.to_ascii_lowercase())
+            && self
+                .functions
+                .contains_key(&lookup_name.to_ascii_lowercase())
         {
             return self.apply_summary(lookup_name, display_name, arg_taints, span);
         }
@@ -974,14 +1189,12 @@ impl<'a> Engine<'a> {
         let mut out = summary.ret_direct.clone();
         for (i, flow) in summary.ret_from_params.iter().enumerate() {
             if flow.flows {
-                if let Some(t) = arg_taints.get(i) {
-                    if let TaintState::Tainted(info) = t {
-                        let mut info = info.clone();
-                        for c in &flow.sanitized {
-                            info.sanitized.insert(c.clone());
-                        }
-                        out = out.join(&TaintState::Tainted(info));
+                if let Some(TaintState::Tainted(info)) = arg_taints.get(i) {
+                    let mut info = info.clone();
+                    for c in &flow.sanitized {
+                        info.sanitized.insert(c.clone());
                     }
+                    out = out.join(&TaintState::Tainted(info));
                 }
             }
         }
@@ -1015,8 +1228,7 @@ impl<'a> Engine<'a> {
         }
 
         // 3. user-defined method (by name, class-insensitive)?
-        if self.options.interprocedural
-            && self.functions.contains_key(&method.to_ascii_lowercase())
+        if self.options.interprocedural && self.functions.contains_key(&method.to_ascii_lowercase())
         {
             return self.apply_summary(method, method, &arg_taints, span);
         }
@@ -1063,7 +1275,10 @@ impl<'a> Engine<'a> {
             .catalog
             .sinks()
             .filter_map(|s| match &s.kind {
-                SinkKind::Method { receiver_hint, name } if name.eq_ignore_ascii_case(method) => {
+                SinkKind::Method {
+                    receiver_hint,
+                    name,
+                } if name.eq_ignore_ascii_case(method) => {
                     let receiver_ok = match (receiver_hint, receiver) {
                         (None, _) => true,
                         (Some(h), Some(r)) => h.eq_ignore_ascii_case(r),
@@ -1168,7 +1383,11 @@ impl<'a> Engine<'a> {
             .info()
             .map(|i| i.sources.contains(STORED_DATA_SOURCE))
             .unwrap_or(false);
-        let class = if stored { VulnClass::XssStored } else { VulnClass::XssReflected };
+        let class = if stored {
+            VulnClass::XssStored
+        } else {
+            VulnClass::XssReflected
+        };
         if taint.is_tainted_for(&class) {
             let info = taint.info().expect("tainted");
             let mut literals = info.literals.clone();
@@ -1250,7 +1469,11 @@ impl<'a> Engine<'a> {
 fn single_tainted_leaf(expr: &Expr, info: &crate::state::TaintInfo) -> Option<Span> {
     fn leaves(expr: &Expr, info: &crate::state::TaintInfo, out: &mut Vec<Span>) {
         match &expr.kind {
-            ExprKind::Binary { op: BinOp::Concat, lhs, rhs } => {
+            ExprKind::Binary {
+                op: BinOp::Concat,
+                lhs,
+                rhs,
+            } => {
                 leaves(lhs, info, out);
                 leaves(rhs, info, out);
             }
@@ -1270,7 +1493,13 @@ fn single_tainted_leaf(expr: &Expr, info: &crate::state::TaintInfo) -> Option<Sp
         }
     }
     // only meaningful when the argument is a concatenation tree
-    if !matches!(expr.kind, ExprKind::Binary { op: BinOp::Concat, .. }) {
+    if !matches!(
+        expr.kind,
+        ExprKind::Binary {
+            op: BinOp::Concat,
+            ..
+        }
+    ) {
         return None;
     }
     let mut out = Vec::new();
@@ -1409,7 +1638,11 @@ fn collect_literals_into(expr: &Expr, out: &mut Vec<String>) {
                 collect_literals_into(p, out);
             }
         }
-        ExprKind::Binary { op: BinOp::Concat, lhs, rhs } => {
+        ExprKind::Binary {
+            op: BinOp::Concat,
+            lhs,
+            rhs,
+        } => {
             collect_literals_into(lhs, out);
             collect_literals_into(rhs, out);
         }
@@ -1567,12 +1800,10 @@ mod tests {
 
     #[test]
     fn sqli_through_variable_and_concat() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = $_POST['id'];
             $q = "SELECT * FROM users WHERE id = '" . $id . "'";
-            mysql_query($q);"#,
-        );
+            mysql_query($q);"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
         assert!(found[0].carriers.contains(&"q".to_string()));
         assert!(found[0].carriers.contains(&"id".to_string()));
@@ -1581,68 +1812,59 @@ mod tests {
 
     #[test]
     fn sqli_through_dot_assign_chain() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $q = "SELECT name ";
             $q .= "FROM users ";
             $q .= "WHERE id = " . $_GET['id'];
-            mysqli_query($conn, $q);"#,
-        );
+            mysqli_query($conn, $q);"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
         assert!(found[0].literal_text().contains("FROM users"));
     }
 
     #[test]
     fn sqli_sanitized_is_silent() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = mysql_real_escape_string($_GET['id']);
-            mysql_query("SELECT * FROM u WHERE id = '$id'");"#,
+            mysql_query("SELECT * FROM u WHERE id = '$id'");"#);
+        assert!(
+            found.is_empty(),
+            "sanitized flow must not be reported: {found:?}"
         );
-        assert!(found.is_empty(), "sanitized flow must not be reported: {found:?}");
     }
 
     #[test]
     fn sqli_sanitizer_is_class_specific() {
         // htmlentities does not stop SQLI
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = htmlentities($_GET['id']);
-            mysql_query("SELECT * FROM u WHERE id = '$id'");"#,
-        );
+            mysql_query("SELECT * FROM u WHERE id = '$id'");"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
     #[test]
     fn sqli_int_cast_sanitizes() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = (int)$_GET['id'];
-            mysql_query("SELECT * FROM u WHERE id = $id");"#,
-        );
+            mysql_query("SELECT * FROM u WHERE id = $id");"#);
         assert!(found.is_empty());
     }
 
     #[test]
     fn sqli_intval_sanitizes_return_value() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = intval($_GET['id']);
-            mysql_query("SELECT * FROM u WHERE id = $id");"#,
-        );
+            mysql_query("SELECT * FROM u WHERE id = $id");"#);
         assert!(found.is_empty());
     }
 
     #[test]
     fn sqli_validation_does_not_untaint() {
         // the canonical false-positive shape: guarded but unsanitized
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = $_GET['id'];
             if (is_numeric($id)) {
                 mysql_query("SELECT * FROM u WHERE id = $id");
-            }"#,
-        );
+            }"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
@@ -1689,11 +1911,9 @@ mod tests {
 
     #[test]
     fn xss_stored_via_fwrite() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $fh = fopen('comments.txt', 'a');
-            fwrite($fh, $_POST['comment']);"#,
-        );
+            fwrite($fh, $_POST['comment']);"#);
         assert!(classes(&found).contains(&VulnClass::XssStored));
     }
 
@@ -1762,11 +1982,9 @@ mod tests {
 
     #[test]
     fn ldapi_search() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $filter = "(uid=" . $_GET['user'] . ")";
-            ldap_search($conn, $base, $filter);"#,
-        );
+            ldap_search($conn, $base, $filter);"#);
         assert_eq!(classes(&found), vec![VulnClass::LdapI]);
     }
 
@@ -1876,57 +2094,50 @@ mod tests {
 
     #[test]
     fn interproc_taint_through_function_return() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             function get_input($key) { return trim($_GET[$key]); }
             $id = get_input('id');
-            mysql_query("SELECT * FROM t WHERE id = $id");"#,
-        );
+            mysql_query("SELECT * FROM t WHERE id = $id");"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
     #[test]
     fn interproc_param_to_sink_inside_function() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             function find_user($db, $name) {
                 return mysql_query("SELECT * FROM users WHERE name = '$name'", $db);
             }
-            find_user($conn, $_POST['name']);"#,
-        );
+            find_user($conn, $_POST['name']);"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
         assert_eq!(found[0].sources, vec!["$_POST['name']".to_string()]);
     }
 
     #[test]
     fn interproc_sanitizing_wrapper() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             function clean($v) { return mysql_real_escape_string($v); }
             $id = clean($_GET['id']);
-            mysql_query("SELECT * FROM t WHERE id = '$id'");"#,
+            mysql_query("SELECT * FROM t WHERE id = '$id'");"#);
+        assert!(
+            found.is_empty(),
+            "sanitization inside a wrapper must be tracked"
         );
-        assert!(found.is_empty(), "sanitization inside a wrapper must be tracked");
     }
 
     #[test]
     fn interproc_entry_point_inside_function() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             function handler() {
                 echo $_GET['msg'];
             }
-            handler();"#,
-        );
+            handler();"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
     #[test]
     fn interproc_entry_point_in_uncalled_function_still_flagged() {
-        let found = run(
-            r#"<?php
-            function dead_code() { mysql_query("X" . $_GET['a']); }"#,
-        );
+        let found = run(r#"<?php
+            function dead_code() { mysql_query("X" . $_GET['a']); }"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
@@ -1938,8 +2149,14 @@ mod tests {
             mysql_query("SELECT " . get_input('c'));"#,
         )
         .unwrap();
-        let files = vec![SourceFile { name: "f.php".into(), program }];
-        let opts = AnalysisOptions { interprocedural: false, ..AnalysisOptions::default() };
+        let files = vec![SourceFile {
+            name: "f.php".into(),
+            program,
+        }];
+        let opts = AnalysisOptions {
+            interprocedural: false,
+            ..AnalysisOptions::default()
+        };
         let found = analyze(&Catalog::wape(), &opts, &files);
         // the flow through get_input's return is invisible; but the direct
         // flow inside the (summarized) function body is also skipped
@@ -1950,26 +2167,22 @@ mod tests {
 
     #[test]
     fn interproc_method_summary() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             class Repo {
                 function find($id) {
                     return mysql_query("SELECT * FROM t WHERE id = $id");
                 }
             }
             $r = new Repo();
-            $r->find($_GET['id']);"#,
-        );
+            $r->find($_GET['id']);"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
     #[test]
     fn recursion_terminates() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             function f($x) { if ($x) { return f($x . 'a'); } return $x; }
-            mysql_query("Q" . f($_GET['v']));"#,
-        );
+            mysql_query("Q" . f($_GET['v']));"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
@@ -1977,45 +2190,37 @@ mod tests {
 
     #[test]
     fn taint_joins_across_branches() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             if ($_GET['mode'] == 'a') { $v = $_GET['a']; } else { $v = 'default'; }
-            echo $v;"#,
-        );
+            echo $v;"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
     #[test]
     fn loop_carried_taint() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $q = "SELECT * FROM t WHERE 1=1";
             foreach ($_POST['filters'] as $f) {
                 $q = $q . " AND c = '$f'";
             }
-            mysql_query($q);"#,
-        );
+            mysql_query($q);"#);
         assert_eq!(classes(&found), vec![VulnClass::Sqli]);
     }
 
     #[test]
     fn foreach_taints_key_and_value() {
-        let found = run(
-            r#"<?php foreach ($_GET as $k => $v) { echo $k; echo $v; }"#,
-        );
+        let found = run(r#"<?php foreach ($_GET as $k => $v) { echo $k; echo $v; }"#);
         assert_eq!(found.len(), 2);
     }
 
     #[test]
     fn switch_branches_join() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             switch ($_GET['t']) {
                 case 'x': $out = $_GET['x']; break;
                 default: $out = 'none';
             }
-            echo $out;"#,
-        );
+            echo $out;"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
@@ -2033,22 +2238,18 @@ mod tests {
 
     #[test]
     fn closure_body_is_analyzed() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $handler = function () {
                 echo $_GET['q'];
-            };"#,
-        );
+            };"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
     #[test]
     fn closure_captured_taint() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $q = $_GET['q'];
-            $f = function () use ($q) { echo $q; };"#,
-        );
+            $f = function () use ($q) { echo $q; };"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
@@ -2075,22 +2276,22 @@ mod tests {
     #[test]
     fn array_element_insensitivity() {
         // storing tainted data in an array taints the array
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $data = array();
             $data['name'] = $_POST['name'];
-            echo $data['other'];"#,
+            echo $data['other'];"#);
+        assert_eq!(
+            found.len(),
+            1,
+            "element-insensitive arrays over-approximate"
         );
-        assert_eq!(found.len(), 1, "element-insensitive arrays over-approximate");
     }
 
     #[test]
     fn property_taint_tracking() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $o->name = $_GET['n'];
-            echo $o->name;"#,
-        );
+            echo $o->name;"#);
         assert_eq!(classes(&found), vec![VulnClass::XssReflected]);
     }
 
@@ -2110,14 +2311,18 @@ mod tests {
 
     #[test]
     fn multi_file_analysis_shares_functions() {
-        let lib = parse(
-            r#"<?php function fetch($db, $sql) { return mysql_query($sql, $db); }"#,
-        )
-        .unwrap();
+        let lib =
+            parse(r#"<?php function fetch($db, $sql) { return mysql_query($sql, $db); }"#).unwrap();
         let app = parse(r#"<?php fetch($c, "SELECT " . $_GET['f'] . " FROM t");"#).unwrap();
         let files = vec![
-            SourceFile { name: "lib.php".into(), program: lib },
-            SourceFile { name: "app.php".into(), program: app },
+            SourceFile {
+                name: "lib.php".into(),
+                program: lib,
+            },
+            SourceFile {
+                name: "app.php".into(),
+                program: app,
+            },
         ];
         let found = analyze(&Catalog::wape(), &AnalysisOptions::default(), &files);
         assert_eq!(found.len(), 1);
@@ -2127,14 +2332,12 @@ mod tests {
 
     #[test]
     fn findings_are_ordered_and_deduplicated() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $a = $_GET['a'];
             for ($i = 0; $i < 3; $i++) {
                 mysql_query("Q $a");
             }
-            echo $a;"#,
-        );
+            echo $a;"#);
         // one SQLI (deduped across loop passes) + one XSS
         assert_eq!(found.len(), 2);
         let mut lines: Vec<u32> = found.iter().map(|c| c.line).collect();
@@ -2150,12 +2353,10 @@ mod tests {
 
     #[test]
     fn candidate_path_tells_the_story() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
             $id = $_GET['id'];
             $q = "SELECT * FROM t WHERE id = $id";
-            mysql_query($q);"#,
-        );
+            mysql_query($q);"#);
         let path = &found[0].path;
         assert!(path.first().unwrap().what.contains("entry point"));
         assert!(path.last().unwrap().what.contains("sensitive sink"));
@@ -2190,8 +2391,7 @@ mod shell_exec_tests {
 
     #[test]
     fn sanitized_backtick_is_silent() {
-        let program =
-            parse(r#"<?php $h = escapeshellarg($_GET['h']); $out = `ping $h`;"#).unwrap();
+        let program = parse(r#"<?php $h = escapeshellarg($_GET['h']); $out = `ping $h`;"#).unwrap();
         assert!(analyze_program(&Catalog::wape(), &program).is_empty());
     }
 
@@ -2212,8 +2412,14 @@ mod second_order_tests {
 
     fn run_with_opts(src: &str, second_order: bool) -> Vec<Candidate> {
         let program = parse(src).unwrap();
-        let files = vec![SourceFile { name: "t.php".into(), program }];
-        let opts = AnalysisOptions { second_order, ..AnalysisOptions::default() };
+        let files = vec![SourceFile {
+            name: "t.php".into(),
+            program,
+        }];
+        let opts = AnalysisOptions {
+            second_order,
+            ..AnalysisOptions::default()
+        };
         analyze(&Catalog::wape(), &opts, &files)
     }
 
@@ -2251,7 +2457,10 @@ while ($row = mysql_fetch_assoc($res)) {
 }
 "#;
         let found = run_with_opts(src, true);
-        assert!(found.is_empty(), "clean database data is not tainted: {found:?}");
+        assert!(
+            found.is_empty(),
+            "clean database data is not tainted: {found:?}"
+        );
     }
 
     #[test]
@@ -2315,23 +2524,22 @@ mod desanitizer_tests {
 
     #[test]
     fn stripslashes_revokes_addslashes() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
 $x = addslashes($_GET['x']);
 $x = stripslashes($x);
-mysql_query("SELECT * FROM t WHERE c = '$x'");"#,
-        );
+mysql_query("SELECT * FROM t WHERE c = '$x'");"#);
         assert_eq!(found.len(), 1, "{found:?}");
-        assert!(found[0].path.iter().any(|s| s.what.contains("de-sanitized")));
+        assert!(found[0]
+            .path
+            .iter()
+            .any(|s| s.what.contains("de-sanitized")));
     }
 
     #[test]
     fn html_entity_decode_revokes_htmlentities() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
 $m = htmlentities($_GET['m']);
-echo html_entity_decode($m);"#,
-        );
+echo html_entity_decode($m);"#);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].class, VulnClass::XssReflected);
     }
@@ -2344,22 +2552,18 @@ echo html_entity_decode($m);"#,
 
     #[test]
     fn properly_sanitized_after_decode_is_silent() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
 $x = stripslashes($_POST['x']);
 $x = mysql_real_escape_string($x);
-mysql_query("SELECT * FROM t WHERE c = '$x'");"#,
-        );
+mysql_query("SELECT * FROM t WHERE c = '$x'");"#);
         assert!(found.is_empty());
     }
 
     #[test]
     fn sprintf_propagates_taint_and_query_text() {
-        let found = run(
-            r#"<?php
+        let found = run(r#"<?php
 $q = sprintf("SELECT * FROM users WHERE login = '%s'", $_POST['login']);
-mysql_query($q);"#,
-        );
+mysql_query($q);"#);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].class, VulnClass::Sqli);
         assert!(found[0].literal_text().contains("SELECT * FROM users"));

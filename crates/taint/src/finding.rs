@@ -46,7 +46,10 @@ impl Candidate {
     /// `SQLI at line 12: $_GET['id'] -> mysql_query()`.
     pub fn headline(&self) -> String {
         let src = self.sources.first().map(String::as_str).unwrap_or("?");
-        format!("{} at line {}: {} -> {}()", self.class, self.line, src, self.sink)
+        format!(
+            "{} at line {}: {} -> {}()",
+            self.class, self.line, src, self.sink
+        )
     }
 
     /// The joined literal fragments (an approximation of the query text for
@@ -75,7 +78,10 @@ mod tests {
             literal_fragments: vec!["SELECT * FROM users WHERE id = ".into()],
             file: None,
         };
-        assert_eq!(c.headline(), "SQLI at line 12: $_GET['id'] -> mysql_query()");
+        assert_eq!(
+            c.headline(),
+            "SQLI at line 12: $_GET['id'] -> mysql_query()"
+        );
         assert!(c.literal_text().contains("SELECT"));
     }
 

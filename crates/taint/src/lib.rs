@@ -37,6 +37,9 @@ pub mod engine;
 pub mod finding;
 pub mod state;
 
-pub use engine::{analyze, analyze_program, collect_literals, AnalysisOptions, SourceFile};
+pub use engine::{
+    analyze, analyze_program, analyze_with, collect_literals, AnalysisOptions, SourceFile,
+};
 pub use finding::Candidate;
 pub use state::{TaintInfo, TaintState, TaintStep};
+pub use wap_runtime::Runtime;

@@ -26,7 +26,11 @@ pub struct TaintStep {
 impl TaintStep {
     /// Creates a step.
     pub fn new(what: impl Into<String>, span: Span) -> Self {
-        TaintStep { what: what.into(), line: span.line(), span }
+        TaintStep {
+            what: what.into(),
+            line: span.line(),
+            span,
+        }
     }
 }
 
@@ -211,7 +215,10 @@ mod tests {
         let s = t.sanitize(&[&VulnClass::Sqli], "mysql_real_escape_string", sp());
         assert!(!s.is_tainted_for(&VulnClass::Sqli));
         assert!(s.is_tainted_for(&VulnClass::XssReflected));
-        assert!(s.is_tainted(), "sanitized data is still untrusted for other classes");
+        assert!(
+            s.is_tainted(),
+            "sanitized data is still untrusted for other classes"
+        );
     }
 
     #[test]
@@ -260,7 +267,9 @@ mod tests {
 
     #[test]
     fn carriers_accumulate() {
-        let t = TaintState::source("$_GET['x']", sp()).with_carrier("id").with_carrier("q");
+        let t = TaintState::source("$_GET['x']", sp())
+            .with_carrier("id")
+            .with_carrier("q");
         let c = &t.info().unwrap().carriers;
         assert!(c.contains("id") && c.contains("q"));
     }

@@ -8,7 +8,11 @@ use wap_taint::{analyze, analyze_program, AnalysisOptions, SourceFile};
 /// Sink/sanitizer pairs, one per representative class.
 const SCENARIOS: &[(&str, &str, &str)] = &[
     // (sink template, sanitizer, class acronym)
-    ("mysql_query(\"SELECT * FROM t WHERE x = '{}'\");", "mysql_real_escape_string", "SQLI"),
+    (
+        "mysql_query(\"SELECT * FROM t WHERE x = '{}'\");",
+        "mysql_real_escape_string",
+        "SQLI",
+    ),
     ("echo {};", "htmlentities", "XSS"),
     ("system(\"cmd {}\");", "escapeshellarg", "OSCI"),
     ("ldap_search($c, $b, {});", "ldap_escape", "LDAPI"),

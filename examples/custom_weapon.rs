@@ -60,12 +60,15 @@ fn main() {
     }
 
     // the weapon also generated a fix (san_xxe) for the corrector
-    let fixed = tool.fix_file(
-        "import.php",
-        APP,
-        &tool.analyze_sources(&files),
+    let fixed = tool.fix_file("import.php", APP, &tool.analyze_sources(&files));
+    println!(
+        "\nfixes applied: {:?}",
+        fixed
+            .applied
+            .iter()
+            .map(|a| &a.fix_name)
+            .collect::<Vec<_>>()
     );
-    println!("\nfixes applied: {:?}", fixed.applied.iter().map(|a| &a.fix_name).collect::<Vec<_>>());
 }
 
 fn serde_json_parse() -> wap::WeaponConfig {

@@ -8,11 +8,20 @@
 use wap::{ToolConfig, WapTool};
 
 const CASES: &[(&str, &str)] = &[
-    ("sqli.php", "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n"),
+    (
+        "sqli.php",
+        "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+    ),
     ("xss.php", "<?php\necho 'Hello ' . $_GET['name'];\n"),
     ("osci.php", "<?php\nsystem('ping ' . $_POST['host']);\n"),
-    ("lfi.php", "<?php\ninclude 'pages/' . $_GET['page'] . '.php';\n"),
-    ("ldapi.php", "<?php\nldap_search($c, $dn, '(uid=' . $_GET['u'] . ')');\n"),
+    (
+        "lfi.php",
+        "<?php\ninclude 'pages/' . $_GET['page'] . '.php';\n",
+    ),
+    (
+        "ldapi.php",
+        "<?php\nldap_search($c, $dn, '(uid=' . $_GET['u'] . ')');\n",
+    ),
     ("hi.php", "<?php\nheader('Location: ' . $_GET['to']);\n"),
 ];
 

@@ -28,20 +28,30 @@ echo "Welcome back, " . $_POST['user'];
         println!(
             "  {:<40} {}",
             f.candidate.headline(),
-            if f.is_real() { "REAL VULNERABILITY" } else { "predicted false positive" }
+            if f.is_real() {
+                "REAL VULNERABILITY"
+            } else {
+                "predicted false positive"
+            }
         );
         for step in &f.candidate.path {
             println!("      {} (line {})", step.what, step.line);
         }
         if !f.prediction.justification.is_empty() {
-            println!("      justified by symptoms: {:?}", f.prediction.justification);
+            println!(
+                "      justified by symptoms: {:?}",
+                f.prediction.justification
+            );
         }
     }
 
     println!("\n== corrected source ==");
     let fixed = tool.fix_file("login.php", source, &report);
     for a in &fixed.applied {
-        println!("  applied {} for {} at line {}", a.fix_name, a.class, a.line);
+        println!(
+            "  applied {} for {} at line {}",
+            a.fix_name, a.class, a.line
+        );
     }
     println!("\n{}", fixed.fixed_source);
 }

@@ -31,7 +31,10 @@ fn main() {
     }
 
     let mut cfg = ToolConfig::wape_full();
-    cfg.analysis = AnalysisOptions { second_order: true, ..AnalysisOptions::default() };
+    cfg.analysis = AnalysisOptions {
+        second_order: true,
+        ..AnalysisOptions::default()
+    };
     let second_order = WapTool::new(cfg);
     let r2 = second_order.analyze_sources(&files);
     println!("\nsecond-order analysis: {} finding(s)", r2.findings.len());

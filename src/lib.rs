@@ -56,7 +56,7 @@ pub use wap_taint as taint;
 pub use wap_catalog::{Catalog, EntryPoint, SubModule, VulnClass, WeaponConfig};
 pub use wap_core::{AppReport, Finding, ToolConfig, WapTool, Weapon};
 pub use wap_fixer::{Corrector, FixResult};
+pub use wap_interp::{confirm, Confirmation, Request};
 pub use wap_mining::{FalsePositivePredictor, PredictorGeneration};
 pub use wap_php::{parse, print_program};
-pub use wap_interp::{confirm, Confirmation, Request};
 pub use wap_taint::{analyze, analyze_program, AnalysisOptions, Candidate, SourceFile};

@@ -2,8 +2,8 @@
 //! the complete user workflow: generate → write → `wap --fix` → verify.
 
 use wap::core::cli::{self, CliOptions};
-use wap::corpus::specs::vulnerable_webapps;
 use wap::corpus::generate_webapp;
+use wap::corpus::specs::vulnerable_webapps;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("wap-corpus-cli-{tag}-{}", std::process::id()));
@@ -21,7 +21,11 @@ fn cli_analyzes_a_written_corpus_app() {
     let dir = temp_dir("analyze");
     app.write_to(&dir).unwrap();
 
-    let opts = CliOptions { paths: vec![dir.clone()], json: true, ..Default::default() };
+    let opts = CliOptions {
+        paths: vec![dir.clone()],
+        json: true,
+        ..Default::default()
+    };
     let (code, output) = cli::run(&opts).unwrap();
     assert_eq!(code, 1, "vulnerable app must exit 1");
     let v: serde_json::Value = serde_json::from_str(&output).unwrap();
@@ -42,8 +46,11 @@ fn cli_fix_loop_reaches_clean() {
     app.write_to(&dir).unwrap();
 
     // 1. fix everything
-    let opts =
-        CliOptions { paths: vec![dir.clone()], fix: true, ..Default::default() };
+    let opts = CliOptions {
+        paths: vec![dir.clone()],
+        fix: true,
+        ..Default::default()
+    };
     let (code, output) = cli::run(&opts).unwrap();
     assert_eq!(code, 1);
     assert!(output.contains("fixes)"), "{output}");
@@ -60,7 +67,10 @@ fn cli_fix_loop_reaches_clean() {
     let opts = CliOptions {
         paths: vec![dir.clone()],
         user_sanitizers: vec![
-            ("san_read".into(), vec!["RFI".into(), "LFI".into(), "DT".into(), "SCD".into()]),
+            (
+                "san_read".into(),
+                vec!["RFI".into(), "LFI".into(), "DT".into(), "SCD".into()],
+            ),
             ("san_ldapi".into(), vec!["LDAPI".into()]),
         ],
         ..Default::default()
@@ -92,5 +102,34 @@ fn cli_class_flag_on_corpus() {
     assert!(findings.iter().all(|f| f["class"] == "SQLI"), "{output}");
     // ACP Lite 2 has 9 SQLI; FP flows with SQLI sinks also appear
     assert!(v["real_vulnerabilities"].as_u64().unwrap() >= 9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_jobs_flag_gives_identical_output() {
+    let spec = vulnerable_webapps()
+        .into_iter()
+        .find(|a| a.name == "RCR AEsir")
+        .unwrap();
+    let app = generate_webapp(&spec, 0.5, 80);
+    let dir = temp_dir("jobs");
+    app.write_to(&dir).unwrap();
+
+    let run_with = |jobs: Option<usize>| {
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            json: true,
+            jobs,
+            ..Default::default()
+        };
+        cli::run(&opts).unwrap()
+    };
+    let (code1, out1) = run_with(Some(1));
+    assert_eq!(code1, 1, "vulnerable app must exit 1");
+    for jobs in [2usize, 8] {
+        let (code, out) = run_with(Some(jobs));
+        assert_eq!(code, code1);
+        assert_eq!(out, out1, "--jobs {jobs} changed the report");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -7,15 +7,27 @@ use wap_interp::confirm;
 
 /// (class label, vulnerable source) — one per confirmable class.
 const CASES: &[(&str, &str)] = &[
-    ("SQLI", "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM users WHERE id = '$id'\");\n"),
+    (
+        "SQLI",
+        "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM users WHERE id = '$id'\");\n",
+    ),
     ("XSS", "<?php\necho 'Hello ' . $_GET['name'];\n"),
     ("OSCI", "<?php\nsystem('ping ' . $_GET['host']);\n"),
     ("LFI", "<?php\ninclude 'pages/' . $_GET['page'] . '.php';\n"),
-    ("LDAPI", "<?php\n$u = $_POST['u'];\nldap_search($conn, $dn, \"(uid=$u)\");\n"),
+    (
+        "LDAPI",
+        "<?php\n$u = $_POST['u'];\nldap_search($conn, $dn, \"(uid=$u)\");\n",
+    ),
     ("HI", "<?php\nheader('Location: ' . $_GET['to']);\n"),
     ("SF", "<?php\nsession_id($_GET['sid']);\n"),
-    ("CS", "<?php\nfile_put_contents('c.html', $_POST['body']);\n"),
-    ("NOSQLI", "<?php\n$col->find(array('name' => $_GET['name']));\n"),
+    (
+        "CS",
+        "<?php\nfile_put_contents('c.html', $_POST['body']);\n",
+    ),
+    (
+        "NOSQLI",
+        "<?php\n$col->find(array('name' => $_GET['name']));\n",
+    ),
 ];
 
 #[test]
@@ -85,7 +97,10 @@ mysql_query("SELECT * FROM t WHERE n = '$n'");
     let files = vec![("vfront.php".to_string(), src.to_string())];
     let report = tool.analyze_sources(&files);
     assert_eq!(report.findings.len(), 1);
-    assert!(report.findings[0].is_real(), "escape() is unknown: reported real");
+    assert!(
+        report.findings[0].is_real(),
+        "escape() is unknown: reported real"
+    );
     let program = parse(src).unwrap();
     let conf = confirm(tool.catalog(), &[&program], &report.findings[0].candidate);
     assert!(

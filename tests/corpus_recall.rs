@@ -8,7 +8,10 @@ use wap::{ToolConfig, WapTool};
 const SCALE: f64 = 0.02;
 
 fn sources(app: &wap::corpus::GeneratedApp) -> Vec<(String, String)> {
-    app.files.iter().map(|f| (f.name.clone(), f.source.clone())).collect()
+    app.files
+        .iter()
+        .map(|f| (f.name.clone(), f.source.clone()))
+        .collect()
 }
 
 #[test]
@@ -64,7 +67,11 @@ fn clean_apps_produce_zero_findings() {
         assert!(
             report.findings.is_empty(),
             "clean app {i} produced findings: {:?}",
-            report.findings.iter().map(|f| f.candidate.headline()).collect::<Vec<_>>()
+            report
+                .findings
+                .iter()
+                .map(|f| f.candidate.headline())
+                .collect::<Vec<_>>()
         );
         assert!(report.parse_errors.is_empty());
     }

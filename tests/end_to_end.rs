@@ -6,22 +6,61 @@ use wap::{ToolConfig, VulnClass, WapTool};
 /// One vulnerable snippet per class (with the weapons loaded).
 fn cases() -> Vec<(VulnClass, &'static str)> {
     vec![
-        (VulnClass::Sqli, "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n"),
-        (VulnClass::XssReflected, "<?php\necho 'Hi ' . $_GET['name'];\n"),
-        (VulnClass::XssStored, "<?php\n$fh = fopen('c.txt', 'a');\nfwrite($fh, $_POST['c']);\n"),
+        (
+            VulnClass::Sqli,
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        ),
+        (
+            VulnClass::XssReflected,
+            "<?php\necho 'Hi ' . $_GET['name'];\n",
+        ),
+        (
+            VulnClass::XssStored,
+            "<?php\n$fh = fopen('c.txt', 'a');\nfwrite($fh, $_POST['c']);\n",
+        ),
         (VulnClass::Rfi, "<?php\ninclude $_GET['module'];\n"),
-        (VulnClass::Lfi, "<?php\ninclude 'mod/' . $_GET['m'] . '.php';\n"),
-        (VulnClass::DirTraversal, "<?php\nunlink('up/' . $_POST['f']);\n"),
+        (
+            VulnClass::Lfi,
+            "<?php\ninclude 'mod/' . $_GET['m'] . '.php';\n",
+        ),
+        (
+            VulnClass::DirTraversal,
+            "<?php\nunlink('up/' . $_POST['f']);\n",
+        ),
         (VulnClass::Scd, "<?php\nreadfile($_GET['doc']);\n"),
         (VulnClass::Osci, "<?php\nsystem('ls ' . $_GET['d']);\n"),
-        (VulnClass::Phpci, "<?php\neval('$v = ' . $_POST['expr'] . ';');\n"),
-        (VulnClass::LdapI, "<?php\nldap_search($c, $b, '(uid=' . $_GET['u'] . ')');\n"),
-        (VulnClass::XpathI, "<?php\nxpath_eval($x, \"//u[n='\" . $_POST['n'] . \"']\");\n"),
-        (VulnClass::NoSqlI, "<?php\n$col->find(array('k' => $_GET['k']));\n"),
-        (VulnClass::CommentSpam, "<?php\nfile_put_contents('c.html', $_POST['body']);\n"),
-        (VulnClass::HeaderI, "<?php\nheader('Location: ' . $_GET['to']);\n"),
-        (VulnClass::EmailI, "<?php\nmail($_POST['to'], 'subj', 'msg');\n"),
-        (VulnClass::SessionFixation, "<?php\nsession_id($_GET['sid']);\n"),
+        (
+            VulnClass::Phpci,
+            "<?php\neval('$v = ' . $_POST['expr'] . ';');\n",
+        ),
+        (
+            VulnClass::LdapI,
+            "<?php\nldap_search($c, $b, '(uid=' . $_GET['u'] . ')');\n",
+        ),
+        (
+            VulnClass::XpathI,
+            "<?php\nxpath_eval($x, \"//u[n='\" . $_POST['n'] . \"']\");\n",
+        ),
+        (
+            VulnClass::NoSqlI,
+            "<?php\n$col->find(array('k' => $_GET['k']));\n",
+        ),
+        (
+            VulnClass::CommentSpam,
+            "<?php\nfile_put_contents('c.html', $_POST['body']);\n",
+        ),
+        (
+            VulnClass::HeaderI,
+            "<?php\nheader('Location: ' . $_GET['to']);\n",
+        ),
+        (
+            VulnClass::EmailI,
+            "<?php\nmail($_POST['to'], 'subj', 'msg');\n",
+        ),
+        (
+            VulnClass::SessionFixation,
+            "<?php\nsession_id($_GET['sid']);\n",
+        ),
     ]
 }
 
@@ -37,7 +76,11 @@ fn wape_detects_all_fifteen_classes() {
                 .iter()
                 .any(|f| f.candidate.class.acronym() == class.acronym()),
             "{class} not detected in:\n{src}\nfound: {:?}",
-            report.findings.iter().map(|f| f.candidate.headline()).collect::<Vec<_>>()
+            report
+                .findings
+                .iter()
+                .map(|f| f.candidate.headline())
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -51,15 +94,15 @@ fn every_class_fix_removes_the_finding() {
         let fixed = tool.fix_file("t.php", src, &report);
         assert!(!fixed.applied.is_empty(), "{class}: no fix applied");
         // re-parse sanity
-        wap::parse(&fixed.fixed_source)
-            .unwrap_or_else(|e| panic!("{class}: fixed source invalid: {e}\n{}", fixed.fixed_source));
+        wap::parse(&fixed.fixed_source).unwrap_or_else(|e| {
+            panic!("{class}: fixed source invalid: {e}\n{}", fixed.fixed_source)
+        });
         // re-analyze with the fix sanitizers registered
         let mut verifier = WapTool::new(ToolConfig::wape_full());
         for (name, classes) in &fixed.sanitizers {
             verifier.catalog_mut().add_user_sanitizer(name, classes);
         }
-        let after =
-            verifier.analyze_sources(&[("t.php".to_string(), fixed.fixed_source.clone())]);
+        let after = verifier.analyze_sources(&[("t.php".to_string(), fixed.fixed_source.clone())]);
         assert!(
             after.findings.is_empty(),
             "{class}: fix did not silence the finding:\n{}",
@@ -120,7 +163,10 @@ mysql_query("SELECT name FROM users WHERE id = $id");
     let r = tool.analyze_sources(&[("r.php".into(), raw.into())]);
     assert_eq!(g.findings.len(), 1);
     assert_eq!(r.findings.len(), 1);
-    assert!(!g.findings[0].is_real(), "guarded flow should be predicted FP");
+    assert!(
+        !g.findings[0].is_real(),
+        "guarded flow should be predicted FP"
+    );
     assert!(r.findings[0].is_real(), "raw flow should be reported real");
 }
 
@@ -143,7 +189,11 @@ fn multi_file_application_analysis() {
     let f = &report.findings[0];
     assert_eq!(f.candidate.class, VulnClass::Sqli);
     // the sink is inside lib/db.php, reached from index.php
-    assert!(f.candidate.path.iter().any(|s| s.what.contains("run_query")));
+    assert!(f
+        .candidate
+        .path
+        .iter()
+        .any(|s| s.what.contains("run_query")));
 }
 
 #[test]

@@ -1,0 +1,101 @@
+//! The runtime's central guarantee: analysis output is bit-identical for
+//! every worker count. A ~100-file corpus is analyzed at jobs = 1, 2, 8
+//! and the full reports (findings *and* their order) must match the
+//! serial walk byte for byte.
+
+use wap::core::cli::render_json;
+use wap::core::{AppReport, ToolConfig, WapTool};
+use wap::corpus::generate_webapp;
+use wap::corpus::specs::vulnerable_webapps;
+
+/// Builds one combined corpus out of several generated applications; the
+/// per-app name prefix keeps file names unique.
+fn corpus_sources() -> Vec<(String, String)> {
+    let mut sources = Vec::new();
+    for (i, spec) in vulnerable_webapps().into_iter().take(6).enumerate() {
+        let app = generate_webapp(&spec, 0.1, 4242u64.wrapping_add(i as u64));
+        for f in &app.files {
+            sources.push((format!("app{i}/{}", f.name), f.source.clone()));
+        }
+    }
+    sources
+}
+
+/// A canonical plain-text rendering of everything the analysis decided
+/// (deliberately not JSON, so the comparison does not depend on a
+/// serializer): per-finding identity, order, verdict, and justification,
+/// plus the aggregate counters.
+fn fingerprint(report: &AppReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}:{}:[{}]:real={}:[{}]\n",
+            f.candidate.file.as_deref().unwrap_or("<input>"),
+            f.candidate.line,
+            f.candidate.class,
+            f.candidate.sink,
+            f.candidate.sources.join(","),
+            f.is_real(),
+            f.prediction.justification.join(","),
+        ));
+    }
+    out.push_str(&format!(
+        "files={} loc={} parse_errors={}\n",
+        report.files_analyzed,
+        report.loc,
+        report.parse_errors.len()
+    ));
+    out
+}
+
+#[test]
+fn findings_are_bit_identical_for_every_job_count() {
+    let sources = corpus_sources();
+    assert!(
+        sources.len() >= 100,
+        "corpus too small: {} files",
+        sources.len()
+    );
+
+    let serial = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let baseline_report = serial.analyze_sources(&sources);
+    assert!(
+        !baseline_report.findings.is_empty(),
+        "corpus must produce findings"
+    );
+    let baseline = fingerprint(&baseline_report);
+    let baseline_json = render_json(&baseline_report);
+
+    for jobs in [2usize, 8] {
+        let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs));
+        let report = tool.analyze_sources(&sources);
+        assert_eq!(
+            baseline,
+            fingerprint(&report),
+            "jobs={jobs} diverged from the serial walk"
+        );
+        assert_eq!(
+            baseline_json,
+            render_json(&report),
+            "jobs={jobs} JSON diverged"
+        );
+    }
+}
+
+#[test]
+fn second_order_pass_is_deterministic_too() {
+    let sources = corpus_sources();
+    let mut config = ToolConfig::wape_full();
+    config.analysis.second_order = true;
+
+    let serial = WapTool::new(config.clone().with_jobs(1));
+    let baseline = fingerprint(&serial.analyze_sources(&sources));
+    for jobs in [2usize, 8] {
+        let tool = WapTool::new(config.clone().with_jobs(jobs));
+        assert_eq!(
+            baseline,
+            fingerprint(&tool.analyze_sources(&sources)),
+            "second-order jobs={jobs} diverged"
+        );
+    }
+}

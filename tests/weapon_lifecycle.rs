@@ -6,7 +6,11 @@ use wap::{ToolConfig, VulnClass, WapTool, Weapon, WeaponConfig};
 #[test]
 fn builtin_weapons_from_json_files() {
     // every built-in weapon survives a disk-format round trip and links
-    for cfg in [WeaponConfig::nosqli(), WeaponConfig::hei(), WeaponConfig::wpsqli()] {
+    for cfg in [
+        WeaponConfig::nosqli(),
+        WeaponConfig::hei(),
+        WeaponConfig::wpsqli(),
+    ] {
         let w = Weapon::generate(cfg).expect("valid");
         let json = w.to_json();
         let reloaded = Weapon::from_json(&json).expect("round trip");
@@ -53,8 +57,11 @@ mail($_POST['rcpt'], 'Welcome', 'body');
 "#;
     let tool = WapTool::new(ToolConfig::wape_full());
     let report = tool.analyze_sources(&[("hei.php".to_string(), src.to_string())]);
-    let classes: Vec<&str> =
-        report.findings.iter().map(|f| f.candidate.class.acronym()).collect();
+    let classes: Vec<&str> = report
+        .findings
+        .iter()
+        .map(|f| f.candidate.class.acronym())
+        .collect();
     assert!(classes.contains(&"HI"));
     assert!(classes.contains(&"EI"));
     // one weapon, one fix for both classes
@@ -82,7 +89,10 @@ fn user_defined_weapon_via_json() {
     let vulnerable = "<?php\npreg_grep('/' . $_GET['pat'] . '/', $rows);\n";
     let report = tool.analyze_sources(&[("re.php".to_string(), vulnerable.to_string())]);
     assert_eq!(report.findings.len(), 1);
-    assert_eq!(report.findings[0].candidate.class, VulnClass::Custom("REGEXI".into()));
+    assert_eq!(
+        report.findings[0].candidate.class,
+        VulnClass::Custom("REGEXI".into())
+    );
 
     // the registered sanitizer silences the safe variant
     let safe = "<?php\npreg_grep('/' . preg_quote($_GET['pat']) . '/', $rows);\n";
@@ -114,9 +124,18 @@ fn weapon_entry_points_taint_function_returns() {
 #[test]
 fn invalid_weapons_are_rejected_with_reasons() {
     for (json, needle) in [
-        (r#"{"name":"","class_name":"X","sinks":[{"name":"f"}],"fix":{"template":"user_validation","malicious":["'"]}}"#, "name"),
-        (r#"{"name":"x","class_name":"X","sinks":[],"fix":{"template":"user_validation","malicious":["'"]}}"#, "sink"),
-        (r#"{"name":"x","class_name":"X","sinks":[{"name":"f"}],"fix":{"template":"user_validation","malicious":[]}}"#, "malicious"),
+        (
+            r#"{"name":"","class_name":"X","sinks":[{"name":"f"}],"fix":{"template":"user_validation","malicious":["'"]}}"#,
+            "name",
+        ),
+        (
+            r#"{"name":"x","class_name":"X","sinks":[],"fix":{"template":"user_validation","malicious":["'"]}}"#,
+            "sink",
+        ),
+        (
+            r#"{"name":"x","class_name":"X","sinks":[{"name":"f"}],"fix":{"template":"user_validation","malicious":[]}}"#,
+            "malicious",
+        ),
     ] {
         let err = Weapon::from_json(json).unwrap_err();
         assert!(
@@ -157,7 +176,6 @@ if (isset($_GET['n'])) {
     assert_eq!(r_without.findings.len(), 1);
     // without the mapping the candidate carries fewer symptoms
     assert!(
-        r_with.findings[0].symptoms.present.len()
-            > r_without.findings[0].symptoms.present.len()
+        r_with.findings[0].symptoms.present.len() > r_without.findings[0].symptoms.present.len()
     );
 }
