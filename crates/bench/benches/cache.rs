@@ -1,0 +1,75 @@
+//! Cold vs warm analysis through the persistent incremental cache.
+//!
+//! The contract under test: a fully warm run re-parses and re-analyzes
+//! nothing, so its cost is dominated by hashing and cache lookups. The
+//! acceptance bar for the cache subsystem is warm throughput at least
+//! 3x cold on the same corpus (in practice it is far higher).
+//!
+//! Throughput is `Elements` = lines of code, so Criterion prints LoC/s
+//! and the cold/warm comparison reads as a bandwidth ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wap_core::{ToolConfig, WapTool};
+use wap_corpus::generate_webapp;
+use wap_corpus::specs::vulnerable_webapps;
+
+/// One mid-sized application plus a multi-app slice of the corpus, so the
+/// ratio is visible both per app and at fleet scale.
+fn corpora() -> Vec<(&'static str, Vec<(String, String)>)> {
+    let specs = vulnerable_webapps();
+    let single = {
+        let app = generate_webapp(&specs[7], 0.05, 42);
+        app.files
+            .iter()
+            .map(|f| (f.name.clone(), f.source.clone()))
+            .collect::<Vec<_>>()
+    };
+    let mut fleet = Vec::new();
+    for (i, spec) in specs.iter().take(5).enumerate() {
+        let app = generate_webapp(spec, 0.05, 1042u64.wrapping_add(i as u64));
+        for f in &app.files {
+            fleet.push((format!("app{i}/{}", f.name), f.source.clone()));
+        }
+    }
+    vec![("minutes", single), ("fleet5", fleet)]
+}
+
+fn loc(files: &[(String, String)]) -> u64 {
+    files.iter().map(|(_, s)| s.lines().count() as u64).sum()
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(10);
+    for (label, files) in corpora() {
+        group.throughput(Throughput::Elements(loc(&files)));
+
+        // cold: a fresh uncached tool every iteration
+        group.bench_with_input(BenchmarkId::new("cold", label), &files, |b, files| {
+            b.iter(|| {
+                WapTool::new(ToolConfig::wape_full())
+                    .analyze_sources(files)
+                    .findings
+                    .len()
+            })
+        });
+
+        // warm: one tool whose in-memory cache was populated up front;
+        // every timed run is a full hit
+        let mut tool = WapTool::new(ToolConfig::wape_full());
+        tool.enable_memory_cache();
+        let primed = tool.analyze_sources(&files);
+        group.bench_with_input(BenchmarkId::new("warm", label), &files, |b, files| {
+            b.iter(|| {
+                let report = tool.analyze_sources(files);
+                assert_eq!(report.cache.misses, 0, "warm run missed");
+                report.findings.len()
+            })
+        });
+        assert!(primed.cache.stored > 0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! CI performance-regression gate.
+//!
+//! Runs a fixed-seed corpus sweep through the full pipeline twice — once
+//! cold (no cache) and once warm (pre-populated incremental cache) — and
+//! reports throughput in lines of code per second. Results are written to
+//! `BENCH_ci.json`; gate mode compares them against the committed
+//! baseline and exits non-zero when throughput regressed by more than
+//! the tolerance (default 15%, override with `WAP_BENCH_TOLERANCE`).
+//!
+//! ```text
+//! ci_bench                      # measure, write BENCH_ci.json, gate vs baseline
+//! ci_bench --write-baseline     # measure and (re)write the baseline instead
+//! ci_bench --baseline <path>    # baseline location  (default BENCH_baseline.json)
+//! ci_bench --out <path>         # result location    (default BENCH_ci.json)
+//! ```
+//!
+//! Deliberately `Instant`-based with hand-formatted JSON: the gate must
+//! not depend on the Criterion harness or a serializer, so it runs in
+//! the offline scratch workspace exactly as it runs in CI.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wap_core::{ToolConfig, WapTool};
+use wap_corpus::generate_webapp;
+use wap_corpus::specs::vulnerable_webapps;
+
+const SCHEMA: &str = "wap-ci-bench-v1";
+const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+const DEFAULT_OUT: &str = "BENCH_ci.json";
+const DEFAULT_TOLERANCE: f64 = 0.15;
+/// The cache subsystem's acceptance bar, machine-independent: a fully
+/// warm run must be at least this many times faster than a cold run.
+const MIN_WARM_SPEEDUP: f64 = 3.0;
+const REPS: usize = 3;
+
+/// The fixed-seed sweep corpus: six generated applications, unique file
+/// names via a per-app prefix.
+fn corpus() -> Vec<(String, String)> {
+    let mut sources = Vec::new();
+    for (i, spec) in vulnerable_webapps().into_iter().take(6).enumerate() {
+        let app = generate_webapp(&spec, 0.05, 7000u64.wrapping_add(i as u64));
+        for f in &app.files {
+            sources.push((format!("app{i}/{}", f.name), f.source.clone()));
+        }
+    }
+    sources
+}
+
+/// Best-of-N wall time in seconds (best-of damps scheduler noise, which
+/// only ever slows a run down).
+fn best_secs(reps: usize, mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut findings = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        findings = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, findings)
+}
+
+struct Measurement {
+    total_loc: usize,
+    findings: usize,
+    cold_loc_per_s: f64,
+    warm_loc_per_s: f64,
+}
+
+impl Measurement {
+    fn warm_speedup(&self) -> f64 {
+        self.warm_loc_per_s / self.cold_loc_per_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2}\n}}\n",
+            SCHEMA,
+            self.total_loc,
+            self.findings,
+            self.cold_loc_per_s,
+            self.warm_loc_per_s,
+            self.warm_speedup()
+        )
+    }
+}
+
+fn measure() -> Measurement {
+    let sources = corpus();
+    let total_loc: usize = sources.iter().map(|(_, s)| s.lines().count()).sum();
+
+    let (cold_secs, findings) = best_secs(REPS, || {
+        WapTool::new(ToolConfig::wape_full().with_jobs(1))
+            .analyze_sources(&sources)
+            .findings
+            .len()
+    });
+
+    let mut tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    tool.enable_memory_cache();
+    tool.analyze_sources(&sources); // prime
+    let (warm_secs, warm_findings) = best_secs(REPS, || {
+        let report = tool.analyze_sources(&sources);
+        assert_eq!(report.cache.misses, 0, "warm sweep must not miss");
+        report.findings.len()
+    });
+    assert_eq!(findings, warm_findings, "cold and warm findings diverged");
+
+    Measurement {
+        total_loc,
+        findings,
+        cold_loc_per_s: total_loc as f64 / cold_secs,
+        warm_loc_per_s: total_loc as f64 / warm_secs,
+    }
+}
+
+/// Minimal extractor for our own flat JSON: the f64 following `"key":`.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn tolerance() -> f64 {
+    match std::env::var("WAP_BENCH_TOLERANCE") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|_| {
+            eprintln!("ci_bench: ignoring unparsable WAP_BENCH_TOLERANCE={raw:?}");
+            DEFAULT_TOLERANCE
+        }),
+        Err(_) => DEFAULT_TOLERANCE,
+    }
+}
+
+fn gate(measured: &Measurement, baseline_path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(baseline_path).map_err(|e| {
+        format!("cannot read baseline {baseline_path}: {e}\nrun `ci_bench --write-baseline` and commit the result")
+    })?;
+    let tol = tolerance();
+    let mut failures = Vec::new();
+    for (name, current) in [
+        ("cold_loc_per_s", measured.cold_loc_per_s),
+        ("warm_loc_per_s", measured.warm_loc_per_s),
+    ] {
+        let base = json_number(&raw, name)
+            .ok_or_else(|| format!("baseline {baseline_path} has no \"{name}\""))?;
+        let floor = base * (1.0 - tol);
+        let verdict = if current < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "ci_bench: {name}: {current:.1} vs baseline {base:.1} (floor {floor:.1}, tolerance {:.0}%) — {verdict}",
+            tol * 100.0
+        );
+        if current < floor {
+            failures.push(format!(
+                "{name} regressed: {current:.1} < {floor:.1} ({base:.1} - {:.0}%)",
+                tol * 100.0
+            ));
+        }
+    }
+    let speedup = measured.warm_speedup();
+    println!("ci_bench: warm_speedup: {speedup:.2}x (floor {MIN_WARM_SPEEDUP:.1}x)");
+    if speedup < MIN_WARM_SPEEDUP {
+        failures.push(format!(
+            "warm run only {speedup:.2}x faster than cold (need >= {MIN_WARM_SPEEDUP:.1}x)"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut write_baseline = false;
+    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    let mut out_path = DEFAULT_OUT.to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = p,
+                None => {
+                    eprintln!("ci_bench: --baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("ci_bench: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ci_bench: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let measured = measure();
+    println!(
+        "ci_bench: {} LoC, {} findings, cold {:.1} LoC/s, warm {:.1} LoC/s ({:.2}x)",
+        measured.total_loc,
+        measured.findings,
+        measured.cold_loc_per_s,
+        measured.warm_loc_per_s,
+        measured.warm_speedup()
+    );
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, measured.to_json()) {
+            eprintln!("ci_bench: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("ci_bench: baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Err(e) = std::fs::write(&out_path, measured.to_json()) {
+        eprintln!("ci_bench: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("ci_bench: results written to {out_path}");
+
+    match gate(&measured, &baseline_path) {
+        Ok(()) => {
+            println!("ci_bench: gate PASSED");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("ci_bench: gate FAILED\n{report}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! A tiny self-contained binary codec for cache entries.
+//!
+//! Artifacts crossing the cache boundary (function summaries, candidates,
+//! findings) are serialized with a length-prefixed little-endian format:
+//! fixed-width integers, `u64`-length-prefixed byte strings, and
+//! `u64`-count-prefixed sequences. There is no schema negotiation — the
+//! store versions whole entries, and a version bump invalidates everything.
+//!
+//! Decoding is **total**: every read returns a [`Result`] and truncated or
+//! garbage input produces [`CodecError`], never a panic. The cache treats
+//! any decode error as a corrupt entry to discard.
+//!
+//! ```
+//! use wap_cache::codec::{Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! w.str("hello");
+//! w.u64(42);
+//! w.bool(true);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = Reader::new(&bytes);
+//! assert_eq!(r.str().unwrap(), "hello");
+//! assert_eq!(r.u64().unwrap(), 42);
+//! assert!(r.bool().unwrap());
+//! assert!(r.is_empty());
+//! ```
+
+use std::fmt;
+
+/// Decoding failure: the input is truncated, malformed, or inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decoding result.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Appends values to a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` by bit pattern (exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes an `Option<&str>`: presence flag, then the string.
+    pub fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.bool(true);
+                self.str(s);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a sequence count (pair with `Reader::seq`).
+    pub fn seq(&mut self, count: usize) {
+        self.u64(count as u64);
+    }
+}
+
+/// Hard ceiling on decoded sequence lengths and byte-string lengths: any
+/// count beyond this is corrupt by definition (it would exceed the entry
+/// size the store accepts), so the reader bails out instead of attempting
+/// a huge allocation from attacker- or corruption-controlled lengths.
+const MAX_LEN: u64 = 1 << 32;
+
+/// Reads values back from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CodecError("length overflow".into()))?;
+        if end > self.buf.len() {
+            return Err(CodecError(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` (written as `u64`).
+    pub fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError(format!("usize out of range: {v}")))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError(format!("invalid bool byte {b:#x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u64()?;
+        if len > MAX_LEN {
+            return Err(CodecError(format!("implausible byte length {len}")));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|e| CodecError(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads an `Option<String>` written by [`Writer::opt_str`].
+    pub fn opt_str(&mut self) -> Result<Option<String>> {
+        if self.bool()? {
+            Ok(Some(self.str()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a sequence count written by [`Writer::seq`]. The count is
+    /// sanity-bounded both by `MAX_LEN` and by the bytes actually left
+    /// (every element needs at least one byte), so corrupt counts fail
+    /// fast instead of looping or allocating.
+    pub fn seq(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        if n > MAX_LEN || n as usize > self.remaining().saturating_add(1) * 64 {
+            return Err(CodecError(format!("implausible sequence length {n}")));
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(12345);
+        w.f64(-0.5);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.bool(false);
+        w.bytes(b"\x00\x01\x02");
+        w.str("héllo");
+        w.opt_str(Some("x"));
+        w.opt_str(None);
+        w.seq(3);
+
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"\x00\x01\x02");
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_str().unwrap().as_deref(), Some("x"));
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.seq().unwrap(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors_not_panics() {
+        let mut w = Writer::new();
+        w.str("some string payload");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.str().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn garbage_lengths_are_rejected() {
+        // a u64 length prefix of u64::MAX must not trigger a huge allocation
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).bytes().is_err());
+        assert!(Reader::new(&bytes).seq().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_corrupt() {
+        assert!(Reader::new(&[9]).bool().is_err());
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).str().is_err());
+    }
+
+    #[test]
+    fn empty_reader_reports_empty() {
+        let r = Reader::new(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.remaining(), 0);
+    }
+}

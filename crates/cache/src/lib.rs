@@ -1,0 +1,32 @@
+//! # wap-cache — persistent incremental cache for the WAPe pipeline
+//!
+//! WAPe is meant to run repeatedly over evolving PHP codebases, yet the
+//! pipeline recomputes lexing, parsing, function summaries, taint paths,
+//! and attribute extraction from scratch each time. This crate provides
+//! the storage half of the incremental story:
+//!
+//! - [`codec`] — a total (never-panicking) length-prefixed binary codec
+//!   for the artifacts crossing the cache boundary;
+//! - [`store`] — a content-addressed, versioned, checksummed on-disk
+//!   store with an in-memory overlay and thread-safe hit/miss counters.
+//!
+//! What to cache and when a cached entry is still valid is decided by the
+//! analysis crates (`wap-taint` records dependencies, `wap-core`
+//! validates them); this crate only guarantees that bytes come back
+//! exactly as written or not at all.
+//!
+//! ```
+//! use wap_cache::CacheStore;
+//!
+//! let store = CacheStore::in_memory();
+//! store.put("some-content-key", b"summary bytes".to_vec());
+//! assert_eq!(&**store.get("some-content-key").unwrap(), b"summary bytes");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod store;
+
+pub use codec::{CodecError, Reader, Writer};
+pub use store::{CacheStats, CacheStatsSnapshot, CacheStore, ENTRY_FORMAT_VERSION};

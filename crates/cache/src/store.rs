@@ -1,0 +1,448 @@
+//! Versioned, checksummed, content-addressed on-disk store with an
+//! in-memory overlay.
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! <cache-dir>/
+//!   v1/                 # bumped when ENTRY_FORMAT_VERSION changes
+//!     3f/               # first two hex chars of the key (fan-out)
+//!       3fa9...e1       # one entry file per key
+//! ```
+//!
+//! Each entry file is framed as:
+//!
+//! ```text
+//! magic "WAPC" | format version u32 | payload blake2s-256 (32 bytes) | payload
+//! ```
+//!
+//! [`CacheStore::get`] verifies the frame and checksum and returns `None`
+//! for anything that does not check out — truncated files, garbage,
+//! entries written by an older format — bumping the `corrupt_discarded`
+//! counter (version mismatches count as `invalidations`). It never panics
+//! and never returns unverified bytes.
+//!
+//! Writes go through a temp file + atomic rename so a crashed or
+//! concurrent run can at worst leave a stale temp file, never a torn
+//! entry. The in-memory overlay means the second lookup of the same key
+//! within one process (e.g. a corpus with duplicated include files) is
+//! served without touching disk.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wap_php::Blake2s;
+
+/// Magic bytes identifying a cache entry file.
+const MAGIC: &[u8; 4] = b"WAPC";
+
+/// Bumped whenever the serialized shape of any cached artifact changes;
+/// old entries are then discarded on read.
+pub const ENTRY_FORMAT_VERSION: u32 = 1;
+
+/// Directory name under the cache root for the current format generation.
+const GENERATION_DIR: &str = "v1";
+
+/// Counters describing cache behaviour over the lifetime of a store.
+/// All counters are monotonic and thread-safe; the pipeline copies them
+/// into the report at the end of a run.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    corrupt_discarded: AtomicU64,
+    stored: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`], suitable for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Entries served from memory or disk with a valid checksum.
+    pub hits: u64,
+    /// Keys that had no entry.
+    pub misses: u64,
+    /// Entries found but rejected because their recorded dependencies or
+    /// format generation no longer hold.
+    pub invalidations: u64,
+    /// Entries discarded as truncated/garbage/unreadable.
+    pub corrupt_discarded: u64,
+    /// Entries written this run.
+    pub stored: u64,
+}
+
+impl CacheStats {
+    /// Records a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an invalidation (entry present but no longer applicable).
+    pub fn invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a corrupt entry discard.
+    pub fn corrupt(&self) {
+        self.corrupt_discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a store.
+    pub fn store(&self) {
+        self.stored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            corrupt_discarded: self.corrupt_discarded.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The persistent cache: disk entries under a versioned directory plus an
+/// in-process overlay. Cloning is cheap (`Arc` inside) and clones share
+/// the overlay and counters, so one store can be handed to every worker.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    inner: Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    /// Root directory; `None` for a purely in-memory store.
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    stats: CacheStats,
+}
+
+impl CacheStatsSnapshot {
+    /// The per-run delta between this snapshot and an `earlier` one taken
+    /// from the same store. Stores are long-lived (one per tool), so a
+    /// report wants the counters accumulated during *its* run only.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            corrupt_discarded: self.corrupt_discarded.saturating_sub(earlier.corrupt_discarded),
+            stored: self.stored.saturating_sub(earlier.stored),
+        }
+    }
+}
+
+impl CacheStore {
+    /// Opens (and lazily creates) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        CacheStore {
+            inner: Arc::new(StoreInner {
+                dir: Some(dir.into()),
+                mem: Mutex::new(HashMap::new()),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// A store with no disk backing: entries live only for this process.
+    pub fn in_memory() -> Self {
+        CacheStore {
+            inner: Arc::new(StoreInner {
+                dir: None,
+                mem: Mutex::new(HashMap::new()),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.inner.stats
+    }
+
+    /// The on-disk root, if this store is persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.dir.as_deref()
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        let dir = self.inner.dir.as_ref()?;
+        // keys are 64-char hex digests; anything shorter still fans out safely
+        let (fan, _) = key.split_at(key.len().min(2));
+        Some(dir.join(GENERATION_DIR).join(fan).join(key))
+    }
+
+    /// Looks up `key`, returning the verified payload or `None`.
+    ///
+    /// Misses, corrupt entries, and format-version mismatches all return
+    /// `None` and bump the corresponding counter; the caller re-analyzes
+    /// and overwrites.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        if let Some(hit) = self.inner.mem.lock().unwrap().get(key).cloned() {
+            self.inner.stats.hit();
+            return Some(hit);
+        }
+        let Some(path) = self.entry_path(key) else {
+            self.inner.stats.miss();
+            return None;
+        };
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(_) => {
+                self.inner.stats.miss();
+                return None;
+            }
+        };
+        match verify_frame(&raw) {
+            FrameCheck::Ok(payload) => {
+                let payload = Arc::new(payload.to_vec());
+                self.inner
+                    .mem
+                    .lock()
+                    .unwrap()
+                    .insert(key.to_string(), payload.clone());
+                self.inner.stats.hit();
+                Some(payload)
+            }
+            FrameCheck::WrongVersion => {
+                self.inner.stats.invalidation();
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+            FrameCheck::Corrupt => {
+                self.inner.stats.corrupt();
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, in memory and (when persistent) on
+    /// disk via temp file + rename. Disk failures are swallowed — the
+    /// cache is an optimization, never a correctness dependency — but the
+    /// in-memory layer always records the entry.
+    pub fn put(&self, key: &str, payload: Vec<u8>) {
+        let payload = Arc::new(payload);
+        self.inner
+            .mem
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), payload.clone());
+        self.inner.stats.store();
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let Some(parent) = path.parent() else { return };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let framed = frame(&payload);
+        // unique temp name per thread so concurrent writers never collide;
+        // rename is atomic within one filesystem
+        let tmp = parent.join(format!(
+            ".tmp-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        if std::fs::write(&tmp, &framed).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    /// Discards `key` as corrupt after the fact.
+    ///
+    /// The frame checksum only proves the bytes survived disk; a payload
+    /// can still fail artifact-level decoding (e.g. written by a buggy or
+    /// foreign producer). Callers that hit such a payload report it here so
+    /// the entry is removed from memory and disk and counted as corrupt,
+    /// then recompute as if it were a miss.
+    pub fn reject(&self, key: &str) {
+        self.inner.mem.lock().unwrap().remove(key);
+        if let Some(path) = self.entry_path(key) {
+            let _ = std::fs::remove_file(&path);
+        }
+        self.inner.stats.corrupt();
+    }
+
+    /// Drops the in-memory overlay (used by tests to force disk reads).
+    pub fn clear_memory(&self) {
+        self.inner.mem.lock().unwrap().clear();
+    }
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 + 32 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&ENTRY_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&Blake2s::hash(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+enum FrameCheck<'a> {
+    Ok(&'a [u8]),
+    WrongVersion,
+    Corrupt,
+}
+
+fn verify_frame(raw: &[u8]) -> FrameCheck<'_> {
+    if raw.len() < 4 + 4 + 32 || &raw[..4] != MAGIC {
+        return FrameCheck::Corrupt;
+    }
+    let version = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+    if version != ENTRY_FORMAT_VERSION {
+        return FrameCheck::WrongVersion;
+    }
+    let (checksum, payload) = raw[8..].split_at(32);
+    if Blake2s::hash(payload) != checksum {
+        return FrameCheck::Corrupt;
+    }
+    FrameCheck::Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wap-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let store = CacheStore::open(&dir);
+        store.put("a".repeat(64).as_str(), b"payload".to_vec());
+        store.clear_memory();
+        let got = store.get("a".repeat(64).as_str()).expect("disk hit");
+        assert_eq!(&**got, b"payload");
+        let s = store.stats().snapshot();
+        assert_eq!((s.hits, s.stored), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_layer_serves_repeat_lookups() {
+        let store = CacheStore::in_memory();
+        assert!(store.get("k").is_none());
+        store.put("k", vec![1, 2, 3]);
+        assert_eq!(&**store.get("k").unwrap(), &[1, 2, 3]);
+        let s = store.stats().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn truncated_entry_discarded_without_panic() {
+        let dir = temp_dir("truncated");
+        let store = CacheStore::open(&dir);
+        let key = "b".repeat(64);
+        store.put(&key, b"some payload worth caching".to_vec());
+        let path = store.entry_path(&key).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 3, 7, 20, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            store.clear_memory();
+            assert!(store.get(&key).is_none(), "cut at {cut}");
+            assert!(!path.exists(), "corrupt entry should be removed");
+            // restore for the next cut
+            std::fs::write(&path, &full).unwrap();
+        }
+        assert!(store.stats().snapshot().corrupt_discarded >= 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_entry_discarded() {
+        let dir = temp_dir("garbage");
+        let store = CacheStore::open(&dir);
+        let key = "c".repeat(64);
+        store.put(&key, b"x".to_vec());
+        let path = store.entry_path(&key).unwrap();
+        std::fs::write(&path, b"totally not a cache entry at all").unwrap();
+        store.clear_memory();
+        assert!(store.get(&key).is_none());
+        assert_eq!(store.stats().snapshot().corrupt_discarded, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let dir = temp_dir("bitflip");
+        let store = CacheStore::open(&dir);
+        let key = "d".repeat(64);
+        store.put(&key, b"sensitive cached findings".to_vec());
+        let path = store.entry_path(&key).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        store.clear_memory();
+        assert!(store.get(&key).is_none());
+        assert_eq!(store.stats().snapshot().corrupt_discarded, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn elder_version_entry_invalidated() {
+        let dir = temp_dir("version");
+        let store = CacheStore::open(&dir);
+        let key = "e".repeat(64);
+        store.put(&key, b"old world".to_vec());
+        let path = store.entry_path(&key).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        // rewrite the version field to an older generation, fix up checksum
+        raw[4..8].copy_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        store.clear_memory();
+        assert!(store.get(&key).is_none());
+        let s = store.stats().snapshot();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.corrupt_discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reject_removes_entry_and_counts_corrupt() {
+        let dir = temp_dir("reject");
+        let store = CacheStore::open(&dir);
+        let key = "f".repeat(64);
+        store.put(&key, b"decodes at the frame level, not above".to_vec());
+        let before = store.stats().snapshot();
+        store.reject(&key);
+        assert!(store.get(&key).is_none(), "rejected entry must be gone");
+        let delta = store.stats().snapshot().since(&before);
+        assert_eq!(delta.corrupt_discarded, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clones_share_memory_and_stats() {
+        let a = CacheStore::in_memory();
+        let b = a.clone();
+        a.put("k", vec![9]);
+        assert_eq!(&**b.get("k").unwrap(), &[9]);
+        assert_eq!(b.stats().snapshot().hits, 1);
+        assert_eq!(a.stats().snapshot().hits, 1);
+    }
+}

@@ -59,9 +59,11 @@ impl Catalog {
     /// already linked — the configuration used for the evaluation.
     pub fn wape_full() -> Self {
         let mut c = Catalog::wape();
-        c.add_weapon(WeaponConfig::nosqli());
-        c.add_weapon(WeaponConfig::hei());
-        c.add_weapon(WeaponConfig::wpsqli());
+        c.add_weapons(vec![
+            WeaponConfig::nosqli(),
+            WeaponConfig::hei(),
+            WeaponConfig::wpsqli(),
+        ]);
         c
     }
 
@@ -214,8 +216,23 @@ impl Catalog {
 
     // ---- mutation ----
 
+    /// Links a batch of weapons in sorted-name order, so the resulting
+    /// catalog (and therefore its fingerprint and any report enumerating
+    /// weapons) is independent of the order the configurations were
+    /// discovered in — e.g. directory iteration order of `--weapon` files.
+    pub fn add_weapons(&mut self, mut weapons: Vec<WeaponConfig>) {
+        weapons.sort_by(|a, b| a.name.cmp(&b.name));
+        for w in weapons {
+            self.add_weapon(w);
+        }
+    }
+
     /// Links a weapon into the catalog: enables its class(es), adds its
     /// sinks, sanitizers, entry points, and dynamic symptoms.
+    ///
+    /// The linked-weapon list is kept sorted by name; when loading several
+    /// weapons at once prefer [`Catalog::add_weapons`], which also makes
+    /// the *contribution* order (sinks, sanitizers) canonical.
     pub fn add_weapon(&mut self, weapon: WeaponConfig) {
         let default_class = weapon.class();
         self.classes.insert(default_class.clone());
@@ -261,7 +278,10 @@ impl Catalog {
         }
         self.dynamic_symptoms
             .extend(weapon.dynamic_symptoms.iter().cloned());
-        self.weapons.push(weapon);
+        let at = self
+            .weapons
+            .partition_point(|w| w.name.as_str() <= weapon.name.as_str());
+        self.weapons.insert(at, weapon);
     }
 
     /// Adds a user-defined sanitization function for specific classes — the
@@ -324,9 +344,30 @@ impl Catalog {
         &self.dynamic_symptoms
     }
 
-    /// Linked weapons.
+    /// Linked weapons, always in sorted-name order.
     pub fn weapons(&self) -> &[WeaponConfig] {
         &self.weapons
+    }
+
+    /// A canonical string covering every piece of catalog state that can
+    /// influence analysis results: classes, entry points, sinks,
+    /// sanitizers, dynamic symptoms, and linked weapons. The incremental
+    /// cache hashes this into its keys, so editing a weapon or adding a
+    /// sanitizer invalidates exactly the runs configured with it.
+    ///
+    /// Two catalogs with equal state produce equal material; [`Catalog`]
+    /// construction goes through [`Catalog::add_weapons`]' sorted linking,
+    /// so the material does not depend on configuration discovery order.
+    pub fn fingerprint_material(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "classes:{:?};", self.classes);
+        let _ = write!(s, "entry_points:{:?};", self.entry_points);
+        let _ = write!(s, "sinks:{:?};", self.sinks);
+        let _ = write!(s, "sanitizers:{:?};", self.sanitizers);
+        let _ = write!(s, "dynamic_symptoms:{:?};", self.dynamic_symptoms);
+        let _ = write!(s, "weapons:{:?};", self.weapons);
+        s
     }
 
     /// Whether a superglobal name (e.g. `_GET`) is an entry point.
@@ -529,6 +570,54 @@ mod tests {
                 "ldap_search"
             ]
         );
+    }
+
+    #[test]
+    fn weapons_enumerate_in_sorted_name_order() {
+        let c = Catalog::wape_full();
+        let names: Vec<_> = c.weapons().iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["hei", "nosqli", "wpsqli"]);
+
+        // single-weapon linking keeps the list sorted too
+        let mut c = Catalog::wape();
+        c.add_weapon(WeaponConfig::wpsqli());
+        c.add_weapon(WeaponConfig::nosqli());
+        c.add_weapon(WeaponConfig::hei());
+        let names: Vec<_> = c.weapons().iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["hei", "nosqli", "wpsqli"]);
+    }
+
+    #[test]
+    fn fingerprint_independent_of_weapon_discovery_order() {
+        let mut a = Catalog::wape();
+        a.add_weapons(vec![
+            WeaponConfig::nosqli(),
+            WeaponConfig::hei(),
+            WeaponConfig::wpsqli(),
+        ]);
+        let mut b = Catalog::wape();
+        b.add_weapons(vec![
+            WeaponConfig::wpsqli(),
+            WeaponConfig::hei(),
+            WeaponConfig::nosqli(),
+        ]);
+        assert_eq!(a.fingerprint_material(), b.fingerprint_material());
+        assert_eq!(a.fingerprint_material(), Catalog::wape_full().fingerprint_material());
+    }
+
+    #[test]
+    fn fingerprint_changes_when_catalog_changes() {
+        let base = Catalog::wape().fingerprint_material();
+        assert_ne!(base, Catalog::wap_v21().fingerprint_material());
+        assert_ne!(base, Catalog::wape_full().fingerprint_material());
+
+        let mut edited = Catalog::wape();
+        edited.add_user_sanitizer("escape", &[VulnClass::Sqli]);
+        assert_ne!(base, edited.fingerprint_material());
+
+        let mut retained = Catalog::wape();
+        retained.retain_classes(&[VulnClass::Sqli]);
+        assert_ne!(base, retained.fingerprint_material());
     }
 
     #[test]

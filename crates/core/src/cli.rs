@@ -34,8 +34,20 @@ pub struct CliOptions {
     /// back to the `WAP_JOBS` environment variable, then to the number of
     /// available cores.
     pub jobs: Option<usize>,
+    /// Root directory of the persistent incremental cache (`--cache-dir`,
+    /// or `--cache` for the default location).
+    pub cache_dir: Option<PathBuf>,
     /// Show help.
     pub help: bool,
+}
+
+/// Default cache location when `--cache` is given without a directory:
+/// the `WAP_CACHE_DIR` environment variable, then `.wap-cache/`.
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("WAP_CACHE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(".wap-cache"),
+    }
 }
 
 /// The help text.
@@ -57,9 +69,13 @@ FLAGS:
     --weapon <file.json>  link an additional weapon configuration
     --sanitizer name:CLASS[,CLASS]   register a user sanitization function
     --jobs <N>            worker threads (default: WAP_JOBS env, then all cores)
+    --cache               enable the incremental cache at WAP_CACHE_DIR or .wap-cache/
+    --cache-dir <DIR>     enable the incremental cache at DIR
     --help                show this message
 
 Findings are identical for every --jobs value; only wall-clock time changes.
+With --cache, warm runs re-analyze only changed files — findings stay
+bit-identical to a cold run.
 ";
 
 /// Parses command-line arguments (no external crates; the tool only needs
@@ -92,6 +108,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     return Err("--jobs must be at least 1".to_string());
                 }
                 opts.jobs = Some(n);
+            }
+            "--cache" => {
+                if opts.cache_dir.is_none() {
+                    opts.cache_dir = Some(default_cache_dir());
+                }
+            }
+            "--cache-dir" => {
+                let d = it.next().ok_or("--cache-dir needs a directory")?;
+                opts.cache_dir = Some(PathBuf::from(d));
             }
             "--sanitizer" => {
                 let v = it.next().ok_or("--sanitizer needs name:CLASSES")?;
@@ -160,10 +185,18 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + S
         ToolConfig::wape_full()
     };
     config.jobs = opts.jobs.or_else(wap_runtime::jobs_from_env);
+    config.cache_dir = opts.cache_dir.clone();
     let mut tool = WapTool::new(config);
+    // link in sorted-name order so the catalog (and its fingerprint) does
+    // not depend on the order weapon files were listed or discovered
+    let mut weapons = Vec::with_capacity(opts.weapon_files.len());
     for wf in &opts.weapon_files {
         let json = std::fs::read_to_string(wf)?;
-        tool.add_weapon(Weapon::from_json(&json)?);
+        weapons.push(Weapon::from_json(&json)?);
+    }
+    weapons.sort_by(|a, b| a.name().cmp(b.name()));
+    for w in weapons {
+        tool.add_weapon(w);
     }
     for (name, classes) in &opts.user_sanitizers {
         let resolved: Vec<VulnClass> = classes
@@ -525,9 +558,57 @@ mod tests {
 
     #[test]
     fn usage_mentions_the_paper_flags() {
-        for flag in ["-nosqli", "-hei", "-wpsqli", "--v21", "--fix"] {
+        for flag in ["-nosqli", "-hei", "-wpsqli", "--v21", "--fix", "--cache"] {
             assert!(USAGE.contains(flag), "usage missing {flag}");
         }
+    }
+
+    #[test]
+    fn parse_cache_flags() {
+        let o = parse_args(args(&["--cache-dir", "/tmp/wc", "f.php"])).unwrap();
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/wc")));
+        assert!(parse_args(args(&["--cache-dir"])).is_err());
+        // --cache picks the default location but never overrides an
+        // explicit --cache-dir
+        let o = parse_args(args(&["--cache", "f.php"])).unwrap();
+        assert!(o.cache_dir.is_some());
+        let o = parse_args(args(&["--cache-dir", "/tmp/wc", "--cache", "f.php"])).unwrap();
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/wc")));
+        // no cache flag: disabled
+        let o = parse_args(args(&["f.php"])).unwrap();
+        assert_eq!(o.cache_dir, None);
+    }
+
+    #[test]
+    fn cache_dir_reaches_tool_and_warm_run_matches() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let cache_dir = dir.join("cache");
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            cache_dir: Some(cache_dir.clone()),
+            ..Default::default()
+        };
+        let tool = build_tool(&opts).unwrap();
+        assert_eq!(tool.config().cache_dir, Some(cache_dir.clone()));
+        let (code_cold, out_cold) = run(&opts).unwrap();
+        assert!(cache_dir.exists(), "cache directory created on first run");
+        let (code_warm, out_warm) = run(&opts).unwrap();
+        assert_eq!(code_cold, code_warm);
+        // text output (modulo the timing line) must match exactly
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains(" ms)"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&out_cold), strip(&out_warm));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -1,0 +1,663 @@
+//! Incremental analysis: the cached counterpart of
+//! [`WapTool::analyze_sources`].
+//!
+//! A warm run must produce findings **bit-identical** to a cold run at any
+//! job count. The module achieves that by caching exactly the artifacts the
+//! cold pipeline joins on, never intermediate heuristics:
+//!
+//! - **decl entries** — keyed by file *content* only: the declared function
+//!   names and per-function fingerprints (or the parse error). These let a
+//!   warm run know every file's contribution to the global function index
+//!   without parsing anything.
+//! - **pass entries** — one per (file, pass) holding the file's
+//!   [`PassArtifacts`]: its canonical function summaries and phase-A/B
+//!   candidates. Keyed by the file content, the *functions digest* (every
+//!   declaration in the whole application, so a change to any callee
+//!   invalidates every file of the app), and the tool configuration.
+//! - **findings entries** — one per file with candidates, holding the
+//!   prediction + symptom vector for each of the file's candidates, in
+//!   candidate-stream order, guarded by a digest of those candidates.
+//!
+//! Every payload decoder is total and every validation failure degrades to
+//! a recompute (or, for structural surprises such as duplicate file names,
+//! to a plain cold run) — a corrupted cache can cost time, never
+//! correctness.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use wap_cache::{CacheStore, CodecError, Reader, Writer};
+use wap_mining::{collect, intern_symptom_name, FeatureVector, Prediction};
+use wap_php::fingerprint::fields_hash;
+use wap_php::{content_hash, parse, Blake2s, ParseError, Program, Span};
+use wap_runtime::Runtime;
+use wap_taint::serial::write_candidate;
+use wap_taint::{
+    dedup_and_sort, declared_names, function_fingerprint, pass_candidates, run_pass_incremental,
+    Candidate, PassArtifacts, PassInput,
+};
+
+use crate::pipeline::{elapsed_ns, AppReport, Finding, WapTool};
+
+/// Bumped whenever key derivation or any payload layout in this module
+/// changes; combined with the crate version so entries never cross builds.
+const CACHE_SCHEMA: &str = "core-cache-v1";
+
+fn decl_key(hash: &str) -> String {
+    fields_hash(["decl", CACHE_SCHEMA, env!("CARGO_PKG_VERSION"), hash])
+}
+
+fn pass_key(second: bool, file: &str, hash: &str, functions_digest: &str, config_fp: &str) -> String {
+    fields_hash([
+        "pass",
+        CACHE_SCHEMA,
+        env!("CARGO_PKG_VERSION"),
+        if second { "2" } else { "1" },
+        file,
+        hash,
+        functions_digest,
+        config_fp,
+    ])
+}
+
+fn findings_key(
+    file: &str,
+    hash: &str,
+    functions_digest: &str,
+    config_fp: &str,
+    ran_pass2: bool,
+) -> String {
+    fields_hash([
+        "find",
+        CACHE_SCHEMA,
+        env!("CARGO_PKG_VERSION"),
+        file,
+        hash,
+        functions_digest,
+        config_fp,
+        if ran_pass2 { "1" } else { "0" },
+    ])
+}
+
+/// Everything cached runs need to know about what analysis they are
+/// running: catalog contents (weapons included), generation, training
+/// seed, and analysis options. Any difference must yield disjoint keys.
+fn config_fingerprint(tool: &WapTool) -> String {
+    fields_hash([
+        tool.catalog.fingerprint_material(),
+        format!("{:?}", tool.config.generation),
+        tool.config.seed.to_string(),
+        format!("{:?}", tool.config.analysis),
+    ])
+}
+
+/// What a decl entry records about one source file.
+enum DeclInfo {
+    /// Lowercased declared function names with their body fingerprints,
+    /// in declaration order.
+    Decls(Vec<(String, String)>),
+    /// The file does not parse.
+    Unparsed { message: String, span: Span },
+}
+
+fn encode_decl(info: &DeclInfo) -> Vec<u8> {
+    let mut w = Writer::new();
+    match info {
+        DeclInfo::Decls(decls) => {
+            w.bool(true);
+            w.seq(decls.len());
+            for (name, fp) in decls {
+                w.str(name);
+                w.str(fp);
+            }
+        }
+        DeclInfo::Unparsed { message, span } => {
+            w.bool(false);
+            w.str(message);
+            w.u32(span.start());
+            w.u32(span.end());
+            w.u32(span.line());
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_decl(bytes: &[u8]) -> Result<DeclInfo, CodecError> {
+    let mut r = Reader::new(bytes);
+    let info = if r.bool()? {
+        let n = r.seq()?;
+        let mut decls = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let fp = r.str()?;
+            decls.push((name, fp));
+        }
+        DeclInfo::Decls(decls)
+    } else {
+        let message = r.str()?;
+        let (start, end, line) = (r.u32()?, r.u32()?, r.u32()?);
+        if end < start {
+            return Err(CodecError(format!("span end {end} before start {start}")));
+        }
+        DeclInfo::Unparsed {
+            message,
+            span: Span::new(start, end, line),
+        }
+    };
+    if !r.is_empty() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after decl entry",
+            r.remaining()
+        )));
+    }
+    Ok(info)
+}
+
+/// One parsed-ok source file in input order — the unit the taint passes
+/// and the findings cache operate on (mirrors the cold path's `parsed`).
+struct FileMeta {
+    /// Index into the original `sources` slice.
+    src: usize,
+    name: String,
+    hash: String,
+    /// (lowercased name, body fingerprint) in declaration order.
+    decls: Vec<(String, String)>,
+}
+
+fn encode_findings(digest: &str, findings: &[Option<Finding>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(digest);
+    w.seq(findings.len());
+    for f in findings {
+        let f = f.as_ref().expect("findings group fully computed");
+        w.bool(f.prediction.is_false_positive);
+        w.usize(f.prediction.votes);
+        w.seq(f.prediction.justification.len());
+        for j in &f.prediction.justification {
+            w.str(j);
+        }
+        w.seq(f.symptoms.features.len());
+        for v in &f.symptoms.features {
+            w.f64(*v);
+        }
+        w.seq(f.symptoms.present.len());
+        for p in &f.symptoms.present {
+            w.str(p);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Re-interns a symptom name against the static table. Names that are not
+/// in this build's table mark the entry as foreign → corrupt.
+fn intern(name: &str) -> Result<&'static str, CodecError> {
+    intern_symptom_name(name).ok_or_else(|| CodecError(format!("unknown symptom name {name:?}")))
+}
+
+fn decode_findings(
+    bytes: &[u8],
+    expected_digest: &str,
+    cands: &[Candidate],
+) -> Result<Vec<Finding>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let digest = r.str()?;
+    if digest != expected_digest {
+        return Err(CodecError("candidate digest mismatch".into()));
+    }
+    let n = r.seq()?;
+    if n != cands.len() {
+        return Err(CodecError(format!(
+            "entry has {n} findings, group has {}",
+            cands.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for c in cands {
+        let is_false_positive = r.bool()?;
+        let votes = r.usize()?;
+        let jn = r.seq()?;
+        let mut justification = Vec::with_capacity(jn);
+        for _ in 0..jn {
+            justification.push(intern(&r.str()?)?);
+        }
+        let fc = r.seq()?;
+        let mut features = Vec::with_capacity(fc);
+        for _ in 0..fc {
+            features.push(r.f64()?);
+        }
+        let pc = r.seq()?;
+        let mut present = Vec::with_capacity(pc);
+        for _ in 0..pc {
+            present.push(intern(&r.str()?)?);
+        }
+        out.push(Finding {
+            candidate: c.clone(),
+            prediction: Prediction {
+                is_false_positive,
+                votes,
+                justification,
+            },
+            symptoms: FeatureVector { features, present },
+        });
+    }
+    if !r.is_empty() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after findings entry",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+/// Parses every file in `want` that has no program yet, in parallel.
+///
+/// Returns `None` when a file the decl cache recorded as parseable fails
+/// to parse — the entry lied (hand-edited, hash collision); it is
+/// rejected and the whole run falls back to the cold path.
+fn ensure_parsed(
+    runtime: &Runtime,
+    store: &CacheStore,
+    sources: &[(String, String)],
+    files: &[FileMeta],
+    programs: &mut [Option<Program>],
+    want: &[usize],
+    parse_ns: &mut u64,
+) -> Option<()> {
+    let need: Vec<usize> = want
+        .iter()
+        .copied()
+        .filter(|&i| programs[i].is_none())
+        .collect();
+    if need.is_empty() {
+        return Some(());
+    }
+    let t = Instant::now();
+    let results = runtime.map(need.clone(), |_, i| parse(&sources[files[i].src].1));
+    *parse_ns += elapsed_ns(t);
+    for (&i, result) in need.iter().zip(results) {
+        match result {
+            Ok(p) => programs[i] = Some(p),
+            Err(_) => {
+                store.reject(&decl_key(&files[i].hash));
+                return None;
+            }
+        }
+    }
+    Some(())
+}
+
+/// Looks up one pass's artifacts for every file, re-analyzes only the
+/// misses (parsing exactly the files the incremental contract requires),
+/// and writes fresh artifacts back.
+#[allow(clippy::too_many_arguments)]
+fn run_cached_pass(
+    tool: &WapTool,
+    store: &CacheStore,
+    runtime: &Runtime,
+    sources: &[(String, String)],
+    files: &[FileMeta],
+    programs: &mut [Option<Program>],
+    functions_digest: &str,
+    config_fp: &str,
+    second: bool,
+    parse_ns: &mut u64,
+    taint_ns: &mut u64,
+    cache_ns: &mut u64,
+) -> Option<Vec<PassArtifacts>> {
+    let t = Instant::now();
+    let keys: Vec<String> = files
+        .iter()
+        .map(|f| pass_key(second, &f.name, &f.hash, functions_digest, config_fp))
+        .collect();
+    let mut cached: Vec<Option<PassArtifacts>> = keys
+        .iter()
+        .map(|k| {
+            store.get(k).and_then(|p| match PassArtifacts::from_bytes(&p) {
+                Ok(a) => Some(a),
+                Err(_) => {
+                    store.reject(k);
+                    None
+                }
+            })
+        })
+        .collect();
+    *cache_ns += elapsed_ns(t);
+
+    if cached.iter().any(|c| c.is_none()) {
+        // fresh files must be parsed; so must every decl-bearing file, so
+        // lazy foreign-function walks see exactly what a cold run sees
+        let want: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| cached[*i].is_none() || !f.decls.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        ensure_parsed(runtime, store, sources, files, programs, &want, parse_ns)?;
+    }
+
+    let inputs: Vec<PassInput<'_>> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| PassInput {
+            name: f.name.clone(),
+            program: programs[i].as_ref(),
+            decl_names: f.decls.iter().map(|(n, _)| n.clone()).collect(),
+            cached: cached[i].take(),
+        })
+        .collect();
+
+    let t = Instant::now();
+    let outcome = run_pass_incremental(
+        &tool.catalog,
+        &tool.config.analysis,
+        &inputs,
+        runtime,
+        second,
+    );
+    *taint_ns += elapsed_ns(t);
+
+    let t = Instant::now();
+    for (i, is_fresh) in outcome.fresh.iter().enumerate() {
+        if *is_fresh {
+            store.put(&keys[i], outcome.artifacts[i].to_bytes());
+        }
+    }
+    *cache_ns += elapsed_ns(t);
+    Some(outcome.artifacts)
+}
+
+/// The cached pipeline. Returns `None` when the input or the cache turns
+/// out unsuitable (duplicate file names, a decl entry contradicting the
+/// parser, a candidate without a file) — the caller then runs cold.
+pub(crate) fn analyze_sources_cached(
+    tool: &WapTool,
+    store: &CacheStore,
+    sources: &[(String, String)],
+) -> Option<AppReport> {
+    let start = Instant::now();
+    let runtime = tool.runtime();
+    let stats_before = store.stats().snapshot();
+    let mut parse_ns = 0u64;
+    let mut taint_ns = 0u64;
+    let mut predict_ns = 0u64;
+    let mut cache_ns = 0u64;
+
+    // per-file grouping assumes names identify files uniquely
+    {
+        let mut names = HashSet::new();
+        if !sources.iter().all(|(n, _)| names.insert(n.as_str())) {
+            return None;
+        }
+    }
+
+    let config_fp = config_fingerprint(tool);
+
+    // ---- decl stage: content hash every file, learn its declarations ----
+    let t = Instant::now();
+    let hashes: Vec<String> = runtime.run(sources.len(), |i| content_hash(&sources[i].1));
+    let decl_keys: Vec<String> = hashes.iter().map(|h| decl_key(h)).collect();
+    let mut infos: Vec<Option<DeclInfo>> = decl_keys
+        .iter()
+        .map(|key| {
+            store.get(key).and_then(|payload| match decode_decl(&payload) {
+                Ok(info) => Some(info),
+                Err(_) => {
+                    store.reject(key);
+                    None
+                }
+            })
+        })
+        .collect();
+    cache_ns += elapsed_ns(t);
+
+    let miss: Vec<usize> = infos
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| x.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let t = Instant::now();
+    let parsed_miss: Vec<Result<Program, ParseError>> =
+        runtime.map(miss.clone(), |_, i| parse(&sources[i].1));
+    parse_ns += elapsed_ns(t);
+
+    let mut programs_by_src: Vec<Option<Program>> = (0..sources.len()).map(|_| None).collect();
+    let t = Instant::now();
+    for (&i, result) in miss.iter().zip(parsed_miss) {
+        let info = match result {
+            Ok(program) => {
+                let names = declared_names(&program);
+                let fps: Vec<String> = program
+                    .functions()
+                    .into_iter()
+                    .map(function_fingerprint)
+                    .collect();
+                let decls = names.into_iter().zip(fps).collect();
+                programs_by_src[i] = Some(program);
+                DeclInfo::Decls(decls)
+            }
+            Err(e) => DeclInfo::Unparsed {
+                message: e.message().to_string(),
+                span: e.span(),
+            },
+        };
+        store.put(&decl_keys[i], encode_decl(&info));
+        infos[i] = Some(info);
+    }
+    cache_ns += elapsed_ns(t);
+
+    // ---- split into parsed-ok files (analysis inputs) and parse errors ----
+    let mut parse_errors: Vec<(String, ParseError)> = Vec::new();
+    let mut loc = 0usize;
+    let mut files: Vec<FileMeta> = Vec::new();
+    let mut programs: Vec<Option<Program>> = Vec::new();
+    for (i, info) in infos.iter().enumerate() {
+        match info.as_ref().expect("decl info resolved above") {
+            DeclInfo::Decls(decls) => {
+                // only successfully parsed files count as analyzed LoC
+                loc += sources[i].1.lines().count();
+                files.push(FileMeta {
+                    src: i,
+                    name: sources[i].0.clone(),
+                    hash: hashes[i].clone(),
+                    decls: decls.clone(),
+                });
+                programs.push(programs_by_src[i].take());
+            }
+            DeclInfo::Unparsed { message, span } => {
+                parse_errors.push((sources[i].0.clone(), ParseError::new(message.clone(), *span)));
+            }
+        }
+    }
+
+    // ---- functions digest: every canonical declaration in the app ----
+    let t = Instant::now();
+    let functions_digest = {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut rows: Vec<[&str; 3]> = Vec::new();
+        for f in &files {
+            for (name, fp) in &f.decls {
+                // first declaration in (file order, decl order) owns the name
+                if seen.insert(name.as_str()) {
+                    rows.push([name.as_str(), f.name.as_str(), fp.as_str()]);
+                }
+            }
+        }
+        rows.sort_by(|a, b| a[0].cmp(b[0]));
+        fields_hash(rows.iter().flatten().copied())
+    };
+    cache_ns += elapsed_ns(t);
+
+    // ---- taint passes ----
+    let p1 = run_cached_pass(
+        tool,
+        store,
+        &runtime,
+        sources,
+        &files,
+        &mut programs,
+        &functions_digest,
+        &config_fp,
+        false,
+        &mut parse_ns,
+        &mut taint_ns,
+        &mut cache_ns,
+    )?;
+    let store_seen = p1.iter().any(PassArtifacts::store_seen);
+    let ran_pass2 = tool.config.analysis.second_order && store_seen;
+    let mut candidates = pass_candidates(&p1);
+    if ran_pass2 {
+        let p2 = run_cached_pass(
+            tool,
+            store,
+            &runtime,
+            sources,
+            &files,
+            &mut programs,
+            &functions_digest,
+            &config_fp,
+            true,
+            &mut parse_ns,
+            &mut taint_ns,
+            &mut cache_ns,
+        )?;
+        candidates.extend(pass_candidates(&p2));
+    }
+    let candidates = dedup_and_sort(candidates);
+
+    // ---- findings: per-file groups over the sorted candidate stream ----
+    // the stream is file-major after dedup_and_sort, so groups are
+    // contiguous runs of one file
+    let file_index: HashMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    struct Group {
+        file: usize,
+        start: usize,
+        end: usize,
+        key: String,
+        digest: String,
+    }
+    let t = Instant::now();
+    let mut groups: Vec<Group> = Vec::new();
+    {
+        let mut k = 0;
+        while k < candidates.len() {
+            let name = candidates[k].file.as_deref()?;
+            let file = *file_index.get(name)?;
+            let start = k;
+            while k < candidates.len() && candidates[k].file.as_deref() == Some(name) {
+                k += 1;
+            }
+            let mut w = Writer::new();
+            w.seq(k - start);
+            for c in &candidates[start..k] {
+                write_candidate(&mut w, c);
+            }
+            groups.push(Group {
+                file,
+                start,
+                end: k,
+                key: findings_key(
+                    name,
+                    &files[file].hash,
+                    &functions_digest,
+                    &config_fp,
+                    ran_pass2,
+                ),
+                digest: Blake2s::hash_hex(&w.into_bytes()),
+            });
+        }
+    }
+
+    let mut slots: Vec<Option<Finding>> = candidates.iter().map(|_| None).collect();
+    let mut miss_groups: Vec<usize> = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let decoded = store.get(&g.key).and_then(|payload| {
+            match decode_findings(&payload, &g.digest, &candidates[g.start..g.end]) {
+                Ok(fs) => Some(fs),
+                Err(_) => {
+                    store.reject(&g.key);
+                    None
+                }
+            }
+        });
+        match decoded {
+            Some(fs) => {
+                for (k, f) in fs.into_iter().enumerate() {
+                    slots[g.start + k] = Some(f);
+                }
+            }
+            None => miss_groups.push(gi),
+        }
+    }
+    cache_ns += elapsed_ns(t);
+
+    if !miss_groups.is_empty() {
+        let want: Vec<usize> = miss_groups.iter().map(|&gi| groups[gi].file).collect();
+        ensure_parsed(
+            &runtime,
+            store,
+            sources,
+            &files,
+            &mut programs,
+            &want,
+            &mut parse_ns,
+        )?;
+        let todo: Vec<usize> = miss_groups
+            .iter()
+            .flat_map(|&gi| groups[gi].start..groups[gi].end)
+            .collect();
+        let by_candidate: HashMap<usize, usize> = miss_groups
+            .iter()
+            .flat_map(|&gi| (groups[gi].start..groups[gi].end).map(move |k| (k, gi)))
+            .collect();
+        // symptom collection + committee voting, one task per candidate,
+        // exactly as the cold path fans out
+        let t = Instant::now();
+        let computed = runtime.map(todo.clone(), |_, k| {
+            let gi = by_candidate[&k];
+            let program = programs[groups[gi].file]
+                .as_ref()
+                .expect("parsed for findings");
+            let candidate = candidates[k].clone();
+            let symptoms = collect(program, &candidate, &tool.dynamic_symptoms);
+            let prediction = tool.predictor.predict(&symptoms);
+            Finding {
+                candidate,
+                prediction,
+                symptoms,
+            }
+        });
+        predict_ns += elapsed_ns(t);
+        for (k, f) in todo.into_iter().zip(computed) {
+            slots[k] = Some(f);
+        }
+        let t = Instant::now();
+        for &gi in &miss_groups {
+            let g = &groups[gi];
+            store.put(&g.key, encode_findings(&g.digest, &slots[g.start..g.end]));
+        }
+        cache_ns += elapsed_ns(t);
+    }
+
+    let findings: Vec<Finding> = slots
+        .into_iter()
+        .map(|f| f.expect("every candidate resolved"))
+        .collect();
+
+    Some(AppReport {
+        findings,
+        files_analyzed: files.len(),
+        loc,
+        parse_errors,
+        duration: start.elapsed(),
+        parse_ns,
+        taint_ns,
+        predict_ns,
+        cache: store.stats().snapshot().since(&stats_before),
+        cache_ns,
+    })
+}

@@ -31,12 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod incremental;
 pub mod pipeline;
 pub mod report;
 pub mod weapon;
 
 /// The shared work-stealing analysis runtime every parallel phase runs on.
 pub use wap_runtime as runtime;
+
+/// The persistent incremental cache layer (store + codec).
+pub use wap_cache as cache;
 
 pub use pipeline::{AppReport, Finding, Generation, ToolConfig, WapTool};
 pub use wap_runtime::Runtime;

@@ -3,7 +3,9 @@
 
 use crate::weapon::Weapon;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+use wap_cache::{CacheStore, CacheStatsSnapshot};
 use wap_catalog::{Catalog, WeaponConfig};
 use wap_fixer::{Corrector, FixResult};
 use wap_mining::{
@@ -33,6 +35,10 @@ pub struct ToolConfig {
     /// `None` uses [`std::thread::available_parallelism`]; output is
     /// bit-identical for any value.
     pub jobs: Option<usize>,
+    /// Root directory of the persistent incremental cache; `None` runs
+    /// without a cache. Warm runs re-analyze only changed files and are
+    /// bit-identical to cold runs.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ToolConfig {
@@ -44,6 +50,7 @@ impl ToolConfig {
             analysis: AnalysisOptions::default(),
             seed: 42,
             jobs: None,
+            cache_dir: None,
         }
     }
 
@@ -56,6 +63,7 @@ impl ToolConfig {
             analysis: AnalysisOptions::default(),
             seed: 42,
             jobs: None,
+            cache_dir: None,
         }
     }
 
@@ -72,6 +80,7 @@ impl ToolConfig {
             analysis: AnalysisOptions::default(),
             seed: 42,
             jobs: None,
+            cache_dir: None,
         }
     }
 
@@ -79,6 +88,14 @@ impl ToolConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// This configuration with a persistent incremental cache rooted at
+    /// `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 }
@@ -121,6 +138,12 @@ pub struct AppReport {
     pub taint_ns: u64,
     /// Nanoseconds spent collecting symptoms and voting.
     pub predict_ns: u64,
+    /// Incremental cache counters for this run (all zero when the cache
+    /// is disabled).
+    pub cache: CacheStatsSnapshot,
+    /// Nanoseconds of cache overhead: content hashing, key derivation,
+    /// and entry encode/decode/IO.
+    pub cache_ns: u64,
 }
 
 impl AppReport {
@@ -174,11 +197,12 @@ impl AppReport {
 /// assert!(report.findings[0].is_real());
 /// ```
 pub struct WapTool {
-    catalog: Catalog,
-    predictor: FalsePositivePredictor,
+    pub(crate) catalog: Catalog,
+    pub(crate) predictor: FalsePositivePredictor,
     corrector: Corrector,
-    dynamic_symptoms: DynamicSymptomMap,
-    config: ToolConfig,
+    pub(crate) dynamic_symptoms: DynamicSymptomMap,
+    pub(crate) config: ToolConfig,
+    cache: Option<CacheStore>,
 }
 
 impl std::fmt::Debug for WapTool {
@@ -206,12 +230,14 @@ impl WapTool {
         }
         let predictor = FalsePositivePredictor::train(config.generation, config.seed);
         let dynamic_symptoms = DynamicSymptomMap::from_catalog(&catalog);
+        let cache = config.cache_dir.as_ref().map(CacheStore::open);
         WapTool {
             catalog,
             predictor,
             corrector,
             dynamic_symptoms,
             config,
+            cache,
         }
     }
 
@@ -248,13 +274,42 @@ impl WapTool {
         Runtime::new(self.config.jobs)
     }
 
+    /// Attaches a process-lifetime in-memory cache (no disk backing):
+    /// repeated [`WapTool::analyze_sources`] calls on this tool instance
+    /// re-analyze only changed files.
+    pub fn enable_memory_cache(&mut self) {
+        self.cache = Some(CacheStore::in_memory());
+    }
+
+    /// The incremental cache store, when caching is enabled.
+    pub fn cache(&self) -> Option<&CacheStore> {
+        self.cache.as_ref()
+    }
+
     /// Analyzes an application given as `(file name, source)` pairs:
     /// parses, runs taint analysis across all files, collects symptoms,
     /// and classifies every candidate.
     ///
     /// Every phase fans out over [`WapTool::runtime`]; findings come back
     /// sorted by (file, line, class) regardless of the worker count.
+    ///
+    /// With a cache configured ([`ToolConfig::cache_dir`] or
+    /// [`WapTool::enable_memory_cache`]) only files whose content, callee
+    /// set, or configuration changed since the cached run are re-analyzed;
+    /// the findings are bit-identical to an uncached run either way.
     pub fn analyze_sources(&self, sources: &[(String, String)]) -> AppReport {
+        if let Some(store) = &self.cache {
+            if let Some(report) = crate::incremental::analyze_sources_cached(self, store, sources)
+            {
+                return report;
+            }
+        }
+        self.analyze_sources_cold(sources)
+    }
+
+    /// The uncached pipeline — also the fallback when the cached path
+    /// declines an input (e.g. duplicate file names).
+    fn analyze_sources_cold(&self, sources: &[(String, String)]) -> AppReport {
         let start = Instant::now();
         let runtime = self.runtime();
 
@@ -323,6 +378,8 @@ impl WapTool {
             parse_ns,
             taint_ns,
             predict_ns,
+            cache: CacheStatsSnapshot::default(),
+            cache_ns: 0,
         }
     }
 
@@ -338,7 +395,7 @@ impl WapTool {
     }
 }
 
-fn elapsed_ns(since: Instant) -> u64 {
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -540,6 +597,87 @@ mysql_query("SELECT x FROM t WHERE i = $b");
         for jobs in [2, 8] {
             assert_eq!(fingerprint(jobs), serial, "jobs={jobs} diverged");
         }
+    }
+
+    #[test]
+    fn warm_cached_run_is_bit_identical_to_cold() {
+        let files: Vec<(String, String)> = vec![
+            src(
+                "lib.php",
+                "function fetch($k) { return $_GET[$k]; }\nfunction safe($v) { return htmlentities($v); }\n",
+            ),
+            src(
+                "page.php",
+                "$q = fetch('q');\nmysql_query(\"SELECT * FROM t WHERE c = '$q'\");\necho safe($q);\necho $q;\n",
+            ),
+            src("broken.php", "$x = ;"),
+        ];
+        let cold = WapTool::new(ToolConfig::wape()).analyze_sources(&files);
+
+        let mut tool = WapTool::new(ToolConfig::wape());
+        tool.enable_memory_cache();
+        let first = tool.analyze_sources(&files);
+        let warm = tool.analyze_sources(&files);
+        for report in [&first, &warm] {
+            assert_eq!(report.findings.len(), cold.findings.len());
+            for (a, b) in report.findings.iter().zip(&cold.findings) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+            assert_eq!(report.files_analyzed, cold.files_analyzed);
+            assert_eq!(report.loc, cold.loc);
+            assert_eq!(report.parse_errors.len(), cold.parse_errors.len());
+        }
+        assert!(first.cache.stored > 0, "cold cached run must populate");
+        assert!(warm.cache.hits > 0, "warm run must hit");
+        assert_eq!(warm.cache.misses, 0, "fully warm run must not miss");
+    }
+
+    #[test]
+    fn cache_reanalyzes_only_changed_files() {
+        let mut files: Vec<(String, String)> = (0..6)
+            .map(|i| src(&format!("c{i}.php"), &format!("echo $_GET['k{i}'];\n")))
+            .collect();
+        let mut tool = WapTool::new(ToolConfig::wape());
+        tool.enable_memory_cache();
+        tool.analyze_sources(&files);
+        // edit one file: its entries miss, the other five hit
+        files[3].1.push_str("echo $_POST['extra'];\n");
+        let warm = tool.analyze_sources(&files);
+        assert_eq!(warm.findings.len(), 7);
+        let cold = WapTool::new(ToolConfig::wape()).analyze_sources(&files);
+        for (a, b) in warm.findings.iter().zip(&cold.findings) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        assert!(warm.cache.hits > 0);
+        assert!(warm.cache.misses > 0);
+    }
+
+    #[test]
+    fn duplicate_file_names_fall_back_to_cold_path() {
+        let files = vec![
+            src("dup.php", "echo $_GET['a'];\n"),
+            src("dup.php", "echo $_GET['b'];\n"),
+        ];
+        let mut tool = WapTool::new(ToolConfig::wape());
+        tool.enable_memory_cache();
+        let report = tool.analyze_sources(&files);
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.cache, wap_cache::CacheStatsSnapshot::default());
+    }
+
+    #[test]
+    fn catalog_change_invalidates_cached_findings() {
+        let files = vec![src(
+            "san.php",
+            "function clean($v) { return str_replace(\"'\", \"''\", $v); }\n$n = clean($_GET['n']);\nmysql_query(\"SELECT * FROM t WHERE n = '$n'\");\n",
+        )];
+        let mut tool = WapTool::new(ToolConfig::wape());
+        tool.enable_memory_cache();
+        assert_eq!(tool.analyze_sources(&files).findings.len(), 1);
+        tool.catalog_mut()
+            .add_user_sanitizer("clean", &[VulnClass::Sqli]);
+        // same sources, different catalog: stale entries must not be reused
+        assert_eq!(tool.analyze_sources(&files).findings.len(), 0);
     }
 
     #[test]

@@ -135,6 +135,11 @@ impl Weapon {
         serde_json::to_string_pretty(&self.config).expect("weapon config serializes")
     }
 
+    /// The weapon's name (e.g. `nosqli`).
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
     /// The activation flag, e.g. `-nosqli`.
     pub fn flag(&self) -> String {
         self.config.flag()

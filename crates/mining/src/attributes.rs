@@ -499,6 +499,17 @@ pub fn symptom_index(name: &str) -> Option<usize> {
         .position(|s| s.name.eq_ignore_ascii_case(name))
 }
 
+/// Maps a symptom name back to the `&'static str` in the symptom table.
+///
+/// Deserialized reports carry symptom names as owned strings; interning
+/// them through this exact-match lookup restores the static lifetime the
+/// in-memory structures use. Returns `None` for names not in the table
+/// (e.g. an entry written by an incompatible build), which callers treat
+/// as a corrupt entry.
+pub fn intern_symptom_name(name: &str) -> Option<&'static str> {
+    symptoms().iter().find(|s| s.name == name).map(|s| s.name)
+}
+
 /// Projects a 60-feature WAPe vector down to the original 15-attribute
 /// scheme: an original attribute is 1 if any of its group's *original*
 /// symptoms is 1.

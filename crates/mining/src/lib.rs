@@ -38,7 +38,7 @@ pub mod predictor;
 pub mod symptoms;
 
 pub use arff::{from_arff, to_arff};
-pub use attributes::{symptoms, Category, Group, Symptom};
+pub use attributes::{intern_symptom_name, symptoms, Category, Group, Symptom};
 pub use classifiers::{Classifier, ClassifierKind};
 pub use dataset::Dataset;
 pub use metrics::{cross_validate, ConfusionMatrix, Metrics};

@@ -1,0 +1,273 @@
+//! Stable content fingerprints for PHP sources.
+//!
+//! The incremental analysis cache keys every artifact by the exact bytes of
+//! the source it was computed from, so the hash must be (a) stable across
+//! runs, platforms, and compiler versions, (b) collision-resistant enough
+//! that two different sources never share a cache slot in practice, and
+//! (c) dependency-free. This module implements BLAKE2s-256 (RFC 7693) from
+//! scratch — a modern, fast, well-specified hash with a 32-byte digest —
+//! and exposes string-level helpers used by the cache layer.
+//!
+//! ```
+//! use wap_php::fingerprint::content_hash;
+//!
+//! let a = content_hash("<?php echo 1;");
+//! let b = content_hash("<?php echo 2;");
+//! assert_ne!(a, b);
+//! assert_eq!(a.len(), 64); // 256 bits, hex
+//! ```
+
+/// BLAKE2s initialization vector (the SHA-256 IV; RFC 7693 §2.6).
+const IV: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+/// Message word permutation schedule, one row per round (RFC 7693 §2.7).
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+/// Streaming BLAKE2s-256 hasher.
+///
+/// ```
+/// use wap_php::fingerprint::Blake2s;
+///
+/// let mut h = Blake2s::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize_hex(), Blake2s::hash_hex(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Blake2s {
+    h: [u32; 8],
+    /// Bytes hashed so far (128-bit counter per the spec; 64 bits suffice).
+    t: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Blake2s {
+    fn default() -> Self {
+        Blake2s::new()
+    }
+}
+
+impl Blake2s {
+    /// A fresh hasher producing a 32-byte digest (no key).
+    pub fn new() -> Self {
+        let mut h = IV;
+        // parameter block: digest_length = 32, key_length = 0, fanout = 1,
+        // depth = 1 — packed into the first word
+        h[0] ^= 0x0101_0020;
+        Blake2s {
+            h,
+            t: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            // compress only when another byte arrives: the final block must
+            // be compressed with the last-block flag set in finalize()
+            if self.buf_len == 64 {
+                self.t += 64;
+                let block = self.buf;
+                self.compress(&block, false);
+                self.buf_len = 0;
+            }
+            self.buf[self.buf_len] = byte;
+            self.buf_len += 1;
+        }
+    }
+
+    /// Consumes the hasher and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        self.t += self.buf_len as u64;
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        self.compress(&block, true);
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Consumes the hasher and returns the digest as lowercase hex.
+    pub fn finalize_hex(self) -> String {
+        to_hex(&self.finalize())
+    }
+
+    /// One-shot digest.
+    pub fn hash(data: &[u8]) -> [u8; 32] {
+        let mut h = Blake2s::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot hex digest.
+    pub fn hash_hex(data: &[u8]) -> String {
+        to_hex(&Blake2s::hash(data))
+    }
+
+    fn compress(&mut self, block: &[u8; 64], last: bool) {
+        let mut m = [0u32; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        let mut v = [0u32; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.t as u32;
+        v[13] ^= (self.t >> 32) as u32;
+        if last {
+            v[14] ^= 0xFFFF_FFFF;
+        }
+
+        #[inline(always)]
+        fn g(v: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, x: u32, y: u32) {
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+            v[d] = (v[d] ^ v[a]).rotate_right(16);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(12);
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+            v[d] = (v[d] ^ v[a]).rotate_right(8);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(7);
+        }
+
+        for s in &SIGMA {
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// The stable content hash of a source file, as lowercase hex. This is the
+/// primary component of every incremental-cache key.
+pub fn content_hash(src: &str) -> String {
+    Blake2s::hash_hex(src.as_bytes())
+}
+
+/// Hashes a sequence of labelled fields into one digest, with each field
+/// length-prefixed so that field boundaries cannot be confused (hashing
+/// `["ab", "c"]` never collides with `["a", "bc"]`).
+pub fn fields_hash<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<[u8]>,
+{
+    let mut h = Blake2s::new();
+    for f in fields {
+        let f = f.as_ref();
+        h.update(&(f.len() as u64).to_le_bytes());
+        h.update(f);
+    }
+    h.finalize_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7693 / official BLAKE2 test vector: the empty input.
+    #[test]
+    fn empty_input_matches_reference_vector() {
+        assert_eq!(
+            Blake2s::hash_hex(b""),
+            "69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9"
+        );
+    }
+
+    /// Official BLAKE2s vector for "abc" (RFC 7693 appendix B).
+    #[test]
+    fn abc_matches_reference_vector() {
+        assert_eq!(
+            Blake2s::hash_hex(b"abc"),
+            "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 128, 999, 1000] {
+            let mut h = Blake2s::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Blake2s::hash(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // exactly one block, one block + 1, several blocks
+        for len in [64usize, 65, 128, 256, 300] {
+            let data = vec![0xABu8; len];
+            let d1 = Blake2s::hash(&data);
+            let mut h = Blake2s::new();
+            for chunk in data.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_distinct() {
+        let a = content_hash("<?php echo $_GET['x'];");
+        assert_eq!(a, content_hash("<?php echo $_GET['x'];"));
+        assert_ne!(a, content_hash("<?php echo $_GET['y'];"));
+        assert_eq!(a.len(), 64);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fields_hash_respects_boundaries() {
+        assert_ne!(fields_hash(["ab", "c"]), fields_hash(["a", "bc"]));
+        assert_ne!(fields_hash(["ab"]), fields_hash(["ab", ""]));
+        assert_eq!(fields_hash(["x", "y"]), fields_hash(["x", "y"]));
+    }
+}

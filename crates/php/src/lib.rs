@@ -32,6 +32,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -41,6 +42,7 @@ pub mod visitor;
 
 pub use ast::{Expr, ExprKind, Program, Stmt, StmtKind};
 pub use error::{ParseError, ParseResult};
+pub use fingerprint::{content_hash, Blake2s};
 pub use parser::parse;
 pub use printer::{print_expr, print_program, print_stmt};
 pub use span::Span;

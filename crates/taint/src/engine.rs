@@ -122,20 +122,140 @@ struct PhaseA {
     store_seen: bool,
 }
 
-fn run_pass(
+/// The per-file artifacts of one analysis pass: everything the pass
+/// barrier consumes and everything needed to replay this file's
+/// contribution without re-analyzing it. This is the unit the incremental
+/// cache stores (serialized via [`crate::serial`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassArtifacts {
+    /// Summaries of the functions this file canonically declares.
+    pub(crate) summaries: HashMap<String, FnSummary>,
+    /// Candidates reported while summarizing function bodies (phase A).
+    pub(crate) a_candidates: Vec<Candidate>,
+    /// Candidates reported by the top-level flow (phase B).
+    pub(crate) b_candidates: Vec<Candidate>,
+    /// Whether this file stored tainted data via INSERT/UPDATE/REPLACE.
+    pub(crate) store_seen: bool,
+}
+
+impl PassArtifacts {
+    /// Whether this file stored tainted data (drives the second-order pass).
+    pub fn store_seen(&self) -> bool {
+        self.store_seen
+    }
+
+    /// Total candidates this file contributed in this pass.
+    pub fn candidate_count(&self) -> usize {
+        self.a_candidates.len() + self.b_candidates.len()
+    }
+}
+
+/// One file fed into [`run_pass_incremental`].
+///
+/// Contract (upheld by `wap-core`'s cache orchestration):
+/// - `decl_names` lists the lowercased function names the file declares,
+///   in declaration order — for a parsed file this must equal
+///   [`declared_names`] of its program.
+/// - `program` must be `Some` for every file analyzed fresh
+///   (`cached == None`), and for every file that declares functions
+///   whenever *any* file in the set is analyzed fresh (so lazy foreign
+///   walks behave exactly as in a cold run). A fully cached set may leave
+///   every `program` as `None`.
+pub struct PassInput<'a> {
+    /// File name (reported in candidates).
+    pub name: String,
+    /// Parsed program, when available this run.
+    pub program: Option<&'a Program>,
+    /// Lowercased declared function names, in declaration order.
+    pub decl_names: Vec<String>,
+    /// Artifacts replayed from the cache, or `None` to analyze fresh.
+    pub cached: Option<PassArtifacts>,
+}
+
+/// Outcome of an incremental pass over a file set.
+pub struct PassOutcome {
+    /// Per-file artifacts, in input order: cached entries passed through
+    /// untouched, fresh files newly computed.
+    pub artifacts: Vec<PassArtifacts>,
+    /// Which artifacts were computed fresh this run (parallel to
+    /// `artifacts`) — these are the entries worth writing to the cache.
+    pub fresh: Vec<bool>,
+}
+
+/// Lowercased function names a program declares, in declaration order.
+pub fn declared_names(program: &Program) -> Vec<String> {
+    program
+        .functions()
+        .into_iter()
+        .map(|f| f.name.to_ascii_lowercase())
+        .collect()
+}
+
+/// A stable fingerprint of one function declaration (signature, body, and
+/// source spans), used by the incremental cache to detect when any
+/// callee a file might depend on has changed.
+pub fn function_fingerprint(func: &Function) -> String {
+    wap_php::content_hash(&format!("{func:?}"))
+}
+
+/// Canonical record in the shared function index: the first declaration
+/// of a name in (file order, declaration order). `func` is `None` when
+/// the owning file's body was not parsed this run (only possible for
+/// cached files in a fully warm incremental pass).
+struct FnDecl<'a> {
+    owner: usize,
+    func: Option<&'a Function>,
+}
+
+type FnIndex<'a> = HashMap<String, FnDecl<'a>>;
+
+fn build_fn_index<'a>(files: &[PassInput<'a>]) -> FnIndex<'a> {
+    let mut index = FnIndex::new();
+    for (i, f) in files.iter().enumerate() {
+        let funcs: Vec<&'a Function> = f.program.map(|p| p.functions()).unwrap_or_default();
+        for (j, name) in f.decl_names.iter().enumerate() {
+            index.entry(name.clone()).or_insert(FnDecl {
+                owner: i,
+                func: funcs.get(j).copied(),
+            });
+        }
+    }
+    index
+}
+
+/// Runs one analysis pass, re-analyzing only the files without cached
+/// artifacts. With `cached == None` everywhere this is exactly the cold
+/// pass: phase A summarizes each fresh file's functions, a barrier merges
+/// cached and fresh summaries (canonical ownership keeps the key sets
+/// disjoint), and phase B runs each fresh file's top-level flow against
+/// the merged map. Joins are index-ordered, so for a fixed input the
+/// outcome is bit-identical for any job count and any cached/fresh split.
+pub fn run_pass_incremental(
     catalog: &Catalog,
     options: &AnalysisOptions,
-    files: &[SourceFile],
+    files: &[PassInput<'_>],
     runtime: &Runtime,
     fetch_is_tainted: bool,
-) -> (Vec<Candidate>, bool) {
-    // Phase A: summarize every user function, one task per file.
-    let phase_a: Vec<PhaseA> = runtime.run(files.len(), |i| {
+) -> PassOutcome {
+    let index = build_fn_index(files);
+    let miss: Vec<usize> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.cached.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    // Phase A: summarize every fresh file's functions, one task per file.
+    let phase_a: Vec<PhaseA> = runtime.map(miss.clone(), |_, i| {
+        let f = &files[i];
+        let program = f.program.expect("fresh file must be parsed");
         let mut engine = Engine::for_file(
             catalog,
             options,
-            files,
+            &index,
             i,
+            &f.name,
+            program,
             None,
             fetch_is_tainted,
             CarriedState::default(),
@@ -144,48 +264,122 @@ fn run_pass(
         engine.into_phase_a()
     });
 
-    // Barrier: merge the per-file summaries. Canonical ownership makes the
-    // key sets disjoint, so the merge is order-independent.
+    // Barrier: merge cached and fresh summaries.
+    let mut fresh_a: Vec<Option<PhaseA>> = files.iter().map(|_| None).collect();
+    for (j, pa) in phase_a.into_iter().enumerate() {
+        fresh_a[miss[j]] = Some(pa);
+    }
     let mut merged: HashMap<String, FnSummary> = HashMap::new();
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut store_seen = false;
-    let mut states: Vec<CarriedState> = Vec::with_capacity(files.len());
-    for pa in phase_a {
-        merged.extend(pa.summaries);
-        candidates.extend(pa.candidates);
-        store_seen |= pa.store_seen;
-        states.push(pa.state);
+    for (i, f) in files.iter().enumerate() {
+        match (&f.cached, &fresh_a[i]) {
+            (Some(c), _) => merged.extend(c.summaries.clone()),
+            (None, Some(pa)) => merged.extend(pa.summaries.clone()),
+            (None, None) => unreachable!("fresh file has phase-A output"),
+        }
     }
     let merged = Arc::new(merged);
 
-    // Phase B: top-level flow of every file against the merged summaries.
-    let results = runtime.map(states, |i, state| {
+    // Phase B: top-level flow of every fresh file against the merged
+    // summaries, resuming the literal-tracking state from its phase A.
+    let states: Vec<(usize, CarriedState)> = miss
+        .iter()
+        .map(|&i| {
+            let state = std::mem::take(&mut fresh_a[i].as_mut().expect("fresh").state);
+            (i, state)
+        })
+        .collect();
+    let results = runtime.map(states, |_, (i, state)| {
+        let f = &files[i];
+        let program = f.program.expect("fresh file must be parsed");
         let mut engine = Engine::for_file(
             catalog,
             options,
-            files,
+            &index,
             i,
+            &f.name,
+            program,
             Some(Arc::clone(&merged)),
             fetch_is_tainted,
             state,
         );
         engine.run_toplevel();
         (
+            i,
             std::mem::take(&mut engine.candidates),
             engine.tainted_store_seen,
         )
     });
-    for (found, seen) in results {
-        candidates.extend(found);
-        store_seen |= seen;
+    let mut phase_b: Vec<Option<(Vec<Candidate>, bool)>> = files.iter().map(|_| None).collect();
+    for (i, found, seen) in results {
+        phase_b[i] = Some((found, seen));
     }
-    (candidates, store_seen)
+
+    let mut artifacts = Vec::with_capacity(files.len());
+    let mut fresh = Vec::with_capacity(files.len());
+    for (i, f) in files.iter().enumerate() {
+        if let Some(c) = &f.cached {
+            artifacts.push(c.clone());
+            fresh.push(false);
+        } else {
+            let pa = fresh_a[i].take().expect("fresh file has phase-A output");
+            let (b_candidates, b_seen) = phase_b[i].take().expect("fresh file has phase-B output");
+            artifacts.push(PassArtifacts {
+                summaries: pa.summaries,
+                a_candidates: pa.candidates,
+                b_candidates,
+                store_seen: pa.store_seen || b_seen,
+            });
+            fresh.push(true);
+        }
+    }
+    PassOutcome { artifacts, fresh }
+}
+
+/// Flattens per-file pass artifacts into the pass's candidate stream in
+/// canonical order: all phase-A candidates in file order, then all
+/// phase-B candidates in file order — the exact interleaving a cold
+/// [`analyze_with`] run produces, which [`dedup_and_sort`] (first
+/// occurrence wins) relies on.
+pub fn pass_candidates(artifacts: &[PassArtifacts]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for a in artifacts {
+        out.extend(a.a_candidates.iter().cloned());
+    }
+    for a in artifacts {
+        out.extend(a.b_candidates.iter().cloned());
+    }
+    out
+}
+
+fn run_pass(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[SourceFile],
+    runtime: &Runtime,
+    fetch_is_tainted: bool,
+) -> (Vec<Candidate>, bool) {
+    let inputs: Vec<PassInput<'_>> = files
+        .iter()
+        .map(|f| PassInput {
+            name: f.name.clone(),
+            program: Some(&f.program),
+            decl_names: declared_names(&f.program),
+            cached: None,
+        })
+        .collect();
+    let outcome = run_pass_incremental(catalog, options, &inputs, runtime, fetch_is_tainted);
+    let store_seen = outcome.artifacts.iter().any(|a| a.store_seen);
+    (pass_candidates(&outcome.artifacts), store_seen)
 }
 
 /// Final join: deduplicate (loop re-execution, joined branches, and the
 /// second-order pass can repeat a finding at the same sink), then sort by
 /// a total key so the output order never depends on task scheduling.
-fn dedup_and_sort(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+///
+/// Public so the incremental pipeline in `wap-core` can finalize a
+/// candidate stream reassembled from cached and fresh pass artifacts
+/// exactly as a cold run would.
+pub fn dedup_and_sort(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
     let mut seen = HashSet::new();
     candidates.retain(|c| {
         let key = (
@@ -230,31 +424,31 @@ pub fn analyze_program(catalog: &Catalog, program: &Program) -> Vec<Candidate> {
 // ---- function summaries ----
 
 /// Flow of one parameter to the function's return value.
-#[derive(Debug, Clone, Default)]
-struct ParamFlow {
-    flows: bool,
-    sanitized: BTreeSet<VulnClass>,
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ParamFlow {
+    pub(crate) flows: bool,
+    pub(crate) sanitized: BTreeSet<VulnClass>,
 }
 
 /// A sink inside a function reachable from one of its parameters.
-#[derive(Debug, Clone)]
-struct ParamSink {
-    param: usize,
-    class: VulnClass,
-    sink: String,
-    span: Span,
-    fix_site: Span,
-    tainted_arg: Option<usize>,
-    literals: Vec<String>,
-    sanitized: BTreeSet<VulnClass>,
-    inner_steps: Vec<TaintStep>,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ParamSink {
+    pub(crate) param: usize,
+    pub(crate) class: VulnClass,
+    pub(crate) sink: String,
+    pub(crate) span: Span,
+    pub(crate) fix_site: Span,
+    pub(crate) tainted_arg: Option<usize>,
+    pub(crate) literals: Vec<String>,
+    pub(crate) sanitized: BTreeSet<VulnClass>,
+    pub(crate) inner_steps: Vec<TaintStep>,
 }
 
-#[derive(Debug, Clone, Default)]
-struct FnSummary {
-    ret_from_params: Vec<ParamFlow>,
-    ret_direct: TaintState,
-    param_sinks: Vec<ParamSink>,
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FnSummary {
+    pub(crate) ret_from_params: Vec<ParamFlow>,
+    pub(crate) ret_direct: TaintState,
+    pub(crate) param_sinks: Vec<ParamSink>,
 }
 
 type Env = BTreeMap<String, TaintState>;
@@ -270,12 +464,14 @@ struct CarriedState {
 struct Engine<'a> {
     catalog: &'a Catalog,
     options: &'a AnalysisOptions,
-    files: &'a [SourceFile],
     /// The file this task analyzes.
     file_idx: usize,
+    /// The analyzed file's parsed program.
+    program: &'a Program,
     /// Canonical declaration of every user function: the first declaration
-    /// in file order, with its defining file's index.
-    functions: HashMap<String, (usize, &'a Function)>,
+    /// in (file, declaration) order. Built once per pass and shared by all
+    /// of the pass's tasks.
+    functions: &'a FnIndex<'a>,
     summaries: HashMap<String, FnSummary>,
     /// Merged summaries from phase A (read-only, shared across phase-B
     /// tasks). `None` during phase A, where summaries are computed locally.
@@ -304,31 +500,25 @@ impl<'a> Engine<'a> {
     fn for_file(
         catalog: &'a Catalog,
         options: &'a AnalysisOptions,
-        files: &'a [SourceFile],
+        functions: &'a FnIndex<'a>,
         file_idx: usize,
+        name: &str,
+        program: &'a Program,
         shared: Option<Arc<HashMap<String, FnSummary>>>,
         fetch_is_tainted: bool,
         state: CarriedState,
     ) -> Self {
-        let mut functions: HashMap<String, (usize, &'a Function)> = HashMap::new();
-        for (i, f) in files.iter().enumerate() {
-            for func in f.program.functions() {
-                functions
-                    .entry(func.name.to_ascii_lowercase())
-                    .or_insert((i, func));
-            }
-        }
         Engine {
             catalog,
             options,
-            files,
             file_idx,
+            program,
             functions,
             summaries: HashMap::new(),
             shared,
             in_progress: HashSet::new(),
             candidates: Vec::new(),
-            current_file: files[file_idx].name.clone(),
+            current_file: name.to_string(),
             ret_stack: Vec::new(),
             var_literals: state.var_literals,
             var_fix_site: state.var_fix_site,
@@ -342,10 +532,10 @@ impl<'a> Engine<'a> {
     /// computed foreign summaries are recomputed identically — and kept —
     /// by their defining file's task).
     fn into_phase_a(mut self) -> PhaseA {
-        let functions = &self.functions;
+        let functions = self.functions;
         let file_idx = self.file_idx;
         self.summaries
-            .retain(|name, _| functions.get(name).is_some_and(|&(fi, _)| fi == file_idx));
+            .retain(|name, _| functions.get(name).is_some_and(|d| d.owner == file_idx));
         PhaseA {
             summaries: self.summaries,
             candidates: self.candidates,
@@ -414,8 +604,7 @@ impl<'a> Engine<'a> {
     /// declares, in name order. This also reports flows that start at entry
     /// points *inside* function bodies, attributed to the declaring file.
     fn summarize_own(&mut self) {
-        let f = &self.files[self.file_idx];
-        let mut decls: Vec<(String, &'a Function)> = f
+        let mut decls: Vec<(String, &'a Function)> = self
             .program
             .functions()
             .into_iter()
@@ -429,7 +618,7 @@ impl<'a> Engine<'a> {
             if self
                 .functions
                 .get(&name)
-                .is_some_and(|&(fi, _)| fi == file_idx)
+                .is_some_and(|d| d.owner == file_idx)
             {
                 self.summary_for_decl(&name, func);
             }
@@ -439,7 +628,7 @@ impl<'a> Engine<'a> {
     /// Phase B: the top-level flow of this file.
     fn run_toplevel(&mut self) {
         let mut env = Env::new();
-        let stmts = &self.files[self.file_idx].program.stmts;
+        let stmts = &self.program.stmts;
         self.exec_block(&mut env, stmts);
     }
 
@@ -502,7 +691,7 @@ impl<'a> Engine<'a> {
         let owns = self
             .functions
             .get(name)
-            .is_none_or(|&(fi, _)| fi == self.file_idx);
+            .is_none_or(|d| d.owner == self.file_idx);
         let mut param_sinks = Vec::new();
         for c in self.candidates.split_off(checkpoint) {
             let param_srcs: Vec<usize> = c
@@ -558,9 +747,16 @@ impl<'a> Engine<'a> {
         if self.in_progress.contains(&lname) {
             return FnSummary::default(); // recursion cut-off
         }
-        if let Some(&(_, func)) = self.functions.get(&lname) {
-            self.summary_for_decl(&lname.clone(), func);
-            return self.summaries.get(&lname).cloned().unwrap_or_default();
+        if let Some(decl) = self.functions.get(&lname) {
+            if let Some(func) = decl.func {
+                self.summary_for_decl(&lname, func);
+                return self.summaries.get(&lname).cloned().unwrap_or_default();
+            }
+            // The owner's body was not parsed this run — only possible in
+            // a fully warm incremental pass, where every canonical summary
+            // is already in `shared` (checked above), so this arm is a
+            // defensive fallback rather than a reachable path.
+            return FnSummary::default();
         }
         FnSummary::default()
     }

@@ -35,10 +35,13 @@
 
 pub mod engine;
 pub mod finding;
+pub mod serial;
 pub mod state;
 
 pub use engine::{
-    analyze, analyze_program, analyze_with, collect_literals, AnalysisOptions, SourceFile,
+    analyze, analyze_program, analyze_with, collect_literals, declared_names, dedup_and_sort,
+    function_fingerprint, pass_candidates, run_pass_incremental, AnalysisOptions, PassArtifacts,
+    PassInput, PassOutcome, SourceFile,
 };
 pub use finding::Candidate;
 pub use state::{TaintInfo, TaintState, TaintStep};

@@ -38,6 +38,7 @@ members = [
     "shims/rand",
     "shims/criterion",
     "php",
+    "cache",
     "catalog",
     "runtime",
     "taint",
@@ -161,6 +162,24 @@ impl std::ops::Index<usize> for Value {
     type Output = Value;
     fn index(&self, _i: usize) -> &Value {
         self
+    }
+}
+
+// comparisons used by assertions in tests that are compiled (not run)
+// under this shim
+impl PartialEq<i32> for Value {
+    fn eq(&self, _: &i32) -> bool {
+        false
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, _: &&str) -> bool {
+        false
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, _: &bool) -> bool {
+        false
     }
 }
 EOF
@@ -398,7 +417,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php catalog runtime taint mining fixer interp corpus core bench; do
+for c in php cache catalog runtime taint mining fixer interp corpus core bench; do
     crate_dir "$c"
 done
 
@@ -423,6 +442,12 @@ EOF
 
 { common_pkg runtime; } > "$SCRATCH/runtime/Cargo.toml"
 
+{ common_pkg cache; cat <<'EOF'
+[dependencies]
+wap-php = { path = "../php" }
+EOF
+} > "$SCRATCH/cache/Cargo.toml"
+
 { common_pkg catalog; cat <<'EOF'
 [dependencies]
 serde = { path = "../shims/serde", features = ["derive"] }
@@ -433,6 +458,7 @@ EOF
 { common_pkg taint; cat <<'EOF'
 [dependencies]
 wap-php = { path = "../php" }
+wap-cache = { path = "../cache" }
 wap-catalog = { path = "../catalog" }
 wap-runtime = { path = "../runtime" }
 EOF
@@ -475,6 +501,7 @@ EOF
 { common_pkg core; cat <<'EOF'
 [dependencies]
 wap-php = { path = "../php" }
+wap-cache = { path = "../cache" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -510,6 +537,10 @@ criterion = { path = "../shims/criterion" }
 name = "experiments"
 path = "src/bin/experiments.rs"
 
+[[bin]]
+name = "ci_bench"
+path = "src/bin/ci_bench.rs"
+
 [[bench]]
 name = "parsing"
 path = "benches/parsing.rs"
@@ -529,6 +560,11 @@ harness = false
 name = "weapons"
 path = "benches/weapons.rs"
 harness = false
+
+[[bench]]
+name = "cache"
+path = "benches/cache.rs"
+harness = false
 EOF
 } > "$SCRATCH/bench/Cargo.toml"
 
@@ -541,6 +577,7 @@ autotests = false
 
 [dependencies]
 wap-php = { path = "../php" }
+wap-cache = { path = "../cache" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -549,12 +586,16 @@ wap-corpus = { path = "../corpus" }
 wap-core = { path = "../core" }
 wap-interp = { path = "../interp" }
 
-# only the determinism test: it compares the tool against itself at
-# different job counts, so the shimmed rand stream is immaterial (the
-# other root tests pin exact counts that need the real rand crate)
+# only the self-comparing tests: they check the tool against itself
+# (job counts, cached vs cold), so the shimmed rand stream is immaterial
+# (the other root tests pin exact counts that need the real rand crate)
 [[test]]
 name = "parallel_determinism"
 path = "tests/parallel_determinism.rs"
+
+[[test]]
+name = "cache_incremental"
+path = "tests/cache_incremental.rs"
 EOF
 
 cd "$SCRATCH"
@@ -567,9 +608,12 @@ fi
 
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
-    cargo test --offline -q -p wap-php -p wap-runtime -p wap-taint
-    echo "== offline-check: determinism test (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism
+    cargo test --offline -q -p wap-php -p wap-cache -p wap-runtime -p wap-taint
+    echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
+    echo "== compare cached runs against in-process cold runs)         =="
+    cargo test --offline -q -p wap-core cache
+    echo "== offline-check: determinism + cache tests (shim-rand-agnostic) =="
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental
 fi
 
 echo "offline-check: OK"

@@ -25,6 +25,7 @@
 //! * [`fixer`] — fix templates and source correction
 //! * [`interp`] — mini PHP interpreter for dynamic exploit confirmation
 //! * [`corpus`] — the deterministic synthetic evaluation corpus
+//! * [`cache`] — the persistent incremental analysis cache
 //! * [`core`] — the assembled pipeline and weapon generator
 //!
 //! ## Quick start
@@ -44,6 +45,7 @@
 //! assert!(report.findings[0].is_real());
 //! ```
 
+pub use wap_cache as cache;
 pub use wap_catalog as catalog;
 pub use wap_core as core;
 pub use wap_corpus as corpus;

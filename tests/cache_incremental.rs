@@ -1,0 +1,209 @@
+//! Robustness of the persistent incremental cache: a corrupted, tampered,
+//! or stale cache directory may cost re-analysis time, never correctness
+//! — and never a panic.
+
+use std::path::{Path, PathBuf};
+
+use wap::cache::ENTRY_FORMAT_VERSION;
+use wap::core::{AppReport, ToolConfig, WapTool};
+use wap::php::Blake2s;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wap-cache-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sources() -> Vec<(String, String)> {
+    vec![
+        (
+            "lib.php".to_string(),
+            "<?php\nfunction fetch_param($k) { return $_GET[$k]; }\nfunction shield($v) { return htmlentities($v); }\n"
+                .to_string(),
+        ),
+        (
+            "page.php".to_string(),
+            "<?php\n$q = fetch_param('q');\nmysql_query(\"SELECT * FROM t WHERE c = '$q'\");\necho shield($q);\necho $q;\n"
+                .to_string(),
+        ),
+        (
+            "guarded.php".to_string(),
+            "<?php\n$id = $_GET['id'];\nif (!is_numeric($id)) { exit; }\nmysql_query(\"SELECT 1 WHERE x = $id\");\n"
+                .to_string(),
+        ),
+        ("broken.php".to_string(), "<?php $x = ;\n".to_string()),
+    ]
+}
+
+/// Everything the analysis decided, as comparable text.
+fn fingerprint(report: &AppReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}:{}:[{}]:real={}:votes={}:[{}]:{:?}\n",
+            f.candidate.file.as_deref().unwrap_or("<input>"),
+            f.candidate.line,
+            f.candidate.class,
+            f.candidate.sink,
+            f.candidate.sources.join(","),
+            f.is_real(),
+            f.prediction.votes,
+            f.prediction.justification.join(","),
+            f.symptoms.features,
+        ));
+    }
+    out.push_str(&format!(
+        "files={} loc={} parse_errors={}\n",
+        report.files_analyzed,
+        report.loc,
+        report.parse_errors.len()
+    ));
+    out
+}
+
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    fn walk(p: &Path, out: &mut Vec<PathBuf>) {
+        if p.is_dir() {
+            for e in std::fs::read_dir(p).unwrap() {
+                walk(&e.unwrap().path(), out);
+            }
+        } else {
+            out.push(p.to_path_buf());
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn corrupted_entries_are_discarded_never_believed() {
+    let dir = temp_dir("corrupt");
+    let files = sources();
+    let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
+
+    // populate the cache
+    let tool = WapTool::new(ToolConfig::wape().with_cache_dir(&dir));
+    assert_eq!(cold, fingerprint(&tool.analyze_sources(&files)));
+    let entries = entry_files(&dir);
+    assert!(!entries.is_empty(), "populated cache has entry files");
+
+    // damage every entry, rotating through truncation / garbage / bit-flip
+    for (k, path) in entries.iter().enumerate() {
+        let raw = std::fs::read(path).unwrap();
+        match k % 3 {
+            0 => std::fs::write(path, &raw[..raw.len() / 2]).unwrap(),
+            1 => std::fs::write(path, b"this is not a cache entry").unwrap(),
+            _ => {
+                let mut raw = raw;
+                let last = raw.len() - 1;
+                raw[last] ^= 0x40;
+                std::fs::write(path, &raw).unwrap();
+            }
+        }
+    }
+
+    // a fresh tool sees only damaged entries: discard, recompute, rewrite
+    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    assert_eq!(cold, fingerprint(&report), "corruption changed findings");
+    assert!(
+        report.cache.corrupt_discarded > 0,
+        "damaged entries must be counted: {:?}",
+        report.cache
+    );
+
+    // the rewritten entries serve a clean warm run again
+    let warm = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    assert_eq!(cold, fingerprint(&warm));
+    assert_eq!(warm.cache.misses, 0, "cache must heal after corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn elder_format_version_entries_are_invalidated() {
+    let dir = temp_dir("elder");
+    let files = sources();
+    let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
+    WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+
+    // rewrite every frame's version field to an older generation
+    assert_eq!(ENTRY_FORMAT_VERSION, 1, "update this test with the format");
+    for path in entry_files(&dir) {
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[4..8].copy_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+    }
+
+    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    assert_eq!(cold, fingerprint(&report));
+    assert!(report.cache.invalidations > 0, "{:?}", report.cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The nastiest case: a frame whose checksum verifies (so the store layer
+/// accepts it) but whose payload is garbage at the artifact level. The
+/// payload decoders must reject it and the pipeline must recompute.
+#[test]
+fn well_framed_garbage_payloads_are_rejected_at_decode() {
+    let dir = temp_dir("framed-garbage");
+    let files = sources();
+    let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
+    WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+
+    for path in entry_files(&dir) {
+        let payload = b"total nonsense that is not a serialized artifact";
+        let mut framed = Vec::new();
+        framed.extend_from_slice(b"WAPC");
+        framed.extend_from_slice(&ENTRY_FORMAT_VERSION.to_le_bytes());
+        framed.extend_from_slice(&Blake2s::hash(payload));
+        framed.extend_from_slice(payload);
+        std::fs::write(&path, &framed).unwrap();
+    }
+
+    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    assert_eq!(cold, fingerprint(&report), "tampered payloads changed findings");
+    assert!(report.cache.corrupt_discarded > 0, "{:?}", report.cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The second-order (stored XSS) pass caches its own pass entries; warm
+/// runs must reproduce it exactly, including the store→fetch trigger.
+#[test]
+fn second_order_pass_warm_run_matches_cold() {
+    let files = vec![
+        (
+            "store.php".to_string(),
+            "<?php\n$c = $_POST['comment'];\nmysql_query(\"INSERT INTO comments VALUES ('$c')\");\n"
+                .to_string(),
+        ),
+        (
+            "show.php".to_string(),
+            "<?php\n$r = mysql_query(\"SELECT * FROM comments\");\n$row = mysql_fetch_assoc($r);\necho $row['comment'];\n"
+                .to_string(),
+        ),
+    ];
+    let mut config = ToolConfig::wape();
+    config.analysis.second_order = true;
+
+    let cold_report = WapTool::new(config.clone()).analyze_sources(&files);
+    let cold = fingerprint(&cold_report);
+    assert!(
+        cold_report
+            .findings
+            .iter()
+            .any(|f| f.candidate.file.as_deref() == Some("show.php")),
+        "second-order pass must flag the stored-data echo: {cold}"
+    );
+
+    let mut tool = WapTool::new(config);
+    tool.enable_memory_cache();
+    assert_eq!(cold, fingerprint(&tool.analyze_sources(&files)));
+    let warm = tool.analyze_sources(&files);
+    assert_eq!(cold, fingerprint(&warm), "warm second-order run diverged");
+    assert_eq!(warm.cache.misses, 0);
+}

@@ -82,6 +82,70 @@ fn findings_are_bit_identical_for_every_job_count() {
     }
 }
 
+/// The incremental cache must never change output: a cold run, a fully
+/// warm run, and a partially invalidated run (files edited, added,
+/// removed) must be bit-identical — at every job count.
+#[test]
+fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
+    let mut sources = corpus_sources();
+    let dir = std::env::temp_dir().join(format!(
+        "wap-determinism-cache-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = |sources: &[(String, String)]| {
+        fingerprint(&WapTool::new(ToolConfig::wape_full().with_jobs(1)).analyze_sources(sources))
+    };
+    let sweep = |sources: &[(String, String)], baseline: &str, label: &str| {
+        for jobs in [1usize, 2, 8] {
+            let tool =
+                WapTool::new(ToolConfig::wape_full().with_jobs(jobs).with_cache_dir(&dir));
+            let report = tool.analyze_sources(sources);
+            assert_eq!(
+                baseline,
+                fingerprint(&report),
+                "{label} cached run at jobs={jobs} diverged from cold"
+            );
+        }
+    };
+
+    let baseline = cold(&sources);
+    sweep(&sources, &baseline, "populating");
+
+    // fully warm: same sources, fresh tool per job count, zero re-analysis
+    let warm_tool = WapTool::new(ToolConfig::wape_full().with_jobs(4).with_cache_dir(&dir));
+    let warm = warm_tool.analyze_sources(&sources);
+    assert_eq!(baseline, fingerprint(&warm), "fully warm run diverged");
+    assert_eq!(warm.cache.misses, 0, "fully warm run must not miss");
+    assert!(warm.cache.hits > 0);
+
+    // partial invalidation #1: edit one file's top level (no declaration
+    // change — every other file's taint artifacts stay valid)
+    sources[0].1.push_str("\necho $_GET['cache_probe'];\n");
+    let baseline = cold(&sources);
+    sweep(&sources, &baseline, "edited-file");
+
+    // partial invalidation #2: remove a file and add one declaring a new
+    // function (the app-wide functions digest changes)
+    sources.remove(1);
+    sources.push((
+        "appx/new_helper.php".to_string(),
+        "<?php\nfunction cache_probe_helper($v) { return $v; }\necho cache_probe_helper($_GET['h']);\n"
+            .to_string(),
+    ));
+    let baseline = cold(&sources);
+    sweep(&sources, &baseline, "add-remove");
+
+    let partial = WapTool::new(ToolConfig::wape_full().with_jobs(2).with_cache_dir(&dir))
+        .analyze_sources(&sources);
+    assert_eq!(baseline, fingerprint(&partial));
+    assert_eq!(partial.cache.misses, 0, "repeat of same input must be warm");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn second_order_pass_is_deterministic_too() {
     let sources = corpus_sources();
