@@ -138,7 +138,9 @@ impl CacheStatsSnapshot {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
-            corrupt_discarded: self.corrupt_discarded.saturating_sub(earlier.corrupt_discarded),
+            corrupt_discarded: self
+                .corrupt_discarded
+                .saturating_sub(earlier.corrupt_discarded),
             stored: self.stored.saturating_sub(earlier.stored),
         }
     }
@@ -325,6 +327,39 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn concurrent_clones_share_one_store() {
+        // the resident service clones one store into every executor; puts
+        // and gets racing on the same keys must stay consistent and every
+        // clone must observe the shared memory layer
+        let dir = temp_dir("concurrent");
+        let store = CacheStore::open(&dir);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("{:060}{t}{i:03}", 0);
+                        let payload = format!("payload-{t}-{i}").into_bytes();
+                        store.put(&key, payload.clone());
+                        let got = store.get(&key).expect("own write visible");
+                        assert_eq!(*got, payload);
+                        // read a key another thread may be writing: either
+                        // absent or fully intact, never torn
+                        let other = format!("{:060}{}{i:03}", 0, (t + 1) % 4);
+                        if let Some(v) = store.get(&other) {
+                            assert!(v.starts_with(b"payload-"));
+                        }
+                    }
+                });
+            }
+        });
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.stored, 200, "every put from every clone counted");
+        assert_eq!(snap.corrupt_discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

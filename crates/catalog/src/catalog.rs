@@ -602,7 +602,10 @@ mod tests {
             WeaponConfig::nosqli(),
         ]);
         assert_eq!(a.fingerprint_material(), b.fingerprint_material());
-        assert_eq!(a.fingerprint_material(), Catalog::wape_full().fingerprint_material());
+        assert_eq!(
+            a.fingerprint_material(),
+            Catalog::wape_full().fingerprint_material()
+        );
     }
 
     #[test]

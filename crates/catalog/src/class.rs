@@ -104,6 +104,40 @@ impl VulnClass {
         format!("-{}", self.acronym().to_ascii_lowercase())
     }
 
+    /// The stable rule identifier used by machine-readable reports (the
+    /// SARIF `rule.id`). Derived from the acronym, so it is identical for
+    /// the two XSS variants and stable for weapon-defined classes across
+    /// runs, versions, and weapon load order.
+    pub fn rule_id(&self) -> String {
+        format!("WAP-{}", self.acronym())
+    }
+
+    /// One-line description of the class for rule metadata.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            VulnClass::Sqli => "SQL injection: untrusted input reaches a SQL query sink",
+            VulnClass::XssReflected | VulnClass::XssStored => {
+                "Cross-site scripting: untrusted input echoed into a page"
+            }
+            VulnClass::Rfi => "Remote file inclusion: untrusted input selects an included file",
+            VulnClass::Lfi => "Local file inclusion: untrusted input selects a local file",
+            VulnClass::DirTraversal => {
+                "Directory traversal: untrusted input escapes the intended path"
+            }
+            VulnClass::Osci => "OS command injection: untrusted input reaches a shell command",
+            VulnClass::Scd => "Source code disclosure: untrusted input exposes source files",
+            VulnClass::Phpci => "PHP command injection: untrusted input reaches eval-like code",
+            VulnClass::LdapI => "LDAP injection: untrusted input reaches an LDAP filter",
+            VulnClass::XpathI => "XPath injection: untrusted input reaches an XPath query",
+            VulnClass::NoSqlI => "NoSQL injection: untrusted input reaches a NoSQL query",
+            VulnClass::CommentSpam => "Comment spamming: unvalidated input posted as content",
+            VulnClass::HeaderI => "Header injection: untrusted input reaches an HTTP header",
+            VulnClass::EmailI => "Email injection: untrusted input reaches a mail header",
+            VulnClass::SessionFixation => "Session fixation: attacker-chosen session identifier",
+            VulnClass::Custom(_) => "Vulnerability class loaded from a weapon configuration",
+        }
+    }
+
     /// The analyzer sub-module this class belongs to (Fig. 2 / Table IV).
     pub fn submodule(&self) -> SubModule {
         match self {
@@ -211,6 +245,19 @@ mod tests {
         assert_eq!(VulnClass::NoSqlI.flag(), "-nosqli");
         assert_eq!(VulnClass::Sqli.flag(), "-sqli");
         assert_eq!(VulnClass::Custom("WPSQLI".into()).flag(), "-wpsqli");
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_cover_weapons() {
+        assert_eq!(VulnClass::Sqli.rule_id(), "WAP-SQLI");
+        // both XSS variants share one paper class and one rule
+        assert_eq!(
+            VulnClass::XssReflected.rule_id(),
+            VulnClass::XssStored.rule_id()
+        );
+        assert_eq!(VulnClass::Custom("WPSQLI".into()).rule_id(), "WAP-WPSQLI");
+        assert!(!VulnClass::NoSqlI.summary().is_empty());
+        assert!(!VulnClass::Custom("X".into()).summary().is_empty());
     }
 
     #[test]

@@ -33,25 +33,37 @@ use wap_php::{content_hash, parse, Blake2s, ParseError, Program, Span};
 use wap_runtime::Runtime;
 use wap_taint::serial::write_candidate;
 use wap_taint::{
-    dedup_and_sort, declared_names, function_fingerprint, pass_candidates, run_pass_incremental,
+    declared_names, dedup_and_sort, function_fingerprint, pass_candidates, run_pass_incremental,
     Candidate, PassArtifacts, PassInput,
 };
 
 use crate::pipeline::{elapsed_ns, AppReport, Finding, WapTool};
 
 /// Bumped whenever key derivation or any payload layout in this module
-/// changes; combined with the crate version so entries never cross builds.
+/// changes; combined with the tool version so entries never cross builds.
 const CACHE_SCHEMA: &str = "core-cache-v1";
 
+/// The tool-version component of every cache key. This is the same
+/// constant stamped into reports and the SARIF `tool.driver`, so a
+/// version bump invalidates cached artifacts and changes the advertised
+/// tool version atomically — the two can never drift apart.
+const TOOL_VERSION_KEY: &str = wap_report::TOOL_VERSION;
+
 fn decl_key(hash: &str) -> String {
-    fields_hash(["decl", CACHE_SCHEMA, env!("CARGO_PKG_VERSION"), hash])
+    fields_hash(["decl", CACHE_SCHEMA, TOOL_VERSION_KEY, hash])
 }
 
-fn pass_key(second: bool, file: &str, hash: &str, functions_digest: &str, config_fp: &str) -> String {
+fn pass_key(
+    second: bool,
+    file: &str,
+    hash: &str,
+    functions_digest: &str,
+    config_fp: &str,
+) -> String {
     fields_hash([
         "pass",
         CACHE_SCHEMA,
-        env!("CARGO_PKG_VERSION"),
+        TOOL_VERSION_KEY,
         if second { "2" } else { "1" },
         file,
         hash,
@@ -70,7 +82,7 @@ fn findings_key(
     fields_hash([
         "find",
         CACHE_SCHEMA,
-        env!("CARGO_PKG_VERSION"),
+        TOOL_VERSION_KEY,
         file,
         hash,
         functions_digest,
@@ -312,13 +324,15 @@ fn run_cached_pass(
     let mut cached: Vec<Option<PassArtifacts>> = keys
         .iter()
         .map(|k| {
-            store.get(k).and_then(|p| match PassArtifacts::from_bytes(&p) {
-                Ok(a) => Some(a),
-                Err(_) => {
-                    store.reject(k);
-                    None
-                }
-            })
+            store
+                .get(k)
+                .and_then(|p| match PassArtifacts::from_bytes(&p) {
+                    Ok(a) => Some(a),
+                    Err(_) => {
+                        store.reject(k);
+                        None
+                    }
+                })
         })
         .collect();
     *cache_ns += elapsed_ns(t);
@@ -399,13 +413,15 @@ pub(crate) fn analyze_sources_cached(
     let mut infos: Vec<Option<DeclInfo>> = decl_keys
         .iter()
         .map(|key| {
-            store.get(key).and_then(|payload| match decode_decl(&payload) {
-                Ok(info) => Some(info),
-                Err(_) => {
-                    store.reject(key);
-                    None
-                }
-            })
+            store
+                .get(key)
+                .and_then(|payload| match decode_decl(&payload) {
+                    Ok(info) => Some(info),
+                    Err(_) => {
+                        store.reject(key);
+                        None
+                    }
+                })
         })
         .collect();
     cache_ns += elapsed_ns(t);
@@ -465,7 +481,10 @@ pub(crate) fn analyze_sources_cached(
                 programs.push(programs_by_src[i].take());
             }
             DeclInfo::Unparsed { message, span } => {
-                parse_errors.push((sources[i].0.clone(), ParseError::new(message.clone(), *span)));
+                parse_errors.push((
+                    sources[i].0.clone(),
+                    ParseError::new(message.clone(), *span),
+                ));
             }
         }
     }
@@ -659,5 +678,7 @@ pub(crate) fn analyze_sources_cached(
         predict_ns,
         cache: store.stats().snapshot().since(&stats_before),
         cache_ns,
+        tool_name: wap_report::TOOL_NAME,
+        tool_version: wap_report::TOOL_VERSION,
     })
 }

@@ -43,6 +43,7 @@ pub use wap_runtime as runtime;
 pub use wap_cache as cache;
 
 pub use pipeline::{AppReport, Finding, Generation, ToolConfig, WapTool};
+pub use wap_report::{Format, TOOL_NAME, TOOL_VERSION};
 pub use wap_runtime::Runtime;
 
 /// Parses PHP source (re-exported convenience used by the CLI).

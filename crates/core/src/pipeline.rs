@@ -4,13 +4,12 @@
 use crate::weapon::Weapon;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
-use wap_cache::{CacheStore, CacheStatsSnapshot};
+use std::time::Instant;
+use wap_cache::{CacheStatsSnapshot, CacheStore};
 use wap_catalog::{Catalog, WeaponConfig};
 use wap_fixer::{Corrector, FixResult};
 use wap_mining::{
-    collect, DynamicSymptomMap, FalsePositivePredictor, FeatureVector, Prediction,
-    PredictorGeneration,
+    collect, DynamicSymptomMap, FalsePositivePredictor, FeatureVector, PredictorGeneration,
 };
 use wap_php::{parse, ParseError, Program};
 use wap_runtime::Runtime;
@@ -18,6 +17,10 @@ use wap_taint::{analyze_with, AnalysisOptions, Candidate, SourceFile};
 
 /// Which tool generation to run — the paper compares both.
 pub use wap_mining::PredictorGeneration as Generation;
+
+/// The report model, re-exported from the shared renderer crate so every
+/// historical `wap_core::pipeline::AppReport` path keeps working.
+pub use wap_report::{AppReport, Finding};
 
 /// Configuration for a [`WapTool`] instance.
 #[derive(Debug, Clone)]
@@ -97,87 +100,6 @@ impl ToolConfig {
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
         self
-    }
-}
-
-/// One analyzed finding: the taint candidate plus the predictor's verdict
-/// and the symptoms that justified it.
-#[derive(Debug, Clone)]
-pub struct Finding {
-    /// The candidate vulnerability from the taint analyzer.
-    pub candidate: Candidate,
-    /// The committee's verdict.
-    pub prediction: Prediction,
-    /// The collected attribute vector.
-    pub symptoms: FeatureVector,
-}
-
-impl Finding {
-    /// Whether the tool reports this as a real vulnerability.
-    pub fn is_real(&self) -> bool {
-        !self.prediction.is_false_positive
-    }
-}
-
-/// Result of analyzing one application.
-#[derive(Debug, Clone)]
-pub struct AppReport {
-    /// All findings (real + predicted FPs), in file/line order.
-    pub findings: Vec<Finding>,
-    /// Files successfully analyzed.
-    pub files_analyzed: usize,
-    /// Total lines of code analyzed.
-    pub loc: usize,
-    /// Files that failed to parse, with their errors.
-    pub parse_errors: Vec<(String, ParseError)>,
-    /// Wall-clock analysis time.
-    pub duration: Duration,
-    /// Nanoseconds spent parsing.
-    pub parse_ns: u64,
-    /// Nanoseconds spent in taint analysis.
-    pub taint_ns: u64,
-    /// Nanoseconds spent collecting symptoms and voting.
-    pub predict_ns: u64,
-    /// Incremental cache counters for this run (all zero when the cache
-    /// is disabled).
-    pub cache: CacheStatsSnapshot,
-    /// Nanoseconds of cache overhead: content hashing, key derivation,
-    /// and entry encode/decode/IO.
-    pub cache_ns: u64,
-}
-
-impl AppReport {
-    /// Findings classified as real vulnerabilities.
-    pub fn real_vulnerabilities(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.is_real())
-    }
-
-    /// Findings predicted to be false positives.
-    pub fn predicted_false_positives(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| !f.is_real())
-    }
-
-    /// Count of real vulnerabilities per class acronym, sorted.
-    pub fn real_by_class(&self) -> Vec<(String, usize)> {
-        let mut map: HashMap<String, usize> = HashMap::new();
-        for f in self.real_vulnerabilities() {
-            *map.entry(f.candidate.class.acronym().to_string())
-                .or_default() += 1;
-        }
-        let mut v: Vec<(String, usize)> = map.into_iter().collect();
-        v.sort();
-        v
-    }
-
-    /// Distinct files containing real vulnerabilities.
-    pub fn vulnerable_files(&self) -> usize {
-        let mut fs: Vec<&str> = self
-            .real_vulnerabilities()
-            .filter_map(|f| f.candidate.file.as_deref())
-            .collect();
-        fs.sort();
-        fs.dedup();
-        fs.len()
     }
 }
 
@@ -299,8 +221,7 @@ impl WapTool {
     /// the findings are bit-identical to an uncached run either way.
     pub fn analyze_sources(&self, sources: &[(String, String)]) -> AppReport {
         if let Some(store) = &self.cache {
-            if let Some(report) = crate::incremental::analyze_sources_cached(self, store, sources)
-            {
+            if let Some(report) = crate::incremental::analyze_sources_cached(self, store, sources) {
                 return report;
             }
         }
@@ -380,6 +301,8 @@ impl WapTool {
             predict_ns,
             cache: CacheStatsSnapshot::default(),
             cache_ns: 0,
+            tool_name: wap_report::TOOL_NAME,
+            tool_version: wap_report::TOOL_VERSION,
         }
     }
 
@@ -397,6 +320,15 @@ impl WapTool {
 
 pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+// The resident service shares one trained tool across request-handler and
+// executor threads; keep that property checked at compile time.
+#[allow(dead_code)]
+fn assert_tool_is_service_safe() {
+    fn check<T: Send + Sync>() {}
+    check::<WapTool>();
+    check::<AppReport>();
 }
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! JSON and NDJSON rendering.
+//!
+//! The JSON document is one pretty-printed object; NDJSON emits one
+//! compact object per finding followed by a summary object, so a
+//! streaming consumer can act on findings before the scan's metadata
+//! arrives. Neither rendering includes wall-clock timings — output for
+//! the same tree is byte-identical across runs, worker counts, and
+//! warm/cold caches.
+
+use crate::{AppReport, Finding};
+
+#[derive(serde::Serialize)]
+struct JsonTool {
+    name: &'static str,
+    version: &'static str,
+}
+
+fn tool_stamp(report: &AppReport) -> JsonTool {
+    JsonTool {
+        name: report.tool_name,
+        version: report.tool_version,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct JsonFinding<'a> {
+    file: Option<&'a str>,
+    line: u32,
+    class: &'a str,
+    sink: &'a str,
+    sources: &'a [String],
+    real: bool,
+    justification: Vec<&'a str>,
+}
+
+impl<'a> JsonFinding<'a> {
+    fn new(f: &'a Finding) -> Self {
+        JsonFinding {
+            file: f.candidate.file.as_deref(),
+            line: f.candidate.line,
+            class: f.candidate.class.acronym(),
+            sink: &f.candidate.sink,
+            sources: &f.candidate.sources,
+            real: f.is_real(),
+            justification: f.prediction.justification.clone(),
+        }
+    }
+}
+
+/// Formats a report as one pretty-printed JSON document.
+pub fn render_json(report: &AppReport) -> String {
+    #[derive(serde::Serialize)]
+    struct JsonReport<'a> {
+        tool: JsonTool,
+        files_analyzed: usize,
+        loc: usize,
+        parse_error_count: usize,
+        real_vulnerabilities: usize,
+        predicted_false_positives: usize,
+        findings: Vec<JsonFinding<'a>>,
+        parse_errors: Vec<(String, String)>,
+    }
+    let findings: Vec<JsonFinding> = report.findings.iter().map(JsonFinding::new).collect();
+    serde_json::to_string_pretty(&JsonReport {
+        tool: tool_stamp(report),
+        files_analyzed: report.files_analyzed,
+        loc: report.loc,
+        parse_error_count: report.parse_errors.len(),
+        real_vulnerabilities: report.real_vulnerabilities().count(),
+        predicted_false_positives: report.predicted_false_positives().count(),
+        findings,
+        parse_errors: report
+            .parse_errors
+            .iter()
+            .map(|(f, e)| (f.clone(), e.to_string()))
+            .collect(),
+    })
+    .expect("report serializes")
+}
+
+/// Formats a report as NDJSON: one compact JSON object per finding, then
+/// one `{"summary": ...}` object closing the stream.
+pub fn render_ndjson(report: &AppReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&serde_json::to_string(&JsonFinding::new(f)).expect("finding serializes"));
+        out.push('\n');
+    }
+    #[derive(serde::Serialize)]
+    struct Summary<'a> {
+        tool: JsonTool,
+        files_analyzed: usize,
+        loc: usize,
+        parse_error_count: usize,
+        real_vulnerabilities: usize,
+        predicted_false_positives: usize,
+        parse_errors: Vec<(&'a str, String)>,
+    }
+    #[derive(serde::Serialize)]
+    struct Trailer<'a> {
+        summary: Summary<'a>,
+    }
+    out.push_str(
+        &serde_json::to_string(&Trailer {
+            summary: Summary {
+                tool: tool_stamp(report),
+                files_analyzed: report.files_analyzed,
+                loc: report.loc,
+                parse_error_count: report.parse_errors.len(),
+                real_vulnerabilities: report.real_vulnerabilities().count(),
+                predicted_false_positives: report.predicted_false_positives().count(),
+                parse_errors: report
+                    .parse_errors
+                    .iter()
+                    .map(|(f, e)| (f.as_str(), e.to_string()))
+                    .collect(),
+            },
+        })
+        .expect("summary serializes"),
+    );
+    out.push('\n');
+    out
+}

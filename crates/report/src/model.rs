@@ -1,0 +1,99 @@
+//! The report model: what one analyzed application produced.
+//!
+//! These types used to live inside the pipeline crate; they were extracted
+//! so every consumer of a report — CLI, HTTP service, benches — shares one
+//! model and one set of renderers without depending on the pipeline.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use wap_cache::CacheStatsSnapshot;
+use wap_mining::{FeatureVector, Prediction};
+use wap_php::ParseError;
+use wap_taint::Candidate;
+
+/// One analyzed finding: the taint candidate plus the predictor's verdict
+/// and the symptoms that justified it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The candidate vulnerability from the taint analyzer.
+    pub candidate: Candidate,
+    /// The committee's verdict.
+    pub prediction: Prediction,
+    /// The collected attribute vector.
+    pub symptoms: FeatureVector,
+}
+
+impl Finding {
+    /// Whether the tool reports this as a real vulnerability.
+    pub fn is_real(&self) -> bool {
+        !self.prediction.is_false_positive
+    }
+}
+
+/// Result of analyzing one application.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// All findings (real + predicted FPs), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Files successfully analyzed.
+    pub files_analyzed: usize,
+    /// Total lines of code analyzed.
+    pub loc: usize,
+    /// Files that failed to parse, with their errors.
+    pub parse_errors: Vec<(String, ParseError)>,
+    /// Wall-clock analysis time.
+    pub duration: Duration,
+    /// Nanoseconds spent parsing.
+    pub parse_ns: u64,
+    /// Nanoseconds spent in taint analysis.
+    pub taint_ns: u64,
+    /// Nanoseconds spent collecting symptoms and voting.
+    pub predict_ns: u64,
+    /// Incremental cache counters for this run (all zero when the cache
+    /// is disabled).
+    pub cache: CacheStatsSnapshot,
+    /// Nanoseconds of cache overhead: content hashing, key derivation,
+    /// and entry encode/decode/IO.
+    pub cache_ns: u64,
+    /// Name of the tool that produced this report ([`crate::TOOL_NAME`]).
+    pub tool_name: &'static str,
+    /// Semantic version of the tool ([`crate::TOOL_VERSION`]) — the same
+    /// constant keyed into the incremental cache, so a report always names
+    /// the version whose cached artifacts it was assembled from.
+    pub tool_version: &'static str,
+}
+
+impl AppReport {
+    /// Findings classified as real vulnerabilities.
+    pub fn real_vulnerabilities(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_real())
+    }
+
+    /// Findings predicted to be false positives.
+    pub fn predicted_false_positives(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.is_real())
+    }
+
+    /// Count of real vulnerabilities per class acronym, sorted.
+    pub fn real_by_class(&self) -> Vec<(String, usize)> {
+        let mut map: HashMap<String, usize> = HashMap::new();
+        for f in self.real_vulnerabilities() {
+            *map.entry(f.candidate.class.acronym().to_string())
+                .or_default() += 1;
+        }
+        let mut v: Vec<(String, usize)> = map.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Distinct files containing real vulnerabilities.
+    pub fn vulnerable_files(&self) -> usize {
+        let mut fs: Vec<&str> = self
+            .real_vulnerabilities()
+            .filter_map(|f| f.candidate.file.as_deref())
+            .collect();
+        fs.sort();
+        fs.dedup();
+        fs.len()
+    }
+}

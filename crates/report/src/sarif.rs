@@ -1,0 +1,273 @@
+//! SARIF 2.1.0 rendering.
+//!
+//! One run per report. The rule table is derived from the active catalog's
+//! vulnerability classes — weapons loaded at runtime contribute rules like
+//! any built-in class, each under its stable [`VulnClass::rule_id`]. Every
+//! result carries a physical location (file + start line) and, when the
+//! taint analyzer recorded a data-flow path, a `codeFlows` entry whose
+//! thread flow replays the path step by step. Predicted false positives
+//! are reported at level `note` with `properties.predictedFalsePositive`
+//! set, so code-scanning UIs can surface or suppress them; parse errors
+//! become tool-execution notifications on the invocation object.
+
+use crate::{AppReport, TOOL_INFORMATION_URI};
+use std::collections::HashMap;
+use wap_catalog::VulnClass;
+
+#[derive(serde::Serialize)]
+struct Sarif<'a> {
+    #[serde(rename = "$schema")]
+    schema: &'static str,
+    version: &'static str,
+    runs: Vec<Run<'a>>,
+}
+
+#[derive(serde::Serialize)]
+struct Run<'a> {
+    tool: Tool<'a>,
+    invocations: Vec<Invocation>,
+    results: Vec<SarifResult>,
+}
+
+#[derive(serde::Serialize)]
+struct Tool<'a> {
+    driver: Driver<'a>,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct Driver<'a> {
+    name: &'a str,
+    semantic_version: &'a str,
+    information_uri: &'static str,
+    rules: Vec<Rule>,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct Rule {
+    id: String,
+    name: String,
+    short_description: Message,
+}
+
+#[derive(serde::Serialize)]
+struct Message {
+    text: String,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct Invocation {
+    execution_successful: bool,
+    tool_execution_notifications: Vec<Notification>,
+}
+
+#[derive(serde::Serialize)]
+struct Notification {
+    level: &'static str,
+    message: Message,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct SarifResult {
+    rule_id: String,
+    rule_index: usize,
+    level: &'static str,
+    message: Message,
+    locations: Vec<Location>,
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    code_flows: Vec<CodeFlow>,
+    properties: ResultProperties,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct ResultProperties {
+    predicted_false_positive: bool,
+    votes: usize,
+    sink: String,
+    sources: Vec<String>,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct Location {
+    physical_location: PhysicalLocation,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct PhysicalLocation {
+    artifact_location: ArtifactLocation,
+    region: Region,
+}
+
+#[derive(serde::Serialize)]
+struct ArtifactLocation {
+    uri: String,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct Region {
+    start_line: u32,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct CodeFlow {
+    thread_flows: Vec<ThreadFlow>,
+}
+
+#[derive(serde::Serialize)]
+struct ThreadFlow {
+    locations: Vec<ThreadFlowLocation>,
+}
+
+#[derive(serde::Serialize)]
+struct ThreadFlowLocation {
+    location: FlowLocation,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct FlowLocation {
+    physical_location: PhysicalLocation,
+    message: Message,
+}
+
+fn physical(uri: &str, line: u32) -> PhysicalLocation {
+    PhysicalLocation {
+        artifact_location: ArtifactLocation {
+            uri: uri.to_string(),
+        },
+        region: Region {
+            start_line: line.max(1),
+        },
+    }
+}
+
+/// Formats a report as a SARIF 2.1.0 document. `classes` is the active
+/// catalog's class list (weapons included); classes that appear in
+/// findings but not in `classes` still get a rule, so the document is
+/// always self-consistent.
+pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
+    // stable rule table: catalog classes first, then any finding-only
+    // stragglers, deduplicated by rule id and sorted for determinism
+    let mut by_id: HashMap<String, &VulnClass> = HashMap::new();
+    for class in classes
+        .iter()
+        .chain(report.findings.iter().map(|f| &f.candidate.class))
+    {
+        by_id.entry(class.rule_id()).or_insert(class);
+    }
+    let mut ids: Vec<String> = by_id.keys().cloned().collect();
+    ids.sort();
+    let rule_index: HashMap<&str, usize> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let rules: Vec<Rule> = ids
+        .iter()
+        .map(|id| {
+            let class = by_id[id];
+            Rule {
+                id: id.clone(),
+                name: class.acronym().to_string(),
+                short_description: Message {
+                    text: class.summary().to_string(),
+                },
+            }
+        })
+        .collect();
+
+    let results: Vec<SarifResult> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let uri = f.candidate.file.as_deref().unwrap_or("<input>");
+            let rule_id = f.candidate.class.rule_id();
+            let message = if f.is_real() {
+                f.candidate.headline()
+            } else {
+                format!(
+                    "{} — predicted false positive ({})",
+                    f.candidate.headline(),
+                    f.prediction.justification.join(", ")
+                )
+            };
+            let code_flows = if f.candidate.path.is_empty() {
+                Vec::new()
+            } else {
+                vec![CodeFlow {
+                    thread_flows: vec![ThreadFlow {
+                        locations: f
+                            .candidate
+                            .path
+                            .iter()
+                            .map(|step| ThreadFlowLocation {
+                                location: FlowLocation {
+                                    physical_location: physical(uri, step.line),
+                                    message: Message {
+                                        text: step.what.clone(),
+                                    },
+                                },
+                            })
+                            .collect(),
+                    }],
+                }]
+            };
+            SarifResult {
+                rule_index: rule_index[rule_id.as_str()],
+                rule_id,
+                level: if f.is_real() { "error" } else { "note" },
+                message: Message { text: message },
+                locations: vec![Location {
+                    physical_location: physical(uri, f.candidate.line),
+                }],
+                code_flows,
+                properties: ResultProperties {
+                    predicted_false_positive: !f.is_real(),
+                    votes: f.prediction.votes,
+                    sink: f.candidate.sink.clone(),
+                    sources: f.candidate.sources.clone(),
+                },
+            }
+        })
+        .collect();
+
+    let notifications: Vec<Notification> = report
+        .parse_errors
+        .iter()
+        .map(|(file, err)| Notification {
+            level: "error",
+            message: Message {
+                text: format!("{file}: parse error: {err}"),
+            },
+        })
+        .collect();
+
+    let doc = Sarif {
+        schema: "https://json.schemastore.org/sarif-2.1.0.json",
+        version: "2.1.0",
+        runs: vec![Run {
+            tool: Tool {
+                driver: Driver {
+                    name: report.tool_name,
+                    semantic_version: report.tool_version,
+                    information_uri: TOOL_INFORMATION_URI,
+                    rules,
+                },
+            },
+            invocations: vec![Invocation {
+                execution_successful: true,
+                tool_execution_notifications: notifications,
+            }],
+            results,
+        }],
+    };
+    serde_json::to_string_pretty(&doc).expect("sarif serializes")
+}

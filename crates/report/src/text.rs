@@ -1,0 +1,47 @@
+//! Human-readable rendering (the CLI's default output).
+
+use crate::AppReport;
+use std::fmt::Write as _;
+
+/// Formats a report as human-readable text.
+pub fn render_text(report: &AppReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let file = f.candidate.file.as_deref().unwrap_or("<input>");
+        if f.is_real() {
+            let _ = writeln!(
+                out,
+                "{file}:{}: {} via {} (source: {})",
+                f.candidate.line,
+                f.candidate.class,
+                f.candidate.sink,
+                f.candidate.sources.join(", "),
+            );
+            for step in &f.candidate.path {
+                let _ = writeln!(out, "    {} (line {})", step.what, step.line);
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "{file}:{}: {} candidate predicted FALSE POSITIVE ({})",
+                f.candidate.line,
+                f.candidate.class,
+                f.prediction.justification.join(", "),
+            );
+        }
+    }
+    for (file, err) in &report.parse_errors {
+        let _ = writeln!(out, "{file}: parse error: {err}");
+    }
+    let _ = writeln!(
+        out,
+        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives ({} ms)",
+        report.files_analyzed,
+        report.loc,
+        report.parse_errors.len(),
+        report.real_vulnerabilities().count(),
+        report.predicted_false_positives().count(),
+        report.duration.as_millis()
+    );
+    out
+}

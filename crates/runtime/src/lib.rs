@@ -75,6 +75,22 @@ impl Runtime {
         self.jobs
     }
 
+    /// Splits this runtime's worker budget across `ways` concurrent
+    /// job-level consumers, returning the per-consumer runtime.
+    ///
+    /// A resident service running several scans at once hands each scan a
+    /// partitioned runtime so the file-level fan-out of all scans together
+    /// never oversubscribes the configured worker count. The result always
+    /// keeps at least one worker, and output is bit-identical regardless
+    /// of partitioning (the per-task decomposition does not change).
+    #[must_use]
+    pub fn partition(&self, ways: usize) -> Runtime {
+        let ways = ways.max(1);
+        Runtime {
+            jobs: self.jobs.div_ceil(ways).max(1),
+        }
+    }
+
     /// Runs `n` indexed tasks and returns their results in index order.
     ///
     /// Workers claim indices from a shared cursor, so a long task on one
@@ -229,5 +245,15 @@ mod tests {
     #[test]
     fn from_config_explicit_wins() {
         assert_eq!(Runtime::from_config(Some(3)).jobs(), 3);
+    }
+
+    #[test]
+    fn partition_divides_and_never_starves() {
+        let rt = Runtime::new(Some(8));
+        assert_eq!(rt.partition(2).jobs(), 4);
+        assert_eq!(rt.partition(3).jobs(), 3); // ceil(8/3)
+        assert_eq!(rt.partition(16).jobs(), 1);
+        assert_eq!(rt.partition(0).jobs(), 8); // degenerate ways clamp to 1
+        assert_eq!(Runtime::serial().partition(4).jobs(), 1);
     }
 }

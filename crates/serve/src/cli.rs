@@ -1,0 +1,208 @@
+//! The `wap serve` front end: flag parsing, signal wiring, exit codes.
+
+use crate::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Help text for `wap serve`.
+pub const SERVE_USAGE: &str = "\
+wap serve — host the analysis pipeline as a resident HTTP service
+
+USAGE:
+    wap serve [FLAGS]
+
+FLAGS:
+    --addr <HOST:PORT>    bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+    --jobs <N>            analysis worker budget (default: WAP_JOBS env, then all cores)
+    --cache-dir <DIR>     share a persistent incremental cache across scans
+    --queue <N>           admission-queue capacity (default 32; full queue answers 429)
+    --workers <N>         concurrent scans (default 2); each gets jobs/workers threads
+    --help                show this message
+
+ENDPOINTS:
+    POST /v1/scan?path=<dir>[&format=text|json|ndjson|sarif][&async=1]
+    POST /v1/scan         (ustar body: scan an uploaded tree)
+    GET  /v1/jobs/<id>    poll an async scan
+    GET  /healthz         liveness
+    GET  /metrics         Prometheus text exposition
+
+SIGTERM or Ctrl-C drains gracefully: queued and in-flight scans finish,
+new scans are refused with 503, then the process exits 0.
+";
+
+/// Parses `wap serve` arguments.
+///
+/// # Errors
+///
+/// Returns a message for unknown flags or malformed values.
+pub fn parse_serve_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<(ServeConfig, bool), String> {
+    let mut config = ServeConfig::default();
+    let mut help = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => help = true,
+            "--addr" => config.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                config.jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let d = it.next().ok_or("--cache-dir needs a directory")?;
+                config.cache_dir = Some(PathBuf::from(d));
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a capacity")?;
+                config.queue_capacity = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--queue needs a positive number, got {v}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                config.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--workers needs a positive number, got {v}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((config, help))
+}
+
+/// Process-global shutdown flag, set from the signal handler.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        // only an atomic store: async-signal-safe
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Runs `wap serve` to completion; returns the process exit code
+/// (0 graceful shutdown, 1 runtime error, 2 usage error).
+pub fn cli_main(args: Vec<String>) -> i32 {
+    let (config, help) = match parse_serve_args(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{SERVE_USAGE}");
+            return 2;
+        }
+    };
+    if help {
+        print!("{SERVE_USAGE}");
+        return 0;
+    }
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", config.addr);
+            return 1;
+        }
+    };
+    let handle = match server.handle() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    install_signal_handlers();
+    println!("wap-serve listening on http://{}", handle.addr());
+    let watcher_handle = handle.clone();
+    std::thread::spawn(move || loop {
+        if SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+            watcher_handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    match server.run() {
+        Ok(()) => {
+            println!("wap-serve drained, shutting down");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let (c, help) = parse_serve_args(args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--jobs",
+            "8",
+            "--cache-dir",
+            "/tmp/wc",
+            "--queue",
+            "5",
+            "--workers",
+            "3",
+        ]))
+        .unwrap();
+        assert!(!help);
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.jobs, Some(8));
+        assert_eq!(c.cache_dir, Some(PathBuf::from("/tmp/wc")));
+        assert_eq!(c.queue_capacity, 5);
+        assert_eq!(c.workers, 3);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let (c, _) = parse_serve_args(args(&[])).unwrap();
+        assert_eq!(c, ServeConfig::default());
+        assert!(parse_serve_args(args(&["--frob"])).is_err());
+        assert!(parse_serve_args(args(&["--jobs", "0"])).is_err());
+        assert!(parse_serve_args(args(&["--queue", "0"])).is_err());
+        assert!(parse_serve_args(args(&["--workers", "none"])).is_err());
+        assert!(parse_serve_args(args(&["--addr"])).is_err());
+        let (_, help) = parse_serve_args(args(&["--help"])).unwrap();
+        assert!(help);
+    }
+
+    #[test]
+    fn usage_names_the_endpoints() {
+        for needle in ["/v1/scan", "/v1/jobs", "/healthz", "/metrics", "429", "503"] {
+            assert!(SERVE_USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! A deliberately small HTTP/1.1 layer: parse one request from a stream,
+//! write one response, close the connection.
+//!
+//! The service needs exactly the subset implemented here — request line,
+//! headers, `Content-Length` bodies, and `Connection: close` responses.
+//! There is no keep-alive, no chunked transfer coding, and no TLS; a
+//! reverse proxy owns those concerns in a real deployment.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on an accepted request body (tarball uploads included).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the request line plus all header lines.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A decoded query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or oversized requests;
+/// the caller turns it into a `400`.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    head_bytes += line.len();
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("request line has no target")?;
+    let version = parts.next().ok_or("request line has no version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| format!("reading header: {e}"))?;
+        head_bytes += h.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h.split_once(':').ok_or_else(|| format!("bad header {h}"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad content-length {value}"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+                ));
+            }
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("reading body: {e}"))?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Splits a request target into a decoded path and query map.
+fn parse_target(target: &str) -> Result<(String, HashMap<String, String>), String> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = HashMap::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(percent_decode(k)?, percent_decode(v)?);
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated percent escape in {s}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "bad percent escape")?;
+                let v = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad percent escape %{hex}"))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("target {s} is not UTF-8"))
+}
+
+/// Writes one response and flushes. `extra_headers` are appended verbatim
+/// (e.g. `("Retry-After", "1")`).
+pub fn write_response<W: Write>(
+    mut w: W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// The standard reason phrase for the statuses this service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /v1/scan?path=%2Ftmp%2Fapp&format=sarif HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/scan");
+        assert_eq!(req.query_param("path"), Some("/tmp/app"));
+        assert_eq!(req.query_param("format"), Some("sarif"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let raw = b"POST /v1/scan HTTP/1.1\r\nContent-Length: 5\r\nAccept: application/json\r\n\r\nhellotrailing";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("Accept"), Some("application/json"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(read_request(&b""[..]).is_err());
+        assert!(read_request(&b"GET\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET / SPDY/3\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n"[..]).is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(read_request(huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        assert_eq!(percent_decode("a+b%20c").unwrap(), "a b c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "text/plain",
+            b"busy\n",
+            &[("Retry-After", "1")],
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 1\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 5\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nbusy\n"), "{s}");
+    }
+}

@@ -1,0 +1,629 @@
+//! # wap-serve — the resident analysis service
+//!
+//! Scanning from a cold process pays parser/committee warm-up and an empty
+//! incremental cache on every invocation. This crate keeps the whole
+//! pipeline resident instead: one long-lived [`wap_core::WapTool`] — one
+//! trained false-positive committee, one warm [`wap_core::cache`] store —
+//! shared by every scan over plain HTTP/1.1 on `std::net::TcpListener`.
+//! Like `wap-runtime` and `wap-cache`, the crate is dependency-free: no
+//! async runtime, no HTTP framework, no TLS (a reverse proxy's job).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Behavior |
+//! |---|---|
+//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. |
+//! | `GET /v1/jobs/{id}` | Poll an async job: small JSON while queued/running, the rendered report once done. |
+//! | `GET /healthz` | Liveness: `200 ok` (also while draining). |
+//! | `GET /metrics` | Prometheus text exposition ([`metrics`]). |
+//!
+//! Admission control is a bounded queue: a full queue answers `429` with
+//! `Retry-After`, and once graceful shutdown begins new scans get `503`
+//! while queued and in-flight scans still finish.
+//!
+//! Scans render through `wap-report`, the same renderers the CLI uses, and
+//! the runtime guarantees bit-identical findings at any worker count — so
+//! a server response is byte-identical to `wap --format json` over the
+//! same tree (JSON/NDJSON/SARIF formats exclude wall-clock timings).
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod tar;
+
+pub use cli::cli_main;
+
+use metrics::Metrics;
+use queue::{JobQueue, JobStatus, SubmitError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wap_catalog::VulnClass;
+use wap_core::{Runtime, ToolConfig, WapTool};
+use wap_report::Format;
+
+/// How the accept loop polls for the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration (the `wap serve` flags).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Total analysis worker budget; `None` falls back to the `WAP_JOBS`
+    /// environment variable, then all cores. The budget is partitioned
+    /// across [`ServeConfig::workers`] concurrent scans.
+    pub jobs: Option<usize>,
+    /// Incremental cache root shared by every scan; `None` disables the
+    /// disk cache (an in-memory cache still keeps repeat scans warm).
+    pub cache_dir: Option<PathBuf>,
+    /// Bounded queue capacity; submissions past it are answered `429`.
+    pub queue_capacity: usize,
+    /// Executor threads — scans analyzed concurrently.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            jobs: None,
+            cache_dir: None,
+            queue_capacity: 32,
+            workers: 2,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and executors.
+struct Shared {
+    tool: WapTool,
+    classes: Vec<VulnClass>,
+    queue: JobQueue,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    open_connections: AtomicUsize,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// Remote control for a running [`Server`]: request graceful shutdown from
+/// another thread (or a signal watcher).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begins graceful shutdown: stop accepting, finish queued and
+    /// in-flight scans, then return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the resident tool (training the
+    /// false-positive committee once, opening the shared cache once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = config.workers.max(1);
+        // every concurrent scan gets an equal slice of the job budget, so
+        // `workers` simultaneous scans never oversubscribe it
+        let per_scan = Runtime::from_config(config.jobs).partition(workers);
+        let mut tool_config = ToolConfig::wape_full();
+        tool_config.jobs = Some(per_scan.jobs());
+        tool_config.cache_dir = config.cache_dir.clone();
+        let mut tool = WapTool::new(tool_config);
+        if config.cache_dir.is_none() {
+            // no disk cache requested: still share a process-lifetime
+            // in-memory cache so repeat scans stay warm
+            tool.enable_memory_cache();
+        }
+        let classes: Vec<VulnClass> = tool.catalog().classes().cloned().collect();
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                tool,
+                classes,
+                queue: JobQueue::new(config.queue_capacity),
+                metrics: Metrics::default(),
+                shutdown: AtomicBool::new(false),
+                open_connections: AtomicUsize::new(0),
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures from the socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for requesting shutdown from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures from the socket.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shared: self.shared.clone(),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains:
+    /// queued and in-flight scans finish, executors join, and open
+    /// connections get a grace period to flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut executors = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let shared = self.shared.clone();
+            executors.push(std::thread::spawn(move || executor_loop(&shared)));
+        }
+
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = self.shared.clone();
+                    self.shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        handle_connection(&shared, stream);
+                        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // graceful drain: no new admissions, but everything admitted runs
+        self.shared.queue.drain();
+        for ex in executors {
+            let _ = ex.join();
+        }
+        // give handlers that are writing responses a moment to finish
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.shared.open_connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        Ok(())
+    }
+}
+
+/// One executor: claim scans, analyze on the shared tool, render, record.
+fn executor_loop(shared: &Shared) {
+    while let Some(task) = shared.queue.next_task() {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let report = shared.tool.analyze_sources(&task.sources);
+            let body = task.format.render(&report, &shared.classes);
+            (report, body)
+        }));
+        match run {
+            Ok((report, body)) => {
+                shared.metrics.record_report(&report);
+                shared
+                    .queue
+                    .complete(task.id, task.format.content_type(), body);
+            }
+            Err(_) => {
+                Metrics::inc(&shared.metrics.jobs_failed);
+                shared.queue.fail(task.id, "scan panicked".to_string());
+            }
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let request = match http::read_request(&stream) {
+        Ok(r) => r,
+        Err(msg) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            let _ = http::write_response(
+                &stream,
+                400,
+                "text/plain; charset=utf-8",
+                format!("bad request: {msg}\n").as_bytes(),
+                &[],
+            );
+            return;
+        }
+    };
+    let (status, content_type, body, extra): (u16, &str, String, Vec<(&str, String)>) =
+        route(shared, &request);
+    let extra_refs: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+    let _ = http::write_response(&stream, status, content_type, body.as_bytes(), &extra_refs);
+}
+
+type RouteResponse = (u16, &'static str, String, Vec<(&'static str, String)>);
+
+/// Dispatches one parsed request.
+fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "text/plain; charset=utf-8", "ok\n".into(), vec![]),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            shared
+                .metrics
+                .render(shared.queue.depth(), shared.queue.in_flight()),
+            vec![],
+        ),
+        ("POST", "/v1/scan") => handle_scan(shared, req),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_job_poll(shared, path),
+        (_, "/healthz" | "/metrics" | "/v1/scan") => (
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+            vec![],
+        ),
+        _ => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            (
+                404,
+                "text/plain; charset=utf-8",
+                "not found\n".into(),
+                vec![],
+            )
+        }
+    }
+}
+
+/// `POST /v1/scan`: gather sources, admit, and either wait (sync) or
+/// return the job id (async).
+fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
+    let format = match scan_format(req) {
+        Ok(f) => f,
+        Err(msg) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return (400, "text/plain; charset=utf-8", msg, vec![]);
+        }
+    };
+    let sources = match scan_sources(req) {
+        Ok(s) => s,
+        Err(msg) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return (400, "text/plain; charset=utf-8", msg, vec![]);
+        }
+    };
+    if sources.is_empty() {
+        // mirror the CLI's answer for a tree with no PHP in it
+        return (
+            200,
+            "text/plain; charset=utf-8",
+            "no .php files found\n".into(),
+            vec![],
+        );
+    }
+    let id = match shared.queue.submit(sources, format) {
+        Ok(id) => id,
+        Err(SubmitError::Full) => {
+            Metrics::inc(&shared.metrics.jobs_rejected);
+            return (
+                429,
+                "text/plain; charset=utf-8",
+                "scan queue is full, retry shortly\n".into(),
+                vec![("Retry-After", "1".to_string())],
+            );
+        }
+        Err(SubmitError::Draining) => {
+            Metrics::inc(&shared.metrics.jobs_refused_draining);
+            return (
+                503,
+                "text/plain; charset=utf-8",
+                "server is draining for shutdown\n".into(),
+                vec![],
+            );
+        }
+    };
+    Metrics::inc(&shared.metrics.jobs_accepted);
+
+    let wants_async = matches!(req.query_param("async"), Some("1" | "true"));
+    if wants_async {
+        return (
+            202,
+            "application/json",
+            format!("{{\"job\":{id},\"status\":\"queued\"}}\n"),
+            vec![("Location", format!("/v1/jobs/{id}"))],
+        );
+    }
+    match shared.queue.wait(id) {
+        Some(JobStatus::Done { content_type, body }) => (200, content_type, body, vec![]),
+        Some(JobStatus::Failed { message }) => (
+            422,
+            "text/plain; charset=utf-8",
+            format!("scan failed: {message}\n"),
+            vec![],
+        ),
+        _ => (
+            500,
+            "text/plain; charset=utf-8",
+            "job vanished\n".into(),
+            vec![],
+        ),
+    }
+}
+
+/// `GET /v1/jobs/{id}`: job state, or the finished report itself.
+fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
+    let id_str = path.trim_start_matches("/v1/jobs/");
+    let Ok(id) = id_str.parse::<u64>() else {
+        Metrics::inc(&shared.metrics.bad_requests);
+        return (
+            400,
+            "text/plain; charset=utf-8",
+            format!("bad job id {id_str}\n"),
+            vec![],
+        );
+    };
+    match shared.queue.status(id) {
+        None => (
+            404,
+            "text/plain; charset=utf-8",
+            "unknown job\n".into(),
+            vec![],
+        ),
+        Some(JobStatus::Done { content_type, body }) => (200, content_type, body, vec![]),
+        Some(JobStatus::Failed { message }) => (
+            422,
+            "text/plain; charset=utf-8",
+            format!("scan failed: {message}\n"),
+            vec![],
+        ),
+        Some(status) => (
+            200,
+            "application/json",
+            format!("{{\"job\":{id},\"status\":\"{}\"}}\n", status.name()),
+            vec![],
+        ),
+    }
+}
+
+/// Resolves the render format: `?format=` wins, then `Accept`, then JSON
+/// (the natural API default; the CLI's default stays text).
+fn scan_format(req: &http::Request) -> Result<Format, String> {
+    if let Some(f) = req.query_param("format") {
+        return Format::parse(f).ok_or_else(|| format!("unknown format {f}\n"));
+    }
+    if let Some(accept) = req.header("accept") {
+        if let Some(f) = Format::from_accept(accept) {
+            return Ok(f);
+        }
+    }
+    Ok(Format::Json)
+}
+
+/// Gathers the sources to scan: an uploaded ustar body when present,
+/// otherwise the server-local `?path=`.
+fn scan_sources(req: &http::Request) -> Result<Vec<(String, String)>, String> {
+    if !req.body.is_empty() {
+        let mut sources =
+            tar::extract_php_sources(&req.body).map_err(|e| format!("bad tar upload: {e}\n"))?;
+        // same ordering contract as the CLI's directory walk
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        sources.dedup_by(|a, b| a.0 == b.0);
+        return Ok(sources);
+    }
+    let Some(path) = req.query_param("path") else {
+        return Err("scan needs a ?path= or a tar upload body\n".to_string());
+    };
+    let files = wap_core::cli::collect_php_files(&[PathBuf::from(path)])
+        .map_err(|e| format!("walking {path}: {e}\n"))?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let contents =
+            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}\n", f.display()))?;
+        sources.push((f.display().to_string(), contents));
+    }
+    Ok(sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// Boots a server on an ephemeral port; returns (handle, join).
+    fn boot(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind(&config).expect("bind");
+        let handle = server.handle().expect("handle");
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    /// One blocking HTTP exchange; returns (status, headers+body text).
+    fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw).expect("send");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("recv");
+        let text = String::from_utf8_lossy(&buf).to_string();
+        let status = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        (status, text)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        exchange(
+            addr,
+            format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        )
+    }
+
+    #[test]
+    fn healthz_metrics_and_shutdown() {
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (status, body) = get(handle.addr(), "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.ends_with("ok\n"), "{body}");
+        let (status, body) = get(handle.addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("wap_serve_queue_depth 0"), "{body}");
+        let (status, _) = get(handle.addr(), "/nope");
+        assert_eq!(status, 404);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn scan_path_text_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wap-serve-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("x.php"), "<?php echo $_GET['v'];\n").unwrap();
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let target = format!(
+            "/v1/scan?path={}&format=text",
+            http_escape(&dir.display().to_string())
+        );
+        let (status, body) = exchange(
+            handle.addr(),
+            format!("POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("1 files"), "{body}");
+        // missing path and bad format are client errors
+        let (status, _) = exchange(
+            handle.addr(),
+            b"POST /v1/scan HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = exchange(
+            handle.addr(),
+            b"POST /v1/scan?path=/tmp&format=xml HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_tar_upload_and_async_polling() {
+        let archive = tar::build(&[(
+            "app/x.php".to_string(),
+            "<?php echo $_GET['v'];\n".to_string(),
+        )]);
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let mut raw = format!(
+            "POST /v1/scan?format=text&async=1 HTTP/1.1\r\nHost: t\r\nContent-Type: application/x-tar\r\nContent-Length: {}\r\n\r\n",
+            archive.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&archive);
+        let (status, body) = exchange(handle.addr(), &raw);
+        assert_eq!(status, 202, "{body}");
+        assert!(body.contains("\"status\":\"queued\""), "{body}");
+        let job_line = body.lines().last().unwrap();
+        let id: u64 = job_line
+            .trim_start_matches("{\"job\":")
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // poll until done
+        let mut result = String::new();
+        for _ in 0..400 {
+            let (status, body) = get(handle.addr(), &format!("/v1/jobs/{id}"));
+            assert!(status == 200, "{body}");
+            if !body.contains("\"status\":\"") {
+                result = body;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(result.contains("1 files"), "{result}");
+        let (status, _) = get(handle.addr(), "/v1/jobs/999999");
+        assert_eq!(status, 404);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn draining_server_refuses_new_scans() {
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // drain via the queue directly (as run() does on shutdown), while
+        // the accept loop is still alive to answer
+        handle.shared.queue.drain();
+        let archive = tar::build(&[("x.php".to_string(), "<?php echo 1;\n".to_string())]);
+        let mut raw = format!(
+            "POST /v1/scan HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            archive.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&archive);
+        let (status, body) = exchange(handle.addr(), &raw);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("draining"), "{body}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    fn http_escape(s: &str) -> String {
+        let mut out = String::new();
+        for b in s.bytes() {
+            match b {
+                b'/' | b'.' | b'-' | b'_' => out.push(b as char),
+                b if b.is_ascii_alphanumeric() => out.push(b as char),
+                b => out.push_str(&format!("%{b:02X}")),
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,180 @@
+//! Service counters and their Prometheus text exposition.
+//!
+//! Counters are plain atomics bumped by HTTP handlers and executors; the
+//! `/metrics` endpoint renders them in the text exposition format (one
+//! `# TYPE` line per family). Queue depth and in-flight gauges are read
+//! from the live [`crate::queue::JobQueue`] at render time rather than
+//! mirrored here, so they can never go stale.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use wap_report::AppReport;
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Scans admitted to the queue.
+    pub jobs_accepted: AtomicU64,
+    /// Scans refused at admission (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Scans refused because the server was draining.
+    pub jobs_refused_draining: AtomicU64,
+    /// Scans that finished and produced a report.
+    pub jobs_completed: AtomicU64,
+    /// Scans that failed.
+    pub jobs_failed: AtomicU64,
+    /// Requests that could not be parsed or routed.
+    pub bad_requests: AtomicU64,
+    /// Incremental-cache hits across all scans.
+    pub cache_hits: AtomicU64,
+    /// Incremental-cache misses across all scans.
+    pub cache_misses: AtomicU64,
+    /// Incremental-cache entries stored across all scans.
+    pub cache_stored: AtomicU64,
+    /// Nanoseconds spent parsing, summed over scans.
+    pub parse_ns: AtomicU64,
+    /// Nanoseconds spent in taint analysis, summed over scans.
+    pub taint_ns: AtomicU64,
+    /// Nanoseconds spent predicting false positives, summed over scans.
+    pub predict_ns: AtomicU64,
+    /// Nanoseconds of cache overhead, summed over scans.
+    pub cache_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one finished scan's statistics into the totals.
+    pub fn record_report(&self, report: &AppReport) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(report.cache.hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(report.cache.misses, Ordering::Relaxed);
+        self.cache_stored
+            .fetch_add(report.cache.stored, Ordering::Relaxed);
+        self.parse_ns.fetch_add(report.parse_ns, Ordering::Relaxed);
+        self.taint_ns.fetch_add(report.taint_ns, Ordering::Relaxed);
+        self.predict_ns
+            .fetch_add(report.predict_ns, Ordering::Relaxed);
+        self.cache_ns.fetch_add(report.cache_ns, Ordering::Relaxed);
+    }
+
+    /// Renders the text exposition, with the live queue gauges supplied by
+    /// the caller.
+    pub fn render(&self, queue_depth: usize, in_flight: usize) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            "wap_serve_queue_depth",
+            "Scans admitted and waiting for an executor.",
+            queue_depth as u64,
+        );
+        gauge(
+            "wap_serve_jobs_in_flight",
+            "Scans currently being analyzed.",
+            in_flight as u64,
+        );
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "wap_serve_jobs_accepted_total",
+            "Scans admitted to the queue.",
+            g(&self.jobs_accepted),
+        );
+        counter(
+            "wap_serve_jobs_rejected_total",
+            "Scans refused at admission (queue full).",
+            g(&self.jobs_rejected),
+        );
+        counter(
+            "wap_serve_jobs_refused_draining_total",
+            "Scans refused during graceful shutdown.",
+            g(&self.jobs_refused_draining),
+        );
+        counter(
+            "wap_serve_jobs_completed_total",
+            "Scans that produced a report.",
+            g(&self.jobs_completed),
+        );
+        counter(
+            "wap_serve_jobs_failed_total",
+            "Scans that failed.",
+            g(&self.jobs_failed),
+        );
+        counter(
+            "wap_serve_bad_requests_total",
+            "Requests that could not be parsed or routed.",
+            g(&self.bad_requests),
+        );
+        counter(
+            "wap_serve_cache_hits_total",
+            "Incremental-cache hits across scans.",
+            g(&self.cache_hits),
+        );
+        counter(
+            "wap_serve_cache_misses_total",
+            "Incremental-cache misses across scans.",
+            g(&self.cache_misses),
+        );
+        counter(
+            "wap_serve_cache_stored_total",
+            "Incremental-cache entries stored across scans.",
+            g(&self.cache_stored),
+        );
+        out.push_str(
+            "# HELP wap_serve_phase_ns_total Nanoseconds per pipeline phase, summed over scans.\n\
+             # TYPE wap_serve_phase_ns_total counter\n",
+        );
+        for (phase, v) in [
+            ("parse", g(&self.parse_ns)),
+            ("taint", g(&self.taint_ns)),
+            ("predict", g(&self.predict_ns)),
+            ("cache", g(&self.cache_ns)),
+        ] {
+            out.push_str(&format!(
+                "wap_serve_phase_ns_total{{phase=\"{phase}\"}} {v}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_every_family() {
+        let m = Metrics::default();
+        Metrics::inc(&m.jobs_accepted);
+        Metrics::inc(&m.jobs_rejected);
+        let text = m.render(3, 1);
+        assert!(text.contains("wap_serve_queue_depth 3"), "{text}");
+        assert!(text.contains("wap_serve_jobs_in_flight 1"), "{text}");
+        assert!(text.contains("wap_serve_jobs_accepted_total 1"), "{text}");
+        assert!(text.contains("wap_serve_jobs_rejected_total 1"), "{text}");
+        assert!(
+            text.contains("wap_serve_phase_ns_total{phase=\"taint\"} 0"),
+            "{text}"
+        );
+        // every exposed family is typed
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "family {name} missing TYPE"
+            );
+        }
+    }
+}

@@ -386,7 +386,10 @@ mod tests {
             sink_span: Span::new(10, 42, 3),
             line: 3,
             sources: vec!["$_GET['id']".into()],
-            path: vec![TaintStep::new("entry point $_GET['id']", Span::new(10, 20, 3))],
+            path: vec![TaintStep::new(
+                "entry point $_GET['id']",
+                Span::new(10, 20, 3),
+            )],
             carriers: vec!["id".into()],
             tainted_arg: Some(0),
             fix_site: Span::new(12, 40, 3),

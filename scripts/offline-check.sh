@@ -47,6 +47,8 @@ members = [
     "interp",
     "corpus",
     "core",
+    "report",
+    "serve",
     "bench",
     "facade",
 ]
@@ -417,7 +419,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php cache catalog runtime taint mining fixer interp corpus core bench; do
+for c in php cache catalog runtime taint mining fixer interp corpus core report serve bench; do
     crate_dir "$c"
 done
 
@@ -508,14 +510,35 @@ wap-mining = { path = "../mining" }
 wap-fixer = { path = "../fixer" }
 wap-interp = { path = "../interp" }
 wap-runtime = { path = "../runtime" }
+wap-report = { path = "../report" }
 serde = { path = "../shims/serde", features = ["derive"] }
 serde_json = { path = "../shims/serde_json" }
-
-[[bin]]
-name = "wap"
-path = "src/bin/wap.rs"
 EOF
 } > "$SCRATCH/core/Cargo.toml"
+
+{ common_pkg report; cat <<'EOF'
+[dependencies]
+wap-php = { path = "../php" }
+wap-cache = { path = "../cache" }
+wap-taint = { path = "../taint" }
+wap-catalog = { path = "../catalog" }
+wap-mining = { path = "../mining" }
+serde = { path = "../shims/serde", features = ["derive"] }
+serde_json = { path = "../shims/serde_json" }
+EOF
+} > "$SCRATCH/report/Cargo.toml"
+
+{ common_pkg serve; cat <<'EOF'
+[dependencies]
+wap-core = { path = "../core" }
+wap-report = { path = "../report" }
+wap-runtime = { path = "../runtime" }
+wap-catalog = { path = "../catalog" }
+
+[dev-dependencies]
+wap-corpus = { path = "../corpus" }
+EOF
+} > "$SCRATCH/serve/Cargo.toml"
 
 { common_pkg bench; cat <<'EOF'
 [dependencies]
@@ -585,10 +608,17 @@ wap-fixer = { path = "../fixer" }
 wap-corpus = { path = "../corpus" }
 wap-core = { path = "../core" }
 wap-interp = { path = "../interp" }
+wap-report = { path = "../report" }
+wap-serve = { path = "../serve" }
+
+[[bin]]
+name = "wap"
+path = "src/bin/wap.rs"
 
 # only the self-comparing tests: they check the tool against itself
-# (job counts, cached vs cold), so the shimmed rand stream is immaterial
-# (the other root tests pin exact counts that need the real rand crate)
+# (job counts, cached vs cold, server vs CLI), so the shimmed rand stream
+# is immaterial (the other root tests pin exact counts that need the real
+# rand crate)
 [[test]]
 name = "parallel_determinism"
 path = "tests/parallel_determinism.rs"
@@ -596,6 +626,10 @@ path = "tests/parallel_determinism.rs"
 [[test]]
 name = "cache_incremental"
 path = "tests/cache_incremental.rs"
+
+[[test]]
+name = "serve_http"
+path = "tests/serve_http.rs"
 EOF
 
 cd "$SCRATCH"
@@ -609,11 +643,13 @@ fi
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
     cargo test --offline -q -p wap-php -p wap-cache -p wap-runtime -p wap-taint
+    echo "== offline-check: report + serve tests (std-only service stack) =="
+    cargo test --offline -q -p wap-report -p wap-serve
     echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
-    echo "== offline-check: determinism + cache tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental
+    echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http
 fi
 
 echo "offline-check: OK"

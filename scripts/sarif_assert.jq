@@ -1,0 +1,21 @@
+# Shape assertions for a wap SARIF document (used by serve-smoke.sh via
+# `jq -e -f`): the filter must evaluate to true, and `jq -e` turns a
+# false/null result into a nonzero exit.
+. as $doc
+| .version == "2.1.0"
+and (."$schema" | type == "string" and contains("sarif-2.1.0"))
+and (.runs | length == 1)
+and (.runs[0].tool.driver.name == "wap-rs")
+and (.runs[0].tool.driver.semanticVersion | test("^[0-9]+\\.[0-9]+\\.[0-9]+"))
+and (.runs[0].tool.driver.rules | length > 0)
+and ([.runs[0].tool.driver.rules[].id | startswith("WAP-")] | all)
+and (.runs[0].results | length > 0)
+and ([.runs[0].results[].ruleId | startswith("WAP-")] | all)
+and ([.runs[0].results[].level | IN("error", "note")] | all)
+and ([.runs[0].results[].locations | length > 0] | all)
+and ([.runs[0].results[].locations[0].physicalLocation.region.startLine >= 1] | all)
+# ruleIndex must point at the rule the result names
+and ([.runs[0].results[] | .ruleId == $doc.runs[0].tool.driver.rules[.ruleIndex].id] | all)
+# every recorded data-flow path is a non-empty thread flow
+and ([.runs[0].results[] | select(.codeFlows) | .codeFlows[0].threadFlows[0].locations | length > 0] | all)
+and (.runs[0].invocations | length == 1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `wap serve`, run by CI after a release build:
+#
+#   1. boot the server on a fixed local port with a persistent cache dir
+#   2. poll /healthz until it answers
+#   3. POST a scan of a small vulnerable app, validate the SARIF shape
+#      with the checked-in jq assertion (scripts/sarif_assert.jq)
+#   4. compare the server's SARIF byte-for-byte against the CLI's
+#   5. rescan (warm cache) and require identical bytes + a cache hit
+#   6. SIGTERM the server and require a graceful exit with status 0
+#
+# Requires: curl, jq, and target/release/wap (built by the caller).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$ROOT/target/release/wap"
+ADDR="127.0.0.1:18473"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -KILL "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$WORK/server.log" >&2 || true
+    exit 1
+}
+
+[[ -x "$BIN" ]] || { echo "serve-smoke: build target/release/wap first" >&2; exit 1; }
+
+# A tiny app with a tainted SQL sink and a reflected echo: enough to make
+# the SARIF results, codeFlows, and rule table all non-empty.
+mkdir -p "$WORK/app"
+cat > "$WORK/app/index.php" <<'PHP'
+<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = $id");
+echo "<p>Hello " . $_GET['name'] . "</p>";
+PHP
+
+echo "serve-smoke: starting server on $ADDR"
+"$BIN" serve --addr "$ADDR" --cache-dir "$WORK/cache" --workers 2 \
+    > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" > /dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before /healthz came up"
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" > /dev/null || fail "/healthz never became ready"
+echo "serve-smoke: /healthz OK"
+
+# --- cold scan: SARIF shape + byte-identity with the CLI ------------------
+curl -fsS -X POST "http://$ADDR/v1/scan?path=$WORK/app&format=sarif" \
+    -o "$WORK/server.sarif" || fail "cold scan request failed"
+jq -e -f "$ROOT/scripts/sarif_assert.jq" "$WORK/server.sarif" > /dev/null \
+    || fail "server SARIF failed shape assertions"
+echo "serve-smoke: SARIF shape OK"
+
+"$BIN" --format sarif --fail-on none "$WORK/app" > "$WORK/cli.sarif" \
+    || fail "CLI scan failed"
+cmp "$WORK/server.sarif" "$WORK/cli.sarif" \
+    || fail "server SARIF differs from CLI SARIF"
+echo "serve-smoke: server output byte-identical to CLI"
+
+# --- warm rescan: identical bytes, served from the shared cache -----------
+curl -fsS -X POST "http://$ADDR/v1/scan?path=$WORK/app&format=sarif" \
+    -o "$WORK/warm.sarif" || fail "warm scan request failed"
+cmp "$WORK/server.sarif" "$WORK/warm.sarif" \
+    || fail "warm rescan changed the report bytes"
+
+curl -fsS "http://$ADDR/metrics" > "$WORK/metrics.txt" || fail "/metrics failed"
+grep -q '^wap_serve_jobs_completed_total 2$' "$WORK/metrics.txt" \
+    || fail "expected 2 completed jobs in /metrics: $(cat "$WORK/metrics.txt")"
+awk '$1 == "wap_serve_cache_hits_total" && $2 > 0 { found = 1 } END { exit !found }' \
+    "$WORK/metrics.txt" || fail "warm rescan did not hit the cache"
+echo "serve-smoke: warm rescan identical, cache hit recorded"
+
+# --- graceful shutdown ----------------------------------------------------
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "server exited $STATUS on SIGTERM (want 0)"
+grep -q "drained" "$WORK/server.log" || fail "server log missing drain message"
+SERVER_PID=""
+echo "serve-smoke: graceful shutdown OK"
+
+echo "serve-smoke: PASS"

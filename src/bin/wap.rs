@@ -1,9 +1,15 @@
 //! The `wap` command-line tool: analyze PHP applications for 15 classes of
-//! input-validation vulnerabilities, predict false positives, and
-//! optionally correct the source.
+//! input-validation vulnerabilities, predict false positives, optionally
+//! correct the source — or host the whole pipeline as a resident HTTP
+//! service (`wap serve`).
 
 fn main() {
-    let opts = match wap_core::cli::parse_args(std::env::args().skip(1)) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        std::process::exit(wap_serve::cli_main(args));
+    }
+    let opts = match wap_core::cli::parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{}", wap_core::cli::USAGE);

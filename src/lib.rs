@@ -27,6 +27,8 @@
 //! * [`corpus`] — the deterministic synthetic evaluation corpus
 //! * [`cache`] — the persistent incremental analysis cache
 //! * [`core`] — the assembled pipeline and weapon generator
+//! * [`report`] — the report model and its renderers (text/JSON/NDJSON/SARIF)
+//! * [`serve`] — the resident HTTP analysis service
 //!
 //! ## Quick start
 //!
@@ -53,6 +55,8 @@ pub use wap_fixer as fixer;
 pub use wap_interp as interp;
 pub use wap_mining as mining;
 pub use wap_php as php;
+pub use wap_report as report;
+pub use wap_serve as serve;
 pub use wap_taint as taint;
 
 pub use wap_catalog::{Catalog, EntryPoint, SubModule, VulnClass, WeaponConfig};

@@ -166,7 +166,11 @@ fn well_framed_garbage_payloads_are_rejected_at_decode() {
     }
 
     let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
-    assert_eq!(cold, fingerprint(&report), "tampered payloads changed findings");
+    assert_eq!(
+        cold,
+        fingerprint(&report),
+        "tampered payloads changed findings"
+    );
     assert!(report.cache.corrupt_discarded > 0, "{:?}", report.cache);
     let _ = std::fs::remove_dir_all(&dir);
 }

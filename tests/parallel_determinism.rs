@@ -100,8 +100,7 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
     };
     let sweep = |sources: &[(String, String)], baseline: &str, label: &str| {
         for jobs in [1usize, 2, 8] {
-            let tool =
-                WapTool::new(ToolConfig::wape_full().with_jobs(jobs).with_cache_dir(&dir));
+            let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs).with_cache_dir(&dir));
             let report = tool.analyze_sources(sources);
             assert_eq!(
                 baseline,
