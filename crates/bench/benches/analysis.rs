@@ -41,7 +41,7 @@ fn bench_analysis(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Elements(app.loc as u64));
         for jobs in job_counts() {
-            let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs));
+            let tool = WapTool::new(ToolConfig::builder().jobs(jobs).build());
             group.bench_with_input(
                 BenchmarkId::new(label, format!("jobs={jobs}")),
                 &files,
@@ -103,7 +103,7 @@ fn bench_corpus_sweep(c: &mut Criterion) {
     group.throughput(Throughput::Elements(total_loc as u64));
     for jobs in job_counts() {
         // in-app analysis stays serial; the corpus level fans out
-        let tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+        let tool = WapTool::new(ToolConfig::builder().jobs(1).build());
         let runtime = Runtime::new(Some(jobs));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("jobs={jobs}")),

@@ -21,7 +21,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wap_core::{ToolConfig, WapTool};
+use wap_core::{Phase, ScanStats, ToolConfig, WapTool};
 use wap_corpus::generate_webapp;
 use wap_corpus::specs::vulnerable_webapps;
 
@@ -89,14 +89,21 @@ fn measure() -> Measurement {
     let sources = corpus();
     let total_loc: usize = sources.iter().map(|(_, s)| s.lines().count()).sum();
 
+    let mut cold_stats = ScanStats::new();
     let (cold_secs, findings) = best_secs(REPS, || {
-        WapTool::new(ToolConfig::wape_full().with_jobs(1))
-            .analyze_sources(&sources)
-            .findings
-            .len()
+        let report = WapTool::new(ToolConfig::builder().jobs(1).build()).analyze_sources(&sources);
+        cold_stats = report.stats.clone();
+        report.findings.len()
     });
+    let ms = |p: Phase| cold_stats.phase_ns(p) / 1_000_000;
+    println!(
+        "ci_bench: cold phases (last rep): parse {} ms, taint {} ms, predict {} ms",
+        ms(Phase::Parse),
+        ms(Phase::Taint),
+        ms(Phase::Predict)
+    );
 
-    let mut tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
     tool.enable_memory_cache();
     tool.analyze_sources(&sources); // prime
     let (warm_secs, warm_findings) = best_secs(REPS, || {

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 use wap_catalog::{Catalog, SubModule, VulnClass};
-use wap_core::{bar_chart, Runtime, TextTable, ToolConfig, WapTool};
+use wap_core::{bar_chart, Phase, Runtime, TextTable, ToolConfig, WapTool};
 use wap_corpus::specs::{
     clean_plugins, clean_webapps, vulnerable_plugins, vulnerable_webapps, AppSpec, PluginSpec,
     DOWNLOAD_BUCKETS, INSTALL_BUCKETS,
@@ -229,8 +229,8 @@ pub struct WebAppRun {
 /// level is the only source of concurrency. The join preserves spec
 /// order, so the tables aggregate deterministically.
 pub fn run_webapps(scale: f64, seed: u64) -> Vec<WebAppRun> {
-    let wape = WapTool::new(ToolConfig::wape_full().with_jobs(1));
-    let v21 = WapTool::new(ToolConfig::wap_v21().with_jobs(1));
+    let wape = WapTool::new(ToolConfig::builder().jobs(1).build());
+    let v21 = WapTool::new(ToolConfig::builder().v21().jobs(1).build());
     Runtime::from_config(None).map(vulnerable_webapps(), |i, spec| {
         let app = generate_webapp(&spec, scale, seed.wrapping_add(i as u64));
         let files: Vec<(String, String)> = app
@@ -278,9 +278,9 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
             r.wape.duration.as_millis().to_string(),
             format!(
                 "{}/{}/{}",
-                ms(r.wape.parse_ns),
-                ms(r.wape.taint_ns),
-                ms(r.wape.predict_ns)
+                ms(r.wape.stats.phase_ns(Phase::Parse)),
+                ms(r.wape.stats.phase_ns(Phase::Taint)),
+                ms(r.wape.stats.phase_ns(Phase::Predict))
             ),
             r.wape.vulnerable_files().to_string(),
             reported_real.to_string(),
@@ -292,9 +292,9 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
         tot.3 += r.wape.vulnerable_files();
         tot.4 += reported_real;
         tot.5 += r.spec.real.total();
-        phase_tot.0 += r.wape.parse_ns;
-        phase_tot.1 += r.wape.taint_ns;
-        phase_tot.2 += r.wape.predict_ns;
+        phase_tot.0 += r.wape.stats.phase_ns(Phase::Parse);
+        phase_tot.1 += r.wape.stats.phase_ns(Phase::Taint);
+        phase_tot.2 += r.wape.stats.phase_ns(Phase::Predict);
     }
     t.row(&[
         "Total".into(),
@@ -315,7 +315,7 @@ pub fn table5(runs: &[WebAppRun], scale: f64, seed: u64) -> String {
     out.push_str(&t.render());
 
     // clean packages: the remaining 37 of the 54, one app per runtime task
-    let wape = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let wape = WapTool::new(ToolConfig::builder().jobs(1).build());
     let clean_runs = Runtime::from_config(None).map(clean_webapps(), |i, (name, files, loc)| {
         let app = generate_clean_webapp(name, files, loc, scale, seed.wrapping_add(900 + i as u64));
         let sources: Vec<(String, String)> = app
@@ -445,7 +445,7 @@ pub struct PluginRun {
 /// Like [`run_webapps`], one plugin per runtime task with single-threaded
 /// in-app analysis and an order-preserving join.
 pub fn run_plugins(scale: f64, seed: u64) -> Vec<PluginRun> {
-    let tool = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let tool = WapTool::new(ToolConfig::builder().jobs(1).build());
     Runtime::from_config(None).map(vulnerable_plugins(), |i, spec| {
         let app = generate_plugin(&spec, scale.max(0.5), seed.wrapping_add(i as u64));
         let files: Vec<(String, String)> = app

@@ -2,13 +2,13 @@
 //! report formatting) — kept in the library so it is testable; the `wap`
 //! binary is a thin wrapper.
 
+use crate::error::WapError;
 use crate::pipeline::{AppReport, ToolConfig, WapTool};
 use crate::weapon::Weapon;
-use std::error::Error;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use wap_catalog::VulnClass;
-use wap_report::Format;
+use wap_report::{render_stats, Format};
 
 /// Re-exported renderers (kept under their historical `cli` paths; the
 /// implementations live in `wap-report`, shared with `wap-serve`).
@@ -82,6 +82,12 @@ pub struct CliOptions {
     /// Root directory of the persistent incremental cache (`--cache-dir`,
     /// or `--cache` for the default location).
     pub cache_dir: Option<PathBuf>,
+    /// Write an NDJSON span trace of the run to this file (`--trace`).
+    /// Tracing is observation-only: findings and machine-format report
+    /// bytes are identical with it on or off.
+    pub trace: Option<PathBuf>,
+    /// Append a phase/per-file timing section to text output (`--stats`).
+    pub stats: bool,
     /// Show help.
     pub help: bool,
 }
@@ -130,6 +136,8 @@ FLAGS:
     --jobs <N>            worker threads (default: WAP_JOBS env, then all cores)
     --cache               enable the incremental cache at WAP_CACHE_DIR or .wap-cache/
     --cache-dir <DIR>     enable the incremental cache at DIR
+    --trace <FILE>        write an NDJSON span trace of the run to FILE
+    --stats               append phase totals and slowest files to text output
     --help                show this message
 
 Findings are identical for every --jobs value; only wall-clock time changes.
@@ -142,8 +150,8 @@ bit-identical to a cold run.
 ///
 /// # Errors
 ///
-/// Returns a message for unknown flags or malformed values.
-pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
+/// Returns [`WapError::Usage`] for unknown flags or malformed values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, WapError> {
     let mut opts = CliOptions::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -178,7 +186,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     .parse()
                     .map_err(|_| format!("--jobs needs a number, got {v}"))?;
                 if n == 0 {
-                    return Err("--jobs must be at least 1".to_string());
+                    return Err(WapError::usage("--jobs must be at least 1"));
                 }
                 opts.jobs = Some(n);
             }
@@ -191,13 +199,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 let d = it.next().ok_or("--cache-dir needs a directory")?;
                 opts.cache_dir = Some(PathBuf::from(d));
             }
+            "--trace" => {
+                let f = it.next().ok_or("--trace needs a file path")?;
+                opts.trace = Some(PathBuf::from(f));
+            }
+            "--stats" => opts.stats = true,
             "--sanitizer" => {
                 let v = it.next().ok_or("--sanitizer needs name:CLASSES")?;
                 let (name, classes) = v
                     .split_once(':')
                     .ok_or("--sanitizer format is name:CLASS[,CLASS]")?;
                 if name.is_empty() {
-                    return Err("--sanitizer name is empty".to_string());
+                    return Err(WapError::usage("--sanitizer name is empty"));
                 }
                 opts.user_sanitizers.push((
                     name.to_string(),
@@ -205,7 +218,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 ));
             }
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag}"));
+                return Err(WapError::usage(format!("unknown flag {flag}")));
             }
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 opts.class_flags.push(flag.to_string());
@@ -214,7 +227,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
         }
     }
     if !opts.help && opts.paths.is_empty() {
-        return Err("no input paths given (try --help)".to_string());
+        return Err(WapError::usage("no input paths given (try --help)"));
     }
     Ok(opts)
 }
@@ -223,8 +236,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from directory traversal.
-pub fn collect_php_files(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+/// Returns [`WapError::Io`] (with the offending path) on traversal
+/// failures.
+pub fn collect_php_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, WapError> {
     let mut out = Vec::new();
     for p in paths {
         collect_into(p, &mut out)?;
@@ -234,10 +248,14 @@ pub fn collect_php_files(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), WapError> {
+    if !path.exists() {
+        return Err(WapError::usage(format!("no such path: {}", path.display())));
+    }
     if path.is_dir() {
-        for entry in std::fs::read_dir(path)? {
-            collect_into(&entry?.path(), out)?;
+        for entry in std::fs::read_dir(path).map_err(|e| WapError::io(path, e))? {
+            let entry = entry.map_err(|e| WapError::io(path, e))?;
+            collect_into(&entry.path(), out)?;
         }
     } else if path.extension().map(|e| e == "php").unwrap_or(false) {
         out.push(path.to_path_buf());
@@ -250,8 +268,9 @@ fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns errors from weapon files that fail to load or validate.
-pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + Sync>> {
+/// Returns [`WapError::Io`] for unreadable weapon files and
+/// [`WapError::Config`] for ones that fail to validate.
+pub fn build_tool(opts: &CliOptions) -> Result<WapTool, WapError> {
     let mut config = if opts.v21 {
         ToolConfig::wap_v21()
     } else {
@@ -259,13 +278,17 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + S
     };
     config.jobs = opts.jobs.or_else(wap_runtime::jobs_from_env);
     config.cache_dir = opts.cache_dir.clone();
+    config.trace = opts.trace.is_some() || opts.stats;
     let mut tool = WapTool::new(config);
     // link in sorted-name order so the catalog (and its fingerprint) does
     // not depend on the order weapon files were listed or discovered
     let mut weapons = Vec::with_capacity(opts.weapon_files.len());
     for wf in &opts.weapon_files {
-        let json = std::fs::read_to_string(wf)?;
-        weapons.push(Weapon::from_json(&json)?);
+        let json = std::fs::read_to_string(wf).map_err(|e| WapError::io(wf, e))?;
+        weapons.push(Weapon::from_json(&json).map_err(|e| WapError::Config {
+            what: wf.display().to_string(),
+            detail: e.to_string(),
+        })?);
     }
     weapons.sort_by(|a, b| a.name().cmp(b.name()));
     for w in weapons {
@@ -291,13 +314,13 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, Box<dyn Error + Send + S
 }
 
 /// Runs the tool over the given options; returns `(exit code, output)`.
-/// Exit code 0 = clean, 1 = findings per the `--fail-on` policy,
-/// 2 = usage error.
+/// Exit code 0 = clean, 1 = findings per the `--fail-on` policy; error
+/// exit codes come from [`WapError::exit_code`].
 ///
 /// # Errors
 ///
-/// Returns I/O and weapon-loading errors.
-pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sync>> {
+/// Returns I/O and weapon-loading errors as [`WapError`].
+pub fn run(opts: &CliOptions) -> Result<(i32, String), WapError> {
     if opts.help {
         return Ok((0, USAGE.to_string()));
     }
@@ -307,13 +330,17 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
     }
     let mut sources = Vec::new();
     for f in &files {
-        sources.push((f.display().to_string(), std::fs::read_to_string(f)?));
+        let src = std::fs::read_to_string(f).map_err(|e| WapError::io(f, e))?;
+        sources.push((f.display().to_string(), src));
     }
     let tool = build_tool(opts)?;
     let report = tool.analyze_sources(&sources);
 
     let classes: Vec<VulnClass> = tool.catalog().classes().cloned().collect();
     let mut output = opts.effective_format().render(&report, &classes);
+    if opts.stats && opts.effective_format() == Format::Text {
+        output.push_str(&render_stats(&report, 10));
+    }
 
     if opts.confirm {
         let programs: Vec<(String, wap_php::Program)> = sources
@@ -361,10 +388,16 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), Box<dyn Error + Send + Sy
             }
             if opts.fix {
                 let out_path = format!("{name}.fixed.php");
-                std::fs::write(&out_path, &result.fixed_source)?;
+                std::fs::write(&out_path, &result.fixed_source)
+                    .map_err(|e| WapError::io(&out_path, e))?;
                 let _ = writeln!(output, "wrote {out_path} ({} fixes)", result.applied.len());
             }
         }
+    }
+
+    // written last so spans from the fix phase are part of the trace
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, tool.obs().render_ndjson()).map_err(|e| WapError::io(path, e))?;
     }
 
     Ok((opts.fail_on.exit_code(&report), output))
@@ -541,6 +574,8 @@ mod tests {
             "--cache",
             "--format",
             "--fail-on",
+            "--trace",
+            "--stats",
         ] {
             assert!(USAGE.contains(flag), "usage missing {flag}");
         }
@@ -641,6 +676,85 @@ mod tests {
         // no cache flag: disabled
         let o = parse_args(args(&["f.php"])).unwrap();
         assert_eq!(o.cache_dir, None);
+    }
+
+    #[test]
+    fn parse_trace_and_stats_flags() {
+        let o = parse_args(args(&["--trace", "/tmp/t.ndjson", "f.php"])).unwrap();
+        assert_eq!(o.trace, Some(PathBuf::from("/tmp/t.ndjson")));
+        assert!(parse_args(args(&["--trace"])).is_err());
+        let o = parse_args(args(&["--stats", "f.php"])).unwrap();
+        assert!(o.stats);
+        // neither flag: tracing stays off
+        let o = parse_args(args(&["f.php"])).unwrap();
+        assert_eq!(o.trace, None);
+        assert!(!o.stats);
+    }
+
+    #[test]
+    fn trace_and_stats_enable_collector() {
+        for opts in [
+            CliOptions {
+                paths: vec![PathBuf::from(".")],
+                trace: Some(PathBuf::from("/tmp/t.ndjson")),
+                ..Default::default()
+            },
+            CliOptions {
+                paths: vec![PathBuf::from(".")],
+                stats: true,
+                ..Default::default()
+            },
+        ] {
+            let tool = build_tool(&opts).unwrap();
+            assert!(tool.config().trace);
+            assert!(tool.obs().enabled());
+        }
+        let plain = build_tool(&CliOptions {
+            paths: vec![PathBuf::from(".")],
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(!plain.obs().enabled());
+    }
+
+    #[test]
+    fn trace_writes_ndjson_and_stats_section_renders() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("v.php"), "<?php echo $_GET['v'];\n").unwrap();
+        let trace_path = dir.join("run.trace.ndjson");
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            trace: Some(trace_path.clone()),
+            stats: true,
+            ..Default::default()
+        };
+        let (code, output) = run(&opts).unwrap();
+        assert_eq!(code, 1);
+        assert!(output.contains("phase totals:"), "{output}");
+        assert!(output.contains("slowest files"), "{output}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let first = trace.lines().next().unwrap();
+        assert!(
+            first.contains(wap_obs::TRACE_SCHEMA),
+            "meta line first: {first}"
+        );
+        assert!(trace.lines().any(|l| l.contains("\"kind\":\"span\"")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_errors_exit_with_code_two() {
+        let err = parse_args(args(&["--frobnicate", "x"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(matches!(err, WapError::Usage(_)));
+    }
+
+    #[test]
+    fn nonexistent_scan_path_is_a_usage_error() {
+        let err = collect_php_files(&[PathBuf::from("/no/such/wap/dir")]).unwrap_err();
+        assert!(matches!(err, WapError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -37,7 +37,9 @@ use wap_taint::{
     Candidate, PassArtifacts, PassInput,
 };
 
-use crate::pipeline::{elapsed_ns, AppReport, Finding, WapTool};
+use wap_obs::{JobHandle, Phase};
+
+use crate::pipeline::{elapsed_ns, scan_stats, AppReport, Finding, WapTool};
 
 /// Bumped whenever key derivation or any payload layout in this module
 /// changes; combined with the tool version so entries never cross builds.
@@ -266,6 +268,7 @@ fn decode_findings(
 /// Returns `None` when a file the decl cache recorded as parseable fails
 /// to parse — the entry lied (hand-edited, hash collision); it is
 /// rejected and the whole run falls back to the cold path.
+#[allow(clippy::too_many_arguments)]
 fn ensure_parsed(
     runtime: &Runtime,
     store: &CacheStore,
@@ -274,6 +277,7 @@ fn ensure_parsed(
     programs: &mut [Option<Program>],
     want: &[usize],
     parse_ns: &mut u64,
+    obs: JobHandle<'_>,
 ) -> Option<()> {
     let need: Vec<usize> = want
         .iter()
@@ -284,7 +288,10 @@ fn ensure_parsed(
         return Some(());
     }
     let t = Instant::now();
-    let results = runtime.map(need.clone(), |_, i| parse(&sources[files[i].src].1));
+    let results = runtime.map(need.clone(), |_, i| {
+        let _span = obs.span_file(Phase::Parse, &files[i].name);
+        parse(&sources[files[i].src].1)
+    });
     *parse_ns += elapsed_ns(t);
     for (&i, result) in need.iter().zip(results) {
         match result {
@@ -315,6 +322,7 @@ fn run_cached_pass(
     parse_ns: &mut u64,
     taint_ns: &mut u64,
     cache_ns: &mut u64,
+    obs: JobHandle<'_>,
 ) -> Option<Vec<PassArtifacts>> {
     let t = Instant::now();
     let keys: Vec<String> = files
@@ -323,16 +331,23 @@ fn run_cached_pass(
         .collect();
     let mut cached: Vec<Option<PassArtifacts>> = keys
         .iter()
-        .map(|k| {
-            store
-                .get(k)
-                .and_then(|p| match PassArtifacts::from_bytes(&p) {
-                    Ok(a) => Some(a),
-                    Err(_) => {
-                        store.reject(k);
-                        None
-                    }
-                })
+        .enumerate()
+        .map(|(i, k)| match store.get(k) {
+            Some(p) => match PassArtifacts::from_bytes(&p) {
+                Ok(a) => {
+                    obs.event_file("cache_hit", &files[i].name);
+                    Some(a)
+                }
+                Err(_) => {
+                    obs.event_file("cache_corrupt", &files[i].name);
+                    store.reject(k);
+                    None
+                }
+            },
+            None => {
+                obs.event_file("cache_miss", &files[i].name);
+                None
+            }
         })
         .collect();
     *cache_ns += elapsed_ns(t);
@@ -346,7 +361,7 @@ fn run_cached_pass(
             .filter(|(i, f)| cached[*i].is_none() || !f.decls.is_empty())
             .map(|(i, _)| i)
             .collect();
-        ensure_parsed(runtime, store, sources, files, programs, &want, parse_ns)?;
+        ensure_parsed(runtime, store, sources, files, programs, &want, parse_ns, obs)?;
     }
 
     let inputs: Vec<PassInput<'_>> = files
@@ -367,6 +382,7 @@ fn run_cached_pass(
         &inputs,
         runtime,
         second,
+        obs,
     );
     *taint_ns += elapsed_ns(t);
 
@@ -387,6 +403,7 @@ pub(crate) fn analyze_sources_cached(
     tool: &WapTool,
     store: &CacheStore,
     sources: &[(String, String)],
+    obs: JobHandle<'_>,
 ) -> Option<AppReport> {
     let start = Instant::now();
     let runtime = tool.runtime();
@@ -412,16 +429,23 @@ pub(crate) fn analyze_sources_cached(
     let decl_keys: Vec<String> = hashes.iter().map(|h| decl_key(h)).collect();
     let mut infos: Vec<Option<DeclInfo>> = decl_keys
         .iter()
-        .map(|key| {
-            store
-                .get(key)
-                .and_then(|payload| match decode_decl(&payload) {
-                    Ok(info) => Some(info),
-                    Err(_) => {
-                        store.reject(key);
-                        None
-                    }
-                })
+        .enumerate()
+        .map(|(i, key)| match store.get(key) {
+            Some(payload) => match decode_decl(&payload) {
+                Ok(info) => {
+                    obs.event_file("cache_hit", &sources[i].0);
+                    Some(info)
+                }
+                Err(_) => {
+                    obs.event_file("cache_corrupt", &sources[i].0);
+                    store.reject(key);
+                    None
+                }
+            },
+            None => {
+                obs.event_file("cache_miss", &sources[i].0);
+                None
+            }
         })
         .collect();
     cache_ns += elapsed_ns(t);
@@ -433,8 +457,10 @@ pub(crate) fn analyze_sources_cached(
         .map(|(i, _)| i)
         .collect();
     let t = Instant::now();
-    let parsed_miss: Vec<Result<Program, ParseError>> =
-        runtime.map(miss.clone(), |_, i| parse(&sources[i].1));
+    let parsed_miss: Vec<Result<Program, ParseError>> = runtime.map(miss.clone(), |_, i| {
+        let _span = obs.span_file(Phase::Parse, &sources[i].0);
+        parse(&sources[i].1)
+    });
     parse_ns += elapsed_ns(t);
 
     let mut programs_by_src: Vec<Option<Program>> = (0..sources.len()).map(|_| None).collect();
@@ -521,6 +547,7 @@ pub(crate) fn analyze_sources_cached(
         &mut parse_ns,
         &mut taint_ns,
         &mut cache_ns,
+        obs,
     )?;
     let store_seen = p1.iter().any(PassArtifacts::store_seen);
     let ran_pass2 = tool.config.analysis.second_order && store_seen;
@@ -539,6 +566,7 @@ pub(crate) fn analyze_sources_cached(
             &mut parse_ns,
             &mut taint_ns,
             &mut cache_ns,
+            obs,
         )?;
         candidates.extend(pass_candidates(&p2));
     }
@@ -594,15 +622,25 @@ pub(crate) fn analyze_sources_cached(
     let mut slots: Vec<Option<Finding>> = candidates.iter().map(|_| None).collect();
     let mut miss_groups: Vec<usize> = Vec::new();
     for (gi, g) in groups.iter().enumerate() {
-        let decoded = store.get(&g.key).and_then(|payload| {
-            match decode_findings(&payload, &g.digest, &candidates[g.start..g.end]) {
-                Ok(fs) => Some(fs),
-                Err(_) => {
-                    store.reject(&g.key);
-                    None
+        let decoded = match store.get(&g.key) {
+            Some(payload) => {
+                match decode_findings(&payload, &g.digest, &candidates[g.start..g.end]) {
+                    Ok(fs) => {
+                        obs.event_file("cache_hit", &files[g.file].name);
+                        Some(fs)
+                    }
+                    Err(_) => {
+                        obs.event_file("cache_corrupt", &files[g.file].name);
+                        store.reject(&g.key);
+                        None
+                    }
                 }
             }
-        });
+            None => {
+                obs.event_file("cache_miss", &files[g.file].name);
+                None
+            }
+        };
         match decoded {
             Some(fs) => {
                 for (k, f) in fs.into_iter().enumerate() {
@@ -624,6 +662,7 @@ pub(crate) fn analyze_sources_cached(
             &mut programs,
             &want,
             &mut parse_ns,
+            obs,
         )?;
         let todo: Vec<usize> = miss_groups
             .iter()
@@ -638,6 +677,7 @@ pub(crate) fn analyze_sources_cached(
         let t = Instant::now();
         let computed = runtime.map(todo.clone(), |_, k| {
             let gi = by_candidate[&k];
+            let _span = obs.span_file(Phase::Vote, &files[groups[gi].file].name);
             let program = programs[groups[gi].file]
                 .as_ref()
                 .expect("parsed for findings");
@@ -673,11 +713,8 @@ pub(crate) fn analyze_sources_cached(
         loc,
         parse_errors,
         duration: start.elapsed(),
-        parse_ns,
-        taint_ns,
-        predict_ns,
+        stats: scan_stats(obs, parse_ns, taint_ns, predict_ns, cache_ns),
         cache: store.stats().snapshot().since(&stats_before),
-        cache_ns,
         tool_name: wap_report::TOOL_NAME,
         tool_version: wap_report::TOOL_VERSION,
     })

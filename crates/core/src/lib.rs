@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 mod incremental;
 pub mod pipeline;
 pub mod report;
@@ -42,8 +43,9 @@ pub use wap_runtime as runtime;
 /// The persistent incremental cache layer (store + codec).
 pub use wap_cache as cache;
 
-pub use pipeline::{AppReport, Finding, Generation, ToolConfig, WapTool};
-pub use wap_report::{Format, TOOL_NAME, TOOL_VERSION};
+pub use error::WapError;
+pub use pipeline::{AppReport, Finding, Generation, ToolConfig, ToolConfigBuilder, WapTool};
+pub use wap_report::{Format, Phase, ScanStats, TOOL_NAME, TOOL_VERSION};
 pub use wap_runtime::Runtime;
 
 /// Parses PHP source (re-exported convenience used by the CLI).

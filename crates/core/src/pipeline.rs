@@ -11,9 +11,10 @@ use wap_fixer::{Corrector, FixResult};
 use wap_mining::{
     collect, DynamicSymptomMap, FalsePositivePredictor, FeatureVector, PredictorGeneration,
 };
+use wap_obs::{Collector, JobHandle, Phase};
 use wap_php::{parse, ParseError, Program};
 use wap_runtime::Runtime;
-use wap_taint::{analyze_with, AnalysisOptions, Candidate, SourceFile};
+use wap_taint::{analyze_with_obs, AnalysisOptions, Candidate, SourceFile};
 
 /// Which tool generation to run — the paper compares both.
 pub use wap_mining::PredictorGeneration as Generation;
@@ -42,6 +43,10 @@ pub struct ToolConfig {
     /// without a cache. Warm runs re-analyze only changed files and are
     /// bit-identical to cold runs.
     pub cache_dir: Option<PathBuf>,
+    /// Record spans and events into the tool's `wap-obs` collector
+    /// (`--trace`/`--stats`). Observation only: findings and machine
+    /// report bytes are bit-identical with tracing on or off.
+    pub trace: bool,
 }
 
 impl ToolConfig {
@@ -54,6 +59,7 @@ impl ToolConfig {
             seed: 42,
             jobs: None,
             cache_dir: None,
+            trace: false,
         }
     }
 
@@ -67,6 +73,7 @@ impl ToolConfig {
             seed: 42,
             jobs: None,
             cache_dir: None,
+            trace: false,
         }
     }
 
@@ -84,22 +91,120 @@ impl ToolConfig {
             seed: 42,
             jobs: None,
             cache_dir: None,
+            trace: false,
         }
     }
 
-    /// This configuration with an explicit worker count.
+    /// A [`ToolConfigBuilder`] starting from [`ToolConfig::wape_full`]
+    /// (the CLI and service default).
+    pub fn builder() -> ToolConfigBuilder {
+        ToolConfigBuilder {
+            config: ToolConfig::wape_full(),
+        }
+    }
+}
+
+/// Fluent builder for [`ToolConfig`], replacing the ad-hoc `with_*`
+/// setters:
+///
+/// ```
+/// use wap_core::ToolConfig;
+///
+/// let config = ToolConfig::builder()
+///     .jobs(4)
+///     .cache_dir("/tmp/wap-cache")
+///     .trace(true)
+///     .build();
+/// assert_eq!(config.jobs, Some(4));
+/// assert!(config.trace);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToolConfigBuilder {
+    config: ToolConfig,
+}
+
+impl ToolConfigBuilder {
+    /// Switch to the WAP v2.1 generation (8 classes, no weapons).
     #[must_use]
-    pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.jobs = Some(jobs);
+    pub fn v21(mut self) -> Self {
+        self.config.generation = PredictorGeneration::WapV21;
+        self.config.weapons.clear();
         self
     }
 
-    /// This configuration with a persistent incremental cache rooted at
-    /// `dir`.
+    /// WAPe without any weapons linked ([`ToolConfig::wape`]).
     #[must_use]
-    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
+    pub fn no_weapons(mut self) -> Self {
+        self.config.weapons.clear();
         self
+    }
+
+    /// Replace the linked weapon set.
+    #[must_use]
+    pub fn weapons(mut self, weapons: Vec<WeaponConfig>) -> Self {
+        self.config.weapons = weapons;
+        self
+    }
+
+    /// Replace the taint analysis options wholesale.
+    #[must_use]
+    pub fn analysis(mut self, analysis: AnalysisOptions) -> Self {
+        self.config.analysis = analysis;
+        self
+    }
+
+    /// Toggle the second-order (stored injection) pass.
+    #[must_use]
+    pub fn second_order(mut self, on: bool) -> Self {
+        self.config.analysis.second_order = on;
+        self
+    }
+
+    /// Training/shuffling seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Explicit worker count for every parallel phase.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = Some(jobs);
+        self
+    }
+
+    /// Worker count when known, automatic parallelism when `None`.
+    #[must_use]
+    pub fn maybe_jobs(mut self, jobs: Option<usize>) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// Persistent incremental cache rooted at `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Cache directory when known, no cache when `None`.
+    #[must_use]
+    pub fn maybe_cache_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.config.cache_dir = dir;
+        self
+    }
+
+    /// Enable (or disable) span/event collection for this tool.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ToolConfig {
+        self.config
     }
 }
 
@@ -125,6 +230,7 @@ pub struct WapTool {
     pub(crate) dynamic_symptoms: DynamicSymptomMap,
     pub(crate) config: ToolConfig,
     cache: Option<CacheStore>,
+    obs: Collector,
 }
 
 impl std::fmt::Debug for WapTool {
@@ -153,6 +259,7 @@ impl WapTool {
         let predictor = FalsePositivePredictor::train(config.generation, config.seed);
         let dynamic_symptoms = DynamicSymptomMap::from_catalog(&catalog);
         let cache = config.cache_dir.as_ref().map(CacheStore::open);
+        let obs = Collector::new(config.trace);
         WapTool {
             catalog,
             predictor,
@@ -160,6 +267,7 @@ impl WapTool {
             dynamic_symptoms,
             config,
             cache,
+            obs,
         }
     }
 
@@ -208,6 +316,13 @@ impl WapTool {
         self.cache.as_ref()
     }
 
+    /// The tool's span/event collector. Disabled (inert) unless the
+    /// configuration asked for tracing ([`ToolConfig::trace`]); render
+    /// its NDJSON trace with `wap_obs::Collector::render_ndjson`.
+    pub fn obs(&self) -> &Collector {
+        &self.obs
+    }
+
     /// Analyzes an application given as `(file name, source)` pairs:
     /// parses, runs taint analysis across all files, collects symptoms,
     /// and classifies every candidate.
@@ -220,23 +335,28 @@ impl WapTool {
     /// set, or configuration changed since the cached run are re-analyzed;
     /// the findings are bit-identical to an uncached run either way.
     pub fn analyze_sources(&self, sources: &[(String, String)]) -> AppReport {
+        let obs = self.obs.job();
         if let Some(store) = &self.cache {
-            if let Some(report) = crate::incremental::analyze_sources_cached(self, store, sources) {
+            if let Some(report) =
+                crate::incremental::analyze_sources_cached(self, store, sources, obs)
+            {
                 return report;
             }
         }
-        self.analyze_sources_cold(sources)
+        self.analyze_sources_cold(sources, obs)
     }
 
     /// The uncached pipeline — also the fallback when the cached path
     /// declines an input (e.g. duplicate file names).
-    fn analyze_sources_cold(&self, sources: &[(String, String)]) -> AppReport {
+    fn analyze_sources_cold(&self, sources: &[(String, String)], obs: JobHandle<'_>) -> AppReport {
         let start = Instant::now();
         let runtime = self.runtime();
 
         // parse files in parallel; analysis itself is cross-file
-        let programs: Vec<Result<Program, ParseError>> =
-            runtime.run(sources.len(), |i| parse(&sources[i].1));
+        let programs: Vec<Result<Program, ParseError>> = runtime.run(sources.len(), |i| {
+            let _span = obs.span_file(Phase::Parse, &sources[i].0);
+            parse(&sources[i].1)
+        });
         let parse_ns = elapsed_ns(start);
 
         let mut parsed: Vec<SourceFile> = Vec::new();
@@ -257,7 +377,8 @@ impl WapTool {
         }
 
         let taint_start = Instant::now();
-        let candidates = analyze_with(&self.catalog, &self.config.analysis, &parsed, &runtime);
+        let candidates =
+            analyze_with_obs(&self.catalog, &self.config.analysis, &parsed, &runtime, obs);
         let taint_ns = elapsed_ns(taint_start);
 
         let by_name: HashMap<&str, &Program> = parsed
@@ -269,6 +390,10 @@ impl WapTool {
         // the join keeps the analyzer's (file, line, class) order
         let predict_start = Instant::now();
         let findings = runtime.map(candidates, |_, candidate| {
+            let _span = candidate
+                .file
+                .as_deref()
+                .map(|f| obs.span_file(Phase::Vote, f));
             let program = candidate
                 .file
                 .as_deref()
@@ -296,11 +421,8 @@ impl WapTool {
             loc,
             parse_errors,
             duration: start.elapsed(),
-            parse_ns,
-            taint_ns,
-            predict_ns,
+            stats: scan_stats(obs, parse_ns, taint_ns, predict_ns, 0),
             cache: CacheStatsSnapshot::default(),
-            cache_ns: 0,
             tool_name: wap_report::TOOL_NAME,
             tool_version: wap_report::TOOL_VERSION,
         }
@@ -309,6 +431,7 @@ impl WapTool {
     /// Corrects one file: applies fixes for every *real* finding located
     /// in `file_name`.
     pub fn fix_file(&self, file_name: &str, source: &str, report: &AppReport) -> FixResult {
+        let _span = self.obs.job().span_file(Phase::Fix, file_name);
         let vulns: Vec<Candidate> = report
             .real_vulnerabilities()
             .filter(|f| f.candidate.file.as_deref() == Some(file_name))
@@ -320,6 +443,32 @@ impl WapTool {
 
 pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Assembles a report's [`wap_report::ScanStats`]: the four directly
+/// measured phase totals, plus — when tracing is on — the traced
+/// sub-phase totals (summary merge, top-level exec, votes, fixes) and
+/// the per-file breakdown aggregated from the collector's spans.
+pub(crate) fn scan_stats(
+    obs: JobHandle<'_>,
+    parse_ns: u64,
+    taint_ns: u64,
+    predict_ns: u64,
+    cache_ns: u64,
+) -> wap_report::ScanStats {
+    let mut stats = wap_report::ScanStats::new();
+    stats.set_phase_ns(Phase::Parse, parse_ns);
+    stats.set_phase_ns(Phase::Taint, taint_ns);
+    stats.set_phase_ns(Phase::Predict, predict_ns);
+    stats.set_phase_ns(Phase::Cache, cache_ns);
+    if obs.enabled() {
+        let traced = obs.collector().phase_totals(obs.id());
+        for phase in [Phase::SummaryMerge, Phase::TopLevelExec, Phase::Vote, Phase::Fix] {
+            stats.set_phase_ns(phase, traced[phase.index()]);
+        }
+        stats.set_file_totals(obs.collector().file_totals(obs.id()));
+    }
+    stats
 }
 
 // The resident service shares one trained tool across request-handler and
@@ -457,10 +606,36 @@ mysql_query("SELECT * FROM t WHERE c = '$q'");
         let tool = WapTool::new(ToolConfig::wape());
         let report =
             tool.analyze_sources(&[src("t.php", "$a = $_GET['a'];\nmysql_query(\"Q $a\");\n")]);
-        assert!(report.parse_ns > 0);
-        assert!(report.taint_ns > 0);
-        assert!(report.predict_ns > 0);
-        assert!(report.duration.as_nanos() >= u128::from(report.parse_ns));
+        assert!(report.stats.phase_ns(Phase::Parse) > 0);
+        assert!(report.stats.phase_ns(Phase::Taint) > 0);
+        assert!(report.stats.phase_ns(Phase::Predict) > 0);
+        assert!(report.duration.as_nanos() >= u128::from(report.stats.phase_ns(Phase::Parse)));
+        // tracing was off, so there is no per-file breakdown
+        assert!(report.stats.files.is_empty());
+    }
+
+    #[test]
+    fn traced_run_collects_spans_and_per_file_stats() {
+        let config = ToolConfig::builder().no_weapons().jobs(2).trace(true).build();
+        let tool = WapTool::new(config);
+        let files = vec![
+            src("one.php", "echo $_GET['a'];\n"),
+            src("two.php", "$b = $_GET['b'];\nmysql_query(\"Q $b\");\n"),
+        ];
+        let report = tool.analyze_sources(&files);
+        assert_eq!(report.findings.len(), 2);
+        assert!(!report.stats.files.is_empty(), "per-file stats expected");
+        let names: Vec<&str> = report.stats.files.iter().map(|f| f.file.as_str()).collect();
+        assert!(names.contains(&"one.php") && names.contains(&"two.php"));
+        // the collector holds parse + taint + toplevel + vote spans
+        assert!(tool.obs().enabled());
+        assert!(tool.obs().len() > 0);
+        let trace = tool.obs().render_ndjson();
+        assert!(trace.starts_with("{\"schema\":\"wap-trace-v1\""));
+        // untraced run over the same sources is bit-identical
+        let plain = WapTool::new(ToolConfig::builder().no_weapons().jobs(2).build())
+            .analyze_sources(&files);
+        assert_eq!(format!("{:?}", plain.findings), format!("{:?}", report.findings));
     }
 
     #[test]
@@ -507,7 +682,7 @@ mysql_query("SELECT x FROM t WHERE i = $b");
             })
             .collect();
         let fingerprint = |jobs: usize| {
-            let tool = WapTool::new(ToolConfig::wape().with_jobs(jobs));
+            let tool = WapTool::new(ToolConfig::builder().no_weapons().jobs(jobs).build());
             let report = tool.analyze_sources(&files);
             report
                 .findings

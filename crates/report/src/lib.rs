@@ -20,9 +20,10 @@ mod sarif;
 mod text;
 
 pub use json::{render_json, render_ndjson};
-pub use model::{AppReport, Finding};
+pub use model::{AppReport, FileStat, Finding, ScanStats};
 pub use sarif::render_sarif;
-pub use text::render_text;
+pub use text::{render_stats, render_text};
+pub use wap_obs::Phase;
 
 use wap_catalog::VulnClass;
 

@@ -8,8 +8,84 @@ use std::collections::HashMap;
 use std::time::Duration;
 use wap_cache::CacheStatsSnapshot;
 use wap_mining::{FeatureVector, Prediction};
+use wap_obs::Phase;
 use wap_php::ParseError;
 use wap_taint::Candidate;
+
+/// Total analysis nanoseconds spent on one file, summed over every
+/// traced span carrying that file's label (parse, taint pass A,
+/// top-level exec, per-candidate votes, fixes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    /// File name as given to the analyzer.
+    pub file: String,
+    /// Total nanoseconds across all phases.
+    pub ns: u64,
+}
+
+/// Structured per-scan timing statistics: one nanosecond total per
+/// pipeline [`Phase`], plus an optional per-file breakdown.
+///
+/// This replaces the four loose `parse_ns`/`taint_ns`/`predict_ns`/
+/// `cache_ns` fields `AppReport` used to carry. Phase totals are always
+/// measured (they cost four `Instant` reads per scan); the per-file
+/// breakdown is populated only when tracing is enabled, from the
+/// `wap-obs` collector. None of this is rendered by the machine formats
+/// (JSON/NDJSON/SARIF), which stay timing-free and byte-deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    phase_ns: [u64; Phase::COUNT],
+    /// Per-file totals, sorted by descending duration (ties by name),
+    /// as produced by `wap_obs::Collector::file_totals`. Empty unless
+    /// tracing was enabled for the scan.
+    pub files: Vec<FileStat>,
+}
+
+impl ScanStats {
+    /// All-zero stats with no per-file breakdown.
+    pub fn new() -> ScanStats {
+        ScanStats::default()
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()]
+    }
+
+    /// Sets the total for one phase.
+    pub fn set_phase_ns(&mut self, phase: Phase, ns: u64) {
+        self.phase_ns[phase.index()] = ns;
+    }
+
+    /// Adds to the total for one phase.
+    pub fn add_phase_ns(&mut self, phase: Phase, ns: u64) {
+        self.phase_ns[phase.index()] += ns;
+    }
+
+    /// Every `(phase, ns)` pair in pipeline order, including zeros.
+    pub fn phases(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(move |p| (*p, self.phase_ns(*p)))
+    }
+
+    /// Sum of all phase totals.
+    pub fn total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Replaces the per-file breakdown with collector totals
+    /// (`(file, ns)`, already sorted by descending duration).
+    pub fn set_file_totals(&mut self, totals: Vec<(String, u64)>) {
+        self.files = totals
+            .into_iter()
+            .map(|(file, ns)| FileStat { file, ns })
+            .collect();
+    }
+
+    /// The `k` slowest files (the whole breakdown when it is shorter).
+    pub fn slowest_files(&self, k: usize) -> &[FileStat] {
+        &self.files[..self.files.len().min(k)]
+    }
+}
 
 /// One analyzed finding: the taint candidate plus the predictor's verdict
 /// and the symptoms that justified it.
@@ -43,24 +119,34 @@ pub struct AppReport {
     pub parse_errors: Vec<(String, ParseError)>,
     /// Wall-clock analysis time.
     pub duration: Duration,
-    /// Nanoseconds spent parsing.
-    pub parse_ns: u64,
-    /// Nanoseconds spent in taint analysis.
-    pub taint_ns: u64,
-    /// Nanoseconds spent collecting symptoms and voting.
-    pub predict_ns: u64,
+    /// Per-phase (and, under tracing, per-file) timing statistics.
+    pub stats: ScanStats,
     /// Incremental cache counters for this run (all zero when the cache
     /// is disabled).
     pub cache: CacheStatsSnapshot,
-    /// Nanoseconds of cache overhead: content hashing, key derivation,
-    /// and entry encode/decode/IO.
-    pub cache_ns: u64,
     /// Name of the tool that produced this report ([`crate::TOOL_NAME`]).
     pub tool_name: &'static str,
     /// Semantic version of the tool ([`crate::TOOL_VERSION`]) — the same
     /// constant keyed into the incremental cache, so a report always names
     /// the version whose cached artifacts it was assembled from.
     pub tool_version: &'static str,
+}
+
+impl Default for AppReport {
+    /// An empty report branded with this build's tool identity.
+    fn default() -> Self {
+        AppReport {
+            findings: Vec::new(),
+            files_analyzed: 0,
+            loc: 0,
+            parse_errors: Vec::new(),
+            duration: Duration::default(),
+            stats: ScanStats::default(),
+            cache: CacheStatsSnapshot::default(),
+            tool_name: crate::TOOL_NAME,
+            tool_version: crate::TOOL_VERSION,
+        }
+    }
 }
 
 impl AppReport {

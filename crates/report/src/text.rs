@@ -45,3 +45,31 @@ pub fn render_text(report: &AppReport) -> String {
     );
     out
 }
+
+/// Formats the `--stats` addendum to the text report: per-phase totals
+/// and the top-`k` slowest files. The per-file breakdown only exists
+/// when the scan ran with tracing enabled (`--trace`/`--stats` turn the
+/// collector on); phase totals are always present.
+pub fn render_stats(report: &AppReport, k: usize) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(out, "\nphase totals:");
+    for (phase, ns) in report.stats.phases().filter(|(_, ns)| *ns > 0) {
+        let _ = writeln!(out, "  {:<13} {:>10.3} ms", phase.name(), ms(ns));
+    }
+    let slow = report.stats.slowest_files(k);
+    if slow.is_empty() {
+        let _ = writeln!(out, "no per-file timings collected");
+    } else {
+        let _ = writeln!(
+            out,
+            "slowest files (top {} of {}):",
+            slow.len(),
+            report.stats.files.len()
+        );
+        for f in slow {
+            let _ = writeln!(out, "  {:>10.3} ms  {}", ms(f.ns), f.file);
+        }
+    }
+    out
+}

@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wap_catalog::VulnClass;
-use wap_core::{Runtime, ToolConfig, WapTool};
+use wap_core::{Runtime, ToolConfig, WapError, WapTool};
 use wap_report::Format;
 
 /// How the accept loop polls for the shutdown flag.
@@ -132,9 +132,10 @@ impl Server {
         // every concurrent scan gets an equal slice of the job budget, so
         // `workers` simultaneous scans never oversubscribe it
         let per_scan = Runtime::from_config(config.jobs).partition(workers);
-        let mut tool_config = ToolConfig::wape_full();
-        tool_config.jobs = Some(per_scan.jobs());
-        tool_config.cache_dir = config.cache_dir.clone();
+        let tool_config = ToolConfig::builder()
+            .jobs(per_scan.jobs())
+            .maybe_cache_dir(config.cache_dir.clone())
+            .build();
         let mut tool = WapTool::new(tool_config);
         if config.cache_dir.is_none() {
             // no disk cache requested: still share a process-lifetime
@@ -229,6 +230,7 @@ impl Server {
 /// One executor: claim scans, analyze on the shared tool, render, record.
 fn executor_loop(shared: &Shared) {
     while let Some(task) = shared.queue.next_task() {
+        shared.metrics.record_queue_wait(task.submitted.elapsed());
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let report = shared.tool.analyze_sources(&task.sources);
             let body = task.format.render(&report, &shared.classes);
@@ -311,16 +313,26 @@ fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
 fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
     let format = match scan_format(req) {
         Ok(f) => f,
-        Err(msg) => {
+        Err(err) => {
             Metrics::inc(&shared.metrics.bad_requests);
-            return (400, "text/plain; charset=utf-8", msg, vec![]);
+            return (
+                err.http_status(),
+                "text/plain; charset=utf-8",
+                format!("{err}\n"),
+                vec![],
+            );
         }
     };
     let sources = match scan_sources(req) {
         Ok(s) => s,
-        Err(msg) => {
+        Err(err) => {
             Metrics::inc(&shared.metrics.bad_requests);
-            return (400, "text/plain; charset=utf-8", msg, vec![]);
+            return (
+                err.http_status(),
+                "text/plain; charset=utf-8",
+                format!("{err}\n"),
+                vec![],
+            );
         }
     };
     if sources.is_empty() {
@@ -418,9 +430,9 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
 
 /// Resolves the render format: `?format=` wins, then `Accept`, then JSON
 /// (the natural API default; the CLI's default stays text).
-fn scan_format(req: &http::Request) -> Result<Format, String> {
+fn scan_format(req: &http::Request) -> Result<Format, WapError> {
     if let Some(f) = req.query_param("format") {
-        return Format::parse(f).ok_or_else(|| format!("unknown format {f}\n"));
+        return Format::parse(f).ok_or_else(|| WapError::usage(format!("unknown format {f}")));
     }
     if let Some(accept) = req.header("accept") {
         if let Some(f) = Format::from_accept(accept) {
@@ -431,25 +443,27 @@ fn scan_format(req: &http::Request) -> Result<Format, String> {
 }
 
 /// Gathers the sources to scan: an uploaded ustar body when present,
-/// otherwise the server-local `?path=`.
-fn scan_sources(req: &http::Request) -> Result<Vec<(String, String)>, String> {
+/// otherwise the server-local `?path=`. Errors carry their own HTTP
+/// status via [`WapError::http_status`] — a malformed upload is the
+/// client's fault (422), an unreadable server path is ours (500).
+fn scan_sources(req: &http::Request) -> Result<Vec<(String, String)>, WapError> {
     if !req.body.is_empty() {
-        let mut sources =
-            tar::extract_php_sources(&req.body).map_err(|e| format!("bad tar upload: {e}\n"))?;
+        let mut sources = tar::extract_php_sources(&req.body).map_err(|e| WapError::Parse {
+            file: "tar upload".to_string(),
+            detail: e.to_string(),
+        })?;
         // same ordering contract as the CLI's directory walk
         sources.sort_by(|a, b| a.0.cmp(&b.0));
         sources.dedup_by(|a, b| a.0 == b.0);
         return Ok(sources);
     }
     let Some(path) = req.query_param("path") else {
-        return Err("scan needs a ?path= or a tar upload body\n".to_string());
+        return Err(WapError::usage("scan needs a ?path= or a tar upload body"));
     };
-    let files = wap_core::cli::collect_php_files(&[PathBuf::from(path)])
-        .map_err(|e| format!("walking {path}: {e}\n"))?;
+    let files = wap_core::cli::collect_php_files(&[PathBuf::from(path)])?;
     let mut sources = Vec::with_capacity(files.len());
     for f in files {
-        let contents =
-            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}\n", f.display()))?;
+        let contents = std::fs::read_to_string(&f).map_err(|e| WapError::io(&f, e))?;
         sources.push((f.display().to_string(), contents));
     }
     Ok(sources)

@@ -1,16 +1,25 @@
-//! Service counters and their Prometheus text exposition.
+//! Service counters, latency histograms, and their Prometheus exposition.
 //!
-//! Counters are plain atomics bumped by HTTP handlers and executors; the
-//! `/metrics` endpoint renders them in the text exposition format (one
+//! Counters are plain atomics bumped by HTTP handlers and executors;
+//! latency distributions are [`wap_obs::Histogram`]s fed from each scan's
+//! [`wap_report::ScanStats`] and from queue timestamps. The `/metrics`
+//! endpoint renders everything in the text exposition format (one
 //! `# TYPE` line per family). Queue depth and in-flight gauges are read
 //! from the live [`crate::queue::JobQueue`] at render time rather than
 //! mirrored here, so they can never go stale.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use wap_report::AppReport;
+use std::time::Duration;
+use wap_obs::Histogram;
+use wap_report::{AppReport, Phase};
 
-/// Monotonic service counters.
-#[derive(Debug, Default)]
+/// The pipeline phases exposed as per-phase latency series. These are the
+/// phases every scan measures unconditionally (the finer traced phases
+/// only exist when a collector is enabled).
+pub const EXPOSED_PHASES: [Phase; 4] = [Phase::Parse, Phase::Taint, Phase::Predict, Phase::Cache];
+
+/// Monotonic service counters and latency histograms.
+#[derive(Debug)]
 pub struct Metrics {
     /// Scans admitted to the queue.
     pub jobs_accepted: AtomicU64,
@@ -30,14 +39,32 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Incremental-cache entries stored across all scans.
     pub cache_stored: AtomicU64,
-    /// Nanoseconds spent parsing, summed over scans.
-    pub parse_ns: AtomicU64,
-    /// Nanoseconds spent in taint analysis, summed over scans.
-    pub taint_ns: AtomicU64,
-    /// Nanoseconds spent predicting false positives, summed over scans.
-    pub predict_ns: AtomicU64,
-    /// Nanoseconds of cache overhead, summed over scans.
-    pub cache_ns: AtomicU64,
+    /// End-to-end scan latency (admission excluded), seconds.
+    pub scan_duration: Histogram,
+    /// Time from admission to executor pickup, seconds.
+    pub queue_wait: Histogram,
+    /// Per-phase time within each scan, one histogram per
+    /// [`EXPOSED_PHASES`] entry.
+    pub phase_durations: [Histogram; 4],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            jobs_accepted: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_refused_draining: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_stored: AtomicU64::new(0),
+            scan_duration: Histogram::default(),
+            queue_wait: Histogram::default(),
+            phase_durations: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
 }
 
 impl Metrics {
@@ -46,7 +73,10 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Folds one finished scan's statistics into the totals.
+    /// Folds one finished scan's statistics into the totals. Every
+    /// completed scan contributes exactly one observation to the scan
+    /// histogram and to each per-phase histogram, so their `_count`
+    /// series always agree with `jobs_completed`.
     pub fn record_report(&self, report: &AppReport) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         self.cache_hits
@@ -55,11 +85,18 @@ impl Metrics {
             .fetch_add(report.cache.misses, Ordering::Relaxed);
         self.cache_stored
             .fetch_add(report.cache.stored, Ordering::Relaxed);
-        self.parse_ns.fetch_add(report.parse_ns, Ordering::Relaxed);
-        self.taint_ns.fetch_add(report.taint_ns, Ordering::Relaxed);
-        self.predict_ns
-            .fetch_add(report.predict_ns, Ordering::Relaxed);
-        self.cache_ns.fetch_add(report.cache_ns, Ordering::Relaxed);
+        self.scan_duration
+            .observe_ns(report.duration.as_nanos().min(u64::MAX as u128) as u64);
+        for (i, phase) in EXPOSED_PHASES.iter().enumerate() {
+            self.phase_durations[i].observe_ns(report.stats.phase_ns(*phase));
+        }
+    }
+
+    /// Records how long one scan sat in the queue before an executor
+    /// claimed it.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait
+            .observe_ns(wait.as_nanos().min(u64::MAX as u128) as u64);
     }
 
     /// Renders the text exposition, with the live queue gauges supplied by
@@ -132,19 +169,41 @@ impl Metrics {
             "Incremental-cache entries stored across scans.",
             g(&self.cache_stored),
         );
+        // the historical per-phase counter, now derived from the phase
+        // histograms so the two families can never disagree
         out.push_str(
             "# HELP wap_serve_phase_ns_total Nanoseconds per pipeline phase, summed over scans.\n\
              # TYPE wap_serve_phase_ns_total counter\n",
         );
-        for (phase, v) in [
-            ("parse", g(&self.parse_ns)),
-            ("taint", g(&self.taint_ns)),
-            ("predict", g(&self.predict_ns)),
-            ("cache", g(&self.cache_ns)),
-        ] {
+        for (i, phase) in EXPOSED_PHASES.iter().enumerate() {
             out.push_str(&format!(
-                "wap_serve_phase_ns_total{{phase=\"{phase}\"}} {v}\n"
+                "wap_serve_phase_ns_total{{phase=\"{}\"}} {}\n",
+                phase.name(),
+                self.phase_durations[i].sum_ns()
             ));
+        }
+        out.push_str(
+            "# HELP wap_serve_scan_duration_seconds End-to-end scan latency.\n\
+             # TYPE wap_serve_scan_duration_seconds histogram\n",
+        );
+        self.scan_duration
+            .render_into(&mut out, "wap_serve_scan_duration_seconds", "");
+        out.push_str(
+            "# HELP wap_serve_queue_wait_seconds Time from admission to executor pickup.\n\
+             # TYPE wap_serve_queue_wait_seconds histogram\n",
+        );
+        self.queue_wait
+            .render_into(&mut out, "wap_serve_queue_wait_seconds", "");
+        out.push_str(
+            "# HELP wap_serve_phase_duration_seconds Per-scan time spent in each pipeline phase.\n\
+             # TYPE wap_serve_phase_duration_seconds histogram\n",
+        );
+        for (i, phase) in EXPOSED_PHASES.iter().enumerate() {
+            self.phase_durations[i].render_into(
+                &mut out,
+                "wap_serve_phase_duration_seconds",
+                &format!("phase=\"{}\"", phase.name()),
+            );
         }
         out
     }
@@ -153,6 +212,20 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Maps a series name to the family that must carry its `# TYPE`
+    /// line: histogram series drop their `_bucket`/`_sum`/`_count`
+    /// suffix.
+    fn family_of(name: &str) -> &str {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if base.ends_with("_seconds") {
+                    return base;
+                }
+            }
+        }
+        name
+    }
 
     #[test]
     fn exposition_contains_every_family() {
@@ -168,13 +241,54 @@ mod tests {
             text.contains("wap_serve_phase_ns_total{phase=\"taint\"} 0"),
             "{text}"
         );
-        // every exposed family is typed
+        // every exposed series belongs to a typed family
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let name = line.split([' ', '{']).next().unwrap();
+            let family = family_of(name);
             assert!(
-                text.contains(&format!("# TYPE {name} ")),
-                "family {name} missing TYPE"
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} (series {name}) missing TYPE"
             );
         }
+    }
+
+    #[test]
+    fn histograms_track_reports_and_queue_waits() {
+        let m = Metrics::default();
+        let mut report = AppReport::default();
+        report.duration = Duration::from_millis(30);
+        report.stats.set_phase_ns(Phase::Parse, 2_000_000);
+        report.stats.set_phase_ns(Phase::Taint, 500_000_000);
+        m.record_report(&report);
+        m.record_report(&report);
+        m.record_queue_wait(Duration::from_millis(3));
+        assert_eq!(m.scan_duration.count(), 2);
+        assert_eq!(m.queue_wait.count(), 1);
+        for h in &m.phase_durations {
+            assert_eq!(h.count(), 2, "one observation per scan per phase");
+        }
+        let text = m.render(0, 0);
+        // cumulative bucket counts: both 30ms scans fall at or below 0.05s
+        assert!(
+            text.contains("wap_serve_scan_duration_seconds_bucket{le=\"0.05\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_serve_scan_duration_seconds_count 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_serve_queue_wait_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_serve_phase_duration_seconds_count{phase=\"taint\"} 2"),
+            "{text}"
+        );
+        // the legacy counter is the histogram's sum
+        assert!(
+            text.contains("wap_serve_phase_ns_total{phase=\"taint\"} 1000000000"),
+            "{text}"
+        );
     }
 }

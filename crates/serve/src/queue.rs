@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use wap_report::Format;
 
 /// Finished jobs retained for polling before the oldest are evicted.
@@ -24,6 +25,9 @@ pub struct ScanTask {
     pub sources: Vec<(String, String)>,
     /// Render format for the finished report.
     pub format: Format,
+    /// When the job was admitted — executors subtract this to report
+    /// queue-wait latency.
+    pub submitted: Instant,
 }
 
 /// A job's externally visible state.
@@ -134,6 +138,7 @@ impl JobQueue {
             id,
             sources,
             format,
+            submitted: Instant::now(),
         });
         self.work_ready.notify_one();
         Ok(id)

@@ -16,6 +16,7 @@ use crate::state::{TaintState, TaintStep};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use wap_catalog::{Catalog, SinkArgs, SinkKind, VulnClass};
+use wap_obs::Phase;
 use wap_php::ast::*;
 use wap_php::Span;
 use wap_runtime::Runtime;
@@ -102,11 +103,25 @@ pub fn analyze_with(
     files: &[SourceFile],
     runtime: &Runtime,
 ) -> Vec<Candidate> {
-    let (mut candidates, store_seen) = run_pass(catalog, options, files, runtime, false);
+    analyze_with_obs(catalog, options, files, runtime, wap_obs::disabled().job())
+}
+
+/// [`analyze_with`] recording per-file taint spans, the summary-merge
+/// barrier, and top-level execution into a `wap-obs` job. Tracing is
+/// observation only — the candidate stream is bit-identical to an
+/// untraced run at any job count.
+pub fn analyze_with_obs(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[SourceFile],
+    runtime: &Runtime,
+    obs: wap_obs::JobHandle<'_>,
+) -> Vec<Candidate> {
+    let (mut candidates, store_seen) = run_pass(catalog, options, files, runtime, false, obs);
     if options.second_order && store_seen {
         // second-order pass: stored data coming back from the database is
         // attacker-controlled; duplicates are removed by the final dedup
-        let (more, _) = run_pass(catalog, options, files, runtime, true);
+        let (more, _) = run_pass(catalog, options, files, runtime, true, obs);
         candidates.extend(more);
     }
     dedup_and_sort(candidates)
@@ -236,6 +251,7 @@ pub fn run_pass_incremental(
     files: &[PassInput<'_>],
     runtime: &Runtime,
     fetch_is_tainted: bool,
+    obs: wap_obs::JobHandle<'_>,
 ) -> PassOutcome {
     let index = build_fn_index(files);
     let miss: Vec<usize> = files
@@ -248,6 +264,7 @@ pub fn run_pass_incremental(
     // Phase A: summarize every fresh file's functions, one task per file.
     let phase_a: Vec<PhaseA> = runtime.map(miss.clone(), |_, i| {
         let f = &files[i];
+        let _span = obs.span_file(Phase::Taint, &f.name);
         let program = f.program.expect("fresh file must be parsed");
         let mut engine = Engine::for_file(
             catalog,
@@ -265,6 +282,7 @@ pub fn run_pass_incremental(
     });
 
     // Barrier: merge cached and fresh summaries.
+    let merge_span = obs.span(Phase::SummaryMerge);
     let mut fresh_a: Vec<Option<PhaseA>> = files.iter().map(|_| None).collect();
     for (j, pa) in phase_a.into_iter().enumerate() {
         fresh_a[miss[j]] = Some(pa);
@@ -278,6 +296,7 @@ pub fn run_pass_incremental(
         }
     }
     let merged = Arc::new(merged);
+    drop(merge_span);
 
     // Phase B: top-level flow of every fresh file against the merged
     // summaries, resuming the literal-tracking state from its phase A.
@@ -290,6 +309,7 @@ pub fn run_pass_incremental(
         .collect();
     let results = runtime.map(states, |_, (i, state)| {
         let f = &files[i];
+        let _span = obs.span_file(Phase::TopLevelExec, &f.name);
         let program = f.program.expect("fresh file must be parsed");
         let mut engine = Engine::for_file(
             catalog,
@@ -357,6 +377,7 @@ fn run_pass(
     files: &[SourceFile],
     runtime: &Runtime,
     fetch_is_tainted: bool,
+    obs: wap_obs::JobHandle<'_>,
 ) -> (Vec<Candidate>, bool) {
     let inputs: Vec<PassInput<'_>> = files
         .iter()
@@ -367,7 +388,7 @@ fn run_pass(
             cached: None,
         })
         .collect();
-    let outcome = run_pass_incremental(catalog, options, &inputs, runtime, fetch_is_tainted);
+    let outcome = run_pass_incremental(catalog, options, &inputs, runtime, fetch_is_tainted, obs);
     let store_seen = outcome.artifacts.iter().any(|a| a.store_seen);
     (pass_candidates(&outcome.artifacts), store_seen)
 }

@@ -39,9 +39,9 @@ pub mod serial;
 pub mod state;
 
 pub use engine::{
-    analyze, analyze_program, analyze_with, collect_literals, declared_names, dedup_and_sort,
-    function_fingerprint, pass_candidates, run_pass_incremental, AnalysisOptions, PassArtifacts,
-    PassInput, PassOutcome, SourceFile,
+    analyze, analyze_program, analyze_with, analyze_with_obs, collect_literals, declared_names,
+    dedup_and_sort, function_fingerprint, pass_candidates, run_pass_incremental, AnalysisOptions,
+    PassArtifacts, PassInput, PassOutcome, SourceFile,
 };
 pub use finding::Candidate;
 pub use state::{TaintInfo, TaintState, TaintStep};

@@ -40,6 +40,7 @@ members = [
     "php",
     "cache",
     "catalog",
+    "obs",
     "runtime",
     "taint",
     "mining",
@@ -419,7 +420,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php cache catalog runtime taint mining fixer interp corpus core report serve bench; do
+for c in php cache catalog obs runtime taint mining fixer interp corpus core report serve bench; do
     crate_dir "$c"
 done
 
@@ -442,6 +443,8 @@ EOF
 
 { common_pkg php; } > "$SCRATCH/php/Cargo.toml"
 
+{ common_pkg obs; } > "$SCRATCH/obs/Cargo.toml"
+
 { common_pkg runtime; } > "$SCRATCH/runtime/Cargo.toml"
 
 { common_pkg cache; cat <<'EOF'
@@ -462,6 +465,7 @@ EOF
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
 wap-catalog = { path = "../catalog" }
+wap-obs = { path = "../obs" }
 wap-runtime = { path = "../runtime" }
 EOF
 } > "$SCRATCH/taint/Cargo.toml"
@@ -509,6 +513,7 @@ wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
 wap-fixer = { path = "../fixer" }
 wap-interp = { path = "../interp" }
+wap-obs = { path = "../obs" }
 wap-runtime = { path = "../runtime" }
 wap-report = { path = "../report" }
 serde = { path = "../shims/serde", features = ["derive"] }
@@ -523,6 +528,7 @@ wap-cache = { path = "../cache" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
+wap-obs = { path = "../obs" }
 serde = { path = "../shims/serde", features = ["derive"] }
 serde_json = { path = "../shims/serde_json" }
 EOF
@@ -531,6 +537,7 @@ EOF
 { common_pkg serve; cat <<'EOF'
 [dependencies]
 wap-core = { path = "../core" }
+wap-obs = { path = "../obs" }
 wap-report = { path = "../report" }
 wap-runtime = { path = "../runtime" }
 wap-catalog = { path = "../catalog" }
@@ -608,6 +615,7 @@ wap-fixer = { path = "../fixer" }
 wap-corpus = { path = "../corpus" }
 wap-core = { path = "../core" }
 wap-interp = { path = "../interp" }
+wap-obs = { path = "../obs" }
 wap-report = { path = "../report" }
 wap-serve = { path = "../serve" }
 
@@ -630,6 +638,10 @@ path = "tests/cache_incremental.rs"
 [[test]]
 name = "serve_http"
 path = "tests/serve_http.rs"
+
+[[test]]
+name = "trace_determinism"
+path = "tests/trace_determinism.rs"
 EOF
 
 cd "$SCRATCH"
@@ -642,14 +654,14 @@ fi
 
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
-    cargo test --offline -q -p wap-php -p wap-cache -p wap-runtime -p wap-taint
+    cargo test --offline -q -p wap-php -p wap-cache -p wap-obs -p wap-runtime -p wap-taint
     echo "== offline-check: report + serve tests (std-only service stack) =="
     cargo test --offline -q -p wap-report -p wap-serve
     echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
     echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test trace_determinism
 fi
 
 echo "offline-check: OK"

@@ -86,6 +86,35 @@ awk '$1 == "wap_serve_cache_hits_total" && $2 > 0 { found = 1 } END { exit !foun
     "$WORK/metrics.txt" || fail "warm rescan did not hit the cache"
 echo "serve-smoke: warm rescan identical, cache hit recorded"
 
+# --- latency histograms ---------------------------------------------------
+# Every completed scan contributes one observation to the scan, queue-wait,
+# and per-phase histograms, so their _count series must equal
+# jobs_completed (2 at this point).
+grep -q '^wap_serve_scan_duration_seconds_count 2$' "$WORK/metrics.txt" \
+    || fail "scan duration histogram count != completed jobs"
+grep -q '^wap_serve_queue_wait_seconds_count 2$' "$WORK/metrics.txt" \
+    || fail "queue wait histogram count != completed jobs"
+grep -q '^wap_serve_scan_duration_seconds_bucket{le="+Inf"} 2$' "$WORK/metrics.txt" \
+    || fail "scan duration +Inf bucket != completed jobs"
+for phase in parse taint predict cache; do
+    grep -q "^wap_serve_phase_duration_seconds_count{phase=\"$phase\"} 2\$" \
+        "$WORK/metrics.txt" || fail "phase histogram missing for $phase"
+done
+grep -q '^# TYPE wap_serve_scan_duration_seconds histogram$' "$WORK/metrics.txt" \
+    || fail "scan duration family not typed as histogram"
+echo "serve-smoke: latency histograms OK"
+
+# --- CLI trace: NDJSON schema validated by the checked-in jq assertion ----
+"$BIN" --format text --stats --trace "$WORK/trace.ndjson" --fail-on none \
+    "$WORK/app" > "$WORK/cli-stats.txt" || fail "CLI --trace run failed"
+grep -q "phase totals:" "$WORK/cli-stats.txt" \
+    || fail "--stats output missing the phase totals section"
+grep -q "slowest files" "$WORK/cli-stats.txt" \
+    || fail "--stats output missing the slowest-files section"
+jq -s -e -f "$ROOT/scripts/trace_assert.jq" "$WORK/trace.ndjson" > /dev/null \
+    || fail "trace NDJSON failed schema assertions"
+echo "serve-smoke: --trace/--stats OK"
+
 # --- graceful shutdown ----------------------------------------------------
 kill -TERM "$SERVER_PID"
 STATUS=0

@@ -1,0 +1,42 @@
+# Validates a `wap --trace` NDJSON file against the wap-trace-v1 schema.
+#
+# Usage:
+#     jq -s -e -f scripts/trace_assert.jq trace.ndjson
+#
+# Slurped (-s) so the whole trace is one array. Exits non-zero (via
+# error/-e) on any violation, otherwise prints a one-line summary:
+#   - the first record is the meta line carrying the schema version and
+#     the span/event counts
+#   - every other record is a span (phase, job, start_ns, dur_ns) or an
+#     event (name, job, at_ns), with non-negative integer timestamps
+#   - the meta counts match the records that follow
+
+def fail(msg): error("trace_assert: " + msg);
+
+if length == 0 then fail("empty trace") else . end
+| .[0] as $meta
+| if $meta.kind != "meta" then fail("first record is not kind=meta") else . end
+| if $meta.schema != "wap-trace-v1" then fail("unknown schema \($meta.schema)") else . end
+| .[1:] as $records
+| ($records | map(select(.kind == "span"))) as $spans
+| ($records | map(select(.kind == "event"))) as $events
+| if ($records | length) != (($spans | length) + ($events | length))
+  then fail("record with kind other than span/event") else . end
+| if ($spans | length) != $meta.spans
+  then fail("meta.spans=\($meta.spans) but trace has \($spans | length) spans") else . end
+| if ($events | length) != $meta.events
+  then fail("meta.events=\($meta.events) but trace has \($events | length) events") else . end
+| if $spans | all(
+      (.phase | type == "string")
+      and (.job | type == "number")
+      and (.start_ns | type == "number") and .start_ns >= 0
+      and (.dur_ns | type == "number") and .dur_ns >= 0
+      and ((.file | type == "string") or .file == null))
+  then . else fail("malformed span record") end
+| if $events | all(
+      (.name | type == "string")
+      and (.job | type == "number")
+      and (.at_ns | type == "number") and .at_ns >= 0
+      and ((.file | type == "string") or .file == null))
+  then . else fail("malformed event record") end
+| "trace ok: \($spans | length) spans, \($events | length) events"

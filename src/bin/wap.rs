@@ -11,9 +11,9 @@ fn main() {
     }
     let opts = match wap_core::cli::parse_args(args) {
         Ok(o) => o,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{}", wap_core::cli::USAGE);
-            std::process::exit(2);
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", wap_core::cli::USAGE);
+            std::process::exit(err.exit_code());
         }
     };
     match wap_core::cli::run(&opts) {
@@ -21,9 +21,9 @@ fn main() {
             print!("{output}");
             std::process::exit(code);
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(err.exit_code());
         }
     }
 }

@@ -88,7 +88,7 @@ fn corrupted_entries_are_discarded_never_believed() {
     let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
 
     // populate the cache
-    let tool = WapTool::new(ToolConfig::wape().with_cache_dir(&dir));
+    let tool = WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build());
     assert_eq!(cold, fingerprint(&tool.analyze_sources(&files)));
     let entries = entry_files(&dir);
     assert!(!entries.is_empty(), "populated cache has entry files");
@@ -109,7 +109,7 @@ fn corrupted_entries_are_discarded_never_believed() {
     }
 
     // a fresh tool sees only damaged entries: discard, recompute, rewrite
-    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    let report = WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
     assert_eq!(cold, fingerprint(&report), "corruption changed findings");
     assert!(
         report.cache.corrupt_discarded > 0,
@@ -118,7 +118,7 @@ fn corrupted_entries_are_discarded_never_believed() {
     );
 
     // the rewritten entries serve a clean warm run again
-    let warm = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    let warm = WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
     assert_eq!(cold, fingerprint(&warm));
     assert_eq!(warm.cache.misses, 0, "cache must heal after corruption");
     let _ = std::fs::remove_dir_all(&dir);
@@ -129,7 +129,7 @@ fn elder_format_version_entries_are_invalidated() {
     let dir = temp_dir("elder");
     let files = sources();
     let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
-    WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
 
     // rewrite every frame's version field to an older generation
     assert_eq!(ENTRY_FORMAT_VERSION, 1, "update this test with the format");
@@ -139,7 +139,7 @@ fn elder_format_version_entries_are_invalidated() {
         std::fs::write(&path, &raw).unwrap();
     }
 
-    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    let report = WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
     assert_eq!(cold, fingerprint(&report));
     assert!(report.cache.invalidations > 0, "{:?}", report.cache);
     let _ = std::fs::remove_dir_all(&dir);
@@ -153,7 +153,7 @@ fn well_framed_garbage_payloads_are_rejected_at_decode() {
     let dir = temp_dir("framed-garbage");
     let files = sources();
     let cold = fingerprint(&WapTool::new(ToolConfig::wape()).analyze_sources(&files));
-    WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
 
     for path in entry_files(&dir) {
         let payload = b"total nonsense that is not a serialized artifact";
@@ -165,7 +165,7 @@ fn well_framed_garbage_payloads_are_rejected_at_decode() {
         std::fs::write(&path, &framed).unwrap();
     }
 
-    let report = WapTool::new(ToolConfig::wape().with_cache_dir(&dir)).analyze_sources(&files);
+    let report = WapTool::new(ToolConfig::builder().no_weapons().cache_dir(&dir).build()).analyze_sources(&files);
     assert_eq!(
         cold,
         fingerprint(&report),

@@ -57,7 +57,7 @@ fn findings_are_bit_identical_for_every_job_count() {
         sources.len()
     );
 
-    let serial = WapTool::new(ToolConfig::wape_full().with_jobs(1));
+    let serial = WapTool::new(ToolConfig::builder().jobs(1).build());
     let baseline_report = serial.analyze_sources(&sources);
     assert!(
         !baseline_report.findings.is_empty(),
@@ -67,7 +67,7 @@ fn findings_are_bit_identical_for_every_job_count() {
     let baseline_json = render_json(&baseline_report);
 
     for jobs in [2usize, 8] {
-        let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs));
+        let tool = WapTool::new(ToolConfig::builder().jobs(jobs).build());
         let report = tool.analyze_sources(&sources);
         assert_eq!(
             baseline,
@@ -96,11 +96,11 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let cold = |sources: &[(String, String)]| {
-        fingerprint(&WapTool::new(ToolConfig::wape_full().with_jobs(1)).analyze_sources(sources))
+        fingerprint(&WapTool::new(ToolConfig::builder().jobs(1).build()).analyze_sources(sources))
     };
     let sweep = |sources: &[(String, String)], baseline: &str, label: &str| {
         for jobs in [1usize, 2, 8] {
-            let tool = WapTool::new(ToolConfig::wape_full().with_jobs(jobs).with_cache_dir(&dir));
+            let tool = WapTool::new(ToolConfig::builder().jobs(jobs).cache_dir(&dir).build());
             let report = tool.analyze_sources(sources);
             assert_eq!(
                 baseline,
@@ -114,7 +114,7 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
     sweep(&sources, &baseline, "populating");
 
     // fully warm: same sources, fresh tool per job count, zero re-analysis
-    let warm_tool = WapTool::new(ToolConfig::wape_full().with_jobs(4).with_cache_dir(&dir));
+    let warm_tool = WapTool::new(ToolConfig::builder().jobs(4).cache_dir(&dir).build());
     let warm = warm_tool.analyze_sources(&sources);
     assert_eq!(baseline, fingerprint(&warm), "fully warm run diverged");
     assert_eq!(warm.cache.misses, 0, "fully warm run must not miss");
@@ -137,7 +137,7 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
     let baseline = cold(&sources);
     sweep(&sources, &baseline, "add-remove");
 
-    let partial = WapTool::new(ToolConfig::wape_full().with_jobs(2).with_cache_dir(&dir))
+    let partial = WapTool::new(ToolConfig::builder().jobs(2).cache_dir(&dir).build())
         .analyze_sources(&sources);
     assert_eq!(baseline, fingerprint(&partial));
     assert_eq!(partial.cache.misses, 0, "repeat of same input must be warm");
@@ -148,13 +148,12 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
 #[test]
 fn second_order_pass_is_deterministic_too() {
     let sources = corpus_sources();
-    let mut config = ToolConfig::wape_full();
-    config.analysis.second_order = true;
+    let build = |jobs: usize| ToolConfig::builder().second_order(true).jobs(jobs).build();
 
-    let serial = WapTool::new(config.clone().with_jobs(1));
+    let serial = WapTool::new(build(1));
     let baseline = fingerprint(&serial.analyze_sources(&sources));
     for jobs in [2usize, 8] {
-        let tool = WapTool::new(config.clone().with_jobs(jobs));
+        let tool = WapTool::new(build(jobs));
         assert_eq!(
             baseline,
             fingerprint(&tool.analyze_sources(&sources)),

@@ -205,6 +205,34 @@ fn eight_concurrent_clients_scan_correctly() {
     assert_eq!(metric_value("wap_serve_queue_depth"), 0);
     assert_eq!(metric_value("wap_serve_jobs_in_flight"), 0);
 
+    // latency histograms: every completed scan contributes exactly one
+    // observation to the scan histogram, the queue-wait histogram, and
+    // each per-phase histogram
+    assert_eq!(metric_value("wap_serve_scan_duration_seconds_count"), 9);
+    assert_eq!(metric_value("wap_serve_queue_wait_seconds_count"), 9);
+    for phase in ["parse", "taint", "predict", "cache"] {
+        assert_eq!(
+            metric_value(&format!(
+                "wap_serve_phase_duration_seconds_count{{phase=\"{phase}\"}}"
+            )),
+            9,
+            "phase {phase} histogram out of step with jobs_completed"
+        );
+    }
+    // buckets are cumulative: the +Inf bucket carries the full count
+    assert_eq!(
+        metric_value("wap_serve_scan_duration_seconds_bucket{le=\"+Inf\"}"),
+        9
+    );
+    assert!(
+        metrics.contains("wap_serve_scan_duration_seconds_sum "),
+        "scan histogram missing _sum:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE wap_serve_queue_wait_seconds histogram"),
+        "queue-wait family untyped:\n{metrics}"
+    );
+
     handle.shutdown();
     join.join().unwrap().unwrap();
     std::fs::remove_dir_all(&dir_a).ok();
