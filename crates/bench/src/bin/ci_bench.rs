@@ -103,6 +103,23 @@ fn measure() -> Measurement {
         ms(Phase::Predict)
     );
 
+    // CFG/lint pass cost, reported but outside the gate: the pass is
+    // compiled in yet off by default, so the gated sweeps above never
+    // pay for it
+    let guarded = WapTool::new(
+        ToolConfig::builder()
+            .jobs(1)
+            .guard_attributes(true)
+            .build(),
+    );
+    let mut guarded_report = guarded.analyze_sources(&sources);
+    guarded.apply_lint(&mut guarded_report, &sources);
+    println!(
+        "ci_bench: cfg phase {} ms, lint phase {} ms (opt-in --guards/--lint, not gated)",
+        guarded_report.stats.phase_ns(Phase::Cfg) / 1_000_000,
+        guarded_report.stats.phase_ns(Phase::Lint) / 1_000_000
+    );
+
     let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
     tool.enable_memory_cache();
     tool.analyze_sources(&sources); // prime

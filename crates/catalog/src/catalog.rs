@@ -349,6 +349,15 @@ impl Catalog {
         &self.weapons
     }
 
+    /// Lint rules declared by linked weapons, in weapon-name order.
+    ///
+    /// Weapons are kept sorted by [`Catalog::add_weapons`], so the rule
+    /// sequence is deterministic regardless of configuration discovery
+    /// order — `wap lint` findings never depend on flag ordering.
+    pub fn lint_rules(&self) -> impl Iterator<Item = &crate::weapon::LintRuleSpec> {
+        self.weapons.iter().flat_map(|w| w.lint_rules.iter())
+    }
+
     /// A canonical string covering every piece of catalog state that can
     /// influence analysis results: classes, entry points, sinks,
     /// sanitizers, dynamic symptoms, and linked weapons. The incremental
@@ -527,6 +536,20 @@ mod tests {
         assert!(!c.dynamic_symptoms().is_empty());
         assert!(c.is_sanitizer("esc_sql"));
         assert!(c.is_sanitizer("prepare"));
+    }
+
+    #[test]
+    fn weapon_lint_rules_are_exposed_and_fingerprinted() {
+        let mut c = Catalog::wape();
+        assert_eq!(c.lint_rules().count(), 0);
+        let plain = c.fingerprint_material();
+        c.add_weapon(WeaponConfig::wpsqli());
+        let rules: Vec<_> = c.lint_rules().collect();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].id, "wp-unprepared-query");
+        assert_eq!(rules[0].function, "query");
+        // Declaring a lint rule must invalidate cached analyses.
+        assert_ne!(plain, c.fingerprint_material());
     }
 
     #[test]

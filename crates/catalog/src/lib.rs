@@ -30,4 +30,4 @@ pub mod weapon;
 pub use catalog::Catalog;
 pub use class::{SubModule, VulnClass};
 pub use spec::{EntryPoint, SanitizerSpec, SinkArgs, SinkKind, SinkSpec};
-pub use weapon::{DynamicSymptom, FixTemplateSpec, WeaponConfig, WeaponSink};
+pub use weapon::{DynamicSymptom, FixTemplateSpec, LintRuleSpec, WeaponConfig, WeaponSink};

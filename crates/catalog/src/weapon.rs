@@ -113,6 +113,56 @@ impl DynamicSymptom {
     }
 }
 
+/// A weapon-declared lint rule: pure data in the same "no additional
+/// programming" spirit as the rest of the weapon file. The CFG lint
+/// engine (`wap-cfg`) interprets it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintRuleSpec {
+    /// Rule id; the lint engine normalizes it into the `WAP-` namespace.
+    pub id: String,
+    /// What the rule checks: `forbid_call` (flag every call to
+    /// `function`) or `require_guard` (flag calls whose argument
+    /// variables lack a dominating validation guard).
+    pub kind: String,
+    /// The function or method name the rule applies to
+    /// (case-insensitive).
+    pub function: String,
+    /// Severity of findings: `error`, `warning`, or `note`.
+    #[serde(default = "default_lint_severity")]
+    pub severity: String,
+    /// Message attached to each finding.
+    #[serde(default)]
+    pub message: String,
+}
+
+fn default_lint_severity() -> String {
+    "warning".to_string()
+}
+
+impl LintRuleSpec {
+    /// A rule forbidding every call to `function`.
+    pub fn forbid_call(id: &str, function: &str, severity: &str, message: &str) -> Self {
+        LintRuleSpec {
+            id: id.into(),
+            kind: "forbid_call".into(),
+            function: function.into(),
+            severity: severity.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A rule requiring calls to `function` to be guard-dominated.
+    pub fn require_guard(id: &str, function: &str, severity: &str, message: &str) -> Self {
+        LintRuleSpec {
+            id: id.into(),
+            kind: "require_guard".into(),
+            function: function.into(),
+            severity: severity.into(),
+            message: message.into(),
+        }
+    }
+}
+
 /// A full weapon configuration (§III-D): everything the weapon generator
 /// needs to produce a detector + fix + symptoms and link them into the tool.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -137,6 +187,9 @@ pub struct WeaponConfig {
     /// Dynamic symptoms contributed by this weapon.
     #[serde(default)]
     pub dynamic_symptoms: Vec<DynamicSymptom>,
+    /// Lint rules contributed by this weapon, run by `wap lint`.
+    #[serde(default)]
+    pub lint_rules: Vec<LintRuleSpec>,
 }
 
 impl WeaponConfig {
@@ -190,6 +243,7 @@ impl WeaponConfig {
                 sanitizer: "mysql_real_escape_string".into(),
             },
             dynamic_symptoms: Vec::new(),
+            lint_rules: Vec::new(),
         }
     }
 
@@ -212,6 +266,7 @@ impl WeaponConfig {
                 neutralizer: " ".into(),
             },
             dynamic_symptoms: Vec::new(),
+            lint_rules: Vec::new(),
         }
     }
 
@@ -247,6 +302,12 @@ impl WeaponConfig {
                 DynamicSymptom::new("wp_verify_nonce", "preg_match", "validation"),
                 DynamicSymptom::new("is_email", "preg_match", "validation"),
             ],
+            lint_rules: vec![LintRuleSpec::require_guard(
+                "wp-unprepared-query",
+                "query",
+                "warning",
+                "wpdb query called on data without a dominating validation guard",
+            )],
         }
     }
 }

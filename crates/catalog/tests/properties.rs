@@ -49,6 +49,7 @@ fn weapon_strategy() -> impl Strategy<Value = WeaponConfig> {
             sanitizer_methods: vec![],
             fix,
             dynamic_symptoms: vec![],
+            lint_rules: vec![],
         })
 }
 

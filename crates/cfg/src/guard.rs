@@ -1,0 +1,354 @@
+//! Dominance-based guard analysis.
+//!
+//! A sink is *guarded* on variable `$v` when either
+//!
+//! 1. some CFG edge carrying a guard on `$v` (e.g. the true edge of
+//!    `is_numeric($v)`, or the false edge of `!is_numeric($v)`) leads to a
+//!    block that **dominates** the sink, and `$v` is not redefined on any
+//!    path between that block and the sink; or
+//! 2. every definition of `$v` reaching the sink is itself sanitizing —
+//!    an `(int)`/`(float)`/`(bool)` cast or an `intval`-family conversion.
+//!
+//! Both conditions are sound over the lowered graph: dominance proves the
+//! validation necessarily executed, and the redefinition check proves the
+//! validated value is the one flowing into the sink.
+
+use crate::dominators::Dominators;
+use crate::graph::{BlockId, Cfg, Guard};
+use crate::reach::ReachingDefs;
+use wap_php::ast::{Expr, ExprKind};
+
+/// A proven "validator dominates this program point" fact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GuardFact {
+    /// The guarded variable (without `$`).
+    pub var: String,
+    /// Lower-cased validator establishing the guard (`is_numeric`,
+    /// `preg_match`, `in_array`, `cast_int`, `intval`, ...).
+    pub validator: String,
+}
+
+/// Validators whose truthiness checks their **first** argument.
+const ARG0_VALIDATORS: &[&str] = &[
+    "is_numeric",
+    "is_int",
+    "is_integer",
+    "is_long",
+    "is_float",
+    "is_double",
+    "is_real",
+    "is_bool",
+    "is_scalar",
+    "ctype_digit",
+    "ctype_alpha",
+    "ctype_alnum",
+    "in_array",
+];
+
+/// Validators whose truthiness checks their **second** argument
+/// (`preg_match($pattern, $subject)`).
+const ARG1_VALIDATORS: &[&str] = &["preg_match", "preg_match_all"];
+
+/// Recognizes a call to a known validator and extracts the guarded
+/// variable. Function-name matching is case-insensitive, like PHP.
+pub(crate) fn validator_call(name: &str, args: &[Expr]) -> Option<Guard> {
+    let lower = name.to_ascii_lowercase();
+    let arg = if ARG0_VALIDATORS.contains(&lower.as_str()) {
+        args.first()
+    } else if ARG1_VALIDATORS.contains(&lower.as_str()) {
+        args.get(1)
+    } else {
+        return None;
+    }?;
+    let var = arg.root_var()?;
+    Some(Guard {
+        var: var.to_string(),
+        validator: lower,
+    })
+}
+
+/// Whether an expression is a call to a known validator (any position).
+/// Used by consumers that only need a yes/no classification.
+pub fn is_validator_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    ARG0_VALIDATORS.contains(&lower.as_str()) || ARG1_VALIDATORS.contains(&lower.as_str())
+}
+
+/// Per-function guard analysis: dominators + reaching defs over one CFG.
+#[derive(Debug)]
+pub struct GuardAnalysis<'c> {
+    cfg: &'c Cfg,
+    doms: Dominators,
+    reach: ReachingDefs,
+    reachable: Vec<bool>,
+}
+
+impl<'c> GuardAnalysis<'c> {
+    /// Builds the analysis for `cfg` (computes dominators and reaching
+    /// definitions once; queries are then cheap graph walks).
+    pub fn new(cfg: &'c Cfg) -> GuardAnalysis<'c> {
+        GuardAnalysis {
+            cfg,
+            doms: Dominators::compute(cfg),
+            reach: ReachingDefs::compute(cfg),
+            reachable: cfg.reachable(),
+        }
+    }
+
+    /// All guards on any of `vars` proven to dominate node
+    /// `(block, node)`. Deterministically sorted by `(var, validator)`.
+    pub fn guards_at(&self, block: BlockId, node: usize, vars: &[String]) -> Vec<GuardFact> {
+        let mut out: Vec<GuardFact> = Vec::new();
+        // condition 1: a dominating guard *edge* with no intervening redef.
+        // The edge P→Q dominates the sink when Q dominates it AND P→Q is
+        // Q's only in-edge: then every path to the sink takes the edge, and
+        // re-entering Q (e.g. around a loop) re-validates the variable.
+        for (p, pb) in self.cfg.blocks.iter().enumerate() {
+            for e in &pb.succs {
+                if e.guards.is_empty() || !self.reachable.get(e.to).copied().unwrap_or(false) {
+                    continue;
+                }
+                if self.cfg.blocks[e.to].preds != [p] {
+                    continue;
+                }
+                if !self.doms.dominates(e.to, block) {
+                    continue;
+                }
+                for g in &e.guards {
+                    if !vars.contains(&g.var) {
+                        continue;
+                    }
+                    if self.redefined_between(&g.var, e.to, block, node) {
+                        continue;
+                    }
+                    out.push(GuardFact {
+                        var: g.var.clone(),
+                        validator: g.validator.clone(),
+                    });
+                }
+            }
+        }
+        // condition 2: every reaching def is itself sanitizing
+        for var in vars {
+            let defs = self.reach.defs_reaching(self.cfg, block, node, var);
+            if !defs.is_empty() && defs.iter().all(|d| d.is_guard()) {
+                for d in defs {
+                    out.push(GuardFact {
+                        var: var.clone(),
+                        validator: d.validator.clone().expect("guard def has validator"),
+                    });
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether `var` may be redefined on some path segment from the guard
+    /// edge's target `q` to node `(block, node)` that does **not** pass
+    /// through `q` again (re-entering `q` re-takes the guard edge, which
+    /// re-validates the variable).
+    fn redefined_between(&self, var: &str, q: BlockId, block: BlockId, node: usize) -> bool {
+        // defs inside q itself run after the guard and before any exit
+        let q_limit = if q == block {
+            node
+        } else {
+            self.cfg.blocks[q].nodes.len()
+        };
+        for n in &self.cfg.blocks[q].nodes[..q_limit] {
+            if n.defs.iter().any(|d| d == var) {
+                return true;
+            }
+        }
+        if q == block {
+            return false;
+        }
+        let from_set = self.cfg.reachable_from(q);
+        let avoid_q = self.reaching_avoiding(block, q);
+        for (x, xb) in self.cfg.blocks.iter().enumerate() {
+            if x == q || !from_set[x] || !avoid_q[x] {
+                continue;
+            }
+            for (i, n) in xb.nodes.iter().enumerate() {
+                if x == block && i >= node {
+                    break; // at or after the sink
+                }
+                if n.defs.iter().any(|d| d == var) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Blocks with a path to `to` that does not pass through `q`.
+    fn reaching_avoiding(&self, to: BlockId, q: BlockId) -> Vec<bool> {
+        let mut seen = vec![false; self.cfg.blocks.len()];
+        let mut stack = vec![to];
+        seen[to] = true;
+        while let Some(b) = stack.pop() {
+            if b == q {
+                continue; // do not traverse through q
+            }
+            for &p in &self.cfg.blocks[b].preds {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::lower_program;
+    use wap_php::parse;
+
+    fn guards(src: &str, sink: &str, vars: &[&str]) -> Vec<GuardFact> {
+        let f = lower_program(&parse(src).expect("parse"));
+        let span = f.find_call(sink).expect("sink call present");
+        let owned: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+        f.dominating_guards(span, &owned)
+    }
+
+    #[test]
+    fn positive_guard_dominates_then_branch() {
+        let g = guards(
+            "<?php $id = $_GET['id']; if (is_numeric($id)) { mysql_query($id); }",
+            "mysql_query",
+            &["id"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].validator, "is_numeric");
+        assert_eq!(g[0].var, "id");
+    }
+
+    #[test]
+    fn negated_guard_with_exit_dominates_continuation() {
+        let g = guards(
+            "<?php $id = $_GET['id']; if (!is_numeric($id)) { exit; } mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert_eq!(g.len(), 1, "false-edge guard must dominate the sink");
+        assert_eq!(g[0].validator, "is_numeric");
+    }
+
+    #[test]
+    fn unguarded_sink_yields_nothing() {
+        let g = guards(
+            "<?php $id = $_GET['id']; mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn guard_on_one_branch_only_does_not_dominate() {
+        let g = guards(
+            "<?php if ($c) { if (!is_numeric($id)) { exit; } } mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert!(g.is_empty(), "guard inside one arm must not dominate");
+    }
+
+    #[test]
+    fn redefinition_after_guard_invalidates_it() {
+        let g = guards(
+            "<?php if (!is_numeric($id)) { exit; } $id = $_GET['id']; mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert!(g.is_empty(), "redef between guard and sink kills the guard");
+    }
+
+    #[test]
+    fn sanitizing_cast_guards_without_a_branch() {
+        let g = guards(
+            "<?php $id = (int)$_GET['id']; mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].validator, "cast_int");
+    }
+
+    #[test]
+    fn intval_def_guards() {
+        let g = guards(
+            "<?php $n = intval($_POST['n']); mysql_query($n);",
+            "mysql_query",
+            &["n"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].validator, "intval");
+    }
+
+    #[test]
+    fn mixed_defs_do_not_guard() {
+        let g = guards(
+            "<?php if ($c) { $id = intval($x); } else { $id = $_GET['id']; } mysql_query($id);",
+            "mysql_query",
+            &["id"],
+        );
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn preg_match_guard_on_subject() {
+        let g = guards(
+            "<?php if (!preg_match('/^[a-z]+$/', $name)) { die('bad'); } mysql_query($name);",
+            "mysql_query",
+            &["name"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].validator, "preg_match");
+        assert_eq!(g[0].var, "name");
+    }
+
+    #[test]
+    fn in_array_guard_on_first_arg() {
+        let g = guards(
+            "<?php if (in_array($col, array('a','b'))) { mysql_query($col); }",
+            "mysql_query",
+            &["col"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].validator, "in_array");
+    }
+
+    #[test]
+    fn guard_inside_loop_body_applies_to_loop_sink() {
+        let g = guards(
+            "<?php foreach ($ids as $id) { if (!is_int($id)) { continue; } mysql_query($id); }",
+            "mysql_query",
+            &["id"],
+        );
+        assert_eq!(g.len(), 1, "continue-guard dominates the rest of the body");
+        assert_eq!(g[0].validator, "is_int");
+    }
+
+    #[test]
+    fn multiple_vars_report_only_guarded_ones() {
+        let g = guards(
+            "<?php if (!is_numeric($a)) { exit; } mysql_query($a . $b);",
+            "mysql_query",
+            &["a", "b"],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].var, "a");
+    }
+
+    #[test]
+    fn validator_name_classification() {
+        assert!(is_validator_name("is_numeric"));
+        assert!(is_validator_name("PREG_MATCH"));
+        assert!(!is_validator_name("strlen"));
+    }
+}

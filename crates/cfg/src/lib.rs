@@ -1,0 +1,62 @@
+//! # wap-cfg — control-flow graphs and guard analysis for the wap pipeline
+//!
+//! The taint engine is deliberately flow-insensitive: validation guards
+//! like `is_numeric`/`preg_match` never stop taint, exactly the blind spot
+//! the paper's data-mining committee papers over. This crate adds real
+//! control-flow facts on the side:
+//!
+//! * [`lower_program`] lowers each parsed PHP function body and the
+//!   top-level script into a [`Cfg`] of basic blocks connected by branch,
+//!   loop, and try edges ([`graph`]).
+//! * [`Dominators`] computes the dominator tree of a graph with the
+//!   iterative Cooper–Harvey–Kennedy algorithm ([`dominators`]).
+//! * [`ReachingDefs`] runs a classic gen/kill reaching-definitions
+//!   dataflow for simple variables ([`reach`]).
+//! * [`GuardAnalysis`] answers "is this sink span dominated by a
+//!   validation guard on the tainted variable?" for the known validators
+//!   (`is_numeric`, `is_int`, `preg_match`, `in_array`, cast guards, ...)
+//!   ([`guard`]).
+//! * [`lint_file`] hosts an extensible rule engine (unguarded sinks,
+//!   unreachable code after exit, assignment-in-condition,
+//!   tainted-sink-without-dominating-guard, and weapon-declared custom
+//!   rules) producing deterministic, sorted [`LintFinding`]s ([`lint`]).
+//!
+//! Like the rest of the workspace's analysis core, this crate is
+//! dependency-free apart from `wap-php` (the AST it lowers).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wap_cfg::{lower_program, GuardAnalysis};
+//! use wap_php::parse;
+//!
+//! let p = parse(
+//!     "<?php
+//!      $id = $_GET['id'];
+//!      if (!is_numeric($id)) { exit; }
+//!      mysql_query(\"SELECT * FROM t WHERE id = $id\");",
+//! )?;
+//! let cfgs = lower_program(&p);
+//! let sink = cfgs.find_call("mysql_query").expect("sink call");
+//! let guards = cfgs.dominating_guards(sink, &["id".to_string()]);
+//! assert_eq!(guards[0].validator, "is_numeric");
+//! # Ok::<(), wap_php::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dominators;
+pub mod graph;
+pub mod guard;
+pub mod lint;
+pub mod reach;
+
+pub use dominators::Dominators;
+pub use graph::{lower_program, lower_stmts, Block, BlockId, Cfg, Edge, FileCfgs, Guard, Node};
+pub use guard::{GuardAnalysis, GuardFact};
+pub use lint::{
+    builtin_rules, lint_file, lint_tainted_sinks, normalize_rule_id, sort_findings, CustomRule, CustomRuleKind, LintConfig,
+    LintFinding, LintRule, Severity, SinkEvent, RULE_ASSIGN_IN_COND, RULE_TAINTED_SINK,
+    RULE_UNGUARDED_SINK, RULE_UNREACHABLE,
+};
+pub use reach::{DefSite, ReachingDefs};

@@ -25,6 +25,10 @@ pub enum FailOn {
     /// Exit 1 only when real (non-predicted-FP) vulnerabilities remain.
     #[default]
     Vuln,
+    /// Like `Vuln`, but error-severity lint findings also fail the run
+    /// (only meaningful together with `--lint`; warnings and notes never
+    /// change the exit code).
+    Lint,
 }
 
 impl FailOn {
@@ -34,6 +38,7 @@ impl FailOn {
             "none" => Some(FailOn::None),
             "fpp" => Some(FailOn::Fpp),
             "vuln" => Some(FailOn::Vuln),
+            "lint" => Some(FailOn::Lint),
             _ => None,
         }
     }
@@ -44,6 +49,9 @@ impl FailOn {
             FailOn::None => false,
             FailOn::Fpp => !report.findings.is_empty(),
             FailOn::Vuln => report.real_vulnerabilities().count() > 0,
+            FailOn::Lint => {
+                report.real_vulnerabilities().count() > 0 || report.lint_errors().count() > 0
+            }
         };
         i32::from(fail)
     }
@@ -69,8 +77,15 @@ pub struct CliOptions {
     pub json: bool,
     /// Output format (`--format text|json|ndjson|sarif`).
     pub format: Option<Format>,
-    /// Exit-code policy (`--fail-on none|fpp|vuln`, default `vuln`).
+    /// Exit-code policy (`--fail-on none|fpp|vuln|lint`, default `vuln`).
     pub fail_on: FailOn,
+    /// Run the CFG lint pass (`--lint`, or the `wap lint` subcommand) and
+    /// append its findings to the report.
+    pub lint: bool,
+    /// Refine symptom vectors with CFG guard analysis before prediction
+    /// (`--guards`). Off by default so the headline reproduction stays
+    /// bit-identical to the paper's plain symptom collector.
+    pub guards: bool,
     /// Extra weapon configuration files to load.
     pub weapon_files: Vec<PathBuf>,
     /// User sanitizers to register, as `name:CLASS1,CLASS2`.
@@ -130,7 +145,13 @@ FLAGS:
     --confirm             dynamically confirm findings with attack payloads
     --json                machine-readable output (same as --format json)
     --format <FMT>        output format: text | json | ndjson | sarif
-    --fail-on <WHEN>      exit 1 on: vuln (default) | fpp (any finding) | none
+    --fail-on <WHEN>      exit 1 on: vuln (default) | fpp (any finding) |
+                          lint (vulns or error-severity lint findings) | none
+    --lint                run the CFG lint pass (unguarded sinks, unreachable
+                          code, assignment-in-condition, weapon rules); the
+                          `wap lint <PATH>` subcommand is shorthand for it
+    --guards              refine symptom vectors with CFG dominator guard
+                          analysis before false-positive prediction
     --weapon <file.json>  link an additional weapon configuration
     --sanitizer name:CLASS[,CLASS]   register a user sanitization function
     --jobs <N>            worker threads (default: WAP_JOBS env, then all cores)
@@ -143,6 +164,10 @@ FLAGS:
 Findings are identical for every --jobs value; only wall-clock time changes.
 With --cache, warm runs re-analyze only changed files — findings stay
 bit-identical to a cold run.
+
+EXIT CODES:
+    0  clean under the --fail-on policy     2  usage error
+    1  findings per --fail-on               3+ I/O or config error
 ";
 
 /// Parses command-line arguments (no external crates; the tool only needs
@@ -172,10 +197,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 );
             }
             "--fail-on" => {
-                let v = it.next().ok_or("--fail-on needs one of none|fpp|vuln")?;
+                let v = it.next().ok_or("--fail-on needs one of none|fpp|vuln|lint")?;
                 opts.fail_on = FailOn::parse(&v)
-                    .ok_or_else(|| format!("unknown --fail-on policy {v} (none|fpp|vuln)"))?;
+                    .ok_or_else(|| format!("unknown --fail-on policy {v} (none|fpp|vuln|lint)"))?;
             }
+            "--lint" => opts.lint = true,
+            "--guards" => opts.guards = true,
             "--weapon" => {
                 let f = it.next().ok_or("--weapon needs a file path")?;
                 opts.weapon_files.push(PathBuf::from(f));
@@ -279,6 +306,7 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, WapError> {
     config.jobs = opts.jobs.or_else(wap_runtime::jobs_from_env);
     config.cache_dir = opts.cache_dir.clone();
     config.trace = opts.trace.is_some() || opts.stats;
+    config.guard_attributes = opts.guards;
     let mut tool = WapTool::new(config);
     // link in sorted-name order so the catalog (and its fingerprint) does
     // not depend on the order weapon files were listed or discovered
@@ -334,7 +362,10 @@ pub fn run(opts: &CliOptions) -> Result<(i32, String), WapError> {
         sources.push((f.display().to_string(), src));
     }
     let tool = build_tool(opts)?;
-    let report = tool.analyze_sources(&sources);
+    let mut report = tool.analyze_sources(&sources);
+    if opts.lint {
+        tool.apply_lint(&mut report, &sources);
+    }
 
     let classes: Vec<VulnClass> = tool.catalog().classes().cloned().collect();
     let mut output = opts.effective_format().render(&report, &classes);
@@ -576,9 +607,12 @@ mod tests {
             "--fail-on",
             "--trace",
             "--stats",
+            "--lint",
+            "--guards",
         ] {
             assert!(USAGE.contains(flag), "usage missing {flag}");
         }
+        assert!(USAGE.contains("EXIT CODES"), "usage missing exit-code table");
     }
 
     #[test]
@@ -612,6 +646,128 @@ mod tests {
         assert_eq!(o.fail_on, FailOn::Fpp);
         assert!(parse_args(args(&["--fail-on", "always", "f.php"])).is_err());
         assert!(parse_args(args(&["--fail-on"])).is_err());
+    }
+
+    #[test]
+    fn parse_lint_and_guards_flags() {
+        let o = parse_args(args(&["--lint", "f.php"])).unwrap();
+        assert!(o.lint);
+        assert!(!o.guards);
+        let o = parse_args(args(&["--guards", "f.php"])).unwrap();
+        assert!(o.guards);
+        assert!(!o.lint);
+        let o = parse_args(args(&["f.php"])).unwrap();
+        assert!(!o.lint && !o.guards);
+        assert_eq!(
+            parse_args(args(&["--fail-on", "lint", "f.php"]))
+                .unwrap()
+                .fail_on,
+            FailOn::Lint
+        );
+    }
+
+    #[test]
+    fn guards_flag_reaches_tool_config() {
+        let opts = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            guards: true,
+            ..Default::default()
+        };
+        assert!(build_tool(&opts).unwrap().config().guard_attributes);
+        let plain = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            ..Default::default()
+        };
+        assert!(!build_tool(&plain).unwrap().config().guard_attributes);
+    }
+
+    #[test]
+    fn lint_flags_unguarded_sink_and_suppresses_guarded() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // unguarded: tainted $id flows straight into the sink
+        std::fs::write(
+            dir.join("unguarded.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        // guarded: a dominating is_numeric check rejects non-numeric input
+        std::fs::write(
+            dir.join("guarded.php"),
+            "<?php\n$id = $_GET['id'];\nif (!is_numeric($id)) { exit; }\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            lint: true,
+            ..Default::default()
+        };
+        let (_, output) = run(&opts).unwrap();
+        let tainted: Vec<&str> = output
+            .lines()
+            .filter(|l| l.contains(wap_cfg::RULE_TAINTED_SINK))
+            .collect();
+        assert!(
+            tainted.iter().any(|l| l.contains("/unguarded.php")),
+            "unguarded sink must be flagged: {output}"
+        );
+        assert!(
+            !tainted.iter().any(|l| l.contains("/guarded.php")),
+            "dominating guard must suppress the tainted-sink finding: {output}"
+        );
+        assert!(output.contains("lint findings"), "{output}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_on_lint_gates_on_error_severity_findings() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-folint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            lint: true,
+            fail_on: FailOn::Lint,
+            ..Default::default()
+        };
+        let (code, _) = run(&opts).unwrap();
+        assert_eq!(code, 1, "error-severity lint finding fails the run");
+        // a clean file under the same policy exits 0
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.php"), "<?php echo 'hello';\n").unwrap();
+        let (code, _) = run(&CliOptions {
+            paths: vec![dir.clone()],
+            lint: true,
+            fail_on: FailOn::Lint,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_output_has_no_lint_section_without_the_flag() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-nolint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            ..Default::default()
+        };
+        let (_, output) = run(&opts).unwrap();
+        assert!(!output.contains("WAP-LINT-"), "{output}");
+        assert!(!output.contains("lint findings"), "{output}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -95,14 +95,74 @@ fn findings_key(
 
 /// Everything cached runs need to know about what analysis they are
 /// running: catalog contents (weapons included), generation, training
-/// seed, and analysis options. Any difference must yield disjoint keys.
-fn config_fingerprint(tool: &WapTool) -> String {
+/// seed, analysis options, and whether CFG guard refinement is on. Any
+/// difference must yield disjoint keys.
+pub(crate) fn config_fingerprint(tool: &WapTool) -> String {
     fields_hash([
         tool.catalog.fingerprint_material(),
         format!("{:?}", tool.config.generation),
         tool.config.seed.to_string(),
         format!("{:?}", tool.config.analysis),
+        format!("guards:{}", tool.config.guard_attributes),
     ])
+}
+
+/// Key of one `cfg` entry: the lint findings of one file. Content-
+/// addressed by the file bytes and the configuration fingerprint, so a
+/// catalog change (new weapon lint rule, different sink set) invalidates
+/// cached lint results exactly like it invalidates findings.
+pub(crate) fn cfg_lint_key(file: &str, hash: &str, config_fp: &str) -> String {
+    fields_hash(["cfg", CACHE_SCHEMA, TOOL_VERSION_KEY, file, hash, config_fp])
+}
+
+pub(crate) fn encode_lint(findings: &[wap_cfg::LintFinding]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.seq(findings.len());
+    for f in findings {
+        w.str(&f.rule_id);
+        w.str(f.severity.as_str());
+        w.str(&f.file);
+        w.u32(f.line);
+        w.u32(f.span.start());
+        w.u32(f.span.end());
+        w.u32(f.span.line());
+        w.str(&f.message);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn decode_lint(bytes: &[u8]) -> Result<Vec<wap_cfg::LintFinding>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.seq()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rule_id = r.str()?;
+        let severity = r.str()?;
+        let severity = wap_cfg::Severity::parse(&severity)
+            .ok_or_else(|| CodecError(format!("unknown lint severity {severity:?}")))?;
+        let file = r.str()?;
+        let line = r.u32()?;
+        let (start, end, span_line) = (r.u32()?, r.u32()?, r.u32()?);
+        if end < start {
+            return Err(CodecError(format!("span end {end} before start {start}")));
+        }
+        let message = r.str()?;
+        out.push(wap_cfg::LintFinding {
+            rule_id,
+            severity,
+            file,
+            line,
+            span: Span::new(start, end, span_line),
+            message,
+        });
+    }
+    if !r.is_empty() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after lint entry",
+            r.remaining()
+        )));
+    }
+    Ok(out)
 }
 
 /// What a decl entry records about one source file.
@@ -412,6 +472,7 @@ pub(crate) fn analyze_sources_cached(
     let mut taint_ns = 0u64;
     let mut predict_ns = 0u64;
     let mut cache_ns = 0u64;
+    let mut cfg_ns = 0u64;
 
     // per-file grouping assumes names identify files uniquely
     {
@@ -672,6 +733,22 @@ pub(crate) fn analyze_sources_cached(
             .iter()
             .flat_map(|&gi| (groups[gi].start..groups[gi].end).map(move |k| (k, gi)))
             .collect();
+        // CFG lowering for guard refinement, one graph set per miss
+        // file — exactly the files the cold path would lower
+        let cfgs_by_file: HashMap<usize, wap_cfg::FileCfgs> = if tool.config.guard_attributes {
+            let t = Instant::now();
+            let mut uniq = want.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            let built = runtime.map(uniq.clone(), |_, fi| {
+                let _span = obs.span_file(Phase::Cfg, &files[fi].name);
+                wap_cfg::lower_program(programs[fi].as_ref().expect("parsed for findings"))
+            });
+            cfg_ns += elapsed_ns(t);
+            uniq.into_iter().zip(built).collect()
+        } else {
+            HashMap::new()
+        };
         // symptom collection + committee voting, one task per candidate,
         // exactly as the cold path fans out
         let t = Instant::now();
@@ -682,7 +759,12 @@ pub(crate) fn analyze_sources_cached(
                 .as_ref()
                 .expect("parsed for findings");
             let candidate = candidates[k].clone();
-            let symptoms = collect(program, &candidate, &tool.dynamic_symptoms);
+            let mut symptoms = collect(program, &candidate, &tool.dynamic_symptoms);
+            if tool.config.guard_attributes {
+                if let Some(file_cfgs) = cfgs_by_file.get(&groups[gi].file) {
+                    crate::pipeline::refine_with_cfg(&mut symptoms, file_cfgs, &candidate);
+                }
+            }
             let prediction = tool.predictor.predict(&symptoms);
             Finding {
                 candidate,
@@ -707,14 +789,19 @@ pub(crate) fn analyze_sources_cached(
         .map(|f| f.expect("every candidate resolved"))
         .collect();
 
+    let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, cache_ns);
+    stats.set_phase_ns(Phase::Cfg, cfg_ns);
     Some(AppReport {
         findings,
         files_analyzed: files.len(),
         loc,
         parse_errors,
         duration: start.elapsed(),
-        stats: scan_stats(obs, parse_ns, taint_ns, predict_ns, cache_ns),
+        stats,
         cache: store.stats().snapshot().since(&stats_before),
+        lint_ran: false,
+        lint: Vec::new(),
+        lint_rules: Vec::new(),
         tool_name: wap_report::TOOL_NAME,
         tool_version: wap_report::TOOL_VERSION,
     })

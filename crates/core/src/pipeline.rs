@@ -47,6 +47,12 @@ pub struct ToolConfig {
     /// (`--trace`/`--stats`). Observation only: findings and machine
     /// report bytes are bit-identical with tracing on or off.
     pub trace: bool,
+    /// Refine collected symptom vectors with CFG guard analysis
+    /// (`wap-cfg`): validation symptoms the dominator analysis cannot
+    /// prove to guard the sink are cleared before prediction. Off by
+    /// default — the headline reproduction keeps the paper's plain
+    /// symptom collector bit-for-bit.
+    pub guard_attributes: bool,
 }
 
 impl ToolConfig {
@@ -60,6 +66,7 @@ impl ToolConfig {
             jobs: None,
             cache_dir: None,
             trace: false,
+            guard_attributes: false,
         }
     }
 
@@ -74,6 +81,7 @@ impl ToolConfig {
             jobs: None,
             cache_dir: None,
             trace: false,
+            guard_attributes: false,
         }
     }
 
@@ -92,6 +100,7 @@ impl ToolConfig {
             jobs: None,
             cache_dir: None,
             trace: false,
+            guard_attributes: false,
         }
     }
 
@@ -199,6 +208,14 @@ impl ToolConfigBuilder {
     #[must_use]
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
+        self
+    }
+
+    /// Enable (or disable) CFG guard refinement of symptom vectors
+    /// ([`ToolConfig::guard_attributes`]).
+    #[must_use]
+    pub fn guard_attributes(mut self, on: bool) -> Self {
+        self.config.guard_attributes = on;
         self
     }
 
@@ -386,6 +403,29 @@ impl WapTool {
             .map(|f| (f.name.as_str(), &f.program))
             .collect();
 
+        // CFG lowering for guard refinement — skipped entirely (zero
+        // graphs, zero nanoseconds) unless the flag is on, so default
+        // runs match pre-CFG builds byte for byte
+        let cfg_start = Instant::now();
+        let cfgs: Vec<wap_cfg::FileCfgs> = if self.config.guard_attributes {
+            runtime.run(parsed.len(), |i| {
+                let _span = obs.span_file(Phase::Cfg, &parsed[i].name);
+                wap_cfg::lower_program(&parsed[i].program)
+            })
+        } else {
+            Vec::new()
+        };
+        let cfg_ns = if self.config.guard_attributes {
+            elapsed_ns(cfg_start)
+        } else {
+            0
+        };
+        let cfgs_by_name: HashMap<&str, &wap_cfg::FileCfgs> = parsed
+            .iter()
+            .zip(&cfgs)
+            .map(|(f, c)| (f.name.as_str(), c))
+            .collect();
+
         // symptom collection + committee voting, one task per candidate;
         // the join keeps the analyzer's (file, line, class) order
         let predict_start = Instant::now();
@@ -399,13 +439,19 @@ impl WapTool {
                 .as_deref()
                 .and_then(|f| by_name.get(f))
                 .copied();
-            let symptoms = match program {
+            let mut symptoms = match program {
                 Some(p) => collect(p, &candidate, &self.dynamic_symptoms),
                 None => FeatureVector {
                     features: vec![0.0; wap_mining::attributes::wape_feature_count()],
                     present: Vec::new(),
                 },
             };
+            if self.config.guard_attributes {
+                if let Some(file_cfgs) = candidate.file.as_deref().and_then(|f| cfgs_by_name.get(f))
+                {
+                    refine_with_cfg(&mut symptoms, file_cfgs, &candidate);
+                }
+            }
             let prediction = self.predictor.predict(&symptoms);
             Finding {
                 candidate,
@@ -415,17 +461,170 @@ impl WapTool {
         });
         let predict_ns = elapsed_ns(predict_start);
 
+        let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, 0);
+        stats.set_phase_ns(Phase::Cfg, cfg_ns);
         AppReport {
             findings,
             files_analyzed: parsed.len(),
             loc,
             parse_errors,
             duration: start.elapsed(),
-            stats: scan_stats(obs, parse_ns, taint_ns, predict_ns, 0),
+            stats,
             cache: CacheStatsSnapshot::default(),
+            lint_ran: false,
+            lint: Vec::new(),
+            lint_rules: Vec::new(),
             tool_name: wap_report::TOOL_NAME,
             tool_version: wap_report::TOOL_VERSION,
         }
+    }
+
+    /// Runs the CFG lint pass over `sources` and attaches its findings,
+    /// rule table, and phase timings to `report`.
+    ///
+    /// Call it after [`WapTool::analyze_sources`] on the same sources —
+    /// the tainted-sink rule reads the report's taint candidates, so a
+    /// sink whose tainted variables carry a dominating validation guard
+    /// is suppressed while an unguarded one becomes an error-severity
+    /// finding. The rule table combines the built-in rules with every
+    /// weapon-declared rule in the active catalog. With a cache
+    /// configured, per-file lint results are stored under
+    /// content-addressed `cfg` entries keyed on the catalog fingerprint,
+    /// so warm lint runs re-lint only changed files.
+    pub fn apply_lint(&self, report: &mut AppReport, sources: &[(String, String)]) {
+        use wap_cfg::{CustomRule, CustomRuleKind, LintFinding, LintRule, Severity, SinkEvent};
+
+        let obs = self.obs.job();
+        let runtime = self.runtime();
+        let config_fp = crate::incremental::config_fingerprint(self);
+
+        // weapon-declared rules, converted from catalog data
+        let custom: Vec<CustomRule> = self
+            .catalog
+            .lint_rules()
+            .map(|spec| {
+                let id = wap_cfg::normalize_rule_id(&spec.id);
+                let message = if spec.message.is_empty() {
+                    format!("call to {} flagged by weapon rule {}", spec.function, id)
+                } else {
+                    spec.message.clone()
+                };
+                CustomRule {
+                    id,
+                    severity: Severity::parse(&spec.severity).unwrap_or(Severity::Warning),
+                    message,
+                    kind: match spec.kind.as_str() {
+                        "require_guard" => CustomRuleKind::RequireGuard {
+                            function: spec.function.clone(),
+                        },
+                        _ => CustomRuleKind::ForbidCall {
+                            function: spec.function.clone(),
+                        },
+                    },
+                }
+            })
+            .collect();
+        let mut rules: Vec<LintRule> = wap_cfg::builtin_rules();
+        rules.extend(custom.iter().map(CustomRule::as_rule));
+        rules.sort_by(|a, b| a.id.cmp(&b.id));
+        rules.dedup_by(|a, b| a.id == b.id);
+
+        let mut sink_functions: Vec<String> = self
+            .catalog
+            .sinks()
+            .filter_map(|s| match &s.kind {
+                wap_catalog::SinkKind::Function(name) => Some(name.to_ascii_lowercase()),
+                _ => None,
+            })
+            .collect();
+        sink_functions.sort();
+        sink_functions.dedup();
+        let lint_config = wap_cfg::LintConfig {
+            sink_functions,
+            custom,
+        };
+
+        // this report's taint candidates, grouped per file for the
+        // tainted-sink rule
+        let mut events: HashMap<&str, Vec<SinkEvent>> = HashMap::new();
+        for f in &report.findings {
+            if let Some(file) = f.candidate.file.as_deref() {
+                events.entry(file).or_default().push(SinkEvent {
+                    span: f.candidate.sink_span,
+                    line: f.candidate.line,
+                    class: f.candidate.class.acronym().to_string(),
+                    vars: f.candidate.carriers.clone(),
+                });
+            }
+        }
+
+        // one task per file: cache lookup, else parse → lower → lint
+        let per_file: Vec<(Vec<LintFinding>, u64, u64)> = runtime.run(sources.len(), |i| {
+            let (name, src) = &sources[i];
+            let key = self
+                .cache
+                .as_ref()
+                .map(|_| {
+                    crate::incremental::cfg_lint_key(name, &wap_php::content_hash(src), &config_fp)
+                });
+            if let (Some(store), Some(key)) = (&self.cache, &key) {
+                match store.get(key) {
+                    Some(payload) => match crate::incremental::decode_lint(&payload) {
+                        Ok(findings) => {
+                            obs.event_file("cache_hit", name);
+                            return (findings, 0, 0);
+                        }
+                        Err(_) => {
+                            obs.event_file("cache_corrupt", name);
+                            store.reject(key);
+                        }
+                    },
+                    None => obs.event_file("cache_miss", name),
+                }
+            }
+            let t = Instant::now();
+            let cfgs = {
+                let _span = obs.span_file(Phase::Cfg, name);
+                match parse(src) {
+                    Ok(program) => wap_cfg::lower_program(&program),
+                    // parse failures are already reported by the analysis
+                    Err(_) => return (Vec::new(), elapsed_ns(t), 0),
+                }
+            };
+            let cfg_ns = elapsed_ns(t);
+            let t = Instant::now();
+            let mut findings = {
+                let _span = obs.span_file(Phase::Lint, name);
+                let mut fs = wap_cfg::lint_file(name, &cfgs, &lint_config);
+                if let Some(sinks) = events.get(name.as_str()) {
+                    fs.extend(wap_cfg::lint_tainted_sinks(name, &cfgs, sinks));
+                }
+                fs
+            };
+            wap_cfg::sort_findings(&mut findings);
+            findings.dedup();
+            let lint_ns = elapsed_ns(t);
+            if let (Some(store), Some(key)) = (&self.cache, &key) {
+                store.put(key, crate::incremental::encode_lint(&findings));
+            }
+            (findings, cfg_ns, lint_ns)
+        });
+        drop(events);
+
+        let mut lint: Vec<LintFinding> = Vec::new();
+        let (mut cfg_ns, mut lint_ns) = (0u64, 0u64);
+        for (findings, c, l) in per_file {
+            lint.extend(findings);
+            cfg_ns += c;
+            lint_ns += l;
+        }
+        wap_cfg::sort_findings(&mut lint);
+        lint.dedup();
+        report.lint = lint;
+        report.lint_rules = rules;
+        report.lint_ran = true;
+        report.stats.add_phase_ns(Phase::Cfg, cfg_ns);
+        report.stats.add_phase_ns(Phase::Lint, lint_ns);
     }
 
     /// Corrects one file: applies fixes for every *real* finding located
@@ -443,6 +642,24 @@ impl WapTool {
 
 pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Clears validation symptoms the CFG dominator analysis cannot prove to
+/// guard this candidate's sink (`guard_attributes` mode). Symptoms the
+/// guard analysis *does* prove — a dominating `is_numeric`, a cast on a
+/// tainted carrier — survive, so the predictor sees only validations
+/// that actually protect the sink.
+pub(crate) fn refine_with_cfg(
+    symptoms: &mut FeatureVector,
+    cfgs: &wap_cfg::FileCfgs,
+    candidate: &Candidate,
+) {
+    let guarded: std::collections::BTreeSet<String> = cfgs
+        .dominating_guards(candidate.sink_span, &candidate.carriers)
+        .into_iter()
+        .map(|g| g.validator)
+        .collect();
+    wap_mining::refine_with_guards(symptoms, &guarded);
 }
 
 /// Assembles a report's [`wap_report::ScanStats`]: the four directly

@@ -43,4 +43,4 @@ pub use classifiers::{Classifier, ClassifierKind};
 pub use dataset::Dataset;
 pub use metrics::{cross_validate, ConfusionMatrix, Metrics};
 pub use predictor::{FalsePositivePredictor, Prediction, PredictorGeneration};
-pub use symptoms::{collect, DynamicSymptomMap, FeatureVector};
+pub use symptoms::{collect, refine_with_guards, DynamicSymptomMap, FeatureVector};

@@ -56,11 +56,15 @@ pub enum Phase {
     Fix,
     /// Incremental-cache probe and (de)serialization overhead.
     Cache,
+    /// Lowering parsed sources into control-flow graphs (`wap-cfg`).
+    Cfg,
+    /// Running the lint rule engine over the control-flow graphs.
+    Lint,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -72,6 +76,8 @@ impl Phase {
         Phase::Predict,
         Phase::Fix,
         Phase::Cache,
+        Phase::Cfg,
+        Phase::Lint,
     ];
 
     /// Stable snake_case name used in traces and metric labels.
@@ -85,6 +91,8 @@ impl Phase {
             Phase::Predict => "predict",
             Phase::Fix => "fix",
             Phase::Cache => "cache",
+            Phase::Cfg => "cfg",
+            Phase::Lint => "lint",
         }
     }
 

@@ -47,6 +47,34 @@ impl<'a> JsonFinding<'a> {
     }
 }
 
+#[derive(serde::Serialize)]
+struct JsonLint<'a> {
+    rule: &'a str,
+    severity: &'static str,
+    file: &'a str,
+    line: u32,
+    message: &'a str,
+}
+
+fn lint_entries(report: &AppReport) -> Option<Vec<JsonLint<'_>>> {
+    if !report.lint_ran {
+        return None;
+    }
+    Some(
+        report
+            .lint
+            .iter()
+            .map(|l| JsonLint {
+                rule: &l.rule_id,
+                severity: l.severity.as_str(),
+                file: &l.file,
+                line: l.line,
+                message: &l.message,
+            })
+            .collect(),
+    )
+}
+
 /// Formats a report as one pretty-printed JSON document.
 pub fn render_json(report: &AppReport) -> String {
     #[derive(serde::Serialize)]
@@ -59,6 +87,10 @@ pub fn render_json(report: &AppReport) -> String {
         predicted_false_positives: usize,
         findings: Vec<JsonFinding<'a>>,
         parse_errors: Vec<(String, String)>,
+        // absent entirely unless the lint pass ran, keeping default
+        // output byte-identical to pre-lint builds
+        #[serde(skip_serializing_if = "Option::is_none")]
+        lint: Option<Vec<JsonLint<'a>>>,
     }
     let findings: Vec<JsonFinding> = report.findings.iter().map(JsonFinding::new).collect();
     serde_json::to_string_pretty(&JsonReport {
@@ -74,6 +106,7 @@ pub fn render_json(report: &AppReport) -> String {
             .iter()
             .map(|(f, e)| (f.clone(), e.to_string()))
             .collect(),
+        lint: lint_entries(report),
     })
     .expect("report serializes")
 }
@@ -87,6 +120,14 @@ pub fn render_ndjson(report: &AppReport) -> String {
         out.push('\n');
     }
     #[derive(serde::Serialize)]
+    struct NdLint<'a> {
+        lint: JsonLint<'a>,
+    }
+    for l in lint_entries(report).unwrap_or_default() {
+        out.push_str(&serde_json::to_string(&NdLint { lint: l }).expect("lint serializes"));
+        out.push('\n');
+    }
+    #[derive(serde::Serialize)]
     struct Summary<'a> {
         tool: JsonTool,
         files_analyzed: usize,
@@ -95,6 +136,8 @@ pub fn render_ndjson(report: &AppReport) -> String {
         real_vulnerabilities: usize,
         predicted_false_positives: usize,
         parse_errors: Vec<(&'a str, String)>,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        lint_findings: Option<usize>,
     }
     #[derive(serde::Serialize)]
     struct Trailer<'a> {
@@ -114,6 +157,7 @@ pub fn render_ndjson(report: &AppReport) -> String {
                     .iter()
                     .map(|(f, e)| (f.as_str(), e.to_string()))
                     .collect(),
+                lint_findings: report.lint_ran.then(|| report.lint.len()),
             },
         })
         .expect("summary serializes"),

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 use wap_cache::CacheStatsSnapshot;
+use wap_cfg::{LintFinding, LintRule};
 use wap_mining::{FeatureVector, Prediction};
 use wap_obs::Phase;
 use wap_php::ParseError;
@@ -124,6 +125,16 @@ pub struct AppReport {
     /// Incremental cache counters for this run (all zero when the cache
     /// is disabled).
     pub cache: CacheStatsSnapshot,
+    /// Whether the CFG lint pass ran for this scan. Renderers emit lint
+    /// sections only when set, so default scans stay byte-identical to
+    /// builds that predate the pass.
+    pub lint_ran: bool,
+    /// Lint findings (sorted by file/line/span/rule), empty unless
+    /// `lint_ran`.
+    pub lint: Vec<LintFinding>,
+    /// The rule table the lint pass ran with (builtin + weapon-declared),
+    /// in stable id order; drives SARIF rule metadata.
+    pub lint_rules: Vec<LintRule>,
     /// Name of the tool that produced this report ([`crate::TOOL_NAME`]).
     pub tool_name: &'static str,
     /// Semantic version of the tool ([`crate::TOOL_VERSION`]) — the same
@@ -143,6 +154,9 @@ impl Default for AppReport {
             duration: Duration::default(),
             stats: ScanStats::default(),
             cache: CacheStatsSnapshot::default(),
+            lint_ran: false,
+            lint: Vec::new(),
+            lint_rules: Vec::new(),
             tool_name: crate::TOOL_NAME,
             tool_version: crate::TOOL_VERSION,
         }
@@ -170,6 +184,13 @@ impl AppReport {
         let mut v: Vec<(String, usize)> = map.into_iter().collect();
         v.sort();
         v
+    }
+
+    /// Lint findings at error severity.
+    pub fn lint_errors(&self) -> impl Iterator<Item = &LintFinding> {
+        self.lint
+            .iter()
+            .filter(|f| f.severity == wap_cfg::Severity::Error)
     }
 
     /// Distinct files containing real vulnerabilities.

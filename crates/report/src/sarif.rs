@@ -79,7 +79,8 @@ struct SarifResult {
     locations: Vec<Location>,
     #[serde(skip_serializing_if = "Vec::is_empty")]
     code_flows: Vec<CodeFlow>,
-    properties: ResultProperties,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    properties: Option<ResultProperties>,
 }
 
 #[derive(serde::Serialize)]
@@ -113,6 +114,10 @@ struct ArtifactLocation {
 #[serde(rename_all = "camelCase")]
 struct Region {
     start_line: u32,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    char_offset: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    char_length: Option<u32>,
 }
 
 #[derive(serde::Serialize)]
@@ -145,6 +150,22 @@ fn physical(uri: &str, line: u32) -> PhysicalLocation {
         },
         region: Region {
             start_line: line.max(1),
+            char_offset: None,
+            char_length: None,
+        },
+    }
+}
+
+/// A physical location with a byte-precise region, for lint findings.
+fn physical_span(uri: &str, line: u32, span: wap_php::Span) -> PhysicalLocation {
+    PhysicalLocation {
+        artifact_location: ArtifactLocation {
+            uri: uri.to_string(),
+        },
+        region: Region {
+            start_line: line.max(1),
+            char_offset: Some(span.start()),
+            char_length: Some(span.len()),
         },
     }
 }
@@ -156,12 +177,29 @@ fn physical(uri: &str, line: u32) -> PhysicalLocation {
 pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
     // stable rule table: catalog classes first, then any finding-only
     // stragglers, deduplicated by rule id and sorted for determinism
-    let mut by_id: HashMap<String, &VulnClass> = HashMap::new();
+    let mut by_id: HashMap<String, (String, String)> = HashMap::new();
     for class in classes
         .iter()
         .chain(report.findings.iter().map(|f| &f.candidate.class))
     {
-        by_id.entry(class.rule_id()).or_insert(class);
+        by_id.entry(class.rule_id()).or_insert_with(|| {
+            (class.acronym().to_string(), class.summary().to_string())
+        });
+    }
+    if report.lint_ran {
+        for rule in &report.lint_rules {
+            by_id
+                .entry(rule.id.clone())
+                .or_insert_with(|| (rule.id.clone(), rule.summary.clone()));
+        }
+        // findings decoded from an older cache may cite a rule the
+        // current table no longer declares — keep the document
+        // self-consistent instead of panicking on the index lookup
+        for finding in &report.lint {
+            by_id
+                .entry(finding.rule_id.clone())
+                .or_insert_with(|| (finding.rule_id.clone(), finding.message.clone()));
+        }
     }
     let mut ids: Vec<String> = by_id.keys().cloned().collect();
     ids.sort();
@@ -173,12 +211,12 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
     let rules: Vec<Rule> = ids
         .iter()
         .map(|id| {
-            let class = by_id[id];
+            let (name, summary) = &by_id[id];
             Rule {
                 id: id.clone(),
-                name: class.acronym().to_string(),
+                name: name.clone(),
                 short_description: Message {
-                    text: class.summary().to_string(),
+                    text: summary.clone(),
                 },
             }
         })
@@ -229,15 +267,31 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
                     physical_location: physical(uri, f.candidate.line),
                 }],
                 code_flows,
-                properties: ResultProperties {
+                properties: Some(ResultProperties {
                     predicted_false_positive: !f.is_real(),
                     votes: f.prediction.votes,
                     sink: f.candidate.sink.clone(),
                     sources: f.candidate.sources.clone(),
-                },
+                }),
             }
         })
         .collect();
+    let mut results = results;
+    if report.lint_ran {
+        results.extend(report.lint.iter().map(|l| SarifResult {
+            rule_index: rule_index[l.rule_id.as_str()],
+            rule_id: l.rule_id.clone(),
+            level: l.severity.as_str(),
+            message: Message {
+                text: l.message.clone(),
+            },
+            locations: vec![Location {
+                physical_location: physical_span(&l.file, l.line, l.span),
+            }],
+            code_flows: Vec::new(),
+            properties: None,
+        }));
+    }
 
     let notifications: Vec<Notification> = report
         .parse_errors

@@ -30,17 +30,36 @@ pub fn render_text(report: &AppReport) -> String {
             );
         }
     }
+    if report.lint_ran {
+        for l in &report.lint {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} [{}] {}",
+                l.file,
+                l.line,
+                l.severity.as_str(),
+                l.rule_id,
+                l.message
+            );
+        }
+    }
     for (file, err) in &report.parse_errors {
         let _ = writeln!(out, "{file}: parse error: {err}");
     }
+    let lint_summary = if report.lint_ran {
+        format!(", {} lint findings", report.lint.len())
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives ({} ms)",
+        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives{} ({} ms)",
         report.files_analyzed,
         report.loc,
         report.parse_errors.len(),
         report.real_vulnerabilities().count(),
         report.predicted_false_positives().count(),
+        lint_summary,
         report.duration.as_millis()
     );
     out

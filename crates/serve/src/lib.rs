@@ -12,7 +12,7 @@
 //!
 //! | Endpoint | Behavior |
 //! |---|---|
-//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. |
+//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. `?lint=1` appends the CFG lint pass; `?fail_on=none|fpp|vuln|lint` answers `422` when the policy fails the report (default `none`: always `200`). |
 //! | `GET /v1/jobs/{id}` | Poll an async job: small JSON while queued/running, the rendered report once done. |
 //! | `GET /healthz` | Liveness: `200 ok` (also while draining). |
 //! | `GET /metrics` | Prometheus text exposition ([`metrics`]). |
@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wap_catalog::VulnClass;
+use wap_core::cli::FailOn;
 use wap_core::{Runtime, ToolConfig, WapError, WapTool};
 use wap_report::Format;
 
@@ -232,16 +233,20 @@ fn executor_loop(shared: &Shared) {
     while let Some(task) = shared.queue.next_task() {
         shared.metrics.record_queue_wait(task.submitted.elapsed());
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let report = shared.tool.analyze_sources(&task.sources);
+            let mut report = shared.tool.analyze_sources(&task.sources);
+            if task.lint {
+                shared.tool.apply_lint(&mut report, &task.sources);
+            }
             let body = task.format.render(&report, &shared.classes);
-            (report, body)
+            let failing = task.fail_on.exit_code(&report) != 0;
+            (report, body, failing)
         }));
         match run {
-            Ok((report, body)) => {
+            Ok((report, body, failing)) => {
                 shared.metrics.record_report(&report);
                 shared
                     .queue
-                    .complete(task.id, task.format.content_type(), body);
+                    .complete(task.id, task.format.content_type(), body, failing);
             }
             Err(_) => {
                 Metrics::inc(&shared.metrics.jobs_failed);
@@ -344,7 +349,25 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             vec![],
         );
     }
-    let id = match shared.queue.submit(sources, format) {
+    let lint = matches!(req.query_param("lint"), Some("1" | "true"));
+    let fail_on = match req.query_param("fail_on") {
+        // the server's default stays "never fail the response" so
+        // existing clients keep their unconditional 200s
+        None => FailOn::None,
+        Some(v) => match FailOn::parse(v) {
+            Some(p) => p,
+            None => {
+                Metrics::inc(&shared.metrics.bad_requests);
+                return (
+                    400,
+                    "text/plain; charset=utf-8",
+                    format!("unknown fail_on policy {v} (none|fpp|vuln|lint)\n"),
+                    vec![],
+                );
+            }
+        },
+    };
+    let id = match shared.queue.submit(sources, format, lint, fail_on) {
         Ok(id) => id,
         Err(SubmitError::Full) => {
             Metrics::inc(&shared.metrics.jobs_rejected);
@@ -377,7 +400,11 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         );
     }
     match shared.queue.wait(id) {
-        Some(JobStatus::Done { content_type, body }) => (200, content_type, body, vec![]),
+        Some(JobStatus::Done {
+            content_type,
+            body,
+            failing,
+        }) => (if failing { 422 } else { 200 }, content_type, body, vec![]),
         Some(JobStatus::Failed { message }) => (
             422,
             "text/plain; charset=utf-8",
@@ -412,7 +439,11 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
             "unknown job\n".into(),
             vec![],
         ),
-        Some(JobStatus::Done { content_type, body }) => (200, content_type, body, vec![]),
+        Some(JobStatus::Done {
+            content_type,
+            body,
+            failing,
+        }) => (if failing { 422 } else { 200 }, content_type, body, vec![]),
         Some(JobStatus::Failed { message }) => (
             422,
             "text/plain; charset=utf-8",
@@ -603,6 +634,48 @@ mod tests {
         assert_eq!(status, 404);
         handle.shutdown();
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn lint_param_appends_findings_and_fail_on_maps_to_422() {
+        let dir = std::env::temp_dir().join(format!("wap-serve-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v.php"),
+            "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let path = http_escape(&dir.display().to_string());
+        let post = |target: String| {
+            exchange(
+                handle.addr(),
+                format!("POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+                    .as_bytes(),
+            )
+        };
+        // lint pass on, no fail policy: 200 with lint findings in the body
+        let (status, body) = post(format!("/v1/scan?path={path}&format=text&lint=1"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("WAP-LINT-TAINTED-SINK"), "{body}");
+        // the fail_on=lint policy maps a failing report to 422
+        let (status, body) = post(format!("/v1/scan?path={path}&format=text&lint=1&fail_on=lint"));
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("WAP-LINT-TAINTED-SINK"), "{body}");
+        // without ?lint= the default scan output is unchanged
+        let (status, body) = post(format!("/v1/scan?path={path}&format=text"));
+        assert_eq!(status, 200, "{body}");
+        assert!(!body.contains("WAP-LINT-"), "{body}");
+        // unknown policies are client errors
+        let (status, _) = post(format!("/v1/scan?path={path}&fail_on=bogus"));
+        assert_eq!(status, 400);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

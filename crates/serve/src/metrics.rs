@@ -15,8 +15,16 @@ use wap_report::{AppReport, Phase};
 
 /// The pipeline phases exposed as per-phase latency series. These are the
 /// phases every scan measures unconditionally (the finer traced phases
-/// only exist when a collector is enabled).
-pub const EXPOSED_PHASES: [Phase; 4] = [Phase::Parse, Phase::Taint, Phase::Predict, Phase::Cache];
+/// only exist when a collector is enabled), plus the CFG and lint phases,
+/// which are zero unless a scan requested `?lint=1` or guard attributes.
+pub const EXPOSED_PHASES: [Phase; 6] = [
+    Phase::Parse,
+    Phase::Taint,
+    Phase::Predict,
+    Phase::Cache,
+    Phase::Cfg,
+    Phase::Lint,
+];
 
 /// Monotonic service counters and latency histograms.
 #[derive(Debug)]
@@ -45,7 +53,7 @@ pub struct Metrics {
     pub queue_wait: Histogram,
     /// Per-phase time within each scan, one histogram per
     /// [`EXPOSED_PHASES`] entry.
-    pub phase_durations: [Histogram; 4],
+    pub phase_durations: [Histogram; 6],
 }
 
 impl Default for Metrics {

@@ -11,6 +11,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+use wap_core::cli::FailOn;
 use wap_report::Format;
 
 /// Finished jobs retained for polling before the oldest are evicted.
@@ -25,6 +26,11 @@ pub struct ScanTask {
     pub sources: Vec<(String, String)>,
     /// Render format for the finished report.
     pub format: Format,
+    /// Run the CFG lint pass after analysis (`?lint=1`).
+    pub lint: bool,
+    /// Exit-code policy (`?fail_on=`); a failing report is answered with
+    /// HTTP 422 instead of 200.
+    pub fail_on: FailOn,
     /// When the job was admitted — executors subtract this to report
     /// queue-wait latency.
     pub submitted: Instant,
@@ -43,6 +49,9 @@ pub enum JobStatus {
         content_type: &'static str,
         /// The rendered report.
         body: String,
+        /// Whether the task's `fail_on` policy fails this report — the
+        /// HTTP layer maps it to 422 (the CLI's exit-code 1 analogue).
+        failing: bool,
     },
     /// The scan could not be completed.
     Failed {
@@ -123,6 +132,8 @@ impl JobQueue {
         &self,
         sources: Vec<(String, String)>,
         format: Format,
+        lint: bool,
+        fail_on: FailOn,
     ) -> Result<u64, SubmitError> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.draining {
@@ -138,6 +149,8 @@ impl JobQueue {
             id,
             sources,
             format,
+            lint,
+            fail_on,
             submitted: Instant::now(),
         });
         self.work_ready.notify_one();
@@ -162,8 +175,15 @@ impl JobQueue {
     }
 
     /// Records a finished scan.
-    pub fn complete(&self, id: u64, content_type: &'static str, body: String) {
-        self.finish(id, JobStatus::Done { content_type, body });
+    pub fn complete(&self, id: u64, content_type: &'static str, body: String, failing: bool) {
+        self.finish(
+            id,
+            JobStatus::Done {
+                content_type,
+                body,
+                failing,
+            },
+        );
     }
 
     /// Records a failed scan.
@@ -241,26 +261,26 @@ mod tests {
     #[test]
     fn admission_control_fills_and_refuses() {
         let q = JobQueue::new(2);
-        assert!(q.submit(src(0), Format::Json).is_ok());
-        assert!(q.submit(src(1), Format::Json).is_ok());
-        assert_eq!(q.submit(src(2), Format::Json), Err(SubmitError::Full));
+        assert!(q.submit(src(0), Format::Json, false, FailOn::None).is_ok());
+        assert!(q.submit(src(1), Format::Json, false, FailOn::None).is_ok());
+        assert_eq!(q.submit(src(2), Format::Json, false, FailOn::None), Err(SubmitError::Full));
         assert_eq!(q.depth(), 2);
         // claiming one frees a slot
         let t = q.next_task().unwrap();
         assert_eq!(q.status(t.id), Some(JobStatus::Running));
-        assert!(q.submit(src(3), Format::Json).is_ok());
+        assert!(q.submit(src(3), Format::Json, false, FailOn::None).is_ok());
     }
 
     #[test]
     fn draining_refuses_new_but_finishes_queued() {
         let q = JobQueue::new(4);
-        let id = q.submit(src(0), Format::Text).unwrap();
+        let id = q.submit(src(0), Format::Text, false, FailOn::None).unwrap();
         q.drain();
-        assert_eq!(q.submit(src(1), Format::Text), Err(SubmitError::Draining));
+        assert_eq!(q.submit(src(1), Format::Text, false, FailOn::None), Err(SubmitError::Draining));
         // queued work is still handed out...
         let t = q.next_task().unwrap();
         assert_eq!(t.id, id);
-        q.complete(t.id, "text/plain", "ok".into());
+        q.complete(t.id, "text/plain", "ok".into(), false);
         // ...and only then do executors see the shutdown signal
         assert!(q.next_task().is_none());
     }
@@ -268,11 +288,11 @@ mod tests {
     #[test]
     fn wait_blocks_until_terminal() {
         let q = std::sync::Arc::new(JobQueue::new(4));
-        let id = q.submit(src(0), Format::Json).unwrap();
+        let id = q.submit(src(0), Format::Json, false, FailOn::None).unwrap();
         let q2 = q.clone();
         let waiter = std::thread::spawn(move || q2.wait(id));
         let t = q.next_task().unwrap();
-        q.complete(t.id, "application/json", "{}".into());
+        q.complete(t.id, "application/json", "{}".into(), false);
         match waiter.join().unwrap() {
             Some(JobStatus::Done { body, .. }) => assert_eq!(body, "{}"),
             other => panic!("unexpected {other:?}"),
@@ -283,7 +303,7 @@ mod tests {
     #[test]
     fn failed_jobs_are_reported() {
         let q = JobQueue::new(1);
-        let id = q.submit(src(0), Format::Json).unwrap();
+        let id = q.submit(src(0), Format::Json, false, FailOn::None).unwrap();
         let t = q.next_task().unwrap();
         q.fail(t.id, "boom".into());
         assert_eq!(
@@ -300,10 +320,10 @@ mod tests {
         let q = JobQueue::new(1);
         let mut first = None;
         for i in 0..(DONE_RETAIN + 10) {
-            let id = q.submit(src(i), Format::Text).unwrap();
+            let id = q.submit(src(i), Format::Text, false, FailOn::None).unwrap();
             first.get_or_insert(id);
             let t = q.next_task().unwrap();
-            q.complete(t.id, "text/plain", String::new());
+            q.complete(t.id, "text/plain", String::new(), false);
         }
         assert_eq!(q.status(first.unwrap()), None, "oldest evicted");
         let newest = q.inner.lock().unwrap().next_id - 1;

@@ -40,6 +40,7 @@ members = [
     "php",
     "cache",
     "catalog",
+    "cfg",
     "obs",
     "runtime",
     "taint",
@@ -420,7 +421,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php cache catalog obs runtime taint mining fixer interp corpus core report serve bench; do
+for c in php cache catalog cfg obs runtime taint mining fixer interp corpus core report serve bench; do
     crate_dir "$c"
 done
 
@@ -459,6 +460,12 @@ serde = { path = "../shims/serde", features = ["derive"] }
 serde_json = { path = "../shims/serde_json" }
 EOF
 } > "$SCRATCH/catalog/Cargo.toml"
+
+{ common_pkg cfg; cat <<'EOF'
+[dependencies]
+wap-php = { path = "../php" }
+EOF
+} > "$SCRATCH/cfg/Cargo.toml"
 
 { common_pkg taint; cat <<'EOF'
 [dependencies]
@@ -508,6 +515,7 @@ EOF
 [dependencies]
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
+wap-cfg = { path = "../cfg" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -525,6 +533,7 @@ EOF
 [dependencies]
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
+wap-cfg = { path = "../cfg" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -608,6 +617,7 @@ autotests = false
 [dependencies]
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
+wap-cfg = { path = "../cfg" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -642,6 +652,10 @@ path = "tests/serve_http.rs"
 [[test]]
 name = "trace_determinism"
 path = "tests/trace_determinism.rs"
+
+[[test]]
+name = "roundtrip_property"
+path = "tests/roundtrip_property.rs"
 EOF
 
 cd "$SCRATCH"
@@ -654,14 +668,14 @@ fi
 
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
-    cargo test --offline -q -p wap-php -p wap-cache -p wap-obs -p wap-runtime -p wap-taint
+    cargo test --offline -q -p wap-php -p wap-cache -p wap-cfg -p wap-obs -p wap-runtime -p wap-taint
     echo "== offline-check: report + serve tests (std-only service stack) =="
     cargo test --offline -q -p wap-report -p wap-serve
     echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
     echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test trace_determinism
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test trace_determinism --test roundtrip_property
 fi
 
 echo "offline-check: OK"

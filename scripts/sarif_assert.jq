@@ -11,7 +11,7 @@ and (.runs[0].tool.driver.rules | length > 0)
 and ([.runs[0].tool.driver.rules[].id | startswith("WAP-")] | all)
 and (.runs[0].results | length > 0)
 and ([.runs[0].results[].ruleId | startswith("WAP-")] | all)
-and ([.runs[0].results[].level | IN("error", "note")] | all)
+and ([.runs[0].results[].level | IN("error", "warning", "note")] | all)
 and ([.runs[0].results[].locations | length > 0] | all)
 and ([.runs[0].results[].locations[0].physicalLocation.region.startLine >= 1] | all)
 # ruleIndex must point at the rule the result names

@@ -1,7 +1,8 @@
 //! The `wap` command-line tool: analyze PHP applications for 15 classes of
 //! input-validation vulnerabilities, predict false positives, optionally
 //! correct the source — or host the whole pipeline as a resident HTTP
-//! service (`wap serve`).
+//! service (`wap serve`). `wap lint` runs the CFG-based lint pass
+//! (shorthand for `wap --lint`).
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -9,8 +10,16 @@ fn main() {
         args.remove(0);
         std::process::exit(wap_serve::cli_main(args));
     }
+    // `wap lint <PATH>...` is shorthand for `wap --lint <PATH>...`
+    let lint_subcommand = args.first().map(String::as_str) == Some("lint");
+    if lint_subcommand {
+        args.remove(0);
+    }
     let opts = match wap_core::cli::parse_args(args) {
-        Ok(o) => o,
+        Ok(mut o) => {
+            o.lint |= lint_subcommand;
+            o
+        }
         Err(err) => {
             eprintln!("error: {err}\n\n{}", wap_core::cli::USAGE);
             std::process::exit(err.exit_code());

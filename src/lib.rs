@@ -49,6 +49,7 @@
 
 pub use wap_cache as cache;
 pub use wap_catalog as catalog;
+pub use wap_cfg as cfg;
 pub use wap_core as core;
 pub use wap_corpus as corpus;
 pub use wap_fixer as fixer;

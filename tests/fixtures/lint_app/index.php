@@ -1,0 +1,8 @@
+<?php
+$name = $_GET['name'];
+echo htmlentities($name);
+if ($mode = 1) {
+    echo "admin view";
+}
+exit;
+echo "never reached";

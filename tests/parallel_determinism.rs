@@ -145,6 +145,203 @@ fn cached_runs_are_bit_identical_to_cold_at_every_job_count() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Canonical rendering of a report's lint findings (rule, location, span,
+/// severity, message) — everything `wap --lint` decides.
+fn lint_fingerprint(report: &AppReport) -> String {
+    let mut out = String::new();
+    for l in &report.lint {
+        out.push_str(&format!(
+            "{}:{}:{}..{}:{}:{}:{}\n",
+            l.file,
+            l.line,
+            l.span.start(),
+            l.span.end(),
+            l.rule_id,
+            l.severity.as_str(),
+            l.message,
+        ));
+    }
+    out.push_str(&format!(
+        "rules=[{}]\n",
+        report
+            .lint_rules
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    out
+}
+
+/// Lint findings must be bit-identical at every job count, with tracing
+/// on or off, and with a cold vs. warm cache.
+#[test]
+fn lint_findings_are_bit_identical_across_jobs_trace_and_cache() {
+    let sources = corpus_sources();
+    let dir = std::env::temp_dir().join(format!(
+        "wap-determinism-lint-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |tool: &WapTool| {
+        let mut report = tool.analyze_sources(&sources);
+        tool.apply_lint(&mut report, &sources);
+        (fingerprint(&report) + &lint_fingerprint(&report), report)
+    };
+
+    let serial = WapTool::new(ToolConfig::builder().jobs(1).build());
+    let (baseline, baseline_report) = run(&serial);
+    assert!(
+        !baseline_report.lint.is_empty(),
+        "corpus must produce lint findings"
+    );
+    assert!(baseline_report.lint_ran);
+
+    for jobs in [1usize, 2, 8] {
+        for trace in [false, true] {
+            let tool =
+                WapTool::new(ToolConfig::builder().jobs(jobs).trace(trace).build());
+            let (got, _) = run(&tool);
+            assert_eq!(
+                baseline, got,
+                "lint diverged at jobs={jobs} trace={trace}"
+            );
+        }
+    }
+
+    // cold populate, then fully warm — both must match the cacheless run
+    for label in ["cold", "warm"] {
+        let tool = WapTool::new(ToolConfig::builder().jobs(4).cache_dir(&dir).build());
+        let (got, report) = run(&tool);
+        assert_eq!(baseline, got, "{label} cached lint run diverged");
+        if label == "warm" {
+            assert!(report.cache.hits > 0, "warm run must hit the cfg cache");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A warm cfg cache entry is keyed on the catalog fingerprint: linking a
+/// weapon (which changes the fingerprint and contributes a lint rule)
+/// must re-lint rather than replay stale cached findings.
+#[test]
+fn cfg_cache_invalidates_on_catalog_fingerprint_change() {
+    let sources = vec![(
+        "wp.php".to_string(),
+        "<?php\n$q = $_POST['q'];\n$wpdb->query(\"SELECT * FROM posts WHERE title = '$q'\");\n"
+            .to_string(),
+    )];
+    let dir = std::env::temp_dir().join(format!(
+        "wap-determinism-cfg-inval-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let lint_with = |weapons: bool| {
+        let builder = ToolConfig::builder().jobs(2).cache_dir(&dir);
+        let builder = if weapons { builder } else { builder.no_weapons() };
+        let tool = WapTool::new(builder.build());
+        let mut report = tool.analyze_sources(&sources);
+        tool.apply_lint(&mut report, &sources);
+        report
+    };
+
+    // populate the cache without weapons, then twice with the full weapon
+    // set: the second configuration must not see the first's entries
+    let plain = lint_with(false);
+    let with_weapons = lint_with(true);
+    assert_ne!(
+        lint_fingerprint(&plain),
+        lint_fingerprint(&with_weapons),
+        "weapon lint rules must change the findings"
+    );
+    assert!(
+        with_weapons
+            .lint_rules
+            .iter()
+            .any(|r| r.id == "WAP-WP-UNPREPARED-QUERY"),
+        "weapon-declared rule missing from the rule table"
+    );
+    // a repeat of the weapon configuration is warm and identical
+    let again = lint_with(true);
+    assert_eq!(
+        lint_fingerprint(&with_weapons),
+        lint_fingerprint(&again),
+        "same configuration must replay identically from the cache"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Guard-attribute refinement (`--guards`) must be deterministic across
+/// job counts and cache states too — and must stay off by default.
+#[test]
+fn guard_attributes_are_deterministic_and_off_by_default() {
+    let sources = corpus_sources();
+    let dir = std::env::temp_dir().join(format!(
+        "wap-determinism-guards-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let serial = WapTool::new(
+        ToolConfig::builder()
+            .jobs(1)
+            .guard_attributes(true)
+            .build(),
+    );
+    let baseline = fingerprint(&serial.analyze_sources(&sources));
+
+    for jobs in [2usize, 8] {
+        for trace in [false, true] {
+            let tool = WapTool::new(
+                ToolConfig::builder()
+                    .jobs(jobs)
+                    .trace(trace)
+                    .guard_attributes(true)
+                    .build(),
+            );
+            assert_eq!(
+                baseline,
+                fingerprint(&tool.analyze_sources(&sources)),
+                "guarded analysis diverged at jobs={jobs} trace={trace}"
+            );
+        }
+    }
+    // cold + warm cached runs under the flag
+    for label in ["cold", "warm"] {
+        let tool = WapTool::new(
+            ToolConfig::builder()
+                .jobs(4)
+                .cache_dir(&dir)
+                .guard_attributes(true)
+                .build(),
+        );
+        assert_eq!(
+            baseline,
+            fingerprint(&tool.analyze_sources(&sources)),
+            "{label} cached guarded run diverged"
+        );
+    }
+    // the flag changes the config fingerprint, so the plain configuration
+    // hitting the same cache directory must not reuse guarded entries
+    let plain = WapTool::new(ToolConfig::builder().jobs(2).cache_dir(&dir).build());
+    let default_fp = fingerprint(&plain.analyze_sources(&sources));
+    let cacheless = WapTool::new(ToolConfig::builder().jobs(1).build());
+    assert_eq!(
+        default_fp,
+        fingerprint(&cacheless.analyze_sources(&sources)),
+        "default run next to a guarded cache diverged from cacheless"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn second_order_pass_is_deterministic_too() {
     let sources = corpus_sources();
