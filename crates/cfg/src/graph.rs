@@ -16,6 +16,7 @@
 use crate::guard::validator_call;
 use wap_php::ast::*;
 use wap_php::Span;
+use wap_php::Symbol;
 
 /// Index of a [`Block`] inside its [`Cfg`].
 pub type BlockId = usize;
@@ -25,9 +26,9 @@ pub type BlockId = usize;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Guard {
     /// The guarded simple variable (without `$`).
-    pub var: String,
+    pub var: Symbol,
     /// Lower-cased validator name (`is_numeric`, `preg_match`, ...).
-    pub validator: String,
+    pub validator: Symbol,
 }
 
 /// A control-flow edge with the guards its traversal establishes.
@@ -43,9 +44,9 @@ pub struct Edge {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallSite {
     /// Called function or method name (original spelling).
-    pub name: String,
+    pub name: Symbol,
     /// Root variables appearing anywhere in the argument list.
-    pub arg_vars: Vec<String>,
+    pub arg_vars: Vec<Symbol>,
     /// Span of the call expression.
     pub span: Span,
     /// 1-based line of the call.
@@ -61,10 +62,10 @@ pub struct Node {
     pub line: u32,
     /// Simple variables (re)defined here (assignment roots, `++`,
     /// `foreach` bindings, catch bindings, function parameters).
-    pub defs: Vec<String>,
+    pub defs: Vec<Symbol>,
     /// Defs whose right-hand side is itself sanitizing: `(int)` casts and
     /// `intval`-family conversions. `(var, validator)` pairs.
-    pub guard_defs: Vec<(String, String)>,
+    pub guard_defs: Vec<(Symbol, Symbol)>,
     /// Function and method calls inside the statement.
     pub calls: Vec<CallSite>,
     /// This node is a branch condition containing an assignment — the
@@ -92,9 +93,9 @@ pub struct Block {
 #[derive(Debug, Clone)]
 pub struct Cfg {
     /// Function name; `None` for the top-level script.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Parameter names (defined at entry).
-    pub params: Vec<String>,
+    pub params: Vec<Symbol>,
     /// All blocks; index 0 is the entry block.
     pub blocks: Vec<Block>,
 }
@@ -198,7 +199,7 @@ impl FileCfgs {
 
     /// The guards dominating the node containing `span`, restricted to
     /// `vars`. Empty when the span is not found or nothing dominates it.
-    pub fn dominating_guards(&self, span: Span, vars: &[String]) -> Vec<crate::guard::GuardFact> {
+    pub fn dominating_guards(&self, span: Span, vars: &[Symbol]) -> Vec<crate::guard::GuardFact> {
         match self.locate(span) {
             Some((c, b, i)) => crate::guard::GuardAnalysis::new(&self.cfgs[c]).guards_at(b, i, vars),
             None => Vec::new(),
@@ -212,7 +213,7 @@ impl FileCfgs {
             for block in &cfg.blocks {
                 for node in &block.nodes {
                     for call in &node.calls {
-                        if call.name.eq_ignore_ascii_case(name) {
+                        if call.name.as_str().eq_ignore_ascii_case(name) {
                             return Some(call.span);
                         }
                     }
@@ -228,15 +229,15 @@ impl FileCfgs {
 pub fn lower_program(program: &Program) -> FileCfgs {
     let mut cfgs = vec![lower_stmts(&program.stmts, None, &[])];
     for f in program.functions() {
-        let params: Vec<String> = f.params.iter().map(|p| p.name.clone()).collect();
-        cfgs.push(lower_stmts(&f.body, Some(f.name.clone()), &params));
+        let params: Vec<Symbol> = f.params.iter().map(|p| p.name).collect();
+        cfgs.push(lower_stmts(&f.body, Some(f.name), &params));
     }
     FileCfgs { cfgs }
 }
 
 /// Lowers one statement list into a [`Cfg`]. `params` are treated as
 /// definitions at function entry.
-pub fn lower_stmts(stmts: &[Stmt], name: Option<String>, params: &[String]) -> Cfg {
+pub fn lower_stmts(stmts: &[Stmt], name: Option<Symbol>, params: &[Symbol]) -> Cfg {
     let mut lw = Lowerer {
         blocks: vec![Block::default()],
         current: 0,
@@ -360,7 +361,7 @@ impl Lowerer {
                     ..Node::default()
                 };
                 for (name, init) in vars {
-                    node.defs.push(name.clone());
+                    node.defs.push(*name);
                     if let Some(e) = init {
                         collect_facts(e, &mut node);
                     }
@@ -374,8 +375,8 @@ impl Lowerer {
                     ..Node::default()
                 };
                 for t in targets {
-                    if let Some(v) = t.root_var() {
-                        node.defs.push(v.to_string());
+                    if let Some(v) = t.root_var_symbol() {
+                        node.defs.push(v);
                     }
                 }
                 self.append(node);
@@ -640,8 +641,8 @@ impl Lowerer {
             ..Node::default()
         };
         for e in key.into_iter().chain(std::iter::once(value)) {
-            if let Some(v) = e.root_var() {
-                bind.defs.push(v.to_string());
+            if let Some(v) = e.root_var_symbol() {
+                bind.defs.push(v);
             }
         }
         self.append(bind);
@@ -734,8 +735,8 @@ impl Lowerer {
                 line: s.span.line(),
                 ..Node::default()
             };
-            if let Some(v) = &c.var {
-                bind.defs.push(v.clone());
+            if let Some(v) = c.var {
+                bind.defs.push(v);
             }
             self.append(bind);
             self.lower_block(&c.body);
@@ -793,77 +794,81 @@ fn collect_facts(e: &Expr, node: &mut Node) {
             match &target.kind {
                 ExprKind::List(items) => {
                     for item in items.iter().flatten() {
-                        if let Some(v) = item.root_var() {
-                            node.defs.push(v.to_string());
+                        if let Some(v) = item.root_var_symbol() {
+                            node.defs.push(v);
                         }
                     }
                 }
                 _ => {
-                    if let Some(v) = target.root_var() {
-                        node.defs.push(v.to_string());
+                    if let Some(v) = target.root_var_symbol() {
+                        node.defs.push(v);
                         if let Some(validator) = sanitizing_value(value) {
-                            node.guard_defs.push((v.to_string(), validator));
+                            node.guard_defs.push((v, validator));
                         }
                     }
                 }
             };
         }
         ExprKind::IncDec { target, .. } => {
-            if let Some(v) = target.root_var() {
-                node.defs.push(v.to_string());
+            if let Some(v) = target.root_var_symbol() {
+                node.defs.push(v);
             }
         }
         ExprKind::Call { callee, args } => {
             if let ExprKind::Name(n) = &callee.kind {
-                node.calls.push(call_site(n, args, x.span));
+                node.calls.push(call_site(*n, args, x.span));
             }
         }
         ExprKind::MethodCall { method, args, .. } => {
-            node.calls.push(call_site(method, args, x.span));
+            node.calls.push(call_site(*method, args, x.span));
         }
         ExprKind::StaticCall { method, args, .. } => {
-            node.calls.push(call_site(method, args, x.span));
+            node.calls.push(call_site(*method, args, x.span));
         }
         _ => {}
     });
 }
 
-fn call_site(name: &str, args: &[Expr], span: Span) -> CallSite {
-    let mut arg_vars: Vec<String> = Vec::new();
+fn call_site(name: Symbol, args: &[Expr], span: Span) -> CallSite {
+    let mut arg_vars: Vec<Symbol> = Vec::new();
     for a in args {
         collect_arg_vars(a, &mut arg_vars);
     }
+    // Symbol's Ord is string order, so after sorting, equal ids (equal
+    // strings) are adjacent and dedup works.
     arg_vars.sort();
     arg_vars.dedup();
     CallSite {
-        name: name.to_string(),
+        name,
         arg_vars,
         span,
         line: span.line(),
     }
 }
 
-fn collect_arg_vars(e: &Expr, out: &mut Vec<String>) {
+fn collect_arg_vars(e: &Expr, out: &mut Vec<Symbol>) {
     walk_expr_shallow(e, &mut |x| {
         if let ExprKind::Var(v) = &x.kind {
-            out.push(v.clone());
+            out.push(*v);
         }
     });
 }
 
 /// A sanitizing right-hand side: `(int)`/`(float)`/`(bool)` casts and the
 /// conversion functions. Returns the validator name to record.
-fn sanitizing_value(e: &Expr) -> Option<String> {
+fn sanitizing_value(e: &Expr) -> Option<Symbol> {
     match &e.kind {
-        ExprKind::Cast { ty, .. } if ty.is_sanitizing() => Some(format!("cast_{}", ty.keyword())),
+        ExprKind::Cast { ty, .. } if ty.is_sanitizing() => {
+            Some(Symbol::intern(&format!("cast_{}", ty.keyword())))
+        }
         ExprKind::Call { callee, .. } => match &callee.kind {
             ExprKind::Name(n)
                 if matches!(
-                    n.to_ascii_lowercase().as_str(),
+                    n.lower().as_str(),
                     "intval" | "floatval" | "doubleval" | "boolval"
                 ) =>
             {
-                Some(n.to_ascii_lowercase())
+                Some(n.lower())
             }
             _ => None,
         },
@@ -968,7 +973,7 @@ pub(crate) fn cond_guards(cond: &Expr) -> (Vec<Guard>, Vec<Guard>) {
     match &cond.kind {
         ExprKind::Call { callee, args } => {
             if let ExprKind::Name(n) = &callee.kind {
-                if let Some(g) = validator_call(n, args) {
+                if let Some(g) = validator_call(*n, args) {
                     return (vec![g], Vec::new());
                 }
             }
@@ -1215,9 +1220,9 @@ mod tests {
     fn cast_assignment_records_guard_def() {
         let f = cfgs("<?php $id = (int)$_GET['id']; $n = intval($_GET['n']);");
         let node0 = &f.cfgs[0].blocks[0].nodes[0];
-        assert_eq!(node0.guard_defs, vec![("id".to_string(), "cast_int".into())]);
+        assert_eq!(node0.guard_defs, vec![("id".into(), "cast_int".into())]);
         let node1 = &f.cfgs[0].blocks[0].nodes[1];
-        assert_eq!(node1.guard_defs, vec![("n".to_string(), "intval".into())]);
+        assert_eq!(node1.guard_defs, vec![("n".into(), "intval".into())]);
     }
 
     #[test]
@@ -1232,7 +1237,7 @@ mod tests {
     fn functions_get_their_own_graphs() {
         let f = cfgs("<?php function g($a) { return $a; } g(1);");
         assert_eq!(f.cfgs.len(), 2);
-        assert_eq!(f.cfgs[1].name.as_deref(), Some("g"));
+        assert_eq!(f.cfgs[1].name.map(Symbol::as_str), Some("g"));
         assert_eq!(f.cfgs[1].params, vec!["a"]);
         // param defs land in the entry node
         assert_eq!(f.cfgs[1].blocks[0].nodes[0].defs, vec!["a"]);

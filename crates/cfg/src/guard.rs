@@ -16,16 +16,17 @@
 use crate::dominators::Dominators;
 use crate::graph::{BlockId, Cfg, Guard};
 use crate::reach::ReachingDefs;
-use wap_php::ast::{Expr, ExprKind};
+use wap_php::ast::Expr;
+use wap_php::Symbol;
 
 /// A proven "validator dominates this program point" fact.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct GuardFact {
     /// The guarded variable (without `$`).
-    pub var: String,
+    pub var: Symbol,
     /// Lower-cased validator establishing the guard (`is_numeric`,
     /// `preg_match`, `in_array`, `cast_int`, `intval`, ...).
-    pub validator: String,
+    pub validator: Symbol,
 }
 
 /// Validators whose truthiness checks their **first** argument.
@@ -51,8 +52,8 @@ const ARG1_VALIDATORS: &[&str] = &["preg_match", "preg_match_all"];
 
 /// Recognizes a call to a known validator and extracts the guarded
 /// variable. Function-name matching is case-insensitive, like PHP.
-pub(crate) fn validator_call(name: &str, args: &[Expr]) -> Option<Guard> {
-    let lower = name.to_ascii_lowercase();
+pub(crate) fn validator_call(name: Symbol, args: &[Expr]) -> Option<Guard> {
+    let lower = name.lower();
     let arg = if ARG0_VALIDATORS.contains(&lower.as_str()) {
         args.first()
     } else if ARG1_VALIDATORS.contains(&lower.as_str()) {
@@ -60,9 +61,9 @@ pub(crate) fn validator_call(name: &str, args: &[Expr]) -> Option<Guard> {
     } else {
         return None;
     }?;
-    let var = arg.root_var()?;
+    let var = arg.root_var_symbol()?;
     Some(Guard {
-        var: var.to_string(),
+        var,
         validator: lower,
     })
 }
@@ -97,7 +98,7 @@ impl<'c> GuardAnalysis<'c> {
 
     /// All guards on any of `vars` proven to dominate node
     /// `(block, node)`. Deterministically sorted by `(var, validator)`.
-    pub fn guards_at(&self, block: BlockId, node: usize, vars: &[String]) -> Vec<GuardFact> {
+    pub fn guards_at(&self, block: BlockId, node: usize, vars: &[Symbol]) -> Vec<GuardFact> {
         let mut out: Vec<GuardFact> = Vec::new();
         // condition 1: a dominating guard *edge* with no intervening redef.
         // The edge P→Q dominates the sink when Q dominates it AND P→Q is
@@ -118,24 +119,24 @@ impl<'c> GuardAnalysis<'c> {
                     if !vars.contains(&g.var) {
                         continue;
                     }
-                    if self.redefined_between(&g.var, e.to, block, node) {
+                    if self.redefined_between(g.var, e.to, block, node) {
                         continue;
                     }
                     out.push(GuardFact {
-                        var: g.var.clone(),
-                        validator: g.validator.clone(),
+                        var: g.var,
+                        validator: g.validator,
                     });
                 }
             }
         }
         // condition 2: every reaching def is itself sanitizing
         for var in vars {
-            let defs = self.reach.defs_reaching(self.cfg, block, node, var);
+            let defs = self.reach.defs_reaching(self.cfg, block, node, *var);
             if !defs.is_empty() && defs.iter().all(|d| d.is_guard()) {
                 for d in defs {
                     out.push(GuardFact {
-                        var: var.clone(),
-                        validator: d.validator.clone().expect("guard def has validator"),
+                        var: *var,
+                        validator: d.validator.expect("guard def has validator"),
                     });
                 }
             }
@@ -149,7 +150,7 @@ impl<'c> GuardAnalysis<'c> {
     /// edge's target `q` to node `(block, node)` that does **not** pass
     /// through `q` again (re-entering `q` re-takes the guard edge, which
     /// re-validates the variable).
-    fn redefined_between(&self, var: &str, q: BlockId, block: BlockId, node: usize) -> bool {
+    fn redefined_between(&self, var: Symbol, q: BlockId, block: BlockId, node: usize) -> bool {
         // defs inside q itself run after the guard and before any exit
         let q_limit = if q == block {
             node
@@ -157,7 +158,7 @@ impl<'c> GuardAnalysis<'c> {
             self.cfg.blocks[q].nodes.len()
         };
         for n in &self.cfg.blocks[q].nodes[..q_limit] {
-            if n.defs.iter().any(|d| d == var) {
+            if n.defs.contains(&var) {
                 return true;
             }
         }
@@ -174,7 +175,7 @@ impl<'c> GuardAnalysis<'c> {
                 if x == block && i >= node {
                     break; // at or after the sink
                 }
-                if n.defs.iter().any(|d| d == var) {
+                if n.defs.contains(&var) {
                     return true;
                 }
             }
@@ -211,8 +212,8 @@ mod tests {
     fn guards(src: &str, sink: &str, vars: &[&str]) -> Vec<GuardFact> {
         let f = lower_program(&parse(src).expect("parse"));
         let span = f.find_call(sink).expect("sink call present");
-        let owned: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
-        f.dominating_guards(span, &owned)
+        let syms: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        f.dominating_guards(span, &syms)
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! )?;
 //! let cfgs = lower_program(&p);
 //! let sink = cfgs.find_call("mysql_query").expect("sink call");
-//! let guards = cfgs.dominating_guards(sink, &["id".to_string()]);
+//! let guards = cfgs.dominating_guards(sink, &["id".into()]);
 //! assert_eq!(guards[0].validator, "is_numeric");
 //! # Ok::<(), wap_php::ParseError>(())
 //! ```

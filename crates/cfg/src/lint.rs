@@ -23,6 +23,7 @@
 use crate::graph::{Cfg, FileCfgs};
 use crate::guard::GuardAnalysis;
 use wap_php::Span;
+use wap_php::Symbol;
 
 /// Rule id: call to a known sink without any dominating guard.
 pub const RULE_UNGUARDED_SINK: &str = "WAP-LINT-UNGUARDED-SINK";
@@ -153,7 +154,7 @@ pub struct SinkEvent {
     /// Vulnerability class name (e.g. `sqli`).
     pub class: String,
     /// Tainted variables flowing into the sink (without `$`).
-    pub vars: Vec<String>,
+    pub vars: Vec<Symbol>,
 }
 
 /// Metadata for the four built-in rules, in stable id order.
@@ -268,7 +269,7 @@ fn lint_cfg(file: &str, cfg: &Cfg, config: &LintConfig, out: &mut Vec<LintFindin
                 let is_sink = config
                     .sink_functions
                     .iter()
-                    .any(|s| s.eq_ignore_ascii_case(&call.name));
+                    .any(|s| s.eq_ignore_ascii_case(call.name.as_str()));
                 if is_sink && !call.arg_vars.is_empty() {
                     let guards = analysis.guards_at(b, i, &call.arg_vars);
                     if guards.is_empty() {
@@ -289,7 +290,7 @@ fn lint_cfg(file: &str, cfg: &Cfg, config: &LintConfig, out: &mut Vec<LintFindin
                 for rule in &config.custom {
                     match &rule.kind {
                         CustomRuleKind::ForbidCall { function }
-                            if function.eq_ignore_ascii_case(&call.name) =>
+                            if function.eq_ignore_ascii_case(call.name.as_str()) =>
                         {
                             out.push(LintFinding {
                                 rule_id: rule.id.clone(),
@@ -301,7 +302,7 @@ fn lint_cfg(file: &str, cfg: &Cfg, config: &LintConfig, out: &mut Vec<LintFindin
                             });
                         }
                         CustomRuleKind::RequireGuard { function }
-                            if function.eq_ignore_ascii_case(&call.name)
+                            if function.eq_ignore_ascii_case(call.name.as_str())
                                 && !call.arg_vars.is_empty() =>
                         {
                             let guards = analysis.guards_at(b, i, &call.arg_vars);
@@ -370,7 +371,7 @@ pub fn sort_findings(findings: &mut [LintFinding]) {
     });
 }
 
-fn var_list(vars: &[String]) -> String {
+fn var_list(vars: &[Symbol]) -> String {
     if vars.is_empty() {
         return "its arguments".to_string();
     }
@@ -509,7 +510,7 @@ mod tests {
             span,
             line: span.line(),
             class: "sqli".to_string(),
-            vars: vec!["id".to_string()],
+            vars: vec!["id".into()],
         }];
         let f = lint_tainted_sinks("t.php", &cfgs, &events);
         assert_eq!(f.len(), 1);
@@ -523,7 +524,7 @@ mod tests {
             span: span2,
             line: span2.line(),
             class: "sqli".to_string(),
-            vars: vec!["id".to_string()],
+            vars: vec!["id".into()],
         }];
         assert!(lint_tainted_sinks("t.php", &cfgs2, &events2).is_empty());
     }

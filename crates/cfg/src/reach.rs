@@ -12,6 +12,7 @@
 //! reaching a sink is itself sanitizing (an `(int)` cast or `intval`).
 
 use crate::graph::{BlockId, Cfg};
+use wap_php::Symbol;
 
 /// One definition site of a simple variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,10 +22,10 @@ pub struct DefSite {
     /// Node index within the block.
     pub node: usize,
     /// Defined variable (without `$`).
-    pub var: String,
+    pub var: Symbol,
     /// The validator name when the def is itself sanitizing
     /// (`cast_int`, `intval`, ...); `None` for ordinary assignments.
-    pub validator: Option<String>,
+    pub validator: Option<Symbol>,
 }
 
 impl DefSite {
@@ -55,11 +56,11 @@ impl ReachingDefs {
                         .guard_defs
                         .iter()
                         .find(|(v, _)| v == var)
-                        .map(|(_, g)| g.clone());
+                        .map(|&(_, g)| g);
                     defs.push(DefSite {
                         block: b,
                         node: i,
-                        var: var.clone(),
+                        var: *var,
                         validator,
                     });
                 }
@@ -130,7 +131,7 @@ impl ReachingDefs {
     /// Definitions of `var` that may reach the *start* of node
     /// `(block, node)` — block-entry facts replayed through the block's
     /// earlier nodes.
-    pub fn defs_reaching(&self, cfg: &Cfg, block: BlockId, node: usize, var: &str) -> Vec<&DefSite> {
+    pub fn defs_reaching(&self, cfg: &Cfg, block: BlockId, node: usize, var: Symbol) -> Vec<&DefSite> {
         let mut live: Vec<usize> = self
             .in_sets
             .get(block)
@@ -145,7 +146,7 @@ impl ReachingDefs {
             if i >= node {
                 break;
             }
-            if n.defs.iter().any(|v| v == var) {
+            if n.defs.contains(&var) {
                 live.clear();
                 // the last def of `var` in this node wins
                 if let Some(d) = self
@@ -216,7 +217,7 @@ mod tests {
         let (f, rd) = solved("<?php $x = 1; $x = 2; mysql_query($x);");
         let top = &f.cfgs[0];
         let (b, i) = top.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(top, b, i, "x");
+        let defs = rd.defs_reaching(top, b, i, "x".into());
         assert_eq!(defs.len(), 1);
         assert_eq!(defs[0].node, 1, "only the second assignment reaches");
     }
@@ -226,7 +227,7 @@ mod tests {
         let (f, rd) = solved("<?php if ($c) { $x = 1; } else { $x = 2; } mysql_query($x);");
         let top = &f.cfgs[0];
         let (b, i) = top.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(top, b, i, "x");
+        let defs = rd.defs_reaching(top, b, i, "x".into());
         assert_eq!(defs.len(), 2, "defs from both arms reach the join");
     }
 
@@ -235,7 +236,7 @@ mod tests {
         let (f, rd) = solved("<?php $i = 0; while ($i) { $i = $i - 1; } mysql_query($i);");
         let top = &f.cfgs[0];
         let (b, i) = top.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(top, b, i, "i");
+        let defs = rd.defs_reaching(top, b, i, "i".into());
         assert_eq!(defs.len(), 2, "initial and loop-carried defs both reach");
     }
 
@@ -244,10 +245,10 @@ mod tests {
         let (f, rd) = solved("<?php $id = (int)$_GET['id']; mysql_query($id);");
         let top = &f.cfgs[0];
         let (b, i) = top.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(top, b, i, "id");
+        let defs = rd.defs_reaching(top, b, i, "id".into());
         assert_eq!(defs.len(), 1);
         assert!(defs[0].is_guard());
-        assert_eq!(defs[0].validator.as_deref(), Some("cast_int"));
+        assert_eq!(defs[0].validator.map(Symbol::as_str), Some("cast_int"));
     }
 
     #[test]
@@ -256,7 +257,7 @@ mod tests {
             solved("<?php if ($c) { $id = intval($_GET['id']); } else { $id = $_GET['id']; } mysql_query($id);");
         let top = &f.cfgs[0];
         let (b, i) = top.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(top, b, i, "id");
+        let defs = rd.defs_reaching(top, b, i, "id".into());
         assert_eq!(defs.len(), 2);
         assert!(!defs.iter().all(|d| d.is_guard()));
     }
@@ -268,7 +269,7 @@ mod tests {
         let fun = &f.cfgs[1];
         let rd = ReachingDefs::compute(fun);
         let (b, i) = fun.locate(f.find_call("mysql_query").unwrap()).unwrap();
-        let defs = rd.defs_reaching(fun, b, i, "a");
+        let defs = rd.defs_reaching(fun, b, i, "a".into());
         assert_eq!(defs.len(), 1);
         assert!(!defs[0].is_guard());
     }

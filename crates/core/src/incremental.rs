@@ -11,9 +11,11 @@
 //!   without parsing anything.
 //! - **pass entries** — one per (file, pass) holding the file's
 //!   [`PassArtifacts`]: its canonical function summaries and phase-A/B
-//!   candidates. Keyed by the file content, the *functions digest* (every
-//!   declaration in the whole application, so a change to any callee
-//!   invalidates every file of the app), and the tool configuration.
+//!   candidates. Keyed by the file content, the file's *dependency
+//!   digest* (the span-source fingerprints of exactly the declarations
+//!   the file transitively references, so editing one function
+//!   invalidates only its own file and the files that actually depend on
+//!   it), and the tool configuration.
 //! - **findings entries** — one per file with candidates, holding the
 //!   prediction + symptom vector for each of the file's candidates, in
 //!   candidate-stream order, guarded by a digest of those candidates.
@@ -29,12 +31,12 @@ use std::time::Instant;
 use wap_cache::{CacheStore, CodecError, Reader, Writer};
 use wap_mining::{collect, intern_symptom_name, FeatureVector, Prediction};
 use wap_php::fingerprint::fields_hash;
-use wap_php::{content_hash, parse, Blake2s, ParseError, Program, Span};
+use wap_php::{content_hash, parse, Blake2s, ParseError, Program, Span, Symbol};
 use wap_runtime::Runtime;
 use wap_taint::serial::write_candidate;
 use wap_taint::{
-    declared_names, dedup_and_sort, function_fingerprint, pass_candidates, run_pass_incremental,
-    Candidate, PassArtifacts, PassInput,
+    declared_names, dedup_and_sort, function_fingerprint, function_refs, pass_candidates,
+    referenced_names, run_pass_incremental, Candidate, PassArtifacts, PassInput,
 };
 
 use wap_obs::{JobHandle, Phase};
@@ -43,7 +45,7 @@ use crate::pipeline::{elapsed_ns, scan_stats, AppReport, Finding, WapTool};
 
 /// Bumped whenever key derivation or any payload layout in this module
 /// changes; combined with the tool version so entries never cross builds.
-const CACHE_SCHEMA: &str = "core-cache-v1";
+const CACHE_SCHEMA: &str = "core-cache-v2";
 
 /// The tool-version component of every cache key. This is the same
 /// constant stamped into reports and the SARIF `tool.driver`, so a
@@ -55,13 +57,7 @@ fn decl_key(hash: &str) -> String {
     fields_hash(["decl", CACHE_SCHEMA, TOOL_VERSION_KEY, hash])
 }
 
-fn pass_key(
-    second: bool,
-    file: &str,
-    hash: &str,
-    functions_digest: &str,
-    config_fp: &str,
-) -> String {
+fn pass_key(second: bool, file: &str, hash: &str, deps_digest: &str, config_fp: &str) -> String {
     fields_hash([
         "pass",
         CACHE_SCHEMA,
@@ -69,7 +65,7 @@ fn pass_key(
         if second { "2" } else { "1" },
         file,
         hash,
-        functions_digest,
+        deps_digest,
         config_fp,
     ])
 }
@@ -77,7 +73,7 @@ fn pass_key(
 fn findings_key(
     file: &str,
     hash: &str,
-    functions_digest: &str,
+    deps_digest: &str,
     config_fp: &str,
     ran_pass2: bool,
 ) -> String {
@@ -87,7 +83,7 @@ fn findings_key(
         TOOL_VERSION_KEY,
         file,
         hash,
-        functions_digest,
+        deps_digest,
         config_fp,
         if ran_pass2 { "1" } else { "0" },
     ])
@@ -165,11 +161,25 @@ pub(crate) fn decode_lint(bytes: &[u8]) -> Result<Vec<wap_cfg::LintFinding>, Cod
     Ok(out)
 }
 
+/// One declared function in a decl entry.
+#[derive(Clone)]
+struct DeclRecord {
+    /// Lowercased function name.
+    name: String,
+    /// Span-source fingerprint of the declaration.
+    fp: String,
+    /// Lowercased call targets the declaration references, sorted.
+    refs: Vec<String>,
+}
+
 /// What a decl entry records about one source file.
 enum DeclInfo {
-    /// Lowercased declared function names with their body fingerprints,
-    /// in declaration order.
-    Decls(Vec<(String, String)>),
+    /// A parseable file: its declarations in declaration order, plus the
+    /// lowercased call targets referenced anywhere in the file (sorted).
+    Decls {
+        decls: Vec<DeclRecord>,
+        refs: Vec<String>,
+    },
     /// The file does not parse.
     Unparsed { message: String, span: Span },
 }
@@ -177,12 +187,20 @@ enum DeclInfo {
 fn encode_decl(info: &DeclInfo) -> Vec<u8> {
     let mut w = Writer::new();
     match info {
-        DeclInfo::Decls(decls) => {
+        DeclInfo::Decls { decls, refs } => {
             w.bool(true);
             w.seq(decls.len());
-            for (name, fp) in decls {
-                w.str(name);
-                w.str(fp);
+            for d in decls {
+                w.str(&d.name);
+                w.str(&d.fp);
+                w.seq(d.refs.len());
+                for r in &d.refs {
+                    w.str(r);
+                }
+            }
+            w.seq(refs.len());
+            for r in refs {
+                w.str(r);
             }
         }
         DeclInfo::Unparsed { message, span } => {
@@ -204,9 +222,19 @@ fn decode_decl(bytes: &[u8]) -> Result<DeclInfo, CodecError> {
         for _ in 0..n {
             let name = r.str()?;
             let fp = r.str()?;
-            decls.push((name, fp));
+            let rn = r.seq()?;
+            let mut refs = Vec::with_capacity(rn.min(1024));
+            for _ in 0..rn {
+                refs.push(r.str()?);
+            }
+            decls.push(DeclRecord { name, fp, refs });
         }
-        DeclInfo::Decls(decls)
+        let rn = r.seq()?;
+        let mut refs = Vec::with_capacity(rn.min(4096));
+        for _ in 0..rn {
+            refs.push(r.str()?);
+        }
+        DeclInfo::Decls { decls, refs }
     } else {
         let message = r.str()?;
         let (start, end, line) = (r.u32()?, r.u32()?, r.u32()?);
@@ -234,8 +262,10 @@ struct FileMeta {
     src: usize,
     name: String,
     hash: String,
-    /// (lowercased name, body fingerprint) in declaration order.
-    decls: Vec<(String, String)>,
+    /// Declarations in declaration order.
+    decls: Vec<DeclRecord>,
+    /// Lowercased call targets referenced anywhere in the file, sorted.
+    refs: Vec<String>,
 }
 
 fn encode_findings(digest: &str, findings: &[Option<Finding>]) -> Vec<u8> {
@@ -376,7 +406,7 @@ fn run_cached_pass(
     sources: &[(String, String)],
     files: &[FileMeta],
     programs: &mut [Option<Program>],
-    functions_digest: &str,
+    deps_digests: &[String],
     config_fp: &str,
     second: bool,
     parse_ns: &mut u64,
@@ -387,7 +417,8 @@ fn run_cached_pass(
     let t = Instant::now();
     let keys: Vec<String> = files
         .iter()
-        .map(|f| pass_key(second, &f.name, &f.hash, functions_digest, config_fp))
+        .enumerate()
+        .map(|(i, f)| pass_key(second, &f.name, &f.hash, &deps_digests[i], config_fp))
         .collect();
     let mut cached: Vec<Option<PassArtifacts>> = keys
         .iter()
@@ -430,7 +461,7 @@ fn run_cached_pass(
         .map(|(i, f)| PassInput {
             name: f.name.clone(),
             program: programs[i].as_ref(),
-            decl_names: f.decls.iter().map(|(n, _)| n.clone()).collect(),
+            decl_names: f.decls.iter().map(|d| Symbol::intern(&d.name)).collect(),
             cached: cached[i].take(),
         })
         .collect();
@@ -466,6 +497,7 @@ pub(crate) fn analyze_sources_cached(
     obs: JobHandle<'_>,
 ) -> Option<AppReport> {
     let start = Instant::now();
+    let alloc_start = wap_obs::allocations_now();
     let runtime = tool.runtime();
     let stats_before = store.stats().snapshot();
     let mut parse_ns = 0u64;
@@ -530,14 +562,24 @@ pub(crate) fn analyze_sources_cached(
         let info = match result {
             Ok(program) => {
                 let names = declared_names(&program);
-                let fps: Vec<String> = program
-                    .functions()
+                let decls = names
                     .into_iter()
-                    .map(function_fingerprint)
+                    .zip(program.functions())
+                    .map(|(n, f)| DeclRecord {
+                        name: n.as_str().to_string(),
+                        fp: function_fingerprint(&sources[i].1, f),
+                        refs: function_refs(f)
+                            .into_iter()
+                            .map(|r| r.as_str().to_string())
+                            .collect(),
+                    })
                     .collect();
-                let decls = names.into_iter().zip(fps).collect();
+                let refs = referenced_names(&program)
+                    .into_iter()
+                    .map(|r| r.as_str().to_string())
+                    .collect();
                 programs_by_src[i] = Some(program);
-                DeclInfo::Decls(decls)
+                DeclInfo::Decls { decls, refs }
             }
             Err(e) => DeclInfo::Unparsed {
                 message: e.message().to_string(),
@@ -556,7 +598,7 @@ pub(crate) fn analyze_sources_cached(
     let mut programs: Vec<Option<Program>> = Vec::new();
     for (i, info) in infos.iter().enumerate() {
         match info.as_ref().expect("decl info resolved above") {
-            DeclInfo::Decls(decls) => {
+            DeclInfo::Decls { decls, refs } => {
                 // only successfully parsed files count as analyzed LoC
                 loc += sources[i].1.lines().count();
                 files.push(FileMeta {
@@ -564,6 +606,7 @@ pub(crate) fn analyze_sources_cached(
                     name: sources[i].0.clone(),
                     hash: hashes[i].clone(),
                     decls: decls.clone(),
+                    refs: refs.clone(),
                 });
                 programs.push(programs_by_src[i].take());
             }
@@ -576,22 +619,60 @@ pub(crate) fn analyze_sources_cached(
         }
     }
 
-    // ---- functions digest: every canonical declaration in the app ----
+    // ---- per-file dependency digests ----
+    // The canonical declaration for each name is the first in (file
+    // order, declaration order) — the same owner rule the engine's
+    // function index applies. A file's pass output depends on exactly the
+    // canonical declarations reachable from its own declarations and its
+    // call targets, so its digest covers that transitive closure and
+    // nothing else: editing one function re-keys only its own file and
+    // the files that can actually observe the change.
     let t = Instant::now();
-    let functions_digest = {
-        let mut seen: HashSet<&str> = HashSet::new();
-        let mut rows: Vec<[&str; 3]> = Vec::new();
-        for f in &files {
-            for (name, fp) in &f.decls {
-                // first declaration in (file order, decl order) owns the name
-                if seen.insert(name.as_str()) {
-                    rows.push([name.as_str(), f.name.as_str(), fp.as_str()]);
+    struct Canon<'a> {
+        owner: &'a str,
+        fp: &'a str,
+        refs: &'a [String],
+    }
+    let mut canon: HashMap<&str, Canon<'_>> = HashMap::new();
+    for f in &files {
+        for d in &f.decls {
+            canon.entry(d.name.as_str()).or_insert(Canon {
+                owner: f.name.as_str(),
+                fp: d.fp.as_str(),
+                refs: &d.refs,
+            });
+        }
+    }
+    let deps_digests: Vec<String> = runtime.run(files.len(), |i| {
+        let f = &files[i];
+        let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut work: Vec<&str> = Vec::new();
+        for d in &f.decls {
+            if seen.insert(d.name.as_str()) {
+                work.push(d.name.as_str());
+            }
+        }
+        for r in &f.refs {
+            if seen.insert(r.as_str()) {
+                work.push(r.as_str());
+            }
+        }
+        while let Some(n) = work.pop() {
+            if let Some(c) = canon.get(n) {
+                for r in c.refs {
+                    if seen.insert(r.as_str()) {
+                        work.push(r.as_str());
+                    }
                 }
             }
         }
-        rows.sort_by(|a, b| a[0].cmp(b[0]));
-        fields_hash(rows.iter().flatten().copied())
-    };
+        // undeclared targets are built-ins; their semantics are part of
+        // the config fingerprint, not of any file
+        let rows = seen
+            .iter()
+            .filter_map(|n| canon.get(n).map(|c| [*n, c.owner, c.fp]));
+        fields_hash(rows.flatten())
+    });
     cache_ns += elapsed_ns(t);
 
     // ---- taint passes ----
@@ -602,7 +683,7 @@ pub(crate) fn analyze_sources_cached(
         sources,
         &files,
         &mut programs,
-        &functions_digest,
+        &deps_digests,
         &config_fp,
         false,
         &mut parse_ns,
@@ -621,7 +702,7 @@ pub(crate) fn analyze_sources_cached(
             sources,
             &files,
             &mut programs,
-            &functions_digest,
+            &deps_digests,
             &config_fp,
             true,
             &mut parse_ns,
@@ -671,7 +752,7 @@ pub(crate) fn analyze_sources_cached(
                 key: findings_key(
                     name,
                     &files[file].hash,
-                    &functions_digest,
+                    &deps_digests[file],
                     &config_fp,
                     ran_pass2,
                 ),
@@ -791,6 +872,8 @@ pub(crate) fn analyze_sources_cached(
 
     let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, cache_ns);
     stats.set_phase_ns(Phase::Cfg, cfg_ns);
+    stats.allocations = wap_obs::allocations_now().saturating_sub(alloc_start);
+    stats.peak_rss_bytes = wap_obs::peak_rss_bytes();
     Some(AppReport {
         findings,
         files_analyzed: files.len(),

@@ -4,6 +4,7 @@
 use crate::weapon::Weapon;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use wap_cache::{CacheStatsSnapshot, CacheStore};
 use wap_catalog::{Catalog, WeaponConfig};
@@ -12,7 +13,7 @@ use wap_mining::{
     collect, DynamicSymptomMap, FalsePositivePredictor, FeatureVector, PredictorGeneration,
 };
 use wap_obs::{Collector, JobHandle, Phase};
-use wap_php::{parse, ParseError, Program};
+use wap_php::{parse, ParseError, Program, Symbol};
 use wap_runtime::Runtime;
 use wap_taint::{analyze_with_obs, AnalysisOptions, Candidate, SourceFile};
 
@@ -242,7 +243,7 @@ impl ToolConfigBuilder {
 /// ```
 pub struct WapTool {
     pub(crate) catalog: Catalog,
-    pub(crate) predictor: FalsePositivePredictor,
+    pub(crate) predictor: Arc<FalsePositivePredictor>,
     corrector: Corrector,
     pub(crate) dynamic_symptoms: DynamicSymptomMap,
     pub(crate) config: ToolConfig,
@@ -259,6 +260,30 @@ impl std::fmt::Debug for WapTool {
     }
 }
 
+/// Returns the trained committee for `(generation, seed)`, training it at
+/// most once per process. Training is deterministic in those two inputs,
+/// so every `WapTool` built with the same pair can share one committee —
+/// without this, each construction re-trains the classifiers (~30 ms),
+/// which dominates cold-start time for short scans and for the resident
+/// service spawning per-request tools.
+fn trained_predictor(generation: PredictorGeneration, seed: u64) -> Arc<FalsePositivePredictor> {
+    type Memo = Mutex<HashMap<(PredictorGeneration, u64), Arc<FalsePositivePredictor>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Memo::default);
+    if let Some(p) = memo.lock().unwrap_or_else(|e| e.into_inner()).get(&(generation, seed)) {
+        return Arc::clone(p);
+    }
+    // Train outside the lock: concurrent first callers may both train,
+    // but the results are identical and one simply wins the insert.
+    let trained = Arc::new(FalsePositivePredictor::train(generation, seed));
+    Arc::clone(
+        memo.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry((generation, seed))
+            .or_insert(trained),
+    )
+}
+
 impl WapTool {
     /// Builds (and trains) a tool from a configuration.
     pub fn new(config: ToolConfig) -> Self {
@@ -273,7 +298,7 @@ impl WapTool {
                 weapon.link(&mut catalog, &mut corrector);
             }
         }
-        let predictor = FalsePositivePredictor::train(config.generation, config.seed);
+        let predictor = trained_predictor(config.generation, config.seed);
         let dynamic_symptoms = DynamicSymptomMap::from_catalog(&catalog);
         let cache = config.cache_dir.as_ref().map(CacheStore::open);
         let obs = Collector::new(config.trace);
@@ -367,6 +392,7 @@ impl WapTool {
     /// declines an input (e.g. duplicate file names).
     fn analyze_sources_cold(&self, sources: &[(String, String)], obs: JobHandle<'_>) -> AppReport {
         let start = Instant::now();
+        let alloc_start = wap_obs::allocations_now();
         let runtime = self.runtime();
 
         // parse files in parallel; analysis itself is cross-file
@@ -463,6 +489,8 @@ impl WapTool {
 
         let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, 0);
         stats.set_phase_ns(Phase::Cfg, cfg_ns);
+        stats.allocations = wap_obs::allocations_now().saturating_sub(alloc_start);
+        stats.peak_rss_bytes = wap_obs::peak_rss_bytes();
         AppReport {
             findings,
             files_analyzed: parsed.len(),
@@ -553,7 +581,7 @@ impl WapTool {
                     span: f.candidate.sink_span,
                     line: f.candidate.line,
                     class: f.candidate.class.acronym().to_string(),
-                    vars: f.candidate.carriers.clone(),
+                    vars: f.candidate.carriers.iter().map(|c| Symbol::intern(c)).collect(),
                 });
             }
         }
@@ -654,10 +682,11 @@ pub(crate) fn refine_with_cfg(
     cfgs: &wap_cfg::FileCfgs,
     candidate: &Candidate,
 ) {
+    let carriers: Vec<Symbol> = candidate.carriers.iter().map(|c| Symbol::intern(c)).collect();
     let guarded: std::collections::BTreeSet<String> = cfgs
-        .dominating_guards(candidate.sink_span, &candidate.carriers)
+        .dominating_guards(candidate.sink_span, &carriers)
         .into_iter()
-        .map(|g| g.validator)
+        .map(|g| g.validator.as_str().to_string())
         .collect();
     wap_mining::refine_with_guards(symptoms, &guarded);
 }

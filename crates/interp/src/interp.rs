@@ -105,7 +105,7 @@ pub fn execute(catalog: &Catalog, request: &Request, files: &[&Program]) -> Exec
     let mut functions: HashMap<String, Function> = HashMap::new();
     for p in files {
         for f in p.functions() {
-            functions.insert(f.name.to_ascii_lowercase(), f.clone());
+            functions.insert(f.name.lower().as_str().to_string(), f.clone());
         }
     }
     let mut interp = Interp {
@@ -337,14 +337,14 @@ impl Interp<'_> {
             }
             StmtKind::Global(names) => {
                 for n in names {
-                    env.entry(n.clone()).or_insert(Value::Null);
+                    env.entry(n.to_string()).or_insert(Value::Null);
                 }
                 Flow::Normal
             }
             StmtKind::StaticVars(vars) => {
                 for (n, d) in vars {
                     let v = d.as_ref().map(|e| self.eval(env, e)).unwrap_or(Value::Null);
-                    env.entry(n.clone()).or_insert(v);
+                    env.entry(n.to_string()).or_insert(v);
                 }
                 Flow::Normal
             }
@@ -391,10 +391,10 @@ impl Interp<'_> {
         }
         match &expr.kind {
             ExprKind::Var(n) => {
-                if self.is_superglobal(n) {
-                    self.request.lookup(n)
+                if self.is_superglobal(n.as_str()) {
+                    self.request.lookup(n.as_str())
                 } else {
-                    env.get(n).cloned().unwrap_or(Value::Null)
+                    env.get(n.as_str()).cloned().unwrap_or(Value::Null)
                 }
             }
             ExprKind::Lit(l) => match l {
@@ -404,10 +404,10 @@ impl Interp<'_> {
                 Lit::Bool(b) => Value::Bool(*b),
                 Lit::Null => Value::Null,
             },
-            ExprKind::Name(n) => match n.to_ascii_lowercase().as_str() {
+            ExprKind::Name(n) => match n.lower().as_str() {
                 "php_eol" => Value::Str("\n".into()),
                 "file_append" => Value::Int(8),
-                _ => Value::Str(n.clone()),
+                _ => Value::Str(n.to_string()),
             },
             ExprKind::Interp(parts) => {
                 let mut s = String::new();
@@ -462,17 +462,17 @@ impl Interp<'_> {
                 .get(&format!("{class}::${name}"))
                 .cloned()
                 .unwrap_or(Value::Null),
-            ExprKind::ClassConst { name, .. } => Value::Str(name.clone()),
+            ExprKind::ClassConst { name, .. } => Value::Str(name.to_string()),
             ExprKind::Call { callee, args } => {
                 let name = match &callee.kind {
-                    ExprKind::Name(n) => n.clone(),
+                    ExprKind::Name(n) => *n,
                     other => {
                         let _ = other;
                         return Value::Null;
                     }
                 };
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(env, a)).collect();
-                self.call_function(env, &name, argv, expr.span.line())
+                self.call_function(env, name.as_str(), argv, expr.span.line())
             }
             ExprKind::MethodCall {
                 target,
@@ -481,11 +481,11 @@ impl Interp<'_> {
             } => {
                 let recv = target.root_var().map(str::to_string);
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(env, a)).collect();
-                self.call_method(env, recv.as_deref(), method, argv, expr.span.line())
+                self.call_method(env, recv.as_deref(), method.as_str(), argv, expr.span.line())
             }
             ExprKind::StaticCall { method, args, .. } => {
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(env, a)).collect();
-                self.call_function(env, method, argv, expr.span.line())
+                self.call_function(env, method.as_str(), argv, expr.span.line())
             }
             ExprKind::New { args, .. } => {
                 for a in args {
@@ -720,7 +720,7 @@ impl Interp<'_> {
 
     fn read(&mut self, env: &mut Env, target: &Expr) -> Value {
         match &target.kind {
-            ExprKind::Var(n) => env.get(n).cloned().unwrap_or(Value::Null),
+            ExprKind::Var(n) => env.get(n.as_str()).cloned().unwrap_or(Value::Null),
             ExprKind::ArrayDim { .. } | ExprKind::Prop { .. } => {
                 // re-evaluate as an rvalue
                 let cloned = target.clone();
@@ -733,7 +733,7 @@ impl Interp<'_> {
     fn assign(&mut self, env: &mut Env, target: &Expr, value: Value) {
         match &target.kind {
             ExprKind::Var(n) => {
-                env.insert(n.clone(), value);
+                env.insert(n.to_string(), value);
             }
             ExprKind::ArrayDim { base, index } => {
                 if let Some(root) = base.root_var() {
@@ -874,7 +874,7 @@ impl Interp<'_> {
                     self.eval(&mut empty, d)
                 })
             });
-            local.insert(p.name.clone(), v.unwrap_or(Value::Null));
+            local.insert(p.name.to_string(), v.unwrap_or(Value::Null));
         }
         let out = match self.exec_block(&mut local, &func.body) {
             Flow::Return(v) => v,

@@ -11,7 +11,7 @@ use crate::dataset::Dataset;
 use crate::symptoms::FeatureVector;
 
 /// Which predictor generation to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictorGeneration {
     /// Original WAP v2.1: (SVM, Logistic Regression, Random Tree) trained
     /// on the 76-instance / 16-attribute data set.

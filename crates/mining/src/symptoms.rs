@@ -107,7 +107,9 @@ pub fn collect(
     if candidate
         .path
         .iter()
-        .any(|s| s.what.contains("concat") || s.what.contains("interpolation"))
+        .any(|s| {
+            s.what.as_str().contains("concat") || s.what.as_str().contains("interpolation")
+        })
     {
         hits.insert("concat_op");
     }
@@ -206,7 +208,8 @@ impl Collector<'_> {
         while let Some(e) = stack.pop() {
             match &e.kind {
                 ExprKind::Var(n)
-                    if self.relevant.contains(n) || self.entries.contains(&format!("${n}")) =>
+                    if self.relevant.contains(n.as_str())
+                        || self.entries.contains(&format!("${n}")) =>
                 {
                     found = true;
                     break;
@@ -301,11 +304,11 @@ impl Visitor for Collector<'_> {
         match &e.kind {
             ExprKind::Call { callee, args } => {
                 if let ExprKind::Name(n) = &callee.kind {
-                    self.record_call(n, args);
+                    self.record_call(n.as_str(), args);
                 }
             }
             ExprKind::MethodCall { method, args, .. } => {
-                self.record_call(method, args);
+                self.record_call(method.as_str(), args);
             }
             ExprKind::Isset(args) if args.iter().any(|a| self.expr_is_relevant(a)) => {
                 self.hits.insert("isset");

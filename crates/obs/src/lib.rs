@@ -29,6 +29,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod mem;
+
+pub use mem::{allocations_now, peak_rss_bytes, CountingAlloc};
+
 /// Schema identifier stamped on the first line of every NDJSON trace.
 pub const TRACE_SCHEMA: &str = "wap-trace-v1";
 

@@ -1,0 +1,104 @@
+//! Process memory and allocation accounting for the cold-path summary.
+//!
+//! Two zero-dependency probes, both observation-only (they can never
+//! influence findings or machine-format bytes):
+//!
+//! * [`CountingAlloc`] — a global-allocator wrapper around the system
+//!   allocator that counts every allocating call into a process-wide
+//!   atomic. A *binary* opts in by installing it with
+//!   `#[global_allocator]`; when it is not installed (unit tests,
+//!   library consumers) the counter simply stays at zero and the
+//!   pipeline reports no allocation figure.
+//! * [`peak_rss_bytes`] — the process's peak resident set size, read
+//!   from `/proc/self/status` (`VmHWM`) on Linux; 0 where unknown.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A system-allocator wrapper counting every allocating call
+/// (`alloc`/`alloc_zeroed`/`realloc`). Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: wap_obs::CountingAlloc = wap_obs::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is a relaxed atomic increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocating calls since process start. Stays 0 unless the
+/// running binary installed [`CountingAlloc`]; diff two readings to
+/// attribute allocations to a region of work.
+pub fn allocations_now() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The process's peak resident set size in bytes (Linux `VmHWM`), or 0
+/// when the platform does not expose it.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_counter_is_monotonic() {
+        let a = allocations_now();
+        let _v: Vec<u8> = Vec::with_capacity(4096);
+        let b = allocations_now();
+        // the test binary may or may not have the allocator installed;
+        // either way the counter never goes backwards
+        assert!(b >= a);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_bytes() > 0, "VmHWM must parse on Linux");
+    }
+}

@@ -9,6 +9,7 @@
 //! All nodes are plain data (`pub` fields) in the spirit of passive compound
 //! structures; invariants are enforced by the parser that constructs them.
 
+use crate::intern::Symbol;
 use crate::span::Span;
 
 /// A parsed PHP source file.
@@ -141,9 +142,9 @@ pub enum StmtKind {
     /// `return [expr];`
     Return(Option<Expr>),
     /// `global $a, $b;`
-    Global(Vec<String>),
+    Global(Vec<Symbol>),
     /// `static $a = 1, $b;` inside a function.
-    StaticVars(Vec<(String, Option<Expr>)>),
+    StaticVars(Vec<(Symbol, Option<Expr>)>),
     /// A user-defined function declaration.
     Function(Function),
     /// A class declaration.
@@ -233,9 +234,9 @@ pub struct SwitchCase {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CatchClause {
     /// Caught exception class names.
-    pub types: Vec<String>,
+    pub types: Vec<Symbol>,
     /// The bound variable, if any.
-    pub var: Option<String>,
+    pub var: Option<Symbol>,
     /// Handler body.
     pub body: Vec<Stmt>,
 }
@@ -269,7 +270,7 @@ impl IncludeKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name (original spelling).
-    pub name: String,
+    pub name: Symbol,
     /// Declared parameters in order.
     pub params: Vec<Param>,
     /// Body statements.
@@ -284,7 +285,7 @@ pub struct Function {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Parameter name (without `$`).
-    pub name: String,
+    pub name: Symbol,
     /// `&$param` — taken by reference.
     pub by_ref: bool,
     /// `...$param` — variadic.
@@ -299,11 +300,11 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Class {
     /// Class name.
-    pub name: String,
+    pub name: Symbol,
     /// `extends` parent, if any.
-    pub parent: Option<String>,
+    pub parent: Option<Symbol>,
     /// `implements` interfaces.
-    pub interfaces: Vec<String>,
+    pub interfaces: Vec<Symbol>,
     /// Properties, constants, and methods.
     pub members: Vec<ClassMember>,
     /// Source location.
@@ -315,7 +316,9 @@ impl Class {
     /// case-insensitive).
     pub fn method(&self, name: &str) -> Option<&Function> {
         self.members.iter().find_map(|m| match m {
-            ClassMember::Method { func, .. } if func.name.eq_ignore_ascii_case(name) => Some(func),
+            ClassMember::Method { func, .. } if func.name.as_str().eq_ignore_ascii_case(name) => {
+                Some(func)
+            }
             _ => None,
         })
     }
@@ -339,7 +342,7 @@ pub enum ClassMember {
     /// A property declaration.
     Property {
         /// Property name (without `$`).
-        name: String,
+        name: Symbol,
         /// Optional initializer.
         default: Option<Expr>,
         /// Visibility modifier.
@@ -350,7 +353,7 @@ pub enum ClassMember {
     /// A class constant.
     Const {
         /// Constant name.
-        name: String,
+        name: Symbol,
         /// Constant value expression.
         value: Expr,
     },
@@ -381,19 +384,29 @@ impl Expr {
     }
 
     /// If this is a plain variable, returns its name.
-    pub fn as_var_name(&self) -> Option<&str> {
+    pub fn as_var_name(&self) -> Option<&'static str> {
+        self.var_symbol().map(Symbol::as_str)
+    }
+
+    /// If this is a plain variable, returns its interned name.
+    pub fn var_symbol(&self) -> Option<Symbol> {
         match &self.kind {
-            ExprKind::Var(n) => Some(n),
+            ExprKind::Var(n) => Some(*n),
             _ => None,
         }
     }
 
     /// The root variable of an lvalue-ish chain: `$a['x']->y[0]` → `a`.
-    pub fn root_var(&self) -> Option<&str> {
+    pub fn root_var(&self) -> Option<&'static str> {
+        self.root_var_symbol().map(Symbol::as_str)
+    }
+
+    /// Interned form of [`Expr::root_var`].
+    pub fn root_var_symbol(&self) -> Option<Symbol> {
         match &self.kind {
-            ExprKind::Var(n) => Some(n),
-            ExprKind::ArrayDim { base, .. } => base.root_var(),
-            ExprKind::Prop { base, .. } => base.root_var(),
+            ExprKind::Var(n) => Some(*n),
+            ExprKind::ArrayDim { base, .. } => base.root_var_symbol(),
+            ExprKind::Prop { base, .. } => base.root_var_symbol(),
             _ => None,
         }
     }
@@ -412,11 +425,11 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
     /// `$name`
-    Var(String),
+    Var(Symbol),
     /// A literal value.
     Lit(Lit),
     /// A bare name: constant fetch or the callee of a direct call.
-    Name(String),
+    Name(Symbol),
     /// Double-quoted/heredoc string with interpolation, decomposed into
     /// literal and variable parts (all parts are expressions).
     Interp(Vec<Expr>),
@@ -432,21 +445,21 @@ pub enum ExprKind {
         /// Object expression.
         base: Box<Expr>,
         /// Property name.
-        name: String,
+        name: Symbol,
     },
     /// `Class::$name`
     StaticProp {
         /// Class name.
-        class: String,
+        class: Symbol,
         /// Property name (without `$`).
-        name: String,
+        name: Symbol,
     },
     /// `Class::NAME`
     ClassConst {
         /// Class name.
-        class: String,
+        class: Symbol,
         /// Constant name.
-        name: String,
+        name: Symbol,
     },
     /// `callee(args)` — callee is usually a [`ExprKind::Name`], but may be a
     /// variable (`$f()`) or any expression.
@@ -461,23 +474,23 @@ pub enum ExprKind {
         /// Receiver expression.
         target: Box<Expr>,
         /// Method name.
-        method: String,
+        method: Symbol,
         /// Arguments in order.
         args: Vec<Expr>,
     },
     /// `Class::method(args)`
     StaticCall {
         /// Class name.
-        class: String,
+        class: Symbol,
         /// Method name.
-        method: String,
+        method: Symbol,
         /// Arguments in order.
         args: Vec<Expr>,
     },
     /// `new Class(args)`
     New {
         /// Instantiated class name (dynamic `new $c` stores `"$c"`).
-        class: String,
+        class: Symbol,
         /// Constructor arguments.
         args: Vec<Expr>,
     },
@@ -546,7 +559,7 @@ pub enum ExprKind {
         /// Parameters.
         params: Vec<Param>,
         /// `use (...)` captures: name + by-ref flag.
-        uses: Vec<(String, bool)>,
+        uses: Vec<(Symbol, bool)>,
         /// Body statements.
         body: Vec<Stmt>,
     },
@@ -562,7 +575,7 @@ pub enum ExprKind {
         /// Tested expression.
         expr: Box<Expr>,
         /// Class name.
-        class: String,
+        class: Symbol,
     },
     /// `clone expr`
     Clone(Box<Expr>),
@@ -909,7 +922,7 @@ mod tests {
                 Stmt::new(StmtKind::Class(class), Span::synthetic()),
             ],
         };
-        let names: Vec<_> = prog.functions().iter().map(|f| f.name.clone()).collect();
+        let names: Vec<_> = prog.functions().iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, vec!["outer", "inner", "run"]);
     }
 

@@ -84,19 +84,33 @@ impl Blake2s {
     }
 
     /// Absorbs `data`.
-    pub fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            // compress only when another byte arrives: the final block must
-            // be compressed with the last-block flag set in finalize()
-            if self.buf_len == 64 {
-                self.t += 64;
-                let block = self.buf;
-                self.compress(&block, false);
-                self.buf_len = 0;
+    ///
+    /// A block is only compressed once at least one byte is known to follow
+    /// it: the final block must be compressed with the last-block flag set
+    /// in [`finalize`](Blake2s::finalize).
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = data.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if data.is_empty() {
+                return;
             }
-            self.buf[self.buf_len] = byte;
-            self.buf_len += 1;
+            self.t += 64;
+            let block = self.buf;
+            self.compress(&block, false);
+            self.buf_len = 0;
         }
+        // whole blocks straight from the input, no buffer copy
+        while data.len() > 64 {
+            self.t += 64;
+            let block: [u8; 64] = data[..64].try_into().expect("64-byte chunk");
+            self.compress(&block, false);
+            data = &data[64..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
     }
 
     /// Consumes the hasher and returns the 32-byte digest.

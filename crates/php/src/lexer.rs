@@ -9,6 +9,7 @@
 //! by the parser.
 
 use crate::error::{ParseError, ParseResult};
+use crate::intern::Symbol;
 use crate::span::Span;
 use crate::token::{IndexKey, StrPart, Token, TokenKind};
 
@@ -224,15 +225,16 @@ impl<'s> Lexer<'s> {
         match b {
             b'$' => {
                 self.bump();
-                let name = self.scan_ident_text();
+                let name = self.scan_ident_sym();
                 if name.is_empty() {
                     return Err(self.err("expected variable name after `$`"));
                 }
                 self.push(TokenKind::Variable(name), start, line);
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                let name = self.scan_ident_text();
-                let kind = TokenKind::keyword(&name).unwrap_or(TokenKind::Ident(name));
+                let text = self.scan_ident_slice();
+                let kind = TokenKind::keyword_bytes(text.as_bytes())
+                    .unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
                 self.push(kind, start, line);
             }
             b'0'..=b'9' => {
@@ -268,16 +270,33 @@ impl<'s> Lexer<'s> {
         Ok(())
     }
 
-    fn scan_ident_text(&mut self) -> String {
+    /// Scans an identifier and returns the source slice — no allocation.
+    /// Identifier bytes never include `\n`, so no line tracking is needed.
+    fn scan_ident_slice(&mut self) -> &'s str {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_alphanumeric() || b == b'_' {
-                self.bump();
+                self.pos += 1;
             } else {
                 break;
             }
         }
-        self.src[start..self.pos].to_string()
+        &self.src[start..self.pos]
+    }
+
+    /// Scans an identifier straight into the interner: repeated names cost
+    /// one hash lookup and zero allocations.
+    fn scan_ident_sym(&mut self) -> Symbol {
+        let text = self.scan_ident_slice();
+        if text.is_empty() {
+            Symbol::empty()
+        } else {
+            Symbol::intern(text)
+        }
+    }
+
+    fn scan_ident_text(&mut self) -> String {
+        self.scan_ident_slice().to_string()
     }
 
     fn scan_number(&mut self) -> ParseResult<TokenKind> {
@@ -334,6 +353,25 @@ impl<'s> Lexer<'s> {
 
     fn scan_single_quoted(&mut self) -> ParseResult<String> {
         self.bump(); // opening '
+        // Fast path: no escapes before the closing quote — one bulk copy of
+        // the source slice instead of a char-at-a-time rebuild.
+        let start = self.pos;
+        let mut p = self.pos;
+        while p < self.bytes.len() {
+            match self.bytes[p] {
+                b'\'' => {
+                    let out = self.src[start..p].to_string();
+                    self.line += self.bytes[start..p].iter().filter(|&&b| b == b'\n').count() as u32;
+                    self.pos = p + 1; // past the closing quote
+                    return Ok(out);
+                }
+                b'\\' => break,
+                _ => p += 1,
+            }
+        }
+        if p >= self.bytes.len() {
+            return Err(self.err("unterminated single-quoted string"));
+        }
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -438,13 +476,13 @@ impl<'s> Lexer<'s> {
                 b'$' if matches!(self.peek_at(1), Some(c) if c.is_ascii_alphabetic() || c == b'_') =>
                 {
                     self.bump();
-                    let name = self.scan_ident_text();
+                    let name = self.scan_ident_sym();
                     flush!();
                     parts.push(self.scan_simple_interp_suffix(name)?);
                 }
                 b'{' if self.peek_at(1) == Some(b'$') => {
                     self.advance(2);
-                    let name = self.scan_ident_text();
+                    let name = self.scan_ident_sym();
                     if name.is_empty() {
                         return Err(self.err("expected variable in `{$...}` interpolation"));
                     }
@@ -476,13 +514,13 @@ impl<'s> Lexer<'s> {
     }
 
     /// After `$name` inside a string: optional `[key]` or `->prop`.
-    fn scan_simple_interp_suffix(&mut self, name: String) -> ParseResult<StrPart> {
+    fn scan_simple_interp_suffix(&mut self, name: Symbol) -> ParseResult<StrPart> {
         if self.peek() == Some(b'[') {
             self.bump();
             let key = match self.peek() {
                 Some(b'$') => {
                     self.bump();
-                    IndexKey::Var(self.scan_ident_text())
+                    IndexKey::Var(self.scan_ident_sym())
                 }
                 Some(b'0'..=b'9') => {
                     let s = self.pos;
@@ -509,7 +547,7 @@ impl<'s> Lexer<'s> {
             && matches!(self.peek_at(2), Some(c) if c.is_ascii_alphabetic() || c == b'_')
         {
             self.advance(2);
-            let prop = self.scan_ident_text();
+            let prop = self.scan_ident_sym();
             Ok(StrPart::Prop(name, prop))
         } else {
             Ok(StrPart::Var(name))
@@ -518,7 +556,7 @@ impl<'s> Lexer<'s> {
 
     /// After `{$name` inside a string: optional `['key']`, `[num]`, `[$v]`,
     /// or `->prop`, then the caller consumes the closing `}`.
-    fn scan_braced_interp_suffix(&mut self, name: String) -> ParseResult<StrPart> {
+    fn scan_braced_interp_suffix(&mut self, name: Symbol) -> ParseResult<StrPart> {
         if self.peek() == Some(b'[') {
             self.bump();
             let key = match self.peek() {
@@ -535,7 +573,7 @@ impl<'s> Lexer<'s> {
                 }
                 Some(b'$') => {
                     self.bump();
-                    IndexKey::Var(self.scan_ident_text())
+                    IndexKey::Var(self.scan_ident_sym())
                 }
                 Some(b'0'..=b'9') => {
                     let s = self.pos;
@@ -556,7 +594,7 @@ impl<'s> Lexer<'s> {
             Ok(StrPart::Index(name, key))
         } else if self.starts_with("->") {
             self.advance(2);
-            let prop = self.scan_ident_text();
+            let prop = self.scan_ident_sym();
             Ok(StrPart::Prop(name, prop))
         } else {
             Ok(StrPart::Var(name))

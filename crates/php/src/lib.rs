@@ -30,9 +30,11 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ast;
 pub mod error;
 pub mod fingerprint;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -40,9 +42,11 @@ pub mod span;
 pub mod token;
 pub mod visitor;
 
+pub use arena::{Arena, NodeId};
 pub use ast::{Expr, ExprKind, Program, Stmt, StmtKind};
 pub use error::{ParseError, ParseResult};
 pub use fingerprint::{content_hash, Blake2s};
+pub use intern::Symbol;
 pub use parser::parse;
 pub use printer::{print_expr, print_program, print_stmt};
 pub use span::Span;

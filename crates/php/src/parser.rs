@@ -8,6 +8,7 @@
 
 use crate::ast::*;
 use crate::error::{ParseError, ParseResult};
+use crate::intern::Symbol;
 use crate::lexer::tokenize;
 use crate::span::Span;
 use crate::token::{IndexKey, StrPart, Token, TokenKind};
@@ -35,6 +36,38 @@ pub fn parse(src: &str) -> ParseResult<Program> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+}
+
+/// Binds a token to its binary operator and precedence tier for
+/// `parse_binary`. Tiers mirror PHP 7's table for the operators between
+/// `??` and `instanceof` — `||` loosest (0), `* / %` tightest (9) — and
+/// every tier here is left-associative.
+fn binary_op(tok: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        TokenKind::OrOr => (BinOp::Or, 0),
+        TokenKind::AndAnd => (BinOp::And, 1),
+        TokenKind::Pipe => (BinOp::BitOr, 2),
+        TokenKind::Caret => (BinOp::BitXor, 3),
+        TokenKind::Amp => (BinOp::BitAnd, 4),
+        TokenKind::Identical => (BinOp::Identical, 5),
+        TokenKind::NotIdentical => (BinOp::NotIdentical, 5),
+        TokenKind::Eq => (BinOp::Eq, 5),
+        TokenKind::NotEq => (BinOp::NotEq, 5),
+        TokenKind::Le => (BinOp::Le, 6),
+        TokenKind::Ge => (BinOp::Ge, 6),
+        TokenKind::Lt => (BinOp::Lt, 6),
+        TokenKind::Gt => (BinOp::Gt, 6),
+        TokenKind::Spaceship => (BinOp::Spaceship, 6),
+        TokenKind::Shl => (BinOp::Shl, 7),
+        TokenKind::Shr => (BinOp::Shr, 7),
+        TokenKind::Plus => (BinOp::Add, 8),
+        TokenKind::Minus => (BinOp::Sub, 8),
+        TokenKind::Dot => (BinOp::Concat, 8),
+        TokenKind::Star => (BinOp::Mul, 9),
+        TokenKind::Slash => (BinOp::Div, 9),
+        TokenKind::Percent => (BinOp::Mod, 9),
+        _ => return None,
+    })
 }
 
 impl Parser {
@@ -92,7 +125,7 @@ impl Parser {
         )
     }
 
-    fn ident(&mut self) -> ParseResult<String> {
+    fn ident(&mut self) -> ParseResult<Symbol> {
         match self.peek().clone() {
             TokenKind::Ident(n) => {
                 self.bump();
@@ -383,9 +416,10 @@ impl Parser {
             let mut body = Vec::new();
             loop {
                 match self.peek() {
-                    TokenKind::Ident(n) if alt_ends.iter().any(|e| n.eq_ignore_ascii_case(e)) => {
-                        let end = n.to_ascii_lowercase();
-                        return Ok((body, AltEnd::Keyword(end)));
+                    TokenKind::Ident(n)
+                        if alt_ends.iter().any(|e| n.as_str().eq_ignore_ascii_case(e)) =>
+                    {
+                        return Ok((body, AltEnd::Keyword(n.lower())));
                     }
                     TokenKind::Else | TokenKind::Elseif if alt_ends.contains(&"endif") => {
                         return Ok((body, AltEnd::ElseArm));
@@ -461,7 +495,7 @@ impl Parser {
                     } else if self.eat(&TokenKind::Else) {
                         self.expect(&TokenKind::Colon)?;
                         let mut b = Vec::new();
-                        while !matches!(self.peek(), TokenKind::Ident(n) if n.eq_ignore_ascii_case("endif"))
+                        while !matches!(self.peek(), TokenKind::Ident(n) if n.as_str().eq_ignore_ascii_case("endif"))
                         {
                             if matches!(self.peek(), TokenKind::Eof) {
                                 return Err(self.unexpected("unterminated else block"));
@@ -649,7 +683,7 @@ impl Parser {
                     self.bump();
                     break;
                 }
-                TokenKind::Ident(n) if alt && n.eq_ignore_ascii_case("endswitch") => {
+                TokenKind::Ident(n) if alt && n.as_str().eq_ignore_ascii_case("endswitch") => {
                     self.bump();
                     self.end_stmt()?;
                     break;
@@ -669,7 +703,7 @@ impl Parser {
             match self.peek() {
                 TokenKind::Case | TokenKind::Default | TokenKind::Eof => break,
                 TokenKind::RBrace if !alt => break,
-                TokenKind::Ident(n) if alt && n.eq_ignore_ascii_case("endswitch") => break,
+                TokenKind::Ident(n) if alt && n.as_str().eq_ignore_ascii_case("endswitch") => break,
                 _ => body.push(self.parse_stmt()?),
             }
         }
@@ -724,7 +758,7 @@ impl Parser {
     }
 
     /// Class names may be `\Foo\Bar`; we keep the last segment.
-    fn parse_class_name(&mut self) -> ParseResult<String> {
+    fn parse_class_name(&mut self) -> ParseResult<Symbol> {
         self.eat(&TokenKind::Backslash);
         let mut name = self.ident()?;
         while self.eat(&TokenKind::Backslash) {
@@ -774,7 +808,7 @@ impl Parser {
                             self.bump();
                             "array".to_string()
                         }
-                        _ => self.parse_class_name()?,
+                        _ => self.parse_class_name()?.as_str().to_string(),
                     });
                 }
                 let by_ref = self.eat(&TokenKind::Amp);
@@ -1022,7 +1056,7 @@ impl Parser {
     }
 
     fn parse_coalesce(&mut self) -> ParseResult<Expr> {
-        let lhs = self.parse_or()?;
+        let lhs = self.parse_binary(0)?;
         if self.eat(&TokenKind::Coalesce) {
             let rhs = self.parse_coalesce()?; // right-associative
             let span = lhs.span.merge(rhs.span);
@@ -1038,105 +1072,30 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn binary_level(
-        &mut self,
-        next: impl Fn(&mut Self) -> ParseResult<Expr>,
-        ops: &[(TokenKind, BinOp)],
-    ) -> ParseResult<Expr> {
-        let mut lhs = next(self)?;
-        'outer: loop {
-            for (tok, op) in ops {
-                if self.peek() == tok {
-                    self.bump();
-                    let rhs = next(self)?;
-                    let span = lhs.span.merge(rhs.span);
-                    lhs = Expr::new(
-                        ExprKind::Binary {
-                            op: *op,
-                            lhs: Box::new(lhs),
-                            rhs: Box::new(rhs),
-                        },
-                        span,
-                    );
-                    continue 'outer;
-                }
+    /// Precedence-climbing loop replacing the former eleven-deep
+    /// recursive-descent ladder (`parse_or` .. `parse_multiplicative`):
+    /// one recursion per *operator* instead of ten stack frames per
+    /// operand. Left-associativity falls out of requiring strictly higher
+    /// precedence (`prec + 1`) on the right-hand side.
+    fn parse_binary(&mut self, min_prec: u8) -> ParseResult<Expr> {
+        let mut lhs = self.parse_instanceof()?;
+        while let Some((op, prec)) = binary_op(self.peek()) {
+            if prec < min_prec {
+                break;
             }
-            return Ok(lhs);
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
-    }
-
-    fn parse_or(&mut self) -> ParseResult<Expr> {
-        self.binary_level(Self::parse_and, &[(TokenKind::OrOr, BinOp::Or)])
-    }
-
-    fn parse_and(&mut self) -> ParseResult<Expr> {
-        self.binary_level(Self::parse_bit_or, &[(TokenKind::AndAnd, BinOp::And)])
-    }
-
-    fn parse_bit_or(&mut self) -> ParseResult<Expr> {
-        self.binary_level(Self::parse_bit_xor, &[(TokenKind::Pipe, BinOp::BitOr)])
-    }
-
-    fn parse_bit_xor(&mut self) -> ParseResult<Expr> {
-        self.binary_level(Self::parse_bit_and, &[(TokenKind::Caret, BinOp::BitXor)])
-    }
-
-    fn parse_bit_and(&mut self) -> ParseResult<Expr> {
-        self.binary_level(Self::parse_equality, &[(TokenKind::Amp, BinOp::BitAnd)])
-    }
-
-    fn parse_equality(&mut self) -> ParseResult<Expr> {
-        self.binary_level(
-            Self::parse_relational,
-            &[
-                (TokenKind::Identical, BinOp::Identical),
-                (TokenKind::NotIdentical, BinOp::NotIdentical),
-                (TokenKind::Eq, BinOp::Eq),
-                (TokenKind::NotEq, BinOp::NotEq),
-            ],
-        )
-    }
-
-    fn parse_relational(&mut self) -> ParseResult<Expr> {
-        self.binary_level(
-            Self::parse_shift,
-            &[
-                (TokenKind::Le, BinOp::Le),
-                (TokenKind::Ge, BinOp::Ge),
-                (TokenKind::Lt, BinOp::Lt),
-                (TokenKind::Gt, BinOp::Gt),
-                (TokenKind::Spaceship, BinOp::Spaceship),
-            ],
-        )
-    }
-
-    fn parse_shift(&mut self) -> ParseResult<Expr> {
-        self.binary_level(
-            Self::parse_additive,
-            &[(TokenKind::Shl, BinOp::Shl), (TokenKind::Shr, BinOp::Shr)],
-        )
-    }
-
-    fn parse_additive(&mut self) -> ParseResult<Expr> {
-        self.binary_level(
-            Self::parse_multiplicative,
-            &[
-                (TokenKind::Plus, BinOp::Add),
-                (TokenKind::Minus, BinOp::Sub),
-                (TokenKind::Dot, BinOp::Concat),
-            ],
-        )
-    }
-
-    fn parse_multiplicative(&mut self) -> ParseResult<Expr> {
-        self.binary_level(
-            Self::parse_instanceof,
-            &[
-                (TokenKind::Star, BinOp::Mul),
-                (TokenKind::Slash, BinOp::Div),
-                (TokenKind::Percent, BinOp::Mod),
-            ],
-        )
+        Ok(lhs)
     }
 
     fn parse_instanceof(&mut self) -> ParseResult<Expr> {
@@ -1256,7 +1215,7 @@ impl Parser {
                 let class = match self.peek().clone() {
                     TokenKind::Variable(v) => {
                         self.bump();
-                        format!("${v}")
+                        Symbol::intern(&format!("${v}"))
                     }
                     _ => self.parse_class_name()?,
                 };
@@ -1311,7 +1270,7 @@ impl Parser {
             return None;
         }
         let ty = match self.peek_at(1) {
-            TokenKind::Ident(n) => match n.to_ascii_lowercase().as_str() {
+            TokenKind::Ident(n) => match n.lower().as_str() {
                 "int" | "integer" => CastType::Int,
                 "float" | "double" | "real" => CastType::Float,
                 "string" | "binary" => CastType::Str,
@@ -1361,7 +1320,7 @@ impl Parser {
                         TokenKind::Variable(v) => {
                             // dynamic property `$obj->$name`
                             self.bump();
-                            format!("${v}")
+                            Symbol::intern(&format!("${v}"))
                         }
                         _ => self.ident()?,
                     };
@@ -1389,8 +1348,8 @@ impl Parser {
                 }
                 TokenKind::DoubleColon => {
                     let class = match &e.kind {
-                        ExprKind::Name(n) => n.clone(),
-                        ExprKind::Var(v) => format!("${v}"),
+                        ExprKind::Name(n) => *n,
+                        ExprKind::Var(v) => Symbol::intern(&format!("${v}")),
                         _ => return Err(self.unexpected("expected class name before `::`")),
                     };
                     self.bump();
@@ -1695,7 +1654,7 @@ enum AltEnd {
     /// Body ended normally (brace or single statement).
     None,
     /// Alternative syntax ended at the named keyword (not yet consumed).
-    Keyword(#[allow(dead_code)] String),
+    Keyword(#[allow(dead_code)] Symbol),
     /// Alternative syntax hit `else`/`elseif` (not yet consumed).
     ElseArm,
 }
@@ -1929,8 +1888,9 @@ mod tests {
             panic!()
         };
         assert_eq!(c.name, "Repo");
-        assert_eq!(c.parent.as_deref(), Some("Base"));
-        assert_eq!(c.interfaces, vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(c.parent.map(Symbol::as_str), Some("Base"));
+        let ifaces: Vec<_> = c.interfaces.iter().map(|s| s.as_str()).collect();
+        assert_eq!(ifaces, vec!["A", "B"]);
         assert_eq!(c.members.len(), 5);
         assert!(c.method("find").is_some());
     }

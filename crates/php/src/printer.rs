@@ -293,7 +293,8 @@ impl Printer {
                 self.out.push('}');
                 for c in catches {
                     self.out.push_str(" catch (");
-                    self.out.push_str(&c.types.join(" | "));
+                    let types: Vec<&str> = c.types.iter().map(|t| t.as_str()).collect();
+                    self.out.push_str(&types.join(" | "));
                     if let Some(v) = &c.var {
                         let _ = write!(self.out, " ${v}");
                     }
@@ -338,7 +339,7 @@ impl Printer {
         if f.by_ref {
             self.out.push('&');
         }
-        self.out.push_str(&f.name);
+        self.out.push_str(f.name.as_str());
         self.params(&f.params);
         self.out.push_str(" {\n");
         self.block(&f.body);
@@ -373,12 +374,13 @@ impl Printer {
     fn class(&mut self, c: &Class) {
         self.pad();
         self.out.push_str("class ");
-        self.out.push_str(&c.name);
+        self.out.push_str(c.name.as_str());
         if let Some(p) = &c.parent {
             let _ = write!(self.out, " extends {p}");
         }
         if !c.interfaces.is_empty() {
-            let _ = write!(self.out, " implements {}", c.interfaces.join(", "));
+            let names: Vec<&str> = c.interfaces.iter().map(|i| i.as_str()).collect();
+            let _ = write!(self.out, " implements {}", names.join(", "));
         }
         self.out.push_str(" {\n");
         self.indent += 1;
@@ -452,7 +454,7 @@ impl Printer {
                 let _ = write!(self.out, "${n}");
             }
             ExprKind::Lit(l) => self.lit(l),
-            ExprKind::Name(n) => self.out.push_str(n),
+            ExprKind::Name(n) => self.out.push_str(n.as_str()),
             ExprKind::Interp(parts) => self.interp(parts),
             ExprKind::ShellExec(parts) => {
                 self.out.push('`');

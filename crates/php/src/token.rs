@@ -1,5 +1,6 @@
 //! Token model produced by the [`lexer`](crate::lexer).
 
+use crate::intern::Symbol;
 use crate::span::Span;
 use std::fmt;
 
@@ -15,11 +16,11 @@ pub enum StrPart {
     /// Literal text.
     Lit(String),
     /// `$name` — a simple variable interpolation.
-    Var(String),
+    Var(Symbol),
     /// `$name[index]` or `{$name['index']}` — an array element.
-    Index(String, IndexKey),
+    Index(Symbol, IndexKey),
     /// `$name->prop` or `{$name->prop}` — a property fetch.
-    Prop(String, String),
+    Prop(Symbol, Symbol),
 }
 
 /// The index used in an interpolated array fetch.
@@ -30,7 +31,7 @@ pub enum IndexKey {
     /// Integer key, e.g. `$row[0]`.
     Int(i64),
     /// Variable key, e.g. `$row[$i]`.
-    Var(String),
+    Var(Symbol),
 }
 
 /// Kind of a lexical token.
@@ -44,9 +45,9 @@ pub enum IndexKey {
 pub enum TokenKind {
     // ---- literals & names ----
     /// `$name` (the `$` is stripped).
-    Variable(String),
+    Variable(Symbol),
     /// Bare identifier: function/class/constant name.
-    Ident(String),
+    Ident(Symbol),
     /// Integer literal (decimal, hex `0x`, octal `0`).
     Int(i64),
     /// Floating-point literal.
@@ -302,8 +303,23 @@ impl TokenKind {
     /// Looks up the keyword token for an identifier, case-insensitively.
     /// Returns `None` for non-keywords.
     pub fn keyword(ident: &str) -> Option<TokenKind> {
-        let lower = ident.to_ascii_lowercase();
-        Some(match lower.as_str() {
+        TokenKind::keyword_bytes(ident.as_bytes())
+    }
+
+    /// Allocation-free keyword lookup over raw identifier bytes: the
+    /// case-folded copy lives in a stack buffer (no keyword is longer than
+    /// 16 bytes), which keeps the lexer's per-identifier fast path free of
+    /// heap traffic.
+    pub fn keyword_bytes(ident: &[u8]) -> Option<TokenKind> {
+        if ident.len() > 16 {
+            return None;
+        }
+        let mut buf = [0u8; 16];
+        for (i, b) in ident.iter().enumerate() {
+            buf[i] = b.to_ascii_lowercase();
+        }
+        let lower = std::str::from_utf8(&buf[..ident.len()]).ok()?;
+        Some(match lower {
             "if" => TokenKind::If,
             "else" => TokenKind::Else,
             "elseif" => TokenKind::Elseif,

@@ -40,6 +40,13 @@ pub struct ScanStats {
     /// as produced by `wap_obs::Collector::file_totals`. Empty unless
     /// tracing was enabled for the scan.
     pub files: Vec<FileStat>,
+    /// Peak resident set size in bytes observed when the scan finished
+    /// (Linux `VmHWM` via `wap_obs::peak_rss_bytes`); 0 when unknown.
+    pub peak_rss_bytes: u64,
+    /// Global-allocator calls made during the scan. Stays 0 unless the
+    /// running binary installed `wap_obs::CountingAlloc` — libraries and
+    /// unit tests report nothing rather than a misleading zero-cost.
+    pub allocations: u64,
 }
 
 impl ScanStats {

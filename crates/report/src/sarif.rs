@@ -250,7 +250,7 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
                                 location: FlowLocation {
                                     physical_location: physical(uri, step.line),
                                     message: Message {
-                                        text: step.what.clone(),
+                                        text: step.what.as_str().to_string(),
                                     },
                                 },
                             })

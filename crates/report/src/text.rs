@@ -53,15 +53,33 @@ pub fn render_text(report: &AppReport) -> String {
     };
     let _ = writeln!(
         out,
-        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives{} ({} ms)",
+        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives{}{} ({} ms)",
         report.files_analyzed,
         report.loc,
         report.parse_errors.len(),
         report.real_vulnerabilities().count(),
         report.predicted_false_positives().count(),
         lint_summary,
+        mem_summary(report),
         report.duration.as_millis()
     );
+    out
+}
+
+/// The memory addendum to the summary line — empty when nothing was
+/// measured, so reports from platforms without `VmHWM` (and from library
+/// embeddings without the counting allocator) keep their historic shape.
+fn mem_summary(report: &AppReport) -> String {
+    let mut out = String::new();
+    if report.stats.peak_rss_bytes > 0 {
+        out.push_str(&format!(
+            ", peak RSS {:.1} MB",
+            report.stats.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        ));
+    }
+    if report.stats.allocations > 0 {
+        out.push_str(&format!(", {} allocations", report.stats.allocations));
+    }
     out
 }
 
@@ -75,6 +93,23 @@ pub fn render_stats(report: &AppReport, k: usize) -> String {
     let _ = writeln!(out, "\nphase totals:");
     for (phase, ns) in report.stats.phases().filter(|(_, ns)| *ns > 0) {
         let _ = writeln!(out, "  {:<13} {:>10.3} ms", phase.name(), ms(ns));
+    }
+    if report.stats.peak_rss_bytes > 0 || report.stats.allocations > 0 {
+        let _ = writeln!(out, "memory:");
+        if report.stats.peak_rss_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  peak RSS      {:>10.1} MB",
+                report.stats.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        if report.stats.allocations > 0 {
+            let _ = writeln!(
+                out,
+                "  allocations   {:>10}",
+                report.stats.allocations
+            );
+        }
     }
     let slow = report.stats.slowest_files(k);
     if slow.is_empty() {

@@ -40,7 +40,8 @@ pub mod state;
 
 pub use engine::{
     analyze, analyze_program, analyze_with, analyze_with_obs, collect_literals, declared_names,
-    dedup_and_sort, function_fingerprint, pass_candidates, run_pass_incremental, AnalysisOptions,
+    dedup_and_sort, function_fingerprint, function_refs, pass_candidates, referenced_names,
+    run_pass_incremental, AnalysisOptions,
     PassArtifacts, PassInput, PassOutcome, SourceFile,
 };
 pub use finding::Candidate;

@@ -17,7 +17,7 @@ use crate::state::{TaintInfo, TaintState, TaintStep};
 use std::collections::{BTreeSet, HashMap};
 use wap_cache::{CodecError, Reader, Writer};
 use wap_catalog::VulnClass;
-use wap_php::Span;
+use wap_php::{Span, Symbol};
 
 type Result<T> = std::result::Result<T, CodecError>;
 
@@ -101,18 +101,21 @@ fn read_class_set(r: &mut Reader<'_>) -> Result<BTreeSet<VulnClass>> {
     Ok(set)
 }
 
-fn write_str_set(w: &mut Writer, set: &BTreeSet<String>) {
+/// Writes a symbol set as its strings. `BTreeSet<Symbol>` iterates in
+/// string order (symbol `Ord` compares the resolved strings), so the byte
+/// layout matches the `BTreeSet<String>` encoding it replaced.
+fn write_sym_set(w: &mut Writer, set: &BTreeSet<Symbol>) {
     w.seq(set.len());
     for s in set {
-        w.str(s);
+        w.str(s.as_str());
     }
 }
 
-fn read_str_set(r: &mut Reader<'_>) -> Result<BTreeSet<String>> {
+fn read_sym_set(r: &mut Reader<'_>) -> Result<BTreeSet<Symbol>> {
     let n = r.seq()?;
     let mut set = BTreeSet::new();
     for _ in 0..n {
-        set.insert(r.str()?);
+        set.insert(Symbol::intern(&r.str()?));
     }
     Ok(set)
 }
@@ -154,14 +157,14 @@ fn read_opt_usize(r: &mut Reader<'_>) -> Result<Option<usize>> {
 // ---- taint state ----
 
 fn write_step(w: &mut Writer, s: &TaintStep) {
-    w.str(&s.what);
+    w.str(s.what.as_str());
     w.u32(s.line);
     write_span(w, s.span);
 }
 
 fn read_step(r: &mut Reader<'_>) -> Result<TaintStep> {
     Ok(TaintStep {
-        what: r.str()?,
+        what: Symbol::intern(&r.str()?),
         line: r.u32()?,
         span: read_span(r)?,
     })
@@ -188,10 +191,10 @@ fn write_taint_state(w: &mut Writer, t: &TaintState) {
         TaintState::Clean => w.u8(0),
         TaintState::Tainted(info) => {
             w.u8(1);
-            write_str_set(w, &info.sources);
+            write_sym_set(w, &info.sources);
             write_class_set(w, &info.sanitized);
             write_steps(w, &info.steps);
-            write_str_set(w, &info.carriers);
+            write_sym_set(w, &info.carriers);
             write_str_vec(w, &info.literals);
         }
     }
@@ -200,13 +203,13 @@ fn write_taint_state(w: &mut Writer, t: &TaintState) {
 fn read_taint_state(r: &mut Reader<'_>) -> Result<TaintState> {
     Ok(match r.u8()? {
         0 => TaintState::Clean,
-        1 => TaintState::Tainted(TaintInfo {
-            sources: read_str_set(r)?,
+        1 => TaintState::Tainted(std::sync::Arc::new(TaintInfo {
+            sources: read_sym_set(r)?,
             sanitized: read_class_set(r)?,
             steps: read_steps(r)?,
-            carriers: read_str_set(r)?,
+            carriers: read_sym_set(r)?,
             literals: read_str_vec(r)?,
-        }),
+        })),
         t => return Err(CodecError(format!("unknown TaintState tag {t}"))),
     })
 }
@@ -329,12 +332,12 @@ impl PassArtifacts {
     /// bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        let mut names: Vec<&String> = self.summaries.keys().collect();
+        let mut names: Vec<Symbol> = self.summaries.keys().copied().collect();
         names.sort();
         w.seq(names.len());
         for name in names {
-            w.str(name);
-            write_summary(&mut w, &self.summaries[name]);
+            w.str(name.as_str());
+            write_summary(&mut w, &self.summaries[&name]);
         }
         write_candidates(&mut w, &self.a_candidates);
         write_candidates(&mut w, &self.b_candidates);
@@ -355,7 +358,7 @@ impl PassArtifacts {
         for _ in 0..n {
             let name = r.str()?;
             let summary = read_summary(&mut r)?;
-            summaries.insert(name, summary);
+            summaries.insert(Symbol::intern(&name), summary);
         }
         let a_candidates = read_candidates(&mut r)?;
         let b_candidates = read_candidates(&mut r)?;
@@ -424,8 +427,8 @@ mod tests {
             }],
         };
         let mut summaries = HashMap::new();
-        summaries.insert("render".to_string(), summary);
-        summaries.insert("helper".to_string(), FnSummary::default());
+        summaries.insert("render".into(), summary);
+        summaries.insert("helper".into(), FnSummary::default());
         PassArtifacts {
             summaries,
             a_candidates: vec![sample_candidate()],

@@ -7,16 +7,19 @@
 //! carries the set of classes that have already been sanitized away.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use wap_catalog::VulnClass;
 use wap_php::Span;
+use wap_php::Symbol;
 
 /// One provenance step in a tainted data flow, used to build the candidate
 /// vulnerability's path tree ("trees describing candidate vulnerable
 /// data-flow paths", §II).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaintStep {
-    /// Human-readable description, e.g. `$id <- $_GET['id']`.
-    pub what: String,
+    /// Human-readable description, e.g. `$id <- $_GET['id']` (interned:
+    /// step descriptions repeat heavily across passes and files).
+    pub what: Symbol,
     /// 1-based source line.
     pub line: u32,
     /// Source span of the step.
@@ -25,9 +28,9 @@ pub struct TaintStep {
 
 impl TaintStep {
     /// Creates a step.
-    pub fn new(what: impl Into<String>, span: Span) -> Self {
+    pub fn new(what: impl AsRef<str>, span: Span) -> Self {
         TaintStep {
-            what: what.into(),
+            what: Symbol::intern(what.as_ref()),
             line: span.line(),
             span,
         }
@@ -43,13 +46,13 @@ const MAX_STEPS: usize = 24;
 pub struct TaintInfo {
     /// The entry point descriptions this value derives from,
     /// e.g. `$_GET['id']`.
-    pub sources: BTreeSet<String>,
+    pub sources: BTreeSet<Symbol>,
     /// Classes whose payloads have been neutralized by sanitizers.
     pub sanitized: BTreeSet<VulnClass>,
     /// Provenance trail from entry point toward the current use.
     pub steps: Vec<TaintStep>,
     /// Variables that carried this taint (for symptom collection).
-    pub carriers: BTreeSet<String>,
+    pub carriers: BTreeSet<Symbol>,
     /// Literal string fragments concatenated/interpolated around the
     /// tainted data — an approximation of the query text, feeding the SQL
     /// manipulation attributes of Table I.
@@ -62,23 +65,26 @@ pub enum TaintState {
     /// Trustworthy data.
     #[default]
     Clean,
-    /// Untrusted data with provenance.
-    Tainted(TaintInfo),
+    /// Untrusted data with provenance. Behind an [`Arc`]: taint values
+    /// are cloned at every branch join, environment snapshot, and summary
+    /// application, and the shared-read case vastly outnumbers mutation —
+    /// a clone is a refcount bump, mutation copies on write.
+    Tainted(Arc<TaintInfo>),
 }
 
 impl TaintState {
     /// A fresh taint originating at `source` (an entry point).
-    pub fn source(source: impl Into<String>, span: Span) -> Self {
-        let source = source.into();
+    pub fn source(source: impl AsRef<str>, span: Span) -> Self {
+        let source = Symbol::intern(source.as_ref());
         let mut sources = BTreeSet::new();
-        sources.insert(source.clone());
-        TaintState::Tainted(TaintInfo {
+        sources.insert(source);
+        TaintState::Tainted(Arc::new(TaintInfo {
             sources,
             sanitized: BTreeSet::new(),
             steps: vec![TaintStep::new(format!("entry point {source}"), span)],
             carriers: BTreeSet::new(),
             literals: Vec::new(),
-        })
+        }))
     }
 
     /// Whether this value is tainted at all (ignoring sanitization).
@@ -99,7 +105,7 @@ impl TaintState {
     pub fn info(&self) -> Option<&TaintInfo> {
         match self {
             TaintState::Clean => None,
-            TaintState::Tainted(i) => Some(i),
+            TaintState::Tainted(i) => Some(i.as_ref()),
         }
     }
 
@@ -113,16 +119,20 @@ impl TaintState {
             (TaintState::Clean, t @ TaintState::Tainted(_)) => t.clone(),
             (t @ TaintState::Tainted(_), TaintState::Clean) => t.clone(),
             (TaintState::Tainted(a), TaintState::Tainted(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    // join(x, x) == x for every field; skip the rebuild.
+                    return self.clone();
+                }
                 let mut info = TaintInfo {
-                    sources: a.sources.union(&b.sources).cloned().collect(),
+                    sources: a.sources.union(&b.sources).copied().collect(),
                     sanitized: a.sanitized.intersection(&b.sanitized).cloned().collect(),
                     steps: a.steps.clone(),
-                    carriers: a.carriers.union(&b.carriers).cloned().collect(),
+                    carriers: a.carriers.union(&b.carriers).copied().collect(),
                     literals: a.literals.clone(),
                 };
                 for s in &b.steps {
                     if !info.steps.contains(s) {
-                        info.steps.push(s.clone());
+                        info.steps.push(*s);
                     }
                 }
                 info.steps.truncate(MAX_STEPS);
@@ -131,7 +141,7 @@ impl TaintState {
                         info.literals.push(l.clone());
                     }
                 }
-                TaintState::Tainted(info)
+                TaintState::Tainted(Arc::new(info))
             }
         }
     }
@@ -141,36 +151,36 @@ impl TaintState {
         match self {
             TaintState::Clean => TaintState::Clean,
             TaintState::Tainted(info) => {
-                let mut info = info.clone();
+                let mut info = TaintInfo::clone(info);
                 for c in classes {
                     info.sanitized.insert((*c).clone());
                 }
                 info.push_step(TaintStep::new(format!("sanitized by {sanitizer}()"), span));
-                TaintState::Tainted(info)
+                TaintState::Tainted(Arc::new(info))
             }
         }
     }
 
     /// Appends a provenance step (no-op on clean values).
-    pub fn with_step(&self, what: impl Into<String>, span: Span) -> TaintState {
+    pub fn with_step(&self, what: impl AsRef<str>, span: Span) -> TaintState {
         match self {
             TaintState::Clean => TaintState::Clean,
             TaintState::Tainted(info) => {
-                let mut info = info.clone();
+                let mut info = TaintInfo::clone(info);
                 info.push_step(TaintStep::new(what, span));
-                TaintState::Tainted(info)
+                TaintState::Tainted(Arc::new(info))
             }
         }
     }
 
     /// Registers a variable that carries this taint.
-    pub fn with_carrier(&self, var: &str) -> TaintState {
+    pub fn with_carrier(&self, var: impl Into<Symbol>) -> TaintState {
         match self {
             TaintState::Clean => TaintState::Clean,
             TaintState::Tainted(info) => {
-                let mut info = info.clone();
-                info.carriers.insert(var.to_string());
-                TaintState::Tainted(info)
+                let mut info = TaintInfo::clone(info);
+                info.carriers.insert(var.into());
+                TaintState::Tainted(Arc::new(info))
             }
         }
     }
@@ -262,7 +272,7 @@ mod tests {
         }
         assert!(t.info().unwrap().steps.len() <= MAX_STEPS);
         // earliest step (the entry point) is preserved
-        assert!(t.info().unwrap().steps[0].what.contains("entry point"));
+        assert!(t.info().unwrap().steps[0].what.as_str().contains("entry point"));
     }
 
     #[test]
@@ -271,6 +281,6 @@ mod tests {
             .with_carrier("id")
             .with_carrier("q");
         let c = &t.info().unwrap().carriers;
-        assert!(c.contains("id") && c.contains("q"));
+        assert!(c.contains(&"id".into()) && c.contains(&"q".into()));
     }
 }

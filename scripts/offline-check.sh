@@ -508,6 +508,8 @@ EOF
 wap-php = { path = "../php" }
 wap-catalog = { path = "../catalog" }
 rand = { path = "../shims/rand" }
+[dev-dependencies]
+wap-taint = { path = "../taint" }
 EOF
 } > "$SCRATCH/corpus/Cargo.toml"
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Cold-path profiling harness: where does a from-scratch scan spend its
+# time and memory? Runs the fixed-seed ci_bench corpus sweep and reports
+#
+#   1. per-phase wall time (parse / taint / predict) from ScanStats
+#   2. cold-phase allocation count and peak RSS (CountingAlloc + VmHWM,
+#      printed by ci_bench's "cold memory" line)
+#   3. end-to-end wall/user/sys time for the whole sweep, via `perf stat`
+#      when available, else /usr/bin/time, else bash's builtin `time`
+#
+# The numbers feed EXPERIMENTS.md's cold-vs-warm table; run this before
+# and after a perf-sensitive change and compare. Repetition count is
+# ci_bench's (best-of-3), so a quiet machine still matters.
+#
+# Requires: target/release/ci_bench (built by the caller; in the offline
+# scratch workspace that is target/offline-check/target/release/ci_bench).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${CI_BENCH:-}"
+if [[ -z "$BIN" ]]; then
+    for candidate in \
+        "$ROOT/target/release/ci_bench" \
+        "$ROOT/target/offline-check/target/release/ci_bench"; do
+        [[ -x "$candidate" ]] && BIN="$candidate" && break
+    done
+fi
+[[ -n "$BIN" && -x "$BIN" ]] || {
+    echo "profile-cold: build ci_bench first (cargo build --release -p wap-bench)" >&2
+    exit 1
+}
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== profile-cold: phase + memory breakdown (ci_bench, best-of-3) =="
+# --write-baseline to a scratch path: measures without gating, so a slow
+# machine can still profile.
+"$BIN" --write-baseline --baseline "$OUT/baseline.json" |
+    grep -E "cold phases|cold memory|LoC," || true
+
+echo
+echo "== profile-cold: whole-sweep counters =="
+if command -v perf >/dev/null 2>&1; then
+    perf stat -e task-clock,cycles,instructions,cache-misses,page-faults \
+        "$BIN" --write-baseline --baseline "$OUT/baseline2.json" >/dev/null
+elif [[ -x /usr/bin/time ]]; then
+    /usr/bin/time -v "$BIN" --write-baseline --baseline "$OUT/baseline2.json" >/dev/null
+else
+    time "$BIN" --write-baseline --baseline "$OUT/baseline2.json" >/dev/null
+fi
+
+echo
+echo "profile-cold: OK (baseline artifacts discarded; commit BENCH_baseline.json only via ci_bench --write-baseline)"

@@ -4,6 +4,12 @@
 //! service (`wap serve`). `wap lint` runs the CFG-based lint pass
 //! (shorthand for `wap --lint`).
 
+// Count allocations so scan summaries can report them alongside peak
+// RSS; the counter is a relaxed atomic increment over the system
+// allocator, far below measurement noise.
+#[global_allocator]
+static ALLOC: wap_core::CountingAlloc = wap_core::CountingAlloc;
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {

@@ -175,6 +175,69 @@ fn well_framed_garbage_payloads_are_rejected_at_decode() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Function-granular invalidation: editing one function's body re-keys
+/// only that file and the files that transitively reference the function.
+/// Files depending on *other* functions keep serving from cache.
+#[test]
+fn one_function_edit_invalidates_only_its_dependents() {
+    let base: Vec<(String, String)> = vec![
+        (
+            "lib_a.php".to_string(),
+            "<?php\nfunction fetch_a() { return $_GET['a']; }\n".to_string(),
+        ),
+        (
+            "lib_b.php".to_string(),
+            "<?php\nfunction fetch_b() { return $_GET['b']; }\n".to_string(),
+        ),
+        (
+            "page_a.php".to_string(),
+            "<?php\n$x = fetch_a();\nmysql_query(\"SELECT * FROM t WHERE a = '$x'\");\n"
+                .to_string(),
+        ),
+        (
+            "page_b.php".to_string(),
+            "<?php\n$y = fetch_b();\nmysql_query(\"SELECT * FROM t WHERE b = '$y'\");\n"
+                .to_string(),
+        ),
+    ];
+
+    let mut tool = WapTool::new(ToolConfig::builder().no_weapons().build());
+    tool.enable_memory_cache();
+    let cold = tool.analyze_sources(&base);
+    for page in ["page_a.php", "page_b.php"] {
+        assert!(
+            cold.findings
+                .iter()
+                .any(|f| f.candidate.file.as_deref() == Some(page)),
+            "cross-file taint through the helper must flag {page}"
+        );
+    }
+    let warm = tool.analyze_sources(&base);
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    assert_eq!(warm.cache.misses, 0, "{:?}", warm.cache);
+
+    // edit exactly one function's body
+    let mut edited = base.clone();
+    edited[0].1 = "<?php\nfunction fetch_a() { return $_GET['a_changed']; }\n".to_string();
+
+    let rescan = tool.analyze_sources(&edited);
+    let cold_edited =
+        WapTool::new(ToolConfig::builder().no_weapons().build()).analyze_sources(&edited);
+    assert_eq!(
+        fingerprint(&cold_edited),
+        fingerprint(&rescan),
+        "warm rescan after the edit diverged from a cold run"
+    );
+
+    // decl stage:     only lib_a.php's content changed       → 1 miss, 3 hits
+    // pass stage:     lib_a.php + dependent page_a.php re-key → 2 misses, 2 hits
+    // findings stage: only page_a.php's group re-keys         → 1 miss, 1 hit
+    // page_b.php and lib_b.php never recompute anything: an app-wide
+    // functions digest would have missed all four pass entries instead.
+    assert_eq!(rescan.cache.misses, 4, "{:?}", rescan.cache);
+    assert_eq!(rescan.cache.hits, 6, "{:?}", rescan.cache);
+}
+
 /// The second-order (stored XSS) pass caches its own pass entries; warm
 /// runs must reproduce it exactly, including the store→fetch trigger.
 #[test]

@@ -46,6 +46,78 @@ fn parse_print_roundtrip_converges_across_seeds() {
     assert!(files >= 40, "corpus too small to be meaningful: {files} files");
 }
 
+/// Splitmix64 — a tiny self-contained generator so this property needs no
+/// corpus or rand crate: it exercises the interner + arena front end alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// An identifier with seed-dependent case per letter, so symbols whose
+    /// lowercase forms collide (`Render`, `RENDER`, `render`) all appear.
+    fn ident(&mut self, stem: &str) -> String {
+        stem.chars()
+            .map(|c| {
+                if self.next() % 2 == 0 {
+                    c.to_ascii_uppercase()
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Interning + arena round-trip: identifiers flow source → lexer → interner
+/// → arena AST → printer, and the printed bytes must be a fixed point under
+/// re-parsing. Mixed-case identifiers additionally pin down that the
+/// printer emits the symbol's original spelling, never the precomputed
+/// lowercase twin the engine uses for case-insensitive lookups.
+#[test]
+fn interned_identifiers_roundtrip_byte_for_byte_across_seeds() {
+    for seed in [3u64, 17, 101, 65537, 0xDEAD_BEEF] {
+        let mut rng = Rng(seed);
+        let n_funcs = 2 + (rng.next() % 4) as usize;
+        let mut names = Vec::new();
+        let mut src = String::from("<?php\n");
+        for i in 0..n_funcs {
+            let name = format!("{}_{i}", rng.ident("helper_fn"));
+            let var = rng.ident("localvar");
+            src.push_str(&format!(
+                "function {name}($a, $b) {{ ${var} = $a . $b; return ${var}; }}\n"
+            ));
+            names.push(name);
+        }
+        for (i, name) in names.iter().enumerate() {
+            src.push_str(&format!("$v{i} = {name}($_GET['k{i}'], 'lit');\n"));
+            src.push_str(&format!(
+                "mysql_query(\"SELECT * FROM t WHERE c = '$v{i}'\");\n"
+            ));
+            src.push_str(&format!("echo htmlentities($v{i});\n"));
+        }
+
+        let program = parse(&src).unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+        let printed = print_program(&program);
+        for name in &names {
+            assert!(
+                printed.contains(name.as_str()),
+                "seed {seed}: printed form lost the original spelling of {name}"
+            );
+        }
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}"));
+        let reprinted = print_program(&reparsed);
+        assert_eq!(printed, reprinted, "seed {seed}: printing is not a fixed point");
+        assert_eq!(content_hash(&printed), content_hash(&reprinted));
+    }
+}
+
 #[test]
 fn roundtrip_holds_for_the_lint_fixture_and_cfg_shapes() {
     // hand-written shapes the corpus generator does not emit: guard
