@@ -80,6 +80,10 @@ struct Measurement {
     findings: usize,
     cold_loc_per_s: f64,
     warm_loc_per_s: f64,
+    /// Cold local cache reading through a warm peer replica — reported
+    /// for trend-watching but outside the gate (it measures loopback
+    /// HTTP as much as the pipeline).
+    warm_remote_loc_per_s: f64,
 }
 
 impl Measurement {
@@ -89,12 +93,13 @@ impl Measurement {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2}\n}}\n",
+            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2}\n}}\n",
             SCHEMA,
             self.total_loc,
             self.findings,
             self.cold_loc_per_s,
             self.warm_loc_per_s,
+            self.warm_remote_loc_per_s,
             self.warm_speedup()
         )
     }
@@ -126,12 +131,7 @@ fn measure() -> Measurement {
     // CFG/lint pass cost, reported but outside the gate: the pass is
     // compiled in yet off by default, so the gated sweeps above never
     // pay for it
-    let guarded = WapTool::new(
-        ToolConfig::builder()
-            .jobs(1)
-            .guard_attributes(true)
-            .build(),
-    );
+    let guarded = WapTool::new(ToolConfig::builder().jobs(1).guard_attributes(true).build());
     let mut guarded_report = guarded.analyze_sources(&sources);
     guarded.apply_lint(&mut guarded_report, &sources);
     println!(
@@ -150,11 +150,49 @@ fn measure() -> Measurement {
     });
     assert_eq!(findings, warm_findings, "cold and warm findings diverged");
 
+    // fleet sweep: a replica with a cold local cache reading through a
+    // peer whose cache is fully warm — every entry arrives over loopback
+    // HTTP. Reported, not gated.
+    let peer_dir = std::env::temp_dir().join(format!("wap-ci-bench-peer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&peer_dir);
+    WapTool::new(ToolConfig::builder().jobs(1).cache_dir(&peer_dir).build())
+        .analyze_sources(&sources); // warm the peer's disk cache
+    let server = wap_serve::Server::bind(&wap_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_dir: Some(peer_dir.clone()),
+        ..wap_serve::ServeConfig::default()
+    })
+    .expect("bind bench peer");
+    let handle = server.handle().expect("peer handle");
+    let join = std::thread::spawn(move || server.run());
+    let peer_url = format!("http://{}", handle.addr());
+    let (remote_secs, remote_findings) = best_secs(REPS, || {
+        // fresh tool per rep: local tiers start cold, so every hit is
+        // genuinely served by the peer
+        let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
+        let backend = wap_cache::RemoteBackend::new(&peer_url).expect("peer url");
+        tool.set_cache_store(
+            wap_cache::CacheStore::in_memory().with_remote(std::sync::Arc::new(backend)),
+        );
+        let report = tool.analyze_sources(&sources);
+        assert!(
+            report.cache.remote_hits > 0,
+            "remote-warm sweep never reached the peer"
+        );
+        report.findings.len()
+    });
+    assert_eq!(findings, remote_findings, "remote-warm findings diverged");
+    handle.shutdown();
+    let _ = join.join();
+    let _ = std::fs::remove_dir_all(&peer_dir);
+
     Measurement {
         total_loc,
         findings,
         cold_loc_per_s: total_loc as f64 / cold_secs,
         warm_loc_per_s: total_loc as f64 / warm_secs,
+        warm_remote_loc_per_s: total_loc as f64 / remote_secs,
     }
 }
 
@@ -282,12 +320,13 @@ fn main() -> ExitCode {
 
     let measured = measure();
     println!(
-        "ci_bench: {} LoC, {} findings, cold {:.1} LoC/s, warm {:.1} LoC/s ({:.2}x)",
+        "ci_bench: {} LoC, {} findings, cold {:.1} LoC/s, warm {:.1} LoC/s ({:.2}x), remote-warm {:.1} LoC/s (not gated)",
         measured.total_loc,
         measured.findings,
         measured.cold_loc_per_s,
         measured.warm_loc_per_s,
-        measured.warm_speedup()
+        measured.warm_speedup(),
+        measured.warm_remote_loc_per_s
     );
 
     if write_baseline {

@@ -1,0 +1,506 @@
+//! Pluggable storage backends behind [`crate::CacheStore`].
+//!
+//! The store's tiering, framing, checksum verification, and statistics
+//! live in [`crate::store`]; a backend only moves opaque *framed* bytes
+//! (magic + version + checksum + payload) in and out of some medium.
+//! Because verification happens above the backend, a backend can be
+//! arbitrarily untrustworthy — a flaky disk, a peer on the network —
+//! and the worst it can do is cost a recompute, never correctness.
+//!
+//! Two backends ship:
+//!
+//! - [`LocalDirBackend`] — the original on-disk layout
+//!   (`<root>/v1/<fanout>/<key>`, temp-file + atomic rename writes);
+//! - [`RemoteBackend`] — a deliberately small HTTP/1.1 client speaking
+//!   the content-addressed `GET/PUT/HEAD /v1/cache/{key}` protocol that
+//!   `wap serve` itself exposes, so replicas can peer without any new
+//!   infrastructure. Requests carry a connect timeout, an I/O timeout,
+//!   and one retry; every failure surfaces as [`Lookup::Error`] and the
+//!   store degrades to the local/cold path.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Directory name under a local cache root for the current format
+/// generation (bumped with [`crate::ENTRY_FORMAT_VERSION`]).
+pub(crate) const GENERATION_DIR: &str = "v1";
+
+/// The outcome of asking a backend for a key.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The backend holds framed bytes for this key (still unverified —
+    /// the store checks magic/version/checksum above this layer).
+    Found(Vec<u8>),
+    /// The backend definitively has no entry for this key.
+    Absent,
+    /// The backend could not answer (I/O error, timeout, protocol
+    /// violation). Distinct from [`Lookup::Absent`] so the store can
+    /// count remote errors separately from remote misses.
+    Error(String),
+}
+
+/// One storage medium for framed cache entries.
+///
+/// Implementations must be cheap to share across threads; the store
+/// calls them concurrently from every analysis worker. All methods are
+/// infallible from the caller's point of view: `load` reports trouble
+/// through [`Lookup::Error`], `store` through its `Err` (which the
+/// store counts but never propagates — the cache is an optimization).
+pub trait CacheBackend: Send + Sync + fmt::Debug {
+    /// Fetches the framed bytes stored under `key`, if any.
+    fn load(&self, key: &str) -> Lookup;
+    /// Stores framed bytes under `key`, overwriting any prior entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the entry could not be
+    /// persisted; the store counts it and moves on.
+    fn store(&self, key: &str, framed: &[u8]) -> Result<(), String>;
+    /// Removes the entry under `key` (best effort; absent is fine).
+    fn remove(&self, key: &str);
+    /// A short human-readable description for logs and errors.
+    fn describe(&self) -> String;
+}
+
+/// Accepts exactly the keys the pipeline generates (hex digests) plus
+/// the simple alphanumeric keys tests use. Anything else — path
+/// separators, dots, empty, oversized — is rejected before it can touch
+/// a filesystem path or a request line. Shared by the local backend and
+/// by `wap serve`'s `/v1/cache/{key}` routes.
+#[must_use]
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= 128
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// The on-disk backend: one file per key under
+/// `<root>/v1/<first-two-chars>/<key>`, written via temp file + atomic
+/// rename so concurrent or crashed writers can at worst leave a stale
+/// temp file, never a torn entry.
+#[derive(Debug, Clone)]
+pub struct LocalDirBackend {
+    root: PathBuf,
+}
+
+impl LocalDirBackend {
+    /// A backend rooted at `root` (created lazily on first store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LocalDirBackend { root: root.into() }
+    }
+
+    /// The cache root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file path an entry for `key` lives at.
+    #[must_use]
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        // keys are 64-char hex digests; anything shorter still fans out safely
+        let (fan, _) = key.split_at(key.len().min(2));
+        self.root.join(GENERATION_DIR).join(fan).join(key)
+    }
+}
+
+impl CacheBackend for LocalDirBackend {
+    fn load(&self, key: &str) -> Lookup {
+        if !valid_key(key) {
+            return Lookup::Absent;
+        }
+        match std::fs::read(self.entry_path(key)) {
+            Ok(raw) => Lookup::Found(raw),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Lookup::Absent,
+            Err(e) => Lookup::Error(format!("reading {key}: {e}")),
+        }
+    }
+
+    fn store(&self, key: &str, framed: &[u8]) -> Result<(), String> {
+        if !valid_key(key) {
+            return Err(format!("invalid cache key {key:?}"));
+        }
+        let path = self.entry_path(key);
+        let parent = path.parent().ok_or("entry path has no parent")?;
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {key} dir: {e}"))?;
+        // unique temp name per thread so concurrent writers never collide;
+        // rename is atomic within one filesystem
+        let tmp = parent.join(format!(
+            ".tmp-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let result = std::fs::write(&tmp, framed)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("writing {key}: {e}"));
+        let _ = std::fs::remove_file(&tmp);
+        result
+    }
+
+    fn remove(&self, key: &str) {
+        if valid_key(key) {
+            let _ = std::fs::remove_file(self.entry_path(key));
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("local dir {}", self.root.display())
+    }
+}
+
+/// Default time allowed for a TCP connect to the peer.
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Default time allowed for each read/write on an established connection.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A cache peer reached over HTTP: `GET/PUT/HEAD
+/// <base>/v1/cache/{key}`, one request per connection
+/// (`Connection: close`), bodies delimited by `Content-Length`.
+///
+/// Transport failures get a single retry; after that they surface as
+/// [`Lookup::Error`] / `Err` and the store falls back to its local
+/// tiers. The client never interprets the bytes it carries — frame
+/// verification stays in the store, so a corrupt or truncated peer
+/// response is caught by the same checksum path that guards the disk.
+#[derive(Clone)]
+pub struct RemoteBackend {
+    /// `host:port` used both for the connection and the `Host` header.
+    host: String,
+    /// Path prefix in front of `/v1/cache/` (usually empty).
+    prefix: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("host", &self.host)
+            .field("prefix", &self.prefix)
+            .finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Builds a client for the peer at `base`, e.g.
+    /// `http://127.0.0.1:8080`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for URLs that are not plain `http://host:port`
+    /// (optionally with a path prefix). TLS is a reverse proxy's job,
+    /// matching `wap serve` itself.
+    pub fn new(base: &str) -> Result<RemoteBackend, String> {
+        let rest = base
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("cache peer {base:?} must be an http:// URL"))?;
+        let (host, prefix) = match rest.split_once('/') {
+            Some((h, p)) => (h, format!("/{}", p.trim_end_matches('/'))),
+            None => (rest, String::new()),
+        };
+        let host = host.trim_end_matches('/');
+        if host.is_empty() {
+            return Err(format!("cache peer {base:?} has no host"));
+        }
+        Ok(RemoteBackend {
+            host: host.to_string(),
+            prefix: if prefix == "/" { String::new() } else { prefix },
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            io_timeout: DEFAULT_IO_TIMEOUT,
+        })
+    }
+
+    /// Overrides both timeouts (tests use short ones against
+    /// black-holed peers).
+    #[must_use]
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// The peer's `host:port`.
+    #[must_use]
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Asks the peer whether it holds `key` (a `HEAD` request).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        matches!(self.request_with_retry("HEAD", key, None), Ok((200, _)))
+    }
+
+    /// One full request/response exchange.
+    fn request(
+        &self,
+        method: &str,
+        key: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let addr = self
+            .host
+            .to_socket_addrs()
+            .map_err(|e| format!("resolving {}: {e}", self.host))?
+            .next()
+            .ok_or_else(|| format!("{} resolves to no address", self.host))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| format!("connecting {}: {e}", self.host))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(|e| format!("configuring socket: {e}"))?;
+        let mut head = format!(
+            "{method} {}/v1/cache/{key} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.prefix, self.host
+        );
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/octet-stream\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.unwrap_or(&[])))
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("sending to {}: {e}", self.host))?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("reading from {}: {e}", self.host))?;
+        parse_response(&raw).map_err(|e| format!("response from {}: {e}", self.host))
+    }
+
+    /// [`RemoteBackend::request`] with a single retry on transport
+    /// errors — a peer mid-restart or a dropped connection gets one
+    /// second chance before the store degrades.
+    fn request_with_retry(
+        &self,
+        method: &str,
+        key: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        match self.request(method, key, body) {
+            Ok(r) => Ok(r),
+            Err(_) => self.request(method, key, body),
+        }
+    }
+}
+
+/// Splits a raw HTTP/1.1 response into (status, body). Honors
+/// `Content-Length` when present: a shorter-than-promised body is a
+/// transport error (truncated mid-flight), a longer one is trimmed.
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("no header terminator")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-UTF-8 header")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut body = raw[head_end + 4..].to_vec();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                let want: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+                if body.len() < want {
+                    return Err(format!("truncated body: {} of {want} bytes", body.len()));
+                }
+                body.truncate(want);
+            }
+        }
+    }
+    Ok((status, body))
+}
+
+impl CacheBackend for RemoteBackend {
+    fn load(&self, key: &str) -> Lookup {
+        if !valid_key(key) {
+            return Lookup::Absent;
+        }
+        match self.request_with_retry("GET", key, None) {
+            Ok((200, body)) => Lookup::Found(body),
+            Ok((404, _)) => Lookup::Absent,
+            Ok((status, _)) => Lookup::Error(format!("GET {key}: HTTP {status}")),
+            Err(e) => Lookup::Error(e),
+        }
+    }
+
+    fn store(&self, key: &str, framed: &[u8]) -> Result<(), String> {
+        if !valid_key(key) {
+            return Err(format!("invalid cache key {key:?}"));
+        }
+        match self.request_with_retry("PUT", key, Some(framed)) {
+            Ok((200 | 201 | 204, _)) => Ok(()),
+            Ok((status, _)) => Err(format!("PUT {key}: HTTP {status}")),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn remove(&self, _key: &str) {
+        // the protocol is deliberately append-only (no DELETE): a peer
+        // prunes its own corrupt entries, and a bad remote payload is
+        // simply overwritten by the next write-back
+    }
+
+    fn describe(&self) -> String {
+        format!("remote peer http://{}{}", self.host, self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn key_validation_rejects_traversal_and_junk() {
+        assert!(valid_key(&"a".repeat(64)));
+        assert!(valid_key("decl-0123_ABC"));
+        assert!(!valid_key(""));
+        assert!(!valid_key(&"a".repeat(129)));
+        assert!(!valid_key("../../etc/passwd"));
+        assert!(!valid_key("a/b"));
+        assert!(!valid_key(".hidden"));
+        assert!(!valid_key("a b"));
+    }
+
+    #[test]
+    fn local_dir_round_trip_and_remove() {
+        let root = std::env::temp_dir().join(format!("wap-backend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let b = LocalDirBackend::new(&root);
+        assert!(matches!(b.load("abc123"), Lookup::Absent));
+        b.store("abc123", b"framed bytes").unwrap();
+        match b.load("abc123") {
+            Lookup::Found(raw) => assert_eq!(raw, b"framed bytes"),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert!(b.entry_path("abc123").starts_with(&root));
+        b.remove("abc123");
+        assert!(matches!(b.load("abc123"), Lookup::Absent));
+        // invalid keys never touch the filesystem
+        assert!(matches!(b.load("../oops"), Lookup::Absent));
+        assert!(b.store("../oops", b"x").is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn remote_url_parsing() {
+        let b = RemoteBackend::new("http://127.0.0.1:8080").unwrap();
+        assert_eq!(b.host(), "127.0.0.1:8080");
+        assert_eq!(b.prefix, "");
+        let b = RemoteBackend::new("http://cache.internal:9000/wap/").unwrap();
+        assert_eq!(b.host(), "cache.internal:9000");
+        assert_eq!(b.prefix, "/wap");
+        assert!(RemoteBackend::new("https://no.tls").is_err());
+        assert!(RemoteBackend::new("127.0.0.1:8080").is_err());
+        assert!(RemoteBackend::new("http://").is_err());
+    }
+
+    /// Serves `responses` (one per connection) on an ephemeral port.
+    fn fake_peer(responses: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<Vec<Vec<u8>>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for response in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let n = stream.read(&mut buf).unwrap();
+                seen.push(buf[..n].to_vec());
+                stream.write_all(&response).unwrap();
+            }
+            seen
+        });
+        (format!("http://{addr}"), join)
+    }
+
+    fn http_200(body: &[u8]) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn remote_get_maps_statuses() {
+        let (base, join) = fake_peer(vec![
+            http_200(b"framed"),
+            b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n".to_vec(),
+        ]);
+        let b = RemoteBackend::new(&base).unwrap();
+        match b.load(&"a".repeat(64)) {
+            Lookup::Found(raw) => assert_eq!(raw, b"framed"),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert!(matches!(b.load(&"b".repeat(64)), Lookup::Absent));
+        assert!(matches!(b.load(&"c".repeat(64)), Lookup::Error(_)));
+        let seen = join.join().unwrap();
+        assert!(seen[0].starts_with(b"GET /v1/cache/aaaa"));
+    }
+
+    #[test]
+    fn remote_truncated_body_is_a_transport_error() {
+        // promises 100 bytes, delivers 5: must surface as Error, and the
+        // client retries once (hence two identical canned responses)
+        let short = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nstub!".to_vec();
+        let (base, join) = fake_peer(vec![short.clone(), short]);
+        let b = RemoteBackend::new(&base).unwrap();
+        assert!(matches!(b.load(&"d".repeat(64)), Lookup::Error(_)));
+        assert_eq!(
+            join.join().unwrap().len(),
+            2,
+            "one retry after the first failure"
+        );
+    }
+
+    #[test]
+    fn remote_put_round_trip() {
+        let (base, join) = fake_peer(vec![
+            b"HTTP/1.1 201 Created\r\nContent-Length: 0\r\n\r\n".to_vec()
+        ]);
+        let b = RemoteBackend::new(&base).unwrap();
+        b.store(&"e".repeat(64), b"payload-bytes").unwrap();
+        let seen = join.join().unwrap();
+        let text = String::from_utf8_lossy(&seen[0]).to_string();
+        assert!(text.starts_with("PUT /v1/cache/eeee"), "{text}");
+        assert!(text.contains("Content-Length: 13"), "{text}");
+        assert!(text.ends_with("payload-bytes"), "{text}");
+    }
+
+    #[test]
+    fn unreachable_peer_fails_fast_not_forever() {
+        // a port nothing listens on: connect is refused immediately
+        let b = RemoteBackend::new("http://127.0.0.1:1")
+            .unwrap()
+            .with_timeouts(Duration::from_millis(200), Duration::from_millis(200));
+        let t = std::time::Instant::now();
+        assert!(matches!(b.load(&"f".repeat(64)), Lookup::Error(_)));
+        assert!(b.store(&"f".repeat(64), b"x").is_err());
+        assert!(!b.contains(&"f".repeat(64)));
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "failures must be bounded by the timeouts"
+        );
+    }
+}

@@ -7,8 +7,13 @@
 //!
 //! - [`codec`] — a total (never-panicking) length-prefixed binary codec
 //!   for the artifacts crossing the cache boundary;
-//! - [`store`] — a content-addressed, versioned, checksummed on-disk
-//!   store with an in-memory overlay and thread-safe hit/miss counters.
+//! - [`store`] — a content-addressed, versioned, checksummed store with
+//!   an in-memory overlay, thread-safe hit/miss counters, and tiered
+//!   lookups (memory → persistent backend → optional remote peer);
+//! - [`backend`] — the pluggable storage layer: the [`CacheBackend`]
+//!   trait, the default on-disk [`LocalDirBackend`], and the
+//!   [`RemoteBackend`] HTTP client that lets `wap serve` replicas share
+//!   one warm cache.
 //!
 //! What to cache and when a cached entry is still valid is decided by the
 //! analysis crates (`wap-taint` records dependencies, `wap-core`
@@ -25,8 +30,10 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
 pub mod store;
 
+pub use backend::{valid_key, CacheBackend, LocalDirBackend, Lookup, RemoteBackend};
 pub use codec::{CodecError, Reader, Writer};
-pub use store::{CacheStats, CacheStatsSnapshot, CacheStore, ENTRY_FORMAT_VERSION};
+pub use store::{CacheStats, CacheStatsSnapshot, CacheStore, CacheTier, ENTRY_FORMAT_VERSION};

@@ -1,16 +1,17 @@
-//! Versioned, checksummed, content-addressed on-disk store with an
-//! in-memory overlay.
+//! Versioned, checksummed, content-addressed store with tiered,
+//! pluggable backends.
 //!
-//! Layout on disk:
+//! A store layers up to three tiers, probed in order:
 //!
-//! ```text
-//! <cache-dir>/
-//!   v1/                 # bumped when ENTRY_FORMAT_VERSION changes
-//!     3f/               # first two hex chars of the key (fan-out)
-//!       3fa9...e1       # one entry file per key
-//! ```
+//! 1. **memory** — a process-wide overlay shared by every clone, so the
+//!    second lookup of a key within one process never touches a backend;
+//! 2. **persistent** — a [`CacheBackend`], by default the on-disk
+//!    [`LocalDirBackend`] layout (`<dir>/v1/<fanout>/<key>`);
+//! 3. **remote** — an optional peer backend (read-through with the
+//!    persistent tier as L1; writes are replicated asynchronously by a
+//!    background write-back thread so scans never wait on the network).
 //!
-//! Each entry file is framed as:
+//! Each entry is framed as:
 //!
 //! ```text
 //! magic "WAPC" | format version u32 | payload blake2s-256 (32 bytes) | payload
@@ -19,21 +20,21 @@
 //! [`CacheStore::get`] verifies the frame and checksum and returns `None`
 //! for anything that does not check out — truncated files, garbage,
 //! entries written by an older format — bumping the `corrupt_discarded`
-//! counter (version mismatches count as `invalidations`). It never panics
-//! and never returns unverified bytes.
-//!
-//! Writes go through a temp file + atomic rename so a crashed or
-//! concurrent run can at worst leave a stale temp file, never a torn
-//! entry. The in-memory overlay means the second lookup of the same key
-//! within one process (e.g. a corpus with duplicated include files) is
-//! served without touching disk.
+//! counter (version mismatches count as `invalidations`). Remote bytes
+//! pass through exactly the same verification, so a corrupt, truncated,
+//! or malicious peer response degrades to the local/cold path; it can
+//! never flip a finding. The store never panics and never returns
+//! unverified bytes.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use wap_php::Blake2s;
+
+use crate::backend::{CacheBackend, LocalDirBackend, Lookup};
 
 /// Magic bytes identifying a cache entry file.
 const MAGIC: &[u8; 4] = b"WAPC";
@@ -42,8 +43,9 @@ const MAGIC: &[u8; 4] = b"WAPC";
 /// old entries are then discarded on read.
 pub const ENTRY_FORMAT_VERSION: u32 = 1;
 
-/// Directory name under the cache root for the current format generation.
-const GENERATION_DIR: &str = "v1";
+/// How long [`CacheStore::flush_remote`] waits for the write-back queue
+/// before giving up (replication is best-effort, a flush must not hang).
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Counters describing cache behaviour over the lifetime of a store.
 /// All counters are monotonic and thread-safe; the pipeline copies them
@@ -55,6 +57,9 @@ pub struct CacheStats {
     invalidations: AtomicU64,
     corrupt_discarded: AtomicU64,
     stored: AtomicU64,
+    remote_hits: AtomicU64,
+    remote_misses: AtomicU64,
+    remote_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheStats`], suitable for reports.
@@ -71,6 +76,13 @@ pub struct CacheStatsSnapshot {
     pub corrupt_discarded: u64,
     /// Entries written this run.
     pub stored: u64,
+    /// Entries served by the remote tier (also counted in `hits`).
+    pub remote_hits: u64,
+    /// Keys the remote tier was asked for and definitively lacked.
+    pub remote_misses: u64,
+    /// Remote requests that failed: transport errors, timeouts, bad
+    /// statuses, or peer payloads that failed frame verification.
+    pub remote_errors: u64,
 }
 
 impl CacheStats {
@@ -99,6 +111,21 @@ impl CacheStats {
         self.stored.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a hit served by the remote tier.
+    pub fn remote_hit(&self) {
+        self.remote_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a remote lookup that found nothing.
+    pub fn remote_miss(&self) {
+        self.remote_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed remote request (transport or verification).
+    pub fn remote_error(&self) {
+        self.remote_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     #[must_use]
     pub fn snapshot(&self) -> CacheStatsSnapshot {
@@ -108,24 +135,11 @@ impl CacheStats {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             corrupt_discarded: self.corrupt_discarded.load(Ordering::Relaxed),
             stored: self.stored.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_misses: self.remote_misses.load(Ordering::Relaxed),
+            remote_errors: self.remote_errors.load(Ordering::Relaxed),
         }
     }
-}
-
-/// The persistent cache: disk entries under a versioned directory plus an
-/// in-process overlay. Cloning is cheap (`Arc` inside) and clones share
-/// the overlay and counters, so one store can be handed to every worker.
-#[derive(Debug, Clone)]
-pub struct CacheStore {
-    inner: Arc<StoreInner>,
-}
-
-#[derive(Debug)]
-struct StoreInner {
-    /// Root directory; `None` for a purely in-memory store.
-    dir: Option<PathBuf>,
-    mem: Mutex<HashMap<String, Arc<Vec<u8>>>>,
-    stats: CacheStats,
 }
 
 impl CacheStatsSnapshot {
@@ -142,31 +156,174 @@ impl CacheStatsSnapshot {
                 .corrupt_discarded
                 .saturating_sub(earlier.corrupt_discarded),
             stored: self.stored.saturating_sub(earlier.stored),
+            remote_hits: self.remote_hits.saturating_sub(earlier.remote_hits),
+            remote_misses: self.remote_misses.saturating_sub(earlier.remote_misses),
+            remote_errors: self.remote_errors.saturating_sub(earlier.remote_errors),
+        }
+    }
+}
+
+/// Which tier served a [`CacheStore::probe`] hit. Callers that only
+/// need the payload use [`CacheStore::get`]; the pipeline uses the tier
+/// to label its observability events (`cache_hit` vs `remote_cache_hit`)
+/// without knowing anything about the backends underneath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-process overlay.
+    Memory,
+    /// The persistent backend (local dir by default).
+    Local,
+    /// The remote peer backend.
+    Remote,
+}
+
+/// The persistent cache: tiered backends plus an in-process overlay.
+/// Cloning is cheap (`Arc` inside) and clones share the overlay and
+/// counters, so one store can be handed to every worker.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    inner: Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    /// Root directory when the persistent tier is a local dir (kept for
+    /// [`CacheStore::dir`]); `None` for purely in-memory or custom
+    /// backends.
+    dir: Option<PathBuf>,
+    /// The persistent tier; `None` for a purely in-memory store.
+    persistent: Option<Box<dyn CacheBackend>>,
+    /// The optional remote tier with its write-back machinery.
+    remote: Option<RemoteTier>,
+    mem: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    stats: Arc<CacheStats>,
+}
+
+/// The remote tier: the peer backend plus the asynchronous write-back
+/// queue. Reads go straight to the backend (the caller is already off
+/// the hot path when it reaches the remote tier); writes are enqueued
+/// and shipped by one background thread so `put` never blocks on the
+/// network.
+#[derive(Debug)]
+struct RemoteTier {
+    backend: Arc<dyn CacheBackend>,
+    queue: mpsc::Sender<(String, Vec<u8>)>,
+    /// (`in-flight count`, `drained signal`) for [`CacheStore::flush_remote`].
+    pending: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl RemoteTier {
+    fn spawn(backend: Arc<dyn CacheBackend>, stats: Arc<CacheStats>) -> RemoteTier {
+        let (queue, rx) = mpsc::channel::<(String, Vec<u8>)>();
+        let pending: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let thread_backend = backend.clone();
+        let thread_pending = pending.clone();
+        // the thread owns the receiver and exits when the last sender
+        // (held by the store) drops; if the spawn itself fails the
+        // receiver is dropped with the closure and every enqueue backs
+        // out through its send error
+        drop(
+            std::thread::Builder::new()
+                .name("wap-cache-writeback".to_string())
+                .spawn(move || {
+                    while let Ok((key, framed)) = rx.recv() {
+                        if thread_backend.store(&key, &framed).is_err() {
+                            stats.remote_error();
+                        }
+                        let (count, drained) = &*thread_pending;
+                        *count.lock().unwrap() -= 1;
+                        drained.notify_all();
+                    }
+                }),
+        );
+        RemoteTier {
+            backend,
+            queue,
+            pending,
+        }
+    }
+
+    fn enqueue(&self, key: String, framed: Vec<u8>) {
+        let (count, _) = &*self.pending;
+        *count.lock().unwrap() += 1;
+        if self.queue.send((key, framed)).is_err() {
+            // write-back thread is gone; undo the accounting
+            *count.lock().unwrap() -= 1;
+        }
+    }
+
+    fn flush(&self) {
+        let (count, drained) = &*self.pending;
+        let deadline = Instant::now() + FLUSH_TIMEOUT;
+        let mut in_flight = count.lock().unwrap();
+        while *in_flight > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let (guard, _) = drained.wait_timeout(in_flight, left).unwrap();
+            in_flight = guard;
         }
     }
 }
 
 impl CacheStore {
-    /// Opens (and lazily creates) a store rooted at `dir`.
+    /// Opens (and lazily creates) a store rooted at `dir`, backed by the
+    /// default [`LocalDirBackend`].
     pub fn open(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
         CacheStore {
             inner: Arc::new(StoreInner {
-                dir: Some(dir.into()),
+                persistent: Some(Box::new(LocalDirBackend::new(&dir))),
+                dir: Some(dir),
+                remote: None,
                 mem: Mutex::new(HashMap::new()),
-                stats: CacheStats::default(),
+                stats: Arc::new(CacheStats::default()),
             }),
         }
     }
 
-    /// A store with no disk backing: entries live only for this process.
+    /// A store with no persistent backing: entries live only for this
+    /// process.
     pub fn in_memory() -> Self {
         CacheStore {
             inner: Arc::new(StoreInner {
                 dir: None,
+                persistent: None,
+                remote: None,
                 mem: Mutex::new(HashMap::new()),
-                stats: CacheStats::default(),
+                stats: Arc::new(CacheStats::default()),
             }),
         }
+    }
+
+    /// A store over an arbitrary persistent backend (for tests and
+    /// embedders plugging their own storage).
+    pub fn with_backend(backend: Box<dyn CacheBackend>) -> Self {
+        CacheStore {
+            inner: Arc::new(StoreInner {
+                dir: None,
+                persistent: Some(backend),
+                remote: None,
+                mem: Mutex::new(HashMap::new()),
+                stats: Arc::new(CacheStats::default()),
+            }),
+        }
+    }
+
+    /// Adds a remote tier: reads fall through memory and the persistent
+    /// tier to `backend` (verified hits populate both), writes replicate
+    /// asynchronously. Must be called before the store is cloned/shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store has already been cloned.
+    #[must_use]
+    pub fn with_remote(mut self, backend: Arc<dyn CacheBackend>) -> Self {
+        let inner =
+            Arc::get_mut(&mut self.inner).expect("with_remote must run before the store is shared");
+        inner.remote = Some(RemoteTier::spawn(backend, inner.stats.clone()));
+        self
     }
 
     /// The shared counters.
@@ -174,16 +331,23 @@ impl CacheStore {
         &self.inner.stats
     }
 
-    /// The on-disk root, if this store is persistent.
+    /// The on-disk root, if this store persists to a local dir.
     pub fn dir(&self) -> Option<&Path> {
         self.inner.dir.as_deref()
     }
 
+    /// Whether a remote tier is configured.
+    #[must_use]
+    pub fn has_remote(&self) -> bool {
+        self.inner.remote.is_some()
+    }
+
+    #[cfg(test)]
     fn entry_path(&self, key: &str) -> Option<PathBuf> {
-        let dir = self.inner.dir.as_ref()?;
-        // keys are 64-char hex digests; anything shorter still fans out safely
-        let (fan, _) = key.split_at(key.len().min(2));
-        Some(dir.join(GENERATION_DIR).join(fan).join(key))
+        self.inner
+            .dir
+            .as_ref()
+            .map(|d| LocalDirBackend::new(d).entry_path(key))
     }
 
     /// Looks up `key`, returning the verified payload or `None`.
@@ -192,49 +356,91 @@ impl CacheStore {
     /// `None` and bump the corresponding counter; the caller re-analyzes
     /// and overwrites.
     pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
-        if let Some(hit) = self.inner.mem.lock().unwrap().get(key).cloned() {
-            self.inner.stats.hit();
-            return Some(hit);
-        }
-        let Some(path) = self.entry_path(key) else {
-            self.inner.stats.miss();
-            return None;
-        };
-        let raw = match std::fs::read(&path) {
-            Ok(raw) => raw,
-            Err(_) => {
-                self.inner.stats.miss();
-                return None;
-            }
-        };
-        match verify_frame(&raw) {
-            FrameCheck::Ok(payload) => {
-                let payload = Arc::new(payload.to_vec());
-                self.inner
-                    .mem
-                    .lock()
-                    .unwrap()
-                    .insert(key.to_string(), payload.clone());
-                self.inner.stats.hit();
-                Some(payload)
-            }
-            FrameCheck::WrongVersion => {
-                self.inner.stats.invalidation();
-                let _ = std::fs::remove_file(&path);
-                None
-            }
-            FrameCheck::Corrupt => {
-                self.inner.stats.corrupt();
-                let _ = std::fs::remove_file(&path);
-                None
-            }
-        }
+        self.probe(key).map(|(payload, _)| payload)
     }
 
-    /// Stores `payload` under `key`, in memory and (when persistent) on
-    /// disk via temp file + rename. Disk failures are swallowed — the
-    /// cache is an optimization, never a correctness dependency — but the
-    /// in-memory layer always records the entry.
+    /// Like [`CacheStore::get`], but also reports which tier served the
+    /// hit, so callers can distinguish local warmth from peer warmth
+    /// without knowing what backends exist.
+    pub fn probe(&self, key: &str) -> Option<(Arc<Vec<u8>>, CacheTier)> {
+        if let Some(hit) = self.inner.mem.lock().unwrap().get(key).cloned() {
+            self.inner.stats.hit();
+            return Some((hit, CacheTier::Memory));
+        }
+        let has_remote = self.inner.remote.is_some();
+        if let Some(persistent) = &self.inner.persistent {
+            match persistent.load(key) {
+                Lookup::Found(raw) => match verify_frame(&raw) {
+                    FrameCheck::Ok(payload) => {
+                        let payload = Arc::new(payload.to_vec());
+                        self.inner
+                            .mem
+                            .lock()
+                            .unwrap()
+                            .insert(key.to_string(), payload.clone());
+                        self.inner.stats.hit();
+                        return Some((payload, CacheTier::Local));
+                    }
+                    FrameCheck::WrongVersion => {
+                        self.inner.stats.invalidation();
+                        persistent.remove(key);
+                        if !has_remote {
+                            return None;
+                        }
+                    }
+                    FrameCheck::Corrupt => {
+                        self.inner.stats.corrupt();
+                        persistent.remove(key);
+                        if !has_remote {
+                            return None;
+                        }
+                    }
+                },
+                // a read error is indistinguishable from absence for our
+                // purposes: fall through (to the remote tier, if any)
+                Lookup::Absent | Lookup::Error(_) => {}
+            }
+        }
+        if let Some(remote) = &self.inner.remote {
+            match remote.backend.load(key) {
+                Lookup::Found(raw) => match verify_frame(&raw) {
+                    FrameCheck::Ok(payload) => {
+                        let payload = Arc::new(payload.to_vec());
+                        self.inner
+                            .mem
+                            .lock()
+                            .unwrap()
+                            .insert(key.to_string(), payload.clone());
+                        // write-through: the persistent tier becomes an
+                        // L1 for this key, the next cold process finds it
+                        // without going back to the peer
+                        if let Some(persistent) = &self.inner.persistent {
+                            let _ = persistent.store(key, &raw);
+                        }
+                        self.inner.stats.remote_hit();
+                        self.inner.stats.hit();
+                        return Some((payload, CacheTier::Remote));
+                    }
+                    // a peer payload that fails verification is unusable
+                    // regardless of why (bit rot, truncation, foreign
+                    // format generation): count it and degrade
+                    FrameCheck::WrongVersion | FrameCheck::Corrupt => {
+                        self.inner.stats.remote_error();
+                    }
+                },
+                Lookup::Absent => self.inner.stats.remote_miss(),
+                Lookup::Error(_) => self.inner.stats.remote_error(),
+            }
+        }
+        self.inner.stats.miss();
+        None
+    }
+
+    /// Stores `payload` under `key`: always in memory, synchronously in
+    /// the persistent tier, and asynchronously replicated to the remote
+    /// tier. Backend failures are swallowed (counted for the remote
+    /// tier) — the cache is an optimization, never a correctness
+    /// dependency — but the in-memory layer always records the entry.
     pub fn put(&self, key: &str, payload: Vec<u8>) {
         let payload = Arc::new(payload);
         self.inner
@@ -243,25 +449,59 @@ impl CacheStore {
             .unwrap()
             .insert(key.to_string(), payload.clone());
         self.inner.stats.store();
-        let Some(path) = self.entry_path(key) else {
-            return;
-        };
-        let Some(parent) = path.parent() else { return };
-        if std::fs::create_dir_all(parent).is_err() {
+        if self.inner.persistent.is_none() && self.inner.remote.is_none() {
             return;
         }
         let framed = frame(&payload);
-        // unique temp name per thread so concurrent writers never collide;
-        // rename is atomic within one filesystem
-        let tmp = parent.join(format!(
-            ".tmp-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        if std::fs::write(&tmp, &framed).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        if let Some(remote) = &self.inner.remote {
+            remote.enqueue(key.to_string(), framed.clone());
         }
-        let _ = std::fs::remove_file(&tmp);
+        if let Some(persistent) = &self.inner.persistent {
+            let _ = persistent.store(key, &framed);
+        }
+    }
+
+    /// The framed bytes for `key`, served from the local tiers only —
+    /// this is what `wap serve` answers `GET /v1/cache/{key}` with. The
+    /// remote tier is deliberately not consulted (a peer asking us must
+    /// never cause us to ask a peer: no proxy chains, no cycles) and the
+    /// hit/miss counters are untouched (peer traffic is not this
+    /// process's scan behaviour).
+    #[must_use]
+    pub fn get_framed(&self, key: &str) -> Option<Vec<u8>> {
+        if let Some(payload) = self.inner.mem.lock().unwrap().get(key) {
+            return Some(frame(payload));
+        }
+        if let Some(persistent) = &self.inner.persistent {
+            if let Lookup::Found(raw) = persistent.load(key) {
+                if matches!(verify_frame(&raw), FrameCheck::Ok(_)) {
+                    return Some(raw);
+                }
+            }
+        }
+        None
+    }
+
+    /// Accepts framed bytes pushed by a peer (`PUT /v1/cache/{key}`).
+    /// The frame is verified before anything is stored; `false` means
+    /// the bytes were rejected. Accepted entries land in memory and the
+    /// persistent tier but are *not* re-replicated to the remote tier
+    /// (the pusher owns its own replication — no write loops).
+    pub fn put_framed(&self, key: &str, framed: &[u8]) -> bool {
+        let FrameCheck::Ok(payload) = verify_frame(framed) else {
+            return false;
+        };
+        let payload = Arc::new(payload.to_vec());
+        self.inner
+            .mem
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), payload);
+        self.inner.stats.store();
+        if let Some(persistent) = &self.inner.persistent {
+            let _ = persistent.store(key, framed);
+        }
+        true
     }
 
     /// Discards `key` as corrupt after the fact.
@@ -269,14 +509,25 @@ impl CacheStore {
     /// The frame checksum only proves the bytes survived disk; a payload
     /// can still fail artifact-level decoding (e.g. written by a buggy or
     /// foreign producer). Callers that hit such a payload report it here so
-    /// the entry is removed from memory and disk and counted as corrupt,
-    /// then recompute as if it were a miss.
+    /// the entry is removed from memory and the persistent tier and counted
+    /// as corrupt, then recompute as if it were a miss. The remote tier is
+    /// left alone — the peer guards its own entries, and the recompute's
+    /// write-back overwrites the bad entry anyway.
     pub fn reject(&self, key: &str) {
         self.inner.mem.lock().unwrap().remove(key);
-        if let Some(path) = self.entry_path(key) {
-            let _ = std::fs::remove_file(&path);
+        if let Some(persistent) = &self.inner.persistent {
+            persistent.remove(key);
         }
         self.inner.stats.corrupt();
+    }
+
+    /// Blocks until the asynchronous write-back queue has drained (or a
+    /// bounded timeout passes). Benchmarks and tests call this before
+    /// measuring a peer's warmth; servers never need to.
+    pub fn flush_remote(&self) {
+        if let Some(remote) = &self.inner.remote {
+            remote.flush();
+        }
     }
 
     /// Drops the in-memory overlay (used by tests to force disk reads).
@@ -285,6 +536,7 @@ impl CacheStore {
     }
 }
 
+/// Wraps `payload` in the `magic | version | checksum | payload` frame.
 fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + 4 + 32 + payload.len());
     out.extend_from_slice(MAGIC);
@@ -479,5 +731,140 @@ mod tests {
         assert_eq!(&**b.get("k").unwrap(), &[9]);
         assert_eq!(b.stats().snapshot().hits, 1);
         assert_eq!(a.stats().snapshot().hits, 1);
+    }
+
+    // ---- remote tier ----
+
+    /// An in-process stand-in for a peer: a mutable entry map plus a
+    /// switchable failure mode, so the store's tiering logic is tested
+    /// without sockets (the wire client has its own tests in `backend`).
+    #[derive(Debug, Default)]
+    struct StubPeer {
+        entries: Mutex<HashMap<String, Vec<u8>>>,
+        fail: Mutex<bool>,
+    }
+
+    impl CacheBackend for StubPeer {
+        fn load(&self, key: &str) -> Lookup {
+            if *self.fail.lock().unwrap() {
+                return Lookup::Error("stub peer down".to_string());
+            }
+            match self.entries.lock().unwrap().get(key) {
+                Some(raw) => Lookup::Found(raw.clone()),
+                None => Lookup::Absent,
+            }
+        }
+        fn store(&self, key: &str, framed: &[u8]) -> Result<(), String> {
+            if *self.fail.lock().unwrap() {
+                return Err("stub peer down".to_string());
+            }
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), framed.to_vec());
+            Ok(())
+        }
+        fn remove(&self, _key: &str) {}
+        fn describe(&self) -> String {
+            "stub peer".to_string()
+        }
+    }
+
+    #[test]
+    fn remote_hit_populates_memory_and_local_l1() {
+        let peer = Arc::new(StubPeer::default());
+        peer.store("k1", &frame(b"peer payload")).unwrap();
+        let dir = temp_dir("remote-hit");
+        let store = CacheStore::open(&dir).with_remote(peer);
+        let (payload, tier) = store.probe("k1").expect("served by the peer");
+        assert_eq!(&**payload, b"peer payload");
+        assert_eq!(tier, CacheTier::Remote);
+        // second probe: memory
+        assert_eq!(store.probe("k1").unwrap().1, CacheTier::Memory);
+        // after dropping memory: the L1 write-through serves it locally
+        store.clear_memory();
+        assert_eq!(store.probe("k1").unwrap().1, CacheTier::Local);
+        let s = store.stats().snapshot();
+        assert_eq!((s.hits, s.remote_hits, s.remote_errors), (3, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_remote_payload_degrades_to_miss() {
+        let peer = Arc::new(StubPeer::default());
+        // a frame with a flipped payload bit and a plain-garbage entry
+        let mut bad = frame(b"tampered");
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        peer.store("bad", &bad).unwrap();
+        peer.store("junk", b"not framed at all").unwrap();
+        // and an entry from a foreign format generation
+        let mut old = frame(b"elder");
+        old[4..8].copy_from_slice(&99u32.to_le_bytes());
+        peer.store("old", &old).unwrap();
+        let store = CacheStore::in_memory().with_remote(peer);
+        for key in ["bad", "junk", "old"] {
+            assert!(store.get(key).is_none(), "{key} must degrade to a miss");
+        }
+        let s = store.stats().snapshot();
+        assert_eq!(s.remote_errors, 3, "every unusable peer payload counted");
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn unreachable_remote_degrades_to_miss() {
+        let peer = Arc::new(StubPeer::default());
+        *peer.fail.lock().unwrap() = true;
+        let store = CacheStore::in_memory().with_remote(peer.clone());
+        assert!(store.get("k").is_none());
+        let s = store.stats().snapshot();
+        assert_eq!((s.remote_errors, s.misses), (1, 1));
+        // local writes still work while the peer is down; write-back
+        // failures are counted, not propagated
+        store.put("k", b"local survives".to_vec());
+        store.flush_remote();
+        assert_eq!(&**store.get("k").unwrap(), b"local survives");
+        assert!(store.stats().snapshot().remote_errors >= 2);
+    }
+
+    #[test]
+    fn write_back_replicates_framed_entries() {
+        let peer = Arc::new(StubPeer::default());
+        let store = CacheStore::in_memory().with_remote(peer.clone());
+        store.put("k2", b"replicated".to_vec());
+        store.flush_remote();
+        let raw = peer.entries.lock().unwrap().get("k2").unwrap().clone();
+        match verify_frame(&raw) {
+            FrameCheck::Ok(payload) => assert_eq!(payload, b"replicated"),
+            _ => panic!("peer must receive a valid frame"),
+        }
+    }
+
+    #[test]
+    fn framed_access_serves_and_verifies() {
+        let dir = temp_dir("framed");
+        let store = CacheStore::open(&dir);
+        assert!(store.get_framed("missing").is_none());
+        store.put("k3", b"served to peers".to_vec());
+        let raw = store.get_framed("k3").expect("framed from memory");
+        assert!(matches!(
+            verify_frame(&raw),
+            FrameCheck::Ok(b"served to peers")
+        ));
+        store.clear_memory();
+        let raw = store.get_framed("k3").expect("framed from disk");
+        // a fresh store accepts the frame wholesale...
+        let other = CacheStore::in_memory();
+        assert!(other.put_framed("k3", &raw));
+        assert_eq!(&**other.get("k3").unwrap(), b"served to peers");
+        // ...but never unverified bytes
+        let mut tampered = raw.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        assert!(!other.put_framed("k3-bad", &tampered));
+        assert!(!other.put_framed("k3-junk", b"garbage"));
+        assert!(other.get("k3-bad").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

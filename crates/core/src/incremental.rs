@@ -28,7 +28,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
-use wap_cache::{CacheStore, CodecError, Reader, Writer};
+use wap_cache::{CacheStore, CacheTier, CodecError, Reader, Writer};
 use wap_mining::{collect, intern_symptom_name, FeatureVector, Prediction};
 use wap_php::fingerprint::fields_hash;
 use wap_php::{content_hash, parse, Blake2s, ParseError, Program, Span, Symbol};
@@ -52,6 +52,17 @@ const CACHE_SCHEMA: &str = "core-cache-v2";
 /// version bump invalidates cached artifacts and changes the advertised
 /// tool version atomically — the two can never drift apart.
 const TOOL_VERSION_KEY: &str = wap_report::TOOL_VERSION;
+
+/// The observability event name for a cache hit served by `tier`.
+/// Peer-served hits are labeled distinctly so fleet traces show which
+/// warmth came over the wire; the probe sites themselves stay
+/// backend-agnostic — they never learn what storage answered.
+pub(crate) fn hit_event(tier: CacheTier) -> &'static str {
+    match tier {
+        CacheTier::Remote => "remote_cache_hit",
+        CacheTier::Memory | CacheTier::Local => "cache_hit",
+    }
+}
 
 fn decl_key(hash: &str) -> String {
     fields_hash(["decl", CACHE_SCHEMA, TOOL_VERSION_KEY, hash])
@@ -423,10 +434,10 @@ fn run_cached_pass(
     let mut cached: Vec<Option<PassArtifacts>> = keys
         .iter()
         .enumerate()
-        .map(|(i, k)| match store.get(k) {
-            Some(p) => match PassArtifacts::from_bytes(&p) {
+        .map(|(i, k)| match store.probe(k) {
+            Some((p, tier)) => match PassArtifacts::from_bytes(&p) {
                 Ok(a) => {
-                    obs.event_file("cache_hit", &files[i].name);
+                    obs.event_file(hit_event(tier), &files[i].name);
                     Some(a)
                 }
                 Err(_) => {
@@ -452,7 +463,9 @@ fn run_cached_pass(
             .filter(|(i, f)| cached[*i].is_none() || !f.decls.is_empty())
             .map(|(i, _)| i)
             .collect();
-        ensure_parsed(runtime, store, sources, files, programs, &want, parse_ns, obs)?;
+        ensure_parsed(
+            runtime, store, sources, files, programs, &want, parse_ns, obs,
+        )?;
     }
 
     let inputs: Vec<PassInput<'_>> = files
@@ -523,10 +536,10 @@ pub(crate) fn analyze_sources_cached(
     let mut infos: Vec<Option<DeclInfo>> = decl_keys
         .iter()
         .enumerate()
-        .map(|(i, key)| match store.get(key) {
-            Some(payload) => match decode_decl(&payload) {
+        .map(|(i, key)| match store.probe(key) {
+            Some((payload, tier)) => match decode_decl(&payload) {
                 Ok(info) => {
-                    obs.event_file("cache_hit", &sources[i].0);
+                    obs.event_file(hit_event(tier), &sources[i].0);
                     Some(info)
                 }
                 Err(_) => {
@@ -764,11 +777,11 @@ pub(crate) fn analyze_sources_cached(
     let mut slots: Vec<Option<Finding>> = candidates.iter().map(|_| None).collect();
     let mut miss_groups: Vec<usize> = Vec::new();
     for (gi, g) in groups.iter().enumerate() {
-        let decoded = match store.get(&g.key) {
-            Some(payload) => {
+        let decoded = match store.probe(&g.key) {
+            Some((payload, tier)) => {
                 match decode_findings(&payload, &g.digest, &candidates[g.start..g.end]) {
                     Ok(fs) => {
-                        obs.event_file("cache_hit", &files[g.file].name);
+                        obs.event_file(hit_event(tier), &files[g.file].name);
                         Some(fs)
                     }
                     Err(_) => {

@@ -270,7 +270,11 @@ fn trained_predictor(generation: PredictorGeneration, seed: u64) -> Arc<FalsePos
     type Memo = Mutex<HashMap<(PredictorGeneration, u64), Arc<FalsePositivePredictor>>>;
     static MEMO: OnceLock<Memo> = OnceLock::new();
     let memo = MEMO.get_or_init(Memo::default);
-    if let Some(p) = memo.lock().unwrap_or_else(|e| e.into_inner()).get(&(generation, seed)) {
+    if let Some(p) = memo
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&(generation, seed))
+    {
         return Arc::clone(p);
     }
     // Train outside the lock: concurrent first callers may both train,
@@ -351,6 +355,15 @@ impl WapTool {
     /// re-analyze only changed files.
     pub fn enable_memory_cache(&mut self) {
         self.cache = Some(CacheStore::in_memory());
+    }
+
+    /// Replaces the incremental cache store wholesale. This is how
+    /// embedders (notably `wap serve` with a `--cache-peer`) hand the
+    /// tool a store composed of non-default backends — tiered local +
+    /// remote, or a custom [`wap_cache::CacheBackend`]. The pipeline
+    /// never learns what backends exist; it only probes the store.
+    pub fn set_cache_store(&mut self, store: CacheStore) {
+        self.cache = Some(store);
     }
 
     /// The incremental cache store, when caching is enabled.
@@ -581,7 +594,12 @@ impl WapTool {
                     span: f.candidate.sink_span,
                     line: f.candidate.line,
                     class: f.candidate.class.acronym().to_string(),
-                    vars: f.candidate.carriers.iter().map(|c| Symbol::intern(c)).collect(),
+                    vars: f
+                        .candidate
+                        .carriers
+                        .iter()
+                        .map(|c| Symbol::intern(c))
+                        .collect(),
                 });
             }
         }
@@ -589,17 +607,14 @@ impl WapTool {
         // one task per file: cache lookup, else parse → lower → lint
         let per_file: Vec<(Vec<LintFinding>, u64, u64)> = runtime.run(sources.len(), |i| {
             let (name, src) = &sources[i];
-            let key = self
-                .cache
-                .as_ref()
-                .map(|_| {
-                    crate::incremental::cfg_lint_key(name, &wap_php::content_hash(src), &config_fp)
-                });
+            let key = self.cache.as_ref().map(|_| {
+                crate::incremental::cfg_lint_key(name, &wap_php::content_hash(src), &config_fp)
+            });
             if let (Some(store), Some(key)) = (&self.cache, &key) {
-                match store.get(key) {
-                    Some(payload) => match crate::incremental::decode_lint(&payload) {
+                match store.probe(key) {
+                    Some((payload, tier)) => match crate::incremental::decode_lint(&payload) {
                         Ok(findings) => {
-                            obs.event_file("cache_hit", name);
+                            obs.event_file(crate::incremental::hit_event(tier), name);
                             return (findings, 0, 0);
                         }
                         Err(_) => {
@@ -682,7 +697,11 @@ pub(crate) fn refine_with_cfg(
     cfgs: &wap_cfg::FileCfgs,
     candidate: &Candidate,
 ) {
-    let carriers: Vec<Symbol> = candidate.carriers.iter().map(|c| Symbol::intern(c)).collect();
+    let carriers: Vec<Symbol> = candidate
+        .carriers
+        .iter()
+        .map(|c| Symbol::intern(c))
+        .collect();
     let guarded: std::collections::BTreeSet<String> = cfgs
         .dominating_guards(candidate.sink_span, &carriers)
         .into_iter()
@@ -709,7 +728,12 @@ pub(crate) fn scan_stats(
     stats.set_phase_ns(Phase::Cache, cache_ns);
     if obs.enabled() {
         let traced = obs.collector().phase_totals(obs.id());
-        for phase in [Phase::SummaryMerge, Phase::TopLevelExec, Phase::Vote, Phase::Fix] {
+        for phase in [
+            Phase::SummaryMerge,
+            Phase::TopLevelExec,
+            Phase::Vote,
+            Phase::Fix,
+        ] {
             stats.set_phase_ns(phase, traced[phase.index()]);
         }
         stats.set_file_totals(obs.collector().file_totals(obs.id()));
@@ -862,7 +886,11 @@ mysql_query("SELECT * FROM t WHERE c = '$q'");
 
     #[test]
     fn traced_run_collects_spans_and_per_file_stats() {
-        let config = ToolConfig::builder().no_weapons().jobs(2).trace(true).build();
+        let config = ToolConfig::builder()
+            .no_weapons()
+            .jobs(2)
+            .trace(true)
+            .build();
         let tool = WapTool::new(config);
         let files = vec![
             src("one.php", "echo $_GET['a'];\n"),
@@ -881,7 +909,10 @@ mysql_query("SELECT * FROM t WHERE c = '$q'");
         // untraced run over the same sources is bit-identical
         let plain = WapTool::new(ToolConfig::builder().no_weapons().jobs(2).build())
             .analyze_sources(&files);
-        assert_eq!(format!("{:?}", plain.findings), format!("{:?}", report.findings));
+        assert_eq!(
+            format!("{:?}", plain.findings),
+            format!("{:?}", report.findings)
+        );
     }
 
     #[test]

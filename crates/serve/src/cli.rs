@@ -16,6 +16,11 @@ FLAGS:
     --addr <HOST:PORT>    bind address (default 127.0.0.1:8080; port 0 = ephemeral)
     --jobs <N>            analysis worker budget (default: WAP_JOBS env, then all cores)
     --cache-dir <DIR>     share a persistent incremental cache across scans
+    --cache-peer <URL>    read through to (and replicate into) a peer replica's
+                          cache; peer failures degrade to the local path
+    --peers <URL,URL,..>  fleet membership for consistent-hash job routing
+                          (requires --advertise; non-owned scans answer 307)
+    --advertise <URL>     this replica's own URL in the --peers list
     --queue <N>           admission-queue capacity (default 32; full queue answers 429)
     --workers <N>         concurrent scans (default 2); each gets jobs/workers threads
     --help                show this message
@@ -23,6 +28,8 @@ FLAGS:
 ENDPOINTS:
     POST /v1/scan?path=<dir>[&format=text|json|ndjson|sarif][&async=1]
     POST /v1/scan         (ustar body: scan an uploaded tree)
+    POST /v1/batch        (tar grouped by top dir, or a path manifest; NDJSON stream)
+    GET  /v1/cache/<key>  peer-served cache entry (also PUT and HEAD)
     GET  /v1/jobs/<id>    poll an async scan
     GET  /healthz         liveness
     GET  /metrics         Prometheus text exposition
@@ -59,6 +66,28 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
             "--cache-dir" => {
                 let d = it.next().ok_or("--cache-dir needs a directory")?;
                 config.cache_dir = Some(PathBuf::from(d));
+            }
+            "--cache-peer" => {
+                let u = it.next().ok_or("--cache-peer needs a URL")?;
+                config.cache_peer = Some(u);
+            }
+            "--peers" => {
+                let list = it
+                    .next()
+                    .ok_or("--peers needs a comma-separated URL list")?;
+                config.peers = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if config.peers.is_empty() {
+                    return Err("--peers lists no URLs".to_string());
+                }
+            }
+            "--advertise" => {
+                let u = it.next().ok_or("--advertise needs this replica's URL")?;
+                config.advertise = Some(u);
             }
             "--queue" => {
                 let v = it.next().ok_or("--queue needs a capacity")?;
@@ -176,6 +205,12 @@ mod tests {
             "5",
             "--workers",
             "3",
+            "--cache-peer",
+            "http://10.0.0.1:8080",
+            "--peers",
+            "http://10.0.0.1:8080, http://10.0.0.2:8080",
+            "--advertise",
+            "http://10.0.0.2:8080",
         ]))
         .unwrap();
         assert!(!help);
@@ -184,6 +219,15 @@ mod tests {
         assert_eq!(c.cache_dir, Some(PathBuf::from("/tmp/wc")));
         assert_eq!(c.queue_capacity, 5);
         assert_eq!(c.workers, 3);
+        assert_eq!(c.cache_peer.as_deref(), Some("http://10.0.0.1:8080"));
+        assert_eq!(
+            c.peers,
+            vec![
+                "http://10.0.0.1:8080".to_string(),
+                "http://10.0.0.2:8080".to_string()
+            ]
+        );
+        assert_eq!(c.advertise.as_deref(), Some("http://10.0.0.2:8080"));
     }
 
     #[test]
@@ -195,6 +239,9 @@ mod tests {
         assert!(parse_serve_args(args(&["--queue", "0"])).is_err());
         assert!(parse_serve_args(args(&["--workers", "none"])).is_err());
         assert!(parse_serve_args(args(&["--addr"])).is_err());
+        assert!(parse_serve_args(args(&["--cache-peer"])).is_err());
+        assert!(parse_serve_args(args(&["--peers", " , "])).is_err());
+        assert!(parse_serve_args(args(&["--advertise"])).is_err());
         let (_, help) = parse_serve_args(args(&["--help"])).unwrap();
         assert!(help);
     }

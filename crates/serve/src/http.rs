@@ -20,6 +20,9 @@ const MAX_HEAD_BYTES: usize = 64 * 1024;
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), uppercase as sent.
     pub method: String,
+    /// The raw request target exactly as sent (path + query, undecoded) —
+    /// what a redirect must echo into `Location` to preserve the request.
+    pub target: String,
     /// Decoded path component of the target (no query string).
     pub path: String,
     /// Decoded query parameters, last occurrence wins.
@@ -68,7 +71,8 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported protocol {version}"));
     }
-    let (path, query) = parse_target(target)?;
+    let target = target.to_string();
+    let (path, query) = parse_target(&target)?;
 
     let mut headers = Vec::new();
     let mut content_length = 0usize;
@@ -109,6 +113,7 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
     }
     Ok(Request {
         method,
+        target,
         path,
         query,
         headers,
@@ -190,7 +195,9 @@ pub fn write_response<W: Write>(
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         202 => "Accepted",
+        307 => "Temporary Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -210,6 +217,7 @@ mod tests {
         let raw = b"GET /v1/scan?path=%2Ftmp%2Fapp&format=sarif HTTP/1.1\r\nHost: x\r\n\r\n";
         let req = read_request(&raw[..]).unwrap();
         assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/v1/scan?path=%2Ftmp%2Fapp&format=sarif");
         assert_eq!(req.path, "/v1/scan");
         assert_eq!(req.query_param("path"), Some("/tmp/app"));
         assert_eq!(req.query_param("format"), Some("sarif"));

@@ -12,7 +12,9 @@
 //!
 //! | Endpoint | Behavior |
 //! |---|---|
-//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. `?lint=1` appends the CFG lint pass; `?fail_on=none|fpp|vuln|lint` answers `422` when the policy fails the report (default `none`: always `200`). |
+//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. `?lint=1` appends the CFG lint pass; `?fail_on=none|fpp|vuln|lint` answers `422` when the policy fails the report (default `none`: always `200`). With `--peers`, scans whose content key another replica owns are answered `307` ([`routing`]). |
+//! | `POST /v1/batch` | Scan many apps in one request (tar grouped by top-level dir, or a manifest of server paths), streaming one NDJSON line per app ([`batch`]). |
+//! | `GET/PUT/HEAD /v1/cache/{key}` | The peer-served cache: fetch, push, or probe one framed entry — what `--cache-peer` on another replica talks to. |
 //! | `GET /v1/jobs/{id}` | Poll an async job: small JSON while queued/running, the rendered report once done. |
 //! | `GET /healthz` | Liveness: `200 ok` (also while draining). |
 //! | `GET /metrics` | Prometheus text exposition ([`metrics`]). |
@@ -28,10 +30,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cli;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod routing;
 pub mod tar;
 
 pub use cli::cli_main;
@@ -44,6 +48,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use wap_cache::{valid_key, CacheStore, RemoteBackend};
 use wap_catalog::VulnClass;
 use wap_core::cli::FailOn;
 use wap_core::{Runtime, ToolConfig, WapError, WapTool};
@@ -68,6 +73,17 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Executor threads — scans analyzed concurrently.
     pub workers: usize,
+    /// Base URL of a peer replica whose cache serves as a remote tier:
+    /// misses read through to it, and new entries replicate back
+    /// asynchronously. Any peer failure degrades to the local/cold path.
+    pub cache_peer: Option<String>,
+    /// The full fleet membership (this replica included) for consistent-
+    /// hash job routing; scans whose key another peer owns are answered
+    /// `307` with that peer in `Location`. Empty disables routing.
+    pub peers: Vec<String>,
+    /// This replica's own URL as it appears in [`ServeConfig::peers`] —
+    /// required whenever `peers` is non-empty.
+    pub advertise: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -78,18 +94,23 @@ impl Default for ServeConfig {
             cache_dir: None,
             queue_capacity: 32,
             workers: 2,
+            cache_peer: None,
+            peers: Vec::new(),
+            advertise: None,
         }
     }
 }
 
 /// State shared by the accept loop, connection handlers, and executors.
-struct Shared {
-    tool: WapTool,
-    classes: Vec<VulnClass>,
-    queue: JobQueue,
-    metrics: Metrics,
+pub(crate) struct Shared {
+    pub(crate) tool: WapTool,
+    pub(crate) classes: Vec<VulnClass>,
+    pub(crate) queue: JobQueue,
+    pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
     open_connections: AtomicUsize,
+    /// `(peers, advertise)` when fleet routing is on.
+    routing: Option<(Vec<String>, String)>,
 }
 
 /// A bound, not-yet-running server.
@@ -126,23 +147,51 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind errors.
+    /// Propagates socket bind errors; rejects inconsistent fleet flags
+    /// (`--peers` without `--advertise`, or an advertise URL missing from
+    /// the peer list) as `InvalidInput`.
     pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let routing = match (&config.peers[..], &config.advertise) {
+            ([], _) => None,
+            (_, None) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--peers needs --advertise <URL> naming this replica",
+                ));
+            }
+            (peers, Some(adv)) => {
+                if !peers.contains(adv) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("--advertise {adv} is not in the --peers list"),
+                    ));
+                }
+                Some((peers.to_vec(), adv.clone()))
+            }
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let workers = config.workers.max(1);
         // every concurrent scan gets an equal slice of the job budget, so
         // `workers` simultaneous scans never oversubscribe it
         let per_scan = Runtime::from_config(config.jobs).partition(workers);
-        let tool_config = ToolConfig::builder()
-            .jobs(per_scan.jobs())
-            .maybe_cache_dir(config.cache_dir.clone())
-            .build();
+        let tool_config = ToolConfig::builder().jobs(per_scan.jobs()).build();
         let mut tool = WapTool::new(tool_config);
-        if config.cache_dir.is_none() {
-            // no disk cache requested: still share a process-lifetime
-            // in-memory cache so repeat scans stay warm
-            tool.enable_memory_cache();
-        }
+        // the cache is composed here, not via ToolConfig: the local tier
+        // is the configured dir (or process memory), and --cache-peer
+        // stacks a remote read-through/write-back tier on top
+        let store = match &config.cache_dir {
+            Some(dir) => CacheStore::open(dir),
+            None => CacheStore::in_memory(),
+        };
+        let store = match &config.cache_peer {
+            Some(peer) => {
+                let backend = RemoteBackend::new(peer)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+                store.with_remote(Arc::new(backend))
+            }
+            None => store,
+        };
+        tool.set_cache_store(store);
         let classes: Vec<VulnClass> = tool.catalog().classes().cloned().collect();
         Ok(Server {
             listener,
@@ -153,6 +202,7 @@ impl Server {
                 metrics: Metrics::default(),
                 shutdown: AtomicBool::new(false),
                 open_connections: AtomicUsize::new(0),
+                routing,
             }),
             workers,
         })
@@ -273,13 +323,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             return;
         }
     };
-    let (status, content_type, body, extra): (u16, &str, String, Vec<(&str, String)>) =
+    if request.method == "POST" && request.path == "/v1/batch" {
+        // batch responses stream line by line; the handler owns the socket
+        batch::handle_batch(shared, &request, &stream);
+        return;
+    }
+    let (status, content_type, body, extra): (u16, &str, Vec<u8>, Vec<(&str, String)>) =
         route(shared, &request);
     let extra_refs: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
-    let _ = http::write_response(&stream, status, content_type, body.as_bytes(), &extra_refs);
+    let _ = http::write_response(&stream, status, content_type, &body, &extra_refs);
 }
 
-type RouteResponse = (u16, &'static str, String, Vec<(&'static str, String)>);
+/// Status, content type, body bytes, extra headers. Bodies are bytes, not
+/// text, because `/v1/cache` serves binary cache frames.
+type RouteResponse = (u16, &'static str, Vec<u8>, Vec<(&'static str, String)>);
 
 /// Dispatches one parsed request.
 fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
@@ -290,12 +347,16 @@ fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
             "text/plain; version=0.0.4",
             shared
                 .metrics
-                .render(shared.queue.depth(), shared.queue.in_flight()),
+                .render(shared.queue.depth(), shared.queue.in_flight())
+                .into_bytes(),
             vec![],
         ),
         ("POST", "/v1/scan") => handle_scan(shared, req),
         ("GET", path) if path.starts_with("/v1/jobs/") => handle_job_poll(shared, path),
-        (_, "/healthz" | "/metrics" | "/v1/scan") => (
+        ("GET" | "PUT" | "HEAD", path) if path.starts_with("/v1/cache/") => {
+            handle_cache(shared, req)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/scan" | "/v1/batch") => (
             405,
             "text/plain; charset=utf-8",
             "method not allowed\n".into(),
@@ -313,6 +374,68 @@ fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
     }
 }
 
+/// `/v1/cache/{key}`: the peer-served cache. `GET` answers the framed
+/// entry bytes (or `404`), `HEAD` probes existence, `PUT` stores a frame
+/// pushed by a peer's write-back. Frames are verified on both write
+/// (`put_framed`) and later reads, so a corrupt peer can never inject
+/// bytes that a scan will trust. Lookups serve local tiers only — a
+/// replica never proxies a peer's `GET` onward to its own peer, so
+/// chained `--cache-peer` topologies cannot loop.
+fn handle_cache(shared: &Shared, req: &http::Request) -> RouteResponse {
+    let key = req.path.trim_start_matches("/v1/cache/");
+    if !valid_key(key) {
+        Metrics::inc(&shared.metrics.bad_requests);
+        return (
+            400,
+            "text/plain; charset=utf-8",
+            "bad cache key\n".into(),
+            vec![],
+        );
+    }
+    let Some(store) = shared.tool.cache() else {
+        // unreachable in practice: serve always composes a store
+        return (
+            404,
+            "text/plain; charset=utf-8",
+            "cache disabled\n".into(),
+            vec![],
+        );
+    };
+    match req.method.as_str() {
+        "PUT" => {
+            if store.put_framed(key, &req.body) {
+                (201, "text/plain; charset=utf-8", Vec::new(), vec![])
+            } else {
+                (
+                    422,
+                    "text/plain; charset=utf-8",
+                    "rejected: not a valid cache frame\n".into(),
+                    vec![],
+                )
+            }
+        }
+        method => {
+            let head = method == "HEAD";
+            match store.get_framed(key) {
+                Some(framed) => {
+                    let body = if head { Vec::new() } else { framed };
+                    (200, "application/octet-stream", body, vec![])
+                }
+                None => (
+                    404,
+                    "text/plain; charset=utf-8",
+                    if head {
+                        Vec::new()
+                    } else {
+                        "no such entry\n".into()
+                    },
+                    vec![],
+                ),
+            }
+        }
+    }
+}
+
 /// `POST /v1/scan`: gather sources, admit, and either wait (sync) or
 /// return the job id (async).
 fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
@@ -323,7 +446,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             return (
                 err.http_status(),
                 "text/plain; charset=utf-8",
-                format!("{err}\n"),
+                format!("{err}\n").into_bytes(),
                 vec![],
             );
         }
@@ -335,7 +458,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             return (
                 err.http_status(),
                 "text/plain; charset=utf-8",
-                format!("{err}\n"),
+                format!("{err}\n").into_bytes(),
                 vec![],
             );
         }
@@ -349,6 +472,25 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             vec![],
         );
     }
+    if let Some((peers, advertise)) = &shared.routing {
+        // consistent-hash routing: the replica whose rendezvous weight
+        // wins for this scan's content key serves it; everyone else
+        // points the client there. 307 preserves method and body, so a
+        // tar upload replays unchanged.
+        let key = routing::scan_key(&sources);
+        if let Some(owner) = routing::owner(peers, &key) {
+            if owner != advertise {
+                Metrics::inc(&shared.metrics.jobs_redirected);
+                let location = format!("{}{}", owner.trim_end_matches('/'), req.target);
+                return (
+                    307,
+                    "text/plain; charset=utf-8",
+                    format!("scan key {key} is owned by {owner}\n").into_bytes(),
+                    vec![("Location", location)],
+                );
+            }
+        }
+    }
     let lint = matches!(req.query_param("lint"), Some("1" | "true"));
     let fail_on = match req.query_param("fail_on") {
         // the server's default stays "never fail the response" so
@@ -361,7 +503,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
                 return (
                     400,
                     "text/plain; charset=utf-8",
-                    format!("unknown fail_on policy {v} (none|fpp|vuln|lint)\n"),
+                    format!("unknown fail_on policy {v} (none|fpp|vuln|lint)\n").into_bytes(),
                     vec![],
                 );
             }
@@ -395,7 +537,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         return (
             202,
             "application/json",
-            format!("{{\"job\":{id},\"status\":\"queued\"}}\n"),
+            format!("{{\"job\":{id},\"status\":\"queued\"}}\n").into_bytes(),
             vec![("Location", format!("/v1/jobs/{id}"))],
         );
     }
@@ -404,11 +546,16 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             content_type,
             body,
             failing,
-        }) => (if failing { 422 } else { 200 }, content_type, body, vec![]),
+        }) => (
+            if failing { 422 } else { 200 },
+            content_type,
+            body.into_bytes(),
+            vec![],
+        ),
         Some(JobStatus::Failed { message }) => (
             422,
             "text/plain; charset=utf-8",
-            format!("scan failed: {message}\n"),
+            format!("scan failed: {message}\n").into_bytes(),
             vec![],
         ),
         _ => (
@@ -428,7 +575,7 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
         return (
             400,
             "text/plain; charset=utf-8",
-            format!("bad job id {id_str}\n"),
+            format!("bad job id {id_str}\n").into_bytes(),
             vec![],
         );
     };
@@ -443,17 +590,22 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
             content_type,
             body,
             failing,
-        }) => (if failing { 422 } else { 200 }, content_type, body, vec![]),
+        }) => (
+            if failing { 422 } else { 200 },
+            content_type,
+            body.into_bytes(),
+            vec![],
+        ),
         Some(JobStatus::Failed { message }) => (
             422,
             "text/plain; charset=utf-8",
-            format!("scan failed: {message}\n"),
+            format!("scan failed: {message}\n").into_bytes(),
             vec![],
         ),
         Some(status) => (
             200,
             "application/json",
-            format!("{{\"job\":{id},\"status\":\"{}\"}}\n", status.name()),
+            format!("{{\"job\":{id},\"status\":\"{}\"}}\n", status.name()).into_bytes(),
             vec![],
         ),
     }
@@ -461,7 +613,7 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
 
 /// Resolves the render format: `?format=` wins, then `Accept`, then JSON
 /// (the natural API default; the CLI's default stays text).
-fn scan_format(req: &http::Request) -> Result<Format, WapError> {
+pub(crate) fn scan_format(req: &http::Request) -> Result<Format, WapError> {
     if let Some(f) = req.query_param("format") {
         return Format::parse(f).ok_or_else(|| WapError::usage(format!("unknown format {f}")));
     }
@@ -533,6 +685,39 @@ mod tests {
             addr,
             format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
         )
+    }
+
+    /// Like [`exchange`] but binary-safe: returns (status, head text,
+    /// exact body bytes) so cache frames and report bytes can be compared.
+    fn exchange_bytes(addr: SocketAddr, raw: &[u8]) -> (u16, String, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw).expect("send");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("recv");
+        let split = buf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("header terminator");
+        let head = String::from_utf8_lossy(&buf[..split]).to_string();
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        (status, head, buf[split + 4..].to_vec())
+    }
+
+    /// One synchronous `POST /v1/scan?path=` returning the exact body.
+    fn scan_path_bytes(addr: SocketAddr, dir: &std::path::Path, format: &str) -> (u16, Vec<u8>) {
+        let target = format!(
+            "/v1/scan?path={}&format={format}",
+            http_escape(&dir.display().to_string())
+        );
+        let (status, _, body) = exchange_bytes(
+            addr,
+            format!("POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").as_bytes(),
+        );
+        (status, body)
     }
 
     #[test]
@@ -663,7 +848,9 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("WAP-LINT-TAINTED-SINK"), "{body}");
         // the fail_on=lint policy maps a failing report to 422
-        let (status, body) = post(format!("/v1/scan?path={path}&format=text&lint=1&fail_on=lint"));
+        let (status, body) = post(format!(
+            "/v1/scan?path={path}&format=text&lint=1&fail_on=lint"
+        ));
         assert_eq!(status, 422, "{body}");
         assert!(body.contains("WAP-LINT-TAINTED-SINK"), "{body}");
         // without ?lint= the default scan output is unchanged
@@ -700,6 +887,232 @@ mod tests {
         assert!(body.contains("draining"), "{body}");
         handle.shutdown();
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bind_rejects_inconsistent_fleet_flags() {
+        let mut config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            peers: vec!["http://a:1".into(), "http://b:2".into()],
+            ..ServeConfig::default()
+        };
+        let err = Server::bind(&config)
+            .err()
+            .expect("peers without advertise");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+        config.advertise = Some("http://c:3".into());
+        let err = Server::bind(&config).err().expect("advertise not in peers");
+        assert!(err.to_string().contains("not in the --peers list"), "{err}");
+        config.advertise = Some("http://a:1".into());
+        assert!(Server::bind(&config).is_ok());
+    }
+
+    #[test]
+    fn cache_endpoint_round_trips_frames() {
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // a frame produced the same way a peer's write-back produces one
+        let donor = wap_cache::CacheStore::in_memory();
+        donor.put("the-key", b"entry payload".to_vec());
+        let frame = donor.get_framed("the-key").expect("framed");
+
+        let put = |key: &str, body: &[u8]| {
+            let mut raw = format!(
+                "PUT /v1/cache/{key} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            raw.extend_from_slice(body);
+            exchange_bytes(handle.addr(), &raw)
+        };
+        let (status, _, _) = put("the-key", &frame);
+        assert_eq!(status, 201);
+        // GET returns the identical frame bytes
+        let (status, head, body) = exchange_bytes(
+            handle.addr(),
+            b"GET /v1/cache/the-key HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(head.contains("application/octet-stream"), "{head}");
+        assert_eq!(body, frame, "served frame must be byte-identical");
+        // HEAD probes existence without a body
+        let (status, _, body) = exchange_bytes(
+            handle.addr(),
+            b"HEAD /v1/cache/the-key HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(body.is_empty());
+        // absent keys, invalid keys, and corrupt frames are refused
+        let (status, _, _) = exchange_bytes(
+            handle.addr(),
+            b"GET /v1/cache/absent-key HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 404);
+        let (status, _, _) = exchange_bytes(
+            handle.addr(),
+            b"GET /v1/cache/bad%2Fkey HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 400, "path traversal in keys must be rejected");
+        let (status, _, _) = put("junk-key", b"not a frame at all");
+        assert_eq!(status, 422);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn peered_replica_warms_from_its_cache_peer() {
+        let dir = std::env::temp_dir().join(format!("wap-serve-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.php"), "<?php echo $_GET['v'];\n").unwrap();
+        std::fs::write(dir.join("b.php"), "<?php echo strlen($_GET['v']);\n").unwrap();
+        // replica A scans cold and keeps the entries
+        let (handle_a, join_a) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (status, body_a) = scan_path_bytes(handle_a.addr(), &dir, "json");
+        assert_eq!(status, 200);
+        // replica B has a cold local cache but reads through to A
+        let (handle_b, join_b) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_peer: Some(format!("http://{}", handle_a.addr())),
+            ..ServeConfig::default()
+        });
+        let (status, body_b) = scan_path_bytes(handle_b.addr(), &dir, "json");
+        assert_eq!(status, 200);
+        assert_eq!(body_a, body_b, "peer-warmed scan must be byte-identical");
+        let (_, metrics) = get(handle_b.addr(), "/metrics");
+        let hits = metric_value(&metrics, "wap_serve_remote_cache_hits_total");
+        assert!(
+            hits > 0,
+            "B should have been served by A's cache:\n{metrics}"
+        );
+        // a replica whose peer is gone degrades to the cold path
+        handle_a.shutdown();
+        join_a.join().unwrap().unwrap();
+        let (handle_c, join_c) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_peer: Some(format!("http://{}", handle_a.addr())),
+            ..ServeConfig::default()
+        });
+        let (status, body_c) = scan_path_bytes(handle_c.addr(), &dir, "json");
+        assert_eq!(status, 200);
+        assert_eq!(body_a, body_c, "dead peer must not change findings");
+        handle_b.shutdown();
+        handle_c.shutdown();
+        join_b.join().unwrap().unwrap();
+        join_c.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_routing_redirects_to_the_owner() {
+        let sources = vec![(
+            "app/r.php".to_string(),
+            "<?php echo $_GET['q'];\n".to_string(),
+        )];
+        let peers = vec![
+            "http://replica-a:1".to_string(),
+            "http://replica-b:2".to_string(),
+        ];
+        let key = routing::scan_key(&sources);
+        let owner = routing::owner(&peers, &key).unwrap().clone();
+        let loser = peers.iter().find(|p| **p != owner).unwrap().clone();
+        // a replica advertising the losing URL redirects to the owner...
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            peers: peers.clone(),
+            advertise: Some(loser),
+            ..ServeConfig::default()
+        });
+        let archive = tar::build(&sources);
+        let mut raw = format!(
+            "POST /v1/scan?format=json HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            archive.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&archive);
+        let (status, head, _) = exchange_bytes(handle.addr(), &raw);
+        assert_eq!(status, 307, "{head}");
+        assert!(
+            head.contains(&format!("Location: {owner}/v1/scan?format=json")),
+            "{head}"
+        );
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        // ...and the owner serves it
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            peers,
+            advertise: Some(owner),
+            ..ServeConfig::default()
+        });
+        let (status, _, body) = exchange_bytes(handle.addr(), &raw);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn batch_streams_one_ndjson_line_per_app() {
+        let archive = tar::build(&[
+            (
+                "beta/x.php".to_string(),
+                "<?php echo $_GET['v'];\n".to_string(),
+            ),
+            ("alpha/y.php".to_string(), "<?php echo 1;\n".to_string()),
+        ]);
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let mut raw = format!(
+            "POST /v1/batch?format=json HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            archive.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&archive);
+        let (status, head, body) = exchange_bytes(handle.addr(), &raw);
+        assert_eq!(status, 200);
+        assert!(head.contains("application/x-ndjson"), "{head}");
+        assert!(!head.contains("Content-Length"), "streams are unframed");
+        let text = String::from_utf8(body).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("{\"app\":\"alpha\""), "{text}");
+        assert!(lines[1].starts_with("{\"app\":\"beta\""), "{text}");
+        for line in lines {
+            assert!(line.contains("\"status\":\"done\""), "{line}");
+            assert!(line.contains("\"report\":\""), "{line}");
+        }
+        // a batch with no usable body is a client error
+        let (status, _, _) = exchange_bytes(
+            handle.addr(),
+            b"POST /v1/batch HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 422);
+        // and only POST is accepted
+        let (status, _) = get(handle.addr(), "/v1/batch");
+        assert_eq!(status, 405);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    /// Reads one un-labelled counter/gauge value from an exposition body.
+    fn metric_value(text: &str, name: &str) -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing"))
     }
 
     fn http_escape(s: &str) -> String {

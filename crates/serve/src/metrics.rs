@@ -47,6 +47,17 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Incremental-cache entries stored across all scans.
     pub cache_stored: AtomicU64,
+    /// Entries served by the remote cache peer across all scans.
+    pub remote_cache_hits: AtomicU64,
+    /// Remote-peer lookups that found nothing.
+    pub remote_cache_misses: AtomicU64,
+    /// Remote-peer lookups that failed (unreachable, corrupt payload) and
+    /// degraded to the local path.
+    pub remote_cache_errors: AtomicU64,
+    /// Scans answered `307` because a fleet peer owns their cache key.
+    pub jobs_redirected: AtomicU64,
+    /// `POST /v1/batch` requests accepted.
+    pub batch_requests: AtomicU64,
     /// End-to-end scan latency (admission excluded), seconds.
     pub scan_duration: Histogram,
     /// Time from admission to executor pickup, seconds.
@@ -68,6 +79,11 @@ impl Default for Metrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_stored: AtomicU64::new(0),
+            remote_cache_hits: AtomicU64::new(0),
+            remote_cache_misses: AtomicU64::new(0),
+            remote_cache_errors: AtomicU64::new(0),
+            jobs_redirected: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
             scan_duration: Histogram::default(),
             queue_wait: Histogram::default(),
             phase_durations: std::array::from_fn(|_| Histogram::default()),
@@ -93,6 +109,12 @@ impl Metrics {
             .fetch_add(report.cache.misses, Ordering::Relaxed);
         self.cache_stored
             .fetch_add(report.cache.stored, Ordering::Relaxed);
+        self.remote_cache_hits
+            .fetch_add(report.cache.remote_hits, Ordering::Relaxed);
+        self.remote_cache_misses
+            .fetch_add(report.cache.remote_misses, Ordering::Relaxed);
+        self.remote_cache_errors
+            .fetch_add(report.cache.remote_errors, Ordering::Relaxed);
         self.scan_duration
             .observe_ns(report.duration.as_nanos().min(u64::MAX as u128) as u64);
         for (i, phase) in EXPOSED_PHASES.iter().enumerate() {
@@ -176,6 +198,31 @@ impl Metrics {
             "wap_serve_cache_stored_total",
             "Incremental-cache entries stored across scans.",
             g(&self.cache_stored),
+        );
+        counter(
+            "wap_serve_remote_cache_hits_total",
+            "Incremental-cache entries served by the remote peer.",
+            g(&self.remote_cache_hits),
+        );
+        counter(
+            "wap_serve_remote_cache_misses_total",
+            "Remote-peer lookups that found nothing.",
+            g(&self.remote_cache_misses),
+        );
+        counter(
+            "wap_serve_remote_cache_errors_total",
+            "Remote-peer lookups that failed and fell back to local.",
+            g(&self.remote_cache_errors),
+        );
+        counter(
+            "wap_serve_jobs_redirected_total",
+            "Scans answered 307 because a fleet peer owns the key.",
+            g(&self.jobs_redirected),
+        );
+        counter(
+            "wap_serve_batch_requests_total",
+            "Batch scan requests accepted.",
+            g(&self.batch_requests),
         );
         // the historical per-phase counter, now derived from the phase
         // histograms so the two families can never disagree
@@ -267,6 +314,9 @@ mod tests {
         report.duration = Duration::from_millis(30);
         report.stats.set_phase_ns(Phase::Parse, 2_000_000);
         report.stats.set_phase_ns(Phase::Taint, 500_000_000);
+        report.cache.remote_hits = 4;
+        report.cache.remote_misses = 2;
+        report.cache.remote_errors = 1;
         m.record_report(&report);
         m.record_report(&report);
         m.record_queue_wait(Duration::from_millis(3));
@@ -296,6 +346,19 @@ mod tests {
         // the legacy counter is the histogram's sum
         assert!(
             text.contains("wap_serve_phase_ns_total{phase=\"taint\"} 1000000000"),
+            "{text}"
+        );
+        // remote-cache counters fold per-report deltas (two reports here)
+        assert!(
+            text.contains("wap_serve_remote_cache_hits_total 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_serve_remote_cache_misses_total 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_serve_remote_cache_errors_total 2"),
             "{text}"
         );
     }

@@ -263,7 +263,10 @@ mod tests {
         let q = JobQueue::new(2);
         assert!(q.submit(src(0), Format::Json, false, FailOn::None).is_ok());
         assert!(q.submit(src(1), Format::Json, false, FailOn::None).is_ok());
-        assert_eq!(q.submit(src(2), Format::Json, false, FailOn::None), Err(SubmitError::Full));
+        assert_eq!(
+            q.submit(src(2), Format::Json, false, FailOn::None),
+            Err(SubmitError::Full)
+        );
         assert_eq!(q.depth(), 2);
         // claiming one frees a slot
         let t = q.next_task().unwrap();
@@ -276,7 +279,10 @@ mod tests {
         let q = JobQueue::new(4);
         let id = q.submit(src(0), Format::Text, false, FailOn::None).unwrap();
         q.drain();
-        assert_eq!(q.submit(src(1), Format::Text, false, FailOn::None), Err(SubmitError::Draining));
+        assert_eq!(
+            q.submit(src(1), Format::Text, false, FailOn::None),
+            Err(SubmitError::Draining)
+        );
         // queued work is still handed out...
         let t = q.next_task().unwrap();
         assert_eq!(t.id, id);

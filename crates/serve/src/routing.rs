@@ -1,0 +1,108 @@
+//! Fleet job routing: deciding which replica owns a scan.
+//!
+//! When `wap serve` runs with `--peers`, every replica must agree on which
+//! one owns a given scan so warm cache entries concentrate instead of
+//! being duplicated N ways. Ownership uses rendezvous (highest-random-
+//! weight) hashing: each peer's weight for a key is a [`Blake2s`] digest
+//! of `peer \n key`, and the lexicographically largest digest wins. Adding
+//! or removing one peer only moves the keys that hashed to it — no ring
+//! state, no coordination, and every replica computes the same answer
+//! from the same `--peers` list.
+//!
+//! The scan key itself is content-addressed ([`scan_key`]): file names and
+//! content digests, order-independent. Two replicas receiving the same
+//! tree — by upload or by `?path=` over a shared mount — derive the same
+//! key and therefore the same owner.
+
+use wap_php::fingerprint::{fields_hash, Blake2s};
+
+/// Content-addressed identity of one scan: the sorted `(name, content)`
+/// pairs, each reduced to `name \n blake2s(content)`. Independent of
+/// upload order, request framing, and replica-local paths inside names
+/// only when callers normalize them (the service scans what it is given).
+pub fn scan_key(sources: &[(String, String)]) -> String {
+    let mut fields: Vec<String> = sources
+        .iter()
+        .map(|(name, contents)| format!("{name}\n{}", Blake2s::hash_hex(contents.as_bytes())))
+        .collect();
+    fields.sort();
+    fields_hash(fields)
+}
+
+/// The peer that owns `key` under rendezvous hashing, or `None` when the
+/// peer list is empty. Every replica with the same list picks the same
+/// winner; ties (identical URLs listed twice) resolve to the first.
+pub fn owner<'a>(peers: &'a [String], key: &str) -> Option<&'a String> {
+    peers.iter().max_by_key(|peer| {
+        (
+            Blake2s::hash_hex(format!("{peer}\n{key}").as_bytes()),
+            // invert the index so max_by_key's last-wins tie break picks
+            // the FIRST occurrence of a duplicated URL
+            std::cmp::Reverse(peers.iter().position(|p| p == *peer)),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srcs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn scan_key_is_order_independent_and_content_sensitive() {
+        let a = scan_key(&srcs(&[("a.php", "<?php 1;"), ("b.php", "<?php 2;")]));
+        let b = scan_key(&srcs(&[("b.php", "<?php 2;"), ("a.php", "<?php 1;")]));
+        assert_eq!(a, b, "upload order must not matter");
+        let c = scan_key(&srcs(&[("a.php", "<?php 1;"), ("b.php", "<?php 3;")]));
+        assert_ne!(a, c, "content change must move the key");
+        let d = scan_key(&srcs(&[("a.php", "<?php 1;"), ("c.php", "<?php 2;")]));
+        assert_ne!(a, d, "rename must move the key");
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_total() {
+        let peers: Vec<String> = ["http://a:1", "http://b:2", "http://c:3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(owner(&[], "k"), None);
+        let first = owner(&peers, "some-key").unwrap();
+        for _ in 0..10 {
+            assert_eq!(owner(&peers, "some-key").unwrap(), first);
+        }
+        // a reordered list elects the same owner (set semantics)
+        let mut shuffled = peers.clone();
+        shuffled.rotate_left(1);
+        assert_eq!(owner(&shuffled, "some-key").unwrap(), first);
+    }
+
+    #[test]
+    fn keys_spread_across_peers() {
+        let peers: Vec<String> = (0..4).map(|i| format!("http://replica-{i}:80")).collect();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(owner(&peers, &format!("key-{i}")).unwrap().clone());
+        }
+        assert_eq!(seen.len(), peers.len(), "64 keys should reach all 4 peers");
+    }
+
+    #[test]
+    fn removing_a_peer_only_moves_its_keys() {
+        let peers: Vec<String> = (0..4).map(|i| format!("http://replica-{i}:80")).collect();
+        let keys: Vec<String> = (0..64).map(|i| format!("key-{i}")).collect();
+        let before: Vec<&String> = keys.iter().map(|k| owner(&peers, k).unwrap()).collect();
+        let survivor_list: Vec<String> = peers[..3].to_vec();
+        for (k, old) in keys.iter().zip(&before) {
+            let new = owner(&survivor_list, k).unwrap();
+            if **old != peers[3] {
+                assert_eq!(&new, old, "{k} moved although its owner survived");
+            }
+        }
+    }
+}

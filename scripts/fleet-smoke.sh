@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Multi-replica smoke test for the distributed cache, run by CI after a
+# release build:
+#
+#   1. boot replica A with a persistent cache dir, poll /healthz
+#   2. boot replica B with --cache-peer pointed at A, poll /healthz
+#   3. scan the same app on A (cold) and on B (peer-warmed); require the
+#      SARIF and JSON bytes identical to each other and to the CLI
+#   4. require B's /metrics to report remote cache hits > 0 (it really
+#      was served by A, not by a local recomputation that happened to
+#      agree)
+#   5. batch-scan two apps on A and check one NDJSON line per app
+#   6. SIGTERM both replicas and require graceful exits with status 0
+#
+# Requires: curl, jq, and target/release/wap (built by the caller).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$ROOT/target/release/wap"
+ADDR_A="127.0.0.1:18474"
+ADDR_B="127.0.0.1:18475"
+WORK="$(mktemp -d)"
+PID_A=""
+PID_B=""
+
+cleanup() {
+    for pid in "$PID_A" "$PID_B"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "fleet-smoke: FAIL: $*" >&2
+    for name in a b; do
+        echo "--- replica $name log ---" >&2
+        cat "$WORK/server-$name.log" >&2 || true
+    done
+    exit 1
+}
+
+# Polls $url/healthz with a bounded retry budget (~10s), failing fast —
+# with both server logs — if the replica exits early or never answers.
+wait_healthz() {
+    local url="$1" pid="$2" name="$3"
+    for _ in $(seq 1 100); do
+        if curl -fsS "$url/healthz" > /dev/null 2>&1; then
+            echo "fleet-smoke: $name /healthz OK"
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || fail "$name exited before /healthz came up"
+        sleep 0.1
+    done
+    fail "$name /healthz never became ready within the retry budget"
+}
+
+[[ -x "$BIN" ]] || { echo "fleet-smoke: build target/release/wap first" >&2; exit 1; }
+
+mkdir -p "$WORK/app1" "$WORK/app2"
+cat > "$WORK/app1/index.php" <<'PHP'
+<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = $id");
+echo "<p>Hello " . $_GET['name'] . "</p>";
+PHP
+cat > "$WORK/app2/upload.php" <<'PHP'
+<?php
+$f = $_GET['file'];
+include($f . ".php");
+PHP
+
+echo "fleet-smoke: starting replica A on $ADDR_A (cache dir)"
+"$BIN" serve --addr "$ADDR_A" --cache-dir "$WORK/cache-a" --workers 2 \
+    > "$WORK/server-a.log" 2>&1 &
+PID_A=$!
+wait_healthz "http://$ADDR_A" "$PID_A" "replica A"
+
+echo "fleet-smoke: starting replica B on $ADDR_B (peered to A)"
+"$BIN" serve --addr "$ADDR_B" --cache-peer "http://$ADDR_A" --workers 2 \
+    > "$WORK/server-b.log" 2>&1 &
+PID_B=$!
+wait_healthz "http://$ADDR_B" "$PID_B" "replica B"
+
+# --- the same scan on both replicas must be byte-identical ----------------
+for fmt in sarif json; do
+    curl -fsS -X POST "http://$ADDR_A/v1/scan?path=$WORK/app1&format=$fmt" \
+        -o "$WORK/a.$fmt" || fail "replica A $fmt scan failed"
+    curl -fsS -X POST "http://$ADDR_B/v1/scan?path=$WORK/app1&format=$fmt" \
+        -o "$WORK/b.$fmt" || fail "replica B $fmt scan failed"
+    cmp "$WORK/a.$fmt" "$WORK/b.$fmt" \
+        || fail "replica A and B $fmt reports differ"
+done
+jq -e -f "$ROOT/scripts/sarif_assert.jq" "$WORK/a.sarif" > /dev/null \
+    || fail "replica SARIF failed shape assertions"
+"$BIN" --format sarif --fail-on none "$WORK/app1" > "$WORK/cli.sarif" \
+    || fail "CLI scan failed"
+cmp "$WORK/a.sarif" "$WORK/cli.sarif" \
+    || fail "fleet SARIF differs from CLI SARIF"
+echo "fleet-smoke: A, B, and CLI reports byte-identical"
+
+# --- B must have been warmed by A, observably -----------------------------
+curl -fsS "http://$ADDR_B/metrics" > "$WORK/metrics-b.txt" || fail "B /metrics failed"
+awk '$1 == "wap_serve_remote_cache_hits_total" && $2 > 0 { found = 1 } END { exit !found }' \
+    "$WORK/metrics-b.txt" \
+    || fail "replica B reports no remote cache hits: $(grep remote_cache "$WORK/metrics-b.txt")"
+echo "fleet-smoke: replica B served from A's cache"
+
+# --- batch endpoint: one NDJSON line per app ------------------------------
+printf '%s\n%s\n' "$WORK/app1" "$WORK/app2" > "$WORK/manifest.txt"
+curl -fsS -X POST --data-binary "@$WORK/manifest.txt" \
+    "http://$ADDR_A/v1/batch?format=json" -o "$WORK/batch.ndjson" \
+    || fail "batch scan failed"
+LINES=$(wc -l < "$WORK/batch.ndjson")
+[[ "$LINES" -eq 2 ]] || fail "batch returned $LINES lines (want 2)"
+jq -e -s 'all(.[]; .status == "done" and (.report | length > 0))' \
+    "$WORK/batch.ndjson" > /dev/null || fail "batch lines malformed"
+echo "fleet-smoke: batch scan OK"
+
+# --- graceful shutdown of the whole fleet ---------------------------------
+stop_replica() {
+    local name="$1" pid="$2" log="$3"
+    kill -TERM "$pid"
+    local status=0
+    wait "$pid" || status=$?
+    [[ "$status" -eq 0 ]] || fail "replica $name exited $status on SIGTERM (want 0)"
+    grep -q "drained" "$log" || fail "replica $name log missing drain message"
+}
+stop_replica B "$PID_B" "$WORK/server-b.log"; PID_B=""
+stop_replica A "$PID_A" "$WORK/server-a.log"; PID_A=""
+echo "fleet-smoke: graceful fleet shutdown OK"
+
+echo "fleet-smoke: PASS"

@@ -552,6 +552,8 @@ wap-obs = { path = "../obs" }
 wap-report = { path = "../report" }
 wap-runtime = { path = "../runtime" }
 wap-catalog = { path = "../catalog" }
+wap-cache = { path = "../cache" }
+wap-php = { path = "../php" }
 
 [dev-dependencies]
 wap-corpus = { path = "../corpus" }
@@ -569,6 +571,8 @@ wap-corpus = { path = "../corpus" }
 wap-core = { path = "../core" }
 wap-interp = { path = "../interp" }
 wap-runtime = { path = "../runtime" }
+wap-cache = { path = "../cache" }
+wap-serve = { path = "../serve" }
 rand = { path = "../shims/rand" }
 
 [dev-dependencies]
@@ -652,6 +656,10 @@ name = "serve_http"
 path = "tests/serve_http.rs"
 
 [[test]]
+name = "fleet_determinism"
+path = "tests/fleet_determinism.rs"
+
+[[test]]
 name = "trace_determinism"
 path = "tests/trace_determinism.rs"
 
@@ -677,7 +685,7 @@ if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
     echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test trace_determinism --test roundtrip_property
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test fleet_determinism --test trace_determinism --test roundtrip_property
 fi
 
 echo "offline-check: OK"

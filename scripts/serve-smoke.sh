@@ -45,19 +45,25 @@ mysql_query("SELECT * FROM users WHERE id = $id");
 echo "<p>Hello " . $_GET['name'] . "</p>";
 PHP
 
+# Polls /healthz with a bounded retry budget (~10s), failing fast — with
+# the server log attached — if the server exits early or never answers.
+wait_healthz() {
+    local url="$1" pid="$2"
+    for _ in $(seq 1 100); do
+        if curl -fsS "$url/healthz" > /dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || fail "server exited before /healthz came up"
+        sleep 0.1
+    done
+    fail "/healthz never became ready within the retry budget"
+}
+
 echo "serve-smoke: starting server on $ADDR"
 "$BIN" serve --addr "$ADDR" --cache-dir "$WORK/cache" --workers 2 \
     > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
-
-for _ in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/healthz" > /dev/null 2>&1; then
-        break
-    fi
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before /healthz came up"
-    sleep 0.1
-done
-curl -fsS "http://$ADDR/healthz" > /dev/null || fail "/healthz never became ready"
+wait_healthz "http://$ADDR" "$SERVER_PID"
 echo "serve-smoke: /healthz OK"
 
 # --- cold scan: SARIF shape + byte-identity with the CLI ------------------
