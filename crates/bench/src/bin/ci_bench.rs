@@ -48,6 +48,9 @@ const MIN_WARM_SPEEDUP: f64 = 3.0;
 /// does not.
 const MIN_COLD_LOC_PER_S: f64 = 350_000.0;
 const REPS: usize = 3;
+/// Single-file edits driven through the watch front-end for the
+/// live-edit latency sweep (reported, not gated).
+const LIVE_EDITS: usize = 12;
 
 /// The fixed-seed sweep corpus: six generated applications, unique file
 /// names via a per-app prefix.
@@ -84,6 +87,11 @@ struct Measurement {
     /// for trend-watching but outside the gate (it measures loopback
     /// HTTP as much as the pipeline).
     warm_remote_loc_per_s: f64,
+    /// Watch-mode re-analysis latency after one single-file edit on a
+    /// warm cache — reported for trend-watching, outside the gate (it
+    /// measures filesystem polling as much as the pipeline).
+    live_edit_p50_ms: f64,
+    live_edit_p95_ms: f64,
 }
 
 impl Measurement {
@@ -93,14 +101,16 @@ impl Measurement {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2}\n}}\n",
+            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2},\n  \"live_edit_p50_ms\": {:.2},\n  \"live_edit_p95_ms\": {:.2}\n}}\n",
             SCHEMA,
             self.total_loc,
             self.findings,
             self.cold_loc_per_s,
             self.warm_loc_per_s,
             self.warm_remote_loc_per_s,
-            self.warm_speedup()
+            self.warm_speedup(),
+            self.live_edit_p50_ms,
+            self.live_edit_p95_ms
         )
     }
 }
@@ -187,13 +197,72 @@ fn measure() -> Measurement {
     let _ = join.join();
     let _ = std::fs::remove_dir_all(&peer_dir);
 
+    let (live_edit_p50_ms, live_edit_p95_ms) = measure_live_edits(&sources);
+
     Measurement {
         total_loc,
         findings,
         cold_loc_per_s: total_loc as f64 / cold_secs,
         warm_loc_per_s: total_loc as f64 / warm_secs,
         warm_remote_loc_per_s: total_loc as f64 / remote_secs,
+        live_edit_p50_ms,
+        live_edit_p95_ms,
     }
+}
+
+/// Nearest-rank percentile of an unsorted sample, in place.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// Live-edit latency sweep: materializes the corpus on disk, boots the
+/// watch front-end with a warm incremental cache, then makes
+/// [`LIVE_EDITS`] single-file edits — each appends one new function to a
+/// rotating file — and times the poll-to-delta turnaround. Every edit
+/// re-reads the whole tree but only re-analyzes the changed file, so
+/// this measures exactly what an editor user waits on. Reported for
+/// trend-watching, outside the gate.
+fn measure_live_edits(sources: &[(String, String)]) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!("wap-ci-bench-live-{}", std::process::id()));
+    let cache =
+        std::env::temp_dir().join(format!("wap-ci-bench-live-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+    for (name, source) in sources {
+        let path = dir.join(name);
+        std::fs::create_dir_all(path.parent().expect("corpus file has a parent"))
+            .expect("create corpus dir");
+        std::fs::write(&path, source).expect("write corpus file");
+    }
+
+    let mut config = wap_live::WatchConfig::new(&dir);
+    config.cache_dir = Some(cache.clone());
+    let mut watcher = wap_live::Watcher::new(config).expect("boot watcher");
+    watcher
+        .poll_once()
+        .expect("initial scan")
+        .expect("initial scan emits revision 1");
+
+    let mut times_ms = Vec::with_capacity(LIVE_EDITS);
+    for i in 0..LIVE_EDITS {
+        let (name, source) = &sources[i % sources.len()];
+        let edited = format!("{source}\n<?php function live_edit_{i}() {{ return {i}; }}\n");
+        std::fs::write(dir.join(name), edited).expect("apply edit");
+        let start = Instant::now();
+        let delta = watcher.poll_once().expect("re-scan after edit");
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        assert!(delta.is_some(), "edit {i} did not produce a revision");
+        times_ms.push(elapsed);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+    (
+        percentile(&mut times_ms, 0.50),
+        percentile(&mut times_ms, 0.95),
+    )
 }
 
 /// Minimal extractor for our own flat JSON: the f64 following `"key":`.
@@ -327,6 +396,10 @@ fn main() -> ExitCode {
         measured.warm_loc_per_s,
         measured.warm_speedup(),
         measured.warm_remote_loc_per_s
+    );
+    println!(
+        "ci_bench: live_edit: p50 {:.2} ms, p95 {:.2} ms over {LIVE_EDITS} edits (not gated)",
+        measured.live_edit_p50_ms, measured.live_edit_p95_ms
     );
 
     if write_baseline {

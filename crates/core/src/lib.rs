@@ -32,6 +32,7 @@
 
 pub mod cli;
 pub mod error;
+pub mod overlay;
 mod incremental;
 pub mod pipeline;
 pub mod report;
@@ -44,6 +45,7 @@ pub use wap_runtime as runtime;
 pub use wap_cache as cache;
 
 pub use error::WapError;
+pub use overlay::{collect_sources_with_overlay, SourceOverlay};
 pub use pipeline::{AppReport, Finding, Generation, ToolConfig, ToolConfigBuilder, WapTool};
 pub use wap_obs::{allocations_now, peak_rss_bytes, CountingAlloc};
 pub use wap_report::{Format, Phase, ScanStats, TOOL_NAME, TOOL_VERSION};

@@ -1,0 +1,351 @@
+//! A small self-contained JSON reader/writer for the JSON-RPC front-end.
+//!
+//! The workspace deliberately takes no external runtime dependencies, so
+//! the LSP server parses its messages with this module instead of a JSON
+//! crate. It supports the full JSON grammar the protocol needs (objects,
+//! arrays, strings with escapes and `\uXXXX` pairs, numbers, booleans,
+//! null); numbers are held as `f64`, which covers every id and position
+//! an editor will send.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer (truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().map(|n| n as i64)
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value back to compact JSON (object member order is
+    /// preserved, so render ∘ parse is stable).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Str(s) => escape(s),
+            Value::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Obj(members) => {
+                let inner: Vec<String> = members
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Renders `s` as a JSON string literal, quotes included.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected '{want}', got '{got}' at {}",
+                self.pos - 1
+            ));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            '{' => self.object(),
+            '[' => self.array(),
+            '"' => Ok(Value::Str(self.string()?)),
+            't' => self.literal("true", Value::Bool(true)),
+            'f' => self.literal("false", Value::Bool(false)),
+            'n' => self.literal("null", Value::Null),
+            '-' | '0'..='9' => self.number(),
+            c => Err(format!("unexpected '{c}' at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Value::Obj(members)),
+                c => return Err(format!("expected ',' or '}}', got '{c}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Value::Arr(items)),
+                c => return Err(format!("expected ',' or ']', got '{c}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair: a second \uXXXX must follow
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    c => return Err(format!("bad escape '\\{c}'")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            v = v * 16 + c.to_digit(16).ok_or(format!("bad hex digit '{c}'"))?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some('0'..='9' | '.' | 'e' | 'E' | '+' | '-')) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_rpc_shapes() {
+        let v = Value::parse(
+            r#"{"jsonrpc":"2.0","id":1,"method":"initialize",
+                "params":{"rootUri":"file:///a b","caps":[1,2.5,-3],"x":null,"y":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("jsonrpc").and_then(Value::as_str), Some("2.0"));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(1));
+        let params = v.get("params").unwrap();
+        assert_eq!(
+            params.get("rootUri").and_then(Value::as_str),
+            Some("file:///a b")
+        );
+        let caps = params.get("caps").and_then(Value::as_arr).unwrap();
+        assert_eq!(caps.len(), 3);
+        assert_eq!(caps[1].as_f64(), Some(2.5));
+        assert_eq!(caps[2].as_i64(), Some(-3));
+        assert_eq!(params.get("x"), Some(&Value::Null));
+        assert_eq!(params.get("y").and_then(Value::as_bool), Some(true));
+        assert_eq!(params.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::parse(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA😀"));
+        let rendered = Value::Str("x\ty\u{1}".to_string()).render();
+        assert_eq!(rendered, "\"x\\ty\\u0001\"");
+        assert_eq!(Value::parse(&rendered).unwrap().as_str(), Some("x\ty\u{1}"));
+    }
+
+    #[test]
+    fn render_preserves_structure() {
+        let src = r#"{"a":[1,"two",null],"b":{"c":false}}"#;
+        let v = Value::parse(src).unwrap();
+        assert_eq!(v.render(), src);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "{}extra",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+}

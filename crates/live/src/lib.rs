@@ -1,0 +1,44 @@
+//! # wap-live — live analysis front-ends
+//!
+//! Two ways to keep diagnostics current while sources change, both thin
+//! shells over the exact pipeline the batch CLI and `wap serve` run:
+//!
+//! - **`wap watch <dir>`** ([`watch`]): polls the tree for mtime/size
+//!   changes (no OS watcher dependency), debounces bursts, re-analyzes
+//!   through the incremental path, and streams NDJSON findings *deltas*
+//!   (`wap-watch-v1`) — one revision header plus one line per finding
+//!   added or removed since the previous revision.
+//! - **`wap lsp`** ([`lsp`]): a minimal stdio JSON-RPC 2.0 language
+//!   server. Open editor buffers become a [`wap_core::SourceOverlay`]
+//!   over the workspace; every document event re-analyzes and publishes
+//!   `textDocument/publishDiagnostics`.
+//!
+//! ## The determinism contract
+//!
+//! Live modes inherit the repo-wide guarantee: a session that ends at
+//! source state *S* reports exactly what a cold `wap` run over *S*
+//! reports — same findings, same bytes, at any `--jobs` value and with
+//! the cache cold or warm. Delta streams and diagnostics therefore carry
+//! no timing fields; wall-clock goes only into the
+//! `wap_live_reanalysis_seconds` histogram ([`metrics`]), printed to
+//! stderr at session end.
+//!
+//! Both front-ends admit re-analysis work through the same bounded
+//! [`wap_runtime::JobQueue`] that backs `wap serve`, and each revision
+//! runs under a [`wap_obs::Phase::Live`] span.
+//!
+//! JSON-RPC parsing uses this crate's own zero-dependency [`json`]
+//! module, so the LSP server works in environments where no JSON crate
+//! is available.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod json;
+pub mod lsp;
+pub mod metrics;
+pub mod watch;
+
+pub use lsp::{diagnostics_json, LspConfig, LspServer};
+pub use metrics::LiveMetrics;
+pub use watch::{WatchConfig, Watcher};

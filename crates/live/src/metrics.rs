@@ -1,0 +1,83 @@
+//! Session metrics for the live front-ends.
+//!
+//! One histogram matters here: how long an edit takes to turn into fresh
+//! diagnostics. Every re-analysis (a watch revision or an LSP document
+//! event) records its wall-clock into `wap_live_reanalysis_seconds`,
+//! labelled by front-end mode. Timings live *only* here — the NDJSON
+//! delta stream and published diagnostics are timing-free so their bytes
+//! stay deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use wap_obs::Histogram;
+
+/// Latency accounting for one live session.
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    /// Edit-to-diagnostics latency distribution.
+    pub reanalysis: Histogram,
+    revisions: AtomicU64,
+}
+
+impl LiveMetrics {
+    /// A fresh session with the default latency buckets.
+    pub fn new() -> LiveMetrics {
+        LiveMetrics::default()
+    }
+
+    /// Records one completed re-analysis.
+    pub fn observe(&self, elapsed: Duration) {
+        self.reanalysis
+            .observe_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        self.revisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of re-analyses recorded so far.
+    pub fn revisions(&self) -> u64 {
+        self.revisions.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition for this session. `mode` is
+    /// the front-end label (`watch` or `lsp`).
+    pub fn render(&self, mode: &str) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE wap_live_reanalysis_seconds histogram\n");
+        self.reanalysis.render_into(
+            &mut out,
+            "wap_live_reanalysis_seconds",
+            &format!("mode=\"{mode}\""),
+        );
+        out.push_str("# TYPE wap_live_revisions_total counter\n");
+        out.push_str(&format!(
+            "wap_live_revisions_total{{mode=\"{mode}\"}} {}\n",
+            self.revisions()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_exposition() {
+        let m = LiveMetrics::new();
+        m.observe(Duration::from_millis(3));
+        m.observe(Duration::from_millis(40));
+        assert_eq!(m.revisions(), 2);
+        let text = m.render("watch");
+        assert!(
+            text.contains("wap_live_reanalysis_seconds_bucket{mode=\"watch\",le=\"0.005\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_live_reanalysis_seconds_count{mode=\"watch\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wap_live_revisions_total{mode=\"watch\"} 2"),
+            "{text}"
+        );
+    }
+}

@@ -64,11 +64,14 @@ pub enum Phase {
     Cfg,
     /// Running the lint rule engine over the control-flow graphs.
     Lint,
+    /// One live re-analysis revision (a `wap watch` or `wap lsp` edit
+    /// cycle through the incremental path).
+    Live,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -82,6 +85,7 @@ impl Phase {
         Phase::Cache,
         Phase::Cfg,
         Phase::Lint,
+        Phase::Live,
     ];
 
     /// Stable snake_case name used in traces and metric labels.
@@ -97,6 +101,7 @@ impl Phase {
             Phase::Cache => "cache",
             Phase::Cfg => "cfg",
             Phase::Lint => "lint",
+            Phase::Live => "live",
         }
     }
 

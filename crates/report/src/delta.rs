@@ -1,0 +1,263 @@
+//! Findings deltas between two revisions of the same tree — the
+//! `wap watch` streaming format.
+//!
+//! A live session re-analyzes on every edit; emitting the whole report
+//! each time would bury the one line the developer cares about. This
+//! module diffs two [`AppReport`]s into added/removed/unchanged findings
+//! and renders the result as schema-versioned NDJSON
+//! ([`WATCH_SCHEMA`] = `wap-watch-v1`): one `revision` header line with
+//! the counts, then one line per added/removed finding (and, in *full*
+//! mode, one `finding` line per current finding so a late-joining
+//! consumer can rebuild state).
+//!
+//! Rendering is hand-rolled (like the `wap-obs` trace writer) and
+//! contains no wall-clock values, so the delta stream for a given edit
+//! sequence is byte-deterministic at any worker count, cache state, or
+//! front-end.
+
+use crate::{AppReport, Finding};
+use std::collections::HashMap;
+
+/// Schema identifier stamped on every `wap watch` revision line.
+pub const WATCH_SCHEMA: &str = "wap-watch-v1";
+
+/// The findings difference between two revisions.
+#[derive(Debug, Clone, Default)]
+pub struct FindingsDelta {
+    /// Findings present in the new revision but not the old.
+    pub added: Vec<Finding>,
+    /// Findings present in the old revision but not the new.
+    pub removed: Vec<Finding>,
+    /// Findings present in both.
+    pub unchanged: usize,
+}
+
+/// The identity of a finding for delta matching: location, class, sink,
+/// and the predictor's verdict. Two findings with the same key in
+/// consecutive revisions are "the same finding".
+fn finding_key(f: &Finding) -> String {
+    format!(
+        "{}:{}:{}:{}:{}",
+        f.candidate.file.as_deref().unwrap_or(""),
+        f.candidate.line,
+        f.candidate.class.acronym(),
+        f.candidate.sink,
+        f.is_real()
+    )
+}
+
+/// Diffs `next` against `prev` as multisets of finding keys. Pass an
+/// empty/default report as `prev` for the first revision (everything is
+/// `added`).
+pub fn compute_delta(prev: &AppReport, next: &AppReport) -> FindingsDelta {
+    let mut prev_counts: HashMap<String, usize> = HashMap::new();
+    for f in &prev.findings {
+        *prev_counts.entry(finding_key(f)).or_insert(0) += 1;
+    }
+    let mut delta = FindingsDelta::default();
+    for f in &next.findings {
+        let key = finding_key(f);
+        match prev_counts.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                delta.unchanged += 1;
+            }
+            _ => delta.added.push(f.clone()),
+        }
+    }
+    for f in &prev.findings {
+        let key = finding_key(f);
+        if let Some(n) = prev_counts.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                delta.removed.push(f.clone());
+            }
+        }
+    }
+    delta
+}
+
+/// Renders one revision of the watch stream: the `revision` header line,
+/// an `added`/`removed` line per changed finding, and — when `full` —
+/// one `finding` line per finding in `next` (the complete current set).
+pub fn render_delta_ndjson(
+    revision: u64,
+    delta: &FindingsDelta,
+    next: &AppReport,
+    full: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{WATCH_SCHEMA}\",\"kind\":\"revision\",\"revision\":{revision},\
+         \"files\":{},\"added\":{},\"removed\":{},\"unchanged\":{},\"findings\":{},\
+         \"real\":{},\"parse_errors\":{}}}\n",
+        next.files_analyzed,
+        delta.added.len(),
+        delta.removed.len(),
+        delta.unchanged,
+        next.findings.len(),
+        next.real_vulnerabilities().count(),
+        next.parse_errors.len(),
+    ));
+    for f in &delta.added {
+        out.push_str(&finding_line("added", f));
+    }
+    for f in &delta.removed {
+        out.push_str(&finding_line("removed", f));
+    }
+    if full {
+        for f in &next.findings {
+            out.push_str(&finding_line("finding", f));
+        }
+    }
+    out
+}
+
+fn finding_line(kind: &str, f: &Finding) -> String {
+    format!(
+        "{{\"kind\":\"{kind}\",\"file\":{},\"line\":{},\"class\":{},\"sink\":{},\"real\":{}}}\n",
+        json_str(f.candidate.file.as_deref().unwrap_or("")),
+        f.candidate.line,
+        json_str(f.candidate.class.acronym()),
+        json_str(&f.candidate.sink),
+        f.is_real()
+    )
+}
+
+/// Minimal JSON string escaping (same rules as the wap-obs trace writer).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wap_mining::{FeatureVector, Prediction};
+    use wap_php::Span;
+    use wap_taint::Candidate;
+
+    fn finding(file: &str, line: u32, real: bool) -> Finding {
+        Finding {
+            candidate: Candidate {
+                class: wap_catalog::VulnClass::Sqli,
+                sink: "mysql_query".into(),
+                sink_span: Span::new(0, 1, line),
+                line,
+                sources: vec!["$_GET['id']".into()],
+                path: vec![],
+                carriers: vec![],
+                tainted_arg: Some(0),
+                fix_site: Span::new(0, 1, line),
+                literal_fragments: vec![],
+                file: Some(file.to_string()),
+            },
+            prediction: Prediction {
+                is_false_positive: !real,
+                votes: if real { 0 } else { 3 },
+                justification: vec![],
+            },
+            symptoms: FeatureVector {
+                features: vec![],
+                present: vec![],
+            },
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> AppReport {
+        AppReport {
+            findings,
+            files_analyzed: 2,
+            ..AppReport::default()
+        }
+    }
+
+    #[test]
+    fn first_revision_is_all_added() {
+        let prev = AppReport::default();
+        let next = report(vec![finding("a.php", 3, true), finding("b.php", 7, false)]);
+        let d = compute_delta(&prev, &next);
+        assert_eq!(d.added.len(), 2);
+        assert_eq!(d.removed.len(), 0);
+        assert_eq!(d.unchanged, 0);
+    }
+
+    #[test]
+    fn delta_matches_by_identity_and_counts_duplicates() {
+        let prev = report(vec![
+            finding("a.php", 3, true),
+            finding("a.php", 3, true), // duplicate key: multiset semantics
+            finding("b.php", 7, true),
+        ]);
+        let next = report(vec![finding("a.php", 3, true), finding("c.php", 1, true)]);
+        let d = compute_delta(&prev, &next);
+        assert_eq!(d.unchanged, 1, "one copy of a.php:3 survives");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].candidate.file.as_deref(), Some("c.php"));
+        let removed: Vec<&str> = d
+            .removed
+            .iter()
+            .map(|f| f.candidate.file.as_deref().unwrap())
+            .collect();
+        assert_eq!(removed, vec!["a.php", "b.php"]);
+    }
+
+    #[test]
+    fn verdict_flip_is_a_remove_plus_add() {
+        let prev = report(vec![finding("a.php", 3, true)]);
+        let next = report(vec![finding("a.php", 3, false)]);
+        let d = compute_delta(&prev, &next);
+        assert_eq!(d.unchanged, 0);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn ndjson_lines_are_schema_stamped_and_escaped() {
+        let prev = AppReport::default();
+        let next = report(vec![finding("dir/a \"q\".php", 3, true)]);
+        let d = compute_delta(&prev, &next);
+        let out = render_delta_ndjson(1, &d, &next, false);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains("\"schema\":\"wap-watch-v1\""), "{out}");
+        assert!(lines[0].contains("\"revision\":1"), "{out}");
+        assert!(lines[0].contains("\"added\":1"), "{out}");
+        assert!(lines[1].contains("\"kind\":\"added\""), "{out}");
+        assert!(lines[1].contains("\\\"q\\\""), "escaped quote: {out}");
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+    }
+
+    #[test]
+    fn full_mode_re_emits_every_current_finding() {
+        let next = report(vec![finding("a.php", 3, true), finding("b.php", 7, true)]);
+        let d = compute_delta(&next, &next); // no changes
+        let out = render_delta_ndjson(4, &d, &next, true);
+        assert_eq!(out.lines().count(), 3, "{out}");
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.contains("\"kind\":\"finding\""))
+                .count(),
+            2
+        );
+        assert!(out.contains("\"unchanged\":2"), "{out}");
+        // without full, an unchanged revision is just the header
+        let quiet = render_delta_ndjson(4, &d, &next, false);
+        assert_eq!(quiet.lines().count(), 1, "{quiet}");
+    }
+}

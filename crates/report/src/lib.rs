@@ -14,11 +14,13 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 mod json;
 mod model;
 mod sarif;
 mod text;
 
+pub use delta::{compute_delta, render_delta_ndjson, FindingsDelta, WATCH_SCHEMA};
 pub use json::{render_json, render_ndjson};
 pub use model::{AppReport, FileStat, Finding, ScanStats};
 pub use sarif::render_sarif;

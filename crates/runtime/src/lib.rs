@@ -23,6 +23,10 @@
 
 #![warn(missing_docs)]
 
+pub mod queue;
+
+pub use queue::{JobQueue, JobStatus, SubmitError, Task};
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,325 @@
+//! A bounded, generic job queue shared by every resident front-end.
+//!
+//! Extracted from `wap-serve` so the HTTP service, `wap watch`, and
+//! `wap lsp` run one admission-control implementation instead of three
+//! copies. The queue is parameterized over the task payload `T` and the
+//! completion value `R`; front-ends define their own payload types
+//! (`wap-serve` keeps its render format and fail policy there,
+//! `wap-live` its revision numbers).
+//!
+//! Admission control happens at [`JobQueue::submit`]: when the queue is
+//! at capacity the caller gets [`SubmitError::Full`] (wap-serve turns it
+//! into `429` + `Retry-After`), and once draining has begun every submit
+//! is refused with [`SubmitError::Draining`] (`503`). Executor threads
+//! block in [`JobQueue::next_task`]; synchronous consumers block in
+//! [`JobQueue::wait`]. Everything is a `Mutex` + two `Condvar`s — no
+//! async runtime, matching the house style of this crate.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Finished jobs retained for polling before the oldest are evicted.
+const DONE_RETAIN: usize = 256;
+
+/// One job waiting for (or owned by) an executor.
+#[derive(Debug)]
+pub struct Task<T> {
+    /// Job id, unique for the queue's lifetime.
+    pub id: u64,
+    /// The front-end's task payload.
+    pub payload: T,
+    /// When the job was admitted — executors subtract this to report
+    /// queue-wait latency.
+    pub submitted: Instant,
+}
+
+/// A job's externally visible state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<R> {
+    /// Admitted, not yet picked up by an executor.
+    Queued,
+    /// An executor owns the job.
+    Running,
+    /// Finished with the front-end's completion value.
+    Done(R),
+    /// The job could not be completed.
+    Failed {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl<R> JobStatus<R> {
+    /// Whether this state is terminal.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done(_) | JobStatus::Failed { .. })
+    }
+
+    /// The status name used in job-polling responses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry shortly.
+    Full,
+    /// The queue is draining for shutdown; no new work is admitted.
+    Draining,
+}
+
+struct Inner<T, R> {
+    pending: VecDeque<Task<T>>,
+    jobs: HashMap<u64, JobStatus<R>>,
+    done_order: VecDeque<u64>,
+    next_id: u64,
+    running: usize,
+    draining: bool,
+}
+
+impl<T, R> Default for Inner<T, R> {
+    fn default() -> Self {
+        Inner {
+            pending: VecDeque::new(),
+            jobs: HashMap::new(),
+            done_order: VecDeque::new(),
+            next_id: 0,
+            running: 0,
+            draining: false,
+        }
+    }
+}
+
+/// The bounded job queue shared by submitters and executors.
+pub struct JobQueue<T, R> {
+    capacity: usize,
+    inner: Mutex<Inner<T, R>>,
+    /// Signals executors that work arrived or draining began.
+    work_ready: Condvar,
+    /// Signals pollers that some job reached a terminal state.
+    job_changed: Condvar,
+}
+
+impl<T, R: Clone> JobQueue<T, R> {
+    /// A queue admitting at most `capacity` pending jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            work_ready: Condvar::new(),
+            job_changed: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Draining`] after
+    /// [`JobQueue::drain`].
+    pub fn submit(&self, payload: T) -> Result<u64, SubmitError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.draining {
+            return Err(SubmitError::Draining);
+        }
+        if inner.pending.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(id, JobStatus::Queued);
+        inner.pending.push_back(Task {
+            id,
+            payload,
+            submitted: Instant::now(),
+        });
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a task is available and claims it, or returns `None`
+    /// once the queue is draining and empty (executor shutdown signal).
+    pub fn next_task(&self) -> Option<Task<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(task) = inner.pending.pop_front() {
+                inner.running += 1;
+                inner.jobs.insert(task.id, JobStatus::Running);
+                return Some(task);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.work_ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Records a finished job.
+    pub fn complete(&self, id: u64, result: R) {
+        self.finish(id, JobStatus::Done(result));
+    }
+
+    /// Records a failed job.
+    pub fn fail(&self, id: u64, message: String) {
+        self.finish(id, JobStatus::Failed { message });
+    }
+
+    fn finish(&self, id: u64, status: JobStatus<R>) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.running = inner.running.saturating_sub(1);
+        inner.jobs.insert(id, status);
+        inner.done_order.push_back(id);
+        while inner.done_order.len() > DONE_RETAIN {
+            if let Some(old) = inner.done_order.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
+        self.job_changed.notify_all();
+    }
+
+    /// A snapshot of one job's state; `None` for unknown (or evicted) ids.
+    pub fn status(&self, id: u64) -> Option<JobStatus<R>> {
+        self.inner
+            .lock()
+            .expect("queue lock")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until job `id` reaches a terminal state and returns it;
+    /// `None` for unknown ids.
+    pub fn wait(&self, id: u64) -> Option<JobStatus<R>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            match inner.jobs.get(&id) {
+                None => return None,
+                Some(s) if s.is_terminal() => return Some(s.clone()),
+                Some(_) => inner = self.job_changed.wait(inner).expect("queue lock"),
+            }
+        }
+    }
+
+    /// Pending (admitted, not yet running) jobs.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").pending.len()
+    }
+
+    /// Jobs currently owned by executors.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().expect("queue lock").running
+    }
+
+    /// Stops admission and wakes every executor so that, once the pending
+    /// queue empties, [`JobQueue::next_task`] returns `None`.
+    pub fn drain(&self) {
+        self.inner.lock().expect("queue lock").draining = true;
+        self.work_ready.notify_all();
+    }
+
+    /// Whether draining has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().expect("queue lock").draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Queue = JobQueue<usize, String>;
+
+    #[test]
+    fn admission_control_fills_and_refuses() {
+        let q = Queue::new(2);
+        assert!(q.submit(0).is_ok());
+        assert!(q.submit(1).is_ok());
+        assert_eq!(q.submit(2), Err(SubmitError::Full));
+        assert_eq!(q.depth(), 2);
+        // claiming one frees a slot
+        let t = q.next_task().unwrap();
+        assert_eq!(t.payload, 0);
+        assert_eq!(q.status(t.id), Some(JobStatus::Running));
+        assert!(q.submit(3).is_ok());
+    }
+
+    #[test]
+    fn draining_refuses_new_but_finishes_queued() {
+        let q = Queue::new(4);
+        let id = q.submit(0).unwrap();
+        q.drain();
+        assert!(q.is_draining());
+        assert_eq!(q.submit(1), Err(SubmitError::Draining));
+        // queued work is still handed out...
+        let t = q.next_task().unwrap();
+        assert_eq!(t.id, id);
+        q.complete(t.id, "ok".into());
+        // ...and only then do executors see the shutdown signal
+        assert!(q.next_task().is_none());
+    }
+
+    #[test]
+    fn wait_blocks_until_terminal() {
+        let q = std::sync::Arc::new(Queue::new(4));
+        let id = q.submit(0).unwrap();
+        let q2 = q.clone();
+        let waiter = std::thread::spawn(move || q2.wait(id));
+        let t = q.next_task().unwrap();
+        q.complete(t.id, "{}".into());
+        match waiter.join().unwrap() {
+            Some(JobStatus::Done(body)) => assert_eq!(body, "{}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.wait(999_999), None, "unknown ids do not block");
+    }
+
+    #[test]
+    fn failed_jobs_are_reported() {
+        let q = Queue::new(1);
+        let id = q.submit(0).unwrap();
+        let t = q.next_task().unwrap();
+        q.fail(t.id, "boom".into());
+        assert_eq!(
+            q.status(id),
+            Some(JobStatus::Failed {
+                message: "boom".into()
+            })
+        );
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.status(id).unwrap().name(), "failed");
+    }
+
+    #[test]
+    fn done_jobs_are_evicted_oldest_first() {
+        let q = Queue::new(1);
+        let mut first = None;
+        for i in 0..(DONE_RETAIN + 10) {
+            let id = q.submit(i).unwrap();
+            first.get_or_insert(id);
+            let t = q.next_task().unwrap();
+            q.complete(t.id, String::new());
+        }
+        assert_eq!(q.status(first.unwrap()), None, "oldest evicted");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = Queue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.submit(0).is_ok());
+        assert_eq!(q.submit(1), Err(SubmitError::Full));
+    }
+}

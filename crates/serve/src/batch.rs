@@ -22,7 +22,7 @@
 
 use crate::http::Request;
 use crate::metrics::Metrics;
-use crate::queue::{JobStatus, SubmitError};
+use crate::queue::{JobStatus, ScanRequest, SubmitError};
 use crate::{scan_format, tar, Shared};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -104,10 +104,12 @@ fn run_app(shared: &Shared, app: BatchApp, format: wap_report::Format, lint: boo
     }
     let deadline = std::time::Instant::now() + FULL_RETRY_LIMIT;
     let id = loop {
-        match shared
-            .queue
-            .submit(app.sources.clone(), format, lint, FailOn::None)
-        {
+        match shared.queue.submit(ScanRequest {
+            sources: app.sources.clone(),
+            format,
+            lint,
+            fail_on: FailOn::None,
+        }) {
             Ok(id) => break id,
             Err(SubmitError::Full) if std::time::Instant::now() < deadline => {
                 std::thread::sleep(Duration::from_millis(50));
@@ -122,10 +124,10 @@ fn run_app(shared: &Shared, app: BatchApp, format: wap_report::Format, lint: boo
     };
     Metrics::inc(&shared.metrics.jobs_accepted);
     match shared.queue.wait(id) {
-        Some(JobStatus::Done { body, .. }) => format!(
+        Some(JobStatus::Done(out)) => format!(
             "{{\"app\":{},\"status\":\"done\",\"report\":{}}}\n",
             json_string(&app.name),
-            json_string(&body)
+            json_string(&out.body)
         ),
         Some(JobStatus::Failed { message }) => fail_line(&app.name, &message),
         _ => fail_line(&app.name, "job vanished"),

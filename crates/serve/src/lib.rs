@@ -41,7 +41,7 @@ pub mod tar;
 pub use cli::cli_main;
 
 use metrics::Metrics;
-use queue::{JobQueue, JobStatus, SubmitError};
+use queue::{JobQueue, JobStatus, ScanOutcome, ScanRequest, SubmitError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -282,21 +282,27 @@ impl Server {
 fn executor_loop(shared: &Shared) {
     while let Some(task) = shared.queue.next_task() {
         shared.metrics.record_queue_wait(task.submitted.elapsed());
+        let scan = &task.payload;
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut report = shared.tool.analyze_sources(&task.sources);
-            if task.lint {
-                shared.tool.apply_lint(&mut report, &task.sources);
+            let mut report = shared.tool.analyze_sources(&scan.sources);
+            if scan.lint {
+                shared.tool.apply_lint(&mut report, &scan.sources);
             }
-            let body = task.format.render(&report, &shared.classes);
-            let failing = task.fail_on.exit_code(&report) != 0;
+            let body = scan.format.render(&report, &shared.classes);
+            let failing = scan.fail_on.exit_code(&report) != 0;
             (report, body, failing)
         }));
         match run {
             Ok((report, body, failing)) => {
                 shared.metrics.record_report(&report);
-                shared
-                    .queue
-                    .complete(task.id, task.format.content_type(), body, failing);
+                shared.queue.complete(
+                    task.id,
+                    ScanOutcome {
+                        content_type: scan.format.content_type(),
+                        body,
+                        failing,
+                    },
+                );
             }
             Err(_) => {
                 Metrics::inc(&shared.metrics.jobs_failed);
@@ -509,7 +515,12 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             }
         },
     };
-    let id = match shared.queue.submit(sources, format, lint, fail_on) {
+    let id = match shared.queue.submit(ScanRequest {
+        sources,
+        format,
+        lint,
+        fail_on,
+    }) {
         Ok(id) => id,
         Err(SubmitError::Full) => {
             Metrics::inc(&shared.metrics.jobs_rejected);
@@ -542,14 +553,10 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         );
     }
     match shared.queue.wait(id) {
-        Some(JobStatus::Done {
-            content_type,
-            body,
-            failing,
-        }) => (
-            if failing { 422 } else { 200 },
-            content_type,
-            body.into_bytes(),
+        Some(JobStatus::Done(out)) => (
+            if out.failing { 422 } else { 200 },
+            out.content_type,
+            out.body.into_bytes(),
             vec![],
         ),
         Some(JobStatus::Failed { message }) => (
@@ -586,14 +593,10 @@ fn handle_job_poll(shared: &Shared, path: &str) -> RouteResponse {
             "unknown job\n".into(),
             vec![],
         ),
-        Some(JobStatus::Done {
-            content_type,
-            body,
-            failing,
-        }) => (
-            if failing { 422 } else { 200 },
-            content_type,
-            body.into_bytes(),
+        Some(JobStatus::Done(out)) => (
+            if out.failing { 422 } else { 200 },
+            out.content_type,
+            out.body.into_bytes(),
             vec![],
         ),
         Some(JobStatus::Failed { message }) => (

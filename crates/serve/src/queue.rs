@@ -1,27 +1,22 @@
-//! The bounded scan-job queue.
+//! The scan-job payload types over the shared bounded queue.
 //!
-//! Admission control happens at [`JobQueue::submit`]: when the queue is at
-//! capacity the caller gets [`SubmitError::Full`] (the HTTP layer turns it
-//! into `429` + `Retry-After`), and once draining has begun every submit is
-//! refused with [`SubmitError::Draining`] (`503`). Executor threads block
-//! in [`JobQueue::next_task`]; synchronous HTTP handlers block in
-//! [`JobQueue::wait`]. Everything is a `Mutex` + two `Condvar`s — no
-//! async runtime, matching the house style of `wap-runtime`.
+//! The queue implementation itself lives in [`wap_runtime::queue`] — one
+//! `Mutex` + two `Condvar`s shared by `wap serve`, `wap watch`, and
+//! `wap lsp` — and this module only defines what a *scan* job carries:
+//! the pre-collected sources with their render options going in
+//! ([`ScanRequest`]), and the rendered report coming out
+//! ([`ScanOutcome`]). Admission control semantics are the queue's: a
+//! full queue refuses with [`SubmitError::Full`] (the HTTP layer answers
+//! `429` + `Retry-After`) and a draining one with
+//! [`SubmitError::Draining`] (`503`).
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+pub use wap_runtime::queue::SubmitError;
 use wap_core::cli::FailOn;
 use wap_report::Format;
 
-/// Finished jobs retained for polling before the oldest are evicted.
-const DONE_RETAIN: usize = 256;
-
 /// One scan waiting for (or owned by) an executor.
 #[derive(Debug)]
-pub struct ScanTask {
-    /// Job id, unique for the server's lifetime.
-    pub id: u64,
+pub struct ScanRequest {
     /// `(file name, contents)` pairs, pre-collected by the HTTP layer.
     pub sources: Vec<(String, String)>,
     /// Render format for the finished report.
@@ -31,308 +26,74 @@ pub struct ScanTask {
     /// Exit-code policy (`?fail_on=`); a failing report is answered with
     /// HTTP 422 instead of 200.
     pub fail_on: FailOn,
-    /// When the job was admitted — executors subtract this to report
-    /// queue-wait latency.
-    pub submitted: Instant,
 }
 
-/// A job's externally visible state.
+/// A finished scan: the rendered report and how to serve it.
 #[derive(Debug, Clone, PartialEq)]
-pub enum JobStatus {
-    /// Admitted, not yet picked up by an executor.
-    Queued,
-    /// An executor is scanning.
-    Running,
-    /// Finished: the rendered report and its MIME type.
-    Done {
-        /// `Content-Type` of the rendered body.
-        content_type: &'static str,
-        /// The rendered report.
-        body: String,
-        /// Whether the task's `fail_on` policy fails this report — the
-        /// HTTP layer maps it to 422 (the CLI's exit-code 1 analogue).
-        failing: bool,
-    },
-    /// The scan could not be completed.
-    Failed {
-        /// Human-readable reason.
-        message: String,
-    },
+pub struct ScanOutcome {
+    /// `Content-Type` of the rendered body.
+    pub content_type: &'static str,
+    /// The rendered report.
+    pub body: String,
+    /// Whether the task's `fail_on` policy fails this report — the HTTP
+    /// layer maps it to 422 (the CLI's exit-code 1 analogue).
+    pub failing: bool,
 }
 
-impl JobStatus {
-    /// Whether this state is terminal.
-    pub fn is_terminal(&self) -> bool {
-        matches!(self, JobStatus::Done { .. } | JobStatus::Failed { .. })
-    }
+/// A claimed scan task (the shared queue's task over [`ScanRequest`]).
+pub type ScanTask = wap_runtime::queue::Task<ScanRequest>;
 
-    /// The status name used in job-polling responses.
-    pub fn name(&self) -> &'static str {
-        match self {
-            JobStatus::Queued => "queued",
-            JobStatus::Running => "running",
-            JobStatus::Done { .. } => "done",
-            JobStatus::Failed { .. } => "failed",
-        }
-    }
-}
+/// A scan job's externally visible state.
+pub type JobStatus = wap_runtime::queue::JobStatus<ScanOutcome>;
 
-/// Why a submission was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The queue is at capacity; retry shortly.
-    Full,
-    /// The server is draining for shutdown; no new work is admitted.
-    Draining,
-}
-
-#[derive(Default)]
-struct Inner {
-    pending: VecDeque<ScanTask>,
-    jobs: HashMap<u64, JobStatus>,
-    done_order: VecDeque<u64>,
-    next_id: u64,
-    running: usize,
-    draining: bool,
-}
-
-/// The bounded job queue shared by HTTP handlers and executors.
-pub struct JobQueue {
-    capacity: usize,
-    inner: Mutex<Inner>,
-    /// Signals executors that work arrived or draining began.
-    work_ready: Condvar,
-    /// Signals pollers that some job reached a terminal state.
-    job_changed: Condvar,
-}
-
-impl JobQueue {
-    /// A queue admitting at most `capacity` pending jobs (minimum 1).
-    pub fn new(capacity: usize) -> Self {
-        JobQueue {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner::default()),
-            work_ready: Condvar::new(),
-            job_changed: Condvar::new(),
-        }
-    }
-
-    /// The admission capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Admits a scan, returning its job id.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::Full`] at capacity, [`SubmitError::Draining`] after
-    /// [`JobQueue::drain`].
-    pub fn submit(
-        &self,
-        sources: Vec<(String, String)>,
-        format: Format,
-        lint: bool,
-        fail_on: FailOn,
-    ) -> Result<u64, SubmitError> {
-        let mut inner = self.inner.lock().expect("queue lock");
-        if inner.draining {
-            return Err(SubmitError::Draining);
-        }
-        if inner.pending.len() >= self.capacity {
-            return Err(SubmitError::Full);
-        }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        inner.jobs.insert(id, JobStatus::Queued);
-        inner.pending.push_back(ScanTask {
-            id,
-            sources,
-            format,
-            lint,
-            fail_on,
-            submitted: Instant::now(),
-        });
-        self.work_ready.notify_one();
-        Ok(id)
-    }
-
-    /// Blocks until a task is available and claims it, or returns `None`
-    /// once the queue is draining and empty (executor shutdown signal).
-    pub fn next_task(&self) -> Option<ScanTask> {
-        let mut inner = self.inner.lock().expect("queue lock");
-        loop {
-            if let Some(task) = inner.pending.pop_front() {
-                inner.running += 1;
-                inner.jobs.insert(task.id, JobStatus::Running);
-                return Some(task);
-            }
-            if inner.draining {
-                return None;
-            }
-            inner = self.work_ready.wait(inner).expect("queue lock");
-        }
-    }
-
-    /// Records a finished scan.
-    pub fn complete(&self, id: u64, content_type: &'static str, body: String, failing: bool) {
-        self.finish(
-            id,
-            JobStatus::Done {
-                content_type,
-                body,
-                failing,
-            },
-        );
-    }
-
-    /// Records a failed scan.
-    pub fn fail(&self, id: u64, message: String) {
-        self.finish(id, JobStatus::Failed { message });
-    }
-
-    fn finish(&self, id: u64, status: JobStatus) {
-        let mut inner = self.inner.lock().expect("queue lock");
-        inner.running = inner.running.saturating_sub(1);
-        inner.jobs.insert(id, status);
-        inner.done_order.push_back(id);
-        while inner.done_order.len() > DONE_RETAIN {
-            if let Some(old) = inner.done_order.pop_front() {
-                inner.jobs.remove(&old);
-            }
-        }
-        self.job_changed.notify_all();
-    }
-
-    /// A snapshot of one job's state; `None` for unknown (or evicted) ids.
-    pub fn status(&self, id: u64) -> Option<JobStatus> {
-        self.inner
-            .lock()
-            .expect("queue lock")
-            .jobs
-            .get(&id)
-            .cloned()
-    }
-
-    /// Blocks until job `id` reaches a terminal state and returns it;
-    /// `None` for unknown ids.
-    pub fn wait(&self, id: u64) -> Option<JobStatus> {
-        let mut inner = self.inner.lock().expect("queue lock");
-        loop {
-            match inner.jobs.get(&id) {
-                None => return None,
-                Some(s) if s.is_terminal() => return Some(s.clone()),
-                Some(_) => inner = self.job_changed.wait(inner).expect("queue lock"),
-            }
-        }
-    }
-
-    /// Pending (admitted, not yet running) jobs.
-    pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").pending.len()
-    }
-
-    /// Jobs currently being scanned.
-    pub fn in_flight(&self) -> usize {
-        self.inner.lock().expect("queue lock").running
-    }
-
-    /// Stops admission and wakes every executor so that, once the pending
-    /// queue empties, [`JobQueue::next_task`] returns `None`.
-    pub fn drain(&self) {
-        self.inner.lock().expect("queue lock").draining = true;
-        self.work_ready.notify_all();
-    }
-
-    /// Whether draining has begun.
-    pub fn is_draining(&self) -> bool {
-        self.inner.lock().expect("queue lock").draining
-    }
-}
+/// The bounded scan queue shared by HTTP handlers and executors.
+pub type JobQueue = wap_runtime::queue::JobQueue<ScanRequest, ScanOutcome>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn src(n: usize) -> Vec<(String, String)> {
-        vec![(format!("f{n}.php"), "<?php echo 1;\n".to_string())]
+    fn request(n: usize) -> ScanRequest {
+        ScanRequest {
+            sources: vec![(format!("f{n}.php"), "<?php echo 1;\n".to_string())],
+            format: Format::Json,
+            lint: false,
+            fail_on: FailOn::None,
+        }
     }
 
     #[test]
-    fn admission_control_fills_and_refuses() {
+    fn scan_requests_round_trip_through_the_shared_queue() {
         let q = JobQueue::new(2);
-        assert!(q.submit(src(0), Format::Json, false, FailOn::None).is_ok());
-        assert!(q.submit(src(1), Format::Json, false, FailOn::None).is_ok());
-        assert_eq!(
-            q.submit(src(2), Format::Json, false, FailOn::None),
-            Err(SubmitError::Full)
-        );
-        assert_eq!(q.depth(), 2);
-        // claiming one frees a slot
-        let t = q.next_task().unwrap();
-        assert_eq!(q.status(t.id), Some(JobStatus::Running));
-        assert!(q.submit(src(3), Format::Json, false, FailOn::None).is_ok());
-    }
-
-    #[test]
-    fn draining_refuses_new_but_finishes_queued() {
-        let q = JobQueue::new(4);
-        let id = q.submit(src(0), Format::Text, false, FailOn::None).unwrap();
-        q.drain();
-        assert_eq!(
-            q.submit(src(1), Format::Text, false, FailOn::None),
-            Err(SubmitError::Draining)
-        );
-        // queued work is still handed out...
+        let id = q.submit(request(0)).unwrap();
+        assert!(q.submit(request(1)).is_ok());
+        assert_eq!(q.submit(request(2)).unwrap_err(), SubmitError::Full);
         let t = q.next_task().unwrap();
         assert_eq!(t.id, id);
-        q.complete(t.id, "text/plain", "ok".into(), false);
-        // ...and only then do executors see the shutdown signal
-        assert!(q.next_task().is_none());
-    }
-
-    #[test]
-    fn wait_blocks_until_terminal() {
-        let q = std::sync::Arc::new(JobQueue::new(4));
-        let id = q.submit(src(0), Format::Json, false, FailOn::None).unwrap();
-        let q2 = q.clone();
-        let waiter = std::thread::spawn(move || q2.wait(id));
-        let t = q.next_task().unwrap();
-        q.complete(t.id, "application/json", "{}".into(), false);
-        match waiter.join().unwrap() {
-            Some(JobStatus::Done { body, .. }) => assert_eq!(body, "{}"),
+        assert_eq!(t.payload.sources[0].0, "f0.php");
+        assert_eq!(t.payload.format, Format::Json);
+        q.complete(
+            t.id,
+            ScanOutcome {
+                content_type: "application/json",
+                body: "{}".into(),
+                failing: false,
+            },
+        );
+        match q.status(id) {
+            Some(JobStatus::Done(out)) => {
+                assert_eq!(out.body, "{}");
+                assert!(!out.failing);
+            }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(q.wait(999_999), None, "unknown ids do not block");
     }
 
     #[test]
-    fn failed_jobs_are_reported() {
-        let q = JobQueue::new(1);
-        let id = q.submit(src(0), Format::Json, false, FailOn::None).unwrap();
-        let t = q.next_task().unwrap();
-        q.fail(t.id, "boom".into());
-        assert_eq!(
-            q.status(id),
-            Some(JobStatus::Failed {
-                message: "boom".into()
-            })
-        );
-        assert_eq!(q.in_flight(), 0);
-    }
-
-    #[test]
-    fn done_jobs_are_evicted_oldest_first() {
-        let q = JobQueue::new(1);
-        let mut first = None;
-        for i in 0..(DONE_RETAIN + 10) {
-            let id = q.submit(src(i), Format::Text, false, FailOn::None).unwrap();
-            first.get_or_insert(id);
-            let t = q.next_task().unwrap();
-            q.complete(t.id, "text/plain", String::new(), false);
-        }
-        assert_eq!(q.status(first.unwrap()), None, "oldest evicted");
-        let newest = q.inner.lock().unwrap().next_id - 1;
-        assert!(q.status(newest).is_some());
+    fn draining_scan_queue_refuses_like_the_server_does() {
+        let q = JobQueue::new(4);
+        q.drain();
+        assert_eq!(q.submit(request(0)).unwrap_err(), SubmitError::Draining);
+        assert!(q.next_task().is_none());
     }
 }

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the live front-ends, run by CI after a
+# release build:
+#
+#   1. boot `wap watch` on a small vulnerable app, streaming NDJSON deltas
+#   2. require the initial revision, then edit a file and require the
+#      incremental delta (one added finding) within a 2-second budget
+#   3. SIGTERM the watcher and require a graceful exit with status 0 and
+#      the re-analysis histogram on stderr
+#   4. pipe a canned JSON-RPC session through `wap lsp` and assert the
+#      initialize response and publishDiagnostics notifications (jq when
+#      available, grep otherwise), plus a clean exit
+#
+# Requires: target/release/wap (built by the caller, or override with
+# WAP_BIN); uses jq if present.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${WAP_BIN:-$ROOT/target/release/wap}"
+WORK="$(mktemp -d)"
+WATCH_PID=""
+
+cleanup() {
+    if [[ -n "$WATCH_PID" ]] && kill -0 "$WATCH_PID" 2>/dev/null; then
+        kill -KILL "$WATCH_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "live-smoke: FAIL: $*" >&2
+    echo "--- watch stream ---" >&2
+    cat "$WORK/watch.ndjson" >&2 || true
+    echo "--- watch stderr ---" >&2
+    cat "$WORK/watch.err" >&2 || true
+    exit 1
+}
+
+[[ -x "$BIN" ]] || { echo "live-smoke: build target/release/wap first" >&2; exit 1; }
+
+mkdir -p "$WORK/app"
+cat > "$WORK/app/index.php" <<'PHP'
+<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE id = $id");
+PHP
+
+# Waits (bounded) until the delta stream holds at least N revision lines.
+wait_revisions() {
+    local want="$1" budget="$2"
+    for _ in $(seq 1 "$budget"); do
+        if [[ "$(grep -c '"kind":"revision"' "$WORK/watch.ndjson" 2>/dev/null || true)" -ge "$want" ]]; then
+            return 0
+        fi
+        kill -0 "$WATCH_PID" 2>/dev/null || fail "watcher exited early"
+        sleep 0.1
+    done
+    fail "delta stream never reached $want revisions"
+}
+
+# --- watch mode ------------------------------------------------------------
+echo "live-smoke: starting watcher on $WORK/app"
+"$BIN" watch "$WORK/app" --poll-ms 50 --debounce-ms 20 \
+    > "$WORK/watch.ndjson" 2> "$WORK/watch.err" &
+WATCH_PID=$!
+wait_revisions 1 100
+grep -q '"schema":"wap-watch-v1"' "$WORK/watch.ndjson" \
+    || fail "initial revision missing the wap-watch-v1 schema tag"
+grep -q '"revision":1' "$WORK/watch.ndjson" || fail "no initial revision line"
+echo "live-smoke: initial scan streamed"
+
+# an edit that introduces one more finding must surface within 2 seconds
+cat >> "$WORK/app/index.php" <<'PHP'
+echo "<p>Hello " . $_GET['name'] . "</p>";
+PHP
+wait_revisions 2 20
+grep -q '"revision":2' "$WORK/watch.ndjson" || fail "no delta revision line"
+grep -q '"kind":"added"' "$WORK/watch.ndjson" || fail "edit produced no added finding"
+grep -q '"class":"XSS"' "$WORK/watch.ndjson" || fail "added finding is not the echoed XSS"
+echo "live-smoke: incremental delta within budget"
+
+kill -TERM "$WATCH_PID"
+STATUS=0
+wait "$WATCH_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "watcher exited $STATUS on SIGTERM (want 0)"
+grep -q '^wap_live_reanalysis_seconds_count{mode="watch"}' "$WORK/watch.err" \
+    || fail "watcher stderr missing the re-analysis histogram"
+WATCH_PID=""
+echo "live-smoke: graceful shutdown, metrics on stderr"
+
+# --- LSP mode ----------------------------------------------------------------
+frame() {
+    local body="$1"
+    printf 'Content-Length: %d\r\n\r\n%s' "${#body}" "$body"
+}
+
+URI="file://$WORK/app/index.php"
+OPEN_TEXT='<?php\necho $_GET[\"q\"];\n'
+{
+    frame '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"rootUri":"file://'"$WORK"'/app"}}'
+    frame '{"jsonrpc":"2.0","method":"initialized","params":{}}'
+    frame '{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"'"$URI"'","languageId":"php","version":1,"text":"'"$OPEN_TEXT"'"}}}'
+    frame '{"jsonrpc":"2.0","id":2,"method":"shutdown"}'
+    frame '{"jsonrpc":"2.0","method":"exit"}'
+} > "$WORK/lsp-in.bin"
+
+"$BIN" lsp < "$WORK/lsp-in.bin" > "$WORK/lsp-out.bin" 2> "$WORK/lsp.err" \
+    || fail "lsp session exited non-zero: $(cat "$WORK/lsp.err")"
+
+# bodies are single-line JSON but frames carry no trailing newline, so a
+# body and the next header share a line; split on the header instead
+tr -d '\r' < "$WORK/lsp-out.bin" | sed 's/Content-Length: [0-9]*/\n/g' \
+    | grep -v '^$' > "$WORK/lsp-bodies.ndjson"
+
+if command -v jq > /dev/null 2>&1; then
+    jq -s -e '
+        (map(select(.id == 1)) | length == 1) and
+        (map(select(.id == 1)) | .[0].result.capabilities.textDocumentSync.openClose == true) and
+        (map(select(.method == "textDocument/publishDiagnostics")) | length >= 1) and
+        (map(select(.method == "textDocument/publishDiagnostics"))
+            | .[0].params.diagnostics | length >= 1) and
+        (map(select(.id == 2)) | .[0] | has("result"))
+    ' "$WORK/lsp-bodies.ndjson" > /dev/null \
+        || fail "lsp session failed jq assertions: $(cat "$WORK/lsp-bodies.ndjson")"
+else
+    grep -q '"textDocumentSync"' "$WORK/lsp-bodies.ndjson" || fail "no initialize response"
+    grep -q '"method":"textDocument/publishDiagnostics"' "$WORK/lsp-bodies.ndjson" \
+        || fail "no publishDiagnostics notification"
+    grep -q '"code":"XSS"' "$WORK/lsp-bodies.ndjson" || fail "no XSS diagnostic published"
+fi
+echo "live-smoke: lsp session OK"
+
+echo "live-smoke: PASS"

@@ -51,6 +51,7 @@ members = [
     "core",
     "report",
     "serve",
+    "live",
     "bench",
     "facade",
 ]
@@ -421,7 +422,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php cache catalog cfg obs runtime taint mining fixer interp corpus core report serve bench; do
+for c in php cache catalog cfg obs runtime taint mining fixer interp corpus core report serve live bench; do
     crate_dir "$c"
 done
 
@@ -560,6 +561,16 @@ wap-corpus = { path = "../corpus" }
 EOF
 } > "$SCRATCH/serve/Cargo.toml"
 
+{ common_pkg live; cat <<'EOF'
+[dependencies]
+wap-core = { path = "../core" }
+wap-report = { path = "../report" }
+wap-runtime = { path = "../runtime" }
+wap-catalog = { path = "../catalog" }
+wap-obs = { path = "../obs" }
+EOF
+} > "$SCRATCH/live/Cargo.toml"
+
 { common_pkg bench; cat <<'EOF'
 [dependencies]
 wap-php = { path = "../php" }
@@ -573,6 +584,7 @@ wap-interp = { path = "../interp" }
 wap-runtime = { path = "../runtime" }
 wap-cache = { path = "../cache" }
 wap-serve = { path = "../serve" }
+wap-live = { path = "../live" }
 rand = { path = "../shims/rand" }
 
 [dev-dependencies]
@@ -634,6 +646,7 @@ wap-interp = { path = "../interp" }
 wap-obs = { path = "../obs" }
 wap-report = { path = "../report" }
 wap-serve = { path = "../serve" }
+wap-live = { path = "../live" }
 
 [[bin]]
 name = "wap"
@@ -666,6 +679,10 @@ path = "tests/trace_determinism.rs"
 [[test]]
 name = "roundtrip_property"
 path = "tests/roundtrip_property.rs"
+
+[[test]]
+name = "live_determinism"
+path = "tests/live_determinism.rs"
 EOF
 
 cd "$SCRATCH"
@@ -679,13 +696,13 @@ fi
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
     cargo test --offline -q -p wap-php -p wap-cache -p wap-cfg -p wap-obs -p wap-runtime -p wap-taint
-    echo "== offline-check: report + serve tests (std-only service stack) =="
-    cargo test --offline -q -p wap-report -p wap-serve
+    echo "== offline-check: report + serve + live tests (std-only service stack) =="
+    cargo test --offline -q -p wap-report -p wap-serve -p wap-live
     echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
     echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test fleet_determinism --test trace_determinism --test roundtrip_property
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test fleet_determinism --test trace_determinism --test roundtrip_property --test live_determinism
 fi
 
 echo "offline-check: OK"

@@ -9,7 +9,7 @@
 #     the span/event counts
 #   - every other record is a span (phase, job, start_ns, dur_ns) or an
 #     event (name, job, at_ns), with non-negative integer timestamps
-#   - span phases come from the known set (parse/taint/…/cache/cfg/lint)
+#   - span phases come from the known set (parse/taint/…/cfg/lint/live)
 #   - the meta counts match the records that follow
 
 def fail(msg): error("trace_assert: " + msg);
@@ -30,7 +30,7 @@ if length == 0 then fail("empty trace") else . end
 | if $spans | all(
       (.phase | type == "string")
       and (.phase | IN("parse", "taint", "summary_merge", "toplevel_exec",
-                       "vote", "predict", "fix", "cache", "cfg", "lint"))
+                       "vote", "predict", "fix", "cache", "cfg", "lint", "live"))
       and (.job | type == "number")
       and (.start_ns | type == "number") and .start_ns >= 0
       and (.dur_ns | type == "number") and .dur_ns >= 0

@@ -1,8 +1,9 @@
 //! The `wap` command-line tool: analyze PHP applications for 15 classes of
 //! input-validation vulnerabilities, predict false positives, optionally
 //! correct the source — or host the whole pipeline as a resident HTTP
-//! service (`wap serve`). `wap lint` runs the CFG-based lint pass
-//! (shorthand for `wap --lint`).
+//! service (`wap serve`), stream findings deltas as sources change
+//! (`wap watch`), or serve editor diagnostics over stdio (`wap lsp`).
+//! `wap lint` runs the CFG-based lint pass (shorthand for `wap --lint`).
 
 // Count allocations so scan summaries can report them alongside peak
 // RSS; the counter is a relaxed atomic increment over the system
@@ -15,6 +16,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         args.remove(0);
         std::process::exit(wap_serve::cli_main(args));
+    }
+    if args.first().map(String::as_str) == Some("watch") {
+        args.remove(0);
+        std::process::exit(wap_live::cli::watch_main(args));
+    }
+    if args.first().map(String::as_str) == Some("lsp") {
+        args.remove(0);
+        std::process::exit(wap_live::cli::lsp_main(args));
     }
     // `wap lint <PATH>...` is shorthand for `wap --lint <PATH>...`
     let lint_subcommand = args.first().map(String::as_str) == Some("lint");

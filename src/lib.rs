@@ -29,6 +29,7 @@
 //! * [`core`] — the assembled pipeline and weapon generator
 //! * [`report`] — the report model and its renderers (text/JSON/NDJSON/SARIF)
 //! * [`serve`] — the resident HTTP analysis service
+//! * [`live`] — the live front-ends (`wap watch` deltas, `wap lsp` diagnostics)
 //!
 //! ## Quick start
 //!
@@ -54,6 +55,7 @@ pub use wap_core as core;
 pub use wap_corpus as corpus;
 pub use wap_fixer as fixer;
 pub use wap_interp as interp;
+pub use wap_live as live;
 pub use wap_mining as mining;
 pub use wap_php as php;
 pub use wap_report as report;

@@ -1,0 +1,335 @@
+//! The live front-ends' central guarantee: a watch or LSP session that
+//! ends at source state *S* reports exactly what a cold CLI scan of *S*
+//! reports — byte for byte — and the session's own output stream is a
+//! pure function of the edit sequence, identical at every worker count
+//! and cache state.
+//!
+//! Scripted edit sequences (create, modify, delete, revert) are driven
+//! through `Watcher::poll_once` and through canned JSON-RPC transcripts
+//! at jobs = 1, 2, 8 with the cache off and warm, then compared against
+//! each other and against `wap_core::cli::run` over the final tree.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use wap::core::cli::{run, CliOptions};
+use wap::core::Format;
+use wap::live::json::Value;
+use wap::live::lsp::read_message;
+use wap::live::{diagnostics_json, LspConfig, LspServer, WatchConfig, Watcher};
+
+/// One fixed directory per test so file paths — which appear in the
+/// output bytes — are identical across configurations.
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wap-live-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("inc")).unwrap();
+    dir
+}
+
+const VULN: &str = "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = $id\");\n";
+const SAFE: &str = "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE id = \" . mysql_real_escape_string($id));\n";
+const XSS: &str = "<?php echo $_POST['msg'];\n";
+
+/// Text output with the wall-clock line removed (the only timing in any
+/// rendering).
+fn strip_ms(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.contains(" ms)"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The sweep grid: every worker count, cache off and cache shared/warm.
+fn configs(cache_root: &std::path::Path) -> Vec<(usize, Option<PathBuf>)> {
+    let mut grid = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        grid.push((jobs, None));
+        grid.push((jobs, Some(cache_root.join("shared"))));
+    }
+    grid
+}
+
+#[test]
+fn watch_sessions_converge_byte_identically_to_cold_scans() {
+    let dir = fixture_dir("watch");
+    let cache_root =
+        std::env::temp_dir().join(format!("wap-live-det-watch-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+
+    let mut streams: Vec<String> = Vec::new();
+    let mut final_texts: Vec<String> = Vec::new();
+    let mut final_jsons: Vec<String> = Vec::new();
+
+    for (jobs, cache_dir) in configs(&cache_root) {
+        // reset the tree to the same initial state under the same path
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("inc")).unwrap();
+        std::fs::write(dir.join("v.php"), VULN).unwrap();
+        std::fs::write(dir.join("inc/ok.php"), "<?php echo 'fine';\n").unwrap();
+
+        let mut config = WatchConfig::new(&dir);
+        config.jobs = Some(jobs);
+        config.cache_dir = cache_dir;
+        let mut w = Watcher::new(config).unwrap();
+        let mut stream = String::new();
+
+        // revision 1: initial scan
+        stream.push_str(&w.poll_once().unwrap().expect("initial scan"));
+        // modify: sanitize the query (finding removed)
+        std::fs::write(dir.join("v.php"), SAFE).unwrap();
+        stream.push_str(&w.poll_once().unwrap().expect("modify"));
+        // create: a new vulnerable file (finding added)
+        std::fs::write(dir.join("inc/x.php"), XSS).unwrap();
+        stream.push_str(&w.poll_once().unwrap().expect("create"));
+        // delete it again (finding removed)
+        std::fs::remove_file(dir.join("inc/x.php")).unwrap();
+        stream.push_str(&w.poll_once().unwrap().expect("delete"));
+        // revert the first file (finding re-added)
+        std::fs::write(dir.join("v.php"), VULN).unwrap();
+        stream.push_str(&w.poll_once().unwrap().expect("revert"));
+
+        assert_eq!(w.revision(), 5, "jobs={jobs}");
+        streams.push(stream);
+        final_texts.push(strip_ms(&w.render_current(Format::Text)));
+        final_jsons.push(w.render_current(Format::Json));
+    }
+
+    // every configuration saw the identical delta stream and final report
+    for (i, s) in streams.iter().enumerate().skip(1) {
+        assert_eq!(&streams[0], s, "delta stream diverged in config #{i}");
+        assert_eq!(&final_texts[0], &final_texts[i], "text diverged in #{i}");
+        assert_eq!(&final_jsons[0], &final_jsons[i], "json diverged in #{i}");
+    }
+    // the stream recorded the whole edit history
+    assert_eq!(streams[0].matches("\"kind\":\"revision\"").count(), 5);
+    assert!(streams[0].contains("\"kind\":\"added\""));
+    assert!(streams[0].contains("\"kind\":\"removed\""));
+
+    // convergence: the session's final state reads exactly like a cold
+    // CLI scan of the tree it ended on
+    let (_, cold_text) = run(&CliOptions {
+        paths: vec![dir.clone()],
+        ..CliOptions::default()
+    })
+    .unwrap();
+    assert_eq!(final_texts[0], strip_ms(&cold_text));
+    let (_, cold_json) = run(&CliOptions {
+        paths: vec![dir.clone()],
+        format: Some(Format::Json),
+        ..CliOptions::default()
+    })
+    .unwrap();
+    assert_eq!(final_jsons[0], cold_json);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache_root);
+}
+
+/// Frames a canned message sequence into one LSP input stream.
+fn transcript(bodies: &[String]) -> Vec<u8> {
+    bodies
+        .iter()
+        .map(|b| format!("Content-Length: {}\r\n\r\n{b}", b.len()))
+        .collect::<String>()
+        .into_bytes()
+}
+
+/// Runs one LSP session over a canned transcript; returns (exit code,
+/// raw output bytes, parsed message bodies).
+fn lsp_session(config: LspConfig, bodies: &[String]) -> (i32, Vec<u8>, Vec<String>) {
+    let mut reader = Cursor::new(transcript(bodies));
+    let mut output = Vec::new();
+    let code = LspServer::new(config).run(&mut reader, &mut output);
+    let mut cursor = Cursor::new(output.clone());
+    let mut messages = Vec::new();
+    while let Ok(Some(body)) = read_message(&mut cursor) {
+        messages.push(body);
+    }
+    (code, output, messages)
+}
+
+#[test]
+fn lsp_sessions_converge_byte_identically_to_cold_scans() {
+    let dir = fixture_dir("lsp");
+    std::fs::write(dir.join("v.php"), VULN).unwrap();
+    std::fs::write(dir.join("inc/ok.php"), "<?php echo 'fine';\n").unwrap();
+    let cache_root =
+        std::env::temp_dir().join(format!("wap-live-det-lsp-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+
+    let uri = format!("file://{}/v.php", dir.display());
+    let vuln_json = VULN.replace('\n', "\\n").replace('"', "\\\"");
+    let safe_json = SAFE.replace('\n', "\\n").replace('"', "\\\"");
+    let bodies = vec![
+        format!(
+            r#"{{"jsonrpc":"2.0","id":1,"method":"initialize","params":{{"rootUri":"file://{}"}}}}"#,
+            dir.display()
+        ),
+        r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#.to_string(),
+        // open the vulnerable buffer (matches disk)
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":"{uri}","languageId":"php","version":1,"text":"{vuln_json}"}}}}}}"#
+        ),
+        // edit to the sanitized version (unsaved: overlay shadows disk)
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didChange","params":{{"textDocument":{{"uri":"{uri}","version":2}},"contentChanges":[{{"text":"{safe_json}"}}]}}}}"#
+        ),
+        // revert the buffer to what disk holds
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didChange","params":{{"textDocument":{{"uri":"{uri}","version":3}},"contentChanges":[{{"text":"{vuln_json}"}}]}}}}"#
+        ),
+        // save without text: disk becomes the truth for this document
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didSave","params":{{"textDocument":{{"uri":"{uri}"}}}}}}"#
+        ),
+        r#"{"jsonrpc":"2.0","id":2,"method":"shutdown"}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"exit"}"#.to_string(),
+    ];
+
+    let mut outputs: Vec<Vec<u8>> = Vec::new();
+    let mut last_messages: Vec<String> = Vec::new();
+    for (jobs, cache_dir) in configs(&cache_root) {
+        let config = LspConfig {
+            jobs: Some(jobs),
+            cache_dir,
+            ..LspConfig::default()
+        };
+        let (code, output, messages) = lsp_session(config, &bodies);
+        assert_eq!(code, 0, "jobs={jobs}");
+        outputs.push(output);
+        last_messages = messages;
+    }
+    for (i, o) in outputs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &outputs[0], o,
+            "whole-session LSP output diverged in config #{i}"
+        );
+    }
+
+    // the final publishDiagnostics must equal what a cold scan of the
+    // final source state computes
+    let publishes: Vec<&String> = last_messages
+        .iter()
+        .filter(|m| m.contains("publishDiagnostics"))
+        .collect();
+    assert_eq!(publishes.len(), 4, "{last_messages:#?}");
+    let last = Value::parse(publishes.last().unwrap()).unwrap();
+    let got = last
+        .get("params")
+        .and_then(|p| p.get("diagnostics"))
+        .expect("diagnostics")
+        .render();
+
+    let opts = CliOptions {
+        paths: vec![dir.clone()],
+        ..CliOptions::default()
+    };
+    let tool = wap::core::cli::build_tool(&opts).unwrap();
+    let sources = vec![
+        (
+            dir.join("inc/ok.php").display().to_string(),
+            "<?php echo 'fine';\n".to_string(),
+        ),
+        (dir.join("v.php").display().to_string(), VULN.to_string()),
+    ];
+    let report = tool.analyze_sources(&sources);
+    let expected = diagnostics_json(&report, &dir.join("v.php").display().to_string(), VULN);
+    assert_eq!(got, Value::parse(&expected).unwrap().render());
+    // mid-session, the sanitized buffer cleared the diagnostics even
+    // though disk still held the vulnerable version
+    let mid = Value::parse(publishes[1]).unwrap();
+    assert_eq!(
+        mid.get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0),
+        "{:?}",
+        publishes[1]
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache_root);
+}
+
+#[test]
+fn lsp_protocol_conformance_over_canned_transcript() {
+    let dir = fixture_dir("conf");
+    let uri = format!("file://{}/new.php", dir.display());
+    let bodies = vec![
+        r#"{"jsonrpc":"2.0","id":"init-1","method":"initialize","params":{}}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#.to_string(),
+        // a buffer that exists only in the editor (no file on disk)
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":"{uri}","languageId":"php","version":1,"text":"<?php echo $_GET['q'];\n"}}}}}}"#
+        ),
+        r#"{"jsonrpc":"2.0","id":7,"method":"workspace/symbol","params":{}}"#.to_string(),
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didClose","params":{{"textDocument":{{"uri":"{uri}"}}}}}}"#
+        ),
+        r#"{"jsonrpc":"2.0","id":"bye","method":"shutdown"}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"exit"}"#.to_string(),
+    ];
+    let (code, _, messages) = lsp_session(LspConfig::default(), &bodies);
+    assert_eq!(code, 0);
+    assert_eq!(messages.len(), 5, "{messages:#?}");
+
+    // 1. initialize: id echoed (string form), full-sync capability announced
+    let init = Value::parse(&messages[0]).unwrap();
+    assert_eq!(init.get("id").and_then(Value::as_str), Some("init-1"));
+    assert_eq!(init.get("jsonrpc").and_then(Value::as_str), Some("2.0"));
+    let sync = init
+        .get("result")
+        .and_then(|r| r.get("capabilities"))
+        .and_then(|c| c.get("textDocumentSync"))
+        .expect("textDocumentSync");
+    assert_eq!(sync.get("openClose").and_then(Value::as_bool), Some(true));
+    assert_eq!(sync.get("change").and_then(Value::as_i64), Some(1));
+
+    // 2. didOpen of an unsaved buffer publishes its diagnostics
+    let open = Value::parse(&messages[1]).unwrap();
+    assert_eq!(
+        open.get("method").and_then(Value::as_str),
+        Some("textDocument/publishDiagnostics")
+    );
+    let params = open.get("params").unwrap();
+    assert_eq!(
+        params.get("uri").and_then(Value::as_str),
+        Some(uri.as_str())
+    );
+    let diags = params.get("diagnostics").and_then(Value::as_arr).unwrap();
+    assert_eq!(diags.len(), 1, "{:?}", messages[1]);
+    assert_eq!(diags[0].get("code").and_then(Value::as_str), Some("XSS"));
+    assert_eq!(diags[0].get("severity").and_then(Value::as_i64), Some(1));
+    for key in ["range", "message", "source"] {
+        assert!(diags[0].get(key).is_some(), "diagnostic missing {key}");
+    }
+
+    // 3. unknown request: MethodNotFound with the id echoed
+    let err = Value::parse(&messages[2]).unwrap();
+    assert_eq!(err.get("id").and_then(Value::as_i64), Some(7));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_i64),
+        Some(-32601)
+    );
+
+    // 4. didClose clears the document's diagnostics
+    let clear = Value::parse(&messages[3]).unwrap();
+    assert_eq!(
+        clear
+            .get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0)
+    );
+
+    // 5. shutdown: null result, id echoed
+    let bye = Value::parse(&messages[4]).unwrap();
+    assert_eq!(bye.get("id").and_then(Value::as_str), Some("bye"));
+    assert_eq!(bye.get("result"), Some(&Value::Null));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
