@@ -92,6 +92,10 @@ struct Measurement {
     /// measures filesystem polling as much as the pipeline).
     live_edit_p50_ms: f64,
     live_edit_p95_ms: f64,
+    /// Optional sweeps skipped via `WAP_BENCH_SKIP` — recorded in the
+    /// artifact (and announced on stdout) so their zeroed metrics are
+    /// never mistaken for a measurement.
+    skipped_sweeps: Vec<String>,
 }
 
 impl Measurement {
@@ -100,8 +104,14 @@ impl Measurement {
     }
 
     fn to_json(&self) -> String {
+        let skipped = self
+            .skipped_sweeps
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
-            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2},\n  \"live_edit_p50_ms\": {:.2},\n  \"live_edit_p95_ms\": {:.2}\n}}\n",
+            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2},\n  \"live_edit_p50_ms\": {:.2},\n  \"live_edit_p95_ms\": {:.2},\n  \"skipped_sweeps\": [{skipped}]\n}}\n",
             SCHEMA,
             self.total_loc,
             self.findings,
@@ -115,7 +125,29 @@ impl Measurement {
     }
 }
 
+/// The `WAP_BENCH_SKIP` list: optional (ungated) sweeps to skip, comma-
+/// separated. Only `warm_remote` and `live_edit` are skippable — the
+/// gated cold/warm sweeps always run. Unknown names are ignored loudly.
+fn sweeps_to_skip() -> Vec<String> {
+    let Ok(raw) = std::env::var("WAP_BENCH_SKIP") else {
+        return Vec::new();
+    };
+    let mut skip = Vec::new();
+    for name in raw.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        if name == "warm_remote" || name == "live_edit" {
+            if !skip.iter().any(|s| s == name) {
+                skip.push(name.to_string());
+            }
+        } else {
+            eprintln!("ci_bench: ignoring unknown WAP_BENCH_SKIP sweep {name:?}");
+        }
+    }
+    skip
+}
+
 fn measure() -> Measurement {
+    let skipped_sweeps = sweeps_to_skip();
+    let skip = |name: &str| skipped_sweeps.iter().any(|s| s == name);
     let sources = corpus();
     let total_loc: usize = sources.iter().map(|(_, s)| s.lines().count()).sum();
 
@@ -163,50 +195,63 @@ fn measure() -> Measurement {
     // fleet sweep: a replica with a cold local cache reading through a
     // peer whose cache is fully warm — every entry arrives over loopback
     // HTTP. Reported, not gated.
-    let peer_dir = std::env::temp_dir().join(format!("wap-ci-bench-peer-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&peer_dir);
-    WapTool::new(ToolConfig::builder().jobs(1).cache_dir(&peer_dir).build())
-        .analyze_sources(&sources); // warm the peer's disk cache
-    let server = wap_serve::Server::bind(&wap_serve::ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 1,
-        cache_dir: Some(peer_dir.clone()),
-        ..wap_serve::ServeConfig::default()
-    })
-    .expect("bind bench peer");
-    let handle = server.handle().expect("peer handle");
-    let join = std::thread::spawn(move || server.run());
-    let peer_url = format!("http://{}", handle.addr());
-    let (remote_secs, remote_findings) = best_secs(REPS, || {
-        // fresh tool per rep: local tiers start cold, so every hit is
-        // genuinely served by the peer
-        let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
-        let backend = wap_cache::RemoteBackend::new(&peer_url).expect("peer url");
-        tool.set_cache_store(
-            wap_cache::CacheStore::in_memory().with_remote(std::sync::Arc::new(backend)),
-        );
-        let report = tool.analyze_sources(&sources);
-        assert!(
-            report.cache.remote_hits > 0,
-            "remote-warm sweep never reached the peer"
-        );
-        report.findings.len()
-    });
-    assert_eq!(findings, remote_findings, "remote-warm findings diverged");
-    handle.shutdown();
-    let _ = join.join();
-    let _ = std::fs::remove_dir_all(&peer_dir);
+    let warm_remote_loc_per_s = if skip("warm_remote") {
+        println!("ci_bench: optional sweep warm_remote SKIPPED (WAP_BENCH_SKIP)");
+        0.0
+    } else {
+        let peer_dir =
+            std::env::temp_dir().join(format!("wap-ci-bench-peer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&peer_dir);
+        WapTool::new(ToolConfig::builder().jobs(1).cache_dir(&peer_dir).build())
+            .analyze_sources(&sources); // warm the peer's disk cache
+        let server = wap_serve::Server::bind(&wap_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_dir: Some(peer_dir.clone()),
+            ..wap_serve::ServeConfig::default()
+        })
+        .expect("bind bench peer");
+        let handle = server.handle().expect("peer handle");
+        let join = std::thread::spawn(move || server.run());
+        let peer_url = format!("http://{}", handle.addr());
+        let (remote_secs, remote_findings) = best_secs(REPS, || {
+            // fresh tool per rep: local tiers start cold, so every hit is
+            // genuinely served by the peer
+            let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
+            let backend = wap_cache::RemoteBackend::new(&peer_url).expect("peer url");
+            tool.set_cache_store(
+                wap_cache::CacheStore::in_memory().with_remote(std::sync::Arc::new(backend)),
+            );
+            let report = tool.analyze_sources(&sources);
+            assert!(
+                report.cache.remote_hits > 0,
+                "remote-warm sweep never reached the peer"
+            );
+            report.findings.len()
+        });
+        assert_eq!(findings, remote_findings, "remote-warm findings diverged");
+        handle.shutdown();
+        let _ = join.join();
+        let _ = std::fs::remove_dir_all(&peer_dir);
+        total_loc as f64 / remote_secs
+    };
 
-    let (live_edit_p50_ms, live_edit_p95_ms) = measure_live_edits(&sources);
+    let (live_edit_p50_ms, live_edit_p95_ms) = if skip("live_edit") {
+        println!("ci_bench: optional sweep live_edit SKIPPED (WAP_BENCH_SKIP)");
+        (0.0, 0.0)
+    } else {
+        measure_live_edits(&sources)
+    };
 
     Measurement {
         total_loc,
         findings,
         cold_loc_per_s: total_loc as f64 / cold_secs,
         warm_loc_per_s: total_loc as f64 / warm_secs,
-        warm_remote_loc_per_s: total_loc as f64 / remote_secs,
+        warm_remote_loc_per_s,
         live_edit_p50_ms,
         live_edit_p95_ms,
+        skipped_sweeps,
     }
 }
 

@@ -16,10 +16,14 @@
 //!   validation guard on the tainted variable?" for the known validators
 //!   (`is_numeric`, `is_int`, `preg_match`, `in_array`, cast guards, ...)
 //!   ([`guard`]).
-//! * [`lint_file`] hosts an extensible rule engine (unguarded sinks,
-//!   unreachable code after exit, assignment-in-condition,
-//!   tainted-sink-without-dominating-guard, and weapon-declared custom
-//!   rules) producing deterministic, sorted [`LintFinding`]s ([`lint`]).
+//! * [`RuleSet`] hosts the unified rule engine ([`rules`]): builtin
+//!   lints (unguarded sinks, unreachable code after exit,
+//!   assignment-in-condition, tainted-sink-without-dominating-guard),
+//!   weapon-declared rules, and installed pack rules all compile from
+//!   one [`RuleSpec`] schema — call matchers, call-with-argument
+//!   regex-lite constraints, statement patterns with metavariables —
+//!   producing deterministic, sorted [`LintFinding`]s ([`lint`] holds
+//!   the data model).
 //!
 //! Like the rest of the workspace's analysis core, this crate is
 //! dependency-free apart from `wap-php` (the AST it lowers).
@@ -50,13 +54,14 @@ pub mod graph;
 pub mod guard;
 pub mod lint;
 pub mod reach;
+pub mod rules;
 
 pub use dominators::Dominators;
 pub use graph::{lower_program, lower_stmts, Block, BlockId, Cfg, Edge, FileCfgs, Guard, Node};
 pub use guard::{GuardAnalysis, GuardFact};
 pub use lint::{
-    builtin_rules, lint_file, lint_tainted_sinks, normalize_rule_id, sort_findings, CustomRule, CustomRuleKind, LintConfig,
-    LintFinding, LintRule, Severity, SinkEvent, RULE_ASSIGN_IN_COND, RULE_TAINTED_SINK,
-    RULE_UNGUARDED_SINK, RULE_UNREACHABLE,
+    builtin_rules, normalize_rule_id, sort_findings, LintFinding, LintRule, Severity, SinkEvent,
+    RULE_ASSIGN_IN_COND, RULE_TAINTED_SINK, RULE_UNGUARDED_SINK, RULE_UNREACHABLE,
 };
 pub use reach::{DefSite, ReachingDefs};
+pub use rules::{builtin_specs, CompiledRule, MatchSpec, Pattern, RuleError, RuleSet, RuleSpec};

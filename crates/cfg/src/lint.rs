@@ -1,4 +1,10 @@
-//! Extensible lint rule engine over lowered control-flow graphs.
+//! Lint data model: severities, rule metadata, findings, sink events.
+//!
+//! The execution engine lives in [`crate::rules`]: every rule — the four
+//! builtins below, weapon-declared rules, and installed pack rules — is
+//! declared as a [`crate::rules::RuleSpec`] and compiled into a
+//! [`crate::rules::RuleSet`], which is the single path from declaration
+//! to finding.
 //!
 //! Built-in rules:
 //!
@@ -11,17 +17,10 @@
 //! * [`RULE_TAINTED_SINK`] — a taint-confirmed sink (from the engine's
 //!   candidate list) with no dominating guard on the tainted variables.
 //!
-//! Custom rules ride in the same weapons configuration files the paper
-//! uses to extend detection "without programming": a weapon may forbid a
-//! function outright or require every call to it to be guard-dominated
-//! ([`CustomRuleKind`]).
-//!
-//! All entry points return findings sorted by `(file, line, span, rule,
-//! message)` so output is bit-identical regardless of traversal or
-//! scheduling order.
+//! All rule-set entry points return findings sorted by `(file, line,
+//! span, rule, message)` so output is bit-identical regardless of
+//! traversal or scheduling order.
 
-use crate::graph::{Cfg, FileCfgs};
-use crate::guard::GuardAnalysis;
 use wap_php::Span;
 use wap_php::Symbol;
 
@@ -75,6 +74,9 @@ pub struct LintRule {
     pub summary: String,
     /// Severity of the rule's findings.
     pub severity: Severity,
+    /// Rule pack the rule came from; `None` for builtin and
+    /// weapon-declared rules.
+    pub pack: Option<String>,
 }
 
 /// One lint finding, anchored to a source span.
@@ -92,56 +94,6 @@ pub struct LintFinding {
     pub span: Span,
     /// Human-readable message.
     pub message: String,
-}
-
-/// A weapon-declared custom lint rule.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CustomRule {
-    /// Rule id (normalized to the `WAP-` prefix).
-    pub id: String,
-    /// Finding severity.
-    pub severity: Severity,
-    /// Message template; the offending call name is appended.
-    pub message: String,
-    /// What the rule checks.
-    pub kind: CustomRuleKind,
-}
-
-impl CustomRule {
-    /// This rule's metadata entry for report rule tables.
-    pub fn as_rule(&self) -> LintRule {
-        LintRule {
-            id: self.id.clone(),
-            summary: self.message.clone(),
-            severity: self.severity,
-        }
-    }
-}
-
-/// The checks a custom rule can declare.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CustomRuleKind {
-    /// Flag every call to `function`.
-    ForbidCall {
-        /// Forbidden function name (case-insensitive).
-        function: String,
-    },
-    /// Flag calls to `function` whose argument variables lack a
-    /// dominating guard.
-    RequireGuard {
-        /// Guarded function name (case-insensitive).
-        function: String,
-    },
-}
-
-/// Configuration for one [`lint_file`] run.
-#[derive(Debug, Clone, Default)]
-pub struct LintConfig {
-    /// Sink function/method names from the catalog, checked by the
-    /// unguarded-sink rule.
-    pub sink_functions: Vec<String>,
-    /// Weapon-declared custom rules.
-    pub custom: Vec<CustomRule>,
 }
 
 /// A taint-confirmed sink occurrence, as reported by the taint engine.
@@ -164,28 +116,32 @@ pub fn builtin_rules() -> Vec<LintRule> {
             id: RULE_ASSIGN_IN_COND.to_string(),
             summary: "assignment used as a branch condition".to_string(),
             severity: Severity::Warning,
+            pack: None,
         },
         LintRule {
             id: RULE_TAINTED_SINK.to_string(),
             summary: "tainted data reaches a sink without a dominating validation guard"
                 .to_string(),
             severity: Severity::Error,
+            pack: None,
         },
         LintRule {
             id: RULE_UNGUARDED_SINK.to_string(),
             summary: "sink call not dominated by any validation guard on its arguments"
                 .to_string(),
             severity: Severity::Warning,
+            pack: None,
         },
         LintRule {
             id: RULE_UNREACHABLE.to_string(),
             summary: "statement is unreachable".to_string(),
             severity: Severity::Note,
+            pack: None,
         },
     ]
 }
 
-/// Normalizes a weapon-declared rule id to the `WAP-` namespace.
+/// Normalizes a declared rule id to the `WAP-` namespace.
 pub fn normalize_rule_id(id: &str) -> String {
     let upper = id.trim().to_ascii_uppercase().replace([' ', '_'], "-");
     if upper.starts_with("WAP-") {
@@ -195,167 +151,6 @@ pub fn normalize_rule_id(id: &str) -> String {
     }
 }
 
-/// Runs the CFG-local rules (everything except the taint rule) over one
-/// file's graphs. Findings are sorted and deterministic.
-pub fn lint_file(file: &str, cfgs: &FileCfgs, config: &LintConfig) -> Vec<LintFinding> {
-    let mut out: Vec<LintFinding> = Vec::new();
-    for cfg in &cfgs.cfgs {
-        lint_cfg(file, cfg, config, &mut out);
-    }
-    sort_findings(&mut out);
-    out
-}
-
-fn lint_cfg(file: &str, cfg: &Cfg, config: &LintConfig, out: &mut Vec<LintFinding>) {
-    let reachable = cfg.reachable();
-
-    // unreachable code: one finding per dead block that has statements
-    for (b, block) in cfg.blocks.iter().enumerate() {
-        if reachable[b] || block.nodes.is_empty() {
-            continue;
-        }
-        let first = &block.nodes[0];
-        out.push(LintFinding {
-            rule_id: RULE_UNREACHABLE.to_string(),
-            severity: Severity::Note,
-            file: file.to_string(),
-            line: first.line,
-            span: first.span,
-            message: match &cfg.name {
-                Some(n) => format!("statement in function '{n}' is unreachable"),
-                None => "statement is unreachable".to_string(),
-            },
-        });
-    }
-
-    // assignment-in-condition
-    for block in &cfg.blocks {
-        for node in &block.nodes {
-            if node.is_cond && node.assign_in_cond {
-                out.push(LintFinding {
-                    rule_id: RULE_ASSIGN_IN_COND.to_string(),
-                    severity: Severity::Warning,
-                    file: file.to_string(),
-                    line: node.line,
-                    span: node.span,
-                    message: "assignment used as a branch condition (did you mean '=='?)"
-                        .to_string(),
-                });
-            }
-        }
-    }
-
-    // guard-dependent rules share one analysis per graph
-    let needs_guards = !config.sink_functions.is_empty()
-        || config
-            .custom
-            .iter()
-            .any(|r| matches!(r.kind, CustomRuleKind::RequireGuard { .. }));
-    let analysis = if needs_guards || !config.custom.is_empty() {
-        Some(GuardAnalysis::new(cfg))
-    } else {
-        None
-    };
-    let Some(analysis) = analysis else {
-        return;
-    };
-
-    for (b, block) in cfg.blocks.iter().enumerate() {
-        if !reachable[b] {
-            continue; // dead sinks are already reported as unreachable
-        }
-        for (i, node) in block.nodes.iter().enumerate() {
-            for call in &node.calls {
-                let is_sink = config
-                    .sink_functions
-                    .iter()
-                    .any(|s| s.eq_ignore_ascii_case(call.name.as_str()));
-                if is_sink && !call.arg_vars.is_empty() {
-                    let guards = analysis.guards_at(b, i, &call.arg_vars);
-                    if guards.is_empty() {
-                        out.push(LintFinding {
-                            rule_id: RULE_UNGUARDED_SINK.to_string(),
-                            severity: Severity::Warning,
-                            file: file.to_string(),
-                            line: call.line,
-                            span: call.span,
-                            message: format!(
-                                "call to sink '{}' is not dominated by a validation guard on {}",
-                                call.name,
-                                var_list(&call.arg_vars)
-                            ),
-                        });
-                    }
-                }
-                for rule in &config.custom {
-                    match &rule.kind {
-                        CustomRuleKind::ForbidCall { function }
-                            if function.eq_ignore_ascii_case(call.name.as_str()) =>
-                        {
-                            out.push(LintFinding {
-                                rule_id: rule.id.clone(),
-                                severity: rule.severity,
-                                file: file.to_string(),
-                                line: call.line,
-                                span: call.span,
-                                message: format!("{} (call to '{}')", rule.message, call.name),
-                            });
-                        }
-                        CustomRuleKind::RequireGuard { function }
-                            if function.eq_ignore_ascii_case(call.name.as_str())
-                                && !call.arg_vars.is_empty() =>
-                        {
-                            let guards = analysis.guards_at(b, i, &call.arg_vars);
-                            if guards.is_empty() {
-                                out.push(LintFinding {
-                                    rule_id: rule.id.clone(),
-                                    severity: rule.severity,
-                                    file: file.to_string(),
-                                    line: call.line,
-                                    span: call.span,
-                                    message: format!(
-                                        "{} (unguarded call to '{}')",
-                                        rule.message, call.name
-                                    ),
-                                });
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Runs the tainted-sink rule: each taint-engine sink event is checked
-/// for a dominating guard on its tainted variables; guarded events are
-/// suppressed. Findings are sorted and deterministic.
-pub fn lint_tainted_sinks(file: &str, cfgs: &FileCfgs, sinks: &[SinkEvent]) -> Vec<LintFinding> {
-    let mut out: Vec<LintFinding> = Vec::new();
-    for s in sinks {
-        let guards = cfgs.dominating_guards(s.span, &s.vars);
-        if !guards.is_empty() {
-            continue; // validated: the committee's false-positive case
-        }
-        out.push(LintFinding {
-            rule_id: RULE_TAINTED_SINK.to_string(),
-            severity: Severity::Error,
-            file: file.to_string(),
-            line: s.line,
-            span: s.span,
-            message: format!(
-                "tainted data reaches {} sink without a dominating guard on {}",
-                s.class,
-                var_list(&s.vars)
-            ),
-        });
-    }
-    sort_findings(&mut out);
-    out
-}
-
-/// Sorts findings into the stable output order shared by all renderers.
 /// Sorts findings into the canonical `(file, line, span, rule, message)`
 /// order every lint entry point guarantees. Public so pipelines merging
 /// findings from several passes can restore the invariant.
@@ -371,7 +166,7 @@ pub fn sort_findings(findings: &mut [LintFinding]) {
     });
 }
 
-fn var_list(vars: &[Symbol]) -> String {
+pub(crate) fn var_list(vars: &[Symbol]) -> String {
     if vars.is_empty() {
         return "its arguments".to_string();
     }
@@ -384,165 +179,12 @@ fn var_list(vars: &[Symbol]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::lower_program;
-    use wap_php::parse;
-
-    fn lint(src: &str, config: &LintConfig) -> Vec<LintFinding> {
-        let cfgs = lower_program(&parse(src).expect("parse"));
-        lint_file("test.php", &cfgs, config)
-    }
-
-    fn sink_config() -> LintConfig {
-        LintConfig {
-            sink_functions: vec!["mysql_query".to_string()],
-            custom: Vec::new(),
-        }
-    }
 
     #[test]
-    fn unguarded_sink_is_flagged() {
-        let f = lint("<?php $id = $_GET['id']; mysql_query($id);", &sink_config());
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, RULE_UNGUARDED_SINK);
-        assert_eq!(f[0].severity, Severity::Warning);
-        assert!(f[0].message.contains("$id"));
-    }
-
-    #[test]
-    fn guarded_sink_is_suppressed() {
-        let f = lint(
-            "<?php $id = $_GET['id']; if (!is_numeric($id)) { exit; } mysql_query($id);",
-            &sink_config(),
-        );
-        assert!(
-            f.iter().all(|x| x.rule_id != RULE_UNGUARDED_SINK),
-            "dominating guard must suppress the finding: {f:?}"
-        );
-    }
-
-    #[test]
-    fn literal_only_sink_calls_are_ignored() {
-        let f = lint("<?php mysql_query('SELECT 1');", &sink_config());
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn unreachable_code_is_noted_once_per_region() {
-        let f = lint("<?php exit; echo 'a'; echo 'b';", &LintConfig::default());
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, RULE_UNREACHABLE);
-        assert_eq!(f[0].severity, Severity::Note);
-    }
-
-    #[test]
-    fn unreachable_in_function_names_the_function() {
-        let f = lint(
-            "<?php function g() { return 1; echo 'dead'; }",
-            &LintConfig::default(),
-        );
-        assert_eq!(f.len(), 1);
-        assert!(f[0].message.contains("'g'"));
-    }
-
-    #[test]
-    fn assignment_in_condition_fires() {
-        let f = lint("<?php if ($x = rand()) { echo $x; }", &LintConfig::default());
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, RULE_ASSIGN_IN_COND);
-    }
-
-    #[test]
-    fn dead_sink_reports_unreachable_not_unguarded() {
-        let f = lint("<?php exit; mysql_query($id);", &sink_config());
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, RULE_UNREACHABLE);
-    }
-
-    #[test]
-    fn forbid_call_rule_fires_everywhere() {
-        let config = LintConfig {
-            sink_functions: Vec::new(),
-            custom: vec![CustomRule {
-                id: normalize_rule_id("no eval"),
-                severity: Severity::Error,
-                message: "eval is forbidden by policy".to_string(),
-                kind: CustomRuleKind::ForbidCall {
-                    function: "eval".to_string(),
-                },
-            }],
-        };
-        let f = lint("<?php eval($code);", &config);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, "WAP-NO-EVAL");
-        assert_eq!(f[0].severity, Severity::Error);
-    }
-
-    #[test]
-    fn require_guard_rule_respects_dominating_guard() {
-        let config = LintConfig {
-            sink_functions: Vec::new(),
-            custom: vec![CustomRule {
-                id: normalize_rule_id("guard-exec"),
-                severity: Severity::Warning,
-                message: "exec arguments must be validated".to_string(),
-                kind: CustomRuleKind::RequireGuard {
-                    function: "exec".to_string(),
-                },
-            }],
-        };
-        let unguarded = lint("<?php exec($cmd);", &config);
-        assert_eq!(unguarded.len(), 1);
-        assert_eq!(unguarded[0].rule_id, "WAP-GUARD-EXEC");
-
-        let guarded = lint(
-            "<?php if (!preg_match('/^[a-z]+$/', $cmd)) { exit; } exec($cmd);",
-            &config,
-        );
-        assert!(guarded.is_empty());
-    }
-
-    #[test]
-    fn tainted_sink_rule_flags_and_suppresses() {
-        let src = "<?php $id = $_GET['id']; mysql_query($id);";
-        let cfgs = lower_program(&parse(src).expect("parse"));
-        let span = cfgs.find_call("mysql_query").unwrap();
-        let events = vec![SinkEvent {
-            span,
-            line: span.line(),
-            class: "sqli".to_string(),
-            vars: vec!["id".into()],
-        }];
-        let f = lint_tainted_sinks("t.php", &cfgs, &events);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule_id, RULE_TAINTED_SINK);
-        assert_eq!(f[0].severity, Severity::Error);
-
-        let src2 = "<?php $id = $_GET['id']; if (!is_numeric($id)) { exit; } mysql_query($id);";
-        let cfgs2 = lower_program(&parse(src2).expect("parse"));
-        let span2 = cfgs2.find_call("mysql_query").unwrap();
-        let events2 = vec![SinkEvent {
-            span: span2,
-            line: span2.line(),
-            class: "sqli".to_string(),
-            vars: vec!["id".into()],
-        }];
-        assert!(lint_tainted_sinks("t.php", &cfgs2, &events2).is_empty());
-    }
-
-    #[test]
-    fn findings_are_sorted_and_rule_ids_normalized() {
-        let f = lint(
-            "<?php if ($x = rand()) { mysql_query($x); } mysql_query($y);",
-            &sink_config(),
-        );
-        let sorted = {
-            let mut s = f.clone();
-            sort_findings(&mut s);
-            s
-        };
-        assert_eq!(f, sorted);
+    fn rule_ids_are_normalized() {
         assert_eq!(normalize_rule_id("wap-x"), "WAP-X");
         assert_eq!(normalize_rule_id("my rule"), "WAP-MY-RULE");
+        assert_eq!(normalize_rule_id("  wp_unprepared_query "), "WAP-WP-UNPREPARED-QUERY");
     }
 
     #[test]
@@ -550,6 +192,7 @@ mod tests {
         let rules = builtin_rules();
         assert_eq!(rules.len(), 4);
         assert!(rules.iter().all(|r| r.id.starts_with("WAP-LINT-")));
+        assert!(rules.iter().all(|r| r.pack.is_none()));
         let mut ids: Vec<&str> = rules.iter().map(|r| r.id.as_str()).collect();
         let sorted = {
             let mut s = ids.clone();

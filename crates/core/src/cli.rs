@@ -82,6 +82,13 @@ pub struct CliOptions {
     /// Run the CFG lint pass (`--lint`, or the `wap lint` subcommand) and
     /// append its findings to the report.
     pub lint: bool,
+    /// Installed rule packs to join into the lint pass (`--rules
+    /// <pack>[@version]`, repeatable; implies `--lint`). Resolved
+    /// against [`CliOptions::rules_dir`].
+    pub rules: Vec<String>,
+    /// Rule-pack store location (`--rules-dir`); `None` falls back to the
+    /// `WAP_RULES_DIR` environment variable, then `.wap-rules/`.
+    pub rules_dir: Option<PathBuf>,
     /// Refine symptom vectors with CFG guard analysis before prediction
     /// (`--guards`). Off by default so the headline reproduction stays
     /// bit-identical to the paper's plain symptom collector.
@@ -150,6 +157,10 @@ FLAGS:
     --lint                run the CFG lint pass (unguarded sinks, unreachable
                           code, assignment-in-condition, weapon rules); the
                           `wap lint <PATH>` subcommand is shorthand for it
+    --rules <PACK>        join an installed rule pack (name[@version]) into the
+                          lint pass; repeatable, implies --lint. Manage packs
+                          with the `wap rules` subcommand
+    --rules-dir <DIR>     rule-pack store (default: WAP_RULES_DIR, then .wap-rules/)
     --guards              refine symptom vectors with CFG dominator guard
                           analysis before false-positive prediction
     --weapon <file.json>  link an additional weapon configuration
@@ -202,6 +213,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     .ok_or_else(|| format!("unknown --fail-on policy {v} (none|fpp|vuln|lint)"))?;
             }
             "--lint" => opts.lint = true,
+            "--rules" => {
+                let v = it.next().ok_or("--rules needs a pack name[@version]")?;
+                opts.rules.push(v);
+                opts.lint = true;
+            }
+            "--rules-dir" => {
+                let d = it.next().ok_or("--rules-dir needs a directory")?;
+                opts.rules_dir = Some(PathBuf::from(d));
+            }
             "--guards" => opts.guards = true,
             "--weapon" => {
                 let f = it.next().ok_or("--weapon needs a file path")?;
@@ -307,6 +327,21 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, WapError> {
     config.cache_dir = opts.cache_dir.clone();
     config.trace = opts.trace.is_some() || opts.stats;
     config.guard_attributes = opts.guards;
+    if !opts.rules.is_empty() {
+        let store = wap_rules::Store::new(
+            opts.rules_dir
+                .clone()
+                .unwrap_or_else(wap_rules::default_rules_dir),
+        );
+        for reference in &opts.rules {
+            config
+                .rule_packs
+                .push(store.resolve(reference).map_err(|e| WapError::Config {
+                    what: format!("--rules {reference}"),
+                    detail: e,
+                })?);
+        }
+    }
     let mut tool = WapTool::new(config);
     // link in sorted-name order so the catalog (and its fingerprint) does
     // not depend on the order weapon files were listed or discovered
@@ -608,6 +643,8 @@ mod tests {
             "--trace",
             "--stats",
             "--lint",
+            "--rules",
+            "--rules-dir",
             "--guards",
         ] {
             assert!(USAGE.contains(flag), "usage missing {flag}");
@@ -664,6 +701,54 @@ mod tests {
                 .fail_on,
             FailOn::Lint
         );
+    }
+
+    #[test]
+    fn parse_rules_flags() {
+        let o = parse_args(args(&["--rules", "wordpress", "f.php"])).unwrap();
+        assert_eq!(o.rules, vec!["wordpress".to_string()]);
+        assert!(o.lint, "--rules implies --lint");
+        let o = parse_args(args(&[
+            "--rules",
+            "a@1.0",
+            "--rules",
+            "b",
+            "--rules-dir",
+            "/tmp/rp",
+            "f.php",
+        ]))
+        .unwrap();
+        assert_eq!(o.rules, vec!["a@1.0".to_string(), "b".to_string()]);
+        assert_eq!(o.rules_dir, Some(PathBuf::from("/tmp/rp")));
+        assert!(parse_args(args(&["--rules"])).is_err());
+        assert!(parse_args(args(&["--rules-dir"])).is_err());
+        let o = parse_args(args(&["f.php"])).unwrap();
+        assert!(o.rules.is_empty() && o.rules_dir.is_none() && !o.lint);
+    }
+
+    #[test]
+    fn rules_flag_resolves_installed_packs_into_tool_config() {
+        let dir = std::env::temp_dir().join(format!("wap-cli-rules-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = wap_rules::Store::new(&dir);
+        store.install_pack(&wap_rules::RulePack::wordpress()).unwrap();
+        let opts = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            rules: vec!["wordpress".to_string()],
+            rules_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let tool = build_tool(&opts).unwrap();
+        assert_eq!(tool.config().rule_packs.len(), 1);
+        assert_eq!(tool.config().rule_packs[0].name, "wordpress");
+        // unknown packs are a config error, not a silent no-op
+        let bad = CliOptions {
+            rules: vec!["no-such-pack".to_string()],
+            ..opts.clone()
+        };
+        let err = build_tool(&bad).unwrap_err();
+        assert!(matches!(err, WapError::Config { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -117,9 +117,24 @@ pub(crate) fn config_fingerprint(tool: &WapTool) -> String {
 /// Key of one `cfg` entry: the lint findings of one file. Content-
 /// addressed by the file bytes and the configuration fingerprint, so a
 /// catalog change (new weapon lint rule, different sink set) invalidates
-/// cached lint results exactly like it invalidates findings.
-pub(crate) fn cfg_lint_key(file: &str, hash: &str, config_fp: &str) -> String {
-    fields_hash(["cfg", CACHE_SCHEMA, TOOL_VERSION_KEY, file, hash, config_fp])
+/// cached lint results exactly like it invalidates findings. `rules_fp`
+/// joins the key only when rule packs are active, so installing or
+/// upgrading a pack re-keys exactly the `cfg` entries while pack-less
+/// keys stay byte-identical to the historical scheme.
+pub(crate) fn cfg_lint_key(file: &str, hash: &str, config_fp: &str, rules_fp: &str) -> String {
+    if rules_fp.is_empty() {
+        fields_hash(["cfg", CACHE_SCHEMA, TOOL_VERSION_KEY, file, hash, config_fp])
+    } else {
+        fields_hash([
+            "cfg",
+            CACHE_SCHEMA,
+            TOOL_VERSION_KEY,
+            file,
+            hash,
+            config_fp,
+            rules_fp,
+        ])
+    }
 }
 
 pub(crate) fn encode_lint(findings: &[wap_cfg::LintFinding]) -> Vec<u8> {

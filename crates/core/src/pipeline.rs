@@ -54,6 +54,12 @@ pub struct ToolConfig {
     /// default — the headline reproduction keeps the paper's plain
     /// symptom collector bit-for-bit.
     pub guard_attributes: bool,
+    /// Rule packs whose rules join the lint pass (`--rules`). The joined
+    /// pack fingerprints key the cached per-file lint results, so
+    /// installing or upgrading a pack invalidates exactly the `cfg`
+    /// cache entries; with no packs the keys (and all output bytes) are
+    /// identical to a build without pack support.
+    pub rule_packs: Vec<wap_rules::RulePack>,
 }
 
 impl ToolConfig {
@@ -68,6 +74,7 @@ impl ToolConfig {
             cache_dir: None,
             trace: false,
             guard_attributes: false,
+            rule_packs: Vec::new(),
         }
     }
 
@@ -83,6 +90,7 @@ impl ToolConfig {
             cache_dir: None,
             trace: false,
             guard_attributes: false,
+            rule_packs: Vec::new(),
         }
     }
 
@@ -102,6 +110,7 @@ impl ToolConfig {
             cache_dir: None,
             trace: false,
             guard_attributes: false,
+            rule_packs: Vec::new(),
         }
     }
 
@@ -217,6 +226,14 @@ impl ToolConfigBuilder {
     #[must_use]
     pub fn guard_attributes(mut self, on: bool) -> Self {
         self.config.guard_attributes = on;
+        self
+    }
+
+    /// Replace the rule packs joined into the lint pass
+    /// ([`ToolConfig::rule_packs`]).
+    #[must_use]
+    pub fn rule_packs(mut self, packs: Vec<wap_rules::RulePack>) -> Self {
+        self.config.rule_packs = packs;
         self
     }
 
@@ -533,42 +550,36 @@ impl WapTool {
     /// content-addressed `cfg` entries keyed on the catalog fingerprint,
     /// so warm lint runs re-lint only changed files.
     pub fn apply_lint(&self, report: &mut AppReport, sources: &[(String, String)]) {
-        use wap_cfg::{CustomRule, CustomRuleKind, LintFinding, LintRule, Severity, SinkEvent};
+        self.apply_lint_with(report, sources, &self.config.rule_packs)
+            .expect("builtin and weapon-declared lint rules always compile");
+    }
+
+    /// [`WapTool::apply_lint`] with an explicit set of rule packs joined
+    /// into the rule set — the built-in lints, the weapon-declared
+    /// rules, and every pack rule all compile into one
+    /// [`wap_cfg::RuleSet`] and run through the same engine.
+    ///
+    /// Pack fingerprints are hashed into the per-file `cfg` cache keys,
+    /// so results produced under one pack set are never served to
+    /// another; with no packs the keys match the pack-less scheme
+    /// exactly. Returns `Err` only when a pack rule fails to compile
+    /// (packs validated at install time never do).
+    pub fn apply_lint_with(
+        &self,
+        report: &mut AppReport,
+        sources: &[(String, String)],
+        packs: &[wap_rules::RulePack],
+    ) -> Result<(), wap_cfg::RuleError> {
+        use wap_cfg::{LintFinding, RuleSpec, SinkEvent};
 
         let obs = self.obs.job();
         let runtime = self.runtime();
         let config_fp = crate::incremental::config_fingerprint(self);
-
-        // weapon-declared rules, converted from catalog data
-        let custom: Vec<CustomRule> = self
-            .catalog
-            .lint_rules()
-            .map(|spec| {
-                let id = wap_cfg::normalize_rule_id(&spec.id);
-                let message = if spec.message.is_empty() {
-                    format!("call to {} flagged by weapon rule {}", spec.function, id)
-                } else {
-                    spec.message.clone()
-                };
-                CustomRule {
-                    id,
-                    severity: Severity::parse(&spec.severity).unwrap_or(Severity::Warning),
-                    message,
-                    kind: match spec.kind.as_str() {
-                        "require_guard" => CustomRuleKind::RequireGuard {
-                            function: spec.function.clone(),
-                        },
-                        _ => CustomRuleKind::ForbidCall {
-                            function: spec.function.clone(),
-                        },
-                    },
-                }
-            })
-            .collect();
-        let mut rules: Vec<LintRule> = wap_cfg::builtin_rules();
-        rules.extend(custom.iter().map(CustomRule::as_rule));
-        rules.sort_by(|a, b| a.id.cmp(&b.id));
-        rules.dedup_by(|a, b| a.id == b.id);
+        let rules_fp = packs
+            .iter()
+            .map(|p| p.fingerprint())
+            .collect::<Vec<_>>()
+            .join(",");
 
         let mut sink_functions: Vec<String> = self
             .catalog
@@ -580,10 +591,32 @@ impl WapTool {
             .collect();
         sink_functions.sort();
         sink_functions.dedup();
-        let lint_config = wap_cfg::LintConfig {
-            sink_functions,
-            custom,
+
+        // one rule set from all three sources: built-ins, weapon-declared
+        // rules, installed packs
+        let rule_set = {
+            let _span = (!packs.is_empty()).then(|| obs.span(Phase::Rules));
+            let t = Instant::now();
+            let mut specs = wap_cfg::builtin_specs(sink_functions);
+            specs.extend(self.catalog.lint_rules().map(|spec| {
+                RuleSpec::legacy(
+                    &spec.id,
+                    &spec.kind,
+                    &spec.function,
+                    &spec.severity,
+                    &spec.message,
+                )
+            }));
+            for pack in packs {
+                specs.extend(pack.rules.iter().cloned());
+            }
+            let rule_set = wap_cfg::RuleSet::compile(&specs)?;
+            if !packs.is_empty() {
+                report.stats.add_phase_ns(Phase::Rules, elapsed_ns(t));
+            }
+            rule_set
         };
+        let rules = rule_set.rule_table();
 
         // this report's taint candidates, grouped per file for the
         // tainted-sink rule
@@ -608,7 +641,12 @@ impl WapTool {
         let per_file: Vec<(Vec<LintFinding>, u64, u64)> = runtime.run(sources.len(), |i| {
             let (name, src) = &sources[i];
             let key = self.cache.as_ref().map(|_| {
-                crate::incremental::cfg_lint_key(name, &wap_php::content_hash(src), &config_fp)
+                crate::incremental::cfg_lint_key(
+                    name,
+                    &wap_php::content_hash(src),
+                    &config_fp,
+                    &rules_fp,
+                )
             });
             if let (Some(store), Some(key)) = (&self.cache, &key) {
                 match store.probe(key) {
@@ -638,9 +676,9 @@ impl WapTool {
             let t = Instant::now();
             let mut findings = {
                 let _span = obs.span_file(Phase::Lint, name);
-                let mut fs = wap_cfg::lint_file(name, &cfgs, &lint_config);
+                let mut fs = rule_set.run(name, &cfgs, Some(src));
                 if let Some(sinks) = events.get(name.as_str()) {
-                    fs.extend(wap_cfg::lint_tainted_sinks(name, &cfgs, sinks));
+                    fs.extend(rule_set.run_tainted(name, &cfgs, sinks));
                 }
                 fs
             };
@@ -668,6 +706,7 @@ impl WapTool {
         report.lint_ran = true;
         report.stats.add_phase_ns(Phase::Cfg, cfg_ns);
         report.stats.add_phase_ns(Phase::Lint, lint_ns);
+        Ok(())
     }
 
     /// Corrects one file: applies fixes for every *real* finding located

@@ -67,11 +67,13 @@ pub enum Phase {
     /// One live re-analysis revision (a `wap watch` or `wap lsp` edit
     /// cycle through the incremental path).
     Live,
+    /// Assembling and compiling rule-pack rule sets (`wap-rules`).
+    Rules,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -86,6 +88,7 @@ impl Phase {
         Phase::Cfg,
         Phase::Lint,
         Phase::Live,
+        Phase::Rules,
     ];
 
     /// Stable snake_case name used in traces and metric labels.
@@ -102,6 +105,7 @@ impl Phase {
             Phase::Cfg => "cfg",
             Phase::Lint => "lint",
             Phase::Live => "live",
+            Phase::Rules => "rules",
         }
     }
 

@@ -49,6 +49,16 @@ struct Rule {
     id: String,
     name: String,
     short_description: Message,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    properties: Option<RuleProperties>,
+}
+
+/// Extra rule metadata: the rule pack a lint rule came from. Absent for
+/// built-in, weapon-declared, and class rules, so pack-less documents
+/// are byte-identical to ones rendered before packs existed.
+#[derive(serde::Serialize)]
+struct RuleProperties {
+    pack: String,
 }
 
 #[derive(serde::Serialize)]
@@ -177,20 +187,20 @@ fn physical_span(uri: &str, line: u32, span: wap_php::Span) -> PhysicalLocation 
 pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
     // stable rule table: catalog classes first, then any finding-only
     // stragglers, deduplicated by rule id and sorted for determinism
-    let mut by_id: HashMap<String, (String, String)> = HashMap::new();
+    let mut by_id: HashMap<String, (String, String, Option<String>)> = HashMap::new();
     for class in classes
         .iter()
         .chain(report.findings.iter().map(|f| &f.candidate.class))
     {
         by_id.entry(class.rule_id()).or_insert_with(|| {
-            (class.acronym().to_string(), class.summary().to_string())
+            (class.acronym().to_string(), class.summary().to_string(), None)
         });
     }
     if report.lint_ran {
         for rule in &report.lint_rules {
             by_id
                 .entry(rule.id.clone())
-                .or_insert_with(|| (rule.id.clone(), rule.summary.clone()));
+                .or_insert_with(|| (rule.id.clone(), rule.summary.clone(), rule.pack.clone()));
         }
         // findings decoded from an older cache may cite a rule the
         // current table no longer declares — keep the document
@@ -198,7 +208,7 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
         for finding in &report.lint {
             by_id
                 .entry(finding.rule_id.clone())
-                .or_insert_with(|| (finding.rule_id.clone(), finding.message.clone()));
+                .or_insert_with(|| (finding.rule_id.clone(), finding.message.clone(), None));
         }
     }
     let mut ids: Vec<String> = by_id.keys().cloned().collect();
@@ -211,13 +221,14 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
     let rules: Vec<Rule> = ids
         .iter()
         .map(|id| {
-            let (name, summary) = &by_id[id];
+            let (name, summary, pack) = &by_id[id];
             Rule {
                 id: id.clone(),
                 name: name.clone(),
                 short_description: Message {
                     text: summary.clone(),
                 },
+                properties: pack.as_ref().map(|p| RuleProperties { pack: p.clone() }),
             }
         })
         .collect();

@@ -1,0 +1,141 @@
+//! Minimal ustar reader for pack tarballs: enough to list regular-file
+//! entries and read their contents from an uncompressed POSIX/GNU tar
+//! stream. Mirrors the subset wap-serve's uploader writes: 512-byte
+//! blocks, `name` + `prefix` joined, octal sizes, typeflag `'0'`/NUL for
+//! regular files; other entry types are skipped.
+
+const BLOCK: usize = 512;
+
+/// One regular-file entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry path as stored (prefix-joined).
+    pub path: String,
+    /// File contents.
+    pub data: Vec<u8>,
+}
+
+/// Reads every regular-file entry from a tar byte stream.
+///
+/// # Errors
+///
+/// Returns a message for truncated streams, non-octal sizes, and unsafe
+/// paths (absolute or containing `..`).
+pub fn entries(bytes: &[u8]) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + BLOCK <= bytes.len() {
+        let header = &bytes[off..off + BLOCK];
+        if header.iter().all(|&b| b == 0) {
+            break; // end-of-archive marker
+        }
+        let name = field_str(&header[0..100]);
+        let prefix = field_str(&header[345..500]);
+        let path = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let size = octal_field(&header[124..136])
+            .ok_or_else(|| format!("bad size field in entry '{path}'"))?;
+        let typeflag = header[156];
+        off += BLOCK;
+        let data_len = size as usize;
+        if off + data_len > bytes.len() {
+            return Err(format!("truncated entry '{path}'"));
+        }
+        if typeflag == b'0' || typeflag == 0 {
+            check_path(&path)?;
+            out.push(Entry {
+                path,
+                data: bytes[off..off + data_len].to_vec(),
+            });
+        }
+        off += data_len.div_ceil(BLOCK) * BLOCK;
+    }
+    Ok(out)
+}
+
+fn field_str(field: &[u8]) -> String {
+    let end = field.iter().position(|&b| b == 0).unwrap_or(field.len());
+    String::from_utf8_lossy(&field[..end]).trim().to_string()
+}
+
+fn octal_field(field: &[u8]) -> Option<u64> {
+    let text = field_str(field);
+    if text.is_empty() {
+        return Some(0);
+    }
+    u64::from_str_radix(&text, 8).ok()
+}
+
+fn check_path(path: &str) -> Result<(), String> {
+    if path.starts_with('/') {
+        return Err(format!("absolute path '{path}' in archive"));
+    }
+    if path.split('/').any(|seg| seg == "..") {
+        return Err(format!("path traversal in '{path}'"));
+    }
+    Ok(())
+}
+
+/// Builds a tar stream from `(path, contents)` pairs — test/tooling
+/// helper matching what [`entries`] reads.
+pub fn build(files: &[(&str, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (path, data) in files {
+        let mut header = [0u8; BLOCK];
+        let name = path.as_bytes();
+        header[..name.len().min(100)].copy_from_slice(&name[..name.len().min(100)]);
+        header[100..108].copy_from_slice(b"0000644\0");
+        header[108..116].copy_from_slice(b"0000000\0");
+        header[116..124].copy_from_slice(b"0000000\0");
+        let size = format!("{:011o}\0", data.len());
+        header[124..136].copy_from_slice(size.as_bytes());
+        header[136..148].copy_from_slice(b"00000000000\0");
+        header[156] = b'0';
+        header[257..263].copy_from_slice(b"ustar\0");
+        header[263..265].copy_from_slice(b"00");
+        // checksum: spaces while summing, then the octal sum
+        header[148..156].copy_from_slice(b"        ");
+        let sum: u32 = header.iter().map(|&b| b as u32).sum();
+        let chk = format!("{sum:06o}\0 ");
+        header[148..156].copy_from_slice(chk.as_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(data);
+        let pad = data.len().div_ceil(BLOCK) * BLOCK - data.len();
+        out.extend(std::iter::repeat_n(0u8, pad));
+    }
+    out.extend(std::iter::repeat_n(0u8, BLOCK * 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_regular_files() {
+        let tar = build(&[("pack.json", b"{}"), ("docs/README", b"hello")]);
+        let got = entries(&tar).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].path, "pack.json");
+        assert_eq!(got[0].data, b"{}");
+        assert_eq!(got[1].path, "docs/README");
+        assert_eq!(got[1].data, b"hello");
+    }
+
+    #[test]
+    fn rejects_traversal_and_truncation() {
+        let evil = build(&[("../escape", b"x")]);
+        assert!(entries(&evil).unwrap_err().contains("traversal"));
+        let tar = build(&[("a", b"data")]);
+        assert!(entries(&tar[..513]).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn empty_archive_is_empty() {
+        assert!(entries(&build(&[])).unwrap().is_empty());
+        assert!(entries(&[]).unwrap().is_empty());
+    }
+}

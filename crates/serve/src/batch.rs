@@ -108,6 +108,7 @@ fn run_app(shared: &Shared, app: BatchApp, format: wap_report::Format, lint: boo
             sources: app.sources.clone(),
             format,
             lint,
+            packs: Vec::new(),
             fail_on: FailOn::None,
         }) {
             Ok(id) => break id,

@@ -23,12 +23,16 @@ FLAGS:
     --advertise <URL>     this replica's own URL in the --peers list
     --queue <N>           admission-queue capacity (default 32; full queue answers 429)
     --workers <N>         concurrent scans (default 2); each gets jobs/workers threads
+    --rules-dir <DIR>     rule-pack store consulted for ?rules= and GET /v1/rules
+                          (default: WAP_RULES_DIR, then .wap-rules/)
     --help                show this message
 
 ENDPOINTS:
     POST /v1/scan?path=<dir>[&format=text|json|ndjson|sarif][&async=1]
-    POST /v1/scan         (ustar body: scan an uploaded tree)
+    POST /v1/scan         (ustar body: scan an uploaded tree; ?rules=pack[@version]
+                          joins installed rule packs into the lint pass)
     POST /v1/batch        (tar grouped by top dir, or a path manifest; NDJSON stream)
+    GET  /v1/rules        installed rule packs (name, version, fingerprint)
     GET  /v1/cache/<key>  peer-served cache entry (also PUT and HEAD)
     GET  /v1/jobs/<id>    poll an async scan
     GET  /healthz         liveness
@@ -104,6 +108,10 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or_else(|| format!("--workers needs a positive number, got {v}"))?;
+            }
+            "--rules-dir" => {
+                let d = it.next().ok_or("--rules-dir needs a directory")?;
+                config.rules_dir = Some(PathBuf::from(d));
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -211,9 +219,12 @@ mod tests {
             "http://10.0.0.1:8080, http://10.0.0.2:8080",
             "--advertise",
             "http://10.0.0.2:8080",
+            "--rules-dir",
+            "/tmp/rp",
         ]))
         .unwrap();
         assert!(!help);
+        assert_eq!(c.rules_dir, Some(PathBuf::from("/tmp/rp")));
         assert_eq!(c.addr, "0.0.0.0:9000");
         assert_eq!(c.jobs, Some(8));
         assert_eq!(c.cache_dir, Some(PathBuf::from("/tmp/wc")));
@@ -242,13 +253,22 @@ mod tests {
         assert!(parse_serve_args(args(&["--cache-peer"])).is_err());
         assert!(parse_serve_args(args(&["--peers", " , "])).is_err());
         assert!(parse_serve_args(args(&["--advertise"])).is_err());
+        assert!(parse_serve_args(args(&["--rules-dir"])).is_err());
         let (_, help) = parse_serve_args(args(&["--help"])).unwrap();
         assert!(help);
     }
 
     #[test]
     fn usage_names_the_endpoints() {
-        for needle in ["/v1/scan", "/v1/jobs", "/healthz", "/metrics", "429", "503"] {
+        for needle in [
+            "/v1/scan",
+            "/v1/jobs",
+            "/v1/rules",
+            "/healthz",
+            "/metrics",
+            "429",
+            "503",
+        ] {
             assert!(SERVE_USAGE.contains(needle), "usage missing {needle}");
         }
     }

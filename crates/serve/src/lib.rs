@@ -12,8 +12,9 @@
 //!
 //! | Endpoint | Behavior |
 //! |---|---|
-//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. `?lint=1` appends the CFG lint pass; `?fail_on=none|fpp|vuln|lint` answers `422` when the policy fails the report (default `none`: always `200`). With `--peers`, scans whose content key another replica owns are answered `307` ([`routing`]). |
+//! | `POST /v1/scan` | Scan a server-local path (`?path=`) or an uploaded ustar archive (request body). Renders text/JSON/NDJSON/SARIF per `?format=` or `Accept`. `?async=1` returns `202` + job id immediately. `?lint=1` appends the CFG lint pass; `?rules=pack[@version],…` joins installed rule packs into it (implies lint; unknown packs answer `400`); `?fail_on=none|fpp|vuln|lint` answers `422` when the policy fails the report (default `none`: always `200`). With `--peers`, scans whose content key another replica owns are answered `307` ([`routing`]). |
 //! | `POST /v1/batch` | Scan many apps in one request (tar grouped by top-level dir, or a manifest of server paths), streaming one NDJSON line per app ([`batch`]). |
+//! | `GET /v1/rules` | List the rule packs installed under the server's pack store (`--rules-dir`): name, version, fingerprint, rule count. |
 //! | `GET/PUT/HEAD /v1/cache/{key}` | The peer-served cache: fetch, push, or probe one framed entry — what `--cache-peer` on another replica talks to. |
 //! | `GET /v1/jobs/{id}` | Poll an async job: small JSON while queued/running, the rendered report once done. |
 //! | `GET /healthz` | Liveness: `200 ok` (also while draining). |
@@ -84,6 +85,10 @@ pub struct ServeConfig {
     /// This replica's own URL as it appears in [`ServeConfig::peers`] —
     /// required whenever `peers` is non-empty.
     pub advertise: Option<String>,
+    /// Rule-pack store served by `GET /v1/rules` and consulted for
+    /// `?rules=` references; `None` falls back to the `WAP_RULES_DIR`
+    /// environment variable, then `.wap-rules/`.
+    pub rules_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +102,7 @@ impl Default for ServeConfig {
             cache_peer: None,
             peers: Vec::new(),
             advertise: None,
+            rules_dir: None,
         }
     }
 }
@@ -107,6 +113,7 @@ pub(crate) struct Shared {
     pub(crate) classes: Vec<VulnClass>,
     pub(crate) queue: JobQueue,
     pub(crate) metrics: Metrics,
+    pub(crate) rules: wap_rules::Store,
     shutdown: AtomicBool,
     open_connections: AtomicUsize,
     /// `(peers, advertise)` when fleet routing is on.
@@ -200,6 +207,12 @@ impl Server {
                 classes,
                 queue: JobQueue::new(config.queue_capacity),
                 metrics: Metrics::default(),
+                rules: wap_rules::Store::new(
+                    config
+                        .rules_dir
+                        .clone()
+                        .unwrap_or_else(wap_rules::default_rules_dir),
+                ),
                 shutdown: AtomicBool::new(false),
                 open_connections: AtomicUsize::new(0),
                 routing,
@@ -286,7 +299,10 @@ fn executor_loop(shared: &Shared) {
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut report = shared.tool.analyze_sources(&scan.sources);
             if scan.lint {
-                shared.tool.apply_lint(&mut report, &scan.sources);
+                shared
+                    .tool
+                    .apply_lint_with(&mut report, &scan.sources, &scan.packs)
+                    .expect("pack rules are validated when the pack is parsed");
             }
             let body = scan.format.render(&report, &shared.classes);
             let failing = scan.fail_on.exit_code(&report) != 0;
@@ -358,11 +374,12 @@ fn route(shared: &Shared, req: &http::Request) -> RouteResponse {
             vec![],
         ),
         ("POST", "/v1/scan") => handle_scan(shared, req),
+        ("GET", "/v1/rules") => handle_rules_list(shared),
         ("GET", path) if path.starts_with("/v1/jobs/") => handle_job_poll(shared, path),
         ("GET" | "PUT" | "HEAD", path) if path.starts_with("/v1/cache/") => {
             handle_cache(shared, req)
         }
-        (_, "/healthz" | "/metrics" | "/v1/scan" | "/v1/batch") => (
+        (_, "/healthz" | "/metrics" | "/v1/scan" | "/v1/batch" | "/v1/rules") => (
             405,
             "text/plain; charset=utf-8",
             "method not allowed\n".into(),
@@ -497,7 +514,24 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             }
         }
     }
-    let lint = matches!(req.query_param("lint"), Some("1" | "true"));
+    let mut packs = Vec::new();
+    if let Some(refs) = req.query_param("rules") {
+        for reference in refs.split(',').filter(|r| !r.is_empty()) {
+            match shared.rules.resolve(reference) {
+                Ok(pack) => packs.push(pack),
+                Err(e) => {
+                    Metrics::inc(&shared.metrics.bad_requests);
+                    return (
+                        400,
+                        "text/plain; charset=utf-8",
+                        format!("unknown rule pack {reference}: {e}\n").into_bytes(),
+                        vec![],
+                    );
+                }
+            }
+        }
+    }
+    let lint = matches!(req.query_param("lint"), Some("1" | "true")) || !packs.is_empty();
     let fail_on = match req.query_param("fail_on") {
         // the server's default stays "never fail the response" so
         // existing clients keep their unconditional 200s
@@ -519,6 +553,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         sources,
         format,
         lint,
+        packs,
         fail_on,
     }) {
         Ok(id) => id,
@@ -569,6 +604,36 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
             500,
             "text/plain; charset=utf-8",
             "job vanished\n".into(),
+            vec![],
+        ),
+    }
+}
+
+/// `GET /v1/rules`: the packs installed under the server's pack store,
+/// as stable JSON sorted by name (and descending version within one).
+fn handle_rules_list(shared: &Shared) -> RouteResponse {
+    match shared.rules.list() {
+        Ok(packs) => {
+            let mut body = String::from("{\"packs\":[");
+            for (i, p) in packs.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"name\":{},\"version\":{},\"fingerprint\":{},\"rules\":{}}}",
+                    wap_rules::json::quote(&p.name),
+                    wap_rules::json::quote(&p.version),
+                    wap_rules::json::quote(&p.fingerprint),
+                    p.rules
+                ));
+            }
+            body.push_str("]}\n");
+            (200, "application/json", body.into_bytes(), vec![])
+        }
+        Err(e) => (
+            500,
+            "text/plain; charset=utf-8",
+            format!("rule-pack store unreadable: {e}\n").into_bytes(),
             vec![],
         ),
     }
@@ -863,6 +928,58 @@ mod tests {
         // unknown policies are client errors
         let (status, _) = post(format!("/v1/scan?path={path}&fail_on=bogus"));
         assert_eq!(status, 400);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rules_endpoint_lists_packs_and_rules_param_joins_them() {
+        let dir = std::env::temp_dir().join(format!("wap-serve-rules-{}", std::process::id()));
+        let packs_dir = dir.join("packs");
+        std::fs::create_dir_all(&dir).unwrap();
+        wap_rules::Store::new(&packs_dir)
+            .install_pack(&wap_rules::RulePack::wordpress())
+            .unwrap();
+        std::fs::write(
+            dir.join("w.php"),
+            "<?php\n$id = $_GET['id'];\n$wpdb->query(\"SELECT * FROM t WHERE id = $id\");\n",
+        )
+        .unwrap();
+        let (handle, join) = boot(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            rules_dir: Some(packs_dir),
+            ..ServeConfig::default()
+        });
+        // the pack inventory names the installed pack and its fingerprint
+        let (status, body) = get(handle.addr(), "/v1/rules");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"name\":\"wordpress\""), "{body}");
+        assert!(body.contains("\"fingerprint\":\""), "{body}");
+        // ?rules= joins the pack into the scan and implies the lint pass
+        let path = http_escape(&dir.display().to_string());
+        let post = |target: String| {
+            exchange(
+                handle.addr(),
+                format!("POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+                    .as_bytes(),
+            )
+        };
+        let (status, body) = post(format!("/v1/scan?path={path}&format=text&rules=wordpress"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("WAP-WP-WPDB-INTERPOLATED-QUERY"), "{body}");
+        // without ?rules= the pack rule stays out of the report
+        let (status, body) = post(format!("/v1/scan?path={path}&format=text&lint=1"));
+        assert_eq!(status, 200, "{body}");
+        assert!(!body.contains("WAP-WP-WPDB-INTERPOLATED-QUERY"), "{body}");
+        // unknown packs are client errors, not silent no-ops
+        let (status, body) = post(format!("/v1/scan?path={path}&rules=no-such-pack"));
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("unknown rule pack"), "{body}");
+        // only GET is served on the inventory
+        let (status, _) = post("/v1/rules".to_string());
+        assert_eq!(status, 405);
         handle.shutdown();
         join.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();

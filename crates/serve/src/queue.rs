@@ -23,6 +23,10 @@ pub struct ScanRequest {
     pub format: Format,
     /// Run the CFG lint pass after analysis (`?lint=1`).
     pub lint: bool,
+    /// Rule packs joined into the lint pass (`?rules=`), resolved by the
+    /// HTTP layer against the server's pack store. Non-empty packs imply
+    /// the lint pass.
+    pub packs: Vec<wap_rules::RulePack>,
     /// Exit-code policy (`?fail_on=`); a failing report is answered with
     /// HTTP 422 instead of 200.
     pub fail_on: FailOn,
@@ -58,6 +62,7 @@ mod tests {
             sources: vec![(format!("f{n}.php"), "<?php echo 1;\n".to_string())],
             format: Format::Json,
             lint: false,
+            packs: Vec::new(),
             fail_on: FailOn::None,
         }
     }

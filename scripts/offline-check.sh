@@ -41,6 +41,7 @@ members = [
     "cache",
     "catalog",
     "cfg",
+    "rules",
     "obs",
     "runtime",
     "taint",
@@ -422,7 +423,7 @@ crate_dir() {
     link "$ROOT/crates/$name/src" "$SCRATCH/$name/src"
 }
 
-for c in php cache catalog cfg obs runtime taint mining fixer interp corpus core report serve live bench; do
+for c in php cache catalog cfg rules obs runtime taint mining fixer interp corpus core report serve live bench; do
     crate_dir "$c"
 done
 
@@ -467,6 +468,13 @@ EOF
 wap-php = { path = "../php" }
 EOF
 } > "$SCRATCH/cfg/Cargo.toml"
+
+{ common_pkg rules; cat <<'EOF'
+[dependencies]
+wap-php = { path = "../php" }
+wap-cfg = { path = "../cfg" }
+EOF
+} > "$SCRATCH/rules/Cargo.toml"
 
 { common_pkg taint; cat <<'EOF'
 [dependencies]
@@ -519,6 +527,7 @@ EOF
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
 wap-cfg = { path = "../cfg" }
+wap-rules = { path = "../rules" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -549,6 +558,7 @@ EOF
 { common_pkg serve; cat <<'EOF'
 [dependencies]
 wap-core = { path = "../core" }
+wap-rules = { path = "../rules" }
 wap-obs = { path = "../obs" }
 wap-report = { path = "../report" }
 wap-runtime = { path = "../runtime" }
@@ -636,6 +646,7 @@ autotests = false
 wap-php = { path = "../php" }
 wap-cache = { path = "../cache" }
 wap-cfg = { path = "../cfg" }
+wap-rules = { path = "../rules" }
 wap-taint = { path = "../taint" }
 wap-catalog = { path = "../catalog" }
 wap-mining = { path = "../mining" }
@@ -663,6 +674,12 @@ path = "tests/parallel_determinism.rs"
 [[test]]
 name = "cache_incremental"
 path = "tests/cache_incremental.rs"
+
+# the golden byte-comparison self-skips when the shimmed serializer
+# renders empty documents; the cross-configuration identity still runs
+[[test]]
+name = "golden_sarif"
+path = "tests/golden_sarif.rs"
 
 [[test]]
 name = "serve_http"
@@ -695,14 +712,14 @@ fi
 
 if [ "$MODE" = "test" ] || [ "$MODE" = "all" ]; then
     echo "== offline-check: cargo test (dependency-free crates only) =="
-    cargo test --offline -q -p wap-php -p wap-cache -p wap-cfg -p wap-obs -p wap-runtime -p wap-taint
+    cargo test --offline -q -p wap-php -p wap-cache -p wap-cfg -p wap-rules -p wap-obs -p wap-runtime -p wap-taint
     echo "== offline-check: report + serve + live tests (std-only service stack) =="
     cargo test --offline -q -p wap-report -p wap-serve -p wap-live
     echo "== offline-check: core cache tests (shim-rand-agnostic: they =="
     echo "== compare cached runs against in-process cold runs)         =="
     cargo test --offline -q -p wap-core cache
     echo "== offline-check: determinism + cache + serve tests (shim-rand-agnostic) =="
-    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test serve_http --test fleet_determinism --test trace_determinism --test roundtrip_property --test live_determinism
+    cargo test --offline -q -p wap --test parallel_determinism --test cache_incremental --test golden_sarif --test serve_http --test fleet_determinism --test trace_determinism --test roundtrip_property --test live_determinism
 fi
 
 echo "offline-check: OK"

@@ -30,7 +30,8 @@ if length == 0 then fail("empty trace") else . end
 | if $spans | all(
       (.phase | type == "string")
       and (.phase | IN("parse", "taint", "summary_merge", "toplevel_exec",
-                       "vote", "predict", "fix", "cache", "cfg", "lint", "live"))
+                       "vote", "predict", "fix", "cache", "cfg", "lint", "live",
+                       "rules"))
       and (.job | type == "number")
       and (.start_ns | type == "number") and .start_ns >= 0
       and (.dur_ns | type == "number") and .dur_ns >= 0

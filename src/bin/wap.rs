@@ -3,7 +3,8 @@
 //! correct the source — or host the whole pipeline as a resident HTTP
 //! service (`wap serve`), stream findings deltas as sources change
 //! (`wap watch`), or serve editor diagnostics over stdio (`wap lsp`).
-//! `wap lint` runs the CFG-based lint pass (shorthand for `wap --lint`).
+//! `wap lint` runs the CFG-based lint pass (shorthand for `wap --lint`);
+//! `wap rules` manages installed rule packs for `--lint --rules`.
 
 // Count allocations so scan summaries can report them alongside peak
 // RSS; the counter is a relaxed atomic increment over the system
@@ -24,6 +25,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("lsp") {
         args.remove(0);
         std::process::exit(wap_live::cli::lsp_main(args));
+    }
+    if args.first().map(String::as_str) == Some("rules") {
+        args.remove(0);
+        std::process::exit(wap_rules::cli_main(args));
     }
     // `wap lint <PATH>...` is shorthand for `wap --lint <PATH>...`
     let lint_subcommand = args.first().map(String::as_str) == Some("lint");

@@ -28,6 +28,7 @@
 //! * [`cache`] — the persistent incremental analysis cache
 //! * [`core`] — the assembled pipeline and weapon generator
 //! * [`report`] — the report model and its renderers (text/JSON/NDJSON/SARIF)
+//! * [`rules`] — versioned rule packs and the `wap rules` store
 //! * [`serve`] — the resident HTTP analysis service
 //! * [`live`] — the live front-ends (`wap watch` deltas, `wap lsp` diagnostics)
 //!
@@ -59,6 +60,7 @@ pub use wap_live as live;
 pub use wap_mining as mining;
 pub use wap_php as php;
 pub use wap_report as report;
+pub use wap_rules as rules;
 pub use wap_serve as serve;
 pub use wap_taint as taint;
 

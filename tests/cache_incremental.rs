@@ -238,6 +238,120 @@ fn one_function_edit_invalidates_only_its_dependents() {
     assert_eq!(rescan.cache.hits, 6, "{:?}", rescan.cache);
 }
 
+/// Lint findings as comparable text (the lint analog of [`fingerprint`]).
+fn lint_fingerprint(report: &AppReport) -> String {
+    let mut out = String::new();
+    for l in &report.lint {
+        out.push_str(&format!(
+            "{}:{}:{}:{}:{}\n",
+            l.file,
+            l.line,
+            l.rule_id,
+            l.severity.as_str(),
+            l.message
+        ));
+    }
+    out
+}
+
+/// Installing (or upgrading) a rule pack re-keys exactly the `cfg` cache
+/// entries: the analysis stages (decl/pass/findings) keep their keys and
+/// stay warm, pack-less `cfg` keys stay valid for pack-less runs, and a
+/// pack run mints one new `cfg` entry per lintable file.
+#[test]
+fn pack_install_rekeys_only_cfg_entries() {
+    let dir = temp_dir("pack-rekey");
+    let files = sources();
+    let lintable = 3; // broken.php parse-fails, so it caches no cfg entry
+    let run = |packs: Vec<wap::rules::RulePack>| {
+        let tool = WapTool::new(
+            ToolConfig::builder()
+                .no_weapons()
+                .cache_dir(&dir)
+                .rule_packs(packs)
+                .build(),
+        );
+        let mut report = tool.analyze_sources(&files);
+        tool.apply_lint(&mut report, &files);
+        report
+    };
+
+    let cold = run(Vec::new());
+    let baseline = entry_files(&dir);
+    let warm = run(Vec::new());
+    assert_eq!(warm.cache.misses, 0, "{:?}", warm.cache);
+    assert_eq!(baseline, entry_files(&dir), "warm run minted new entries");
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    assert_eq!(lint_fingerprint(&cold), lint_fingerprint(&warm));
+
+    // a pack run re-keys the cfg entries and nothing else: the analysis
+    // stages stay fully warm, and exactly one new entry appears per
+    // lintable file
+    let packed = run(vec![wap::rules::RulePack::wordpress()]);
+    assert_eq!(
+        packed.cache.misses, 0,
+        "pack must not invalidate analysis entries: {:?}",
+        packed.cache
+    );
+    let with_pack = entry_files(&dir);
+    assert_eq!(with_pack.len(), baseline.len() + lintable);
+    assert!(
+        baseline.iter().all(|e| with_pack.contains(e)),
+        "pack install must not evict pack-less entries"
+    );
+
+    // the pack-keyed entries serve a warm pack run; the pack-less keys
+    // still serve a pack-less run — neither mints anything new
+    let packed_warm = run(vec![wap::rules::RulePack::wordpress()]);
+    assert_eq!(packed_warm.cache.misses, 0, "{:?}", packed_warm.cache);
+    assert_eq!(lint_fingerprint(&packed), lint_fingerprint(&packed_warm));
+    let plain = run(Vec::new());
+    assert_eq!(plain.cache.misses, 0, "{:?}", plain.cache);
+    assert_eq!(lint_fingerprint(&cold), lint_fingerprint(&plain));
+    assert_eq!(with_pack, entry_files(&dir), "no further entries minted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A default (no-pack) lint run must be byte-identical to the historical
+/// single-path lint output at every job count, cold or warm — the rule
+/// engine swap and the pack-aware cache key must be invisible without
+/// packs.
+#[test]
+fn no_pack_lint_runs_are_byte_identical_across_jobs_and_cache() {
+    let files = sources();
+    let render = |jobs: usize, cache_dir: Option<&Path>, explicit_empty: bool| {
+        let mut builder = ToolConfig::builder().no_weapons().jobs(jobs);
+        if let Some(dir) = cache_dir {
+            builder = builder.cache_dir(dir);
+        }
+        let tool = WapTool::new(builder.build());
+        let mut report = tool.analyze_sources(&files);
+        if explicit_empty {
+            tool.apply_lint_with(&mut report, &files, &[]).unwrap();
+        } else {
+            tool.apply_lint(&mut report, &files);
+        }
+        (fingerprint(&report), lint_fingerprint(&report))
+    };
+
+    let reference = render(1, None, false);
+    assert!(!reference.1.is_empty(), "fixture app must produce lint findings");
+    for jobs in [2usize, 8] {
+        assert_eq!(reference, render(jobs, None, false), "jobs={jobs} diverged");
+    }
+    // apply_lint_with an explicit empty pack list is the same single path
+    assert_eq!(reference, render(1, None, true));
+    let dir = temp_dir("nopack-bytes");
+    for label in ["cold", "warm"] {
+        assert_eq!(
+            reference,
+            render(4, Some(&dir), false),
+            "{label} cached run diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The second-order (stored XSS) pass caches its own pass entries; warm
 /// runs must reproduce it exactly, including the store→fetch trigger.
 #[test]

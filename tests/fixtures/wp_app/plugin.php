@@ -1,0 +1,14 @@
+<?php
+// A tiny WordPress-flavored plugin: every defect here is visible to the
+// `wordpress` rule pack but produces no taint candidates, so the SARIF
+// rendering is independent of the trained committee.
+function lookup_post($wpdb) {
+    $id = get_option('active_post');
+    $wpdb->query("SELECT * FROM wp_posts WHERE ID = $id");
+    $rows = $wpdb->get_results("SELECT meta_value FROM wp_postmeta WHERE post_id = $id");
+    return $rows;
+}
+function prepared_ok($wpdb) {
+    $wpdb->query("SELECT * FROM wp_posts WHERE post_status = 'publish'");
+}
+extract($_GET);

