@@ -47,6 +47,11 @@ const MIN_WARM_SPEEDUP: f64 = 3.0;
 /// losing any one of those optimizations trips it while scheduler noise
 /// does not.
 const MIN_COLD_LOC_PER_S: f64 = 350_000.0;
+/// Ceiling on what `--values` may add to a cold scan, self-relative to
+/// this run's own plain cold sweep (so it needs no baseline field and
+/// sits outside the 15% regression gate): the opt-in value analysis is
+/// a coverage feature, not licence for a measurable slowdown.
+const MAX_VALUES_OVERHEAD: f64 = 0.10;
 const REPS: usize = 3;
 /// Single-file edits driven through the watch front-end for the
 /// live-edit latency sweep (reported, not gated).
@@ -87,6 +92,10 @@ struct Measurement {
     /// for trend-watching but outside the gate (it measures loopback
     /// HTTP as much as the pipeline).
     warm_remote_loc_per_s: f64,
+    /// Cold sweep with the interprocedural value analysis on — outside
+    /// the baseline gate, but bounded self-relatively: it may cost at
+    /// most [`MAX_VALUES_OVERHEAD`] over this run's plain cold sweep.
+    cold_values_loc_per_s: f64,
     /// Watch-mode re-analysis latency after one single-file edit on a
     /// warm cache — reported for trend-watching, outside the gate (it
     /// measures filesystem polling as much as the pipeline).
@@ -111,13 +120,14 @@ impl Measurement {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2},\n  \"live_edit_p50_ms\": {:.2},\n  \"live_edit_p95_ms\": {:.2},\n  \"skipped_sweeps\": [{skipped}]\n}}\n",
+            "{{\n  \"schema\": \"{}\",\n  \"total_loc\": {},\n  \"findings\": {},\n  \"cold_loc_per_s\": {:.1},\n  \"warm_loc_per_s\": {:.1},\n  \"warm_remote_loc_per_s\": {:.1},\n  \"cold_values_loc_per_s\": {:.1},\n  \"warm_speedup\": {:.2},\n  \"live_edit_p50_ms\": {:.2},\n  \"live_edit_p95_ms\": {:.2},\n  \"skipped_sweeps\": [{skipped}]\n}}\n",
             SCHEMA,
             self.total_loc,
             self.findings,
             self.cold_loc_per_s,
             self.warm_loc_per_s,
             self.warm_remote_loc_per_s,
+            self.cold_values_loc_per_s,
             self.warm_speedup(),
             self.live_edit_p50_ms,
             self.live_edit_p95_ms
@@ -180,6 +190,25 @@ fn measure() -> Measurement {
         "ci_bench: cfg phase {} ms, lint phase {} ms (opt-in --guards/--lint, not gated)",
         guarded_report.stats.phase_ns(Phase::Cfg) / 1_000_000,
         guarded_report.stats.phase_ns(Phase::Lint) / 1_000_000
+    );
+
+    // values sweep: the interprocedural value analysis on a cold scan —
+    // outside the baseline gate, bounded against this run's own cold
+    // sweep by MAX_VALUES_OVERHEAD in gate mode
+    let mut values_stats = ScanStats::new();
+    let (values_secs, values_findings) = best_secs(REPS, || {
+        let report = WapTool::new(ToolConfig::builder().jobs(1).values(true).build())
+            .analyze_sources(&sources);
+        values_stats = report.stats.clone();
+        report.findings.len()
+    });
+    assert!(
+        values_findings >= findings,
+        "--values must never lose findings: {values_findings} < {findings}"
+    );
+    println!(
+        "ci_bench: values phase {} ms (opt-in --values, bounded vs cold, not baseline-gated)",
+        values_stats.phase_ns(Phase::Values) / 1_000_000
     );
 
     let mut tool = WapTool::new(ToolConfig::builder().jobs(1).build());
@@ -249,6 +278,7 @@ fn measure() -> Measurement {
         cold_loc_per_s: total_loc as f64 / cold_secs,
         warm_loc_per_s: total_loc as f64 / warm_secs,
         warm_remote_loc_per_s,
+        cold_values_loc_per_s: total_loc as f64 / values_secs,
         live_edit_p50_ms,
         live_edit_p95_ms,
         skipped_sweeps,
@@ -385,6 +415,21 @@ fn gate(measured: &Measurement, baseline_path: &str) -> Result<(), String> {
             "warm run only {speedup:.2}x faster than cold (need >= {MIN_WARM_SPEEDUP:.1}x)"
         ));
     }
+    // self-relative, so baseline files without the field still gate:
+    // the opt-in values pass may not slow a cold scan past its bound
+    let values_overhead = measured.cold_loc_per_s / measured.cold_values_loc_per_s - 1.0;
+    println!(
+        "ci_bench: values overhead: {:.1}% over cold (ceiling {:.0}%)",
+        values_overhead * 100.0,
+        MAX_VALUES_OVERHEAD * 100.0
+    );
+    if values_overhead > MAX_VALUES_OVERHEAD {
+        failures.push(format!(
+            "--values costs {:.1}% over a cold scan (ceiling {:.0}%)",
+            values_overhead * 100.0,
+            MAX_VALUES_OVERHEAD * 100.0
+        ));
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -434,13 +479,14 @@ fn main() -> ExitCode {
 
     let measured = measure();
     println!(
-        "ci_bench: {} LoC, {} findings, cold {:.1} LoC/s, warm {:.1} LoC/s ({:.2}x), remote-warm {:.1} LoC/s (not gated)",
+        "ci_bench: {} LoC, {} findings, cold {:.1} LoC/s, warm {:.1} LoC/s ({:.2}x), remote-warm {:.1} LoC/s (not gated), cold+values {:.1} LoC/s",
         measured.total_loc,
         measured.findings,
         measured.cold_loc_per_s,
         measured.warm_loc_per_s,
         measured.warm_speedup(),
-        measured.warm_remote_loc_per_s
+        measured.warm_remote_loc_per_s,
+        measured.cold_values_loc_per_s
     );
     println!(
         "ci_bench: live_edit: p50 {:.2} ms, p95 {:.2} ms over {LIVE_EDITS} edits (not gated)",

@@ -55,6 +55,7 @@ pub mod guard;
 pub mod lint;
 pub mod reach;
 pub mod rules;
+pub mod values;
 
 pub use dominators::Dominators;
 pub use graph::{lower_program, lower_stmts, Block, BlockId, Cfg, Edge, FileCfgs, Guard, Node};
@@ -62,6 +63,13 @@ pub use guard::{GuardAnalysis, GuardFact};
 pub use lint::{
     builtin_rules, normalize_rule_id, sort_findings, LintFinding, LintRule, Severity, SinkEvent,
     RULE_ASSIGN_IN_COND, RULE_TAINTED_SINK, RULE_UNGUARDED_SINK, RULE_UNREACHABLE,
+    RULE_UNRESOLVED_INCLUDE,
 };
 pub use reach::{DefSite, ReachingDefs};
-pub use rules::{builtin_specs, CompiledRule, MatchSpec, Pattern, RuleError, RuleSet, RuleSpec};
+pub use rules::{
+    builtin_specs, CompiledRule, FileFacts, MatchSpec, Pattern, RuleError, RuleSet, RuleSpec,
+};
+pub use values::{
+    analyze_file_values, dynamic_include_sites, summarize_values, AbstractValue, FileValues,
+    SinkContext, ValueResolution, ValueSummary,
+};

@@ -16,6 +16,10 @@
 //!   the classic `if ($x = f())` typo.
 //! * [`RULE_TAINTED_SINK`] — a taint-confirmed sink (from the engine's
 //!   candidate list) with no dominating guard on the tainted variables.
+//! * [`RULE_UNRESOLVED_INCLUDE`] — a dynamic include whose path no
+//!   analysis resolved, so its target is a coverage gap (synthesized by
+//!   the pipeline's lint pass, not by the rule engine; suppressed when
+//!   the `--values` value analysis resolves the path).
 //!
 //! All rule-set entry points return findings sorted by `(file, line,
 //! span, rule, message)` so output is bit-identical regardless of
@@ -32,6 +36,10 @@ pub const RULE_UNREACHABLE: &str = "WAP-LINT-UNREACHABLE";
 pub const RULE_ASSIGN_IN_COND: &str = "WAP-LINT-ASSIGN-IN-COND";
 /// Rule id: tainted data reaches a sink with no dominating guard.
 pub const RULE_TAINTED_SINK: &str = "WAP-LINT-TAINTED-SINK";
+/// Rule id: dynamic include whose path the analysis could not resolve —
+/// a visible coverage gap (suppressed when the value analysis resolves
+/// the path to scan-set files).
+pub const RULE_UNRESOLVED_INCLUDE: &str = "WAP-LINT-UNRESOLVED-INCLUDE";
 
 /// Finding severity, ordered from most to least severe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -138,6 +146,13 @@ pub fn builtin_rules() -> Vec<LintRule> {
             severity: Severity::Note,
             pack: None,
         },
+        LintRule {
+            id: RULE_UNRESOLVED_INCLUDE.to_string(),
+            summary: "dynamic include path could not be resolved (analysis coverage gap)"
+                .to_string(),
+            severity: Severity::Note,
+            pack: None,
+        },
     ]
 }
 
@@ -190,7 +205,7 @@ mod tests {
     #[test]
     fn builtin_rules_are_stable_and_prefixed() {
         let rules = builtin_rules();
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 5);
         assert!(rules.iter().all(|r| r.id.starts_with("WAP-LINT-")));
         assert!(rules.iter().all(|r| r.pack.is_none()));
         let mut ids: Vec<&str> = rules.iter().map(|r| r.id.as_str()).collect();
@@ -201,7 +216,7 @@ mod tests {
         };
         assert_eq!(ids, sorted, "rule table is in stable id order");
         ids.dedup();
-        assert_eq!(ids.len(), 4);
+        assert_eq!(ids.len(), 5);
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! * statement patterns over printed statements, with `...` gaps and
 //!   `$NAME` metavariable bindings plus per-binding `where` constraints.
 //!
+//! A `where` constraint is either the historical regex-lite pattern over
+//! the bound text, or — when every `" and "`-separated term is a
+//! recognized predicate — a semantic predicate chain evaluated against
+//! per-file [`FileFacts`]: `tainted($X)` (the binding mentions a request
+//! superglobal or a taint-analysis carrier), `const($X)` (the binding is
+//! a literal or the value analysis proves it constant), `not const($X)`
+//! / `!const($X)`, and `matches-value($X, <regex-lite>)` (some resolved
+//! concrete value matches). Any unrecognized term keeps the whole
+//! expression a plain regex, so existing packs compile unchanged.
+//!
 //! Executions are deterministic: findings come out in the canonical
 //! `(file, line, span, rule, message)` order regardless of rule or
 //! traversal order.
@@ -23,7 +33,11 @@ use crate::guard::GuardAnalysis;
 use crate::lint::{
     normalize_rule_id, sort_findings, var_list, LintFinding, LintRule, Severity, SinkEvent,
     RULE_ASSIGN_IN_COND, RULE_TAINTED_SINK, RULE_UNGUARDED_SINK, RULE_UNREACHABLE,
+    RULE_UNRESOLVED_INCLUDE,
 };
+use crate::values::{AbstractValue, FileValues};
+use std::collections::BTreeSet;
+use wap_php::Symbol;
 
 /// A rule declaration: the single schema every rule source (builtin
 /// table, weapon `lint_rules`, installed packs) lowers into.
@@ -64,6 +78,11 @@ pub enum MatchSpec {
     /// tainted variables (builtin; events ride in via
     /// [`RuleSet::run_tainted`]).
     TaintedSink,
+    /// A dynamic include whose path no analysis resolved to a scan-set
+    /// file (builtin; unresolved sites ride in via
+    /// [`RuleSet::run_unresolved_includes`], computed by the pipeline
+    /// from the value pass).
+    UnresolvedInclude,
     /// Every call to `function` (the weapon `forbid_call` kind).
     Call {
         /// Forbidden function name (case-insensitive).
@@ -88,13 +107,35 @@ pub enum MatchSpec {
     /// matches literally (whitespace-insensitive), `...` matches any
     /// run of text, and `$NAME` (all-caps) binds a metavariable;
     /// repeated metavariables must bind identical text and each
-    /// `where` entry constrains a binding with a regex-lite pattern.
+    /// `where` entry constrains a binding with a regex-lite pattern or
+    /// a predicate chain (`tainted($X)`, `const($X)`, `!const($X)`,
+    /// `matches-value($X, <re>)`, joined with `" and "`) evaluated
+    /// against [`FileFacts`].
     Pattern {
         /// The statement pattern.
         pattern: String,
-        /// Per-metavariable regex-lite constraints.
+        /// Per-metavariable constraints (regex-lite or predicates).
         constraints: Vec<(String, String)>,
     },
+}
+
+impl MatchSpec {
+    /// The matcher's kind name — manifest `kind` strings for pack
+    /// matchers, descriptive names for the structural builtins. Used by
+    /// `wap rules list` to show what a pack's rules match on.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MatchSpec::Unreachable => "unreachable",
+            MatchSpec::AssignInCond => "assign_in_cond",
+            MatchSpec::UnguardedSink { .. } => "unguarded_sink",
+            MatchSpec::TaintedSink => "tainted_sink",
+            MatchSpec::UnresolvedInclude => "unresolved_include",
+            MatchSpec::Call { .. } => "forbid_call",
+            MatchSpec::CallGuarded { .. } => "require_guard",
+            MatchSpec::CallWithArg { .. } => "call_with_arg",
+            MatchSpec::Pattern { .. } => "pattern",
+        }
+    }
 }
 
 impl RuleSpec {
@@ -168,6 +209,16 @@ pub fn builtin_specs(sinks: Vec<String>) -> Vec<RuleSpec> {
             pack: None,
             matcher: MatchSpec::Unreachable,
         },
+        RuleSpec {
+            id: RULE_UNRESOLVED_INCLUDE.to_string(),
+            severity: "note".to_string(),
+            summary: "dynamic include path could not be resolved (analysis coverage gap)"
+                .to_string(),
+            message: "dynamic include path could not be resolved; its target is not analyzed"
+                .to_string(),
+            pack: None,
+            matcher: MatchSpec::UnresolvedInclude,
+        },
     ]
 }
 
@@ -211,6 +262,7 @@ enum CompiledMatcher {
     AssignInCond,
     UnguardedSink { sinks: Vec<String> },
     TaintedSink,
+    UnresolvedInclude,
     Call { function: String },
     CallGuarded { function: String },
     CallWithArg { function: String, argument: Pattern },
@@ -246,6 +298,7 @@ impl RuleSet {
                     sinks: sinks.clone(),
                 },
                 MatchSpec::TaintedSink => CompiledMatcher::TaintedSink,
+                MatchSpec::UnresolvedInclude => CompiledMatcher::UnresolvedInclude,
                 MatchSpec::Call { function } => CompiledMatcher::Call {
                     function: function.clone(),
                 },
@@ -315,6 +368,16 @@ impl RuleSet {
         self.needs_source
     }
 
+    /// Whether any rule carries a predicate `where` constraint, i.e.
+    /// consumes [`FileFacts`]. Callers use this to decide whether to
+    /// compute facts (and to salt lint cache keys with them).
+    pub fn needs_facts(&self) -> bool {
+        self.rules.iter().any(|r| match &r.matcher {
+            CompiledMatcher::Pattern { pattern } => pattern.has_predicates(),
+            _ => false,
+        })
+    }
+
     /// Report rule-table metadata: one entry per distinct rule id, in
     /// sorted id order.
     pub fn rule_table(&self) -> Vec<LintRule> {
@@ -336,17 +399,38 @@ impl RuleSet {
     /// Runs every CFG-local rule over one file's graphs. `source` is the
     /// file's original text, required by pattern and call-with-argument
     /// rules (they never fire without it). Findings are sorted and
-    /// deterministic.
+    /// deterministic. Predicate `where` constraints see empty facts, so
+    /// `tainted`/`const` predicates only fire on what the binding text
+    /// alone proves; use [`RuleSet::run_with_facts`] to supply facts.
     pub fn run(&self, file: &str, cfgs: &FileCfgs, source: Option<&str>) -> Vec<LintFinding> {
+        self.run_with_facts(file, cfgs, source, &FileFacts::default())
+    }
+
+    /// [`RuleSet::run`] with per-file semantic facts backing predicate
+    /// `where` constraints.
+    pub fn run_with_facts(
+        &self,
+        file: &str,
+        cfgs: &FileCfgs,
+        source: Option<&str>,
+        facts: &FileFacts<'_>,
+    ) -> Vec<LintFinding> {
         let mut out = Vec::new();
         for cfg in &cfgs.cfgs {
-            self.run_cfg(file, cfg, source, &mut out);
+            self.run_cfg(file, cfg, source, facts, &mut out);
         }
         sort_findings(&mut out);
         out
     }
 
-    fn run_cfg(&self, file: &str, cfg: &Cfg, source: Option<&str>, out: &mut Vec<LintFinding>) {
+    fn run_cfg(
+        &self,
+        file: &str,
+        cfg: &Cfg,
+        source: Option<&str>,
+        facts: &FileFacts<'_>,
+        out: &mut Vec<LintFinding>,
+    ) {
         let reachable = cfg.reachable();
 
         for rule in &self.rules {
@@ -425,7 +509,7 @@ impl RuleSet {
                         let Some(text) = source.and_then(|s| slice_span(s, node.span)) else {
                             continue;
                         };
-                        if pattern.matches(&normalize_ws(text)) {
+                        if pattern.matches(&normalize_ws(text), node.span.start(), facts) {
                             out.push(LintFinding {
                                 rule_id: rule.id.clone(),
                                 severity: rule.severity,
@@ -556,6 +640,36 @@ impl RuleSet {
                         s.class,
                         var_list(&s.vars)
                     ),
+                });
+            }
+        }
+        sort_findings(&mut out);
+        out
+    }
+
+    /// Runs the unresolved-include rule over the given unresolved
+    /// dynamic-include sites (`(span, 1-based line)` pairs, computed by
+    /// the pipeline as the dynamic include sites the value analysis
+    /// could not resolve). A no-op when the set declares no
+    /// [`MatchSpec::UnresolvedInclude`] rule. Findings are sorted.
+    pub fn run_unresolved_includes(
+        &self,
+        file: &str,
+        sites: &[(wap_php::Span, u32)],
+    ) -> Vec<LintFinding> {
+        let mut out: Vec<LintFinding> = Vec::new();
+        for rule in &self.rules {
+            if !matches!(rule.matcher, CompiledMatcher::UnresolvedInclude) {
+                continue;
+            }
+            for &(span, line) in sites {
+                out.push(LintFinding {
+                    rule_id: rule.id.clone(),
+                    severity: rule.severity,
+                    file: file.to_string(),
+                    line,
+                    span,
+                    message: rule.message.clone(),
                 });
             }
         }
@@ -900,6 +1014,213 @@ fn match_atom(atom: &Atom, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -
 }
 
 // ---------------------------------------------------------------------------
+// Predicate `where` constraints: semantic facts + the predicate grammar.
+// ---------------------------------------------------------------------------
+
+/// Per-file semantic facts backing predicate `where` constraints. The
+/// pipeline computes them from the taint report and the value analysis;
+/// the empty default means any predicate needing a missing fact
+/// conservatively fails (except literal bindings, which prove
+/// const-ness on their own).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileFacts<'a> {
+    /// Bare variable names (no `$`) the taint analysis marked as
+    /// tainted carriers in this file.
+    pub tainted_vars: Option<&'a BTreeSet<String>>,
+    /// The file's value-analysis result, when the value pass ran.
+    pub values: Option<&'a FileValues>,
+}
+
+/// One compiled `where` constraint: the historical regex-lite form, or
+/// a conjunction of semantic predicates.
+#[derive(Debug, Clone)]
+enum Constraint {
+    Regex(Pattern),
+    Predicates(Vec<Predicate>),
+}
+
+#[derive(Debug, Clone)]
+enum Predicate {
+    Tainted,
+    Const,
+    NotConst,
+    MatchesValue(Pattern),
+}
+
+/// Request superglobals: bindings mentioning these are tainted without
+/// any taint-analysis fact (they *are* the paper's entry points).
+const SOURCE_SUPERGLOBALS: [&str; 6] =
+    ["_GET", "_POST", "_REQUEST", "_COOKIE", "_FILES", "_SERVER"];
+
+/// Parses one constraint expression. Every `" and "`-separated term
+/// must be a recognized predicate for the predicate reading to win;
+/// otherwise the whole expression compiles as a regex-lite pattern
+/// (the historical behavior, so existing packs are unaffected).
+fn parse_constraint(name: &str, expr: &str) -> Result<Constraint, String> {
+    let mut preds = Vec::new();
+    for term in expr.split(" and ") {
+        match parse_predicate(name, term.trim())? {
+            Some(p) => preds.push(p),
+            None => return Ok(Constraint::Regex(Pattern::compile(expr)?)),
+        }
+    }
+    if preds.is_empty() {
+        return Err("empty where-constraint".to_string());
+    }
+    Ok(Constraint::Predicates(preds))
+}
+
+/// One predicate term: `Ok(None)` means "not predicate syntax, fall
+/// back to regex"; `Err` means predicate syntax naming the wrong
+/// metavariable (certainly a typo, so it does not silently regex-match).
+fn parse_predicate(name: &str, term: &str) -> Result<Option<Predicate>, String> {
+    let (head, arg) = match term.find('(') {
+        Some(i) if term.ends_with(')') => {
+            (term[..i].trim_end(), Some(term[i + 1..term.len() - 1].trim()))
+        }
+        _ => (term, None),
+    };
+    let head: String = head.split_whitespace().collect::<Vec<_>>().join(" ");
+    let check_name = |arg: Option<&str>| -> Result<(), String> {
+        match arg {
+            None | Some("") => Ok(()),
+            Some(a) if a == format!("${name}") => Ok(()),
+            Some(a) => Err(format!(
+                "predicate argument '{a}' does not name the constrained metavariable ${name}"
+            )),
+        }
+    };
+    match head.as_str() {
+        "tainted" => {
+            check_name(arg)?;
+            Ok(Some(Predicate::Tainted))
+        }
+        "const" => {
+            check_name(arg)?;
+            Ok(Some(Predicate::Const))
+        }
+        "not const" | "!const" => {
+            check_name(arg)?;
+            Ok(Some(Predicate::NotConst))
+        }
+        "matches-value" => {
+            let Some(arg) = arg else {
+                return Err("matches-value needs a (pattern) argument".to_string());
+            };
+            // optional leading `$NAME,` names the metavariable
+            let re = match arg.strip_prefix(&format!("${name},")) {
+                Some(rest) => rest.trim_start(),
+                None if arg.starts_with('$') => {
+                    let named = arg.split(',').next().unwrap_or(arg).trim();
+                    return Err(format!(
+                        "predicate argument '{named}' does not name the constrained metavariable ${name}"
+                    ));
+                }
+                None => arg,
+            };
+            Ok(Some(Predicate::MatchesValue(Pattern::compile(re)?)))
+        }
+        _ => Ok(None),
+    }
+}
+
+impl Predicate {
+    fn eval(&self, bound: &str, offset: u32, facts: &FileFacts<'_>) -> bool {
+        match self {
+            Predicate::Tainted => binding_is_tainted(bound, facts),
+            Predicate::Const => binding_is_const(bound, offset, facts),
+            Predicate::NotConst => !binding_is_const(bound, offset, facts),
+            Predicate::MatchesValue(p) => binding_values(bound, offset, facts)
+                .is_some_and(|vals| vals.iter().any(|v| p.search(v))),
+        }
+    }
+}
+
+/// Bare variable names (`$x` → `x`) mentioned anywhere in bound text.
+fn binding_var_names(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '$' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push(chars[i + 1..j].iter().collect());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn binding_is_tainted(bound: &str, facts: &FileFacts<'_>) -> bool {
+    binding_var_names(bound).iter().any(|v| {
+        SOURCE_SUPERGLOBALS.contains(&v.as_str())
+            || facts.tainted_vars.is_some_and(|t| t.contains(v))
+    })
+}
+
+/// The concrete value of a literal binding (`"x"`, `'x'`, `42`), when
+/// the bound text alone proves one.
+fn literal_const(bound: &str) -> Option<String> {
+    let t = bound.trim();
+    let b = t.as_bytes();
+    if t.len() >= 2 && (b[0] == b'"' || b[0] == b'\'') && b[t.len() - 1] == b[0] {
+        let inner = &t[1..t.len() - 1];
+        if !inner.contains(b[0] as char) && !inner.contains('$') {
+            return Some(inner.to_string());
+        }
+        return None;
+    }
+    let digits = t.strip_prefix('-').unwrap_or(t);
+    if !digits.is_empty() && digits.bytes().all(|c| c.is_ascii_digit()) {
+        return Some(t.to_string());
+    }
+    None
+}
+
+/// The bare name when the whole binding is one simple variable.
+fn single_var(bound: &str) -> Option<&str> {
+    let rest = bound.trim().strip_prefix('$')?;
+    let simple = !rest.is_empty()
+        && !rest.starts_with(|c: char| c.is_ascii_digit())
+        && rest.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    simple.then_some(rest)
+}
+
+fn binding_is_const(bound: &str, offset: u32, facts: &FileFacts<'_>) -> bool {
+    if literal_const(bound).is_some() {
+        return true;
+    }
+    let Some(var) = single_var(bound) else {
+        return false;
+    };
+    facts.values.is_some_and(|fv| {
+        fv.value_at(Symbol::intern(var), offset)
+            .is_some_and(AbstractValue::is_const)
+    })
+}
+
+/// Every concrete value the binding may hold, when fully known: the
+/// literal itself, or the value analysis' exact string set / constant.
+fn binding_values(bound: &str, offset: u32, facts: &FileFacts<'_>) -> Option<Vec<String>> {
+    if let Some(lit) = literal_const(bound) {
+        return Some(vec![lit]);
+    }
+    let var = single_var(bound)?;
+    match facts.values?.value_at(Symbol::intern(var), offset)? {
+        AbstractValue::Num(n) => Some(vec![n.to_string()]),
+        AbstractValue::Strs { items, exact: true } => Some(items.iter().cloned().collect()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Statement patterns: literal text (whitespace-insensitive) + `...` gaps
 // + `$NAME` metavariables with `where` regex-lite constraints.
 // ---------------------------------------------------------------------------
@@ -908,7 +1229,7 @@ fn match_atom(atom: &Atom, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -
 struct StmtPattern {
     elems: Vec<Elem>,
     /// Constraint per metavariable index (parallel to `names`).
-    constraints: Vec<Option<Pattern>>,
+    constraints: Vec<Option<Constraint>>,
     names: Vec<String>,
 }
 
@@ -983,12 +1304,12 @@ impl StmtPattern {
         if elems.is_empty() {
             return Err("empty pattern".to_string());
         }
-        let mut compiled: Vec<Option<Pattern>> = vec![None; names.len()];
+        let mut compiled: Vec<Option<Constraint>> = vec![None; names.len()];
         for (name, expr) in constraints {
             let Some(idx) = names.iter().position(|n| n == name) else {
                 return Err(format!("where-constraint on ${name} not bound in the pattern"));
             };
-            compiled[idx] = Some(Pattern::compile(expr).map_err(|e| {
+            compiled[idx] = Some(parse_constraint(name, expr).map_err(|e| {
                 format!("where-constraint on ${name}: {e}")
             })?);
         }
@@ -999,13 +1320,23 @@ impl StmtPattern {
         })
     }
 
+    /// Whether any `where` constraint is a semantic predicate chain.
+    fn has_predicates(&self) -> bool {
+        self.constraints
+            .iter()
+            .flatten()
+            .any(|c| matches!(c, Constraint::Predicates(_)))
+    }
+
     /// Whether the pattern matches anywhere in the (whitespace-normalized)
-    /// statement text.
-    fn matches(&self, text: &str) -> bool {
+    /// statement text. `offset` is the statement's source offset and
+    /// `facts` the file's semantic facts, consumed by predicate
+    /// constraints.
+    fn matches(&self, text: &str, offset: u32, facts: &FileFacts<'_>) -> bool {
         let chars: Vec<char> = text.chars().collect();
         let mut bindings: Vec<Option<(usize, usize)>> = vec![None; self.names.len()];
         for start in 0..chars.len() + 1 {
-            if self.match_elems(&self.elems, &chars, start, &mut bindings) {
+            if self.match_elems(&self.elems, &chars, start, &mut bindings, offset, facts) {
                 return true;
             }
         }
@@ -1018,15 +1349,17 @@ impl StmtPattern {
         text: &[char],
         pos: usize,
         bindings: &mut Vec<Option<(usize, usize)>>,
+        offset: u32,
+        facts: &FileFacts<'_>,
     ) -> bool {
         let Some((first, rest)) = elems.split_first() else {
             // substring semantics: trailing text is fine
-            return self.bindings_ok(text, bindings);
+            return self.bindings_ok(text, bindings, offset, facts);
         };
         match first {
             Elem::Lit(lit) => {
                 if pos + lit.len() <= text.len() && text[pos..pos + lit.len()] == lit[..] {
-                    self.match_elems(rest, text, pos + lit.len(), bindings)
+                    self.match_elems(rest, text, pos + lit.len(), bindings, offset, facts)
                 } else {
                     false
                 }
@@ -1034,15 +1367,15 @@ impl StmtPattern {
             Elem::OptSpace => {
                 if pos < text.len()
                     && text[pos] == ' '
-                    && self.match_elems(rest, text, pos + 1, bindings)
+                    && self.match_elems(rest, text, pos + 1, bindings, offset, facts)
                 {
                     return true;
                 }
-                self.match_elems(rest, text, pos, bindings)
+                self.match_elems(rest, text, pos, bindings, offset, facts)
             }
             Elem::Gap => {
                 for end in pos..text.len() + 1 {
-                    if self.match_elems(rest, text, end, bindings) {
+                    if self.match_elems(rest, text, end, bindings, offset, facts) {
                         return true;
                     }
                 }
@@ -1053,13 +1386,13 @@ impl StmtPattern {
                     // repeated metavariable: must match its first binding
                     let len = e - s;
                     if pos + len <= text.len() && text[pos..pos + len] == text[s..e] {
-                        return self.match_elems(rest, text, pos + len, bindings);
+                        return self.match_elems(rest, text, pos + len, bindings, offset, facts);
                     }
                     return false;
                 }
                 for end in (pos + 1..text.len() + 1).rev() {
                     bindings[*idx] = Some((pos, end));
-                    if self.match_elems(rest, text, end, bindings) {
+                    if self.match_elems(rest, text, end, bindings, offset, facts) {
                         return true;
                     }
                 }
@@ -1069,7 +1402,13 @@ impl StmtPattern {
         }
     }
 
-    fn bindings_ok(&self, text: &[char], bindings: &[Option<(usize, usize)>]) -> bool {
+    fn bindings_ok(
+        &self,
+        text: &[char],
+        bindings: &[Option<(usize, usize)>],
+        offset: u32,
+        facts: &FileFacts<'_>,
+    ) -> bool {
         for (idx, constraint) in self.constraints.iter().enumerate() {
             let Some(constraint) = constraint else {
                 continue;
@@ -1078,7 +1417,13 @@ impl StmtPattern {
                 return false;
             };
             let bound: String = text[s..e].iter().collect();
-            if !constraint.search(&bound) {
+            let ok = match constraint {
+                Constraint::Regex(p) => p.search(&bound),
+                Constraint::Predicates(ps) => {
+                    ps.iter().all(|p| p.eval(&bound, offset, facts))
+                }
+            };
+            if !ok {
                 return false;
             }
         }
@@ -1358,6 +1703,151 @@ mod tests {
         assert!(run_set("<?php $h = md5($salt);", &set).is_empty());
     }
 
+    fn pattern_rule(pattern: &str, constraint: &str) -> RuleSet {
+        RuleSet::compile(&[RuleSpec {
+            id: "pred".to_string(),
+            severity: "warning".to_string(),
+            summary: String::new(),
+            message: "predicate rule matched".to_string(),
+            pack: None,
+            matcher: MatchSpec::Pattern {
+                pattern: pattern.to_string(),
+                constraints: vec![("X".to_string(), constraint.to_string())],
+            },
+        }])
+        .unwrap()
+    }
+
+    fn run_with(src: &str, set: &RuleSet, facts: &FileFacts<'_>) -> Vec<LintFinding> {
+        let cfgs = lower_program(&parse(src).expect("parse"));
+        set.run_with_facts("test.php", &cfgs, Some(src), facts)
+    }
+
+    #[test]
+    fn tainted_predicate_fires_on_superglobals_without_facts() {
+        let set = pattern_rule("query_db( $X )", "tainted($X)");
+        assert!(set.needs_facts());
+        assert_eq!(run_set("<?php query_db($_GET['id']);", &set).len(), 1);
+        assert!(run_set("<?php query_db('SELECT 1');", &set).is_empty());
+        assert!(run_set("<?php query_db($id);", &set).is_empty());
+    }
+
+    #[test]
+    fn tainted_predicate_consumes_taint_carrier_facts() {
+        let set = pattern_rule("query_db( $X )", "tainted");
+        let mut tainted = BTreeSet::new();
+        tainted.insert("id".to_string());
+        let facts = FileFacts {
+            tainted_vars: Some(&tainted),
+            values: None,
+        };
+        assert_eq!(run_with("<?php query_db($id);", &set, &facts).len(), 1);
+        assert!(run_with("<?php query_db($other);", &set, &facts).is_empty());
+    }
+
+    #[test]
+    fn const_predicate_accepts_literals_and_proven_values() {
+        let set = pattern_rule("query_db( $X )", "const($X)");
+        // literals prove const-ness with no facts at all
+        assert_eq!(run_set("<?php query_db('SELECT 1');", &set).len(), 1);
+        assert_eq!(run_set("<?php query_db(42);", &set).len(), 1);
+        // a bare variable needs the value analysis to prove it
+        let src = "<?php $q = 'SELECT 1'; query_db($q);";
+        assert!(run_set(src, &set).is_empty());
+        let program = parse(src).unwrap();
+        let fv = crate::values::analyze_file_values(
+            "test.php",
+            &program,
+            &std::collections::HashMap::new(),
+            &BTreeSet::new(),
+        );
+        let facts = FileFacts {
+            tainted_vars: None,
+            values: Some(&fv),
+        };
+        assert_eq!(run_with(src, &set, &facts).len(), 1);
+        // and stays silent when the value is unknown
+        assert!(run_with("<?php $q = f(); query_db($q);", &set, &facts).is_empty());
+    }
+
+    #[test]
+    fn not_const_predicate_negates() {
+        let set = pattern_rule("query_db( $X )", "!const($X)");
+        assert!(run_set("<?php query_db('SELECT 1');", &set).is_empty());
+        assert_eq!(run_set("<?php query_db($q);", &set).len(), 1);
+    }
+
+    #[test]
+    fn matches_value_predicate_resolves_through_values() {
+        let set = pattern_rule("query_db( $X )", "matches-value($X, ^SELECT )");
+        assert_eq!(run_set("<?php query_db('SELECT 1');", &set).len(), 1);
+        assert!(run_set("<?php query_db('DELETE 1');", &set).is_empty());
+        let src = "<?php $q = 'SELECT ' . $cols; query_db($q);";
+        let program = parse(src).unwrap();
+        let fv = crate::values::analyze_file_values(
+            "test.php",
+            &program,
+            &std::collections::HashMap::new(),
+            &BTreeSet::new(),
+        );
+        let facts = FileFacts {
+            tainted_vars: None,
+            values: Some(&fv),
+        };
+        // prefix-only value: not exactly known, so no match
+        assert!(run_with(src, &set, &facts).is_empty());
+        let src = "<?php $q = 'SELECT 1'; query_db($q);";
+        let program = parse(src).unwrap();
+        let fv = crate::values::analyze_file_values(
+            "test.php",
+            &program,
+            &std::collections::HashMap::new(),
+            &BTreeSet::new(),
+        );
+        let facts = FileFacts {
+            tainted_vars: None,
+            values: Some(&fv),
+        };
+        assert_eq!(run_with(src, &set, &facts).len(), 1);
+    }
+
+    #[test]
+    fn predicate_chain_requires_every_term() {
+        let set = pattern_rule("echo $X", "tainted($X) and !const($X)");
+        assert!(set.needs_facts());
+        assert_eq!(run_set("<?php echo $_GET['q'];", &set).len(), 1);
+        assert!(run_set("<?php echo $x;", &set).is_empty());
+    }
+
+    #[test]
+    fn unrecognized_terms_stay_regex_constraints() {
+        // looks nothing like a predicate: plain regex, historical path
+        let set = pattern_rule("echo $X", "^\\$_(GET|POST)\\[");
+        assert!(!set.needs_facts());
+        assert_eq!(run_set("<?php echo $_GET['q'];", &set).len(), 1);
+        // one unrecognized term keeps the WHOLE expression a regex
+        let set = pattern_rule("echo $X", "GET and POST");
+        assert!(!set.needs_facts());
+        assert!(run_set("<?php echo $_GET['q'];", &set).is_empty());
+    }
+
+    #[test]
+    fn predicate_naming_wrong_metavariable_is_rejected() {
+        let err = RuleSet::compile(&[RuleSpec {
+            id: "typo".to_string(),
+            severity: "warning".to_string(),
+            summary: String::new(),
+            message: String::new(),
+            pack: None,
+            matcher: MatchSpec::Pattern {
+                pattern: "echo $X".to_string(),
+                constraints: vec![("X".to_string(), "tainted($Y)".to_string())],
+            },
+        }])
+        .unwrap_err();
+        assert!(err.message.contains("$X"), "{err}");
+    }
+
     #[test]
     fn compile_rejects_bad_patterns() {
         let bad = RuleSpec {
@@ -1395,7 +1885,7 @@ mod tests {
         specs.push(RuleSpec::legacy("zzz", "forbid_call", "f", "warning", "m"));
         specs.push(RuleSpec::legacy("zzz", "forbid_call", "f", "warning", "m"));
         let table = RuleSet::compile(&specs).unwrap().rule_table();
-        assert_eq!(table.len(), 5);
+        assert_eq!(table.len(), 6);
         let ids: Vec<&str> = table.iter().map(|r| r.id.as_str()).collect();
         let mut sorted = ids.clone();
         sorted.sort();

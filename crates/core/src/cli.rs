@@ -93,6 +93,11 @@ pub struct CliOptions {
     /// (`--guards`). Off by default so the headline reproduction stays
     /// bit-identical to the paper's plain symptom collector.
     pub guards: bool,
+    /// Run the interprocedural value analysis (`--values`): resolve
+    /// dynamic includes/calls into extra taint edges and refine symptom
+    /// vectors with sink contexts. Off by default so the headline
+    /// reproduction keeps the syntactic call graph bit-for-bit.
+    pub values: bool,
     /// Extra weapon configuration files to load.
     pub weapon_files: Vec<PathBuf>,
     /// User sanitizers to register, as `name:CLASS1,CLASS2`.
@@ -163,6 +168,9 @@ FLAGS:
     --rules-dir <DIR>     rule-pack store (default: WAP_RULES_DIR, then .wap-rules/)
     --guards              refine symptom vectors with CFG dominator guard
                           analysis before false-positive prediction
+    --values              interprocedural constant/string value analysis:
+                          resolve dynamic includes and calls into extra taint
+                          edges, refine predictions with sink value contexts
     --weapon <file.json>  link an additional weapon configuration
     --sanitizer name:CLASS[,CLASS]   register a user sanitization function
     --jobs <N>            worker threads (default: WAP_JOBS env, then all cores)
@@ -223,6 +231,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 opts.rules_dir = Some(PathBuf::from(d));
             }
             "--guards" => opts.guards = true,
+            "--values" => opts.values = true,
             "--weapon" => {
                 let f = it.next().ok_or("--weapon needs a file path")?;
                 opts.weapon_files.push(PathBuf::from(f));
@@ -327,6 +336,7 @@ pub fn build_tool(opts: &CliOptions) -> Result<WapTool, WapError> {
     config.cache_dir = opts.cache_dir.clone();
     config.trace = opts.trace.is_some() || opts.stats;
     config.guard_attributes = opts.guards;
+    config.values = opts.values;
     if !opts.rules.is_empty() {
         let store = wap_rules::Store::new(
             opts.rules_dir
@@ -646,6 +656,7 @@ mod tests {
             "--rules",
             "--rules-dir",
             "--guards",
+            "--values",
         ] {
             assert!(USAGE.contains(flag), "usage missing {flag}");
         }
@@ -749,6 +760,24 @@ mod tests {
         let err = build_tool(&bad).unwrap_err();
         assert!(matches!(err, WapError::Config { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn values_flag_parses_and_reaches_tool_config() {
+        let o = parse_args(args(&["--values", "f.php"])).unwrap();
+        assert!(o.values);
+        assert!(!parse_args(args(&["f.php"])).unwrap().values);
+        let opts = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            values: true,
+            ..Default::default()
+        };
+        assert!(build_tool(&opts).unwrap().config().values);
+        let plain = CliOptions {
+            paths: vec![PathBuf::from(".")],
+            ..Default::default()
+        };
+        assert!(!build_tool(&plain).unwrap().config().values);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! to a plain cold run) — a corrupted cache can cost time, never
 //! correctness.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
 use wap_cache::{CacheStore, CacheTier, CodecError, Reader, Writer};
@@ -36,7 +36,8 @@ use wap_runtime::Runtime;
 use wap_taint::serial::write_candidate;
 use wap_taint::{
     declared_names, dedup_and_sort, function_fingerprint, function_refs, pass_candidates,
-    referenced_names, run_pass_incremental, Candidate, PassArtifacts, PassInput,
+    referenced_names, run_pass_incremental_with_resolutions, Candidate, FileResolution,
+    PassArtifacts, PassInput,
 };
 
 use wap_obs::{JobHandle, Phase};
@@ -45,7 +46,7 @@ use crate::pipeline::{elapsed_ns, scan_stats, AppReport, Finding, WapTool};
 
 /// Bumped whenever key derivation or any payload layout in this module
 /// changes; combined with the tool version so entries never cross builds.
-const CACHE_SCHEMA: &str = "core-cache-v2";
+const CACHE_SCHEMA: &str = "core-cache-v3";
 
 /// The tool-version component of every cache key. This is the same
 /// constant stamped into reports and the SARIF `tool.driver`, so a
@@ -105,13 +106,20 @@ fn findings_key(
 /// seed, analysis options, and whether CFG guard refinement is on. Any
 /// difference must yield disjoint keys.
 pub(crate) fn config_fingerprint(tool: &WapTool) -> String {
-    fields_hash([
+    let base = [
         tool.catalog.fingerprint_material(),
         format!("{:?}", tool.config.generation),
         tool.config.seed.to_string(),
         format!("{:?}", tool.config.analysis),
         format!("guards:{}", tool.config.guard_attributes),
-    ])
+    ];
+    // the field joins only when value analysis is on, so value-less
+    // fingerprints stay identical to the historical four-field scheme
+    if tool.config.values {
+        fields_hash(base.into_iter().chain(["values:true".to_string()]))
+    } else {
+        fields_hash(base)
+    }
 }
 
 /// Key of one `cfg` entry: the lint findings of one file. Content-
@@ -181,6 +189,95 @@ pub(crate) fn decode_lint(bytes: &[u8]) -> Result<Vec<wap_cfg::LintFinding>, Cod
     if !r.is_empty() {
         return Err(CodecError(format!(
             "{} trailing bytes after lint entry",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+/// Key of one `values` entry: the value-analysis resolution facts of one
+/// file (`--values`). Keyed by the file content, the scan-set membership
+/// digest (include resolution only targets scan-set file names, so adding
+/// or removing a file can change what resolves), the file's dependency
+/// digest (value summaries derive from the same declaration closure the
+/// taint digest covers), and the configuration.
+fn values_key(file: &str, hash: &str, scanset: &str, deps_digest: &str, config_fp: &str) -> String {
+    fields_hash([
+        "values",
+        CACHE_SCHEMA,
+        TOOL_VERSION_KEY,
+        file,
+        hash,
+        scanset,
+        deps_digest,
+        config_fp,
+    ])
+}
+
+fn encode_values(r: &wap_cfg::ValueResolution) -> Vec<u8> {
+    let mut w = Writer::new();
+    let targets_seq = |w: &mut Writer, map: &std::collections::BTreeMap<u32, Vec<String>>| {
+        w.seq(map.len());
+        for (off, targets) in map {
+            w.u32(*off);
+            w.seq(targets.len());
+            for t in targets {
+                w.str(t);
+            }
+        }
+    };
+    targets_seq(&mut w, &r.includes);
+    w.seq(r.unresolved_includes.len());
+    for s in &r.unresolved_includes {
+        w.u32(s.start());
+        w.u32(s.end());
+        w.u32(s.line());
+    }
+    targets_seq(&mut w, &r.calls);
+    w.usize(r.dynamic_includes_resolved);
+    w.usize(r.dynamic_calls_resolved);
+    w.usize(r.dynamic_calls_unresolved);
+    w.into_bytes()
+}
+
+fn decode_values(bytes: &[u8]) -> Result<wap_cfg::ValueResolution, CodecError> {
+    let mut r = Reader::new(bytes);
+    let targets_map = |r: &mut Reader| -> Result<_, CodecError> {
+        let n = r.seq()?;
+        let mut map = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let off = r.u32()?;
+            let tn = r.seq()?;
+            let mut targets = Vec::with_capacity(tn.min(1024));
+            for _ in 0..tn {
+                targets.push(r.str()?);
+            }
+            map.insert(off, targets);
+        }
+        Ok(map)
+    };
+    let includes = targets_map(&mut r)?;
+    let n = r.seq()?;
+    let mut unresolved_includes = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let (start, end, line) = (r.u32()?, r.u32()?, r.u32()?);
+        if end < start {
+            return Err(CodecError(format!("span end {end} before start {start}")));
+        }
+        unresolved_includes.push(Span::new(start, end, line));
+    }
+    let calls = targets_map(&mut r)?;
+    let out = wap_cfg::ValueResolution {
+        includes,
+        unresolved_includes,
+        calls,
+        dynamic_includes_resolved: r.usize()?,
+        dynamic_calls_resolved: r.usize()?,
+        dynamic_calls_unresolved: r.usize()?,
+    };
+    if !r.is_empty() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after values entry",
             r.remaining()
         )));
     }
@@ -421,6 +518,142 @@ fn ensure_parsed(
     Some(())
 }
 
+/// The value stage's products (`--values`), shared by the taint-pass and
+/// findings stages of a cached run.
+struct ValuesState {
+    /// Per-file resolution facts, index-aligned with the run's `files`.
+    per_file: Vec<wap_cfg::ValueResolution>,
+    /// Full value facts (snapshots included) for files analyzed fresh
+    /// this run; hit files re-derive them only if a findings group needs
+    /// sink contexts.
+    file_values: HashMap<usize, wap_cfg::FileValues>,
+    /// Merged function value summaries, once some stage computed them.
+    summaries: Option<HashMap<Symbol, wap_cfg::ValueSummary>>,
+    /// Scan-set file names — the include-resolution target universe.
+    known: BTreeSet<String>,
+}
+
+/// Merges per-file value summaries first-declaration-wins in file order —
+/// the same canonical owner rule the taint function index applies. Files
+/// without declarations contribute nothing, so only decl-bearing files
+/// need programs.
+fn compute_value_summaries(
+    runtime: &Runtime,
+    files: &[FileMeta],
+    programs: &[Option<Program>],
+) -> HashMap<Symbol, wap_cfg::ValueSummary> {
+    let lists: Vec<Vec<(Symbol, wap_cfg::ValueSummary)>> =
+        runtime.run(files.len(), |i| match &programs[i] {
+            Some(p) if !files[i].decls.is_empty() => wap_cfg::summarize_values(p),
+            _ => Vec::new(),
+        });
+    let mut summaries = HashMap::new();
+    for list in lists {
+        for (name, s) in list {
+            summaries.entry(name).or_insert(s);
+        }
+    }
+    summaries
+}
+
+/// Looks up every file's `values` entry, re-interprets only the misses
+/// (which needs the merged summaries, hence every decl-bearing program),
+/// and writes fresh resolution facts back.
+#[allow(clippy::too_many_arguments)]
+fn run_values_cached(
+    store: &CacheStore,
+    runtime: &Runtime,
+    sources: &[(String, String)],
+    files: &[FileMeta],
+    programs: &mut [Option<Program>],
+    deps_digests: &[String],
+    config_fp: &str,
+    parse_ns: &mut u64,
+    values_ns: &mut u64,
+    cache_ns: &mut u64,
+    obs: JobHandle<'_>,
+) -> Option<ValuesState> {
+    let scanset = fields_hash(files.iter().map(|f| f.name.as_str()));
+    let keys: Vec<String> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| values_key(&f.name, &f.hash, &scanset, &deps_digests[i], config_fp))
+        .collect();
+    let t = Instant::now();
+    let mut cached: Vec<Option<wap_cfg::ValueResolution>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| match store.probe(k) {
+            Some((p, tier)) => match decode_values(&p) {
+                Ok(r) => {
+                    obs.event_file(hit_event(tier), &files[i].name);
+                    Some(r)
+                }
+                Err(_) => {
+                    obs.event_file("cache_corrupt", &files[i].name);
+                    store.reject(k);
+                    None
+                }
+            },
+            None => {
+                obs.event_file("cache_miss", &files[i].name);
+                None
+            }
+        })
+        .collect();
+    *cache_ns += elapsed_ns(t);
+
+    let mut state = ValuesState {
+        per_file: vec![wap_cfg::ValueResolution::default(); files.len()],
+        file_values: HashMap::new(),
+        summaries: None,
+        known: files.iter().map(|f| f.name.clone()).collect(),
+    };
+    let miss: Vec<usize> = cached
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !miss.is_empty() {
+        let want: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| cached[*i].is_none() || !f.decls.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        ensure_parsed(
+            runtime, store, sources, files, programs, &want, parse_ns, obs,
+        )?;
+        let t = Instant::now();
+        let summaries = compute_value_summaries(runtime, files, programs);
+        let computed: Vec<wap_cfg::FileValues> = runtime.map(miss.clone(), |_, i| {
+            let _span = obs.span_file(Phase::Values, &files[i].name);
+            wap_cfg::analyze_file_values(
+                &files[i].name,
+                programs[i].as_ref().expect("parsed for values"),
+                &summaries,
+                &state.known,
+            )
+        });
+        *values_ns += elapsed_ns(t);
+        let t = Instant::now();
+        for (&i, fv) in miss.iter().zip(computed) {
+            store.put(&keys[i], encode_values(&fv.resolution));
+            state.per_file[i] = fv.resolution.clone();
+            state.file_values.insert(i, fv);
+        }
+        *cache_ns += elapsed_ns(t);
+        state.summaries = Some(summaries);
+    }
+    for (i, c) in cached.iter_mut().enumerate() {
+        if let Some(r) = c.take() {
+            state.per_file[i] = r;
+        }
+    }
+    Some(state)
+}
+
 /// Looks up one pass's artifacts for every file, re-analyzes only the
 /// misses (parsing exactly the files the incremental contract requires),
 /// and writes fresh artifacts back.
@@ -434,6 +667,8 @@ fn run_cached_pass(
     programs: &mut [Option<Program>],
     deps_digests: &[String],
     config_fp: &str,
+    resolutions: &HashMap<String, FileResolution>,
+    include_targets: &[usize],
     second: bool,
     parse_ns: &mut u64,
     taint_ns: &mut u64,
@@ -471,11 +706,17 @@ fn run_cached_pass(
 
     if cached.iter().any(|c| c.is_none()) {
         // fresh files must be parsed; so must every decl-bearing file, so
-        // lazy foreign-function walks see exactly what a cold run sees
+        // lazy foreign-function walks see exactly what a cold run sees —
+        // and, with value analysis on, every resolved include target, so
+        // inlined include execution sees the same programs a cold run does
         let want: Vec<usize> = files
             .iter()
             .enumerate()
-            .filter(|(i, f)| cached[*i].is_none() || !f.decls.is_empty())
+            .filter(|(i, f)| {
+                cached[*i].is_none()
+                    || !f.decls.is_empty()
+                    || include_targets.binary_search(i).is_ok()
+            })
             .map(|(i, _)| i)
             .collect();
         ensure_parsed(
@@ -495,10 +736,11 @@ fn run_cached_pass(
         .collect();
 
     let t = Instant::now();
-    let outcome = run_pass_incremental(
+    let outcome = run_pass_incremental_with_resolutions(
         &tool.catalog,
         &tool.config.analysis,
         &inputs,
+        resolutions,
         runtime,
         second,
         obs,
@@ -533,6 +775,7 @@ pub(crate) fn analyze_sources_cached(
     let mut predict_ns = 0u64;
     let mut cache_ns = 0u64;
     let mut cfg_ns = 0u64;
+    let mut values_ns = 0u64;
 
     // per-file grouping assumes names identify files uniquely
     {
@@ -703,6 +946,136 @@ pub(crate) fn analyze_sources_cached(
     });
     cache_ns += elapsed_ns(t);
 
+    let file_index: HashMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+
+    // ---- value analysis (`--values`): cached per-file resolutions ----
+    let mut values_state = if tool.config.values {
+        Some(run_values_cached(
+            store,
+            &runtime,
+            sources,
+            &files,
+            &mut programs,
+            &deps_digests,
+            &config_fp,
+            &mut parse_ns,
+            &mut values_ns,
+            &mut cache_ns,
+            obs,
+        )?)
+    } else {
+        None
+    };
+
+    // the taint engine's resolution view: only files with at least one
+    // resolved include or call appear (mirrors the cold path)
+    let taint_resolutions: HashMap<String, FileResolution> = values_state
+        .as_ref()
+        .map(|vs| {
+            vs.per_file
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.includes.is_empty() || !r.calls.is_empty())
+                .map(|(i, r)| {
+                    (
+                        files[i].name.clone(),
+                        FileResolution {
+                            includes: r.includes.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                            calls: r.calls.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                        },
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // files some resolved include points at: parsed alongside any pass
+    // miss so inlined include execution matches a cold run
+    let include_targets: Vec<usize> = values_state
+        .as_ref()
+        .map(|vs| {
+            let set: BTreeSet<usize> = vs
+                .per_file
+                .iter()
+                .flat_map(|r| r.includes.values())
+                .flatten()
+                .filter_map(|t| file_index.get(t.as_str()).copied())
+                .collect();
+            set.into_iter().collect()
+        })
+        .unwrap_or_default();
+
+    // With value analysis on, a file's pass output additionally depends
+    // on everything a resolved edge lets it observe: the contents (and
+    // dependency digests) of its transitive include targets, and the
+    // declaration closures of every resolved dynamic-call target in that
+    // include closure. Extend the digests keying pass and findings
+    // entries accordingly; value-less runs keep the base digests (their
+    // key space is disjoint anyway via the config fingerprint).
+    let deps_digests: Vec<String> = if let Some(vs) = &values_state {
+        let t = Instant::now();
+        let extended = runtime.run(files.len(), |i| {
+            let mut visited: BTreeSet<usize> = BTreeSet::new();
+            visited.insert(i);
+            let mut work = vec![i];
+            while let Some(fi) = work.pop() {
+                for targets in vs.per_file[fi].includes.values() {
+                    for t in targets {
+                        if let Some(&ti) = file_index.get(t.as_str()) {
+                            if visited.insert(ti) {
+                                work.push(ti);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut call_seen: BTreeSet<&str> = BTreeSet::new();
+            let mut call_work: Vec<&str> = Vec::new();
+            for &fi in &visited {
+                for targets in vs.per_file[fi].calls.values() {
+                    for t in targets {
+                        if call_seen.insert(t.as_str()) {
+                            call_work.push(t.as_str());
+                        }
+                    }
+                }
+            }
+            while let Some(n) = call_work.pop() {
+                if let Some(c) = canon.get(n) {
+                    for r in c.refs {
+                        if call_seen.insert(r.as_str()) {
+                            call_work.push(r.as_str());
+                        }
+                    }
+                }
+            }
+            let mut fields: Vec<String> = vec![deps_digests[i].clone()];
+            for &fi in &visited {
+                if fi == i {
+                    continue;
+                }
+                fields.push(files[fi].name.clone());
+                fields.push(files[fi].hash.clone());
+                fields.push(deps_digests[fi].clone());
+            }
+            for n in &call_seen {
+                if let Some(c) = canon.get(n) {
+                    fields.push((*n).to_string());
+                    fields.push(c.owner.to_string());
+                    fields.push(c.fp.to_string());
+                }
+            }
+            fields_hash(fields)
+        });
+        cache_ns += elapsed_ns(t);
+        extended
+    } else {
+        deps_digests
+    };
+
     // ---- taint passes ----
     let p1 = run_cached_pass(
         tool,
@@ -713,6 +1086,8 @@ pub(crate) fn analyze_sources_cached(
         &mut programs,
         &deps_digests,
         &config_fp,
+        &taint_resolutions,
+        &include_targets,
         false,
         &mut parse_ns,
         &mut taint_ns,
@@ -732,6 +1107,8 @@ pub(crate) fn analyze_sources_cached(
             &mut programs,
             &deps_digests,
             &config_fp,
+            &taint_resolutions,
+            &include_targets,
             true,
             &mut parse_ns,
             &mut taint_ns,
@@ -745,11 +1122,6 @@ pub(crate) fn analyze_sources_cached(
     // ---- findings: per-file groups over the sorted candidate stream ----
     // the stream is file-major after dedup_and_sort, so groups are
     // contiguous runs of one file
-    let file_index: HashMap<&str, usize> = files
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.name.as_str(), i))
-        .collect();
     struct Group {
         file: usize,
         start: usize,
@@ -823,7 +1195,27 @@ pub(crate) fn analyze_sources_cached(
     cache_ns += elapsed_ns(t);
 
     if !miss_groups.is_empty() {
-        let want: Vec<usize> = miss_groups.iter().map(|&gi| groups[gi].file).collect();
+        let mut want: Vec<usize> = miss_groups.iter().map(|&gi| groups[gi].file).collect();
+        // sink-context refinement re-derives value facts for hit files;
+        // the merged summaries need every decl-bearing program
+        let values_todo: Vec<usize> = values_state
+            .as_ref()
+            .map(|vs| {
+                want.iter()
+                    .copied()
+                    .filter(|fi| !vs.file_values.contains_key(fi))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !values_todo.is_empty() {
+            want.extend(
+                files
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| !f.decls.is_empty())
+                    .map(|(i, _)| i),
+            );
+        }
         ensure_parsed(
             &runtime,
             store,
@@ -834,6 +1226,29 @@ pub(crate) fn analyze_sources_cached(
             &mut parse_ns,
             obs,
         )?;
+        if let Some(vs) = &mut values_state {
+            if !values_todo.is_empty() {
+                if vs.summaries.is_none() {
+                    vs.summaries = Some(compute_value_summaries(&runtime, &files, &programs));
+                }
+                let summaries = vs.summaries.as_ref().expect("summaries just ensured");
+                let t = Instant::now();
+                let computed: Vec<wap_cfg::FileValues> =
+                    runtime.map(values_todo.clone(), |_, fi| {
+                        let _span = obs.span_file(Phase::Values, &files[fi].name);
+                        wap_cfg::analyze_file_values(
+                            &files[fi].name,
+                            programs[fi].as_ref().expect("parsed for findings"),
+                            summaries,
+                            &vs.known,
+                        )
+                    });
+                values_ns += elapsed_ns(t);
+                for (fi, fv) in values_todo.into_iter().zip(computed) {
+                    vs.file_values.insert(fi, fv);
+                }
+            }
+        }
         let todo: Vec<usize> = miss_groups
             .iter()
             .flat_map(|&gi| groups[gi].start..groups[gi].end)
@@ -874,6 +1289,11 @@ pub(crate) fn analyze_sources_cached(
                     crate::pipeline::refine_with_cfg(&mut symptoms, file_cfgs, &candidate);
                 }
             }
+            if let Some(vs) = &values_state {
+                if let Some(fv) = vs.file_values.get(&groups[gi].file) {
+                    crate::pipeline::refine_with_values(&mut symptoms, fv, &candidate);
+                }
+            }
             let prediction = tool.predictor.predict(&symptoms);
             Finding {
                 candidate,
@@ -898,8 +1318,21 @@ pub(crate) fn analyze_sources_cached(
         .map(|f| f.expect("every candidate resolved"))
         .collect();
 
+    let (edges_resolved, edges_unresolved) = values_state
+        .as_ref()
+        .map(|vs| {
+            vs.per_file.iter().fold((0, 0), |(res, unres), r| {
+                let (a, b) = r.edge_counts();
+                (res + a, unres + b)
+            })
+        })
+        .unwrap_or((0, 0));
+
     let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, cache_ns);
     stats.set_phase_ns(Phase::Cfg, cfg_ns);
+    if values_state.is_some() {
+        stats.set_phase_ns(Phase::Values, values_ns);
+    }
     stats.allocations = wap_obs::allocations_now().saturating_sub(alloc_start);
     stats.peak_rss_bytes = wap_obs::peak_rss_bytes();
     Some(AppReport {
@@ -913,6 +1346,9 @@ pub(crate) fn analyze_sources_cached(
         lint_ran: false,
         lint: Vec::new(),
         lint_rules: Vec::new(),
+        values_ran: values_state.is_some(),
+        dynamic_edges_resolved: edges_resolved,
+        dynamic_edges_unresolved: edges_unresolved,
         tool_name: wap_report::TOOL_NAME,
         tool_version: wap_report::TOOL_VERSION,
     })

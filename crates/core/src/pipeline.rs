@@ -15,7 +15,7 @@ use wap_mining::{
 use wap_obs::{Collector, JobHandle, Phase};
 use wap_php::{parse, ParseError, Program, Symbol};
 use wap_runtime::Runtime;
-use wap_taint::{analyze_with_obs, AnalysisOptions, Candidate, SourceFile};
+use wap_taint::{AnalysisOptions, Candidate, SourceFile};
 
 /// Which tool generation to run — the paper compares both.
 pub use wap_mining::PredictorGeneration as Generation;
@@ -60,6 +60,15 @@ pub struct ToolConfig {
     /// cache entries; with no packs the keys (and all output bytes) are
     /// identical to a build without pack support.
     pub rule_packs: Vec<wap_rules::RulePack>,
+    /// Interprocedural constant/string value analysis (`--values`,
+    /// `wap-cfg::values`): resolves dynamic `include`/`require` paths and
+    /// variable-function/`call_user_func` targets into extra taint
+    /// call-graph edges, and refines symptom vectors with the sink's
+    /// value context (quoted string, numeric cast, identifier position).
+    /// Off by default — the headline reproduction keeps the syntactic
+    /// call graph bit-for-bit, and the flag is config-fingerprinted so
+    /// cached results never cross configurations.
+    pub values: bool,
 }
 
 impl ToolConfig {
@@ -75,6 +84,7 @@ impl ToolConfig {
             trace: false,
             guard_attributes: false,
             rule_packs: Vec::new(),
+            values: false,
         }
     }
 
@@ -91,6 +101,7 @@ impl ToolConfig {
             trace: false,
             guard_attributes: false,
             rule_packs: Vec::new(),
+            values: false,
         }
     }
 
@@ -111,6 +122,7 @@ impl ToolConfig {
             trace: false,
             guard_attributes: false,
             rule_packs: Vec::new(),
+            values: false,
         }
     }
 
@@ -234,6 +246,14 @@ impl ToolConfigBuilder {
     #[must_use]
     pub fn rule_packs(mut self, packs: Vec<wap_rules::RulePack>) -> Self {
         self.config.rule_packs = packs;
+        self
+    }
+
+    /// Enable (or disable) the interprocedural value analysis
+    /// ([`ToolConfig::values`]).
+    #[must_use]
+    pub fn values(mut self, on: bool) -> Self {
+        self.config.values = on;
         self
     }
 
@@ -449,9 +469,32 @@ impl WapTool {
             }
         }
 
+        // interprocedural value analysis (`--values`): summaries + per-file
+        // facts, feeding extra taint call-graph edges and sink contexts.
+        // Skipped entirely unless the flag is on, so default runs match
+        // value-less builds byte for byte.
+        let values = self.config.values.then(|| {
+            let inputs: Vec<(&str, &Program)> = parsed
+                .iter()
+                .map(|f| (f.name.as_str(), &f.program))
+                .collect();
+            run_values_stage(&inputs, &runtime, obs)
+        });
+        let no_resolutions = HashMap::new();
+        let resolutions = values
+            .as_ref()
+            .map(|v| &v.resolutions)
+            .unwrap_or(&no_resolutions);
+
         let taint_start = Instant::now();
-        let candidates =
-            analyze_with_obs(&self.catalog, &self.config.analysis, &parsed, &runtime, obs);
+        let candidates = wap_taint::analyze_with_resolutions(
+            &self.catalog,
+            &self.config.analysis,
+            &parsed,
+            resolutions,
+            &runtime,
+            obs,
+        );
         let taint_ns = elapsed_ns(taint_start);
 
         let by_name: HashMap<&str, &Program> = parsed
@@ -508,6 +551,11 @@ impl WapTool {
                     refine_with_cfg(&mut symptoms, file_cfgs, &candidate);
                 }
             }
+            if let Some(v) = &values {
+                if let Some(fv) = candidate.file.as_deref().and_then(|f| v.by_file.get(f)) {
+                    refine_with_values(&mut symptoms, fv, &candidate);
+                }
+            }
             let prediction = self.predictor.predict(&symptoms);
             Finding {
                 candidate,
@@ -519,6 +567,9 @@ impl WapTool {
 
         let mut stats = scan_stats(obs, parse_ns, taint_ns, predict_ns, 0);
         stats.set_phase_ns(Phase::Cfg, cfg_ns);
+        if let Some(v) = &values {
+            stats.set_phase_ns(Phase::Values, v.values_ns);
+        }
         stats.allocations = wap_obs::allocations_now().saturating_sub(alloc_start);
         stats.peak_rss_bytes = wap_obs::peak_rss_bytes();
         AppReport {
@@ -532,6 +583,9 @@ impl WapTool {
             lint_ran: false,
             lint: Vec::new(),
             lint_rules: Vec::new(),
+            values_ran: values.is_some(),
+            dynamic_edges_resolved: values.as_ref().map_or(0, |v| v.edges_resolved),
+            dynamic_edges_unresolved: values.as_ref().map_or(0, |v| v.edges_unresolved),
             tool_name: wap_report::TOOL_NAME,
             tool_version: wap_report::TOOL_VERSION,
         }
@@ -618,9 +672,30 @@ impl WapTool {
         };
         let rules = rule_set.rule_table();
 
+        // value-analysis facts (`--values`): dynamic include sites the
+        // value pass resolves are suppressed from the unresolved-include
+        // lint, and the full per-file values back predicate `where`
+        // constraints. Computed fresh each lint run, so the per-file
+        // digests below keep cached lint entries from going stale when
+        // another file's presence changes what resolves.
+        let values_facts: Option<HashMap<String, wap_cfg::FileValues>> =
+            self.config.values.then(|| {
+                let parsed: Vec<(String, Program)> = sources
+                    .iter()
+                    .filter_map(|(n, s)| parse(s).ok().map(|p| (n.clone(), p)))
+                    .collect();
+                let inputs: Vec<(&str, &Program)> =
+                    parsed.iter().map(|(n, p)| (n.as_str(), p)).collect();
+                let outcome = run_values_stage(&inputs, &runtime, obs);
+                report.stats.add_phase_ns(Phase::Values, outcome.values_ns);
+                outcome.by_file.into_iter().collect()
+            });
+
         // this report's taint candidates, grouped per file for the
-        // tainted-sink rule
+        // tainted-sink rule; carriers also feed the `tainted` predicate
         let mut events: HashMap<&str, Vec<SinkEvent>> = HashMap::new();
+        let mut tainted_by_file: HashMap<&str, std::collections::BTreeSet<String>> =
+            HashMap::new();
         for f in &report.findings {
             if let Some(file) = f.candidate.file.as_deref() {
                 events.entry(file).or_default().push(SinkEvent {
@@ -634,18 +709,59 @@ impl WapTool {
                         .map(|c| Symbol::intern(c))
                         .collect(),
                 });
+                tainted_by_file
+                    .entry(file)
+                    .or_default()
+                    .extend(f.candidate.carriers.iter().cloned());
             }
         }
+        let needs_facts = rule_set.needs_facts();
 
         // one task per file: cache lookup, else parse → lower → lint
         let per_file: Vec<(Vec<LintFinding>, u64, u64)> = runtime.run(sources.len(), |i| {
             let (name, src) = &sources[i];
+            // fact digests join the key only when the facts can change
+            // the findings: resolved-include offsets in values mode (a
+            // new scan-set file can make an include resolve), taint
+            // carriers and the full value fingerprint when predicate
+            // rules consume them. Facts are recomputed every run, so
+            // a cross-file change always re-keys this file's entry.
+            let fv = values_facts.as_ref().and_then(|m| m.get(name.as_str()));
+            let entry_salt = if values_facts.is_some() || needs_facts {
+                let mut salt = rules_fp.clone();
+                if values_facts.is_some() {
+                    let offsets = fv
+                        .map(|fv| {
+                            fv.resolution
+                                .includes
+                                .keys()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .unwrap_or_default();
+                    salt.push_str(&format!("\u{1f}values:{offsets}"));
+                }
+                if needs_facts {
+                    let tainted = tainted_by_file
+                        .get(name.as_str())
+                        .map(|t| t.iter().cloned().collect::<Vec<_>>().join(","))
+                        .unwrap_or_default();
+                    salt.push_str(&format!("\u{1f}tainted:{tainted}"));
+                    if let Some(fv) = fv {
+                        salt.push_str(&format!("\u{1f}facts:{}", fv.facts_fingerprint()));
+                    }
+                }
+                salt
+            } else {
+                rules_fp.clone()
+            };
             let key = self.cache.as_ref().map(|_| {
                 crate::incremental::cfg_lint_key(
                     name,
                     &wap_php::content_hash(src),
                     &config_fp,
-                    &rules_fp,
+                    &entry_salt,
                 )
             });
             if let (Some(store), Some(key)) = (&self.cache, &key) {
@@ -664,10 +780,13 @@ impl WapTool {
                 }
             }
             let t = Instant::now();
-            let cfgs = {
+            let (program, cfgs) = {
                 let _span = obs.span_file(Phase::Cfg, name);
                 match parse(src) {
-                    Ok(program) => wap_cfg::lower_program(&program),
+                    Ok(program) => {
+                        let cfgs = wap_cfg::lower_program(&program);
+                        (program, cfgs)
+                    }
                     // parse failures are already reported by the analysis
                     Err(_) => return (Vec::new(), elapsed_ns(t), 0),
                 }
@@ -676,10 +795,22 @@ impl WapTool {
             let t = Instant::now();
             let mut findings = {
                 let _span = obs.span_file(Phase::Lint, name);
-                let mut fs = rule_set.run(name, &cfgs, Some(src));
+                let facts = wap_cfg::FileFacts {
+                    tainted_vars: tainted_by_file.get(name.as_str()),
+                    values: fv,
+                };
+                let mut fs = rule_set.run_with_facts(name, &cfgs, Some(src), &facts);
                 if let Some(sinks) = events.get(name.as_str()) {
                     fs.extend(rule_set.run_tainted(name, &cfgs, sinks));
                 }
+                // dynamic includes nothing resolved are analysis coverage
+                // gaps; with `--values` off every dynamic include is one
+                let sites: Vec<(wap_php::Span, u32)> = wap_cfg::dynamic_include_sites(&program)
+                    .into_iter()
+                    .filter(|s| !fv.is_some_and(|fv| fv.is_resolved_include(s.start())))
+                    .map(|s| (s, s.line()))
+                    .collect();
+                fs.extend(rule_set.run_unresolved_includes(name, &sites));
                 fs
             };
             wap_cfg::sort_findings(&mut findings);
@@ -724,6 +855,111 @@ impl WapTool {
 
 pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Everything the value-analysis stage (`--values`) hands the rest of
+/// the pipeline: per-file value facts, the taint engine's resolution
+/// view of them, and the dynamic-edge counters the report surfaces.
+pub(crate) struct ValuesOutcome {
+    /// Per-file value facts, for sink-context symptom refinement.
+    pub(crate) by_file: HashMap<String, wap_cfg::FileValues>,
+    /// The taint engine's view: only files with at least one resolved
+    /// include or call appear.
+    pub(crate) resolutions: HashMap<String, wap_taint::FileResolution>,
+    /// Dynamic edges resolved to known targets, summed across files.
+    pub(crate) edges_resolved: usize,
+    /// Dynamic edges left opaque, summed across files.
+    pub(crate) edges_unresolved: usize,
+    /// Wall-clock nanoseconds of the whole stage.
+    pub(crate) values_ns: u64,
+}
+
+/// Runs the interprocedural value analysis over every parsed file: value
+/// summaries are merged first-declaration-wins (matching the taint
+/// engine's canonical function index), then each file's top-level flow
+/// is interpreted over the value lattice in parallel. Deterministic for
+/// any job count — the joins are index-ordered.
+pub(crate) fn run_values_stage(
+    files: &[(&str, &Program)],
+    runtime: &Runtime,
+    obs: JobHandle<'_>,
+) -> ValuesOutcome {
+    let start = Instant::now();
+    let summary_lists: Vec<Vec<(Symbol, wap_cfg::ValueSummary)>> =
+        runtime.run(files.len(), |i| wap_cfg::summarize_values(files[i].1));
+    let mut summaries: HashMap<Symbol, wap_cfg::ValueSummary> = HashMap::new();
+    for list in summary_lists {
+        for (name, s) in list {
+            summaries.entry(name).or_insert(s);
+        }
+    }
+    let known: std::collections::BTreeSet<String> =
+        files.iter().map(|(n, _)| n.to_string()).collect();
+    let per_file: Vec<wap_cfg::FileValues> = runtime.run(files.len(), |i| {
+        let (name, program) = files[i];
+        let _span = obs.span_file(Phase::Values, name);
+        wap_cfg::analyze_file_values(name, program, &summaries, &known)
+    });
+    let mut out = ValuesOutcome {
+        by_file: HashMap::new(),
+        resolutions: HashMap::new(),
+        edges_resolved: 0,
+        edges_unresolved: 0,
+        values_ns: 0,
+    };
+    for ((name, _), fv) in files.iter().zip(per_file) {
+        let (resolved, unresolved) = fv.resolution.edge_counts();
+        out.edges_resolved += resolved;
+        out.edges_unresolved += unresolved;
+        if !fv.resolution.includes.is_empty() || !fv.resolution.calls.is_empty() {
+            out.resolutions.insert(
+                name.to_string(),
+                wap_taint::FileResolution {
+                    includes: fv
+                        .resolution
+                        .includes
+                        .iter()
+                        .map(|(k, v)| (*k, v.clone()))
+                        .collect(),
+                    calls: fv
+                        .resolution
+                        .calls
+                        .iter()
+                        .map(|(k, v)| (*k, v.clone()))
+                        .collect(),
+                },
+            );
+        }
+        out.by_file.insert(name.to_string(), fv);
+    }
+    out.values_ns = elapsed_ns(start);
+    out
+}
+
+/// Rewrites value-context symptoms from the lattice at this candidate's
+/// sink (`--values` mode): a numeric-known carrier marks the intval
+/// symptom (the committee's strongest FP signal), a quoted-string
+/// context clears the numeric-entry-point symptom (quoting defeats the
+/// "numeric position" heuristic).
+pub(crate) fn refine_with_values(
+    symptoms: &mut FeatureVector,
+    values: &wap_cfg::FileValues,
+    candidate: &Candidate,
+) {
+    let offset = candidate.sink_span.start();
+    let mut best: Option<wap_cfg::SinkContext> = None;
+    for c in &candidate.carriers {
+        if let Some(ctx) = values.sink_context(Symbol::intern(c), offset) {
+            best = Some(match best {
+                // NumericCast > QuotedString > IdentifierPosition
+                Some(prev) => prev.max_priority(ctx),
+                None => ctx,
+            });
+        }
+    }
+    if let Some(ctx) = best {
+        wap_mining::refine_with_sink_context(symptoms, ctx.name());
+    }
 }
 
 /// Clears validation symptoms the CFG dominator analysis cannot prove to

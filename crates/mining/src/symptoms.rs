@@ -191,6 +191,42 @@ pub fn refine_with_guards(fv: &mut FeatureVector, guarded: &BTreeSet<String>) {
         .collect();
 }
 
+/// Rewrites value-context symptoms from the sink context the
+/// interprocedural value analysis derived (`--values` mode). `context`
+/// is the kebab-case `wap_cfg::SinkContext` name:
+///
+/// * `numeric-cast` — the carrier is provably numeric at the sink; the
+///   same signal as an `intval()` on the flow, the committee's strongest
+///   false-positive cue, so the `intval` symptom is set.
+/// * `quoted-string` — the lattice disproves the collector's syntactic
+///   "numeric entry point" heuristic (payload lands inside quotes), so
+///   that symptom is cleared.
+/// * `identifier-position` — the payload provably lands unquoted, so
+///   `numeric_entry_point` is set even when the syntactic heuristic
+///   missed it.
+///
+/// The vector keeps its fixed feature shape — only named bits change —
+/// and `present` is rebuilt like [`refine_with_guards`].
+pub fn refine_with_sink_context(fv: &mut FeatureVector, context: &str) {
+    let set = |fv: &mut FeatureVector, name: &str, on: bool| {
+        if let Some(i) = crate::attributes::symptom_index(name) {
+            fv.features[i] = if on { 1.0 } else { 0.0 };
+        }
+    };
+    match context {
+        "numeric-cast" => set(fv, "intval", true),
+        "quoted-string" => set(fv, "numeric_entry_point", false),
+        "identifier-position" => set(fv, "numeric_entry_point", true),
+        _ => return,
+    }
+    fv.present = symptoms()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| fv.features[*i] > 0.5)
+        .map(|(_, s)| s.name)
+        .collect();
+}
+
 struct Collector<'a> {
     relevant: &'a BTreeSet<String>,
     entries: &'a BTreeSet<String>,

@@ -69,11 +69,13 @@ pub enum Phase {
     Live,
     /// Assembling and compiling rule-pack rule sets (`wap-rules`).
     Rules,
+    /// Interprocedural constant/string value analysis (`wap-cfg::values`).
+    Values,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -89,6 +91,7 @@ impl Phase {
         Phase::Lint,
         Phase::Live,
         Phase::Rules,
+        Phase::Values,
     ];
 
     /// Stable snake_case name used in traces and metric labels.
@@ -106,6 +109,7 @@ impl Phase {
             Phase::Lint => "lint",
             Phase::Live => "live",
             Phase::Rules => "rules",
+            Phase::Values => "values",
         }
     }
 

@@ -75,6 +75,19 @@ fn lint_entries(report: &AppReport) -> Option<Vec<JsonLint<'_>>> {
     )
 }
 
+#[derive(serde::Serialize)]
+struct JsonValues {
+    dynamic_edges_resolved: usize,
+    dynamic_edges_unresolved: usize,
+}
+
+fn values_entry(report: &AppReport) -> Option<JsonValues> {
+    report.values_ran.then(|| JsonValues {
+        dynamic_edges_resolved: report.dynamic_edges_resolved,
+        dynamic_edges_unresolved: report.dynamic_edges_unresolved,
+    })
+}
+
 /// Formats a report as one pretty-printed JSON document.
 pub fn render_json(report: &AppReport) -> String {
     #[derive(serde::Serialize)]
@@ -91,6 +104,9 @@ pub fn render_json(report: &AppReport) -> String {
         // output byte-identical to pre-lint builds
         #[serde(skip_serializing_if = "Option::is_none")]
         lint: Option<Vec<JsonLint<'a>>>,
+        // absent unless the value pass ran (`--values`), same contract
+        #[serde(skip_serializing_if = "Option::is_none")]
+        values: Option<JsonValues>,
     }
     let findings: Vec<JsonFinding> = report.findings.iter().map(JsonFinding::new).collect();
     serde_json::to_string_pretty(&JsonReport {
@@ -107,6 +123,7 @@ pub fn render_json(report: &AppReport) -> String {
             .map(|(f, e)| (f.clone(), e.to_string()))
             .collect(),
         lint: lint_entries(report),
+        values: values_entry(report),
     })
     .expect("report serializes")
 }
@@ -138,6 +155,8 @@ pub fn render_ndjson(report: &AppReport) -> String {
         parse_errors: Vec<(&'a str, String)>,
         #[serde(skip_serializing_if = "Option::is_none")]
         lint_findings: Option<usize>,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        values: Option<JsonValues>,
     }
     #[derive(serde::Serialize)]
     struct Trailer<'a> {
@@ -158,6 +177,7 @@ pub fn render_ndjson(report: &AppReport) -> String {
                     .map(|(f, e)| (f.as_str(), e.to_string()))
                     .collect(),
                 lint_findings: report.lint_ran.then(|| report.lint.len()),
+                values: values_entry(report),
             },
         })
         .expect("summary serializes"),

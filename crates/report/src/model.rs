@@ -142,6 +142,15 @@ pub struct AppReport {
     /// The rule table the lint pass ran with (builtin + weapon-declared),
     /// in stable id order; drives SARIF rule metadata.
     pub lint_rules: Vec<LintRule>,
+    /// Whether the interprocedural value analysis (`--values`) ran for
+    /// this scan. Renderers emit the dynamic-edge summary only when set,
+    /// so default scans stay byte-identical to builds without the pass.
+    pub values_ran: bool,
+    /// Dynamic call/include edges the value analysis resolved to known
+    /// targets; 0 unless `values_ran`.
+    pub dynamic_edges_resolved: usize,
+    /// Dynamic call/include edges left opaque; 0 unless `values_ran`.
+    pub dynamic_edges_unresolved: usize,
     /// Name of the tool that produced this report ([`crate::TOOL_NAME`]).
     pub tool_name: &'static str,
     /// Semantic version of the tool ([`crate::TOOL_VERSION`]) — the same
@@ -164,6 +173,9 @@ impl Default for AppReport {
             lint_ran: false,
             lint: Vec::new(),
             lint_rules: Vec::new(),
+            values_ran: false,
+            dynamic_edges_resolved: 0,
+            dynamic_edges_unresolved: 0,
             tool_name: crate::TOOL_NAME,
             tool_version: crate::TOOL_VERSION,
         }

@@ -71,6 +71,17 @@ struct Message {
 struct Invocation {
     execution_successful: bool,
     tool_execution_notifications: Vec<Notification>,
+    /// Value-analysis summary; absent unless `--values` ran, so
+    /// default documents keep their historic bytes.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    properties: Option<InvocationProperties>,
+}
+
+#[derive(serde::Serialize)]
+#[serde(rename_all = "camelCase")]
+struct InvocationProperties {
+    dynamic_edges_resolved: usize,
+    dynamic_edges_unresolved: usize,
 }
 
 #[derive(serde::Serialize)]
@@ -330,6 +341,10 @@ pub fn render_sarif(report: &AppReport, classes: &[VulnClass]) -> String {
             invocations: vec![Invocation {
                 execution_successful: true,
                 tool_execution_notifications: notifications,
+                properties: report.values_ran.then(|| InvocationProperties {
+                    dynamic_edges_resolved: report.dynamic_edges_resolved,
+                    dynamic_edges_unresolved: report.dynamic_edges_unresolved,
+                }),
             }],
             results,
         }],

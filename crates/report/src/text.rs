@@ -51,15 +51,26 @@ pub fn render_text(report: &AppReport) -> String {
     } else {
         String::new()
     };
+    // the values addendum only exists when the value pass ran, so
+    // default-config reports keep their historic shape byte for byte
+    let values_summary = if report.values_ran {
+        format!(
+            ", {} dynamic edges resolved ({} unresolved)",
+            report.dynamic_edges_resolved, report.dynamic_edges_unresolved
+        )
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives{}{} ({} ms)",
+        "\n{} files, {} LoC, {} parse errors, {} real vulnerabilities, {} predicted false positives{}{}{} ({} ms)",
         report.files_analyzed,
         report.loc,
         report.parse_errors.len(),
         report.real_vulnerabilities().count(),
         report.predicted_false_positives().count(),
         lint_summary,
+        values_summary,
         mem_summary(report),
         report.duration.as_millis()
     );

@@ -15,11 +15,11 @@ COMMANDS:
     install <PATH|NAME>   Install a pack from a manifest file, directory,
                           or tarball (pack.json / pack.yaml / pack.yml,
                           schema-checked). NAME installs a builtin starter
-                          pack (available: wordpress).
+                          pack (available: wordpress, generic-php).
     update <PATH|NAME>    Alias of install: re-reads the source and
                           overwrites the stored name@version.
     list                  List installed packs with versions, rule counts,
-                          and fingerprints.
+                          matcher kinds, and fingerprints.
     remove <NAME[@VER]>   Remove one version, or every version of a pack.
 
 OPTIONS:
@@ -84,9 +84,21 @@ fn run(args: Vec<String>) -> Result<String, String> {
             }
             let mut out = String::new();
             for p in packs {
+                // the kind summary comes from re-reading the stored
+                // manifest; a pack that stopped parsing still lists
+                let kinds = match store.resolve(&format!("{}@{}", p.name, p.version)) {
+                    Ok(pack) => {
+                        let mut ks: Vec<&'static str> =
+                            pack.rules.iter().map(|r| r.matcher.kind_name()).collect();
+                        ks.sort_unstable();
+                        ks.dedup();
+                        ks.join(",")
+                    }
+                    Err(_) => "?".to_string(),
+                };
                 out.push_str(&format!(
-                    "{}@{} rules={} fingerprint={}\n",
-                    p.name, p.version, p.rules, p.fingerprint
+                    "{}@{} rules={} kinds={} fingerprint={}\n",
+                    p.name, p.version, p.rules, kinds, p.fingerprint
                 ));
             }
             Ok(out)
@@ -107,6 +119,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
 fn starter_pack(name: &str) -> Option<RulePack> {
     match name {
         "wordpress" => Some(RulePack::wordpress()),
+        "generic-php" => Some(RulePack::generic_php()),
         _ => None,
     }
 }
@@ -136,7 +149,10 @@ mod tests {
         let out = rules(&["install", "wordpress", "--rules-dir", &dir_arg]).unwrap();
         assert!(out.contains("installed wordpress@1.0.0"), "{out}");
         let listed = rules(&["list", "--rules-dir", &dir_arg]).unwrap();
-        assert!(listed.contains("wordpress@1.0.0 rules=3 fingerprint="), "{listed}");
+        assert!(
+            listed.contains("wordpress@1.0.0 rules=3 kinds=call_with_arg,pattern fingerprint="),
+            "{listed}"
+        );
         let removed = rules(&["remove", "wordpress", "--rules-dir", &dir_arg]).unwrap();
         assert!(removed.contains("removed 1 version of wordpress"), "{removed}");
         let empty = rules(&["list", "--rules-dir", &dir_arg]).unwrap();

@@ -160,7 +160,8 @@ impl RulePack {
                 MatchSpec::Unreachable
                 | MatchSpec::AssignInCond
                 | MatchSpec::UnguardedSink { .. }
-                | MatchSpec::TaintedSink => {}
+                | MatchSpec::TaintedSink
+                | MatchSpec::UnresolvedInclude => {}
             }
             let rendered: Vec<String> = fields
                 .iter()
@@ -229,6 +230,47 @@ impl RulePack {
                             "X".to_string(),
                             "^\\$_(GET|POST|REQUEST)".to_string(),
                         )],
+                    },
+                },
+            ],
+        };
+        debug_assert!(RuleSet::compile(&pack.rules).is_ok());
+        pack
+    }
+
+    /// The starter `generic-php` pack: framework-agnostic rules built on
+    /// the predicate `where` constraints. `tainted($X)` flags tainted
+    /// data reaching `mysql_query` through a pattern binding (and stays
+    /// silent on constants), `const($X)` flags `eval` over a string the
+    /// value analysis proves constant — dead dynamism that should be
+    /// plain code.
+    pub fn generic_php() -> RulePack {
+        let pack = RulePack {
+            name: "generic-php".to_string(),
+            version: "1.0.0".to_string(),
+            schema: PACK_SCHEMA_VERSION,
+            rules: vec![
+                RuleSpec {
+                    id: "gp-tainted-query".to_string(),
+                    severity: "error".to_string(),
+                    summary: "tainted data reaches a SQL query call".to_string(),
+                    message: "tainted value reaches mysql_query; bind parameters instead"
+                        .to_string(),
+                    pack: Some("generic-php".to_string()),
+                    matcher: MatchSpec::Pattern {
+                        pattern: "mysql_query( $X )".to_string(),
+                        constraints: vec![("X".to_string(), "tainted($X)".to_string())],
+                    },
+                },
+                RuleSpec {
+                    id: "gp-constant-eval".to_string(),
+                    severity: "note".to_string(),
+                    summary: "eval over a compile-time constant string".to_string(),
+                    message: "eval of a constant string; write the code directly".to_string(),
+                    pack: Some("generic-php".to_string()),
+                    matcher: MatchSpec::Pattern {
+                        pattern: "eval( $X )".to_string(),
+                        constraints: vec![("X".to_string(), "const($X)".to_string())],
                     },
                 },
             ],
@@ -432,5 +474,20 @@ rules:
         assert_eq!(pack.schema, PACK_SCHEMA_VERSION);
         assert_eq!(pack.rules.len(), 3);
         assert_eq!(pack.fingerprint(), RulePack::wordpress().fingerprint());
+    }
+
+    #[test]
+    fn generic_php_starter_round_trips_predicate_constraints() {
+        let pack = RulePack::generic_php();
+        assert_eq!(pack.name, "generic-php");
+        assert_eq!(pack.rules.len(), 2);
+        assert_eq!(pack.fingerprint(), RulePack::generic_php().fingerprint());
+        // the predicate constraint strings survive the canonical
+        // manifest round trip byte for byte
+        let reparsed = RulePack::parse(&pack.to_canonical_json()).unwrap();
+        assert_eq!(reparsed, pack);
+        assert_eq!(reparsed.fingerprint(), pack.fingerprint());
+        // and the compiled set declares it consumes facts
+        assert!(RuleSet::compile(&reparsed.rules).unwrap().needs_facts());
     }
 }

@@ -59,6 +59,7 @@ pub(crate) fn handle_batch(shared: &Shared, req: &Request, stream: &TcpStream) {
         }
     };
     let lint = matches!(req.query_param("lint"), Some("1" | "true"));
+    let values = matches!(req.query_param("values"), Some("1" | "true"));
     let apps = match gather_apps(&req.body) {
         Ok(a) => a,
         Err(msg) => {
@@ -86,7 +87,7 @@ pub(crate) fn handle_batch(shared: &Shared, req: &Request, stream: &TcpStream) {
         return;
     }
     for app in apps {
-        let line = run_app(shared, app, format, lint);
+        let line = run_app(shared, app, format, lint, values);
         if w.write_all(line.as_bytes()).is_err() || w.flush().is_err() {
             return; // client went away; remaining apps are skipped
         }
@@ -94,7 +95,13 @@ pub(crate) fn handle_batch(shared: &Shared, req: &Request, stream: &TcpStream) {
 }
 
 /// Runs one app through the shared queue and renders its NDJSON line.
-fn run_app(shared: &Shared, app: BatchApp, format: wap_report::Format, lint: bool) -> String {
+fn run_app(
+    shared: &Shared,
+    app: BatchApp,
+    format: wap_report::Format,
+    lint: bool,
+    values: bool,
+) -> String {
     if app.sources.is_empty() {
         return format!(
             "{{\"app\":{},\"status\":\"done\",\"report\":{}}}\n",
@@ -109,6 +116,7 @@ fn run_app(shared: &Shared, app: BatchApp, format: wap_report::Format, lint: boo
             format,
             lint,
             packs: Vec::new(),
+            values,
             fail_on: FailOn::None,
         }) {
             Ok(id) => break id,

@@ -110,6 +110,12 @@ impl Default for ServeConfig {
 /// State shared by the accept loop, connection handlers, and executors.
 pub(crate) struct Shared {
     pub(crate) tool: WapTool,
+    /// Twin of `tool` with the interprocedural value analysis on,
+    /// serving `?values=1` scans. Same cache store (the config
+    /// fingerprint keeps the key spaces disjoint), same trained
+    /// committee (memoized per process), so the second resident tool
+    /// costs one catalog build.
+    pub(crate) tool_values: WapTool,
     pub(crate) classes: Vec<VulnClass>,
     pub(crate) queue: JobQueue,
     pub(crate) metrics: Metrics,
@@ -183,6 +189,12 @@ impl Server {
         let per_scan = Runtime::from_config(config.jobs).partition(workers);
         let tool_config = ToolConfig::builder().jobs(per_scan.jobs()).build();
         let mut tool = WapTool::new(tool_config);
+        let mut tool_values = WapTool::new(
+            ToolConfig::builder()
+                .jobs(per_scan.jobs())
+                .values(true)
+                .build(),
+        );
         // the cache is composed here, not via ToolConfig: the local tier
         // is the configured dir (or process memory), and --cache-peer
         // stacks a remote read-through/write-back tier on top
@@ -198,12 +210,14 @@ impl Server {
             }
             None => store,
         };
-        tool.set_cache_store(store);
+        tool.set_cache_store(store.clone());
+        tool_values.set_cache_store(store);
         let classes: Vec<VulnClass> = tool.catalog().classes().cloned().collect();
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 tool,
+                tool_values,
                 classes,
                 queue: JobQueue::new(config.queue_capacity),
                 metrics: Metrics::default(),
@@ -297,11 +311,14 @@ fn executor_loop(shared: &Shared) {
         shared.metrics.record_queue_wait(task.submitted.elapsed());
         let scan = &task.payload;
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut report = shared.tool.analyze_sources(&scan.sources);
+            let tool = if scan.values {
+                &shared.tool_values
+            } else {
+                &shared.tool
+            };
+            let mut report = tool.analyze_sources(&scan.sources);
             if scan.lint {
-                shared
-                    .tool
-                    .apply_lint_with(&mut report, &scan.sources, &scan.packs)
+                tool.apply_lint_with(&mut report, &scan.sources, &scan.packs)
                     .expect("pack rules are validated when the pack is parsed");
             }
             let body = scan.format.render(&report, &shared.classes);
@@ -532,6 +549,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         }
     }
     let lint = matches!(req.query_param("lint"), Some("1" | "true")) || !packs.is_empty();
+    let values = matches!(req.query_param("values"), Some("1" | "true"));
     let fail_on = match req.query_param("fail_on") {
         // the server's default stays "never fail the response" so
         // existing clients keep their unconditional 200s
@@ -554,6 +572,7 @@ fn handle_scan(shared: &Shared, req: &http::Request) -> RouteResponse {
         format,
         lint,
         packs,
+        values,
         fail_on,
     }) {
         Ok(id) => id,

@@ -27,6 +27,8 @@ pub struct ScanRequest {
     /// HTTP layer against the server's pack store. Non-empty packs imply
     /// the lint pass.
     pub packs: Vec<wap_rules::RulePack>,
+    /// Run the interprocedural value analysis (`?values=1`).
+    pub values: bool,
     /// Exit-code policy (`?fail_on=`); a failing report is answered with
     /// HTTP 422 instead of 200.
     pub fail_on: FailOn,
@@ -63,6 +65,7 @@ mod tests {
             format: Format::Json,
             lint: false,
             packs: Vec::new(),
+            values: false,
             fail_on: FailOn::None,
         }
     }

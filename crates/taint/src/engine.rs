@@ -119,11 +119,27 @@ pub fn analyze_with_obs(
     runtime: &Runtime,
     obs: wap_obs::JobHandle<'_>,
 ) -> Vec<Candidate> {
-    let (mut candidates, store_seen) = run_pass(catalog, options, files, runtime, false, obs);
+    analyze_with_resolutions(catalog, options, files, &HashMap::new(), runtime, obs)
+}
+
+/// [`analyze_with_obs`] plus value-analysis resolution facts (see
+/// [`FileResolution`]): resolved dynamic includes are executed inline and
+/// resolved dynamic calls dispatch through function summaries. An empty
+/// map reproduces [`analyze_with_obs`] byte-for-byte.
+pub fn analyze_with_resolutions(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[SourceFile],
+    resolutions: &HashMap<String, FileResolution>,
+    runtime: &Runtime,
+    obs: wap_obs::JobHandle<'_>,
+) -> Vec<Candidate> {
+    let (mut candidates, store_seen) =
+        run_pass(catalog, options, files, resolutions, runtime, false, obs);
     if options.second_order && store_seen {
         // second-order pass: stored data coming back from the database is
         // attacker-controlled; duplicates are removed by the final dedup
-        let (more, _) = run_pass(catalog, options, files, runtime, true, obs);
+        let (more, _) = run_pass(catalog, options, files, resolutions, runtime, true, obs);
         candidates.extend(more);
     }
     dedup_and_sort(candidates)
@@ -275,6 +291,40 @@ pub fn function_fingerprint(src: &str, func: &Function) -> String {
     ])
 }
 
+/// Value-analysis resolution facts for one file, produced by
+/// `wap-cfg::values` and consumed by phase B: extra call-graph edges the
+/// purely syntactic walk cannot see.
+///
+/// Offsets are the `span.start()` of the include's *path expression*
+/// (for `includes`) and of the *call expression* (for `calls`) — the same
+/// keys `wap_cfg::ValueResolution` records, so `wap-core` can convert one
+/// into the other without re-deriving spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FileResolution {
+    /// Include path-expression start offset → resolved scan-set file
+    /// names (sorted). Phase B executes each target's top-level
+    /// statements inline, attributing candidates to the included file.
+    pub includes: HashMap<u32, Vec<String>>,
+    /// Dynamic call-expression start offset → resolved function names
+    /// (sorted). Phase B dispatches the call to each target's summary
+    /// instead of the conservative join-all-arguments fallback.
+    pub calls: HashMap<u32, Vec<String>>,
+}
+
+/// Shared, read-only view of every file's resolution facts plus the
+/// parsed programs includes can be inlined from. Copied into each
+/// phase-B engine; phase A never resolves (summaries must not depend on
+/// other files' top-level flow).
+#[derive(Clone, Copy)]
+struct ResolveCtx<'a> {
+    resolutions: &'a HashMap<String, FileResolution>,
+    programs: &'a HashMap<&'a str, &'a Program>,
+}
+
+/// Re-executing resolved includes nests at most this deep (cycles are
+/// cut by the include stack; this bounds pathological chains).
+const MAX_INCLUDE_DEPTH: usize = 8;
+
 /// Canonical record in the shared function index: the first declaration
 /// of a name in (file order, declaration order). `func` is `None` when
 /// the owning file's body was not parsed this run (only possible for
@@ -315,7 +365,39 @@ pub fn run_pass_incremental(
     fetch_is_tainted: bool,
     obs: wap_obs::JobHandle<'_>,
 ) -> PassOutcome {
+    run_pass_incremental_with_resolutions(
+        catalog,
+        options,
+        files,
+        &HashMap::new(),
+        runtime,
+        fetch_is_tainted,
+        obs,
+    )
+}
+
+/// [`run_pass_incremental`] with value-analysis resolution facts: phase B
+/// inlines resolved includes and dispatches resolved dynamic calls. With
+/// an empty map this is byte-identical to the plain pass (the default
+/// configuration never constructs resolutions).
+pub fn run_pass_incremental_with_resolutions(
+    catalog: &Catalog,
+    options: &AnalysisOptions,
+    files: &[PassInput<'_>],
+    resolutions: &HashMap<String, FileResolution>,
+    runtime: &Runtime,
+    fetch_is_tainted: bool,
+    obs: wap_obs::JobHandle<'_>,
+) -> PassOutcome {
     let index = build_fn_index(files);
+    let programs_by_name: HashMap<&str, &Program> = files
+        .iter()
+        .filter_map(|f| f.program.map(|p| (f.name.as_str(), p)))
+        .collect();
+    let resolve = (!resolutions.is_empty()).then_some(ResolveCtx {
+        resolutions,
+        programs: &programs_by_name,
+    });
     let miss: Vec<usize> = files
         .iter()
         .enumerate()
@@ -335,6 +417,7 @@ pub fn run_pass_incremental(
             i,
             &f.name,
             program,
+            None,
             None,
             fetch_is_tainted,
             CarriedState::default(),
@@ -381,6 +464,7 @@ pub fn run_pass_incremental(
             &f.name,
             program,
             Some(Arc::clone(&merged)),
+            resolve,
             fetch_is_tainted,
             state,
         );
@@ -437,6 +521,7 @@ fn run_pass(
     catalog: &Catalog,
     options: &AnalysisOptions,
     files: &[SourceFile],
+    resolutions: &HashMap<String, FileResolution>,
     runtime: &Runtime,
     fetch_is_tainted: bool,
     obs: wap_obs::JobHandle<'_>,
@@ -450,7 +535,15 @@ fn run_pass(
             cached: None,
         })
         .collect();
-    let outcome = run_pass_incremental(catalog, options, &inputs, runtime, fetch_is_tainted, obs);
+    let outcome = run_pass_incremental_with_resolutions(
+        catalog,
+        options,
+        &inputs,
+        resolutions,
+        runtime,
+        fetch_is_tainted,
+        obs,
+    );
     let store_seen = outcome.artifacts.iter().any(|a| a.store_seen);
     (pass_candidates(&outcome.artifacts), store_seen)
 }
@@ -581,6 +674,12 @@ struct Engine<'a> {
     tainted_store_seen: bool,
     /// Second-order pass: fetch functions return tainted stored data.
     fetch_is_tainted: bool,
+    /// Value-analysis resolution facts (`--values` only). `None` in
+    /// phase A and in every default-configuration run.
+    resolve: Option<ResolveCtx<'a>>,
+    /// Files currently being inlined (cycle guard for resolved includes);
+    /// holds the *parents* of `current_file`, root first.
+    include_stack: Vec<String>,
 }
 
 impl<'a> Engine<'a> {
@@ -593,6 +692,7 @@ impl<'a> Engine<'a> {
         name: &str,
         program: &'a Program,
         shared: Option<Arc<HashMap<Symbol, FnSummary>>>,
+        resolve: Option<ResolveCtx<'a>>,
         fetch_is_tainted: bool,
         state: CarriedState,
     ) -> Self {
@@ -612,6 +712,8 @@ impl<'a> Engine<'a> {
             var_fix_site: state.var_fix_site,
             tainted_store_seen: false,
             fetch_is_tainted,
+            resolve,
+            include_stack: Vec::new(),
         }
     }
 
@@ -995,6 +1097,7 @@ impl<'a> Engine<'a> {
             StmtKind::Include { path, .. } => {
                 let t = self.eval(env, path);
                 self.check_include_sink(path, &t, stmt.span);
+                self.exec_resolved_include(env, path);
             }
             StmtKind::Unset(targets) => {
                 for t in targets {
@@ -1288,6 +1391,7 @@ impl<'a> Engine<'a> {
             ExprKind::IncludeExpr { path, .. } => {
                 let t = self.eval(env, path);
                 self.check_include_sink(path, &t, expr.span);
+                self.exec_resolved_include(env, path);
                 TaintState::Clean
             }
         }
@@ -1359,12 +1463,90 @@ impl<'a> Engine<'a> {
         let name = match &callee.kind {
             ExprKind::Name(n) => *n,
             _ => {
-                // dynamic call `$f(...)`: propagate args conservatively
+                // dynamic call `$f(...)`: dispatch through the value
+                // analysis' resolved targets when it pinned the callee
+                // down, else propagate args conservatively
                 self.eval(env, callee);
+                if let Some(t) = self.dispatch_resolved(span, args, &arg_taints, env) {
+                    return t;
+                }
                 return join_all(&arg_taints).with_step("dynamic call", span);
             }
         };
+        if is_call_user_func(name.as_str()) && !args.is_empty() {
+            // call_user_func($cb, ...$rest): when the value analysis
+            // resolved $cb, dispatch $rest through the targets' semantics
+            if let Some(t) = self.dispatch_resolved(span, &args[1..], &arg_taints[1..], env) {
+                return t;
+            }
+        }
         self.apply_function_semantics(name, name, args, &arg_taints, span, env)
+    }
+
+    /// Resolved targets the value analysis recorded for the dynamic call
+    /// at `span` in the current file, if any.
+    fn resolved_call_targets(&self, span: Span) -> Option<Vec<String>> {
+        let ctx = self.resolve?;
+        ctx.resolutions
+            .get(self.current_file.as_str())?
+            .calls
+            .get(&span.start())
+            .cloned()
+    }
+
+    /// Dispatches a value-resolved dynamic call: every target's full
+    /// function semantics (sinks, sanitizers, summaries) joined in the
+    /// resolution's sorted order. `None` when the site is unresolved.
+    fn dispatch_resolved(
+        &mut self,
+        span: Span,
+        args: &'a [Expr],
+        arg_taints: &[TaintState],
+        env: &mut Env,
+    ) -> Option<TaintState> {
+        let targets = self.resolved_call_targets(span)?;
+        let mut out = TaintState::Clean;
+        for t in &targets {
+            let sym = Symbol::intern(t);
+            out = out.join(&self.apply_function_semantics(sym, sym, args, arg_taints, span, env));
+        }
+        Some(out.with_step("resolved dynamic call", span))
+    }
+
+    /// Phase-B, top-level only: when the value analysis resolved this
+    /// include's path to scan-set files, execute their top-level
+    /// statements inline against the caller's environment, attributing
+    /// candidates to the included file. Cycles are cut by the include
+    /// stack; depth is bounded by [`MAX_INCLUDE_DEPTH`].
+    fn exec_resolved_include(&mut self, env: &mut Env, path: &'a Expr) {
+        if self.shared.is_none() || !self.ret_stack.is_empty() {
+            return;
+        }
+        let Some(ctx) = self.resolve else { return };
+        let targets = match ctx
+            .resolutions
+            .get(self.current_file.as_str())
+            .and_then(|r| r.includes.get(&path.span.start()))
+        {
+            Some(t) => t.clone(),
+            None => return,
+        };
+        if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
+            return;
+        }
+        for target in targets {
+            if target == self.current_file || self.include_stack.contains(&target) {
+                continue;
+            }
+            let Some(program) = ctx.programs.get(target.as_str()).copied() else {
+                continue;
+            };
+            let parent = std::mem::replace(&mut self.current_file, target);
+            self.include_stack.push(parent.clone());
+            self.exec_block(env, &program.stmts);
+            self.include_stack.pop();
+            self.current_file = parent;
+        }
     }
 
     /// Shared semantics for plain and static calls.
@@ -1847,6 +2029,12 @@ const STORED_DATA_SOURCE: &str = "stored data (second-order)";
 /// The interned source symbol for [`STORED_DATA_SOURCE`].
 fn stored_data_source() -> Symbol {
     Symbol::intern(STORED_DATA_SOURCE)
+}
+
+/// `call_user_func`-style indirection whose first argument names the
+/// real callee (the value analysis resolves it like a variable call).
+fn is_call_user_func(name: &str) -> bool {
+    name.eq_ignore_ascii_case("call_user_func") || name.eq_ignore_ascii_case("call_user_func_array")
 }
 
 /// Database result-fetch functions/methods for the second-order pass.

@@ -31,7 +31,7 @@ if length == 0 then fail("empty trace") else . end
       (.phase | type == "string")
       and (.phase | IN("parse", "taint", "summary_merge", "toplevel_exec",
                        "vote", "predict", "fix", "cache", "cfg", "lint", "live",
-                       "rules"))
+                       "rules", "values"))
       and (.job | type == "number")
       and (.start_ns | type == "number") and .start_ns >= 0
       and (.dur_ns | type == "number") and .dur_ns >= 0

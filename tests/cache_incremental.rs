@@ -352,6 +352,66 @@ fn no_pack_lint_runs_are_byte_identical_across_jobs_and_cache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Values-mode (`--values`) caching: a warm run replays the resolved
+/// cross-include flow exactly, and editing the *included* file — whose
+/// content only reaches the includer through the resolved dynamic edge —
+/// must invalidate the includer's cached artifacts, not replay them.
+#[test]
+fn values_mode_cache_invalidates_when_an_included_file_changes() {
+    let dir = temp_dir("values-include");
+    let base: Vec<(String, String)> = vec![
+        (
+            "index.php".to_string(),
+            "<?php\n$base = \"lib\";\n$id = $_GET['id'];\ninclude $base . \"/db.php\";\n"
+                .to_string(),
+        ),
+        (
+            "lib/db.php".to_string(),
+            "<?php\nmysql_query(\"SELECT * FROM users WHERE id = \" . $id);\n".to_string(),
+        ),
+    ];
+    let cacheless = |files: &[(String, String)]| {
+        let tool = WapTool::new(ToolConfig::builder().no_weapons().values(true).build());
+        fingerprint(&tool.analyze_sources(files))
+    };
+    let cached = |files: &[(String, String)]| {
+        let tool = WapTool::new(
+            ToolConfig::builder()
+                .no_weapons()
+                .cache_dir(&dir)
+                .values(true)
+                .build(),
+        );
+        tool.analyze_sources(files)
+    };
+
+    let cold = cacheless(&base);
+    assert!(
+        cold.contains("mysql_query"),
+        "values mode must surface the cross-include flow: {cold}"
+    );
+    assert_eq!(cold, fingerprint(&cached(&base)), "populating run diverged");
+    let warm = cached(&base);
+    assert_eq!(cold, fingerprint(&warm), "warm values run diverged");
+    assert_eq!(warm.cache.misses, 0, "fully warm values run must not miss");
+
+    // rewrite the included file so the sink vanishes: the includer's
+    // finding must vanish with it instead of replaying from the cache
+    let mut edited = base.clone();
+    edited[1].1 = "<?php\n$safe = 1;\n".to_string();
+    let cold_edited = cacheless(&edited);
+    assert_ne!(cold, cold_edited, "the edit must change the findings");
+    assert_eq!(
+        cold_edited,
+        fingerprint(&cached(&edited)),
+        "warm rescan after editing the included file diverged from cold"
+    );
+
+    // and restoring the original serves the original findings again
+    assert_eq!(cold, fingerprint(&cached(&base)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The second-order (stored XSS) pass caches its own pass entries; warm
 /// runs must reproduce it exactly, including the store→fetch trigger.
 #[test]

@@ -1,0 +1,9 @@
+<?php
+// Exercises the generic-php starter pack's predicate constraints.
+$id = $_GET['id'];
+$q = "SELECT * FROM users WHERE id = " . $id;
+mysql_query($q);
+mysql_query($_GET['raw']);
+mysql_query("SELECT 1 FROM health");
+$code = 'echo 1;';
+eval($code);

